@@ -1,0 +1,171 @@
+// Section VI-A reproduction: developing and validating the security policy
+// for the car-engine-immobilizer ECU. Replays the paper's narrative:
+//
+//   1. Initial policy (IFP-3, PIN = (HC,HI), I/O clearance (LC,LI), AES
+//      declassification) — the manual test suite finds the UART debug dump
+//      leaking the PIN.
+//   2. SW fix: the dump excludes the PIN region; normal operation validates.
+//   3. Injected attack scenarios 1-3 are all detected.
+//   4. Scenario 4 (overwrite the PIN with *trusted* PIN bytes) escapes the
+//      policy, enabling a 256-candidate brute force of the PIN on the CAN
+//      bus; the per-byte-PIN policy refinement closes the hole.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fw/immobilizer.hpp"
+#include "soc/aes128.hpp"
+#include "vp/scenarios.hpp"
+#include "vp/vp.hpp"
+
+using namespace vpdift;
+
+namespace {
+
+const soc::AesKey kPin = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                          0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+
+struct Outcome {
+  vp::RunResult r;
+  std::uint64_t auth_ok = 0;
+  std::vector<soc::CanFrame> responses;
+};
+
+Outcome run(fw::ImmoVariant variant, bool per_byte, const std::string& uart_in,
+            std::uint32_t challenges = 3) {
+  vp::VpConfig cfg;
+  cfg.with_engine_ecu = true;
+  cfg.engine_pin = kPin;
+  cfg.engine_period = sysc::Time::ms(2);
+  vp::VpDift v(cfg);
+  const auto prog = fw::make_immobilizer(variant, kPin, challenges);
+  v.load(prog);
+  auto bundle = vp::scenarios::make_immobilizer_policy(prog, per_byte);
+  v.apply_policy(bundle.policy);
+  if (!uart_in.empty()) v.uart().feed_input(uart_in);
+  Outcome out;
+  v.can().set_on_tx([&](const soc::CanFrame& f) {
+    v.engine()->on_frame(f);
+    if (f.id == soc::EngineEcu::kResponseId) out.responses.push_back(f);
+  });
+  out.r = v.run(sysc::Time::sec(5));
+  out.auth_ok = v.engine()->auth_ok();
+  return out;
+}
+
+int checks = 0, failures = 0;
+void check(bool ok, const char* what) {
+  ++checks;
+  if (!ok) ++failures;
+  std::printf("  [%s] %s\n", ok ? "ok" : "FAIL", what);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Case study — car engine immobilizer (Section VI-A)\n");
+  std::printf("Policy: IFP-3, PIN=(HC,HI), I/O clearance (LC,LI), AES key "
+              "clearance (HC,HI) with declassification to (LC,LI)\n\n");
+
+  std::printf("Step 1: manual test suite against the original firmware\n");
+  {
+    auto o = run(fw::ImmoVariant::kVulnerableDump, false, "d");
+    check(o.r.violation &&
+              o.r.violation_kind == dift::ViolationKind::kOutputClearance,
+          "debug memory dump leaks the PIN over the UART -> output-clearance "
+          "violation raised");
+    if (o.r.violation) std::printf("      %s\n", o.r.violation_message.c_str());
+  }
+
+  std::printf("\nStep 2: SW fix — dump excludes the PIN region\n");
+  {
+    auto o = run(fw::ImmoVariant::kFixedDump, false, "d");
+    check(!o.r.violation && o.r.exited && o.r.exit_code == 0,
+          "fixed firmware passes the test suite");
+    check(o.auth_ok >= 3, "challenge-response authentication succeeds");
+  }
+
+  std::printf("\nStep 3: injected attack scenarios\n");
+  {
+    auto o = run(fw::ImmoVariant::kAttackDirectLeak, false, "");
+    check(o.r.violation &&
+              o.r.violation_kind == dift::ViolationKind::kOutputClearance,
+          "scenario 1a: direct PIN write to UART detected");
+  }
+  {
+    auto o = run(fw::ImmoVariant::kAttackIndirectLeak, false, "");
+    check(o.r.violation &&
+              o.r.violation_kind == dift::ViolationKind::kOutputClearance,
+          "scenario 1b: PIN through intermediate buffer to CAN detected");
+  }
+  {
+    auto o = run(fw::ImmoVariant::kAttackOverflowLeak, false, "");
+    check(o.r.violation &&
+              o.r.violation_kind == dift::ViolationKind::kOutputClearance,
+          "scenario 1c: buffer-overflow read into the PIN detected");
+  }
+  {
+    auto o = run(fw::ImmoVariant::kAttackBranchLeak, false, "");
+    check(o.r.violation &&
+              o.r.violation_kind == dift::ViolationKind::kBranchClearance,
+          "scenario 2: PIN-dependent control flow detected");
+  }
+  {
+    auto o = run(fw::ImmoVariant::kAttackOverwriteExternal, false, "");
+    check(o.r.violation &&
+              o.r.violation_kind == dift::ViolationKind::kStoreClearance,
+          "scenario 3: PIN overwrite with external (LI) data detected");
+  }
+
+  std::printf("\nStep 4: the entropy-reduction attack (scenario 4)\n");
+  {
+    auto o = run(fw::ImmoVariant::kAttackOverwriteTrusted, false, "");
+    check(!o.r.violation,
+          "overwriting PIN bytes with *trusted* PIN data escapes the policy");
+    check(!o.responses.empty(), "immobilizer still answers challenges");
+    // Brute force: all PIN bytes now equal pin[0] -> 256 candidates.
+    int recovered = -1;
+    if (!o.responses.empty()) {
+      const auto& resp = o.responses.front();
+      for (int cand = 0; cand < 256 && recovered < 0; ++cand) {
+        soc::AesKey k;
+        k.fill(static_cast<std::uint8_t>(cand));
+        std::uint32_t lcg = 0xcafebabe;
+        for (int tries = 0; tries < 8 && recovered < 0; ++tries) {
+          soc::AesBlock block{};
+          for (int i = 0; i < 8; ++i) {
+            lcg = lcg * 1103515245u + 12345u;
+            block[i] = static_cast<std::uint8_t>(lcg >> 16);
+          }
+          const auto enc = soc::aes128_encrypt(k, block);
+          bool match = true;
+          for (int i = 0; i < 8 && match; ++i) match = enc[i] == resp.data[i];
+          if (match) recovered = cand;
+        }
+      }
+    }
+    check(recovered == kPin[0],
+          "host-side brute force (256 candidates) recovers the degenerate key "
+          "from one CAN response");
+    if (recovered >= 0)
+      std::printf("      recovered key byte: 0x%02x (PIN[0] = 0x%02x)\n",
+                  recovered, kPin[0]);
+  }
+
+  std::printf("\nStep 5: policy fix — one security class per PIN byte\n");
+  {
+    auto o = run(fw::ImmoVariant::kAttackOverwriteTrusted, true, "");
+    check(o.r.violation &&
+              o.r.violation_kind == dift::ViolationKind::kStoreClearance,
+          "per-byte policy detects the trusted-data overwrite");
+  }
+  {
+    auto o = run(fw::ImmoVariant::kFixedDump, true, "d");
+    check(!o.r.violation && o.r.exited && o.r.exit_code == 0 && o.auth_ok >= 3,
+          "per-byte policy still admits normal operation");
+  }
+
+  std::printf("\n%s: %d/%d case-study checks passed.\n",
+              failures == 0 ? "OK" : "FAILED", checks - failures, checks);
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+// Code-injection protection (Section VI-B, one attack end to end).
+//
+// Runs attack #3 of the Wilander-Kamkar suite (stack buffer overflow that
+// overwrites the saved return address) twice:
+//   * on the plain VP: the payload executes — exit code 42, marker 'X',
+//   * on the VP+ with the IFP-2 code-injection policy: the instruction-fetch
+//     unit refuses the LI-classified payload before its first instruction.
+#include <cstdio>
+
+#include "fw/attacks.hpp"
+#include "vp/scenarios.hpp"
+#include "vp/vp.hpp"
+
+using namespace vpdift;
+
+int main() {
+  const auto atk = fw::make_attack(3);
+  std::printf("Attack #%d: %s / %s / %s\n", atk.spec.id, atk.spec.location,
+              atk.spec.target, atk.spec.technique);
+  std::printf("attacker input: %zu bytes over the UART (16 filler + payload "
+              "address)\n\n",
+              atk.uart_input.size());
+
+  {
+    std::printf("--- run 1: unprotected VP ---\n");
+    vp::Vp v;
+    v.load(atk.program);
+    v.uart().feed_input(atk.uart_input);
+    const auto r = v.run(sysc::Time::sec(1));
+    std::printf("exit code %u, markers \"%s\"  ->  %s\n", r.exit_code,
+                r.markers.c_str(),
+                r.exit_code == 42 ? "the malicious payload ran" : "??");
+  }
+
+  {
+    std::printf("\n--- run 2: VP+ with the code-injection policy ---\n");
+    std::printf("policy: program image HI, UART input LI, payload function "
+                "LI, fetch clearance HI\n");
+    vp::VpDift v;
+    v.load(atk.program);
+    const auto bundle = [&] {
+      return vp::scenarios::make_code_injection_policy(atk.program);
+    }();
+    v.apply_policy(bundle.policy);
+    v.uart().feed_input(atk.uart_input);
+    const auto r = v.run(sysc::Time::sec(1));
+    if (r.violation) {
+      std::printf("VIOLATION: %s\n", r.violation_message.c_str());
+      std::printf("markers \"%s\" (no 'X': the payload never executed)\n",
+                  r.markers.c_str());
+      return 0;
+    }
+    std::printf("unexpected: attack not detected\n");
+    return 1;
+  }
+}

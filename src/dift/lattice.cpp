@@ -1,0 +1,213 @@
+#include "dift/lattice.hpp"
+
+#include <algorithm>
+
+namespace vpdift::dift {
+
+// ---- Builder ----
+
+Tag Lattice::Builder::add_class(std::string name) {
+  if (names_.size() >= kMaxClasses)
+    throw LatticeError("lattice exceeds " + std::to_string(kMaxClasses) + " classes");
+  if (std::find(names_.begin(), names_.end(), name) != names_.end())
+    throw LatticeError("duplicate security class name: " + name);
+  names_.push_back(std::move(name));
+  return static_cast<Tag>(names_.size() - 1);
+}
+
+Lattice::Builder& Lattice::Builder::add_flow(Tag from, Tag to) {
+  if (from >= names_.size() || to >= names_.size())
+    throw LatticeError("flow edge references unknown class");
+  flows_.emplace_back(from, to);
+  return *this;
+}
+
+Lattice::Builder& Lattice::Builder::add_declass(Tag from, Tag to) {
+  if (from >= names_.size() || to >= names_.size())
+    throw LatticeError("declass edge references unknown class");
+  declass_.emplace_back(from, to);
+  return *this;
+}
+
+namespace {
+
+// Reflexive-transitive closure of an adjacency matrix (Floyd-Warshall style).
+void close(std::vector<std::uint8_t>& m, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) m[i * n + i] = 1;
+  for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t i = 0; i < n; ++i)
+      if (m[i * n + k])
+        for (std::size_t j = 0; j < n; ++j)
+          if (m[k * n + j]) m[i * n + j] = 1;
+}
+
+}  // namespace
+
+Lattice Lattice::Builder::build() const {
+  const std::size_t n = names_.size();
+  if (n == 0) throw LatticeError("lattice has no security classes");
+
+  Lattice l;
+  l.names_ = names_;
+  l.flow_edges_ = flows_;
+  l.declass_edges_ = declass_;
+
+  l.flow_.assign(n * n, 0);
+  for (auto [a, b] : flows_) l.flow_[static_cast<std::size_t>(a) * n + b] = 1;
+  close(l.flow_, n);
+
+  // Declassification reachability: closure over flow edges plus declass edges.
+  l.declass_reach_ = l.flow_;
+  for (auto [a, b] : declass_) l.declass_reach_[static_cast<std::size_t>(a) * n + b] = 1;
+  close(l.declass_reach_, n);
+
+  // LUB table; validates the join-semilattice property.
+  l.lub_.assign(n * n, 0);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a; b < n; ++b) {
+      // Common upper bounds of {a, b}.
+      std::vector<Tag> ubs;
+      for (std::size_t c = 0; c < n; ++c)
+        if (l.flow_[a * n + c] && l.flow_[b * n + c]) ubs.push_back(static_cast<Tag>(c));
+      if (ubs.empty())
+        throw LatticeError("classes '" + names_[a] + "' and '" + names_[b] +
+                           "' have no common upper bound");
+      // Least = an upper bound that flows to every other upper bound.
+      std::optional<Tag> least;
+      for (Tag c : ubs) {
+        bool is_least = true;
+        for (Tag d : ubs)
+          if (!l.flow_[static_cast<std::size_t>(c) * n + d]) { is_least = false; break; }
+        if (is_least) {
+          if (least) throw LatticeError("LUB of '" + names_[a] + "' and '" + names_[b] +
+                                        "' is not unique");
+          least = c;
+        }
+      }
+      if (!least)
+        throw LatticeError("classes '" + names_[a] + "' and '" + names_[b] +
+                           "' lack a least upper bound");
+      l.lub_[a * n + b] = *least;
+      l.lub_[b * n + a] = *least;
+    }
+  }
+  return l;
+}
+
+// ---- queries ----
+
+Tag Lattice::tag_of(std::string_view name) const {
+  if (auto t = find(name)) return *t;
+  throw LatticeError("unknown security class: " + std::string(name));
+}
+
+std::optional<Tag> Lattice::find(std::string_view name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i)
+    if (names_[i] == name) return static_cast<Tag>(i);
+  return std::nullopt;
+}
+
+const std::string& Lattice::name_of(Tag tag) const {
+  if (tag >= names_.size()) throw LatticeError("tag out of range");
+  return names_[tag];
+}
+
+// ---- factories ----
+
+Lattice Lattice::ifp1() {
+  Builder b;
+  const Tag lc = b.add_class("LC");
+  const Tag hc = b.add_class("HC");
+  b.add_flow(lc, hc).add_declass(hc, lc);
+  return b.build();
+}
+
+Lattice Lattice::ifp2() {
+  Builder b;
+  const Tag hi = b.add_class("HI");
+  const Tag li = b.add_class("LI");
+  b.add_flow(hi, li).add_declass(li, hi);
+  return b.build();
+}
+
+Lattice Lattice::ifp3() { return product(ifp1(), ifp2()); }
+
+Lattice Lattice::product(const Lattice& x, const Lattice& y) {
+  Builder b;
+  const std::size_t nx = x.size(), ny = y.size();
+  if (nx * ny > kMaxClasses) throw LatticeError("product lattice too large");
+  for (std::size_t i = 0; i < nx; ++i)
+    for (std::size_t j = 0; j < ny; ++j)
+      b.add_class("(" + x.name_of(static_cast<Tag>(i)) + "," +
+                  y.name_of(static_cast<Tag>(j)) + ")");
+  auto tag = [ny](std::size_t i, std::size_t j) {
+    return static_cast<Tag>(i * ny + j);
+  };
+  for (std::size_t i = 0; i < nx; ++i)
+    for (std::size_t j = 0; j < ny; ++j)
+      for (std::size_t k = 0; k < nx; ++k)
+        for (std::size_t m = 0; m < ny; ++m) {
+          const Tag from = tag(i, j), to = tag(k, m);
+          if (from == to) continue;
+          const bool fx = x.allowed_flow(static_cast<Tag>(i), static_cast<Tag>(k));
+          const bool fy = y.allowed_flow(static_cast<Tag>(j), static_cast<Tag>(m));
+          const bool dx = x.allowed_declass(static_cast<Tag>(i), static_cast<Tag>(k));
+          const bool dy = y.allowed_declass(static_cast<Tag>(j), static_cast<Tag>(m));
+          if (fx && fy)
+            b.add_flow(from, to);
+          else if (dx && dy)  // at least one component crosses a declass edge
+            b.add_declass(from, to);
+        }
+  return b.build();
+}
+
+Lattice Lattice::with_per_byte_secret(const Lattice& base, Tag joins_into,
+                                      std::size_t count, std::string prefix) {
+  if (joins_into >= base.size()) throw LatticeError("joins_into tag out of range");
+  Builder b;
+  for (std::size_t i = 0; i < base.size(); ++i) b.add_class(base.name_of(static_cast<Tag>(i)));
+  for (auto [f, t] : base.flow_edges()) b.add_flow(f, t);
+  for (auto [f, t] : base.declass_edges()) b.add_declass(f, t);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Tag c = b.add_class(prefix + std::to_string(i));
+    b.add_flow(c, joins_into);
+  }
+  return b.build();
+}
+
+Lattice Lattice::powerset(const std::vector<std::string>& categories) {
+  const std::size_t n = categories.size();
+  if (n > 8) throw LatticeError("powerset lattice limited to 8 categories");
+  Builder b;
+  const std::size_t count = 1u << n;
+  for (std::size_t mask = 0; mask < count; ++mask) {
+    std::string name = "{";
+    for (std::size_t i = 0; i < n; ++i)
+      if (mask & (1u << i)) {
+        if (name.size() > 1) name += ",";
+        name += categories[i];
+      }
+    name += "}";
+    b.add_class(name);
+  }
+  // Flow edges: immediate supersets suffice (transitive closure completes
+  // the subset order).
+  for (std::size_t mask = 0; mask < count; ++mask)
+    for (std::size_t i = 0; i < n; ++i)
+      if (!(mask & (1u << i)))
+        b.add_flow(static_cast<Tag>(mask), static_cast<Tag>(mask | (1u << i)));
+  return b.build();
+}
+
+Lattice Lattice::linear(std::size_t levels, std::string prefix) {
+  Builder b;
+  Tag prev = 0;
+  for (std::size_t i = 0; i < levels; ++i) {
+    const Tag c = b.add_class(prefix + std::to_string(i));
+    if (i > 0) b.add_flow(prev, c);
+    prev = c;
+  }
+  return b.build();
+}
+
+}  // namespace vpdift::dift

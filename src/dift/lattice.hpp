@@ -1,0 +1,140 @@
+// Information Flow Policy (IFP) lattices.
+//
+// An IFP is a join-semilattice of security classes. `allowed_flow(a, b)`
+// answers whether data of class `a` may (transitively) flow to class `b`;
+// `lub(a, b)` yields the class of data computed from both `a` and `b`.
+// Lattices are built from a user-specified flow graph whose reflexive-
+// transitive closure must form a join-semilattice (unique least upper bound
+// for every pair) — Builder::build() validates this and precomputes dense
+// flow/LUB tables for O(1) queries on the simulation fast path.
+//
+// The three example IFPs of the paper (Fig. 1) are available as factories:
+// ifp1() (confidentiality LC->HC), ifp2() (integrity HI->LI) and their
+// product ifp3(). Additional combinators cover the product of arbitrary
+// lattices and the per-byte-secret refinement used to fix the immobilizer
+// entropy-reduction attack (Section VI-A).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dift/tag.hpp"
+
+namespace vpdift::dift {
+
+/// Raised when a flow graph does not form a valid join-semilattice or is
+/// otherwise malformed (duplicate class names, too many classes, ...).
+class LatticeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A validated join-semilattice of security classes with O(1) queries.
+class Lattice {
+ public:
+  /// Incrementally describes the flow graph of an IFP.
+  class Builder {
+   public:
+    /// Registers a new security class; returns its tag.
+    Tag add_class(std::string name);
+    /// Permits information flow from `from` to `to`.
+    Builder& add_flow(Tag from, Tag to);
+    /// Adds a sanctioned declassification edge (red dashed arrow in Fig. 1).
+    /// Declassification edges do NOT contribute to allowed_flow/lub; they are
+    /// only usable by trusted peripherals holding a declassification right.
+    Builder& add_declass(Tag from, Tag to);
+    /// Validates and freezes the lattice. Throws LatticeError if any pair of
+    /// classes lacks a unique least upper bound.
+    Lattice build() const;
+
+   private:
+    std::vector<std::string> names_;
+    std::vector<std::pair<Tag, Tag>> flows_;
+    std::vector<std::pair<Tag, Tag>> declass_;
+  };
+
+  /// Number of security classes.
+  std::size_t size() const { return names_.size(); }
+
+  /// Tag of the class called `name`; throws LatticeError if unknown.
+  Tag tag_of(std::string_view name) const;
+  /// Tag of the class called `name`, or nullopt.
+  std::optional<Tag> find(std::string_view name) const;
+  /// Name of the class behind `tag`.
+  const std::string& name_of(Tag tag) const;
+
+  /// True iff data of class `from` may (transitively) flow to `to`.
+  bool allowed_flow(Tag from, Tag to) const {
+    return flow_[index(from, to)] != 0;
+  }
+  /// Least upper bound of two classes.
+  Tag lub(Tag a, Tag b) const { return lub_[index(a, b)]; }
+
+  /// True iff declassification from `from` to `to` is sanctioned, i.e. `to`
+  /// is reachable over the graph of flow edges plus declassification edges.
+  bool allowed_declass(Tag from, Tag to) const {
+    return declass_reach_[index(from, to)] != 0;
+  }
+
+  /// Raw table access for the DIFT engine fast path (row-major, size()^2).
+  const Tag* lub_table() const { return lub_.data(); }
+  const std::uint8_t* flow_table() const { return flow_.data(); }
+
+  // ---- Factories for the paper's example IFPs (Fig. 1) ----
+
+  /// IFP-1: confidentiality. Classes LC, HC; flow LC->HC; declass HC->LC.
+  static Lattice ifp1();
+  /// IFP-2: integrity. Classes HI, LI; flow HI->LI; declass LI->HI.
+  static Lattice ifp2();
+  /// IFP-3: product of IFP-1 and IFP-2 (classes "(LC,HI)", "(LC,LI)", ...).
+  static Lattice ifp3();
+
+  /// Product lattice: classes are pairs "(a,b)"; flow allowed iff allowed in
+  /// both components; declassification edges where at least one component
+  /// uses a declass edge and the other an allowed flow or declass edge.
+  static Lattice product(const Lattice& a, const Lattice& b);
+
+  /// Refinement used by the per-byte PIN policy: clones `base` and appends
+  /// `count` fresh classes `prefix0..prefix<count-1>`, each flowing into
+  /// `joins_into` (and mutually incomparable). The LUB of two distinct
+  /// per-byte classes is therefore `joins_into`, so copying byte i over
+  /// byte j is no longer an allowed flow.
+  static Lattice with_per_byte_secret(const Lattice& base, Tag joins_into,
+                                      std::size_t count, std::string prefix);
+
+  /// Multi-level linear lattice L0 -> L1 -> ... -> L<n-1> (for tests/ablation).
+  static Lattice linear(std::size_t levels, std::string prefix = "L");
+
+  /// Powerset (compartment) lattice over `categories` named compartments:
+  /// classes are category subsets, flow is subset inclusion, LUB is union —
+  /// the classic Denning-style lattice for mutually independent secrets
+  /// (e.g. {"KEY","BIO"}: KEY-data and BIO-data may mix into {KEY,BIO} but
+  /// never flow into each other). Class names are "{}", "{A}", "{A,B}", ...
+  /// Limited to 8 categories (2^8 = 256 classes, the Tag ceiling).
+  static Lattice powerset(const std::vector<std::string>& categories);
+
+ private:
+  Lattice() = default;
+  std::size_t index(Tag a, Tag b) const {
+    return static_cast<std::size_t>(a) * names_.size() + b;
+  }
+
+  std::vector<std::string> names_;
+  std::vector<std::uint8_t> flow_;           // reflexive-transitive closure
+  std::vector<Tag> lub_;                     // dense LUB table
+  std::vector<std::uint8_t> declass_reach_;  // closure over flow + declass
+  std::vector<std::pair<Tag, Tag>> flow_edges_;     // original edges (introspection)
+  std::vector<std::pair<Tag, Tag>> declass_edges_;  // original declass edges
+
+ public:
+  /// Original (non-closed) flow edges, for printing/introspection.
+  const std::vector<std::pair<Tag, Tag>>& flow_edges() const { return flow_edges_; }
+  /// Original declassification edges, for printing/introspection.
+  const std::vector<std::pair<Tag, Tag>>& declass_edges() const { return declass_edges_; }
+};
+
+}  // namespace vpdift::dift

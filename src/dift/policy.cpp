@@ -1,0 +1,85 @@
+#include "dift/policy.hpp"
+
+namespace vpdift::dift {
+
+void DeclassRight::check(Tag from, Tag to) const {
+  if (!lattice_)
+    throw PolicyViolation(ViolationKind::kDeclassification, from, to, 0, 0,
+                          "unauthorized declassifier");
+  if (!lattice_->allowed_declass(from, to))
+    throw PolicyViolation(ViolationKind::kDeclassification, from, to, 0, 0,
+                          holder_ + " (no sanctioned declass edge)");
+}
+
+SecurityPolicy& SecurityPolicy::classify_memory(std::uint64_t base, std::uint64_t size,
+                                                Tag tag) {
+  mem_class_.push_back({base, size, tag});
+  return *this;
+}
+
+SecurityPolicy& SecurityPolicy::classify_input(const std::string& device, Tag tag) {
+  input_class_[device] = tag;
+  return *this;
+}
+
+Tag SecurityPolicy::input_class(const std::string& device) const {
+  auto it = input_class_.find(device);
+  return it == input_class_.end() ? kBottomTag : it->second;
+}
+
+SecurityPolicy& SecurityPolicy::clear_output(const std::string& device, Tag tag) {
+  output_clear_[device] = tag;
+  return *this;
+}
+
+SecurityPolicy& SecurityPolicy::clear_unit(const std::string& device, Tag tag) {
+  unit_clear_[device] = tag;
+  return *this;
+}
+
+SecurityPolicy& SecurityPolicy::set_execution_clearance(ExecutionClearance ec) {
+  exec_ = ec;
+  return *this;
+}
+
+SecurityPolicy& SecurityPolicy::protect_store(std::uint64_t base, std::uint64_t size,
+                                              Tag tag) {
+  store_prot_.push_back({base, size, tag});
+  return *this;
+}
+
+std::optional<Tag> SecurityPolicy::output_clearance(const std::string& device) const {
+  auto it = output_clear_.find(device);
+  if (it == output_clear_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Tag> SecurityPolicy::unit_clearance(const std::string& device) const {
+  auto it = unit_clear_.find(device);
+  if (it == unit_clear_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Tag> SecurityPolicy::store_clearance_at(std::uint64_t addr) const {
+  for (const auto& r : store_prot_)
+    if (r.contains(addr)) return r.tag;
+  return std::nullopt;
+}
+
+SecurityPolicy& SecurityPolicy::declassify_output(const std::string& device, Tag to) {
+  declass_output_[device] = to;
+  return *this;
+}
+
+std::optional<Tag> SecurityPolicy::declass_output(const std::string& device) const {
+  auto it = declass_output_.find(device);
+  if (it == declass_output_.end()) return std::nullopt;
+  return it->second;
+}
+
+DeclassRight SecurityPolicy::grant_declass(const std::string& device) {
+  declass_holders_.insert(device);
+  return DeclassRight(lattice_, device);
+}
+
+}  // namespace vpdift::dift

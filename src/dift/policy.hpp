@@ -1,0 +1,141 @@
+// Security policies (Section IV-A of the paper).
+//
+// A SecurityPolicy bundles the three parts the paper defines:
+//   (i)   classification — security classes assigned to data entering the
+//         system (memory regions at load time, peripheral input sources),
+//   (ii)  the IFP lattice itself, and
+//   (iii) clearance — classes assigned to output interfaces and to the CPU's
+//         execution units (instruction fetch, branch unit, memory access)
+//         plus integrity-protected ("store clearance") memory regions.
+// It also manages declassification rights: only peripherals explicitly
+// granted a right may re-tag data, and only along sanctioned declass edges.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dift/lattice.hpp"
+#include "dift/tag.hpp"
+#include "dift/taint.hpp"
+#include "dift/violation.hpp"
+
+namespace vpdift::dift {
+
+/// A classified address range [base, base+size).
+struct MemoryClass {
+  std::uint64_t base = 0;
+  std::uint64_t size = 0;
+  Tag tag = kBottomTag;
+  bool contains(std::uint64_t addr) const { return addr - base < size; }
+};
+
+/// Clearance tags of the three CPU execution units the paper identifies
+/// (Section V-B2). A disengaged optional disables the respective check.
+struct ExecutionClearance {
+  std::optional<Tag> fetch;     ///< fetched instruction must flow here
+  std::optional<Tag> branch;    ///< branch conditions / indirect targets / trap vectors
+  std::optional<Tag> mem_addr;  ///< load/store effective addresses
+};
+
+class SecurityPolicy;
+
+/// Capability handed to trusted peripherals allowing declassification.
+/// Obtainable only through SecurityPolicy::grant_declass().
+class DeclassRight {
+ public:
+  DeclassRight() = default;  // disengaged right: every declassify attempt throws
+
+  /// Re-tags `v` to `to`, enforcing that (a) this right is engaged and
+  /// (b) the lattice sanctions a declassification path from v's tag to `to`.
+  template <typename T>
+  Taint<T> operator()(const Taint<T>& v, Tag to) const {
+    check(v.tag(), to);
+    return retag(v, to);
+  }
+
+  void check(Tag from, Tag to) const;
+  bool engaged() const { return lattice_ != nullptr; }
+
+ private:
+  friend class SecurityPolicy;
+  DeclassRight(const Lattice* lattice, std::string holder)
+      : lattice_(lattice), holder_(std::move(holder)) {}
+  const Lattice* lattice_ = nullptr;
+  std::string holder_;
+};
+
+class SecurityPolicy {
+ public:
+  explicit SecurityPolicy(const Lattice& lattice) : lattice_(&lattice) {}
+
+  const Lattice& lattice() const { return *lattice_; }
+
+  // ---- (i) classification ----
+
+  /// Tags memory [base, base+size) at program-load time.
+  SecurityPolicy& classify_memory(std::uint64_t base, std::uint64_t size, Tag tag);
+  /// Tags the data produced by the named input peripheral (e.g. "uart0.rx").
+  SecurityPolicy& classify_input(const std::string& device, Tag tag);
+
+  const std::vector<MemoryClass>& memory_classification() const { return mem_class_; }
+  /// Classification tag for the named input source (kBottomTag if unset).
+  Tag input_class(const std::string& device) const;
+  /// True iff an input classification was configured for `device`.
+  bool has_input_class(const std::string& device) const {
+    return input_class_.count(device) != 0;
+  }
+
+  // ---- (iii) clearance ----
+
+  /// Clearance of the named output interface (e.g. "uart0.tx", "can0.tx").
+  SecurityPolicy& clear_output(const std::string& device, Tag tag);
+  /// Clearance of a named execution unit outside the CPU (e.g. "aes0").
+  SecurityPolicy& clear_unit(const std::string& device, Tag tag);
+  /// CPU execution clearance (fetch / branch / memory-address checks).
+  SecurityPolicy& set_execution_clearance(ExecutionClearance ec);
+  /// Integrity protection: stores into [base, base+size) must carry data
+  /// whose class may flow to `tag`.
+  SecurityPolicy& protect_store(std::uint64_t base, std::uint64_t size, Tag tag);
+
+  /// Output clearance for `device`; disengaged = no check configured.
+  std::optional<Tag> output_clearance(const std::string& device) const;
+  /// Execution-unit clearance for `device`; disengaged = no check configured.
+  std::optional<Tag> unit_clearance(const std::string& device) const;
+  const ExecutionClearance& execution_clearance() const { return exec_; }
+  const std::vector<MemoryClass>& store_protection() const { return store_prot_; }
+
+  /// Store-clearance tag covering `addr`, if any.
+  std::optional<Tag> store_clearance_at(std::uint64_t addr) const;
+
+  // ---- declassification ----
+
+  /// Grants the named (trusted) peripheral the right to declassify.
+  DeclassRight grant_declass(const std::string& device);
+  bool may_declass(const std::string& device) const {
+    return declass_holders_.count(device) != 0;
+  }
+
+  /// Declares that the named trusted peripheral declassifies its output data
+  /// to `to` (e.g. the AES engine emitting (LC,LI) ciphertext). Consumed by
+  /// the VP builder, which grants the corresponding right.
+  SecurityPolicy& declassify_output(const std::string& device, Tag to);
+  /// Declassification target configured for `device`, if any.
+  std::optional<Tag> declass_output(const std::string& device) const;
+
+ private:
+  const Lattice* lattice_;
+  std::vector<MemoryClass> mem_class_;
+  std::vector<MemoryClass> store_prot_;
+  std::map<std::string, Tag> input_class_;
+  std::map<std::string, Tag> output_clear_;
+  std::map<std::string, Tag> unit_clear_;
+  std::set<std::string> declass_holders_;
+  std::map<std::string, Tag> declass_output_;
+  ExecutionClearance exec_;
+};
+
+}  // namespace vpdift::dift

@@ -1,0 +1,152 @@
+#include "dift/policy_parser.hpp"
+
+#include <optional>
+#include <sstream>
+#include <vector>
+
+namespace vpdift::dift {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) {
+    if (tok[0] == '#') break;  // comment
+    if (tok == "->") continue; // decorative arrow
+    out.push_back(tok);
+  }
+  return out;
+}
+
+std::uint64_t parse_address(const std::string& tok, std::size_t line,
+                            const std::map<std::string, std::uint64_t>* symbols) {
+  if (!tok.empty() && tok[0] == '$') {
+    std::string name = tok.substr(1);
+    std::uint64_t offset = 0;
+    if (const auto plus = name.find('+'); plus != std::string::npos) {
+      offset = std::stoull(name.substr(plus + 1), nullptr, 0);
+      name = name.substr(0, plus);
+    }
+    if (!symbols)
+      throw PolicyParseError(line, "symbol reference '" + tok +
+                                       "' but no symbol table provided");
+    const auto it = symbols->find(name);
+    if (it == symbols->end())
+      throw PolicyParseError(line, "unknown symbol: " + name);
+    return it->second + offset;
+  }
+  try {
+    return std::stoull(tok, nullptr, 0);
+  } catch (const std::exception&) {
+    throw PolicyParseError(line, "bad address: " + tok);
+  }
+}
+
+}  // namespace
+
+PolicySpec PolicySpec::parse(std::string_view text,
+                             const std::map<std::string, std::uint64_t>* symbols) {
+  PolicySpec spec;
+  Lattice::Builder builder;
+  std::map<std::string, Tag> classes;
+  bool lattice_frozen = false;
+
+  auto freeze = [&](std::size_t line) {
+    if (lattice_frozen) return;
+    try {
+      spec.lattice_ = std::make_unique<Lattice>(builder.build());
+    } catch (const LatticeError& e) {
+      throw PolicyParseError(line, e.what());
+    }
+    spec.policy_ = std::make_unique<SecurityPolicy>(*spec.lattice_);
+    lattice_frozen = true;
+  };
+  auto tag_of = [&](const std::string& name, std::size_t line) -> Tag {
+    const auto it = classes.find(name);
+    if (it == classes.end())
+      throw PolicyParseError(line, "unknown security class: " + name);
+    return it->second;
+  };
+  auto want = [&](const std::vector<std::string>& t, std::size_t n,
+                  std::size_t line, const char* usage) {
+    if (t.size() != n) throw PolicyParseError(line, std::string("usage: ") + usage);
+  };
+
+  std::istringstream in{std::string(text)};
+  std::string raw;
+  std::size_t lineno = 0;
+  ExecutionClearance exec;
+  bool exec_touched = false;
+
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const auto t = tokenize(raw);
+    if (t.empty()) continue;
+    const std::string& cmd = t[0];
+
+    if (cmd == "class") {
+      if (lattice_frozen)
+        throw PolicyParseError(lineno, "lattice lines must precede policy lines");
+      want(t, 2, lineno, "class NAME");
+      try {
+        classes[t[1]] = builder.add_class(t[1]);
+      } catch (const LatticeError& e) {
+        throw PolicyParseError(lineno, e.what());
+      }
+    } else if (cmd == "flow" || cmd == "declass") {
+      if (lattice_frozen)
+        throw PolicyParseError(lineno, "lattice lines must precede policy lines");
+      want(t, 3, lineno, "flow|declass FROM -> TO");
+      const Tag from = tag_of(t[1], lineno), to = tag_of(t[2], lineno);
+      if (cmd == "flow") builder.add_flow(from, to);
+      else builder.add_declass(from, to);
+    } else if (cmd == "classify") {
+      freeze(lineno);
+      if (t.size() == 5 && t[1] == "memory") {
+        const auto base = parse_address(t[2], lineno, symbols);
+        const auto size = parse_address(t[3], lineno, symbols);
+        spec.policy_->classify_memory(base, size, tag_of(t[4], lineno));
+      } else if (t.size() == 4 && t[1] == "input") {
+        spec.policy_->classify_input(t[2], tag_of(t[3], lineno));
+      } else {
+        throw PolicyParseError(
+            lineno, "usage: classify memory ADDR SIZE CLASS | classify input DEV CLASS");
+      }
+    } else if (cmd == "clear") {
+      freeze(lineno);
+      want(t, 4, lineno, "clear output|unit DEVICE CLASS");
+      if (t[1] == "output") spec.policy_->clear_output(t[2], tag_of(t[3], lineno));
+      else if (t[1] == "unit") spec.policy_->clear_unit(t[2], tag_of(t[3], lineno));
+      else throw PolicyParseError(lineno, "clear expects 'output' or 'unit'");
+    } else if (cmd == "declassify") {
+      freeze(lineno);
+      want(t, 3, lineno, "declassify DEVICE CLASS");
+      spec.policy_->declassify_output(t[1], tag_of(t[2], lineno));
+    } else if (cmd == "exec") {
+      freeze(lineno);
+      want(t, 3, lineno, "exec fetch|branch|memaddr CLASS");
+      const Tag tag = tag_of(t[2], lineno);
+      if (t[1] == "fetch") exec.fetch = tag;
+      else if (t[1] == "branch") exec.branch = tag;
+      else if (t[1] == "memaddr") exec.mem_addr = tag;
+      else throw PolicyParseError(lineno, "exec expects fetch|branch|memaddr");
+      exec_touched = true;
+    } else if (cmd == "protect") {
+      freeze(lineno);
+      want(t, 4, lineno, "protect ADDR SIZE CLASS");
+      const auto base = parse_address(t[1], lineno, symbols);
+      const auto size = parse_address(t[2], lineno, symbols);
+      spec.policy_->protect_store(base, size, tag_of(t[3], lineno));
+    } else {
+      throw PolicyParseError(lineno, "unknown directive: " + cmd);
+    }
+  }
+
+  freeze(lineno);  // lattice-only specs are valid too
+  if (exec_touched) spec.policy_->set_execution_clearance(exec);
+  return spec;
+}
+
+}  // namespace vpdift::dift

@@ -1,0 +1,75 @@
+// Text format for security policies.
+//
+// Lets an engineer keep the security policy next to the firmware instead of
+// in C++ — the early-policy-development workflow the paper advocates. The
+// format is line-oriented ('#' starts a comment). Lattice lines come first,
+// policy lines after; addresses may reference firmware symbols:
+//
+//   # lattice
+//   class LC
+//   class HC
+//   flow LC -> HC
+//   declass HC -> LC
+//
+//   # policy
+//   classify memory $secret 16 HC
+//   classify input uart0.rx LC
+//   clear output uart0.tx LC
+//   clear unit aes0 HC
+//   declassify aes0 LC
+//   exec fetch LC
+//   exec branch LC
+//   exec memaddr LC
+//   protect $secret 16 HC
+//
+// Addresses are hex (0x...), decimal, or `$symbol` / `$symbol+offset` looked
+// up in the symbol table passed to parse().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "dift/lattice.hpp"
+#include "dift/policy.hpp"
+
+namespace vpdift::dift {
+
+class PolicyParseError : public std::runtime_error {
+ public:
+  PolicyParseError(std::size_t line, const std::string& message)
+      : std::runtime_error("policy line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// A parsed lattice + policy pair (the policy references the lattice, so the
+/// two are owned together; move-only).
+class PolicySpec {
+ public:
+  /// Parses `text`; `symbols` resolves `$name` address references (pass a
+  /// Program's symbol map). Throws PolicyParseError with the line number.
+  static PolicySpec parse(
+      std::string_view text,
+      const std::map<std::string, std::uint64_t>* symbols = nullptr);
+
+  PolicySpec(PolicySpec&&) = default;
+  PolicySpec& operator=(PolicySpec&&) = default;
+
+  const Lattice& lattice() const { return *lattice_; }
+  SecurityPolicy& policy() { return *policy_; }
+  const SecurityPolicy& policy() const { return *policy_; }
+
+ private:
+  PolicySpec() = default;
+  std::unique_ptr<Lattice> lattice_;
+  std::unique_ptr<SecurityPolicy> policy_;
+};
+
+}  // namespace vpdift::dift

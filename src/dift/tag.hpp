@@ -1,0 +1,23 @@
+// Security-class tags for the DIFT engine.
+//
+// A Tag is a compact integer handle that identifies one security class of the
+// active Information Flow Policy (IFP) lattice (see lattice.hpp). Tag value 0
+// is, by convention, the first class registered with Lattice::Builder and is
+// used as the default ("unclassified") tag of freshly constructed data.
+#pragma once
+
+#include <cstdint>
+
+namespace vpdift::dift {
+
+/// Handle for one security class of the active IFP lattice.
+using Tag = std::uint8_t;
+
+/// Tag carried by data that was never explicitly classified.
+inline constexpr Tag kBottomTag = 0;
+
+/// Upper bound on the number of security classes a Lattice may hold
+/// (tags must fit a Tag and we reserve nothing).
+inline constexpr std::size_t kMaxClasses = 256;
+
+}  // namespace vpdift::dift

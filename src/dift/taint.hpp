@@ -1,0 +1,159 @@
+// The Taint<T> data type (Fig. 3 of the paper).
+//
+// Taint<T> pairs a value of type T with the Tag of its security class.
+// Operator overloading makes tainted values drop-in replacements for plain
+// integers inside the VP: `regs[rd] = regs[rs1] + regs[rs2]` performs the
+// RISC-V addition AND combines the operand tags with the IFP's least upper
+// bound. Conversion back to a plain T is clearance-checked, so VP model code
+// (peripherals) cannot accidentally strip a classification.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "dift/context.hpp"
+#include "dift/tag.hpp"
+#include "dift/violation.hpp"
+
+namespace vpdift::dift {
+
+template <typename T>
+class Taint {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  constexpr Taint() = default;
+  /// Implicit from a plain value: literals and untainted data carry kBottomTag.
+  constexpr Taint(T value) : value_(value) {}  // NOLINT(google-explicit-constructor)
+  constexpr Taint(T value, Tag tag) : value_(value), tag_(tag) {}
+
+  /// Unchecked access for trusted simulator internals (the ISS itself).
+  constexpr T value() const { return value_; }
+  constexpr Tag tag() const { return tag_; }
+  void set_tag(Tag tag) { tag_ = tag; }
+
+  /// Checked implicit conversion: only data cleared for the context's
+  /// conversion clearance may silently become a plain T (paper, Fig. 4
+  /// discussion: "requires by default a low confidentiality tag").
+  operator T() const {  // NOLINT(google-explicit-constructor)
+    const Tag required =
+        DiftContext::active() ? DiftContext::active()->conversion_clearance : kBottomTag;
+    check_clearance(required);
+    return value_;
+  }
+
+  /// Checked read against an explicit clearance.
+  T expect(Tag required_clearance) const {
+    check_clearance(required_clearance);
+    return value_;
+  }
+
+  /// Raises kConversion unless this datum may flow to `required_tag`.
+  void check_clearance(Tag required_tag) const {
+    if (tag_ == required_tag) return;  // fast path; reflexive flow always allowed
+    check_flow(tag_, required_tag, ViolationKind::kConversion);
+  }
+
+  /// Serialises into `sizeof(T)` tainted bytes (for TLM payloads).
+  void to_bytes(Taint<std::uint8_t>* bytes) const {
+    std::uint8_t raw[sizeof(T)];
+    std::memcpy(raw, &value_, sizeof(T));
+    for (std::size_t i = 0; i < sizeof(T); ++i) bytes[i] = Taint<std::uint8_t>(raw[i], tag_);
+  }
+
+  /// Deserialises from `sizeof(T)` tainted bytes; the resulting tag is the
+  /// LUB of all byte tags.
+  void from_bytes(const Taint<std::uint8_t>* bytes) {
+    std::uint8_t raw[sizeof(T)];
+    Tag t = bytes[0].tag();
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      raw[i] = bytes[i].value();
+      t = lub(t, bytes[i].tag());
+    }
+    std::memcpy(&value_, raw, sizeof(T));
+    tag_ = t;
+  }
+
+  // ---- arithmetic / bitwise operators: value op + tag LUB ----
+  // Overloads for (Taint, Taint), (Taint, T) and (T, Taint) are all provided
+  // explicitly so that mixed expressions resolve here instead of being
+  // ambiguous with the built-in operators via the checked conversion above.
+
+#define VPDIFT_BINOP(op)                                                    \
+  friend constexpr Taint operator op(const Taint& a, const Taint& b) {     \
+    return Taint(static_cast<T>(a.value_ op b.value_), lub(a.tag_, b.tag_)); \
+  }                                                                         \
+  friend constexpr Taint operator op(const Taint& a, T b) {                \
+    return Taint(static_cast<T>(a.value_ op b), a.tag_);                   \
+  }                                                                         \
+  friend constexpr Taint operator op(T a, const Taint& b) {                \
+    return Taint(static_cast<T>(a op b.value_), b.tag_);                   \
+  }
+
+  VPDIFT_BINOP(+)
+  VPDIFT_BINOP(-)
+  VPDIFT_BINOP(*)
+  VPDIFT_BINOP(/)
+  VPDIFT_BINOP(%)
+  VPDIFT_BINOP(&)
+  VPDIFT_BINOP(|)
+  VPDIFT_BINOP(^)
+  VPDIFT_BINOP(<<)
+  VPDIFT_BINOP(>>)
+#undef VPDIFT_BINOP
+
+  constexpr Taint operator~() const { return Taint(static_cast<T>(~value_), tag_); }
+  constexpr Taint operator-() const { return Taint(static_cast<T>(-value_), tag_); }
+
+  Taint& operator+=(const Taint& o) { return *this = *this + o; }
+  Taint& operator-=(const Taint& o) { return *this = *this - o; }
+  Taint& operator*=(const Taint& o) { return *this = *this * o; }
+  Taint& operator&=(const Taint& o) { return *this = *this & o; }
+  Taint& operator|=(const Taint& o) { return *this = *this | o; }
+  Taint& operator^=(const Taint& o) { return *this = *this ^ o; }
+  Taint& operator<<=(const Taint& o) { return *this = *this << o; }
+  Taint& operator>>=(const Taint& o) { return *this = *this >> o; }
+  Taint& operator++() { value_ = static_cast<T>(value_ + 1); return *this; }
+  Taint& operator--() { value_ = static_cast<T>(value_ - 1); return *this; }
+
+  // ---- comparisons: tainted booleans ----
+  // The result's tag records that the outcome depends on both operands; the
+  // implicit Taint<bool> -> bool conversion is clearance-checked, so VP model
+  // code branching on classified data trips the engine just like embedded SW.
+
+#define VPDIFT_CMPOP(op)                                                         \
+  friend constexpr Taint<bool> operator op(const Taint& a, const Taint& b) {    \
+    return Taint<bool>(a.value_ op b.value_, lub(a.tag_, b.tag_));              \
+  }                                                                              \
+  friend constexpr Taint<bool> operator op(const Taint& a, T b) {               \
+    return Taint<bool>(a.value_ op b, a.tag_);                                  \
+  }                                                                              \
+  friend constexpr Taint<bool> operator op(T a, const Taint& b) {               \
+    return Taint<bool>(a op b.value_, b.tag_);                                  \
+  }
+
+  VPDIFT_CMPOP(==)
+  VPDIFT_CMPOP(!=)
+  VPDIFT_CMPOP(<)
+  VPDIFT_CMPOP(<=)
+  VPDIFT_CMPOP(>)
+  VPDIFT_CMPOP(>=)
+#undef VPDIFT_CMPOP
+
+ private:
+  T value_{};
+  Tag tag_{kBottomTag};
+};
+
+/// A single tainted byte — the unit TLM payloads are expressed in.
+using TaintedByte = Taint<std::uint8_t>;
+static_assert(sizeof(TaintedByte) == 2);
+
+/// Re-tag helper preserving the value (used by declassification).
+template <typename T>
+Taint<T> retag(const Taint<T>& v, Tag tag) {
+  return Taint<T>(v.value(), tag);
+}
+
+}  // namespace vpdift::dift

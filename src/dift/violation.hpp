@@ -1,0 +1,59 @@
+// Security-policy violation reporting.
+//
+// Every run-time check of the DIFT engine (output clearance, execution
+// clearance, store clearance, checked conversions, declassification rights)
+// raises a PolicyViolation when the active IFP forbids the observed flow.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "dift/tag.hpp"
+
+namespace vpdift::dift {
+
+/// Which check detected the forbidden flow.
+enum class ViolationKind : std::uint8_t {
+  kOutputClearance,   ///< data left the system through an interface lacking clearance
+  kFetchClearance,    ///< instruction-fetch unit fetched insufficiently cleared code
+  kBranchClearance,   ///< branch/jump/trap-vector condition or target too classified
+  kMemAddrClearance,  ///< memory access with an insufficiently cleared address
+  kStoreClearance,    ///< store into an integrity-protected memory region
+  kConversion,        ///< checked Taint<T> -> T conversion without clearance
+  kDeclassification,  ///< declassification attempted without the right/edge
+  kExecUnitClearance, ///< an execution unit (e.g. AES engine) processed data above its clearance
+};
+
+/// Human-readable name of a ViolationKind.
+const char* to_string(ViolationKind kind);
+
+/// Thrown (or captured, see vp::RunResult) when the security policy is violated.
+class PolicyViolation : public std::runtime_error {
+ public:
+  PolicyViolation(ViolationKind kind, Tag source, Tag required,
+                  std::uint64_t pc = 0, std::uint64_t address = 0,
+                  std::string where = {});
+
+  ViolationKind kind() const { return kind_; }
+  /// Security class of the offending data.
+  Tag source() const { return source_; }
+  /// Clearance the flow was checked against.
+  Tag required() const { return required_; }
+  /// Program counter of the embedded binary at detection time (0 if n/a).
+  std::uint64_t pc() const { return pc_; }
+  /// Bus address involved in the violation (0 if n/a).
+  std::uint64_t address() const { return address_; }
+  /// Component that raised the violation (e.g. "uart0", "core.fetch").
+  const std::string& where() const { return where_; }
+
+ private:
+  ViolationKind kind_;
+  Tag source_;
+  Tag required_;
+  std::uint64_t pc_;
+  std::uint64_t address_;
+  std::string where_;
+};
+
+}  // namespace vpdift::dift

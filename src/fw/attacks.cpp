@@ -1,0 +1,478 @@
+#include "fw/attacks.hpp"
+
+#include <stdexcept>
+
+#include "fw/hal.hpp"
+#include "rvasm/assembler.hpp"
+#include "soc/addrmap.hpp"
+
+namespace vpdift::fw {
+
+using namespace rvasm::reg;
+using rvasm::Assembler;
+
+namespace {
+
+// sp as seen by the vulnerable function: crt0 sets sp to the stack top, main
+// pushes a 16-byte frame before calling vuln.
+constexpr std::uint32_t kSpAtVuln = kDefaultStackTop - 16;
+
+void put_u32le(std::string& s, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) s.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+/// Common epilogue of every attack image: benign function, the LI-classified
+/// "malicious" payload, stdlib, and data labels.
+void emit_attack_tail(Assembler& a) {
+  a.label("benign_func");
+  a.li(t0, mmio::kSysMark);
+  a.li(t1, 'b');
+  a.sb(t1, t0, 0);
+  a.ret();
+
+  a.align(4);
+  a.label("attack_payload");
+  a.li(t0, mmio::kSysMark);
+  a.li(t1, 'X');  // "malicious payload executed"
+  a.sb(t1, t0, 0);
+  a.li(a0, 42);
+  a.j("exit");
+  a.label("attack_payload_end");
+
+  emit_stdlib(a);
+
+  a.align(8);
+  a.label("tmp4");
+  a.zero_fill(4);
+  a.label("dummy_word");
+  a.zero_fill(4);
+}
+
+/// Emits `call uart_getc; read that many bytes into base+offset`.
+/// base == sp reads into the stack frame; otherwise into the label `buf`.
+void emit_overflow_read_sp(Assembler& a) {
+  a.call("uart_getc");
+  a.mv(a1, a0);
+  a.mv(a0, sp);
+  a.call("uart_read_n");
+}
+
+void emit_overflow_read_label(Assembler& a, const std::string& label) {
+  a.call("uart_getc");
+  a.mv(a1, a0);
+  a.la(a0, label);
+  a.call("uart_read_n");
+}
+
+/// Emits the second stage of an indirect attack: read 4 bytes into tmp4 and
+/// store them through the pointer found at offset(sp).
+void emit_indirect_write(Assembler& a, int ptr_offset) {
+  a.la(a0, "tmp4");
+  a.li(a1, 4);
+  a.call("uart_read_n");
+  a.la(t0, "tmp4");
+  a.lw(t1, t0, 0);
+  a.lw(t2, sp, ptr_offset);
+  a.sw(t1, t2, 0);
+}
+
+void emit_main_calling(Assembler& a, const char* vuln,
+                       bool pass_benign_fnptr = false) {
+  a.label("main");
+  a.addi(sp, sp, -16);
+  a.sw(ra, sp, 12);
+  if (pass_benign_fnptr) a.la(a0, "benign_func");
+  a.call(vuln);
+  a.li(a0, 0);
+  a.lw(ra, sp, 12);
+  a.addi(sp, sp, 16);
+  a.ret();
+}
+
+std::string filler(std::size_t n) { return std::string(n, 'A'); }
+
+}  // namespace
+
+const std::array<AttackSpec, 18>& attack_specs() {
+  static const std::array<AttackSpec, 18> specs = {{
+      {1, "Stack", "Function Pointer (param)", "Direct", false,
+       "parameter passed in a register (RISC-V calling convention): not "
+       "reachable by a contiguous stack overflow"},
+      {2, "Stack", "Longjmp Buffer (param)", "Direct", false,
+       "parameter passed in a register (RISC-V calling convention)"},
+      {3, "Stack", "Return Address", "Direct", true, ""},
+      {4, "Stack", "Base Pointer", "Direct", false,
+       "RISC-V ABI does not maintain a saved base/frame pointer chain"},
+      {5, "Stack", "Function Pointer (local)", "Direct", true, ""},
+      {6, "Stack", "Longjmp Buffer", "Direct", true, ""},
+      {7, "Heap/BSS/Data", "Function Pointer", "Direct", true, ""},
+      {8, "Heap/BSS/Data", "Longjmp Buffer", "Direct", false,
+       "longjmp buffer not adjacent to an overflowable buffer in the RISC-V "
+       "port of the suite"},
+      {9, "Stack", "Function Pointer (param)", "Indirect", true, ""},
+      {10, "Stack", "Longjump Buffer (param)", "Indirect", true, ""},
+      {11, "Stack", "Return Address", "Indirect", true, ""},
+      {12, "Stack", "Base Pointer", "Indirect", false,
+       "RISC-V ABI does not maintain a saved base/frame pointer chain"},
+      {13, "Stack", "Function Pointer (local)", "Indirect", true, ""},
+      {14, "Stack", "Longjmp Buffer", "Indirect", true, ""},
+      {15, "Heap/BSS/Data", "Return Address", "Indirect", false,
+       "return address is a stack-resident datum; the heap variant does not "
+       "apply under the RISC-V calling convention"},
+      {16, "Heap/BSS/Data", "Base Pointer", "Indirect", false,
+       "RISC-V ABI does not maintain a saved base/frame pointer chain"},
+      {17, "Heap/BSS/Data", "Function Pointer (local)", "Indirect", true, ""},
+      {18, "Heap/BSS/Data", "Longjmp Buffer", "Indirect", false,
+       "longjmp buffer not reachable in the RISC-V port of the suite"},
+  }};
+  return specs;
+}
+
+AttackCase make_attack(int id) {
+  const AttackSpec& spec = attack_specs().at(static_cast<std::size_t>(id - 1));
+  if (!spec.applicable)
+    throw std::invalid_argument("attack " + std::to_string(id) +
+                                " is N/A on RISC-V: " + spec.note);
+
+  Assembler a(soc::addrmap::kRamBase);
+  emit_crt0(a);
+  std::string input;
+
+  switch (id) {
+    case 3: {
+      // Stack / return address / direct: 16-byte buffer at sp+0, saved ra at
+      // sp+28; a 32-byte overflow rewrites it.
+      emit_main_calling(a, "vuln");
+      a.label("vuln");
+      a.addi(sp, sp, -32);
+      a.sw(ra, sp, 28);
+      emit_overflow_read_sp(a);
+      a.lw(ra, sp, 28);
+      a.addi(sp, sp, 32);
+      a.ret();  // jumps to the payload
+      emit_attack_tail(a);
+      break;
+    }
+    case 5: {
+      // Stack / local function pointer / direct: fnptr at sp+16 after the
+      // buffer; 20-byte overflow rewrites it, then it is called.
+      emit_main_calling(a, "vuln");
+      a.label("vuln");
+      a.addi(sp, sp, -32);
+      a.sw(ra, sp, 28);
+      a.la(t0, "benign_func");
+      a.sw(t0, sp, 16);
+      emit_overflow_read_sp(a);
+      a.lw(t1, sp, 16);
+      a.jalr(ra, t1, 0);
+      a.lw(ra, sp, 28);
+      a.addi(sp, sp, 32);
+      a.ret();
+      emit_attack_tail(a);
+      break;
+    }
+    case 6: {
+      // Stack / longjmp buffer / direct: jmp_buf {pc, sp} at sp+16; the
+      // overflow rewrites jb.pc; longjmp dispatches to it.
+      emit_main_calling(a, "vuln");
+      a.label("vuln");
+      a.addi(sp, sp, -48);
+      a.sw(ra, sp, 44);
+      a.la(t0, "lj_cont");  // setjmp
+      a.sw(t0, sp, 16);
+      a.sw(sp, sp, 20);
+      emit_overflow_read_sp(a);
+      a.lw(t0, sp, 16);  // longjmp
+      a.lw(t1, sp, 20);
+      a.mv(sp, t1);
+      a.jr(t0);
+      a.label("lj_cont");
+      a.lw(ra, sp, 44);
+      a.addi(sp, sp, 48);
+      a.ret();
+      emit_attack_tail(a);
+      break;
+    }
+    case 7: {
+      // Heap/BSS/Data / function pointer / direct: global fnptr right after
+      // a global buffer.
+      emit_main_calling(a, "vuln");
+      a.label("vuln");
+      a.addi(sp, sp, -16);
+      a.sw(ra, sp, 12);
+      emit_overflow_read_label(a, "gbuf");
+      a.la(t0, "gfnptr");
+      a.lw(t1, t0, 0);
+      a.jalr(ra, t1, 0);
+      a.lw(ra, sp, 12);
+      a.addi(sp, sp, 16);
+      a.ret();
+      emit_attack_tail(a);
+      a.label("gbuf");
+      a.zero_fill(16);
+      a.label("gfnptr");
+      a.word_of("benign_func");
+      break;
+    }
+    case 9: {
+      // Stack / function pointer (param) / indirect: the register-passed
+      // fnptr parameter is spilled to sp+32 (as an -O0 compiler does); the
+      // overflow rewrites a pointer variable at sp+16 to address that spill
+      // slot, and a second attacker-controlled write lands the payload
+      // address there before the call.
+      emit_main_calling(a, "vuln", /*pass_benign_fnptr=*/true);
+      a.label("vuln");
+      a.addi(sp, sp, -48);
+      a.sw(ra, sp, 44);
+      a.sw(a0, sp, 32);  // spill the fnptr parameter
+      a.la(t0, "dummy_word");
+      a.sw(t0, sp, 16);  // pointer variable after the buffer
+      emit_overflow_read_sp(a);
+      emit_indirect_write(a, 16);
+      a.lw(t3, sp, 32);
+      a.jalr(ra, t3, 0);
+      a.lw(ra, sp, 44);
+      a.addi(sp, sp, 48);
+      a.ret();
+      emit_attack_tail(a);
+      break;
+    }
+    case 10: {
+      // Stack / longjmp buffer (param) / indirect: jmp_buf passed by
+      // reference; the overflow redirects the pointer variable at g_jb.pc,
+      // the indirect write stores the payload address, longjmp dispatches.
+      a.label("main");
+      a.addi(sp, sp, -16);
+      a.sw(ra, sp, 12);
+      a.la(t0, "g_jb");  // setjmp(g_jb)
+      a.la(t1, "lj_cont");
+      a.sw(t1, t0, 0);
+      a.sw(sp, t0, 4);
+      a.la(a0, "g_jb");
+      a.call("vuln");
+      a.label("lj_cont");
+      a.li(a0, 0);
+      a.lw(ra, sp, 12);
+      a.addi(sp, sp, 16);
+      a.ret();
+      a.label("vuln");
+      a.addi(sp, sp, -48);
+      a.sw(ra, sp, 44);
+      a.sw(a0, sp, 32);  // spill the jmp_buf pointer
+      a.la(t0, "dummy_word");
+      a.sw(t0, sp, 16);
+      emit_overflow_read_sp(a);
+      emit_indirect_write(a, 16);
+      a.lw(t0, sp, 32);  // longjmp(param)
+      a.lw(t1, t0, 0);
+      a.lw(t2, t0, 4);
+      a.mv(sp, t2);
+      a.jr(t1);
+      emit_attack_tail(a);
+      a.label("g_jb");
+      a.zero_fill(8);
+      break;
+    }
+    case 11: {
+      // Stack / return address / indirect.
+      emit_main_calling(a, "vuln");
+      a.label("vuln");
+      a.addi(sp, sp, -48);
+      a.sw(ra, sp, 44);
+      a.la(t0, "dummy_word");
+      a.sw(t0, sp, 16);
+      emit_overflow_read_sp(a);
+      emit_indirect_write(a, 16);
+      a.lw(ra, sp, 44);
+      a.addi(sp, sp, 48);
+      a.ret();
+      emit_attack_tail(a);
+      break;
+    }
+    case 13: {
+      // Stack / function pointer (local) / indirect.
+      emit_main_calling(a, "vuln");
+      a.label("vuln");
+      a.addi(sp, sp, -48);
+      a.sw(ra, sp, 44);
+      a.la(t0, "benign_func");
+      a.sw(t0, sp, 32);  // local fnptr
+      a.la(t0, "dummy_word");
+      a.sw(t0, sp, 16);  // pointer variable
+      emit_overflow_read_sp(a);
+      emit_indirect_write(a, 16);
+      a.lw(t3, sp, 32);
+      a.jalr(ra, t3, 0);
+      a.lw(ra, sp, 44);
+      a.addi(sp, sp, 48);
+      a.ret();
+      emit_attack_tail(a);
+      break;
+    }
+    case 14: {
+      // Stack / longjmp buffer (local) / indirect.
+      emit_main_calling(a, "vuln");
+      a.label("vuln");
+      a.addi(sp, sp, -64);
+      a.sw(ra, sp, 60);
+      a.la(t0, "lj_cont");  // setjmp into the local jmp_buf at sp+32
+      a.sw(t0, sp, 32);
+      a.sw(sp, sp, 36);
+      a.la(t0, "dummy_word");
+      a.sw(t0, sp, 16);
+      emit_overflow_read_sp(a);
+      emit_indirect_write(a, 16);
+      a.lw(t1, sp, 32);  // longjmp(local jb)
+      a.lw(t2, sp, 36);
+      a.mv(sp, t2);
+      a.jr(t1);
+      a.label("lj_cont");
+      a.lw(ra, sp, 60);
+      a.addi(sp, sp, 64);
+      a.ret();
+      emit_attack_tail(a);
+      break;
+    }
+    case 17: {
+      // Heap/BSS/Data / function pointer / indirect: global buffer, then a
+      // global pointer variable the overflow retargets at a global fnptr.
+      emit_main_calling(a, "vuln");
+      a.label("vuln");
+      a.addi(sp, sp, -16);
+      a.sw(ra, sp, 12);
+      emit_overflow_read_label(a, "gbuf");
+      a.la(a0, "tmp4");  // indirect write through the global pointer
+      a.li(a1, 4);
+      a.call("uart_read_n");
+      a.la(t0, "tmp4");
+      a.lw(t1, t0, 0);
+      a.la(t0, "gptr");
+      a.lw(t2, t0, 0);
+      a.sw(t1, t2, 0);
+      a.la(t0, "gfnptr");
+      a.lw(t3, t0, 0);
+      a.jalr(ra, t3, 0);
+      a.lw(ra, sp, 12);
+      a.addi(sp, sp, 16);
+      a.ret();
+      emit_attack_tail(a);
+      a.label("gbuf");
+      a.zero_fill(16);
+      a.label("gptr");
+      a.word_of("dummy_word");
+      a.label("gfnptr");
+      a.word_of("benign_func");
+      break;
+    }
+    default:
+      throw std::logic_error("unhandled applicable attack id");
+  }
+
+  a.entry("_start");
+  rvasm::Program program = a.assemble();
+  const auto payload = static_cast<std::uint32_t>(program.symbol("attack_payload"));
+
+  // Attacker input per attack shape.
+  switch (id) {
+    case 3:
+      input.push_back(32);
+      input += filler(28);
+      put_u32le(input, payload);
+      break;
+    case 5:
+    case 6:
+      input.push_back(20);
+      input += filler(16);
+      put_u32le(input, payload);
+      break;
+    case 7:
+      input.push_back(20);
+      input += filler(16);
+      put_u32le(input, payload);
+      break;
+    case 9: {
+      input.push_back(20);
+      input += filler(16);
+      put_u32le(input, kSpAtVuln - 48 + 32);  // -> fnptr spill slot
+      put_u32le(input, payload);
+      break;
+    }
+    case 10: {
+      input.push_back(20);
+      input += filler(16);
+      put_u32le(input, static_cast<std::uint32_t>(program.symbol("g_jb")));
+      put_u32le(input, payload);
+      break;
+    }
+    case 11: {
+      input.push_back(20);
+      input += filler(16);
+      put_u32le(input, kSpAtVuln - 48 + 44);  // -> saved ra slot
+      put_u32le(input, payload);
+      break;
+    }
+    case 13: {
+      input.push_back(20);
+      input += filler(16);
+      put_u32le(input, kSpAtVuln - 48 + 32);  // -> local fnptr slot
+      put_u32le(input, payload);
+      break;
+    }
+    case 14: {
+      input.push_back(20);
+      input += filler(16);
+      put_u32le(input, kSpAtVuln - 64 + 32);  // -> local jb.pc
+      put_u32le(input, payload);
+      break;
+    }
+    case 17: {
+      input.push_back(20);  // 16 buffer bytes + 4 overwriting gptr
+      input += filler(16);
+      put_u32le(input, static_cast<std::uint32_t>(program.symbol("gfnptr")));
+      put_u32le(input, payload);
+      break;
+    }
+    default:
+      break;
+  }
+
+  return AttackCase{spec, std::move(program), std::move(input)};
+}
+
+AttackCase make_code_reuse_attack() {
+  Assembler a(soc::addrmap::kRamBase);
+  emit_crt0(a);
+  // Same vulnerable shape as attack #3 (stack buffer, saved ra at sp+28).
+  emit_main_calling(a, "vuln");
+  a.label("vuln");
+  a.addi(sp, sp, -32);
+  a.sw(ra, sp, 28);
+  emit_overflow_read_sp(a);
+  a.lw(ra, sp, 28);
+  a.addi(sp, sp, 32);
+  a.ret();  // returns into privileged_action
+  // The privileged function the attacker re-uses; part of the trusted image.
+  a.label("privileged_action");
+  a.li(t0, mmio::kSysMark);
+  a.li(t1, 'P');
+  a.sb(t1, t0, 0);
+  a.li(a0, 43);
+  a.j("exit");
+  emit_attack_tail(a);
+  a.entry("_start");
+  rvasm::Program program = a.assemble();
+
+  std::string input;
+  input.push_back(32);
+  input += filler(28);
+  put_u32le(input,
+            static_cast<std::uint32_t>(program.symbol("privileged_action")));
+
+  AttackCase c;
+  c.spec = {19, "Stack", "Return Address (code reuse)", "Direct", true, ""};
+  c.program = std::move(program);
+  c.uart_input = std::move(input);
+  return c;
+}
+
+}  // namespace vpdift::fw

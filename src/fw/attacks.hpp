@@ -1,0 +1,57 @@
+// Wilander-Kamkar buffer-overflow attack suite, RISC-V port (Table I).
+//
+// Each applicable attack is a small firmware image with a deliberately
+// vulnerable function. The attacker input (fed through the UART and thus
+// classified LI by the code-injection policy) overflows a buffer to clobber
+// a control datum — return address, function pointer (parameter or local) or
+// longjmp buffer — either directly (contiguous overflow) or indirectly
+// (overflow clobbers a pointer which is then used to write the target).
+// Control eventually transfers to `attack_payload`, a function the policy
+// classifies LI (the paper's stand-in for injected code): the instruction
+// fetch unit's HI clearance then raises the violation.
+//
+// Non-applicable attacks (N/A in Table I) are structural consequences of the
+// RISC-V port (register-passed parameters, no frame pointer, layout of the
+// heap port) and carry an explanatory note instead of a program.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "rvasm/program.hpp"
+
+namespace vpdift::fw {
+
+struct AttackSpec {
+  int id;                  // 1..18, row number in Table I
+  const char* location;    // "Stack" or "Heap/BSS/Data"
+  const char* target;      // clobbered control datum
+  const char* technique;   // "Direct" or "Indirect"
+  bool applicable;         // false => N/A row
+  const char* note;        // reason for N/A ("" otherwise)
+};
+
+/// The 18 rows of Table I.
+const std::array<AttackSpec, 18>& attack_specs();
+
+struct AttackCase {
+  AttackSpec spec;
+  rvasm::Program program;
+  std::string uart_input;  ///< attacker bytes to feed into the UART
+};
+
+/// Builds the firmware + attacker input for attack `id` (1..18).
+/// Throws std::invalid_argument for N/A rows.
+AttackCase make_attack(int id);
+
+/// Code-reuse attack (paper §V-B2b: "an attacker might be able to ... inject
+/// malicious code by re-using trusted code"). The overflow of attack #3
+/// redirects the return address at an existing *trusted* (HI) function
+/// `privileged_action` instead of injected code. The HI fetch clearance
+/// cannot catch this — all executed code is trusted — but a branch clearance
+/// does: the jump target itself is LI attacker data. `privileged_action`
+/// writes marker 'P' and exits 43 when reached.
+AttackCase make_code_reuse_attack();
+
+}  // namespace vpdift::fw

@@ -1,0 +1,165 @@
+#include "fw/benchmarks.hpp"
+
+#include "fw/hal.hpp"
+#include "fw/host_ref.hpp"
+#include "rvasm/assembler.hpp"
+#include "soc/addrmap.hpp"
+
+namespace vpdift::fw {
+
+using namespace rvasm::reg;
+using rvasm::Assembler;
+
+rvasm::Program make_primes(std::uint32_t limit) {
+  Assembler a(soc::addrmap::kRamBase);
+  emit_crt0(a);
+
+  a.label("main");
+  a.li(s0, 2);          // candidate
+  a.li(s1, 0);          // count
+  a.li(s2, limit);
+  a.label("outer");
+  a.bgeu(s0, s2, "count_done");
+  a.li(t0, 2);          // divisor
+  a.label("trial");
+  a.mul(t1, t0, t0);
+  a.bgtu(t1, s0, "is_prime");
+  a.remu(t1, s0, t0);
+  a.beqz(t1, "not_prime");
+  a.addi(t0, t0, 1);
+  a.j("trial");
+  a.label("is_prime");
+  a.addi(s1, s1, 1);
+  a.label("not_prime");
+  a.addi(s0, s0, 1);
+  a.j("outer");
+  a.label("count_done");
+  a.li(t0, count_primes(limit));
+  a.li(a0, 0);
+  a.beq(s1, t0, "main_ret");
+  a.li(a0, 1);
+  a.label("main_ret");
+  a.ret();
+
+  emit_stdlib(a);
+  a.entry("_start");
+  return a.assemble();
+}
+
+rvasm::Program make_qsort(std::uint32_t n, std::uint32_t seed) {
+  Assembler a(soc::addrmap::kRamBase);
+  emit_crt0(a);
+
+  a.label("main");
+  // Fill arr[0..n) from the LCG; accumulate the input checksum in s4.
+  a.la(s0, "arr");
+  a.li(s1, n);
+  a.li(t0, seed);
+  a.li(t3, 1103515245);
+  a.li(t4, 12345);
+  a.li(s3, 0);  // i
+  a.li(s4, 0);  // checksum in
+  a.label("fill");
+  a.bgeu(s3, s1, "fill_done");
+  a.mul(t0, t0, t3);
+  a.add(t0, t0, t4);
+  a.slli(t2, s3, 2);
+  a.add(t2, t2, s0);
+  a.sw(t0, t2, 0);
+  a.add(s4, s4, t0);
+  a.addi(s3, s3, 1);
+  a.j("fill");
+  a.label("fill_done");
+
+  // Iterative quicksort with an explicit (lo, hi) work stack.
+  a.la(s8, "qstack");  // stack base
+  a.mv(s5, s8);        // stack pointer
+  a.sw(zero, s5, 0);   // push (0, n-1)
+  a.addi(t0, s1, -1);
+  a.sw(t0, s5, 4);
+  a.addi(s5, s5, 8);
+  a.label("qs_loop");
+  a.beq(s5, s8, "verify");
+  a.addi(s5, s5, -8);
+  a.lw(s2, s5, 0);  // lo
+  a.lw(s3, s5, 4);  // hi
+  a.bge(s2, s3, "qs_loop");
+  // partition: pivot = arr[hi]
+  a.slli(t0, s3, 2);
+  a.add(t0, t0, s0);
+  a.lw(t5, t0, 0);    // pivot
+  a.addi(t6, s2, -1); // i
+  a.mv(s7, s2);       // j
+  a.label("part");
+  a.bge(s7, s3, "part_done");
+  a.slli(t0, s7, 2);
+  a.add(t0, t0, s0);
+  a.lw(t1, t0, 0);  // arr[j]
+  a.bgtu(t1, t5, "no_swap");
+  a.addi(t6, t6, 1);
+  a.slli(t2, t6, 2);
+  a.add(t2, t2, s0);
+  a.lw(t3, t2, 0);  // arr[i]
+  a.sw(t1, t2, 0);
+  a.sw(t3, t0, 0);
+  a.label("no_swap");
+  a.addi(s7, s7, 1);
+  a.j("part");
+  a.label("part_done");
+  a.addi(t6, t6, 1);  // p = i + 1
+  a.slli(t0, t6, 2);
+  a.add(t0, t0, s0);
+  a.lw(t1, t0, 0);  // arr[p]
+  a.slli(t2, s3, 2);
+  a.add(t2, t2, s0);
+  a.lw(t3, t2, 0);  // arr[hi]
+  a.sw(t3, t0, 0);
+  a.sw(t1, t2, 0);
+  // push (lo, p-1) and (p+1, hi)
+  a.sw(s2, s5, 0);
+  a.addi(t0, t6, -1);
+  a.sw(t0, s5, 4);
+  a.addi(s5, s5, 8);
+  a.addi(t0, t6, 1);
+  a.sw(t0, s5, 0);
+  a.sw(s3, s5, 4);
+  a.addi(s5, s5, 8);
+  a.j("qs_loop");
+
+  // Verify ascending order and unchanged checksum.
+  a.label("verify");
+  a.li(s3, 0);   // i
+  a.li(t4, 0);   // prev (unsigned min)
+  a.li(s6, 0);   // checksum out
+  a.label("verify_loop");
+  a.bgeu(s3, s1, "verify_done");
+  a.slli(t0, s3, 2);
+  a.add(t0, t0, s0);
+  a.lw(t1, t0, 0);
+  a.bltu(t1, t4, "fail_order");
+  a.mv(t4, t1);
+  a.add(s6, s6, t1);
+  a.addi(s3, s3, 1);
+  a.j("verify_loop");
+  a.label("verify_done");
+  a.li(a0, 0);
+  a.beq(s6, s4, "main_ret");
+  a.li(a0, 2);  // checksum mismatch
+  a.label("main_ret");
+  a.ret();
+  a.label("fail_order");
+  a.li(a0, 1);  // not sorted
+  a.ret();
+
+  emit_stdlib(a);
+
+  a.align(8);
+  a.label("arr");
+  a.zero_fill(4ull * n);
+  a.label("qstack");
+  a.zero_fill(8ull * (2 * n + 64));
+  a.entry("_start");
+  return a.assemble();
+}
+
+}  // namespace vpdift::fw

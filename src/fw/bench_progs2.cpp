@@ -1,0 +1,411 @@
+// Benchmark firmware, part 2: dhrystone-style mix and SHA-256.
+#include "fw/benchmarks.hpp"
+#include "fw/hal.hpp"
+#include "fw/host_ref.hpp"
+#include "rvasm/assembler.hpp"
+#include "soc/addrmap.hpp"
+
+namespace vpdift::fw {
+
+using namespace rvasm::reg;
+using rvasm::Assembler;
+
+rvasm::Program make_dhrystone(std::uint32_t iterations) {
+  Assembler a(soc::addrmap::kRamBase);
+  emit_crt0(a);
+
+  // Register plan (mirrors host_ref::dhrystone_checksum):
+  //   s2=int1  s3=int2  s4=chk  s5=i  s6=iterations  s7=strcmp result
+  a.label("main");
+  a.addi(sp, sp, -16);
+  a.sw(ra, sp, 12);
+  a.li(s2, 2);
+  a.li(s3, 3);
+  a.li(s4, 0);
+  a.li(s5, 0);
+  a.li(s6, iterations);
+  a.label("dhry_loop");
+  a.bgeu(s5, s6, "dhry_done");
+  a.call("dhry_proc1");
+  a.call("dhry_strcpy");
+  a.call("dhry_strcmp");
+  a.mv(s7, a0);
+  // proc_2: 4-way select on (int1 ^ i) & 3.
+  a.xor_(t0, s2, s5);
+  a.andi(t0, t0, 3);
+  a.beqz(t0, "sel0");
+  a.li(t1, 1);
+  a.beq(t0, t1, "sel1");
+  a.li(t1, 2);
+  a.beq(t0, t1, "sel2");
+  a.add(t2, s2, s3);
+  a.xor_(s4, s4, t2);
+  a.j("sel_done");
+  a.label("sel0");
+  a.add(s4, s4, s2);
+  a.j("sel_done");
+  a.label("sel1");
+  a.xor_(s4, s4, s3);
+  a.j("sel_done");
+  a.label("sel2");
+  a.add(s4, s4, s5);
+  a.label("sel_done");
+  a.add(s4, s4, s7);
+  a.addi(s5, s5, 1);
+  a.j("dhry_loop");
+  a.label("dhry_done");
+  a.li(t0, dhrystone_checksum(iterations));
+  a.li(a0, 0);
+  a.beq(s4, t0, "dhry_ret");
+  a.li(a0, 1);
+  a.label("dhry_ret");
+  a.lw(ra, sp, 12);
+  a.addi(sp, sp, 16);
+  a.ret();
+
+  // proc1: int1 = int1*5 + int2; int2 += int1 >> 3.
+  a.label("dhry_proc1");
+  a.li(t0, 5);
+  a.mul(s2, s2, t0);
+  a.add(s2, s2, s3);
+  a.srli(t0, s2, 3);
+  a.add(s3, s3, t0);
+  a.ret();
+
+  // strcpy: copy 16 bytes dhry_src -> dhry_dst.
+  a.label("dhry_strcpy");
+  a.la(t0, "dhry_src");
+  a.la(t1, "dhry_dst");
+  a.li(t2, 16);
+  a.label("dhry_strcpy.loop");
+  a.lbu(t3, t0, 0);
+  a.sb(t3, t1, 0);
+  a.addi(t0, t0, 1);
+  a.addi(t1, t1, 1);
+  a.addi(t2, t2, -1);
+  a.bnez(t2, "dhry_strcpy.loop");
+  a.ret();
+
+  // strcmp over 16 bytes: a0 = 1 if equal else 0.
+  a.label("dhry_strcmp");
+  a.la(t0, "dhry_src");
+  a.la(t1, "dhry_dst");
+  a.li(t2, 16);
+  a.li(a0, 1);
+  a.label("dhry_strcmp.loop");
+  a.lbu(t3, t0, 0);
+  a.lbu(t4, t1, 0);
+  a.beq(t3, t4, "dhry_strcmp.next");
+  a.li(a0, 0);
+  a.ret();
+  a.label("dhry_strcmp.next");
+  a.addi(t0, t0, 1);
+  a.addi(t1, t1, 1);
+  a.addi(t2, t2, -1);
+  a.bnez(t2, "dhry_strcmp.loop");
+  a.ret();
+
+  emit_stdlib(a);
+
+  a.align(4);
+  a.label("dhry_src");
+  a.ascii("DHRYSTONE-VPDIFT");
+  a.label("dhry_dst");
+  a.zero_fill(16);
+  a.entry("_start");
+  return a.assemble();
+}
+
+namespace {
+
+constexpr std::uint32_t kShaK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+constexpr std::uint32_t kShaH0[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372,
+                                     0xa54ff53a, 0x510e527f, 0x9b05688c,
+                                     0x1f83d9ab, 0x5be0cd19};
+
+// Emits: dst = src rotated right by n (clobbers tmp).
+void rotr_into(Assembler& a, rvasm::Reg dst, rvasm::Reg src, unsigned n,
+               rvasm::Reg tmp) {
+  a.srli(dst, src, n);
+  a.slli(tmp, src, 32 - n);
+  a.or_(dst, dst, tmp);
+}
+
+}  // namespace
+
+rvasm::Program make_sha256(std::uint32_t msg_len, std::uint32_t rounds) {
+  Assembler a(soc::addrmap::kRamBase);
+  emit_crt0(a);
+
+  a.label("main");
+  a.addi(sp, sp, -16);
+  a.sw(ra, sp, 12);
+  // Fill msg with LCG bytes (x = 0xdeadbeef; b = (x := lcg(x)) >> 16).
+  a.la(t5, "sha_msg");
+  a.li(t6, msg_len);
+  a.li(t0, 0xdeadbeef);
+  a.li(t3, 1103515245);
+  a.li(t4, 12345);
+  a.label("msg_fill");
+  a.beqz(t6, "msg_done");
+  a.mul(t0, t0, t3);
+  a.add(t0, t0, t4);
+  a.srli(t1, t0, 16);
+  a.sb(t1, t5, 0);
+  a.addi(t5, t5, 1);
+  a.addi(t6, t6, -1);
+  a.j("msg_fill");
+  a.label("msg_done");
+  // First hash: sha256(msg, msg_len, digest).
+  a.la(a0, "sha_msg");
+  a.li(a1, msg_len);
+  a.la(a2, "sha_digest");
+  a.call("sha256");
+  // Chain: rounds-1 re-hashes of the digest.
+  a.li(s0, rounds > 0 ? rounds - 1 : 0);
+  a.label("chain");
+  a.beqz(s0, "chain_done");
+  a.la(a0, "sha_digest");
+  a.li(a1, 32);
+  a.la(a2, "sha_digest");
+  a.call("sha256");
+  a.addi(s0, s0, -1);
+  a.j("chain");
+  a.label("chain_done");
+  a.la(t0, "sha_digest");
+  a.lw(t1, t0, 0);  // little-endian word0, as in the host mirror
+  a.li(t2, sha256_chain_word0(msg_len, rounds));
+  a.li(a0, 0);
+  a.beq(t1, t2, "main_ret");
+  a.li(a0, 1);
+  a.label("main_ret");
+  a.lw(ra, sp, 12);
+  a.addi(sp, sp, 16);
+  a.ret();
+
+  // ---- sha256(a0=ptr, a1=len, a2=out) ----
+  a.label("sha256");
+  a.addi(sp, sp, -32);
+  a.sw(ra, sp, 28);
+  a.sw(s0, sp, 24);
+  a.sw(s1, sp, 20);
+  a.sw(s10, sp, 16);
+  a.sw(s11, sp, 12);
+  a.mv(s0, a0);   // cursor
+  a.mv(s1, a1);   // remaining
+  a.mv(s10, a1);  // total length
+  a.mv(s11, a2);  // out
+  // hstate = H0
+  a.la(t0, "sha_hstate");
+  a.la(t1, "sha_h0");
+  for (int i = 0; i < 8; ++i) {
+    a.lw(t2, t1, 4 * i);
+    a.sw(t2, t0, 4 * i);
+  }
+  // Full blocks.
+  a.label("sha_full");
+  a.li(t0, 64);
+  a.bltu(s1, t0, "sha_pad");
+  a.mv(a0, s0);
+  a.call("sha_compress");
+  a.addi(s0, s0, 64);
+  a.addi(s1, s1, -64);
+  a.j("sha_full");
+  // Padding: zero 128-byte padbuf, copy remainder, 0x80, bit length BE.
+  a.label("sha_pad");
+  a.la(t0, "sha_padbuf");
+  for (int i = 0; i < 128; i += 4) a.sw(zero, t0, i);
+  a.mv(t1, s0);
+  a.mv(t2, s1);
+  a.label("sha_pad.copy");
+  a.beqz(t2, "sha_pad.copied");
+  a.lbu(t3, t1, 0);
+  a.sb(t3, t0, 0);
+  a.addi(t0, t0, 1);
+  a.addi(t1, t1, 1);
+  a.addi(t2, t2, -1);
+  a.j("sha_pad.copy");
+  a.label("sha_pad.copied");
+  a.li(t3, 0x80);
+  a.sb(t3, t0, 0);  // t0 == padbuf + remainder
+  // bit length: t1 = len*8 (low), t2 = len >> 29 (high)
+  a.slli(t1, s10, 3);
+  a.srli(t2, s10, 29);
+  a.la(t0, "sha_padbuf");
+  a.li(t3, 56);
+  a.bltu(s1, t3, "sha_pad.short");
+  a.addi(t0, t0, 64);  // length goes into the second block
+  a.label("sha_pad.short");
+  // Store t2:t1 big-endian at t0+56.
+  for (int i = 0; i < 4; ++i) {
+    a.srli(t4, t2, 24 - 8 * i);
+    a.sb(t4, t0, 56 + i);
+  }
+  for (int i = 0; i < 4; ++i) {
+    a.srli(t4, t1, 24 - 8 * i);
+    a.sb(t4, t0, 60 + i);
+  }
+  a.la(a0, "sha_padbuf");
+  a.call("sha_compress");
+  a.li(t3, 56);
+  a.bltu(s1, t3, "sha_out");
+  a.la(a0, "sha_padbuf");
+  a.addi(a0, a0, 64);
+  a.call("sha_compress");
+  // Output: hstate words stored big-endian.
+  a.label("sha_out");
+  a.la(t0, "sha_hstate");
+  for (int i = 0; i < 8; ++i) {
+    a.lw(t1, t0, 4 * i);
+    for (int b = 0; b < 4; ++b) {
+      a.srli(t2, t1, 24 - 8 * b);
+      a.sb(t2, s11, 4 * i + b);
+    }
+  }
+  a.lw(ra, sp, 28);
+  a.lw(s0, sp, 24);
+  a.lw(s1, sp, 20);
+  a.lw(s10, sp, 16);
+  a.lw(s11, sp, 12);
+  a.addi(sp, sp, 32);
+  a.ret();
+
+  // ---- sha_compress(a0 = 64-byte block) ----
+  // Leaf routine; clobbers t0-t6, a1-a7, s2-s9.
+  a.label("sha_compress");
+  a.la(a5, "sha_w");
+  a.la(a6, "sha_k");
+  // W[0..15]: big-endian loads.
+  a.li(a7, 0);
+  a.label("shc_wload");
+  a.slli(t0, a7, 2);
+  a.add(t1, a0, t0);
+  a.lbu(t2, t1, 0);
+  a.slli(t2, t2, 24);
+  a.lbu(t3, t1, 1);
+  a.slli(t3, t3, 16);
+  a.or_(t2, t2, t3);
+  a.lbu(t3, t1, 2);
+  a.slli(t3, t3, 8);
+  a.or_(t2, t2, t3);
+  a.lbu(t3, t1, 3);
+  a.or_(t2, t2, t3);
+  a.add(t3, a5, t0);
+  a.sw(t2, t3, 0);
+  a.addi(a7, a7, 1);
+  a.li(t3, 16);
+  a.bltu(a7, t3, "shc_wload");
+  // W[16..63] message-schedule extension.
+  a.label("shc_ext");
+  a.slli(t0, a7, 2);
+  a.add(t0, t0, a5);
+  a.lw(t1, t0, -60);  // W[i-15]
+  rotr_into(a, t2, t1, 7, t3);
+  rotr_into(a, t3, t1, 18, t4);
+  a.xor_(t2, t2, t3);
+  a.srli(t3, t1, 3);
+  a.xor_(t2, t2, t3);  // s0
+  a.lw(t1, t0, -8);    // W[i-2]
+  rotr_into(a, t3, t1, 17, t4);
+  rotr_into(a, t4, t1, 19, t5);
+  a.xor_(t3, t3, t4);
+  a.srli(t4, t1, 10);
+  a.xor_(t3, t3, t4);  // s1
+  a.lw(t1, t0, -64);   // W[i-16]
+  a.add(t1, t1, t2);
+  a.lw(t2, t0, -28);   // W[i-7]
+  a.add(t1, t1, t2);
+  a.add(t1, t1, t3);
+  a.sw(t1, t0, 0);
+  a.addi(a7, a7, 1);
+  a.li(t2, 64);
+  a.bltu(a7, t2, "shc_ext");
+  // Load working vars a..h into s2..s9.
+  a.la(t0, "sha_hstate");
+  for (int i = 0; i < 8; ++i) a.lw(static_cast<rvasm::Reg>(s2 + i), t0, 4 * i);
+  // 64 rounds.
+  a.li(a7, 0);
+  a.label("shc_round");
+  rotr_into(a, t0, s6, 6, t1);
+  rotr_into(a, t1, s6, 11, t2);
+  a.xor_(t3, t0, t1);
+  rotr_into(a, t0, s6, 25, t1);
+  a.xor_(t3, t3, t0);  // S1(e)
+  a.and_(t0, s6, s7);
+  a.not_(t1, s6);
+  a.and_(t1, t1, s8);
+  a.xor_(t4, t0, t1);  // ch
+  a.add(t5, s9, t3);
+  a.add(t5, t5, t4);
+  a.slli(t0, a7, 2);
+  a.add(t1, t0, a6);
+  a.lw(t2, t1, 0);  // K[i]
+  a.add(t5, t5, t2);
+  a.add(t1, t0, a5);
+  a.lw(t2, t1, 0);  // W[i]
+  a.add(t5, t5, t2);  // t1c
+  rotr_into(a, t6, s2, 2, t1);
+  rotr_into(a, t0, s2, 13, t1);
+  a.xor_(t6, t6, t0);
+  rotr_into(a, t0, s2, 22, t1);
+  a.xor_(t6, t6, t0);  // S0(a)
+  a.and_(t0, s2, s3);
+  a.and_(t1, s2, s4);
+  a.xor_(t3, t0, t1);
+  a.and_(t1, s3, s4);
+  a.xor_(t3, t3, t1);  // maj
+  a.add(t6, t6, t3);   // t2c
+  a.mv(s9, s8);
+  a.mv(s8, s7);
+  a.mv(s7, s6);
+  a.add(s6, s5, t5);
+  a.mv(s5, s4);
+  a.mv(s4, s3);
+  a.mv(s3, s2);
+  a.add(s2, t5, t6);
+  a.addi(a7, a7, 1);
+  a.li(t0, 64);
+  a.bltu(a7, t0, "shc_round");
+  // Fold back into hstate.
+  a.la(t0, "sha_hstate");
+  for (int i = 0; i < 8; ++i) {
+    a.lw(t1, t0, 4 * i);
+    a.add(t1, t1, static_cast<rvasm::Reg>(s2 + i));
+    a.sw(t1, t0, 4 * i);
+  }
+  a.ret();
+
+  emit_stdlib(a);
+
+  a.align(8);
+  a.label("sha_k");
+  for (std::uint32_t k : kShaK) a.word(k);
+  a.label("sha_h0");
+  for (std::uint32_t h : kShaH0) a.word(h);
+  a.label("sha_hstate");
+  a.zero_fill(32);
+  a.label("sha_w");
+  a.zero_fill(256);
+  a.label("sha_padbuf");
+  a.zero_fill(128);
+  a.label("sha_digest");
+  a.zero_fill(32);
+  a.label("sha_msg");
+  a.zero_fill(msg_len);
+  a.entry("_start");
+  return a.assemble();
+}
+
+}  // namespace vpdift::fw

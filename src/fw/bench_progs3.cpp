@@ -1,0 +1,230 @@
+// Benchmark firmware, part 3: interrupt-driven workloads (simple-sensor and
+// the preemptive two-task scheduler standing in for FreeRTOS).
+#include "fw/benchmarks.hpp"
+#include "fw/hal.hpp"
+#include "rvasm/assembler.hpp"
+#include "soc/addrmap.hpp"
+
+namespace vpdift::fw {
+
+using namespace rvasm::reg;
+using rvasm::Assembler;
+
+namespace {
+constexpr std::uint32_t kCsrMstatus = 0x300, kCsrMie = 0x304, kCsrMtvec = 0x305,
+                        kCsrMscratch = 0x340, kCsrMepc = 0x341;
+}  // namespace
+
+rvasm::Program make_simple_sensor(std::uint32_t frames) {
+  Assembler a(soc::addrmap::kRamBase);
+  emit_crt0(a);
+
+  a.label("main");
+  // Trap vector -> sensor handler.
+  a.la(t0, "sensor_trap");
+  a.csrrw(zero, kCsrMtvec, t0);
+  // PLIC: enable the sensor source.
+  a.li(t0, mmio::kPlicEnable);
+  a.li(t1, 1u << soc::addrmap::kIrqSensor);
+  a.sw(t1, t0, 0);
+  // mie.MEIE, mstatus.MIE.
+  a.li(t0, 0x800);
+  a.csrrs(zero, kCsrMie, t0);
+  a.csrrsi(zero, kCsrMstatus, 8);
+  // Sleep until the handler reports completion.
+  a.label("sensor_idle");
+  a.wfi();
+  a.la(t0, "done_flag");
+  a.lw(t1, t0, 0);
+  a.beqz(t1, "sensor_idle");
+  a.li(a0, 0);
+  a.ret();
+
+  // External-interrupt handler: claim, copy one frame to the UART, count.
+  a.align(4);
+  a.label("sensor_trap");
+  a.addi(sp, sp, -32);
+  a.sw(t0, sp, 0);
+  a.sw(t1, sp, 4);
+  a.sw(t2, sp, 8);
+  a.sw(t3, sp, 12);
+  a.sw(t4, sp, 16);
+  a.sw(t5, sp, 20);
+  a.li(t0, mmio::kPlicClaim);
+  a.lw(t1, t0, 0);
+  a.li(t2, soc::addrmap::kIrqSensor);
+  a.bne(t1, t2, "sensor_trap.out");
+  // Copy the 64-byte frame to the UART.
+  a.li(t2, mmio::kSensorFrame);
+  a.li(t3, mmio::kUartTx);
+  a.li(t4, 64);
+  a.label("sensor_trap.copy");
+  a.lbu(t5, t2, 0);
+  a.sb(t5, t3, 0);
+  a.addi(t2, t2, 1);
+  a.addi(t4, t4, -1);
+  a.bnez(t4, "sensor_trap.copy");
+  // frame_count++; done when the target is reached.
+  a.la(t2, "frame_count");
+  a.lw(t3, t2, 0);
+  a.addi(t3, t3, 1);
+  a.sw(t3, t2, 0);
+  a.li(t4, frames);
+  a.bltu(t3, t4, "sensor_trap.out");
+  a.la(t2, "done_flag");
+  a.li(t3, 1);
+  a.sw(t3, t2, 0);
+  a.label("sensor_trap.out");
+  a.lw(t0, sp, 0);
+  a.lw(t1, sp, 4);
+  a.lw(t2, sp, 8);
+  a.lw(t3, sp, 12);
+  a.lw(t4, sp, 16);
+  a.lw(t5, sp, 20);
+  a.addi(sp, sp, 32);
+  a.mret();
+
+  emit_stdlib(a);
+
+  a.align(4);
+  a.label("frame_count");
+  a.word(0);
+  a.label("done_flag");
+  a.word(0);
+  a.entry("_start");
+  return a.assemble();
+}
+
+rvasm::Program make_rtos_tasks(std::uint32_t target_switches,
+                               std::uint32_t slice_us) {
+  Assembler a(soc::addrmap::kRamBase);
+  emit_crt0(a);
+
+  // Context layout: x1..x31 at word offsets 0..30, pc at offset 31 (byte 124).
+  a.label("main");
+  // tcb2 bootstrap: entry pc + its own stack.
+  a.la(t0, "tcb2");
+  a.la(t1, "task2_entry");
+  a.sw(t1, t0, 124);
+  a.la(t1, "task2_stack_top");
+  a.sw(t1, t0, 4);  // x2 (sp) slot
+  // current task = task1; mscratch -> tcb1.
+  a.la(t1, "tcb1");
+  a.csrrw(zero, kCsrMscratch, t1);
+  // Trap vector.
+  a.la(t0, "rtos_trap");
+  a.csrrw(zero, kCsrMtvec, t0);
+  // First time slice.
+  a.li(t0, mmio::kClintMtime);
+  a.lw(t1, t0, 0);
+  a.li(t2, slice_us);
+  a.add(t1, t1, t2);
+  a.li(t0, mmio::kClintMtimecmp);
+  a.sw(t1, t0, 0);
+  a.sw(zero, t0, 4);
+  // mie.MTIE, task1 stack, global MIE, enter task1.
+  a.li(t0, 0x80);
+  a.csrrs(zero, kCsrMie, t0);
+  a.la(sp, "task1_stack_top");
+  a.csrrsi(zero, kCsrMstatus, 8);
+  a.j("task1_entry");
+
+  // Task bodies: bump a counter, stir an xorshift state.
+  for (int task = 1; task <= 2; ++task) {
+    const std::string n = std::to_string(task);
+    a.label("task" + n + "_entry");
+    a.la(a1, "task" + n + "_count");
+    a.li(a2, 0x1234 * task);
+    a.label("task" + n + "_loop");
+    a.lw(a3, a1, 0);
+    a.addi(a3, a3, 1);
+    a.sw(a3, a1, 0);
+    // xorshift32 stir.
+    a.slli(a4, a2, 13);
+    a.xor_(a2, a2, a4);
+    a.srli(a4, a2, 17);
+    a.xor_(a2, a2, a4);
+    a.slli(a4, a2, 5);
+    a.xor_(a2, a2, a4);
+    a.j("task" + n + "_loop");
+  }
+
+  // Timer trap: full context switch.
+  a.align(4);
+  a.label("rtos_trap");
+  a.csrrw(t6, kCsrMscratch, t6);  // t6 = current tcb, mscratch = old t6
+  for (int r = 1; r <= 30; ++r)
+    a.sw(static_cast<rvasm::Reg>(r), t6, 4 * (r - 1));
+  a.mv(t5, t6);                     // t5 = tcb (x30 already saved)
+  a.csrrw(t6, kCsrMscratch, zero);  // t6 = original t6
+  a.sw(t6, t5, 120);                // save x31
+  a.csrrs(t0, kCsrMepc, zero);
+  a.sw(t0, t5, 124);                // save pc
+  // switch_count++; exit when the target is reached.
+  a.la(t0, "switch_count");
+  a.lw(t1, t0, 0);
+  a.addi(t1, t1, 1);
+  a.sw(t1, t0, 0);
+  a.li(t2, target_switches);
+  a.bltu(t1, t2, "rtos_continue");
+  // Verify both tasks made progress.
+  a.la(t0, "task1_count");
+  a.lw(t1, t0, 0);
+  a.la(t0, "task2_count");
+  a.lw(t2, t0, 0);
+  a.li(a0, 0);
+  a.bnez(t1, "rtos_chk2");
+  a.li(a0, 1);
+  a.label("rtos_chk2");
+  a.bnez(t2, "rtos_exit");
+  a.li(a0, 1);
+  a.label("rtos_exit");
+  a.j("exit");
+  a.label("rtos_continue");
+  // next = (cur == tcb1) ? tcb2 : tcb1
+  a.la(t0, "tcb1");
+  a.la(t4, "tcb2");
+  a.bne(t5, t0, "rtos_pick1");
+  a.j("rtos_store");
+  a.label("rtos_pick1");
+  a.mv(t4, t0);
+  a.label("rtos_store");
+  // Re-arm the timer.
+  a.li(t0, mmio::kClintMtime);
+  a.lw(t1, t0, 0);
+  a.li(t2, slice_us);
+  a.add(t1, t1, t2);
+  a.li(t0, mmio::kClintMtimecmp);
+  a.sw(t1, t0, 0);
+  // Restore the next task's context.
+  a.csrrw(zero, kCsrMscratch, t4);
+  a.lw(t0, t4, 124);
+  a.csrrw(zero, kCsrMepc, t0);
+  a.mv(t6, t4);
+  for (int r = 1; r <= 30; ++r)
+    a.lw(static_cast<rvasm::Reg>(r), t6, 4 * (r - 1));
+  a.lw(t6, t6, 120);  // restore x31 last (overwrites the base register)
+  a.mret();
+
+  emit_stdlib(a);
+
+  a.align(8);
+  a.label("tcb1");
+  a.zero_fill(128);
+  a.label("tcb2");
+  a.zero_fill(128);
+  a.label("switch_count");
+  a.word(0);
+  a.label("task1_count");
+  a.word(0);
+  a.label("task2_count");
+  a.word(0);
+  a.zero_fill(1024);
+  a.label("task1_stack_top");
+  a.zero_fill(1024);
+  a.label("task2_stack_top");
+  a.entry("_start");
+  return a.assemble();
+}
+
+}  // namespace vpdift::fw

@@ -1,0 +1,155 @@
+// Benchmark firmware, part 4: extra workloads beyond the paper's Table II
+// set (CRC-32 and integer matrix multiply) — used to widen the overhead
+// characterisation.
+#include "fw/benchmarks.hpp"
+#include "fw/hal.hpp"
+#include "fw/host_ref.hpp"
+#include "rvasm/assembler.hpp"
+#include "soc/addrmap.hpp"
+
+namespace vpdift::fw {
+
+using namespace rvasm::reg;
+using rvasm::Assembler;
+
+rvasm::Program make_crc32(std::uint32_t len, std::uint32_t iterations) {
+  Assembler a(soc::addrmap::kRamBase);
+  emit_crt0(a);
+
+  a.label("main");
+  // Fill the buffer from the LCG.
+  a.la(t5, "crc_buf");
+  a.li(t6, len);
+  a.li(t0, 0xbadc0de5);
+  a.li(t3, 1103515245);
+  a.li(t4, 12345);
+  a.label("crc_fill");
+  a.beqz(t6, "crc_filled");
+  a.mul(t0, t0, t3);
+  a.add(t0, t0, t4);
+  a.srli(t1, t0, 16);
+  a.sb(t1, t5, 0);
+  a.addi(t5, t5, 1);
+  a.addi(t6, t6, -1);
+  a.j("crc_fill");
+  a.label("crc_filled");
+
+  // Chained CRC-32 (reflected, poly 0xedb88320), bit-at-a-time.
+  a.li(s2, 0xffffffff);  // crc
+  a.li(s3, iterations);
+  a.li(s6, 0xedb88320);
+  a.label("crc_iter");
+  a.la(s4, "crc_buf");
+  a.li(s5, len);
+  a.label("crc_byte");
+  a.lbu(t0, s4, 0);
+  a.xor_(s2, s2, t0);
+  for (int b = 0; b < 8; ++b) {
+    // if (crc & 1) crc = (crc >> 1) ^ poly else crc >>= 1
+    a.andi(t1, s2, 1);
+    a.srli(s2, s2, 1);
+    a.beqz(t1, "crc_nobit" + std::to_string(b) + "x");
+    a.xor_(s2, s2, s6);
+    a.label("crc_nobit" + std::to_string(b) + "x");
+  }
+  a.addi(s4, s4, 1);
+  a.addi(s5, s5, -1);
+  a.bnez(s5, "crc_byte");
+  a.addi(s3, s3, -1);
+  a.bnez(s3, "crc_iter");
+  a.xori(s2, s2, -1);  // final inversion
+
+  a.li(t0, crc32_ref(len, iterations));
+  a.li(a0, 0);
+  a.beq(s2, t0, "crc_ret");
+  a.li(a0, 1);
+  a.label("crc_ret");
+  a.ret();
+
+  emit_stdlib(a);
+  a.align(8);
+  a.label("crc_buf");
+  a.zero_fill(len);
+  a.entry("_start");
+  return a.assemble();
+}
+
+namespace {
+// Unique labels per loop nest are required (one global label namespace).
+}  // namespace
+
+rvasm::Program make_matmul(std::uint32_t n) {
+  Assembler a(soc::addrmap::kRamBase);
+  emit_crt0(a);
+
+  a.label("main");
+  // Fill A and B with LCG words.
+  a.li(t0, 0x600df00d);
+  a.li(t3, 1103515245);
+  a.li(t4, 12345);
+  for (const char* mat : {"mat_a", "mat_b"}) {
+    const std::string m = mat;
+    a.la(t5, m);
+    a.li(t6, n * n);
+    a.label(m + "_fill");
+    a.mul(t0, t0, t3);
+    a.add(t0, t0, t4);
+    a.sw(t0, t5, 0);
+    a.addi(t5, t5, 4);
+    a.addi(t6, t6, -1);
+    a.bnez(t6, m + "_fill");
+  }
+
+  // checksum = sum over i,j of (A row i) dot (B col j); 32-bit wrap-around.
+  a.li(s2, 0);  // checksum
+  a.li(s3, 0);  // i
+  a.label("mm_i");
+  a.li(s4, 0);  // j
+  a.label("mm_j");
+  a.li(s5, 0);  // k
+  a.li(s6, 0);  // acc
+  // s7 = &A[i*n], recomputed per (i): A + i*n*4
+  a.li(t0, n * 4);
+  a.mul(t1, s3, t0);
+  a.la(s7, "mat_a");
+  a.add(s7, s7, t1);
+  // s8 = &B[j], stride n*4
+  a.slli(t1, s4, 2);
+  a.la(s8, "mat_b");
+  a.add(s8, s8, t1);
+  a.label("mm_k");
+  a.lw(t1, s7, 0);
+  a.lw(t2, s8, 0);
+  a.mul(t1, t1, t2);
+  a.add(s6, s6, t1);
+  a.addi(s7, s7, 4);
+  a.li(t0, n * 4);
+  a.add(s8, s8, t0);
+  a.addi(s5, s5, 1);
+  a.li(t0, n);
+  a.bltu(s5, t0, "mm_k");
+  a.add(s2, s2, s6);
+  a.addi(s4, s4, 1);
+  a.li(t0, n);
+  a.bltu(s4, t0, "mm_j");
+  a.addi(s3, s3, 1);
+  a.bltu(s3, t0, "mm_i");
+
+  a.li(t0, matmul_checksum(n));
+  a.li(a0, 0);
+  a.beq(s2, t0, "mm_ret");
+  a.li(a0, 1);
+  a.label("mm_ret");
+  a.ret();
+
+  emit_stdlib(a);
+  a.align(8);
+  a.label("mat_a");
+  a.zero_fill(4ull * n * n);
+  a.label("mat_b");
+  a.zero_fill(4ull * n * n);
+  a.entry("_start");
+  return a.assemble();
+}
+
+}  // namespace vpdift::fw

@@ -1,0 +1,53 @@
+// Firmware benchmark programs (the workloads of Table II).
+//
+// Every program is self-checking: main returns 0 (exit code 0) when the
+// computed result matches the expectation, a nonzero error code otherwise.
+// Host-side reference implementations used to derive expectations live in
+// host_ref.hpp.
+#pragma once
+
+#include <cstdint>
+
+#include "rvasm/program.hpp"
+
+namespace vpdift::fw {
+
+/// Counts primes below `limit` by trial division; exits 0 iff the count
+/// equals the host-computed expectation.
+rvasm::Program make_primes(std::uint32_t limit);
+
+/// Fills an `n`-element word array from an LCG, sorts it with an iterative
+/// in-place quicksort, then verifies order and checksum.
+rvasm::Program make_qsort(std::uint32_t n, std::uint32_t seed);
+
+/// Dhrystone-style synthetic mix: function calls, string copy/compare,
+/// branches and integer arithmetic; exits 0 iff the final checksum matches
+/// the host mirror.
+rvasm::Program make_dhrystone(std::uint32_t iterations);
+
+/// SHA-256 over an LCG-filled message, iterated (`rounds` re-hashes of the
+/// digest); exits 0 iff the first digest word matches the host mirror.
+rvasm::Program make_sha256(std::uint32_t msg_len, std::uint32_t rounds);
+
+/// SHA-512 over an LCG-filled message, iterated — the paper's actual Table II
+/// workload. All 64-bit arithmetic is synthesised as RV32 register-pair
+/// operations (add-with-carry, 64-bit rotates) by the emitter.
+rvasm::Program make_sha512(std::uint32_t msg_len, std::uint32_t rounds);
+
+/// Interrupt-driven sensor-to-UART copy: waits for `frames` sensor frames
+/// (PLIC external interrupt), copies each 64-byte frame to the UART.
+rvasm::Program make_simple_sensor(std::uint32_t frames);
+
+/// Two preemptively scheduled tasks (timer-interrupt context switching, the
+/// FreeRTOS stand-in); exits 0 after `target_switches` context switches iff
+/// both tasks made progress.
+rvasm::Program make_rtos_tasks(std::uint32_t target_switches,
+                               std::uint32_t slice_us = 50);
+
+/// Extra workload (beyond the paper's set): chained bitwise CRC-32.
+rvasm::Program make_crc32(std::uint32_t len, std::uint32_t iterations);
+
+/// Extra workload (beyond the paper's set): n x n integer matrix multiply.
+rvasm::Program make_matmul(std::uint32_t n);
+
+}  // namespace vpdift::fw

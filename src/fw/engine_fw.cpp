@@ -1,0 +1,141 @@
+#include "fw/engine_fw.hpp"
+
+#include "fw/hal.hpp"
+#include "rvasm/assembler.hpp"
+#include "soc/addrmap.hpp"
+#include "soc/can.hpp"
+
+namespace vpdift::fw {
+
+using namespace rvasm::reg;
+using rvasm::Assembler;
+
+rvasm::Program make_engine_ecu_fw(const soc::AesKey& pin,
+                                  std::uint32_t challenges) {
+  Assembler a(soc::addrmap::kRamBase);
+  emit_crt0(a);
+
+  a.label("main");
+  a.li(s0, 0);           // challenges completed
+  a.li(s1, challenges);  // target
+  a.li(s2, 0);           // failures
+  a.li(s5, 0x1ee7c0de);  // challenge LCG state
+
+  a.label("eng_loop");
+  // 1. Generate the challenge into "chal" and straight into the CAN TX data.
+  a.la(t6, "chal");
+  a.li(t5, 8);
+  a.li(t3, 1103515245);
+  a.li(t4, 12345);
+  a.label("eng_gen");
+  a.mul(s5, s5, t3);
+  a.add(s5, s5, t4);
+  a.srli(t0, s5, 16);
+  a.sb(t0, t6, 0);
+  a.addi(t6, t6, 1);
+  a.addi(t5, t5, -1);
+  a.bnez(t5, "eng_gen");
+  a.la(t0, "chal");
+  a.li(t1, mmio::kCanTxData);
+  a.li(t5, 8);
+  a.label("eng_txcopy");
+  a.lbu(t2, t0, 0);
+  a.sb(t2, t1, 0);
+  a.addi(t0, t0, 1);
+  a.addi(t1, t1, 1);
+  a.addi(t5, t5, -1);
+  a.bnez(t5, "eng_txcopy");
+  // 2. Send (id = challenge, dlc 8).
+  a.li(t0, mmio::kCanTxId);
+  a.li(t1, soc::EngineEcu::kChallengeId);
+  a.sw(t1, t0, 0);
+  a.li(t0, mmio::kCanTxDlc);
+  a.li(t1, 8);
+  a.sw(t1, t0, 0);
+  a.li(t0, mmio::kCanTxCtrl);
+  a.li(t1, 1);
+  a.sw(t1, t0, 0);
+  // 3. Wait for the response frame.
+  a.label("eng_wait");
+  a.li(t0, mmio::kCanRxStatus);
+  a.lw(t1, t0, 0);
+  a.beqz(t1, "eng_wait");
+  a.li(t0, mmio::kCanRxId);
+  a.lw(t1, t0, 0);
+  a.li(t2, soc::EngineEcu::kResponseId);
+  a.beq(t1, t2, "eng_got_resp");
+  a.li(t0, mmio::kCanRxPop);  // stray frame: drop and keep waiting
+  a.li(t1, 1);
+  a.sw(t1, t0, 0);
+  a.j("eng_wait");
+  a.label("eng_got_resp");
+  // 4. Expected response: AES(pin, chal || 0) via the local AES engine.
+  a.la(t0, "pin");
+  a.li(t1, mmio::kAesKey);
+  a.li(t5, 16);
+  a.label("eng_keycopy");
+  a.lbu(t2, t0, 0);
+  a.sb(t2, t1, 0);
+  a.addi(t0, t0, 1);
+  a.addi(t1, t1, 1);
+  a.addi(t5, t5, -1);
+  a.bnez(t5, "eng_keycopy");
+  a.la(t0, "chal");
+  a.li(t1, mmio::kAesInput);
+  a.li(t5, 8);
+  a.label("eng_incopy");
+  a.lbu(t2, t0, 0);
+  a.sb(t2, t1, 0);
+  a.addi(t0, t0, 1);
+  a.addi(t1, t1, 1);
+  a.addi(t5, t5, -1);
+  a.bnez(t5, "eng_incopy");
+  a.li(t5, 8);
+  a.label("eng_pad");
+  a.sb(zero, t1, 0);
+  a.addi(t1, t1, 1);
+  a.addi(t5, t5, -1);
+  a.bnez(t5, "eng_pad");
+  a.li(t0, mmio::kAesCtrl);
+  a.li(t1, 1);
+  a.sw(t1, t0, 0);
+  a.label("eng_aeswait");
+  a.li(t0, mmio::kAesStatus);
+  a.lw(t1, t0, 0);
+  a.beqz(t1, "eng_aeswait");
+  // 5. Compare the first 8 ciphertext bytes with the response payload.
+  a.li(t0, mmio::kAesOutput);
+  a.li(t1, mmio::kCanRxData);
+  a.li(t5, 8);
+  a.li(t6, 0);  // mismatch flag
+  a.label("eng_cmp");
+  a.lbu(t2, t0, 0);
+  a.lbu(t3, t1, 0);
+  a.beq(t2, t3, "eng_cmp_next");
+  a.li(t6, 1);
+  a.label("eng_cmp_next");
+  a.addi(t0, t0, 1);
+  a.addi(t1, t1, 1);
+  a.addi(t5, t5, -1);
+  a.bnez(t5, "eng_cmp");
+  a.add(s2, s2, t6);
+  a.li(t0, mmio::kCanRxPop);
+  a.li(t1, 1);
+  a.sw(t1, t0, 0);
+  a.addi(s0, s0, 1);
+  a.bltu(s0, s1, "eng_loop");
+  a.mv(a0, s2);  // exit code = failed authentications
+  a.ret();
+
+  emit_stdlib(a);
+
+  a.align(8);
+  a.label("pin");
+  a.bytes(pin.data(), pin.size());
+  a.label("chal");
+  a.zero_fill(8);
+  a.entry("_start");
+  return a.assemble();
+}
+
+}  // namespace vpdift::fw

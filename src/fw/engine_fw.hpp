@@ -1,0 +1,26 @@
+// Engine-ECU firmware: the other side of the immobilizer protocol, as a real
+// binary for a second ISS node (the behavioural soc::EngineEcu's firmware
+// twin, used by the dual-ECU co-simulation).
+//
+// Protocol loop, `challenges` times:
+//   1. generate an 8-byte pseudo-random challenge,
+//   2. transmit it on CAN (id 0x100),
+//   3. wait for the immobilizer's response (id 0x101),
+//   4. encrypt the challenge under its own PIN copy with the local AES
+//      peripheral, compare with the response,
+//   5. count mismatches.
+// Exits with the number of failed authentications (0 = success).
+// Symbol "pin" marks the engine's PIN copy for classification.
+#pragma once
+
+#include <cstdint>
+
+#include "rvasm/program.hpp"
+#include "soc/aes128.hpp"
+
+namespace vpdift::fw {
+
+rvasm::Program make_engine_ecu_fw(const soc::AesKey& pin,
+                                  std::uint32_t challenges);
+
+}  // namespace vpdift::fw

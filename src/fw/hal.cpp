@@ -1,0 +1,102 @@
+#include "fw/hal.hpp"
+
+namespace vpdift::fw {
+
+using namespace rvasm::reg;
+
+void emit_crt0(rvasm::Assembler& a, std::uint32_t stack_top) {
+  a.label("_start");
+  a.li(sp, stack_top);
+  a.la(t0, "_default_trap");
+  a.csrrw(zero, 0x305 /*mtvec*/, t0);
+  a.call("main");
+  a.j("exit");
+}
+
+void emit_stdlib(rvasm::Assembler& a) {
+  // uart_putc: transmit a0's low byte.
+  a.label("uart_putc");
+  a.li(t0, mmio::kUartTx);
+  a.sb(a0, t0, 0);
+  a.ret();
+
+  // uart_puts: transmit the NUL-terminated string at a0. Clobbers a0,t0-t2.
+  a.label("uart_puts");
+  a.li(t0, mmio::kUartTx);
+  a.label("uart_puts.loop");
+  a.lbu(t1, a0, 0);
+  a.beqz(t1, "uart_puts.done");
+  a.sb(t1, t0, 0);
+  a.addi(a0, a0, 1);
+  a.j("uart_puts.loop");
+  a.label("uart_puts.done");
+  a.ret();
+
+  // uart_getc: block until a byte is available, return it in a0.
+  a.label("uart_getc");
+  a.li(t0, mmio::kUartStatus);
+  a.label("uart_getc.wait");
+  a.lw(t1, t0, 0);
+  a.andi(t1, t1, 2);
+  a.beqz(t1, "uart_getc.wait");
+  a.li(t0, mmio::kUartRx);
+  a.lw(a0, t0, 0);
+  a.andi(a0, a0, 0xff);
+  a.ret();
+
+  // uart_read_n: read a1 bytes into the buffer at a0 (blocking).
+  // Clobbers a0,a1,t0-t2.
+  a.label("uart_read_n");
+  a.li(t0, mmio::kUartStatus);
+  a.li(t2, mmio::kUartRx);
+  a.label("uart_read_n.loop");
+  a.beqz(a1, "uart_read_n.done");
+  a.label("uart_read_n.wait");
+  a.lw(t1, t0, 0);
+  a.andi(t1, t1, 2);
+  a.beqz(t1, "uart_read_n.wait");
+  a.lw(t1, t2, 0);
+  a.sb(t1, a0, 0);
+  a.addi(a0, a0, 1);
+  a.addi(a1, a1, -1);
+  a.j("uart_read_n.loop");
+  a.label("uart_read_n.done");
+  a.ret();
+
+  // print_hex32: print a0 as 8 hex digits. Clobbers a0,t0-t2.
+  a.label("print_hex32");
+  a.li(t2, 8);
+  a.li(t0, mmio::kUartTx);
+  a.label("print_hex32.loop");
+  a.srli(t1, a0, 28);
+  a.slli(a0, a0, 4);
+  a.addi(t1, t1, -10);
+  a.bltz(t1, "print_hex32.digit");
+  a.addi(t1, t1, 'a');
+  a.j("print_hex32.put");
+  a.label("print_hex32.digit");
+  a.addi(t1, t1, 10 + '0');
+  a.label("print_hex32.put");
+  a.sb(t1, t0, 0);
+  a.addi(t2, t2, -1);
+  a.bnez(t2, "print_hex32.loop");
+  a.ret();
+
+  // exit: write a0 to the EXIT register; the simulation stops.
+  a.label("exit");
+  a.li(t0, mmio::kSysExit);
+  a.sw(a0, t0, 0);
+  a.label("exit.hang");
+  a.j("exit.hang");
+
+  // _default_trap: unexpected trap — mark and die.
+  a.align(4);
+  a.label("_default_trap");
+  a.li(t0, mmio::kSysMark);
+  a.li(t1, 'T');
+  a.sb(t1, t0, 0);
+  a.li(a0, 0xff);
+  a.j("exit");
+}
+
+}  // namespace vpdift::fw

@@ -1,0 +1,75 @@
+// Firmware-side hardware abstraction layer.
+//
+// All firmware in this repo is authored with the rvasm DSL (no offline
+// cross-compiler exists in this environment). This header provides the MMIO
+// map as the firmware sees it and emitters for the common runtime: crt0,
+// UART console routines, and the exit path.
+//
+// Conventions:
+//   * programs start at label "_start" (RAM base), define "main",
+//   * stdlib routines clobber only t0-t2 and their argument registers,
+//   * exit code is main's a0, written to the SYSCTRL EXIT register.
+#pragma once
+
+#include <cstdint>
+
+#include "rvasm/assembler.hpp"
+#include "soc/addrmap.hpp"
+
+namespace vpdift::fw {
+
+namespace mmio {
+inline constexpr std::uint32_t kUartTx = soc::addrmap::kUartBase + 0x00;
+inline constexpr std::uint32_t kUartRx = soc::addrmap::kUartBase + 0x04;
+inline constexpr std::uint32_t kUartStatus = soc::addrmap::kUartBase + 0x08;
+inline constexpr std::uint32_t kUartIe = soc::addrmap::kUartBase + 0x0c;
+inline constexpr std::uint32_t kSysExit = soc::addrmap::kSysCtrlBase + 0x00;
+inline constexpr std::uint32_t kSysMark = soc::addrmap::kSysCtrlBase + 0x04;
+inline constexpr std::uint32_t kSensorFrame = soc::addrmap::kSensorBase + 0x00;
+inline constexpr std::uint32_t kSensorTag = soc::addrmap::kSensorBase + 0x40;
+inline constexpr std::uint32_t kAesKey = soc::addrmap::kAesBase + 0x00;
+inline constexpr std::uint32_t kAesInput = soc::addrmap::kAesBase + 0x10;
+inline constexpr std::uint32_t kAesOutput = soc::addrmap::kAesBase + 0x20;
+inline constexpr std::uint32_t kAesCtrl = soc::addrmap::kAesBase + 0x30;
+inline constexpr std::uint32_t kAesStatus = soc::addrmap::kAesBase + 0x34;
+inline constexpr std::uint32_t kCanTxId = soc::addrmap::kCanBase + 0x00;
+inline constexpr std::uint32_t kCanTxDlc = soc::addrmap::kCanBase + 0x04;
+inline constexpr std::uint32_t kCanTxData = soc::addrmap::kCanBase + 0x08;
+inline constexpr std::uint32_t kCanTxCtrl = soc::addrmap::kCanBase + 0x10;
+inline constexpr std::uint32_t kCanRxId = soc::addrmap::kCanBase + 0x14;
+inline constexpr std::uint32_t kCanRxDlc = soc::addrmap::kCanBase + 0x18;
+inline constexpr std::uint32_t kCanRxData = soc::addrmap::kCanBase + 0x1c;
+inline constexpr std::uint32_t kCanRxStatus = soc::addrmap::kCanBase + 0x24;
+inline constexpr std::uint32_t kCanRxPop = soc::addrmap::kCanBase + 0x28;
+inline constexpr std::uint32_t kCanIe = soc::addrmap::kCanBase + 0x2c;
+inline constexpr std::uint32_t kDmaSrc = soc::addrmap::kDmaBase + 0x00;
+inline constexpr std::uint32_t kDmaDst = soc::addrmap::kDmaBase + 0x04;
+inline constexpr std::uint32_t kDmaLen = soc::addrmap::kDmaBase + 0x08;
+inline constexpr std::uint32_t kDmaCtrl = soc::addrmap::kDmaBase + 0x0c;
+inline constexpr std::uint32_t kDmaStatus = soc::addrmap::kDmaBase + 0x10;
+inline constexpr std::uint32_t kClintMsip = soc::addrmap::kClintBase + 0x0000;
+inline constexpr std::uint32_t kClintMtimecmp = soc::addrmap::kClintBase + 0x4000;
+inline constexpr std::uint32_t kClintMtime = soc::addrmap::kClintBase + 0xbff8;
+inline constexpr std::uint32_t kPlicPending = soc::addrmap::kPlicBase + 0x00;
+inline constexpr std::uint32_t kPlicEnable = soc::addrmap::kPlicBase + 0x04;
+inline constexpr std::uint32_t kPlicClaim = soc::addrmap::kPlicBase + 0x08;
+}  // namespace mmio
+
+/// Default top-of-RAM used for the initial stack pointer (4 MiB RAM).
+inline constexpr std::uint32_t kDefaultStackTop = 0x80000000u + (4u << 20);
+
+/// Emits `_start`: stack setup, default trap vector, call main, exit(a0).
+/// Must be the first thing in the image (execution starts at RAM base).
+void emit_crt0(rvasm::Assembler& a, std::uint32_t stack_top = kDefaultStackTop);
+
+/// Emits the runtime library used by the firmware in this repo:
+///   uart_putc(a0)           print one byte
+///   uart_puts(a0)           print a NUL-terminated string
+///   uart_getc() -> a0       blocking read of one byte
+///   uart_read_n(a0,a1)      read a1 bytes into buffer a0 (blocking)
+///   print_hex32(a0)         print 8 hex digits
+///   exit(a0)                terminate the simulation (noreturn)
+///   _default_trap           marks 'T' and exits with code 0xff
+void emit_stdlib(rvasm::Assembler& a);
+
+}  // namespace vpdift::fw

@@ -1,0 +1,258 @@
+#include "fw/host_ref.hpp"
+
+#include <cstring>
+
+namespace vpdift::fw {
+
+std::uint32_t count_primes(std::uint32_t limit) {
+  std::uint32_t count = 0;
+  for (std::uint32_t c = 2; c < limit; ++c) {
+    bool prime = true;
+    for (std::uint32_t d = 2; d * d <= c; ++d)
+      if (c % d == 0) { prime = false; break; }
+    if (prime) ++count;
+  }
+  return count;
+}
+
+std::uint32_t dhrystone_checksum(std::uint32_t iterations) {
+  // Mirrors the firmware loop in make_dhrystone() exactly (same ops, same
+  // order, 32-bit wrap-around arithmetic).
+  std::uint32_t int1 = 2, int2 = 3, chk = 0;
+  const char src[16 + 1] = "DHRYSTONE-VPDIFT";
+  char dst[17] = {};
+  for (std::uint32_t i = 0; i < iterations; ++i) {
+    // proc_1: arithmetic on "record" fields.
+    int1 = int1 * 5 + int2;
+    int2 = int2 + (int1 >> 3);
+    // string copy + compare (strcmp-style loop over 16 bytes).
+    std::memcpy(dst, src, 16);
+    std::uint32_t equal = 1;
+    for (int k = 0; k < 16; ++k)
+      if (dst[k] != src[k]) { equal = 0; break; }
+    // proc_2: conditional chain.
+    std::uint32_t sel = (int1 ^ i) & 3;
+    if (sel == 0) chk += int1;
+    else if (sel == 1) chk ^= int2;
+    else if (sel == 2) chk += i;
+    else chk ^= (int1 + int2);
+    chk += equal;
+  }
+  return chk;
+}
+
+namespace {
+
+constexpr std::uint32_t kSha256K[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+std::uint32_t rotr(std::uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
+
+void sha256_block(std::uint32_t h[8], const std::uint8_t* block) {
+  std::uint32_t w[64];
+  for (int i = 0; i < 16; ++i)
+    w[i] = (std::uint32_t(block[4 * i]) << 24) | (std::uint32_t(block[4 * i + 1]) << 16) |
+           (std::uint32_t(block[4 * i + 2]) << 8) | block[4 * i + 3];
+  for (int i = 16; i < 64; ++i) {
+    const std::uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    const std::uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+  std::uint32_t a = h[0], b = h[1], c = h[2], d = h[3], e = h[4], f = h[5],
+                g = h[6], hh = h[7];
+  for (int i = 0; i < 64; ++i) {
+    const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+    const std::uint32_t ch = (e & f) ^ (~e & g);
+    const std::uint32_t t1 = hh + s1 + ch + kSha256K[i] + w[i];
+    const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint32_t t2 = s0 + maj;
+    hh = g; g = f; f = e; e = d + t1;
+    d = c; c = b; b = a; a = t1 + t2;
+  }
+  h[0] += a; h[1] += b; h[2] += c; h[3] += d;
+  h[4] += e; h[5] += f; h[6] += g; h[7] += hh;
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 32> sha256(const std::uint8_t* data, std::size_t len) {
+  std::uint32_t h[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                        0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+  std::vector<std::uint8_t> msg(data, data + len);
+  msg.push_back(0x80);
+  while (msg.size() % 64 != 56) msg.push_back(0);
+  const std::uint64_t bits = std::uint64_t(len) * 8;
+  for (int i = 7; i >= 0; --i) msg.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+  for (std::size_t off = 0; off < msg.size(); off += 64) sha256_block(h, msg.data() + off);
+  std::array<std::uint8_t, 32> out;
+  for (int i = 0; i < 8; ++i) {
+    out[4 * i] = static_cast<std::uint8_t>(h[i] >> 24);
+    out[4 * i + 1] = static_cast<std::uint8_t>(h[i] >> 16);
+    out[4 * i + 2] = static_cast<std::uint8_t>(h[i] >> 8);
+    out[4 * i + 3] = static_cast<std::uint8_t>(h[i]);
+  }
+  return out;
+}
+
+std::uint32_t sha256_chain_word0(std::uint32_t msg_len, std::uint32_t rounds) {
+  std::vector<std::uint8_t> msg(msg_len);
+  std::uint32_t x = 0xdeadbeef;
+  for (auto& b : msg) {
+    x = lcg_next(x);
+    b = static_cast<std::uint8_t>(x >> 16);
+  }
+  auto digest = sha256(msg.data(), msg.size());
+  for (std::uint32_t r = 1; r < rounds; ++r)
+    digest = sha256(digest.data(), digest.size());
+  return std::uint32_t(digest[0]) | (std::uint32_t(digest[1]) << 8) |
+         (std::uint32_t(digest[2]) << 16) | (std::uint32_t(digest[3]) << 24);
+}
+
+
+namespace {
+
+constexpr std::uint64_t kSha512K[80] = {
+    0x428a2f98d728ae22ull, 0x7137449123ef65cdull, 0xb5c0fbcfec4d3b2full,
+    0xe9b5dba58189dbbcull, 0x3956c25bf348b538ull, 0x59f111f1b605d019ull,
+    0x923f82a4af194f9bull, 0xab1c5ed5da6d8118ull, 0xd807aa98a3030242ull,
+    0x12835b0145706fbeull, 0x243185be4ee4b28cull, 0x550c7dc3d5ffb4e2ull,
+    0x72be5d74f27b896full, 0x80deb1fe3b1696b1ull, 0x9bdc06a725c71235ull,
+    0xc19bf174cf692694ull, 0xe49b69c19ef14ad2ull, 0xefbe4786384f25e3ull,
+    0x0fc19dc68b8cd5b5ull, 0x240ca1cc77ac9c65ull, 0x2de92c6f592b0275ull,
+    0x4a7484aa6ea6e483ull, 0x5cb0a9dcbd41fbd4ull, 0x76f988da831153b5ull,
+    0x983e5152ee66dfabull, 0xa831c66d2db43210ull, 0xb00327c898fb213full,
+    0xbf597fc7beef0ee4ull, 0xc6e00bf33da88fc2ull, 0xd5a79147930aa725ull,
+    0x06ca6351e003826full, 0x142929670a0e6e70ull, 0x27b70a8546d22ffcull,
+    0x2e1b21385c26c926ull, 0x4d2c6dfc5ac42aedull, 0x53380d139d95b3dfull,
+    0x650a73548baf63deull, 0x766a0abb3c77b2a8ull, 0x81c2c92e47edaee6ull,
+    0x92722c851482353bull, 0xa2bfe8a14cf10364ull, 0xa81a664bbc423001ull,
+    0xc24b8b70d0f89791ull, 0xc76c51a30654be30ull, 0xd192e819d6ef5218ull,
+    0xd69906245565a910ull, 0xf40e35855771202aull, 0x106aa07032bbd1b8ull,
+    0x19a4c116b8d2d0c8ull, 0x1e376c085141ab53ull, 0x2748774cdf8eeb99ull,
+    0x34b0bcb5e19b48a8ull, 0x391c0cb3c5c95a63ull, 0x4ed8aa4ae3418acbull,
+    0x5b9cca4f7763e373ull, 0x682e6ff3d6b2b8a3ull, 0x748f82ee5defb2fcull,
+    0x78a5636f43172f60ull, 0x84c87814a1f0ab72ull, 0x8cc702081a6439ecull,
+    0x90befffa23631e28ull, 0xa4506cebde82bde9ull, 0xbef9a3f7b2c67915ull,
+    0xc67178f2e372532bull, 0xca273eceea26619cull, 0xd186b8c721c0c207ull,
+    0xeada7dd6cde0eb1eull, 0xf57d4f7fee6ed178ull, 0x06f067aa72176fbaull,
+    0x0a637dc5a2c898a6ull, 0x113f9804bef90daeull, 0x1b710b35131c471bull,
+    0x28db77f523047d84ull, 0x32caab7b40c72493ull, 0x3c9ebe0a15c9bebcull,
+    0x431d67c49c100d4cull, 0x4cc5d4becb3e42b6ull, 0x597f299cfc657e2aull,
+    0x5fcb6fab3ad6faecull, 0x6c44198c4a475817ull};
+
+std::uint64_t rotr64(std::uint64_t x, int n) { return (x >> n) | (x << (64 - n)); }
+
+void sha512_block(std::uint64_t h[8], const std::uint8_t* block) {
+  std::uint64_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    std::uint64_t v = 0;
+    for (int b = 0; b < 8; ++b) v = (v << 8) | block[8 * i + b];
+    w[i] = v;
+  }
+  for (int i = 16; i < 80; ++i) {
+    const std::uint64_t s0 =
+        rotr64(w[i - 15], 1) ^ rotr64(w[i - 15], 8) ^ (w[i - 15] >> 7);
+    const std::uint64_t s1 =
+        rotr64(w[i - 2], 19) ^ rotr64(w[i - 2], 61) ^ (w[i - 2] >> 6);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+  std::uint64_t a = h[0], b = h[1], c = h[2], d = h[3], e = h[4], f = h[5],
+                g = h[6], hh = h[7];
+  for (int i = 0; i < 80; ++i) {
+    const std::uint64_t s1 = rotr64(e, 14) ^ rotr64(e, 18) ^ rotr64(e, 41);
+    const std::uint64_t ch = (e & f) ^ (~e & g);
+    const std::uint64_t t1 = hh + s1 + ch + kSha512K[i] + w[i];
+    const std::uint64_t s0 = rotr64(a, 28) ^ rotr64(a, 34) ^ rotr64(a, 39);
+    const std::uint64_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint64_t t2 = s0 + maj;
+    hh = g; g = f; f = e; e = d + t1;
+    d = c; c = b; b = a; a = t1 + t2;
+  }
+  h[0] += a; h[1] += b; h[2] += c; h[3] += d;
+  h[4] += e; h[5] += f; h[6] += g; h[7] += hh;
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 64> sha512(const std::uint8_t* data, std::size_t len) {
+  std::uint64_t h[8] = {0x6a09e667f3bcc908ull, 0xbb67ae8584caa73bull,
+                        0x3c6ef372fe94f82bull, 0xa54ff53a5f1d36f1ull,
+                        0x510e527fade682d1ull, 0x9b05688c2b3e6c1full,
+                        0x1f83d9abfb41bd6bull, 0x5be0cd19137e2179ull};
+  std::vector<std::uint8_t> msg(data, data + len);
+  msg.push_back(0x80);
+  while (msg.size() % 128 != 112) msg.push_back(0);
+  const std::uint64_t bits = std::uint64_t(len) * 8;
+  for (int i = 0; i < 8; ++i) msg.push_back(0);  // length high 64 bits
+  for (int i = 7; i >= 0; --i) msg.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+  for (std::size_t off = 0; off < msg.size(); off += 128)
+    sha512_block(h, msg.data() + off);
+  std::array<std::uint8_t, 64> out;
+  for (int i = 0; i < 8; ++i)
+    for (int b = 0; b < 8; ++b)
+      out[8 * i + b] = static_cast<std::uint8_t>(h[i] >> (8 * (7 - b)));
+  return out;
+}
+
+std::uint32_t sha512_chain_word0(std::uint32_t msg_len, std::uint32_t rounds) {
+  std::vector<std::uint8_t> msg(msg_len);
+  std::uint32_t x = 0xdeadbeef;
+  for (auto& b : msg) {
+    x = lcg_next(x);
+    b = static_cast<std::uint8_t>(x >> 16);
+  }
+  auto digest = sha512(msg.data(), msg.size());
+  for (std::uint32_t r = 1; r < rounds; ++r)
+    digest = sha512(digest.data(), digest.size());
+  return std::uint32_t(digest[0]) | (std::uint32_t(digest[1]) << 8) |
+         (std::uint32_t(digest[2]) << 16) | (std::uint32_t(digest[3]) << 24);
+}
+
+
+std::uint32_t crc32_ref(std::uint32_t len, std::uint32_t iterations) {
+  std::vector<std::uint8_t> buf(len);
+  std::uint32_t x = 0xbadc0de5;
+  for (auto& b : buf) {
+    x = lcg_next(x);
+    b = static_cast<std::uint8_t>(x >> 16);
+  }
+  std::uint32_t crc = 0xffffffffu;
+  for (std::uint32_t it = 0; it < iterations; ++it)
+    for (std::uint8_t b : buf) {
+      crc ^= b;
+      for (int k = 0; k < 8; ++k) {
+        const bool lsb = crc & 1;
+        crc >>= 1;
+        if (lsb) crc ^= 0xedb88320u;
+      }
+    }
+  return crc ^ 0xffffffffu;
+}
+
+std::uint32_t matmul_checksum(std::uint32_t n) {
+  std::vector<std::uint32_t> a(n * n), b(n * n);
+  std::uint32_t x = 0x600df00d;
+  for (auto& v : a) { x = lcg_next(x); v = x; }
+  for (auto& v : b) { x = lcg_next(x); v = x; }
+  std::uint32_t chk = 0;
+  for (std::uint32_t i = 0; i < n; ++i)
+    for (std::uint32_t j = 0; j < n; ++j) {
+      std::uint32_t acc = 0;
+      for (std::uint32_t k = 0; k < n; ++k) acc += a[i * n + k] * b[k * n + j];
+      chk += acc;
+    }
+  return chk;
+}
+
+}  // namespace vpdift::fw

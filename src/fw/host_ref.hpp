@@ -1,0 +1,43 @@
+// Host-side reference computations mirroring the firmware benchmarks
+// (used to embed expected results into the self-checking programs and to
+// cross-check firmware behaviour in tests).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace vpdift::fw {
+
+/// Number of primes strictly below `limit`.
+std::uint32_t count_primes(std::uint32_t limit);
+
+/// The firmware LCG: x' = x * 1103515245 + 12345.
+inline std::uint32_t lcg_next(std::uint32_t x) { return x * 1103515245u + 12345u; }
+
+/// Checksum computed by the dhrystone-style firmware loop (host mirror).
+std::uint32_t dhrystone_checksum(std::uint32_t iterations);
+
+/// SHA-256 of `data`.
+std::array<std::uint8_t, 32> sha256(const std::uint8_t* data, std::size_t len);
+
+/// First digest word (little-endian load of bytes 0..3) after hashing an
+/// LCG-filled `msg_len`-byte message and re-hashing the 32-byte digest
+/// `rounds - 1` more times (host mirror of make_sha256's firmware).
+std::uint32_t sha256_chain_word0(std::uint32_t msg_len, std::uint32_t rounds);
+
+/// Chained CRC-32 (reflected, poly 0xedb88320) of an LCG-filled buffer,
+/// iterated without re-seeding (host mirror of make_crc32's firmware).
+std::uint32_t crc32_ref(std::uint32_t len, std::uint32_t iterations);
+
+/// Wrap-around checksum of the n*n integer matrix product of two LCG-filled
+/// matrices (host mirror of make_matmul's firmware).
+std::uint32_t matmul_checksum(std::uint32_t n);
+
+/// SHA-512 of `data`.
+std::array<std::uint8_t, 64> sha512(const std::uint8_t* data, std::size_t len);
+
+/// SHA-512 chain analogous to sha256_chain_word0 (64-byte digests re-hashed).
+std::uint32_t sha512_chain_word0(std::uint32_t msg_len, std::uint32_t rounds);
+
+}  // namespace vpdift::fw

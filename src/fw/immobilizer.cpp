@@ -1,0 +1,250 @@
+#include "fw/immobilizer.hpp"
+
+#include "fw/hal.hpp"
+#include "rvasm/assembler.hpp"
+#include "soc/addrmap.hpp"
+#include "soc/can.hpp"
+
+namespace vpdift::fw {
+
+using namespace rvasm::reg;
+using rvasm::Assembler;
+
+rvasm::Program make_immobilizer(ImmoVariant variant, const soc::AesKey& pin,
+                                std::uint32_t challenges_to_serve) {
+  Assembler a(soc::addrmap::kRamBase);
+  emit_crt0(a);
+
+  a.label("main");
+  a.addi(sp, sp, -16);
+  a.sw(ra, sp, 12);
+
+  // Injected attack scenarios run once, up front.
+  switch (variant) {
+    case ImmoVariant::kAttackDirectLeak:
+      // Scenario 1a: write a PIN byte directly to the UART.
+      a.la(t0, "pin");
+      a.lbu(t1, t0, 0);
+      a.li(t2, mmio::kUartTx);
+      a.sb(t1, t2, 0);
+      break;
+    case ImmoVariant::kAttackIndirectLeak:
+      // Scenario 1b: copy the PIN through an intermediate buffer, then send
+      // the buffer on the CAN bus.
+      a.la(t0, "pin");
+      a.la(t1, "scratch_buf");
+      a.li(t2, 8);
+      a.label("il_copy");
+      a.lbu(t3, t0, 0);
+      a.sb(t3, t1, 0);
+      a.addi(t0, t0, 1);
+      a.addi(t1, t1, 1);
+      a.addi(t2, t2, -1);
+      a.bnez(t2, "il_copy");
+      a.la(t0, "scratch_buf");
+      a.li(t1, mmio::kCanTxData);
+      a.li(t2, 8);
+      a.label("il_copy2");
+      a.lbu(t3, t0, 0);
+      a.sb(t3, t1, 0);
+      a.addi(t0, t0, 1);
+      a.addi(t1, t1, 1);
+      a.addi(t2, t2, -1);
+      a.bnez(t2, "il_copy2");
+      a.li(t0, mmio::kCanTxId);
+      a.li(t1, 0x2ff);
+      a.sw(t1, t0, 0);
+      a.li(t0, mmio::kCanTxDlc);
+      a.li(t1, 8);
+      a.sw(t1, t0, 0);
+      a.li(t0, mmio::kCanTxCtrl);
+      a.li(t1, 1);
+      a.sw(t1, t0, 0);  // transmit -> output clearance check
+      break;
+    case ImmoVariant::kAttackOverflowLeak:
+      // Scenario 1c: out-of-bounds read — dump 40 bytes "of app_data" (the
+      // buffer is 32 bytes; bytes 32..39 are the PIN) to the UART.
+      a.la(t0, "app_data");
+      a.li(t2, 40);
+      a.li(t3, mmio::kUartTx);
+      a.label("ofl_copy");
+      a.lbu(t1, t0, 0);
+      a.sb(t1, t3, 0);
+      a.addi(t0, t0, 1);
+      a.addi(t2, t2, -1);
+      a.bnez(t2, "ofl_copy");
+      break;
+    case ImmoVariant::kAttackBranchLeak:
+      // Scenario 2: branch on a PIN bit, then emit a public byte.
+      a.la(t0, "pin");
+      a.lbu(t1, t0, 0);
+      a.andi(t1, t1, 1);
+      a.li(t2, mmio::kUartTx);
+      a.beqz(t1, "bl_zero");  // branch-clearance check fires here
+      a.li(t3, 'B');
+      a.sb(t3, t2, 0);
+      a.j("bl_done");
+      a.label("bl_zero");
+      a.li(t3, 'A');
+      a.sb(t3, t2, 0);
+      a.label("bl_done");
+      break;
+    case ImmoVariant::kAttackOverwriteExternal:
+      // Scenario 3: wait for external (CAN) data and store a byte of it over
+      // the PIN -> store-clearance violation.
+      a.label("owx_wait");
+      a.li(t0, mmio::kCanRxStatus);
+      a.lw(t1, t0, 0);
+      a.beqz(t1, "owx_wait");
+      a.li(t0, mmio::kCanRxData);
+      a.lbu(t1, t0, 0);
+      a.la(t0, "pin");
+      a.sb(t1, t0, 2);
+      break;
+    case ImmoVariant::kAttackOverwriteTrusted:
+      // Scenario 4 (entropy reduction): copy PIN byte 0 over bytes 1..15.
+      // Allowed under the plain IFP-3 policy; detected by the per-byte one.
+      a.la(t0, "pin");
+      a.lbu(t1, t0, 0);
+      a.li(t2, 15);
+      a.label("owt_copy");
+      a.sb(t1, t0, 1);
+      a.addi(t0, t0, 1);
+      a.addi(t2, t2, -1);
+      a.bnez(t2, "owt_copy");
+      break;
+    default:
+      break;
+  }
+
+  // Main service loop: s0 = challenges served, s1 = target.
+  a.li(s0, 0);
+  a.li(s1, challenges_to_serve);
+  a.label("serve");
+  // --- CAN: challenge pending? ---
+  a.li(t0, mmio::kCanRxStatus);
+  a.lw(t1, t0, 0);
+  a.beqz(t1, "check_uart");
+  a.li(t0, mmio::kCanRxId);
+  a.lw(t1, t0, 0);
+  a.li(t2, soc::EngineEcu::kChallengeId);
+  a.beq(t1, t2, "handle_challenge");
+  a.li(t0, mmio::kCanRxPop);  // unknown frame: drop
+  a.li(t1, 1);
+  a.sw(t1, t0, 0);
+  a.j("check_uart");
+  a.label("handle_challenge");
+  // Key <- PIN.
+  a.la(t0, "pin");
+  a.li(t1, mmio::kAesKey);
+  a.li(t2, 16);
+  a.label("key_copy");
+  a.lbu(t3, t0, 0);
+  a.sb(t3, t1, 0);
+  a.addi(t0, t0, 1);
+  a.addi(t1, t1, 1);
+  a.addi(t2, t2, -1);
+  a.bnez(t2, "key_copy");
+  // Input <- challenge (8 bytes) + zero padding (8 bytes).
+  a.li(t0, mmio::kCanRxData);
+  a.li(t1, mmio::kAesInput);
+  a.li(t2, 8);
+  a.label("chal_copy");
+  a.lbu(t3, t0, 0);
+  a.sb(t3, t1, 0);
+  a.addi(t0, t0, 1);
+  a.addi(t1, t1, 1);
+  a.addi(t2, t2, -1);
+  a.bnez(t2, "chal_copy");
+  a.li(t2, 8);
+  a.label("pad_zero");
+  a.sb(zero, t1, 0);
+  a.addi(t1, t1, 1);
+  a.addi(t2, t2, -1);
+  a.bnez(t2, "pad_zero");
+  a.li(t0, mmio::kCanRxPop);
+  a.li(t1, 1);
+  a.sw(t1, t0, 0);
+  // Encrypt.
+  a.li(t0, mmio::kAesCtrl);
+  a.li(t1, 1);
+  a.sw(t1, t0, 0);
+  a.label("aes_wait");
+  a.li(t0, mmio::kAesStatus);
+  a.lw(t1, t0, 0);
+  a.beqz(t1, "aes_wait");
+  // Response <- first 8 ciphertext bytes.
+  a.li(t0, mmio::kAesOutput);
+  a.li(t1, mmio::kCanTxData);
+  a.li(t2, 8);
+  a.label("resp_copy");
+  a.lbu(t3, t0, 0);
+  a.sb(t3, t1, 0);
+  a.addi(t0, t0, 1);
+  a.addi(t1, t1, 1);
+  a.addi(t2, t2, -1);
+  a.bnez(t2, "resp_copy");
+  a.li(t0, mmio::kCanTxId);
+  a.li(t1, soc::EngineEcu::kResponseId);
+  a.sw(t1, t0, 0);
+  a.li(t0, mmio::kCanTxDlc);
+  a.li(t1, 8);
+  a.sw(t1, t0, 0);
+  a.li(t0, mmio::kCanTxCtrl);
+  a.li(t1, 1);
+  a.sw(t1, t0, 0);
+  a.addi(s0, s0, 1);
+  // --- UART: debug command pending? ---
+  a.label("check_uart");
+  a.li(t0, mmio::kUartStatus);
+  a.lw(t1, t0, 0);
+  a.andi(t1, t1, 2);
+  a.beqz(t1, "check_done");
+  a.li(t0, mmio::kUartRx);
+  a.lw(t1, t0, 0);
+  a.andi(t1, t1, 0xff);
+  a.li(t2, 'd');
+  a.bne(t1, t2, "check_done");
+  a.call("debug_dump");
+  a.label("check_done");
+  a.bltu(s0, s1, "serve");
+  a.li(a0, 0);
+  a.lw(ra, sp, 12);
+  a.addi(sp, sp, 16);
+  a.ret();
+
+  // debug_dump: print [dump_lo, dump_hi) on the UART.
+  // The vulnerable variant's range covers the PIN; the fixed one stops
+  // before it (the paper's SW fix).
+  a.label("debug_dump");
+  a.la(t0, "app_data");
+  if (variant == ImmoVariant::kFixedDump) {
+    a.la(t1, "pin");  // stop before the secret
+  } else {
+    a.la(t1, "data_end");  // full dump, PIN included
+  }
+  a.li(t2, mmio::kUartTx);
+  a.label("dump_loop");
+  a.bgeu(t0, t1, "dump_done");
+  a.lbu(t3, t0, 0);
+  a.sb(t3, t2, 0);
+  a.addi(t0, t0, 1);
+  a.j("dump_loop");
+  a.label("dump_done");
+  a.ret();
+
+  emit_stdlib(a);
+
+  a.align(8);
+  a.label("app_data");
+  for (int i = 0; i < 32; ++i) a.byte(static_cast<std::uint8_t>('a' + i % 26));
+  a.label("pin");
+  a.bytes(pin.data(), pin.size());
+  a.label("scratch_buf");
+  a.zero_fill(16);
+  a.label("data_end");
+  a.entry("_start");
+  return a.assemble();
+}
+
+}  // namespace vpdift::fw

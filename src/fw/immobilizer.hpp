@@ -1,0 +1,41 @@
+// Car-engine-immobilizer ECU firmware (the case study of Section VI-A).
+//
+// The immobilizer serves a challenge-response authentication protocol over
+// CAN: the engine ECU sends an 8-byte random challenge (CAN id 0x100); the
+// immobilizer encrypts it with the secret PIN using the AES peripheral and
+// returns the first 8 ciphertext bytes (CAN id 0x101). A UART debug console
+// accepts the command 'd' to dump an application-data memory region.
+//
+// Variants reproduce the paper's narrative:
+//   * kVulnerableDump — the debug dump range includes the PIN (the SW bug
+//     the security policy catches),
+//   * kFixedDump — the dump excludes the PIN region (the paper's fix),
+//   * kAttack* — the injected attack scenarios 1-4 of Section VI-A.
+#pragma once
+
+#include <cstdint>
+
+#include "rvasm/program.hpp"
+#include "soc/aes128.hpp"
+
+namespace vpdift::fw {
+
+enum class ImmoVariant {
+  kVulnerableDump,          ///< 'd' dumps app data *and* the PIN
+  kFixedDump,               ///< 'd' dumps app data only
+  kAttackDirectLeak,        ///< scenario 1a: PIN byte straight to the UART
+  kAttackIndirectLeak,      ///< scenario 1b: PIN via intermediate buffer to CAN
+  kAttackOverflowLeak,      ///< scenario 1c: out-of-bounds read past a buffer into the PIN
+  kAttackBranchLeak,        ///< scenario 2: control flow depends on a PIN bit
+  kAttackOverwriteExternal, ///< scenario 3: CAN data byte stored over the PIN
+  kAttackOverwriteTrusted,  ///< scenario 4: PIN byte 0 copied over bytes 1..15
+};
+
+/// Builds the immobilizer firmware. Symbols of interest:
+///   "pin"       — 16-byte secret key (classify per policy)
+///   "app_data"  — 32-byte public application data preceding the PIN
+/// The firmware exits 0 after serving `challenges_to_serve` challenges.
+rvasm::Program make_immobilizer(ImmoVariant variant, const soc::AesKey& pin,
+                                std::uint32_t challenges_to_serve);
+
+}  // namespace vpdift::fw

@@ -1,0 +1,557 @@
+#include "rv/core.hpp"
+#include <algorithm>
+#include <cstring>
+
+#include "dift/context.hpp"
+#include "tlmlite/payload.hpp"
+
+namespace vpdift::rv {
+
+using dift::Tag;
+using dift::ViolationKind;
+
+template <typename W>
+Core<W>::Core(std::string name) : name_(std::move(name)) {}
+
+template <typename W>
+void Core<W>::set_dmi(std::uint8_t* data, Tag* tags, std::uint64_t base,
+                      std::uint64_t size) {
+  dmi_data_ = data;
+  dmi_tags_ = tags;
+  dmi_base_ = base;
+  dmi_size_ = size;
+  // One entry per halfword (IALIGN=16 with the C extension), capped to the
+  // low window of RAM where program text lives — fetches beyond it simply
+  // decode each time. Entries start as {raw=0, insn=decode16(0)}, which is
+  // exactly correct for zero-filled memory, so no validity flag is needed.
+  decode_cache_.assign(std::min<std::uint64_t>(size, kDecodeCacheWindow) / 2,
+                       DecodeEntry{0, decode16(0)});
+}
+
+template <typename W>
+void Core<W>::set_policy(const dift::SecurityPolicy* policy) {
+  policy_ = policy;
+  exec_ = policy ? policy->execution_clearance() : dift::ExecutionClearance{};
+  has_store_prot_ = policy && !policy->store_protection().empty();
+}
+
+template <typename W>
+void Core<W>::reset(std::uint32_t reset_pc) {
+  regs_.fill(W{});
+  csrs_ = CsrFile{};
+  pc_ = reset_pc;
+  next_pc_ = reset_pc;
+  instret_ = 0;
+  wfi_ = false;
+  if (!decode_cache_.empty())
+    decode_cache_.assign(decode_cache_.size(), DecodeEntry{0, decode16(0)});
+}
+
+template <typename W>
+void Core<W>::set_irq(std::uint32_t bit, bool level) {
+  if (level)
+    csrs_.mip |= bit;
+  else
+    csrs_.mip &= ~bit;
+}
+
+template <typename W>
+auto Core<W>::load(std::uint32_t addr, std::uint32_t size, bool sign_extend)
+    -> MemAccess {
+  std::uint32_t value = 0;
+  Tag tag = dift::kBottomTag;
+  if (addr >= dmi_base_ && std::uint64_t(addr) - dmi_base_ + size <= dmi_size_) {
+    const std::uint64_t off = addr - dmi_base_;
+    for (std::uint32_t i = 0; i < size; ++i)
+      value |= std::uint32_t(dmi_data_[off + i]) << (8 * i);
+    if constexpr (kTainted) {
+      tag = dmi_tags_[off];
+      for (std::uint32_t i = 1; i < size; ++i) tag = dift::lub(tag, dmi_tags_[off + i]);
+    }
+  } else {
+    std::uint8_t buf[4] = {};
+    Tag tbuf[4] = {};
+    tlmlite::Payload p;
+    p.command = tlmlite::Command::kRead;
+    p.address = addr;
+    p.data = buf;
+    p.tags = kTainted ? tbuf : nullptr;
+    p.length = size;
+    sysc::Time delay;
+    transport_with_pc(p, delay);
+    if (!p.ok()) return {0, dift::kBottomTag, true};
+    for (std::uint32_t i = 0; i < size; ++i) value |= std::uint32_t(buf[i]) << (8 * i);
+    if constexpr (kTainted) {
+      tag = tbuf[0];
+      for (std::uint32_t i = 1; i < size; ++i) tag = dift::lub(tag, tbuf[i]);
+    }
+  }
+  if (sign_extend) {
+    if (size == 1) value = static_cast<std::uint32_t>(static_cast<std::int8_t>(value));
+    else if (size == 2)
+      value = static_cast<std::uint32_t>(static_cast<std::int16_t>(value));
+  }
+  return {value, tag, false};
+}
+
+template <typename W>
+bool Core<W>::store(std::uint32_t addr, std::uint32_t value, Tag tag,
+                    std::uint32_t size) {
+  if constexpr (kTainted) {
+    if (has_store_prot_) {
+      if (auto clearance = policy_->store_clearance_at(addr))
+        dift::check_flow(tag, *clearance, ViolationKind::kStoreClearance, pc_, addr,
+                         "core.store");
+    }
+  }
+  if (addr >= dmi_base_ && std::uint64_t(addr) - dmi_base_ + size <= dmi_size_) {
+    const std::uint64_t off = addr - dmi_base_;
+    for (std::uint32_t i = 0; i < size; ++i)
+      dmi_data_[off + i] = static_cast<std::uint8_t>(value >> (8 * i));
+    if constexpr (kTainted)
+      for (std::uint32_t i = 0; i < size; ++i) dmi_tags_[off + i] = tag;
+    return false;
+  }
+  std::uint8_t buf[4];
+  Tag tbuf[4];
+  for (std::uint32_t i = 0; i < size; ++i) {
+    buf[i] = static_cast<std::uint8_t>(value >> (8 * i));
+    tbuf[i] = tag;
+  }
+  tlmlite::Payload p;
+  p.command = tlmlite::Command::kWrite;
+  p.address = addr;
+  p.data = buf;
+  p.tags = kTainted ? tbuf : nullptr;
+  p.length = size;
+  sysc::Time delay;
+  transport_with_pc(p, delay);
+  return !p.ok();
+}
+
+template <typename W>
+void Core<W>::transport_with_pc(tlmlite::Payload& p, sysc::Time& delay) {
+  if constexpr (!kTainted) {
+    bus_.b_transport(p, delay);
+  } else {
+    // Peripherals raise clearance violations without knowing the program
+    // counter; publish it as a hint (used by monitor-mode records) and
+    // re-throw enforcement violations with the faulting pc attached.
+    dift::set_pc_hint(pc_);
+    try {
+      bus_.b_transport(p, delay);
+    } catch (const dift::PolicyViolation& v) {
+      if (v.pc() != 0) throw;
+      throw dift::PolicyViolation(v.kind(), v.source(), v.required(), pc_,
+                                  v.address() ? v.address() : p.address,
+                                  v.where());
+    }
+  }
+}
+
+template <typename W>
+auto Core<W>::fetch32(std::uint32_t addr) -> MemAccess {
+  if (addr >= dmi_base_ && std::uint64_t(addr) - dmi_base_ + 4 <= dmi_size_) {
+    const std::uint64_t off = addr - dmi_base_;
+    std::uint32_t value;
+    std::memcpy(&value, dmi_data_ + off, 4);  // host is little-endian
+    Tag tag = dift::kBottomTag;
+    if constexpr (kTainted) {
+      tag = dmi_tags_[off];
+      for (std::uint32_t i = 1; i < 4; ++i) tag = dift::lub(tag, dmi_tags_[off + i]);
+    }
+    return {value, tag, false};
+  }
+  return load(addr, 4, false);
+}
+
+template <typename W>
+void Core<W>::take_trap(std::uint32_t cause, std::uint32_t tval) {
+  auto& s = csrs_;
+  std::uint32_t m = s.mstatus.value;
+  const bool mie = (m & kMstatusMie) != 0;
+  m &= ~(kMstatusMie | kMstatusMpie);
+  if (mie) m |= kMstatusMpie;
+  m |= kMstatusMpp;  // previous privilege: machine
+  s.mstatus.value = m;
+  s.mepc = {pc_, dift::kBottomTag};
+  s.mcause = {cause, dift::kBottomTag};
+  s.mtval = {tval, dift::kBottomTag};
+  if constexpr (kTainted) {
+    if (exec_.branch)
+      dift::check_flow(s.mtvec.tag, *exec_.branch, ViolationKind::kBranchClearance,
+                       pc_, s.mtvec.value, "core.trap-vector");
+  }
+  next_pc_ = s.mtvec.value & ~3u;
+}
+
+template <typename W>
+void Core<W>::check_interrupts() {
+  const std::uint32_t pending = csrs_.mip & csrs_.mie;
+  if (pending == 0) return;
+  wfi_ = false;
+  if (!(csrs_.mstatus.value & kMstatusMie)) return;
+  std::uint32_t cause;
+  if (pending & kIrqMext) cause = 11;
+  else if (pending & kIrqMsoft) cause = 3;
+  else cause = 7;
+  take_trap(kIrqBit | cause, 0);
+  pc_ = next_pc_;
+}
+
+template <typename W>
+void Core<W>::do_csr(const Insn& d) {
+  const auto csrnum = static_cast<std::uint32_t>(d.imm) & 0xfff;
+  if (!csrs_.exists(csrnum)) {
+    take_trap(kCauseIllegalInsn, d.raw);
+    return;
+  }
+  const bool imm_form =
+      d.op == Op::kCsrrwi || d.op == Op::kCsrrsi || d.op == Op::kCsrrci;
+  const std::uint32_t src_v = imm_form ? d.rs1 : rv(d.rs1);
+  const Tag src_t = imm_form ? dift::kBottomTag : rt(d.rs1);
+
+  const bool is_write_form = d.op == Op::kCsrrw || d.op == Op::kCsrrwi;
+  // csrrs/csrrc with rs1=x0 (or zimm=0) do not write.
+  const bool writes = is_write_form || d.rs1 != 0;
+
+  if (writes && ((csrnum >> 10) & 3) == 3) {  // read-only CSR space
+    take_trap(kCauseIllegalInsn, d.raw);
+    return;
+  }
+
+  const CsrValue old = csrs_.read(csrnum, instret_, instret_,
+                                  time_us_ ? time_us_() : 0);
+  if (writes) {
+    std::uint32_t nv;
+    Tag nt;
+    if (is_write_form) {
+      nv = src_v;
+      nt = src_t;
+    } else if (d.op == Op::kCsrrs || d.op == Op::kCsrrsi) {
+      nv = old.value | src_v;
+      nt = combine(old.tag, src_t);
+    } else {
+      nv = old.value & ~src_v;
+      nt = combine(old.tag, src_t);
+    }
+    csrs_.write(csrnum, {nv, nt});
+  }
+  wr(d.rd, old.value, old.tag);
+}
+
+template <typename W>
+void Core<W>::execute(const Insn& d) {
+  auto branch = [this, &d](bool taken, Tag cond_tag) {
+    if constexpr (kTainted) {
+      if (exec_.branch)
+        dift::check_flow(cond_tag, *exec_.branch, ViolationKind::kBranchClearance,
+                         pc_, 0, "core.branch");
+    } else {
+      (void)cond_tag;
+    }
+    if (taken) {
+      const std::uint32_t target = pc_ + static_cast<std::uint32_t>(d.imm);
+      if (target & 1) take_trap(kCauseInsnMisaligned, target);
+      else next_pc_ = target;
+    }
+  };
+  auto mem_addr_check = [this](std::uint32_t addr, Tag addr_tag) {
+    if constexpr (kTainted) {
+      if (exec_.mem_addr)
+        dift::check_flow(addr_tag, *exec_.mem_addr, ViolationKind::kMemAddrClearance,
+                         pc_, addr, "core.lsu");
+    } else {
+      (void)addr;
+      (void)addr_tag;
+    }
+  };
+  auto do_load = [&](std::uint32_t size, bool sign) {
+    const std::uint32_t addr = rv(d.rs1) + static_cast<std::uint32_t>(d.imm);
+    mem_addr_check(addr, rt(d.rs1));
+    const MemAccess m = load(addr, size, sign);
+    if (m.fault) take_trap(kCauseLoadAccessFault, addr);
+    else wr(d.rd, m.value, m.tag);
+  };
+  auto do_store = [&](std::uint32_t size) {
+    const std::uint32_t addr = rv(d.rs1) + static_cast<std::uint32_t>(d.imm);
+    mem_addr_check(addr, rt(d.rs1));
+    if (store(addr, rv(d.rs2), rt(d.rs2), size))
+      take_trap(kCauseStoreAccessFault, addr);
+  };
+
+  switch (d.op) {
+    case Op::kLui: wr(d.rd, static_cast<std::uint32_t>(d.imm), dift::kBottomTag); break;
+    case Op::kAuipc:
+      wr(d.rd, pc_ + static_cast<std::uint32_t>(d.imm), dift::kBottomTag);
+      break;
+
+    case Op::kJal: {
+      const std::uint32_t target = pc_ + static_cast<std::uint32_t>(d.imm);
+      if (target & 1) { take_trap(kCauseInsnMisaligned, target); break; }
+      wr(d.rd, pc_ + d.len, dift::kBottomTag);
+      next_pc_ = target;
+      break;
+    }
+    case Op::kJalr: {
+      const std::uint32_t target =
+          (rv(d.rs1) + static_cast<std::uint32_t>(d.imm)) & ~1u;
+      if constexpr (kTainted) {
+        // Indirect jump: the target address acts as the "branch condition".
+        if (exec_.branch)
+          dift::check_flow(rt(d.rs1), *exec_.branch, ViolationKind::kBranchClearance,
+                           pc_, target, "core.jalr");
+      }
+      if (target & 1) { take_trap(kCauseInsnMisaligned, target); break; }
+      wr(d.rd, pc_ + d.len, dift::kBottomTag);
+      next_pc_ = target;
+      break;
+    }
+
+    case Op::kBeq: branch(rv(d.rs1) == rv(d.rs2), combine(rt(d.rs1), rt(d.rs2))); break;
+    case Op::kBne: branch(rv(d.rs1) != rv(d.rs2), combine(rt(d.rs1), rt(d.rs2))); break;
+    case Op::kBlt:
+      branch(static_cast<std::int32_t>(rv(d.rs1)) < static_cast<std::int32_t>(rv(d.rs2)),
+             combine(rt(d.rs1), rt(d.rs2)));
+      break;
+    case Op::kBge:
+      branch(static_cast<std::int32_t>(rv(d.rs1)) >= static_cast<std::int32_t>(rv(d.rs2)),
+             combine(rt(d.rs1), rt(d.rs2)));
+      break;
+    case Op::kBltu: branch(rv(d.rs1) < rv(d.rs2), combine(rt(d.rs1), rt(d.rs2))); break;
+    case Op::kBgeu: branch(rv(d.rs1) >= rv(d.rs2), combine(rt(d.rs1), rt(d.rs2))); break;
+
+    case Op::kLb: do_load(1, true); break;
+    case Op::kLh: do_load(2, true); break;
+    case Op::kLw: do_load(4, false); break;
+    case Op::kLbu: do_load(1, false); break;
+    case Op::kLhu: do_load(2, false); break;
+    case Op::kSb: do_store(1); break;
+    case Op::kSh: do_store(2); break;
+    case Op::kSw: do_store(4); break;
+
+    // Immediate ALU ops — expressed directly on the machine word W so the
+    // tainted build combines tags through the overloaded operators (paper
+    // Fig. 3) and the plain build compiles to bare integer ops.
+    case Op::kAddi: wrw(d.rd, regs_[d.rs1] + static_cast<std::uint32_t>(d.imm)); break;
+    case Op::kXori: wrw(d.rd, regs_[d.rs1] ^ static_cast<std::uint32_t>(d.imm)); break;
+    case Op::kOri: wrw(d.rd, regs_[d.rs1] | static_cast<std::uint32_t>(d.imm)); break;
+    case Op::kAndi: wrw(d.rd, regs_[d.rs1] & static_cast<std::uint32_t>(d.imm)); break;
+    case Op::kSlti:
+      wr(d.rd,
+         static_cast<std::int32_t>(rv(d.rs1)) < d.imm ? 1u : 0u, rt(d.rs1));
+      break;
+    case Op::kSltiu:
+      wr(d.rd, rv(d.rs1) < static_cast<std::uint32_t>(d.imm) ? 1u : 0u, rt(d.rs1));
+      break;
+    case Op::kSlli: wr(d.rd, rv(d.rs1) << (d.imm & 31), rt(d.rs1)); break;
+    case Op::kSrli: wr(d.rd, rv(d.rs1) >> (d.imm & 31), rt(d.rs1)); break;
+    case Op::kSrai:
+      wr(d.rd,
+         static_cast<std::uint32_t>(static_cast<std::int32_t>(rv(d.rs1)) >> (d.imm & 31)),
+         rt(d.rs1));
+      break;
+
+    // Register ALU ops — same machine-word style as the paper's example
+    // `regs[RD] = regs[RS1] + regs[RS2]`.
+    case Op::kAdd: wrw(d.rd, regs_[d.rs1] + regs_[d.rs2]); break;
+    case Op::kSub: wrw(d.rd, regs_[d.rs1] - regs_[d.rs2]); break;
+    case Op::kXor: wrw(d.rd, regs_[d.rs1] ^ regs_[d.rs2]); break;
+    case Op::kOr: wrw(d.rd, regs_[d.rs1] | regs_[d.rs2]); break;
+    case Op::kAnd: wrw(d.rd, regs_[d.rs1] & regs_[d.rs2]); break;
+    case Op::kSll:
+      wr(d.rd, rv(d.rs1) << (rv(d.rs2) & 31), combine(rt(d.rs1), rt(d.rs2)));
+      break;
+    case Op::kSrl:
+      wr(d.rd, rv(d.rs1) >> (rv(d.rs2) & 31), combine(rt(d.rs1), rt(d.rs2)));
+      break;
+    case Op::kSra:
+      wr(d.rd,
+         static_cast<std::uint32_t>(static_cast<std::int32_t>(rv(d.rs1)) >>
+                                    (rv(d.rs2) & 31)),
+         combine(rt(d.rs1), rt(d.rs2)));
+      break;
+    case Op::kSlt:
+      wr(d.rd,
+         static_cast<std::int32_t>(rv(d.rs1)) < static_cast<std::int32_t>(rv(d.rs2))
+             ? 1u : 0u,
+         combine(rt(d.rs1), rt(d.rs2)));
+      break;
+    case Op::kSltu:
+      wr(d.rd, rv(d.rs1) < rv(d.rs2) ? 1u : 0u, combine(rt(d.rs1), rt(d.rs2)));
+      break;
+
+    case Op::kMul:
+      wr(d.rd, rv(d.rs1) * rv(d.rs2), combine(rt(d.rs1), rt(d.rs2)));
+      break;
+    case Op::kMulh: {
+      const std::int64_t p = static_cast<std::int64_t>(static_cast<std::int32_t>(rv(d.rs1))) *
+                             static_cast<std::int64_t>(static_cast<std::int32_t>(rv(d.rs2)));
+      wr(d.rd, static_cast<std::uint32_t>(static_cast<std::uint64_t>(p) >> 32),
+         combine(rt(d.rs1), rt(d.rs2)));
+      break;
+    }
+    case Op::kMulhsu: {
+      const std::int64_t p = static_cast<std::int64_t>(static_cast<std::int32_t>(rv(d.rs1))) *
+                             static_cast<std::int64_t>(std::uint64_t(rv(d.rs2)));
+      wr(d.rd, static_cast<std::uint32_t>(static_cast<std::uint64_t>(p) >> 32),
+         combine(rt(d.rs1), rt(d.rs2)));
+      break;
+    }
+    case Op::kMulhu: {
+      const std::uint64_t p = std::uint64_t(rv(d.rs1)) * std::uint64_t(rv(d.rs2));
+      wr(d.rd, static_cast<std::uint32_t>(p >> 32), combine(rt(d.rs1), rt(d.rs2)));
+      break;
+    }
+    case Op::kDiv: {
+      const auto a = static_cast<std::int32_t>(rv(d.rs1));
+      const auto b = static_cast<std::int32_t>(rv(d.rs2));
+      std::uint32_t r;
+      if (b == 0) r = 0xffffffffu;
+      else if (a == INT32_MIN && b == -1) r = static_cast<std::uint32_t>(INT32_MIN);
+      else r = static_cast<std::uint32_t>(a / b);
+      wr(d.rd, r, combine(rt(d.rs1), rt(d.rs2)));
+      break;
+    }
+    case Op::kDivu: {
+      const std::uint32_t a = rv(d.rs1), b = rv(d.rs2);
+      wr(d.rd, b == 0 ? 0xffffffffu : a / b, combine(rt(d.rs1), rt(d.rs2)));
+      break;
+    }
+    case Op::kRem: {
+      const auto a = static_cast<std::int32_t>(rv(d.rs1));
+      const auto b = static_cast<std::int32_t>(rv(d.rs2));
+      std::uint32_t r;
+      if (b == 0) r = static_cast<std::uint32_t>(a);
+      else if (a == INT32_MIN && b == -1) r = 0;
+      else r = static_cast<std::uint32_t>(a % b);
+      wr(d.rd, r, combine(rt(d.rs1), rt(d.rs2)));
+      break;
+    }
+    case Op::kRemu: {
+      const std::uint32_t a = rv(d.rs1), b = rv(d.rs2);
+      wr(d.rd, b == 0 ? a : a % b, combine(rt(d.rs1), rt(d.rs2)));
+      break;
+    }
+
+    case Op::kFence: break;  // single hart, loosely timed: no-op
+    case Op::kEcall: take_trap(kCauseEcallM, 0); break;
+    case Op::kEbreak: take_trap(kCauseBreakpoint, pc_); break;
+
+    case Op::kCsrrw: case Op::kCsrrs: case Op::kCsrrc:
+    case Op::kCsrrwi: case Op::kCsrrsi: case Op::kCsrrci:
+      do_csr(d);
+      break;
+
+    case Op::kMret: {
+      auto& s = csrs_;
+      std::uint32_t m = s.mstatus.value;
+      const bool mpie = (m & kMstatusMpie) != 0;
+      m &= ~kMstatusMie;
+      if (mpie) m |= kMstatusMie;
+      m |= kMstatusMpie;
+      s.mstatus.value = m;
+      if constexpr (kTainted) {
+        if (exec_.branch)
+          dift::check_flow(s.mepc.tag, *exec_.branch, ViolationKind::kBranchClearance,
+                           pc_, s.mepc.value, "core.mret");
+      }
+      next_pc_ = s.mepc.value;
+      break;
+    }
+    case Op::kWfi:
+      if ((csrs_.mip & csrs_.mie) == 0) wfi_ = true;
+      break;
+
+    case Op::kIllegal:
+    default:
+      take_trap(kCauseIllegalInsn, d.raw);
+      break;
+  }
+}
+
+template <typename W>
+RunExit Core<W>::run(std::uint64_t max_instructions) {
+  for (std::uint64_t i = 0; i < max_instructions; ++i) {
+    if (csrs_.mip & csrs_.mie) check_interrupts();
+    if (wfi_) return RunExit::kWfi;
+
+    if (pc_ & 1) {
+      next_pc_ = pc_ + 4;
+      take_trap(kCauseInsnMisaligned, pc_);
+    } else if (pc_ >= dmi_base_ && std::uint64_t(pc_) - dmi_base_ + 4 <= dmi_size_) {
+      // Fast path: fetch + decode cache over the DMI window. The key is the
+      // full 32-bit read even for a 16-bit parcel — a changed second half
+      // merely forces a harmless re-decode.
+      const std::uint64_t off = pc_ - dmi_base_;
+      std::uint32_t raw;
+      std::memcpy(&raw, dmi_data_ + off, 4);  // host is little-endian
+      Insn scratch;
+      const Insn* insn;
+      if (const std::size_t slot = off / 2; slot < decode_cache_.size()) {
+        DecodeEntry& e = decode_cache_[slot];
+        if (e.raw != raw) {
+          e.raw = raw;
+          e.insn = decode_any(raw);
+        }
+        insn = &e.insn;
+      } else {
+        scratch = decode_any(raw);
+        insn = &scratch;
+      }
+      if constexpr (kTainted) {
+        if (exec_.fetch) {
+          Tag tag = dmi_tags_[off];
+          for (std::uint32_t i = 1; i < insn->len; ++i)
+            tag = dift::lub(tag, dmi_tags_[off + i]);
+          dift::check_flow(tag, *exec_.fetch, ViolationKind::kFetchClearance,
+                           pc_, pc_, "core.fetch");
+        }
+      }
+      next_pc_ = pc_ + insn->len;
+      execute(*insn);
+      if (trace_) {
+        const std::uint8_t rd = insn->rd;
+        trace_->push({instret_, pc_, insn->raw, rd, Ops::value(regs_[rd]),
+                      Ops::tag(regs_[rd])});
+      }
+    } else {
+      // Slow path (XIP flash etc.): read one parcel, extend to 32 bits when
+      // it is an uncompressed instruction.
+      next_pc_ = pc_ + 4;
+      MemAccess f = load(pc_, 2, false);
+      if (!f.fault && (f.value & 3) == 3) {
+        const MemAccess hi = load(pc_ + 2, 2, false);
+        if (hi.fault) {
+          f.fault = true;
+        } else {
+          f.value |= hi.value << 16;
+          f.tag = Ops::combine(f.tag, hi.tag);
+        }
+      }
+      if (f.fault) {
+        take_trap(kCauseInsnAccessFault, pc_);
+      } else {
+        if constexpr (kTainted) {
+          if (exec_.fetch)
+            dift::check_flow(f.tag, *exec_.fetch, ViolationKind::kFetchClearance,
+                             pc_, pc_, "core.fetch");
+        }
+        const Insn d = decode_any(f.value);
+        next_pc_ = pc_ + d.len;
+        execute(d);
+        if (trace_)
+          trace_->push({instret_, pc_, d.raw, d.rd, Ops::value(regs_[d.rd]),
+                        Ops::tag(regs_[d.rd])});
+      }
+    }
+    pc_ = next_pc_;
+    ++instret_;
+  }
+  return RunExit::kQuantumExhausted;
+}
+
+template class Core<PlainWord>;
+template class Core<TaintedWord>;
+
+}  // namespace vpdift::rv

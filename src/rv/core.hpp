@@ -1,0 +1,165 @@
+// RV32IM machine-mode CPU core, templated on the machine word.
+//
+// Core<PlainWord> is the original VP's ISS; Core<TaintedWord> is the VP+ with
+// the DIFT engine woven in: every register carries a tag, ALU results take
+// the LUB of their operand tags, and the three execution-clearance checks of
+// the paper (instruction fetch, branch/indirect-jump/trap-vector, memory-
+// access address) plus store-clearance protection are enforced. All checks
+// compile away completely in the plain instantiation.
+//
+// Memory is reached through a TLM initiator socket; a DMI (direct memory
+// interface) window over the main RAM provides the fast path, exactly like
+// riscv-vp. The core is driven in instruction quanta by the VP's CPU thread:
+// run(n) executes up to n instructions and returns early on WFI or when the
+// simulation must stop.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dift/policy.hpp"
+#include "rv/csr.hpp"
+#include "rv/decode.hpp"
+#include "rv/trace.hpp"
+#include "rv/word.hpp"
+#include "sysc/time.hpp"
+#include "tlmlite/socket.hpp"
+
+namespace vpdift::rv {
+
+/// Why Core::run() returned before exhausting its quantum.
+enum class RunExit : std::uint8_t {
+  kQuantumExhausted,
+  kWfi,  ///< core executed WFI and no enabled interrupt is pending
+};
+
+template <typename W>
+class Core {
+ public:
+  using Ops = WordOps<W>;
+  static constexpr bool kTainted = Ops::kTainted;
+
+  explicit Core(std::string name = "core0");
+
+  // ---- wiring ----
+
+  /// Socket for data/fetch transactions that miss the DMI window.
+  tlmlite::InitiatorSocket& bus_socket() { return bus_; }
+  /// Direct-memory-interface window over main RAM (`tags` may be null in the
+  /// plain build).
+  void set_dmi(std::uint8_t* data, dift::Tag* tags, std::uint64_t base,
+               std::uint64_t size);
+  /// Installs the security policy (execution clearance + store protection).
+  /// Only meaningful for the tainted instantiation.
+  void set_policy(const dift::SecurityPolicy* policy);
+  /// Source for the `time` CSR, in microseconds of simulated time.
+  void set_time_source(std::function<std::uint64_t()> fn) { time_us_ = std::move(fn); }
+  /// Attaches an execution trace ring buffer (nullptr detaches). Costs one
+  /// predictable branch per instruction while attached.
+  void set_trace(TraceBuffer* trace) { trace_ = trace; }
+
+  // ---- architectural state ----
+
+  std::uint32_t pc() const { return pc_; }
+  void set_pc(std::uint32_t pc) { pc_ = pc; }
+  W reg(std::uint8_t r) const { return regs_[r]; }
+  void set_reg(std::uint8_t r, W v) {
+    if (r != 0) regs_[r] = v;
+  }
+  CsrFile& csrs() { return csrs_; }
+  std::uint64_t instret() const { return instret_; }
+
+  /// Raises/clears an interrupt-pending bit (kIrqMsoft/kIrqMtimer/kIrqMext).
+  void set_irq(std::uint32_t bit, bool level);
+  /// True while the core sleeps in WFI.
+  bool in_wfi() const { return wfi_; }
+  /// True iff an enabled interrupt is pending (what wakes WFI).
+  bool irq_pending() const { return (csrs_.mip & csrs_.mie) != 0; }
+
+  // ---- execution ----
+
+  /// Executes up to `max_instructions`; returns the reason for stopping.
+  /// Policy violations (VP+ only) propagate as dift::PolicyViolation.
+  RunExit run(std::uint64_t max_instructions);
+
+  /// Architectural reset: clears registers, CSRs, pending interrupts, the
+  /// WFI state, the decode cache, and the retirement counter; pc moves to
+  /// `reset_pc`. Wiring (bus, DMI, policy, trace) is preserved.
+  void reset(std::uint32_t reset_pc);
+
+  /// Checkpoint support: restores the retirement counter and WFI state
+  /// (registers/pc/CSRs are restored through their accessors).
+  void restore_counters(std::uint64_t instret, bool wfi) {
+    instret_ = instret;
+    wfi_ = wfi;
+  }
+
+  /// Single-step convenience for tests.
+  void step() { run(1); }
+
+ private:
+  struct MemAccess {
+    std::uint32_t value;
+    dift::Tag tag;
+    bool fault;
+  };
+
+  void execute(const Insn& d);
+  void transport_with_pc(tlmlite::Payload& p, sysc::Time& delay);
+  MemAccess load(std::uint32_t addr, std::uint32_t size, bool sign_extend);
+  bool store(std::uint32_t addr, std::uint32_t value, dift::Tag tag,
+             std::uint32_t size);
+  MemAccess fetch32(std::uint32_t addr);
+  void take_trap(std::uint32_t cause, std::uint32_t tval);
+  void check_interrupts();
+  void do_csr(const Insn& d);
+
+  dift::Tag combine(dift::Tag a, dift::Tag b) { return Ops::combine(a, b); }
+  std::uint32_t rv(std::uint8_t r) const { return Ops::value(regs_[r]); }
+  dift::Tag rt(std::uint8_t r) const { return Ops::tag(regs_[r]); }
+  void wr(std::uint8_t rd, std::uint32_t v, dift::Tag t) {
+    if (rd != 0) regs_[rd] = Ops::make(v, t);
+  }
+  void wrw(std::uint8_t rd, W w) {
+    if (rd != 0) regs_[rd] = w;
+  }
+
+  std::string name_;
+  std::array<W, 32> regs_{};
+  std::uint32_t pc_ = 0;
+  std::uint32_t next_pc_ = 0;
+  CsrFile csrs_;
+  std::uint64_t instret_ = 0;
+  bool wfi_ = false;
+
+  tlmlite::InitiatorSocket bus_;
+  std::uint8_t* dmi_data_ = nullptr;
+  dift::Tag* dmi_tags_ = nullptr;
+  std::uint64_t dmi_base_ = 0;
+  std::uint64_t dmi_size_ = 0;
+
+  // Decode cache over the low part of the DMI window (riscv-vp-style): one
+  // pre-decoded entry per halfword, revalidated against the raw instruction
+  // bytes so that self-modifying code stays correct.
+  static constexpr std::uint64_t kDecodeCacheWindow = 256u << 10;
+  struct DecodeEntry {
+    std::uint32_t raw = 0;
+    Insn insn;
+  };
+  std::vector<DecodeEntry> decode_cache_;
+
+  const dift::SecurityPolicy* policy_ = nullptr;
+  dift::ExecutionClearance exec_;
+  bool has_store_prot_ = false;
+
+  std::function<std::uint64_t()> time_us_;
+  TraceBuffer* trace_ = nullptr;
+};
+
+extern template class Core<PlainWord>;
+extern template class Core<TaintedWord>;
+
+}  // namespace vpdift::rv

@@ -1,0 +1,54 @@
+#include "rv/csr.hpp"
+
+namespace vpdift::rv {
+
+bool CsrFile::exists(std::uint32_t n) const {
+  switch (n) {
+    case csr::kMstatus: case csr::kMisa: case csr::kMie: case csr::kMtvec:
+    case csr::kMscratch: case csr::kMepc: case csr::kMcause: case csr::kMtval:
+    case csr::kMip: case csr::kMcycle: case csr::kMinstret: case csr::kCycle:
+    case csr::kTime: case csr::kInstret: case csr::kMvendorid:
+    case csr::kMarchid: case csr::kMimpid: case csr::kMhartid:
+      return true;
+    default:
+      return false;
+  }
+}
+
+CsrValue CsrFile::read(std::uint32_t n, std::uint64_t cycle, std::uint64_t instret,
+                       std::uint64_t time_us) const {
+  switch (n) {
+    case csr::kMstatus: return mstatus;
+    case csr::kMisa: return {0x40001100u, dift::kBottomTag};  // RV32IM
+    case csr::kMie: return {mie, dift::kBottomTag};
+    case csr::kMtvec: return mtvec;
+    case csr::kMscratch: return mscratch;
+    case csr::kMepc: return mepc;
+    case csr::kMcause: return mcause;
+    case csr::kMtval: return mtval;
+    case csr::kMip: return {mip, dift::kBottomTag};
+    case csr::kMcycle: case csr::kCycle:
+      return {static_cast<std::uint32_t>(cycle), dift::kBottomTag};
+    case csr::kMinstret: case csr::kInstret:
+      return {static_cast<std::uint32_t>(instret), dift::kBottomTag};
+    case csr::kTime: return {static_cast<std::uint32_t>(time_us), dift::kBottomTag};
+    default: return {};  // mvendorid/marchid/mimpid/mhartid read as 0
+  }
+}
+
+void CsrFile::write(std::uint32_t n, CsrValue v) {
+  switch (n) {
+    case csr::kMstatus:
+      mstatus = {v.value & kWritableMstatus, v.tag};
+      break;
+    case csr::kMie: mie = v.value; break;
+    case csr::kMtvec: mtvec = v; break;
+    case csr::kMscratch: mscratch = v; break;
+    case csr::kMepc: mepc = {v.value & ~1u, v.tag}; break;
+    case csr::kMcause: mcause = v; break;
+    case csr::kMtval: mtval = v; break;
+    default: break;  // read-only or unimplemented-writable: ignore
+  }
+}
+
+}  // namespace vpdift::rv

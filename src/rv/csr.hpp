@@ -1,0 +1,74 @@
+// Machine-mode CSR file.
+//
+// CSRs carry a security tag alongside their value so that, e.g., a tainted
+// trap vector (mtvec) written from attacker-influenced data is caught by the
+// branch execution clearance when a trap dispatches through it.
+#pragma once
+
+#include <cstdint>
+
+#include "dift/tag.hpp"
+
+namespace vpdift::rv {
+
+namespace csr {
+inline constexpr std::uint32_t kMstatus = 0x300, kMisa = 0x301, kMie = 0x304,
+                               kMtvec = 0x305, kMscratch = 0x340, kMepc = 0x341,
+                               kMcause = 0x342, kMtval = 0x343, kMip = 0x344,
+                               kMcycle = 0xb00, kMinstret = 0xb02,
+                               kCycle = 0xc00, kTime = 0xc01, kInstret = 0xc02,
+                               kMvendorid = 0xf11, kMarchid = 0xf12,
+                               kMimpid = 0xf13, kMhartid = 0xf14;
+}  // namespace csr
+
+// mstatus bits.
+inline constexpr std::uint32_t kMstatusMie = 1u << 3;
+inline constexpr std::uint32_t kMstatusMpie = 1u << 7;
+inline constexpr std::uint32_t kMstatusMpp = 3u << 11;
+
+// mip/mie bits.
+inline constexpr std::uint32_t kIrqMsoft = 1u << 3;
+inline constexpr std::uint32_t kIrqMtimer = 1u << 7;
+inline constexpr std::uint32_t kIrqMext = 1u << 11;
+
+// mcause values.
+inline constexpr std::uint32_t kCauseInsnMisaligned = 0;
+inline constexpr std::uint32_t kCauseInsnAccessFault = 1;
+inline constexpr std::uint32_t kCauseIllegalInsn = 2;
+inline constexpr std::uint32_t kCauseBreakpoint = 3;
+inline constexpr std::uint32_t kCauseLoadMisaligned = 4;
+inline constexpr std::uint32_t kCauseLoadAccessFault = 5;
+inline constexpr std::uint32_t kCauseStoreMisaligned = 6;
+inline constexpr std::uint32_t kCauseStoreAccessFault = 7;
+inline constexpr std::uint32_t kCauseEcallM = 11;
+inline constexpr std::uint32_t kIrqBit = 0x80000000u;
+
+/// A tagged CSR value.
+struct CsrValue {
+  std::uint32_t value = 0;
+  dift::Tag tag = dift::kBottomTag;
+};
+
+/// Machine-mode CSR register file (the subset riscv-vp firmware uses).
+class CsrFile {
+ public:
+  /// True iff `number` names an implemented CSR.
+  bool exists(std::uint32_t number) const;
+  /// Read for the CSR instruction path; counters are materialised from the
+  /// core's cycle/instret arguments.
+  CsrValue read(std::uint32_t number, std::uint64_t cycle, std::uint64_t instret,
+                std::uint64_t time_us) const;
+  /// Write for the CSR instruction path; read-only CSRs ignore writes.
+  void write(std::uint32_t number, CsrValue v);
+
+  // Direct accessors for the trap/interrupt machinery.
+  CsrValue mstatus, mtvec, mscratch, mepc, mcause, mtval;
+  std::uint32_t mie = 0;
+  std::uint32_t mip = 0;
+
+ private:
+  static constexpr std::uint32_t kWritableMstatus =
+      kMstatusMie | kMstatusMpie | kMstatusMpp;
+};
+
+}  // namespace vpdift::rv

@@ -1,0 +1,482 @@
+#include "rv/decode.hpp"
+
+#include <cstdio>
+
+#include "rvasm/reg.hpp"
+
+namespace vpdift::rv {
+
+namespace {
+
+std::int32_t imm_i(std::uint32_t r) { return static_cast<std::int32_t>(r) >> 20; }
+
+std::int32_t imm_s(std::uint32_t r) {
+  return ((static_cast<std::int32_t>(r) >> 25) << 5) |
+         static_cast<std::int32_t>((r >> 7) & 0x1f);
+}
+
+std::int32_t imm_b(std::uint32_t r) {
+  std::int32_t v = ((static_cast<std::int32_t>(r) >> 31) << 12) |
+                   static_cast<std::int32_t>(((r >> 25) & 0x3f) << 5) |
+                   static_cast<std::int32_t>(((r >> 8) & 0xf) << 1) |
+                   static_cast<std::int32_t>(((r >> 7) & 1) << 11);
+  return v;
+}
+
+std::int32_t imm_u(std::uint32_t r) { return static_cast<std::int32_t>(r & 0xfffff000u); }
+
+std::int32_t imm_j(std::uint32_t r) {
+  std::int32_t v = ((static_cast<std::int32_t>(r) >> 31) << 20) |
+                   static_cast<std::int32_t>(((r >> 21) & 0x3ff) << 1) |
+                   static_cast<std::int32_t>(((r >> 20) & 1) << 11) |
+                   static_cast<std::int32_t>(((r >> 12) & 0xff) << 12);
+  return v;
+}
+
+}  // namespace
+
+Insn decode(std::uint32_t raw) {
+  Insn d;
+  d.raw = raw;
+  d.rd = (raw >> 7) & 0x1f;
+  d.rs1 = (raw >> 15) & 0x1f;
+  d.rs2 = (raw >> 20) & 0x1f;
+  const std::uint32_t opcode = raw & 0x7f;
+  const std::uint32_t f3 = (raw >> 12) & 7;
+  const std::uint32_t f7 = raw >> 25;
+
+  switch (opcode) {
+    case 0x37: d.op = Op::kLui; d.imm = imm_u(raw); break;
+    case 0x17: d.op = Op::kAuipc; d.imm = imm_u(raw); break;
+    case 0x6f: d.op = Op::kJal; d.imm = imm_j(raw); break;
+    case 0x67:
+      if (f3 == 0) { d.op = Op::kJalr; d.imm = imm_i(raw); }
+      break;
+    case 0x63:
+      d.imm = imm_b(raw);
+      d.rd = 0;  // B-format: bits 7..11 are immediate, not a destination
+      switch (f3) {
+        case 0: d.op = Op::kBeq; break;
+        case 1: d.op = Op::kBne; break;
+        case 4: d.op = Op::kBlt; break;
+        case 5: d.op = Op::kBge; break;
+        case 6: d.op = Op::kBltu; break;
+        case 7: d.op = Op::kBgeu; break;
+        default: break;
+      }
+      break;
+    case 0x03:
+      d.imm = imm_i(raw);
+      switch (f3) {
+        case 0: d.op = Op::kLb; break;
+        case 1: d.op = Op::kLh; break;
+        case 2: d.op = Op::kLw; break;
+        case 4: d.op = Op::kLbu; break;
+        case 5: d.op = Op::kLhu; break;
+        default: break;
+      }
+      break;
+    case 0x23:
+      d.imm = imm_s(raw);
+      d.rd = 0;  // S-format: bits 7..11 are immediate, not a destination
+      switch (f3) {
+        case 0: d.op = Op::kSb; break;
+        case 1: d.op = Op::kSh; break;
+        case 2: d.op = Op::kSw; break;
+        default: break;
+      }
+      break;
+    case 0x13:
+      d.imm = imm_i(raw);
+      switch (f3) {
+        case 0: d.op = Op::kAddi; break;
+        case 2: d.op = Op::kSlti; break;
+        case 3: d.op = Op::kSltiu; break;
+        case 4: d.op = Op::kXori; break;
+        case 6: d.op = Op::kOri; break;
+        case 7: d.op = Op::kAndi; break;
+        case 1:
+          if (f7 == 0x00) { d.op = Op::kSlli; d.imm = d.rs2; }
+          break;
+        case 5:
+          if (f7 == 0x00) { d.op = Op::kSrli; d.imm = d.rs2; }
+          else if (f7 == 0x20) { d.op = Op::kSrai; d.imm = d.rs2; }
+          break;
+        default: break;
+      }
+      break;
+    case 0x33:
+      if (f7 == 0x00) {
+        switch (f3) {
+          case 0: d.op = Op::kAdd; break;
+          case 1: d.op = Op::kSll; break;
+          case 2: d.op = Op::kSlt; break;
+          case 3: d.op = Op::kSltu; break;
+          case 4: d.op = Op::kXor; break;
+          case 5: d.op = Op::kSrl; break;
+          case 6: d.op = Op::kOr; break;
+          case 7: d.op = Op::kAnd; break;
+        }
+      } else if (f7 == 0x20) {
+        if (f3 == 0) d.op = Op::kSub;
+        else if (f3 == 5) d.op = Op::kSra;
+      } else if (f7 == 0x01) {
+        switch (f3) {
+          case 0: d.op = Op::kMul; break;
+          case 1: d.op = Op::kMulh; break;
+          case 2: d.op = Op::kMulhsu; break;
+          case 3: d.op = Op::kMulhu; break;
+          case 4: d.op = Op::kDiv; break;
+          case 5: d.op = Op::kDivu; break;
+          case 6: d.op = Op::kRem; break;
+          case 7: d.op = Op::kRemu; break;
+        }
+      }
+      break;
+    case 0x0f: d.op = Op::kFence; break;
+    case 0x73:
+      if (f3 == 0) {
+        if (raw == 0x00000073) d.op = Op::kEcall;
+        else if (raw == 0x00100073) d.op = Op::kEbreak;
+        else if (raw == 0x30200073) d.op = Op::kMret;
+        else if (raw == 0x10500073) d.op = Op::kWfi;
+      } else {
+        d.imm = static_cast<std::int32_t>(raw >> 20);  // CSR number
+        switch (f3) {
+          case 1: d.op = Op::kCsrrw; break;
+          case 2: d.op = Op::kCsrrs; break;
+          case 3: d.op = Op::kCsrrc; break;
+          case 5: d.op = Op::kCsrrwi; break;
+          case 6: d.op = Op::kCsrrsi; break;
+          case 7: d.op = Op::kCsrrci; break;
+          default: break;
+        }
+      }
+      break;
+    default: break;
+  }
+  return d;
+}
+
+namespace {
+
+// Sign-extends the low `bits` of v.
+std::int32_t sext(std::uint32_t v, int bits) {
+  const int sh = 32 - bits;
+  return static_cast<std::int32_t>(v << sh) >> sh;
+}
+
+std::uint32_t bit(std::uint16_t raw, int pos) { return (raw >> pos) & 1u; }
+
+std::uint8_t creg(std::uint16_t raw, int pos) {  // 3-bit register x8..x15
+  return static_cast<std::uint8_t>(8 + ((raw >> pos) & 7));
+}
+
+}  // namespace
+
+Insn decode16(std::uint16_t raw) {
+  Insn d;
+  d.raw = raw;
+  d.len = 2;
+  d.op = Op::kIllegal;
+  const std::uint32_t quadrant = raw & 3;
+  const std::uint32_t f3 = (raw >> 13) & 7;
+  const auto full_rd = static_cast<std::uint8_t>((raw >> 7) & 0x1f);
+  const auto full_rs2 = static_cast<std::uint8_t>((raw >> 2) & 0x1f);
+
+  if (raw == 0) return d;  // all-zero parcel is defined illegal
+
+  switch (quadrant) {
+    case 0:
+      switch (f3) {
+        case 0: {  // C.ADDI4SPN: addi rd', x2, nzuimm
+          const std::uint32_t imm = (bit(raw, 5) << 3) | (bit(raw, 6) << 2) |
+                                    (((raw >> 7) & 0xf) << 6) |
+                                    (((raw >> 11) & 3) << 4);
+          if (imm == 0) break;
+          d.op = Op::kAddi;
+          d.rd = creg(raw, 2);
+          d.rs1 = 2;
+          d.imm = static_cast<std::int32_t>(imm);
+          break;
+        }
+        case 2: {  // C.LW: lw rd', offset(rs1')
+          d.op = Op::kLw;
+          d.rd = creg(raw, 2);
+          d.rs1 = creg(raw, 7);
+          d.imm = static_cast<std::int32_t>((bit(raw, 6) << 2) |
+                                            (((raw >> 10) & 7) << 3) |
+                                            (bit(raw, 5) << 6));
+          break;
+        }
+        case 6: {  // C.SW: sw rs2', offset(rs1')
+          d.op = Op::kSw;
+          d.rs2 = creg(raw, 2);
+          d.rs1 = creg(raw, 7);
+          d.imm = static_cast<std::int32_t>((bit(raw, 6) << 2) |
+                                            (((raw >> 10) & 7) << 3) |
+                                            (bit(raw, 5) << 6));
+          break;
+        }
+        default:
+          break;  // FP loads/stores: unsupported
+      }
+      break;
+
+    case 1:
+      switch (f3) {
+        case 0:  // C.ADDI (C.NOP when rd=0)
+          d.op = Op::kAddi;
+          d.rd = full_rd;
+          d.rs1 = full_rd;
+          d.imm = sext((bit(raw, 12) << 5) | ((raw >> 2) & 0x1f), 6);
+          break;
+        case 1:  // C.JAL (RV32)
+        case 5: {  // C.J
+          d.op = Op::kJal;
+          d.rd = f3 == 1 ? 1 : 0;
+          d.imm = sext((bit(raw, 12) << 11) | (bit(raw, 11) << 4) |
+                           (((raw >> 9) & 3) << 8) | (bit(raw, 8) << 10) |
+                           (bit(raw, 7) << 6) | (bit(raw, 6) << 7) |
+                           (((raw >> 3) & 7) << 1) | (bit(raw, 2) << 5),
+                       12);
+          break;
+        }
+        case 2:  // C.LI: addi rd, x0, imm
+          d.op = Op::kAddi;
+          d.rd = full_rd;
+          d.rs1 = 0;
+          d.imm = sext((bit(raw, 12) << 5) | ((raw >> 2) & 0x1f), 6);
+          break;
+        case 3:
+          if (full_rd == 2) {  // C.ADDI16SP
+            const std::int32_t imm =
+                sext((bit(raw, 12) << 9) | (bit(raw, 6) << 4) |
+                         (bit(raw, 5) << 6) | (((raw >> 3) & 3) << 7) |
+                         (bit(raw, 2) << 5),
+                     10);
+            if (imm == 0) break;
+            d.op = Op::kAddi;
+            d.rd = 2;
+            d.rs1 = 2;
+            d.imm = imm;
+          } else {  // C.LUI
+            const std::int32_t imm =
+                sext((bit(raw, 12) << 17) | (((raw >> 2) & 0x1f) << 12), 18);
+            if (imm == 0 || full_rd == 0) break;
+            d.op = Op::kLui;
+            d.rd = full_rd;
+            d.imm = imm;
+          }
+          break;
+        case 4: {  // ALU group on rd'
+          const std::uint32_t f2 = (raw >> 10) & 3;
+          d.rd = creg(raw, 7);
+          d.rs1 = d.rd;
+          const std::uint32_t shamt = (bit(raw, 12) << 5) | ((raw >> 2) & 0x1f);
+          switch (f2) {
+            case 0:  // C.SRLI
+              if (shamt >= 32) break;  // RV32: shamt[5] must be 0
+              d.op = Op::kSrli;
+              d.imm = static_cast<std::int32_t>(shamt);
+              break;
+            case 1:  // C.SRAI
+              if (shamt >= 32) break;
+              d.op = Op::kSrai;
+              d.imm = static_cast<std::int32_t>(shamt);
+              break;
+            case 2:  // C.ANDI
+              d.op = Op::kAndi;
+              d.imm = sext((bit(raw, 12) << 5) | ((raw >> 2) & 0x1f), 6);
+              break;
+            case 3: {
+              if (bit(raw, 12)) break;  // RV64 C.SUBW/C.ADDW
+              d.rs2 = creg(raw, 2);
+              switch ((raw >> 5) & 3) {
+                case 0: d.op = Op::kSub; break;
+                case 1: d.op = Op::kXor; break;
+                case 2: d.op = Op::kOr; break;
+                case 3: d.op = Op::kAnd; break;
+              }
+              break;
+            }
+          }
+          break;
+        }
+        case 6:   // C.BEQZ
+        case 7: {  // C.BNEZ
+          d.op = f3 == 6 ? Op::kBeq : Op::kBne;
+          d.rs1 = creg(raw, 7);
+          d.rs2 = 0;
+          d.imm = sext((bit(raw, 12) << 8) | (((raw >> 10) & 3) << 3) |
+                           (((raw >> 5) & 3) << 6) | (((raw >> 3) & 3) << 1) |
+                           (bit(raw, 2) << 5),
+                       9);
+          break;
+        }
+      }
+      break;
+
+    case 2:
+      switch (f3) {
+        case 0: {  // C.SLLI
+          const std::uint32_t shamt = (bit(raw, 12) << 5) | ((raw >> 2) & 0x1f);
+          if (shamt >= 32 || full_rd == 0) break;
+          d.op = Op::kSlli;
+          d.rd = full_rd;
+          d.rs1 = full_rd;
+          d.imm = static_cast<std::int32_t>(shamt);
+          break;
+        }
+        case 2: {  // C.LWSP
+          if (full_rd == 0) break;
+          d.op = Op::kLw;
+          d.rd = full_rd;
+          d.rs1 = 2;
+          d.imm = static_cast<std::int32_t>((bit(raw, 12) << 5) |
+                                            (((raw >> 4) & 7) << 2) |
+                                            (((raw >> 2) & 3) << 6));
+          break;
+        }
+        case 4:
+          if (!bit(raw, 12)) {
+            if (full_rs2 == 0) {  // C.JR
+              if (full_rd == 0) break;
+              d.op = Op::kJalr;
+              d.rd = 0;
+              d.rs1 = full_rd;
+              d.imm = 0;
+            } else {  // C.MV: add rd, x0, rs2
+              d.op = Op::kAdd;
+              d.rd = full_rd;
+              d.rs1 = 0;
+              d.rs2 = full_rs2;
+            }
+          } else {
+            if (full_rd == 0 && full_rs2 == 0) {  // C.EBREAK
+              d.op = Op::kEbreak;
+            } else if (full_rs2 == 0) {  // C.JALR
+              d.op = Op::kJalr;
+              d.rd = 1;
+              d.rs1 = full_rd;
+              d.imm = 0;
+            } else {  // C.ADD
+              d.op = Op::kAdd;
+              d.rd = full_rd;
+              d.rs1 = full_rd;
+              d.rs2 = full_rs2;
+            }
+          }
+          break;
+        case 6: {  // C.SWSP
+          d.op = Op::kSw;
+          d.rs2 = full_rs2;
+          d.rs1 = 2;
+          d.imm = static_cast<std::int32_t>((((raw >> 9) & 0xf) << 2) |
+                                            (((raw >> 7) & 3) << 6));
+          break;
+        }
+        default:
+          break;
+      }
+      break;
+
+    default:
+      break;  // quadrant 3 is the 32-bit space; not a compressed parcel
+  }
+  return d;
+}
+
+const char* mnemonic(Op op) {
+  switch (op) {
+    case Op::kIllegal: return "illegal";
+    case Op::kLui: return "lui"; case Op::kAuipc: return "auipc";
+    case Op::kJal: return "jal"; case Op::kJalr: return "jalr";
+    case Op::kBeq: return "beq"; case Op::kBne: return "bne";
+    case Op::kBlt: return "blt"; case Op::kBge: return "bge";
+    case Op::kBltu: return "bltu"; case Op::kBgeu: return "bgeu";
+    case Op::kLb: return "lb"; case Op::kLh: return "lh"; case Op::kLw: return "lw";
+    case Op::kLbu: return "lbu"; case Op::kLhu: return "lhu";
+    case Op::kSb: return "sb"; case Op::kSh: return "sh"; case Op::kSw: return "sw";
+    case Op::kAddi: return "addi"; case Op::kSlti: return "slti";
+    case Op::kSltiu: return "sltiu"; case Op::kXori: return "xori";
+    case Op::kOri: return "ori"; case Op::kAndi: return "andi";
+    case Op::kSlli: return "slli"; case Op::kSrli: return "srli";
+    case Op::kSrai: return "srai";
+    case Op::kAdd: return "add"; case Op::kSub: return "sub";
+    case Op::kSll: return "sll"; case Op::kSlt: return "slt";
+    case Op::kSltu: return "sltu"; case Op::kXor: return "xor";
+    case Op::kSrl: return "srl"; case Op::kSra: return "sra";
+    case Op::kOr: return "or"; case Op::kAnd: return "and";
+    case Op::kFence: return "fence"; case Op::kEcall: return "ecall";
+    case Op::kEbreak: return "ebreak";
+    case Op::kMul: return "mul"; case Op::kMulh: return "mulh";
+    case Op::kMulhsu: return "mulhsu"; case Op::kMulhu: return "mulhu";
+    case Op::kDiv: return "div"; case Op::kDivu: return "divu";
+    case Op::kRem: return "rem"; case Op::kRemu: return "remu";
+    case Op::kCsrrw: return "csrrw"; case Op::kCsrrs: return "csrrs";
+    case Op::kCsrrc: return "csrrc"; case Op::kCsrrwi: return "csrrwi";
+    case Op::kCsrrsi: return "csrrsi"; case Op::kCsrrci: return "csrrci";
+    case Op::kMret: return "mret"; case Op::kWfi: return "wfi";
+  }
+  return "?";
+}
+
+std::string disassemble(const Insn& d) {
+  using rvasm::reg_name;
+  char buf[96];
+  switch (d.op) {
+    case Op::kLui: case Op::kAuipc:
+      std::snprintf(buf, sizeof buf, "%s %s, 0x%x", mnemonic(d.op), reg_name(d.rd),
+                    static_cast<std::uint32_t>(d.imm) >> 12);
+      break;
+    case Op::kJal:
+      std::snprintf(buf, sizeof buf, "jal %s, %d", reg_name(d.rd), d.imm);
+      break;
+    case Op::kJalr:
+      std::snprintf(buf, sizeof buf, "jalr %s, %s, %d", reg_name(d.rd),
+                    reg_name(d.rs1), d.imm);
+      break;
+    case Op::kBeq: case Op::kBne: case Op::kBlt: case Op::kBge:
+    case Op::kBltu: case Op::kBgeu:
+      std::snprintf(buf, sizeof buf, "%s %s, %s, %d", mnemonic(d.op),
+                    reg_name(d.rs1), reg_name(d.rs2), d.imm);
+      break;
+    case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLbu: case Op::kLhu:
+      std::snprintf(buf, sizeof buf, "%s %s, %d(%s)", mnemonic(d.op),
+                    reg_name(d.rd), d.imm, reg_name(d.rs1));
+      break;
+    case Op::kSb: case Op::kSh: case Op::kSw:
+      std::snprintf(buf, sizeof buf, "%s %s, %d(%s)", mnemonic(d.op),
+                    reg_name(d.rs2), d.imm, reg_name(d.rs1));
+      break;
+    case Op::kAddi: case Op::kSlti: case Op::kSltiu: case Op::kXori:
+    case Op::kOri: case Op::kAndi: case Op::kSlli: case Op::kSrli: case Op::kSrai:
+      std::snprintf(buf, sizeof buf, "%s %s, %s, %d", mnemonic(d.op),
+                    reg_name(d.rd), reg_name(d.rs1), d.imm);
+      break;
+    case Op::kAdd: case Op::kSub: case Op::kSll: case Op::kSlt: case Op::kSltu:
+    case Op::kXor: case Op::kSrl: case Op::kSra: case Op::kOr: case Op::kAnd:
+    case Op::kMul: case Op::kMulh: case Op::kMulhsu: case Op::kMulhu:
+    case Op::kDiv: case Op::kDivu: case Op::kRem: case Op::kRemu:
+      std::snprintf(buf, sizeof buf, "%s %s, %s, %s", mnemonic(d.op),
+                    reg_name(d.rd), reg_name(d.rs1), reg_name(d.rs2));
+      break;
+    case Op::kCsrrw: case Op::kCsrrs: case Op::kCsrrc:
+      std::snprintf(buf, sizeof buf, "%s %s, 0x%x, %s", mnemonic(d.op),
+                    reg_name(d.rd), d.imm, reg_name(d.rs1));
+      break;
+    case Op::kCsrrwi: case Op::kCsrrsi: case Op::kCsrrci:
+      std::snprintf(buf, sizeof buf, "%s %s, 0x%x, %u", mnemonic(d.op),
+                    reg_name(d.rd), d.imm, d.rs1);
+      break;
+    default:
+      std::snprintf(buf, sizeof buf, "%s", mnemonic(d.op));
+      break;
+  }
+  return buf;
+}
+
+std::string disassemble(std::uint32_t raw) { return disassemble(decode(raw)); }
+
+}  // namespace vpdift::rv

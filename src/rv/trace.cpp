@@ -1,0 +1,40 @@
+#include "rv/trace.hpp"
+
+#include <cstdio>
+
+#include "rvasm/reg.hpp"
+
+namespace vpdift::rv {
+
+std::vector<TraceEntry> TraceBuffer::snapshot() const {
+  std::vector<TraceEntry> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  const std::uint64_t first = next_ - n;
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(entries_[(first + i) % entries_.size()]);
+  return out;
+}
+
+std::string TraceBuffer::format() const {
+  std::string out;
+  char line[160];
+  for (const TraceEntry& e : snapshot()) {
+    const std::string dis = disassemble(e.raw);
+    if (e.rd != 0) {
+      std::snprintf(line, sizeof line,
+                    "[%8llu] %08x: %-28s %s=%08x tag=%u\n",
+                    static_cast<unsigned long long>(e.instret), e.pc,
+                    dis.c_str(), rvasm::reg_name(e.rd), e.rd_value,
+                    static_cast<unsigned>(e.rd_tag));
+    } else {
+      std::snprintf(line, sizeof line, "[%8llu] %08x: %s\n",
+                    static_cast<unsigned long long>(e.instret), e.pc,
+                    dis.c_str());
+    }
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace vpdift::rv

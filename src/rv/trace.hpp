@@ -1,0 +1,54 @@
+// Execution tracing: a ring buffer of recently executed instructions with
+// their results and taint tags — attached to violation reports so a policy
+// developer sees *how* classified data reached the check that fired.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dift/tag.hpp"
+#include "rv/decode.hpp"
+
+namespace vpdift::rv {
+
+struct TraceEntry {
+  std::uint64_t instret = 0;   ///< retirement index
+  std::uint32_t pc = 0;
+  std::uint32_t raw = 0;       ///< instruction word
+  std::uint8_t rd = 0;         ///< destination register (0 if none)
+  std::uint32_t rd_value = 0;  ///< value written to rd
+  dift::Tag rd_tag = 0;        ///< security class of that value
+};
+
+/// Fixed-capacity ring buffer of TraceEntry.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity = 32)
+      : entries_(capacity ? capacity : 1) {}
+
+  void push(const TraceEntry& e) {
+    entries_[next_ % entries_.size()] = e;
+    ++next_;
+  }
+
+  std::size_t capacity() const { return entries_.size(); }
+  /// Number of entries currently held (<= capacity).
+  std::size_t size() const { return next_ < entries_.size() ? next_ : entries_.size(); }
+  /// Total instructions ever pushed.
+  std::uint64_t pushed() const { return next_; }
+  void clear() { next_ = 0; }
+
+  /// Entries oldest-to-newest.
+  std::vector<TraceEntry> snapshot() const;
+
+  /// Human-readable rendering with disassembly, e.g.
+  ///   [   1234] 80000040: lbu t1, 0(t0)        t1=0000002b tag=2
+  std::string format() const;
+
+ private:
+  std::vector<TraceEntry> entries_;
+  std::uint64_t next_ = 0;
+};
+
+}  // namespace vpdift::rv

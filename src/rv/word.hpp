@@ -1,0 +1,44 @@
+// Machine-word abstraction: the one type parameter distinguishing the plain
+// VP from the DIFT-enabled VP+ (paper, Section V-B1, modification no. 1).
+#pragma once
+
+#include <cstdint>
+
+#include "dift/context.hpp"
+#include "dift/tag.hpp"
+#include "dift/taint.hpp"
+
+namespace vpdift::rv {
+
+template <typename W>
+struct WordOps;
+
+/// Plain VP: registers are native 32-bit words, tags are compile-time zero.
+template <>
+struct WordOps<std::uint32_t> {
+  static constexpr bool kTainted = false;
+  static std::uint32_t value(std::uint32_t w) { return w; }
+  static dift::Tag tag(std::uint32_t) { return dift::kBottomTag; }
+  static std::uint32_t make(std::uint32_t v, dift::Tag) { return v; }
+  /// Tag combination: compiles away entirely.
+  static dift::Tag combine(dift::Tag, dift::Tag) { return dift::kBottomTag; }
+};
+
+/// VP+: registers are Taint<uint32_t>; tag combination is the IFP's LUB.
+template <>
+struct WordOps<dift::Taint<std::uint32_t>> {
+  static constexpr bool kTainted = true;
+  static std::uint32_t value(const dift::Taint<std::uint32_t>& w) { return w.value(); }
+  static dift::Tag tag(const dift::Taint<std::uint32_t>& w) { return w.tag(); }
+  static dift::Taint<std::uint32_t> make(std::uint32_t v, dift::Tag t) {
+    return dift::Taint<std::uint32_t>(v, t);
+  }
+  static dift::Tag combine(dift::Tag a, dift::Tag b) { return dift::lub(a, b); }
+};
+
+/// The plain machine word of the original VP.
+using PlainWord = std::uint32_t;
+/// The tainted machine word of the VP+.
+using TaintedWord = dift::Taint<std::uint32_t>;
+
+}  // namespace vpdift::rv

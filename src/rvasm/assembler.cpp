@@ -1,0 +1,595 @@
+#include "rvasm/assembler.hpp"
+
+#include <cassert>
+
+namespace vpdift::rvasm {
+
+namespace {
+
+// Base opcodes (RISC-V unprivileged spec, table 24.1).
+constexpr std::uint32_t kOpLui = 0x37, kOpAuipc = 0x17, kOpJal = 0x6f,
+                        kOpJalr = 0x67, kOpBranch = 0x63, kOpLoad = 0x03,
+                        kOpStore = 0x23, kOpImm = 0x13, kOpReg = 0x33,
+                        kOpFence = 0x0f, kOpSystem = 0x73;
+
+void check_reg(Reg r) {
+  if (r > 31) throw AsmError("register out of range");
+}
+
+void check_reg_public(Reg r) { check_reg(r); }
+
+void check_imm12(std::int64_t imm) {
+  if (imm < -2048 || imm > 2047)
+    throw AsmError("immediate out of 12-bit range: " + std::to_string(imm));
+}
+
+std::uint32_t enc_r(std::uint32_t f7, Reg rs2, Reg rs1, std::uint32_t f3, Reg rd,
+                    std::uint32_t op) {
+  check_reg(rd); check_reg(rs1); check_reg(rs2);
+  return (f7 << 25) | (std::uint32_t(rs2) << 20) | (std::uint32_t(rs1) << 15) |
+         (f3 << 12) | (std::uint32_t(rd) << 7) | op;
+}
+
+std::uint32_t enc_i(std::int32_t imm, Reg rs1, std::uint32_t f3, Reg rd,
+                    std::uint32_t op) {
+  check_reg(rd); check_reg(rs1); check_imm12(imm);
+  return (static_cast<std::uint32_t>(imm & 0xfff) << 20) |
+         (std::uint32_t(rs1) << 15) | (f3 << 12) | (std::uint32_t(rd) << 7) | op;
+}
+
+std::uint32_t enc_csr(std::uint32_t csr, std::uint32_t rs1_or_uimm, std::uint32_t f3,
+                      Reg rd, std::uint32_t op) {
+  if (csr > 0xfff) throw AsmError("CSR number out of range");
+  if (rs1_or_uimm > 31) throw AsmError("CSR rs1/uimm out of range");
+  return (csr << 20) | (rs1_or_uimm << 15) | (f3 << 12) | (std::uint32_t(rd) << 7) | op;
+}
+
+std::uint32_t enc_s(std::int32_t imm, Reg rs2, Reg rs1, std::uint32_t f3,
+                    std::uint32_t op) {
+  check_reg(rs1); check_reg(rs2); check_imm12(imm);
+  const auto u = static_cast<std::uint32_t>(imm & 0xfff);
+  return ((u >> 5) << 25) | (std::uint32_t(rs2) << 20) | (std::uint32_t(rs1) << 15) |
+         (f3 << 12) | ((u & 0x1f) << 7) | op;
+}
+
+std::uint32_t enc_b(std::int32_t imm, Reg rs2, Reg rs1, std::uint32_t f3) {
+  check_reg(rs1); check_reg(rs2);
+  if (imm % 2 != 0) throw AsmError("branch target misaligned");
+  if (imm < -4096 || imm > 4094)
+    throw AsmError("branch displacement out of range: " + std::to_string(imm));
+  const auto u = static_cast<std::uint32_t>(imm);
+  return (((u >> 12) & 1) << 31) | (((u >> 5) & 0x3f) << 25) |
+         (std::uint32_t(rs2) << 20) | (std::uint32_t(rs1) << 15) | (f3 << 12) |
+         (((u >> 1) & 0xf) << 8) | (((u >> 11) & 1) << 7) | kOpBranch;
+}
+
+std::uint32_t enc_u(std::int32_t imm20, Reg rd, std::uint32_t op) {
+  check_reg(rd);
+  if (imm20 < -(1 << 19) || imm20 >= (1 << 20))
+    throw AsmError("U-type immediate out of 20-bit range");
+  return (static_cast<std::uint32_t>(imm20 & 0xfffff) << 12) |
+         (std::uint32_t(rd) << 7) | op;
+}
+
+std::uint32_t enc_j(std::int32_t imm, Reg rd) {
+  check_reg(rd);
+  if (imm % 2 != 0) throw AsmError("jump target misaligned");
+  if (imm < -(1 << 20) || imm >= (1 << 20))
+    throw AsmError("jal displacement out of range: " + std::to_string(imm));
+  const auto u = static_cast<std::uint32_t>(imm);
+  return (((u >> 20) & 1) << 31) | (((u >> 1) & 0x3ff) << 21) |
+         (((u >> 11) & 1) << 20) | (((u >> 12) & 0xff) << 12) |
+         (std::uint32_t(rd) << 7) | kOpJal;
+}
+
+std::uint32_t enc_shift(std::uint32_t f7, std::uint32_t shamt, Reg rs1,
+                        std::uint32_t f3, Reg rd) {
+  if (shamt > 31) throw AsmError("shift amount out of range");
+  return enc_r(f7, static_cast<Reg>(shamt), rs1, f3, rd, kOpImm);
+}
+
+}  // namespace
+
+HiLo split_hi_lo(std::uint32_t value) {
+  std::int32_t lo = static_cast<std::int32_t>(value << 20) >> 20;  // sext low 12
+  std::uint32_t hi = (value - static_cast<std::uint32_t>(lo)) >> 12;
+  return {static_cast<std::int32_t>(static_cast<std::int32_t>(hi << 12) >> 12), lo};
+}
+
+const char* reg_name(Reg r) {
+  static const char* names[32] = {
+      "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0",
+      "a1",   "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5",
+      "s6",   "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+  return r < 32 ? names[r] : "??";
+}
+
+Assembler::Assembler(std::uint64_t base) { segments_.push_back({base, {}}); }
+
+std::uint64_t Assembler::here() const {
+  const Segment& s = segments_.back();
+  return s.base + s.bytes.size();
+}
+
+void Assembler::org(std::uint64_t address) { segments_.push_back({address, {}}); }
+
+void Assembler::label(const std::string& name) { equ(name, here()); }
+
+void Assembler::equ(const std::string& name, std::uint64_t address) {
+  if (!symbols_.emplace(name, address).second)
+    throw AsmError("duplicate label: " + name);
+}
+
+void Assembler::align(std::uint32_t alignment) {
+  if (alignment == 0 || (alignment & (alignment - 1)))
+    throw AsmError("alignment must be a power of two");
+  while (here() % alignment != 0) byte(0);
+}
+
+void Assembler::byte(std::uint8_t v) { segments_.back().bytes.push_back(v); }
+void Assembler::half(std::uint16_t v) { byte(v & 0xff); byte(v >> 8); }
+void Assembler::word(std::uint32_t v) { half(v & 0xffff); half(v >> 16); }
+
+void Assembler::word_of(const std::string& lbl) {
+  fixups_.push_back({segments_.size() - 1, segments_.back().bytes.size(),
+                     FixKind::kWord, lbl});
+  word(0);
+}
+
+void Assembler::bytes(const std::uint8_t* data, std::size_t n) {
+  segments_.back().bytes.insert(segments_.back().bytes.end(), data, data + n);
+}
+
+void Assembler::ascii(std::string_view s) {
+  bytes(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+void Assembler::asciiz(std::string_view s) { ascii(s); byte(0); }
+
+void Assembler::zero_fill(std::size_t n) {
+  segments_.back().bytes.insert(segments_.back().bytes.end(), n, 0);
+}
+
+void Assembler::emit32(std::uint32_t v) {
+  if (here() % 2 != 0) throw AsmError("instruction at unaligned address");
+  word(v);
+  text_bytes_ += 4;
+}
+
+void Assembler::emit16(std::uint16_t v) {
+  if (here() % 2 != 0) throw AsmError("instruction at unaligned address");
+  half(v);
+  text_bytes_ += 2;
+}
+
+// ---- RV32I ----
+
+void Assembler::lui(Reg rd, std::int32_t imm20) { emit32(enc_u(imm20, rd, kOpLui)); }
+void Assembler::auipc(Reg rd, std::int32_t imm20) { emit32(enc_u(imm20, rd, kOpAuipc)); }
+
+void Assembler::jal(Reg rd, const std::string& lbl) {
+  fixups_.push_back({segments_.size() - 1, segments_.back().bytes.size(),
+                     FixKind::kJal, lbl});
+  emit32(enc_j(0, rd));
+}
+
+void Assembler::jalr(Reg rd, Reg rs1, std::int32_t imm) {
+  emit32(enc_i(imm, rs1, 0, rd, kOpJalr));
+}
+
+void Assembler::emit_branch(std::uint32_t f3, Reg rs1, Reg rs2,
+                            const std::string& lbl) {
+  fixups_.push_back({segments_.size() - 1, segments_.back().bytes.size(),
+                     FixKind::kBranch, lbl});
+  emit32(enc_b(0, rs2, rs1, f3));
+}
+
+void Assembler::beq(Reg a, Reg b, const std::string& l) { emit_branch(0, a, b, l); }
+void Assembler::bne(Reg a, Reg b, const std::string& l) { emit_branch(1, a, b, l); }
+void Assembler::blt(Reg a, Reg b, const std::string& l) { emit_branch(4, a, b, l); }
+void Assembler::bge(Reg a, Reg b, const std::string& l) { emit_branch(5, a, b, l); }
+void Assembler::bltu(Reg a, Reg b, const std::string& l) { emit_branch(6, a, b, l); }
+void Assembler::bgeu(Reg a, Reg b, const std::string& l) { emit_branch(7, a, b, l); }
+
+void Assembler::lb(Reg rd, Reg rs1, std::int32_t imm) { emit32(enc_i(imm, rs1, 0, rd, kOpLoad)); }
+void Assembler::lh(Reg rd, Reg rs1, std::int32_t imm) { emit32(enc_i(imm, rs1, 1, rd, kOpLoad)); }
+void Assembler::lw(Reg rd, Reg rs1, std::int32_t imm) { emit32(enc_i(imm, rs1, 2, rd, kOpLoad)); }
+void Assembler::lbu(Reg rd, Reg rs1, std::int32_t imm) { emit32(enc_i(imm, rs1, 4, rd, kOpLoad)); }
+void Assembler::lhu(Reg rd, Reg rs1, std::int32_t imm) { emit32(enc_i(imm, rs1, 5, rd, kOpLoad)); }
+
+void Assembler::sb(Reg rs2, Reg rs1, std::int32_t imm) { emit32(enc_s(imm, rs2, rs1, 0, kOpStore)); }
+void Assembler::sh(Reg rs2, Reg rs1, std::int32_t imm) { emit32(enc_s(imm, rs2, rs1, 1, kOpStore)); }
+void Assembler::sw(Reg rs2, Reg rs1, std::int32_t imm) { emit32(enc_s(imm, rs2, rs1, 2, kOpStore)); }
+
+void Assembler::addi(Reg rd, Reg rs1, std::int32_t imm) { emit32(enc_i(imm, rs1, 0, rd, kOpImm)); }
+void Assembler::slti(Reg rd, Reg rs1, std::int32_t imm) { emit32(enc_i(imm, rs1, 2, rd, kOpImm)); }
+void Assembler::sltiu(Reg rd, Reg rs1, std::int32_t imm) { emit32(enc_i(imm, rs1, 3, rd, kOpImm)); }
+void Assembler::xori(Reg rd, Reg rs1, std::int32_t imm) { emit32(enc_i(imm, rs1, 4, rd, kOpImm)); }
+void Assembler::ori(Reg rd, Reg rs1, std::int32_t imm) { emit32(enc_i(imm, rs1, 6, rd, kOpImm)); }
+void Assembler::andi(Reg rd, Reg rs1, std::int32_t imm) { emit32(enc_i(imm, rs1, 7, rd, kOpImm)); }
+
+void Assembler::slli(Reg rd, Reg rs1, std::uint32_t s) { emit32(enc_shift(0x00, s, rs1, 1, rd)); }
+void Assembler::srli(Reg rd, Reg rs1, std::uint32_t s) { emit32(enc_shift(0x00, s, rs1, 5, rd)); }
+void Assembler::srai(Reg rd, Reg rs1, std::uint32_t s) { emit32(enc_shift(0x20, s, rs1, 5, rd)); }
+
+void Assembler::add(Reg rd, Reg rs1, Reg rs2) { emit32(enc_r(0x00, rs2, rs1, 0, rd, kOpReg)); }
+void Assembler::sub(Reg rd, Reg rs1, Reg rs2) { emit32(enc_r(0x20, rs2, rs1, 0, rd, kOpReg)); }
+void Assembler::sll(Reg rd, Reg rs1, Reg rs2) { emit32(enc_r(0x00, rs2, rs1, 1, rd, kOpReg)); }
+void Assembler::slt(Reg rd, Reg rs1, Reg rs2) { emit32(enc_r(0x00, rs2, rs1, 2, rd, kOpReg)); }
+void Assembler::sltu(Reg rd, Reg rs1, Reg rs2) { emit32(enc_r(0x00, rs2, rs1, 3, rd, kOpReg)); }
+void Assembler::xor_(Reg rd, Reg rs1, Reg rs2) { emit32(enc_r(0x00, rs2, rs1, 4, rd, kOpReg)); }
+void Assembler::srl(Reg rd, Reg rs1, Reg rs2) { emit32(enc_r(0x00, rs2, rs1, 5, rd, kOpReg)); }
+void Assembler::sra(Reg rd, Reg rs1, Reg rs2) { emit32(enc_r(0x20, rs2, rs1, 5, rd, kOpReg)); }
+void Assembler::or_(Reg rd, Reg rs1, Reg rs2) { emit32(enc_r(0x00, rs2, rs1, 6, rd, kOpReg)); }
+void Assembler::and_(Reg rd, Reg rs1, Reg rs2) { emit32(enc_r(0x00, rs2, rs1, 7, rd, kOpReg)); }
+
+void Assembler::fence() { emit32(0x0ff0000f); }
+void Assembler::ecall() { emit32(0x00000073); }
+void Assembler::ebreak() { emit32(0x00100073); }
+
+// ---- RV32M ----
+
+void Assembler::mul(Reg rd, Reg rs1, Reg rs2) { emit32(enc_r(0x01, rs2, rs1, 0, rd, kOpReg)); }
+void Assembler::mulh(Reg rd, Reg rs1, Reg rs2) { emit32(enc_r(0x01, rs2, rs1, 1, rd, kOpReg)); }
+void Assembler::mulhsu(Reg rd, Reg rs1, Reg rs2) { emit32(enc_r(0x01, rs2, rs1, 2, rd, kOpReg)); }
+void Assembler::mulhu(Reg rd, Reg rs1, Reg rs2) { emit32(enc_r(0x01, rs2, rs1, 3, rd, kOpReg)); }
+void Assembler::div_(Reg rd, Reg rs1, Reg rs2) { emit32(enc_r(0x01, rs2, rs1, 4, rd, kOpReg)); }
+void Assembler::divu(Reg rd, Reg rs1, Reg rs2) { emit32(enc_r(0x01, rs2, rs1, 5, rd, kOpReg)); }
+void Assembler::rem(Reg rd, Reg rs1, Reg rs2) { emit32(enc_r(0x01, rs2, rs1, 6, rd, kOpReg)); }
+void Assembler::remu(Reg rd, Reg rs1, Reg rs2) { emit32(enc_r(0x01, rs2, rs1, 7, rd, kOpReg)); }
+
+// ---- Zicsr + privileged ----
+
+void Assembler::csrrw(Reg rd, std::uint32_t csr, Reg rs1) { emit32(enc_csr(csr, rs1, 1, rd, kOpSystem)); }
+void Assembler::csrrs(Reg rd, std::uint32_t csr, Reg rs1) { emit32(enc_csr(csr, rs1, 2, rd, kOpSystem)); }
+void Assembler::csrrc(Reg rd, std::uint32_t csr, Reg rs1) { emit32(enc_csr(csr, rs1, 3, rd, kOpSystem)); }
+void Assembler::csrrwi(Reg rd, std::uint32_t csr, std::uint32_t u) { emit32(enc_csr(csr, u, 5, rd, kOpSystem)); }
+void Assembler::csrrsi(Reg rd, std::uint32_t csr, std::uint32_t u) { emit32(enc_csr(csr, u, 6, rd, kOpSystem)); }
+void Assembler::csrrci(Reg rd, std::uint32_t csr, std::uint32_t u) { emit32(enc_csr(csr, u, 7, rd, kOpSystem)); }
+void Assembler::mret() { emit32(0x30200073); }
+void Assembler::wfi() { emit32(0x10500073); }
+
+// ---- pseudo-instructions ----
+
+void Assembler::nop() { addi(reg::x0, reg::x0, 0); }
+void Assembler::mv(Reg rd, Reg rs) { addi(rd, rs, 0); }
+void Assembler::not_(Reg rd, Reg rs) { xori(rd, rs, -1); }
+void Assembler::neg(Reg rd, Reg rs) { sub(rd, reg::x0, rs); }
+void Assembler::seqz(Reg rd, Reg rs) { sltiu(rd, rs, 1); }
+void Assembler::snez(Reg rd, Reg rs) { sltu(rd, reg::x0, rs); }
+
+void Assembler::li(Reg rd, std::int64_t imm) {
+  if (imm < INT32_MIN || imm > static_cast<std::int64_t>(UINT32_MAX))
+    throw AsmError("li immediate exceeds 32 bits");
+  const auto v = static_cast<std::uint32_t>(imm);
+  if (static_cast<std::int32_t>(v) >= -2048 && static_cast<std::int32_t>(v) <= 2047) {
+    addi(rd, reg::x0, static_cast<std::int32_t>(v));
+    return;
+  }
+  const HiLo hl = split_hi_lo(v);
+  lui(rd, hl.hi20);
+  if (hl.lo12 != 0) addi(rd, rd, hl.lo12);
+}
+
+void Assembler::la(Reg rd, const std::string& lbl) {
+  fixups_.push_back({segments_.size() - 1, segments_.back().bytes.size(),
+                     FixKind::kHiLoPair, lbl});
+  lui(rd, 0);
+  addi(rd, rd, 0);
+}
+
+void Assembler::j(const std::string& lbl) { jal(reg::x0, lbl); }
+void Assembler::call(const std::string& lbl) { jal(reg::ra, lbl); }
+void Assembler::ret() { jalr(reg::x0, reg::ra, 0); }
+void Assembler::jr(Reg rs) { jalr(reg::x0, rs, 0); }
+
+void Assembler::beqz(Reg rs, const std::string& l) { beq(rs, reg::x0, l); }
+void Assembler::bnez(Reg rs, const std::string& l) { bne(rs, reg::x0, l); }
+void Assembler::blez(Reg rs, const std::string& l) { bge(reg::x0, rs, l); }
+void Assembler::bgez(Reg rs, const std::string& l) { bge(rs, reg::x0, l); }
+void Assembler::bltz(Reg rs, const std::string& l) { blt(rs, reg::x0, l); }
+void Assembler::bgtz(Reg rs, const std::string& l) { blt(reg::x0, rs, l); }
+void Assembler::bgt(Reg a, Reg b, const std::string& l) { blt(b, a, l); }
+void Assembler::ble(Reg a, Reg b, const std::string& l) { bge(b, a, l); }
+void Assembler::bgtu(Reg a, Reg b, const std::string& l) { bltu(b, a, l); }
+void Assembler::bleu(Reg a, Reg b, const std::string& l) { bgeu(b, a, l); }
+
+void Assembler::insn(std::uint32_t encoded) { emit32(encoded); }
+
+
+// ---- RVC (compressed) ----
+
+namespace {
+
+std::uint8_t cprime(Reg r) {
+  if (r < 8 || r > 15) throw AsmError("compressed form needs x8..x15");
+  return static_cast<std::uint8_t>(r - 8);
+}
+
+void check_imm6(std::int32_t imm) {
+  if (imm < -32 || imm > 31) throw AsmError("compressed immediate out of 6-bit range");
+}
+
+std::uint16_t enc_cj(std::uint32_t f3, std::int32_t imm) {
+  if (imm % 2 != 0 || imm < -2048 || imm > 2046)
+    throw AsmError("compressed jump displacement out of range: " + std::to_string(imm));
+  const auto u = static_cast<std::uint32_t>(imm);
+  auto b = [u](int pos) { return (u >> pos) & 1u; };
+  return static_cast<std::uint16_t>(
+      (f3 << 13) | (b(11) << 12) | (b(4) << 11) | (((u >> 8) & 3) << 9) |
+      (b(10) << 8) | (b(6) << 7) | (b(7) << 6) | (((u >> 1) & 7) << 3) |
+      (b(5) << 2) | 0x1);
+}
+
+std::uint16_t enc_cb(std::uint32_t f3, std::uint8_t rs1p, std::int32_t imm) {
+  if (imm % 2 != 0 || imm < -256 || imm > 254)
+    throw AsmError("compressed branch displacement out of range: " + std::to_string(imm));
+  const auto u = static_cast<std::uint32_t>(imm);
+  auto b = [u](int pos) { return (u >> pos) & 1u; };
+  return static_cast<std::uint16_t>(
+      (f3 << 13) | (b(8) << 12) | (((u >> 3) & 3) << 10) |
+      (std::uint16_t(rs1p) << 7) | (((u >> 6) & 3) << 5) |
+      (((u >> 1) & 3) << 3) | (b(5) << 2) | 0x1);
+}
+
+}  // namespace
+
+void Assembler::c_nop() { emit16(0x0001); }
+
+void Assembler::c_addi(Reg rd, std::int32_t imm) {
+  check_reg_public(rd);
+  check_imm6(imm);
+  const auto u = static_cast<std::uint32_t>(imm) & 0x3f;
+  emit16(static_cast<std::uint16_t>((0u << 13) | ((u >> 5) << 12) |
+                                    (std::uint16_t(rd) << 7) | ((u & 0x1f) << 2) | 0x1));
+}
+
+void Assembler::c_li(Reg rd, std::int32_t imm) {
+  check_reg_public(rd);
+  check_imm6(imm);
+  const auto u = static_cast<std::uint32_t>(imm) & 0x3f;
+  emit16(static_cast<std::uint16_t>((2u << 13) | ((u >> 5) << 12) |
+                                    (std::uint16_t(rd) << 7) | ((u & 0x1f) << 2) | 0x1));
+}
+
+void Assembler::c_lui(Reg rd, std::int32_t imm) {
+  if (rd == 0 || rd == 2) throw AsmError("c.lui: rd must not be x0/x2");
+  check_imm6(imm);
+  if (imm == 0) throw AsmError("c.lui: immediate must be nonzero");
+  const auto u = static_cast<std::uint32_t>(imm) & 0x3f;
+  emit16(static_cast<std::uint16_t>((3u << 13) | ((u >> 5) << 12) |
+                                    (std::uint16_t(rd) << 7) | ((u & 0x1f) << 2) | 0x1));
+}
+
+void Assembler::c_addi16sp(std::int32_t imm) {
+  if (imm == 0 || imm % 16 != 0 || imm < -512 || imm > 496)
+    throw AsmError("c.addi16sp immediate invalid");
+  const auto u = static_cast<std::uint32_t>(imm);
+  auto b = [u](int pos) { return (u >> pos) & 1u; };
+  emit16(static_cast<std::uint16_t>((3u << 13) | (b(9) << 12) | (2u << 7) |
+                                    (b(4) << 6) | (b(6) << 5) |
+                                    (((u >> 7) & 3) << 3) | (b(5) << 2) | 0x1));
+}
+
+void Assembler::c_addi4spn(Reg rd_p, std::uint32_t imm) {
+  if (imm == 0 || imm % 4 != 0 || imm > 1020)
+    throw AsmError("c.addi4spn immediate invalid");
+  auto b = [imm](unsigned pos) { return (imm >> pos) & 1u; };
+  emit16(static_cast<std::uint16_t>((0u << 13) | (((imm >> 4) & 3) << 11) |
+                                    (((imm >> 6) & 0xf) << 7) | (b(2) << 6) |
+                                    (b(3) << 5) | (std::uint16_t(cprime(rd_p)) << 2) |
+                                    0x0));
+}
+
+void Assembler::c_lw(Reg rd_p, Reg rs1_p, std::uint32_t offset) {
+  if (offset % 4 != 0 || offset > 124) throw AsmError("c.lw offset invalid");
+  emit16(static_cast<std::uint16_t>(
+      (2u << 13) | (((offset >> 3) & 7) << 10) |
+      (std::uint16_t(cprime(rs1_p)) << 7) | (((offset >> 2) & 1) << 6) |
+      (((offset >> 6) & 1) << 5) | (std::uint16_t(cprime(rd_p)) << 2) | 0x0));
+}
+
+void Assembler::c_sw(Reg rs2_p, Reg rs1_p, std::uint32_t offset) {
+  if (offset % 4 != 0 || offset > 124) throw AsmError("c.sw offset invalid");
+  emit16(static_cast<std::uint16_t>(
+      (6u << 13) | (((offset >> 3) & 7) << 10) |
+      (std::uint16_t(cprime(rs1_p)) << 7) | (((offset >> 2) & 1) << 6) |
+      (((offset >> 6) & 1) << 5) | (std::uint16_t(cprime(rs2_p)) << 2) | 0x0));
+}
+
+void Assembler::c_lwsp(Reg rd, std::uint32_t offset) {
+  if (rd == 0) throw AsmError("c.lwsp: rd must not be x0");
+  if (offset % 4 != 0 || offset > 252) throw AsmError("c.lwsp offset invalid");
+  emit16(static_cast<std::uint16_t>(
+      (2u << 13) | (((offset >> 5) & 1) << 12) | (std::uint16_t(rd) << 7) |
+      (((offset >> 2) & 7) << 4) | (((offset >> 6) & 3) << 2) | 0x2));
+}
+
+void Assembler::c_swsp(Reg rs2, std::uint32_t offset) {
+  if (offset % 4 != 0 || offset > 252) throw AsmError("c.swsp offset invalid");
+  emit16(static_cast<std::uint16_t>((6u << 13) | (((offset >> 2) & 0xf) << 9) |
+                                    (((offset >> 6) & 3) << 7) |
+                                    (std::uint16_t(rs2) << 2) | 0x2));
+}
+
+void Assembler::c_mv(Reg rd, Reg rs2) {
+  if (rd == 0 || rs2 == 0) throw AsmError("c.mv operands must not be x0");
+  emit16(static_cast<std::uint16_t>((4u << 13) | (0u << 12) |
+                                    (std::uint16_t(rd) << 7) |
+                                    (std::uint16_t(rs2) << 2) | 0x2));
+}
+
+void Assembler::c_add(Reg rd, Reg rs2) {
+  if (rd == 0 || rs2 == 0) throw AsmError("c.add operands must not be x0");
+  emit16(static_cast<std::uint16_t>((4u << 13) | (1u << 12) |
+                                    (std::uint16_t(rd) << 7) |
+                                    (std::uint16_t(rs2) << 2) | 0x2));
+}
+
+namespace {
+std::uint16_t enc_calu(std::uint32_t f2, std::uint8_t rdp, std::uint8_t rs2p) {
+  return static_cast<std::uint16_t>((4u << 13) | (3u << 10) | (f2 << 5) |
+                                    (std::uint16_t(rdp) << 7) |
+                                    (std::uint16_t(rs2p) << 2) | 0x1);
+}
+}  // namespace
+
+void Assembler::c_sub(Reg rd_p, Reg rs2_p) { emit16(enc_calu(0, cprime(rd_p), cprime(rs2_p))); }
+void Assembler::c_xor(Reg rd_p, Reg rs2_p) { emit16(enc_calu(1, cprime(rd_p), cprime(rs2_p))); }
+void Assembler::c_or(Reg rd_p, Reg rs2_p) { emit16(enc_calu(2, cprime(rd_p), cprime(rs2_p))); }
+void Assembler::c_and(Reg rd_p, Reg rs2_p) { emit16(enc_calu(3, cprime(rd_p), cprime(rs2_p))); }
+
+void Assembler::c_andi(Reg rd_p, std::int32_t imm) {
+  check_imm6(imm);
+  const auto u = static_cast<std::uint32_t>(imm) & 0x3f;
+  emit16(static_cast<std::uint16_t>((4u << 13) | ((u >> 5) << 12) | (2u << 10) |
+                                    (std::uint16_t(cprime(rd_p)) << 7) |
+                                    ((u & 0x1f) << 2) | 0x1));
+}
+
+void Assembler::c_srli(Reg rd_p, std::uint32_t shamt) {
+  if (shamt == 0 || shamt > 31) throw AsmError("c.srli shamt invalid (RV32)");
+  emit16(static_cast<std::uint16_t>((4u << 13) | (0u << 10) |
+                                    (std::uint16_t(cprime(rd_p)) << 7) |
+                                    ((shamt & 0x1f) << 2) | 0x1));
+}
+
+void Assembler::c_srai(Reg rd_p, std::uint32_t shamt) {
+  if (shamt == 0 || shamt > 31) throw AsmError("c.srai shamt invalid (RV32)");
+  emit16(static_cast<std::uint16_t>((4u << 13) | (1u << 10) |
+                                    (std::uint16_t(cprime(rd_p)) << 7) |
+                                    ((shamt & 0x1f) << 2) | 0x1));
+}
+
+void Assembler::c_slli(Reg rd, std::uint32_t shamt) {
+  if (rd == 0 || shamt == 0 || shamt > 31) throw AsmError("c.slli invalid (RV32)");
+  emit16(static_cast<std::uint16_t>((0u << 13) | (std::uint16_t(rd) << 7) |
+                                    ((shamt & 0x1f) << 2) | 0x2));
+}
+
+void Assembler::c_jr(Reg rs1) {
+  if (rs1 == 0) throw AsmError("c.jr: rs1 must not be x0");
+  emit16(static_cast<std::uint16_t>((4u << 13) | (0u << 12) |
+                                    (std::uint16_t(rs1) << 7) | 0x2));
+}
+
+void Assembler::c_jalr(Reg rs1) {
+  if (rs1 == 0) throw AsmError("c.jalr: rs1 must not be x0");
+  emit16(static_cast<std::uint16_t>((4u << 13) | (1u << 12) |
+                                    (std::uint16_t(rs1) << 7) | 0x2));
+}
+
+void Assembler::c_j(const std::string& lbl) {
+  fixups_.push_back({segments_.size() - 1, segments_.back().bytes.size(),
+                     FixKind::kCJump, lbl});
+  emit16(enc_cj(5, 0));
+}
+
+void Assembler::c_jal(const std::string& lbl) {
+  fixups_.push_back({segments_.size() - 1, segments_.back().bytes.size(),
+                     FixKind::kCJump, lbl});
+  emit16(enc_cj(1, 0));
+}
+
+void Assembler::c_beqz(Reg rs1_p, const std::string& lbl) {
+  fixups_.push_back({segments_.size() - 1, segments_.back().bytes.size(),
+                     FixKind::kCBranch, lbl});
+  emit16(enc_cb(6, cprime(rs1_p), 0));
+}
+
+void Assembler::c_bnez(Reg rs1_p, const std::string& lbl) {
+  fixups_.push_back({segments_.size() - 1, segments_.back().bytes.size(),
+                     FixKind::kCBranch, lbl});
+  emit16(enc_cb(7, cprime(rs1_p), 0));
+}
+
+void Assembler::c_ebreak() { emit16(0x9002); }
+
+void Assembler::insn16(std::uint16_t encoded) { emit16(encoded); }
+
+// ---- finalisation ----
+
+void Assembler::entry(const std::string& lbl) { entry_label_ = lbl; }
+
+std::uint64_t Assembler::resolve(const std::string& lbl) const {
+  auto it = symbols_.find(lbl);
+  if (it == symbols_.end()) throw AsmError("undefined label: " + lbl);
+  return it->second;
+}
+
+std::uint32_t Assembler::read32(const Segment& seg, std::size_t off) const {
+  return std::uint32_t(seg.bytes[off]) | (std::uint32_t(seg.bytes[off + 1]) << 8) |
+         (std::uint32_t(seg.bytes[off + 2]) << 16) |
+         (std::uint32_t(seg.bytes[off + 3]) << 24);
+}
+
+void Assembler::patch32(Segment& seg, std::size_t off, std::uint32_t v) {
+  seg.bytes[off] = v & 0xff;
+  seg.bytes[off + 1] = (v >> 8) & 0xff;
+  seg.bytes[off + 2] = (v >> 16) & 0xff;
+  seg.bytes[off + 3] = (v >> 24) & 0xff;
+}
+
+Program Assembler::assemble() {
+  for (const Fixup& f : fixups_) {
+    Segment& seg = segments_[f.segment];
+    const std::uint64_t site = seg.base + f.offset;
+    const std::uint64_t target = resolve(f.label);
+    const auto disp =
+        static_cast<std::int64_t>(target) - static_cast<std::int64_t>(site);
+    switch (f.kind) {
+      case FixKind::kBranch: {
+        const std::uint32_t base = read32(seg, f.offset);
+        const std::uint32_t f3 = (base >> 12) & 7;
+        const Reg rs1 = static_cast<Reg>((base >> 15) & 0x1f);
+        const Reg rs2 = static_cast<Reg>((base >> 20) & 0x1f);
+        patch32(seg, f.offset, enc_b(static_cast<std::int32_t>(disp), rs2, rs1, f3));
+        break;
+      }
+      case FixKind::kJal: {
+        const std::uint32_t base = read32(seg, f.offset);
+        const Reg rd = static_cast<Reg>((base >> 7) & 0x1f);
+        patch32(seg, f.offset, enc_j(static_cast<std::int32_t>(disp), rd));
+        break;
+      }
+      case FixKind::kHiLoPair: {
+        const std::uint32_t lui_insn = read32(seg, f.offset);
+        const Reg rd = static_cast<Reg>((lui_insn >> 7) & 0x1f);
+        const HiLo hl = split_hi_lo(static_cast<std::uint32_t>(target));
+        patch32(seg, f.offset, enc_u(hl.hi20, rd, kOpLui));
+        patch32(seg, f.offset + 4, enc_i(hl.lo12, rd, 0, rd, kOpImm));
+        break;
+      }
+      case FixKind::kWord:
+        patch32(seg, f.offset, static_cast<std::uint32_t>(target));
+        break;
+      case FixKind::kCJump: {
+        const std::uint16_t base = static_cast<std::uint16_t>(
+            seg.bytes[f.offset] | (seg.bytes[f.offset + 1] << 8));
+        const std::uint32_t f3 = (base >> 13) & 7;
+        const std::uint16_t enc = enc_cj(f3, static_cast<std::int32_t>(disp));
+        seg.bytes[f.offset] = enc & 0xff;
+        seg.bytes[f.offset + 1] = enc >> 8;
+        break;
+      }
+      case FixKind::kCBranch: {
+        const std::uint16_t base = static_cast<std::uint16_t>(
+            seg.bytes[f.offset] | (seg.bytes[f.offset + 1] << 8));
+        const std::uint32_t f3 = (base >> 13) & 7;
+        const auto rs1p = static_cast<std::uint8_t>((base >> 7) & 7);
+        const std::uint16_t enc = enc_cb(f3, rs1p, static_cast<std::int32_t>(disp));
+        seg.bytes[f.offset] = enc & 0xff;
+        seg.bytes[f.offset + 1] = enc >> 8;
+        break;
+      }
+    }
+  }
+  Program p;
+  p.segments = segments_;
+  p.symbols = symbols_;
+  p.entry = entry_label_.empty() ? segments_.front().base : resolve(entry_label_);
+  p.text_bytes = text_bytes_;
+  return p;
+}
+
+}  // namespace vpdift::rvasm

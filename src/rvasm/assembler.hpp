@@ -1,0 +1,234 @@
+// RV32IM + Zicsr assembler, usable as a C++ DSL.
+//
+// Firmware in this repo is authored directly against this class (there is no
+// offline RISC-V cross-compiler): each emit method appends one instruction at
+// the current location; labels may be referenced before they are defined and
+// are resolved by assemble(). `org()` starts a new segment (e.g. a data
+// section at a different address).
+//
+//   Assembler a(0x80000000);
+//   using namespace vpdift::rvasm::reg;
+//   a.li(a0, 10);
+//   a.label("loop");
+//   a.addi(a0, a0, -1);
+//   a.bnez(a0, "loop");
+//   Program p = a.assemble();
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rvasm/program.hpp"
+#include "rvasm/reg.hpp"
+
+namespace vpdift::rvasm {
+
+class AsmError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Assembler {
+ public:
+  explicit Assembler(std::uint64_t base = 0x80000000ull);
+
+  // ---- location control ----
+
+  /// Current emit address.
+  std::uint64_t here() const;
+  /// Starts a new segment at `address`.
+  void org(std::uint64_t address);
+  /// Defines `name` at the current address.
+  void label(const std::string& name);
+  /// Defines `name` at a fixed address (for external/MMIO symbols).
+  void equ(const std::string& name, std::uint64_t address);
+  /// Pads with zero bytes until the address is `alignment`-aligned.
+  void align(std::uint32_t alignment);
+
+  // ---- data directives ----
+
+  void byte(std::uint8_t v);
+  void half(std::uint16_t v);
+  void word(std::uint32_t v);
+  /// Emits a 32-bit word holding the address of `label` (resolved late).
+  void word_of(const std::string& label);
+  void bytes(const std::uint8_t* data, std::size_t n);
+  void ascii(std::string_view s);
+  void asciiz(std::string_view s);
+  void zero_fill(std::size_t n);
+
+  // ---- RV32I ----
+
+  void lui(Reg rd, std::int32_t imm20);
+  void auipc(Reg rd, std::int32_t imm20);
+  void jal(Reg rd, const std::string& label);
+  void jalr(Reg rd, Reg rs1, std::int32_t imm);
+  void beq(Reg rs1, Reg rs2, const std::string& label);
+  void bne(Reg rs1, Reg rs2, const std::string& label);
+  void blt(Reg rs1, Reg rs2, const std::string& label);
+  void bge(Reg rs1, Reg rs2, const std::string& label);
+  void bltu(Reg rs1, Reg rs2, const std::string& label);
+  void bgeu(Reg rs1, Reg rs2, const std::string& label);
+  void lb(Reg rd, Reg rs1, std::int32_t imm);
+  void lh(Reg rd, Reg rs1, std::int32_t imm);
+  void lw(Reg rd, Reg rs1, std::int32_t imm);
+  void lbu(Reg rd, Reg rs1, std::int32_t imm);
+  void lhu(Reg rd, Reg rs1, std::int32_t imm);
+  void sb(Reg rs2, Reg rs1, std::int32_t imm);
+  void sh(Reg rs2, Reg rs1, std::int32_t imm);
+  void sw(Reg rs2, Reg rs1, std::int32_t imm);
+  void addi(Reg rd, Reg rs1, std::int32_t imm);
+  void slti(Reg rd, Reg rs1, std::int32_t imm);
+  void sltiu(Reg rd, Reg rs1, std::int32_t imm);
+  void xori(Reg rd, Reg rs1, std::int32_t imm);
+  void ori(Reg rd, Reg rs1, std::int32_t imm);
+  void andi(Reg rd, Reg rs1, std::int32_t imm);
+  void slli(Reg rd, Reg rs1, std::uint32_t shamt);
+  void srli(Reg rd, Reg rs1, std::uint32_t shamt);
+  void srai(Reg rd, Reg rs1, std::uint32_t shamt);
+  void add(Reg rd, Reg rs1, Reg rs2);
+  void sub(Reg rd, Reg rs1, Reg rs2);
+  void sll(Reg rd, Reg rs1, Reg rs2);
+  void slt(Reg rd, Reg rs1, Reg rs2);
+  void sltu(Reg rd, Reg rs1, Reg rs2);
+  void xor_(Reg rd, Reg rs1, Reg rs2);
+  void srl(Reg rd, Reg rs1, Reg rs2);
+  void sra(Reg rd, Reg rs1, Reg rs2);
+  void or_(Reg rd, Reg rs1, Reg rs2);
+  void and_(Reg rd, Reg rs1, Reg rs2);
+  void fence();
+  void ecall();
+  void ebreak();
+
+  // ---- RV32M ----
+
+  void mul(Reg rd, Reg rs1, Reg rs2);
+  void mulh(Reg rd, Reg rs1, Reg rs2);
+  void mulhsu(Reg rd, Reg rs1, Reg rs2);
+  void mulhu(Reg rd, Reg rs1, Reg rs2);
+  void div_(Reg rd, Reg rs1, Reg rs2);
+  void divu(Reg rd, Reg rs1, Reg rs2);
+  void rem(Reg rd, Reg rs1, Reg rs2);
+  void remu(Reg rd, Reg rs1, Reg rs2);
+
+  // ---- Zicsr + privileged ----
+
+  void csrrw(Reg rd, std::uint32_t csr, Reg rs1);
+  void csrrs(Reg rd, std::uint32_t csr, Reg rs1);
+  void csrrc(Reg rd, std::uint32_t csr, Reg rs1);
+  void csrrwi(Reg rd, std::uint32_t csr, std::uint32_t uimm);
+  void csrrsi(Reg rd, std::uint32_t csr, std::uint32_t uimm);
+  void csrrci(Reg rd, std::uint32_t csr, std::uint32_t uimm);
+  void mret();
+  void wfi();
+
+  // ---- pseudo-instructions ----
+
+  void nop();
+  void mv(Reg rd, Reg rs);
+  void not_(Reg rd, Reg rs);
+  void neg(Reg rd, Reg rs);
+  void seqz(Reg rd, Reg rs);
+  void snez(Reg rd, Reg rs);
+  /// Loads a 32-bit constant (1 or 2 instructions).
+  void li(Reg rd, std::int64_t imm);
+  /// Loads the address of `label` (always lui+addi, 8 bytes).
+  void la(Reg rd, const std::string& label);
+  void j(const std::string& label);
+  void call(const std::string& label);  ///< jal ra, label
+  void ret();                           ///< jalr x0, ra, 0
+  void jr(Reg rs);                      ///< jalr x0, rs, 0
+  void beqz(Reg rs, const std::string& label);
+  void bnez(Reg rs, const std::string& label);
+  void blez(Reg rs, const std::string& label);
+  void bgez(Reg rs, const std::string& label);
+  void bltz(Reg rs, const std::string& label);
+  void bgtz(Reg rs, const std::string& label);
+  void bgt(Reg rs1, Reg rs2, const std::string& label);   ///< blt swapped
+  void ble(Reg rs1, Reg rs2, const std::string& label);   ///< bge swapped
+  void bgtu(Reg rs1, Reg rs2, const std::string& label);  ///< bltu swapped
+  void bleu(Reg rs1, Reg rs2, const std::string& label);  ///< bgeu swapped
+
+  // ---- RVC (compressed, 2-byte parcels) ----
+  // Registers marked ' must be x8..x15 (s0,s1,a0-a5); immediates follow the
+  // natural units of each form (bytes for memory offsets).
+
+  void c_nop();
+  void c_addi(Reg rd, std::int32_t imm6);         ///< rd += sext imm6 (nonzero)
+  void c_li(Reg rd, std::int32_t imm6);
+  void c_lui(Reg rd, std::int32_t imm6);          ///< rd = sext(imm6) << 12
+  void c_addi16sp(std::int32_t imm);              ///< sp += imm (16-aligned)
+  void c_addi4spn(Reg rd_p, std::uint32_t imm);   ///< rd' = sp + imm (4-aligned)
+  void c_lw(Reg rd_p, Reg rs1_p, std::uint32_t offset);
+  void c_sw(Reg rs2_p, Reg rs1_p, std::uint32_t offset);
+  void c_lwsp(Reg rd, std::uint32_t offset);
+  void c_swsp(Reg rs2, std::uint32_t offset);
+  void c_mv(Reg rd, Reg rs2);
+  void c_add(Reg rd, Reg rs2);
+  void c_sub(Reg rd_p, Reg rs2_p);
+  void c_xor(Reg rd_p, Reg rs2_p);
+  void c_or(Reg rd_p, Reg rs2_p);
+  void c_and(Reg rd_p, Reg rs2_p);
+  void c_andi(Reg rd_p, std::int32_t imm6);
+  void c_srli(Reg rd_p, std::uint32_t shamt);
+  void c_srai(Reg rd_p, std::uint32_t shamt);
+  void c_slli(Reg rd, std::uint32_t shamt);
+  void c_jr(Reg rs1);
+  void c_jalr(Reg rs1);
+  void c_j(const std::string& label);
+  void c_jal(const std::string& label);
+  void c_beqz(Reg rs1_p, const std::string& label);
+  void c_bnez(Reg rs1_p, const std::string& label);
+  void c_ebreak();
+
+  /// Raw 32-bit instruction escape hatch.
+  void insn(std::uint32_t encoded);
+  /// Raw 16-bit compressed parcel escape hatch.
+  void insn16(std::uint16_t encoded);
+
+  // ---- finalisation ----
+
+  /// Sets the program entry point (defaults to the first segment base).
+  void entry(const std::string& label);
+  /// Resolves all fixups and returns the image. Throws AsmError on undefined
+  /// labels or out-of-range displacements.
+  Program assemble();
+
+ private:
+  enum class FixKind : std::uint8_t {
+    kBranch, kJal, kHiLoPair, kWord, kCJump, kCBranch
+  };
+  struct Fixup {
+    std::size_t segment;
+    std::size_t offset;
+    FixKind kind;
+    std::string label;
+  };
+
+  void emit32(std::uint32_t v);
+  void emit16(std::uint16_t v);
+  void emit_branch(std::uint32_t funct3, Reg rs1, Reg rs2, const std::string& label);
+  std::uint64_t resolve(const std::string& label) const;
+  void patch32(Segment& seg, std::size_t off, std::uint32_t v);
+  std::uint32_t read32(const Segment& seg, std::size_t off) const;
+
+  std::vector<Segment> segments_;
+  std::map<std::string, std::uint64_t> symbols_;
+  std::vector<Fixup> fixups_;
+  std::string entry_label_;
+  std::size_t text_bytes_ = 0;
+};
+
+/// Splits a 32-bit value into the (hi20, lo12) pair used by lui+addi so that
+/// hi20<<12 + sext(lo12) == value.
+struct HiLo {
+  std::int32_t hi20;
+  std::int32_t lo12;
+};
+HiLo split_hi_lo(std::uint32_t value);
+
+}  // namespace vpdift::rvasm

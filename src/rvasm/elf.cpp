@@ -1,0 +1,89 @@
+#include "rvasm/elf.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace vpdift::rvasm {
+
+namespace {
+
+// ELF constants (System V ABI).
+constexpr std::uint8_t kMagic[4] = {0x7f, 'E', 'L', 'F'};
+constexpr std::uint8_t kClass32 = 1;
+constexpr std::uint8_t kDataLsb = 1;
+constexpr std::uint16_t kTypeExec = 2;
+constexpr std::uint16_t kMachineRiscv = 243;
+constexpr std::uint32_t kPtLoad = 1;
+
+struct Reader {
+  const std::uint8_t* data;
+  std::size_t size;
+
+  void require(std::size_t off, std::size_t n, const char* what) const {
+    if (off + n > size || off + n < off)
+      throw ElfError(std::string("ELF truncated reading ") + what);
+  }
+  std::uint16_t u16(std::size_t off, const char* what) const {
+    require(off, 2, what);
+    return static_cast<std::uint16_t>(data[off] | (data[off + 1] << 8));
+  }
+  std::uint32_t u32(std::size_t off, const char* what) const {
+    require(off, 4, what);
+    std::uint32_t v;
+    std::memcpy(&v, data + off, 4);
+    return v;  // host is little-endian
+  }
+};
+
+}  // namespace
+
+Program load_elf32(const std::uint8_t* data, std::size_t size) {
+  const Reader r{data, size};
+  r.require(0, 52, "ELF header");
+  if (std::memcmp(data, kMagic, 4) != 0) throw ElfError("not an ELF file");
+  if (data[4] != kClass32) throw ElfError("not an ELF32 file");
+  if (data[5] != kDataLsb) throw ElfError("not little-endian");
+  const std::uint16_t type = r.u16(16, "e_type");
+  if (type != kTypeExec) throw ElfError("not an executable (ET_EXEC expected)");
+  const std::uint16_t machine = r.u16(18, "e_machine");
+  if (machine != kMachineRiscv)
+    throw ElfError("not a RISC-V binary (e_machine=" + std::to_string(machine) + ")");
+
+  Program p;
+  p.entry = r.u32(24, "e_entry");
+  const std::uint32_t phoff = r.u32(28, "e_phoff");
+  const std::uint16_t phentsize = r.u16(42, "e_phentsize");
+  const std::uint16_t phnum = r.u16(44, "e_phnum");
+  if (phentsize < 32) throw ElfError("bad e_phentsize");
+
+  for (std::uint16_t i = 0; i < phnum; ++i) {
+    const std::size_t ph = phoff + std::size_t(i) * phentsize;
+    r.require(ph, 32, "program header");
+    if (r.u32(ph + 0, "p_type") != kPtLoad) continue;
+    const std::uint32_t offset = r.u32(ph + 4, "p_offset");
+    const std::uint32_t vaddr = r.u32(ph + 8, "p_vaddr");
+    const std::uint32_t filesz = r.u32(ph + 16, "p_filesz");
+    const std::uint32_t memsz = r.u32(ph + 20, "p_memsz");
+    if (memsz == 0) continue;
+    if (filesz > memsz) throw ElfError("p_filesz exceeds p_memsz");
+    r.require(offset, filesz, "segment bytes");
+    Segment seg;
+    seg.base = vaddr;
+    seg.bytes.assign(data + offset, data + offset + filesz);
+    seg.bytes.resize(memsz, 0);  // .bss tail
+    p.segments.push_back(std::move(seg));
+  }
+  if (p.segments.empty()) throw ElfError("no PT_LOAD segments");
+  return p;
+}
+
+Program load_elf32_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ElfError("cannot open " + path);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  return load_elf32(bytes.data(), bytes.size());
+}
+
+}  // namespace vpdift::rvasm

@@ -1,0 +1,32 @@
+// Minimal ELF32 loader for RV32 executables.
+//
+// Firmware in this repo is normally authored with the Assembler, but a
+// downstream user with a RISC-V cross-toolchain will have real ELF binaries.
+// This parser turns a little-endian ELF32 executable for EM_RISCV into the
+// same rvasm::Program representation the loader already consumes: one
+// Segment per PT_LOAD header (file bytes plus zero-filled .bss tail) and the
+// ELF entry point. Section headers and symbols beyond the entry are ignored
+// — the VP does not need them.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "rvasm/program.hpp"
+
+namespace vpdift::rvasm {
+
+class ElfError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses an ELF32 image from memory. Throws ElfError on malformed input,
+/// wrong class/endianness/machine, or truncated headers.
+Program load_elf32(const std::uint8_t* data, std::size_t size);
+
+/// Convenience: reads and parses a file. Throws ElfError (also on I/O).
+Program load_elf32_file(const std::string& path);
+
+}  // namespace vpdift::rvasm

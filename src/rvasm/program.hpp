@@ -1,0 +1,37 @@
+// Assembled program images.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vpdift::rvasm {
+
+/// A contiguous run of bytes placed at a fixed address.
+struct Segment {
+  std::uint64_t base = 0;
+  std::vector<std::uint8_t> bytes;
+  std::uint64_t end() const { return base + bytes.size(); }
+};
+
+/// The loadable result of an Assembler run.
+struct Program {
+  std::vector<Segment> segments;
+  std::map<std::string, std::uint64_t> symbols;
+  std::uint64_t entry = 0;
+  std::size_t text_bytes = 0;  ///< bytes emitted as instructions (not data)
+
+  /// Address of `symbol`; throws std::out_of_range if undefined.
+  std::uint64_t symbol(const std::string& name) const { return symbols.at(name); }
+  /// Total loadable size in bytes.
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& s : segments) n += s.bytes.size();
+    return n;
+  }
+  /// Number of emitted instructions (the static LoC-ASM measure of Table II).
+  std::size_t instruction_slots() const { return text_bytes / 4; }
+};
+
+}  // namespace vpdift::rvasm

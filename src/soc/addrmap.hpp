@@ -1,0 +1,27 @@
+// Default SoC address map (mirrors the riscv-vp layout style).
+#pragma once
+
+#include <cstdint>
+
+namespace vpdift::soc::addrmap {
+
+inline constexpr std::uint64_t kClintBase = 0x02000000, kClintSize = 0x10000;
+inline constexpr std::uint64_t kPlicBase = 0x0c000000, kPlicSize = 0x1000;
+inline constexpr std::uint64_t kUartBase = 0x10000000, kUartSize = 0x100;
+inline constexpr std::uint64_t kSysCtrlBase = 0x11000000, kSysCtrlSize = 0x100;
+inline constexpr std::uint64_t kSensorBase = 0x50000000, kSensorSize = 0x100;
+inline constexpr std::uint64_t kAesBase = 0x51000000, kAesSize = 0x100;
+inline constexpr std::uint64_t kCanBase = 0x52000000, kCanSize = 0x100;
+inline constexpr std::uint64_t kDmaBase = 0x53000000, kDmaSize = 0x100;
+inline constexpr std::uint64_t kGpioBase = 0x54000000, kGpioSize = 0x100;
+inline constexpr std::uint64_t kWdtBase = 0x55000000, kWdtSize = 0x100;
+inline constexpr std::uint64_t kFlashBase = 0x20000000;  // size = image size
+inline constexpr std::uint64_t kRamBase = 0x80000000;
+
+// PLIC interrupt source numbers.
+inline constexpr std::uint32_t kIrqSensor = 2;
+inline constexpr std::uint32_t kIrqUartRx = 3;
+inline constexpr std::uint32_t kIrqDma = 4;
+inline constexpr std::uint32_t kIrqCanRx = 5;
+
+}  // namespace vpdift::soc::addrmap

@@ -1,0 +1,16 @@
+// FIPS-197 AES-128 block encryption (host-side reference used by the AES
+// peripheral model and the behavioural engine ECU).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace vpdift::soc {
+
+using AesBlock = std::array<std::uint8_t, 16>;
+using AesKey = std::array<std::uint8_t, 16>;
+
+/// Encrypts one 16-byte block with AES-128 (ECB, single block).
+AesBlock aes128_encrypt(const AesKey& key, const AesBlock& plaintext);
+
+}  // namespace vpdift::soc

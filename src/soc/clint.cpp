@@ -1,0 +1,76 @@
+#include "soc/clint.hpp"
+
+#include "tlmlite/payload.hpp"
+
+namespace vpdift::soc {
+
+Clint::Clint(sysc::Simulation& sim, std::string name)
+    : Module(sim, std::move(name)), cmp_changed_(sim) {
+  tsock_.register_transport(
+      [this](tlmlite::Payload& p, sysc::Time& d) { transport(p, d); });
+}
+
+void Clint::update_timer_irq() {
+  if (timer_irq_) timer_irq_(mtime() >= mtimecmp_);
+}
+
+sysc::Task Clint::run() {
+  while (true) {
+    if (mtime() >= mtimecmp_) {
+      update_timer_irq();
+      // Wait for SW to move mtimecmp forward (or clear it).
+      co_await cmp_changed_;
+      update_timer_irq();
+      continue;
+    }
+    // Sleep until the compare point, in bounded slices: a cmp rewrite while
+    // we sleep cannot wake us (the notification has no waiter then), so the
+    // slice bounds the interrupt latency for a cmp that moved *earlier*.
+    const std::uint64_t delta_us = mtimecmp_ - mtime();
+    const std::uint64_t slice = delta_us > 100 ? 100 : delta_us;
+    co_await sim_->delay(sysc::Time::us(slice));
+    update_timer_irq();
+  }
+}
+
+void Clint::transport(tlmlite::Payload& p, sysc::Time& delay) {
+  delay += sysc::Time::ns(20);
+  p.response = tlmlite::Response::kOk;
+  auto rd64 = [&](std::uint64_t v, std::uint64_t reg_base) {
+    for (std::uint32_t i = 0; i < p.length; ++i) {
+      const std::uint64_t byte_index = p.address - reg_base + i;
+      p.data[i] = static_cast<std::uint8_t>(v >> (8 * byte_index));
+      if (p.tainted()) p.tags[i] = dift::kBottomTag;
+    }
+  };
+  if (p.address >= kMtime && p.address + p.length <= kMtime + 8) {
+    if (p.is_read()) rd64(mtime(), kMtime);
+    return;
+  }
+  if (p.address >= kMtimecmp && p.address + p.length <= kMtimecmp + 8) {
+    if (p.is_read()) {
+      rd64(mtimecmp_, kMtimecmp);
+    } else {
+      for (std::uint32_t i = 0; i < p.length; ++i) {
+        const std::uint64_t byte_index = p.address - kMtimecmp + i;
+        mtimecmp_ &= ~(0xffull << (8 * byte_index));
+        mtimecmp_ |= std::uint64_t(p.data[i]) << (8 * byte_index);
+      }
+      update_timer_irq();
+      cmp_changed_.notify();
+    }
+    return;
+  }
+  if (p.address >= kMsip && p.address + p.length <= kMsip + 4) {
+    if (p.is_read()) {
+      rd64(msip_, kMsip);
+    } else {
+      msip_ = p.data[0] & 1;
+      if (soft_irq_) soft_irq_(msip_ != 0);
+    }
+    return;
+  }
+  p.response = tlmlite::Response::kAddressError;
+}
+
+}  // namespace vpdift::soc

@@ -1,0 +1,54 @@
+// Core-local interruptor (CLINT): machine timer and software interrupts.
+//
+// mtime advances with simulated time (1 tick = 1 microsecond); a kernel
+// thread asserts MTIP exactly when mtime reaches mtimecmp.
+//
+// Register map (as in riscv-vp / SiFive CLINT):
+//   0x0000 MSIP      (rw) bit0: software interrupt
+//   0x4000 MTIMECMP  (rw) 64-bit
+//   0xbff8 MTIME     (r)  64-bit
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sysc/kernel.hpp"
+#include "tlmlite/socket.hpp"
+
+namespace vpdift::soc {
+
+class Clint : public sysc::Module {
+ public:
+  static constexpr std::uint64_t kMsip = 0x0000, kMtimecmp = 0x4000,
+                                 kMtime = 0xbff8;
+
+  Clint(sysc::Simulation& sim, std::string name);
+
+  tlmlite::TargetSocket& socket() { return tsock_; }
+
+  /// Timer interrupt line (level) into the core.
+  void set_timer_irq(std::function<void(bool)> fn) { timer_irq_ = std::move(fn); }
+  /// Software interrupt line (level) into the core.
+  void set_soft_irq(std::function<void(bool)> fn) { soft_irq_ = std::move(fn); }
+
+  /// Current mtime in ticks (1 tick = 1 us of simulated time).
+  std::uint64_t mtime() const { return sim_->now().micros(); }
+  std::uint64_t mtimecmp() const { return mtimecmp_; }
+
+  void start() { sim_->spawn(run()); }
+
+ private:
+  sysc::Task run();
+  void transport(tlmlite::Payload& p, sysc::Time& delay);
+  void update_timer_irq();
+
+  tlmlite::TargetSocket tsock_;
+  sysc::Event cmp_changed_;
+  std::uint64_t mtimecmp_ = ~0ull;
+  std::uint32_t msip_ = 0;
+  std::function<void(bool)> timer_irq_;
+  std::function<void(bool)> soft_irq_;
+};
+
+}  // namespace vpdift::soc

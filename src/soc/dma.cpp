@@ -1,0 +1,88 @@
+#include "soc/dma.hpp"
+
+#include <algorithm>
+
+#include "tlmlite/payload.hpp"
+
+namespace vpdift::soc {
+
+Dma::Dma(sysc::Simulation& sim, std::string name, bool tainted_mode)
+    : Module(sim, std::move(name)),
+      start_event_(sim),
+      tainted_mode_(tainted_mode) {
+  tsock_.register_transport(
+      [this](tlmlite::Payload& p, sysc::Time& d) { transport(p, d); });
+}
+
+sysc::Task Dma::run() {
+  while (true) {
+    // A start command may have arrived before this thread first ran (the
+    // notification would then be lost); the busy flag covers that window.
+    while (!busy_) co_await start_event_;
+    std::uint32_t remaining = len_;
+    std::uint32_t s = src_, d = dst_;
+    while (remaining > 0) {
+      const std::uint32_t n = std::min(remaining, kBurstBytes);
+      std::uint8_t buf[kBurstBytes];
+      dift::Tag tbuf[kBurstBytes];
+      sysc::Time delay;
+
+      tlmlite::Payload rd;
+      rd.command = tlmlite::Command::kRead;
+      rd.address = s;
+      rd.data = buf;
+      rd.tags = tainted_mode_ ? tbuf : nullptr;
+      rd.length = n;
+      isock_.b_transport(rd, delay);
+
+      tlmlite::Payload wr;
+      wr.command = tlmlite::Command::kWrite;
+      wr.address = d;
+      wr.data = buf;
+      wr.tags = tainted_mode_ ? tbuf : nullptr;
+      wr.length = n;
+      isock_.b_transport(wr, delay);
+
+      s += n;
+      d += n;
+      remaining -= n;
+      co_await sim_->delay(sysc::Time::ns(100));  // burst pacing
+    }
+    busy_ = false;
+    done_ = true;
+    ++transfers_;
+    if (irq_) irq_();
+  }
+}
+
+void Dma::transport(tlmlite::Payload& p, sysc::Time& delay) {
+  delay += sysc::Time::ns(50);
+  p.response = tlmlite::Response::kOk;
+  auto rd_u32 = [&](std::uint32_t v) {
+    for (std::uint32_t i = 0; i < p.length; ++i) {
+      p.data[i] = static_cast<std::uint8_t>(v >> (8 * i));
+      if (p.tainted()) p.tags[i] = dift::kBottomTag;
+    }
+  };
+  auto wr_u32 = [&](std::uint32_t& v) {
+    std::uint32_t nv = 0;
+    for (std::uint32_t i = 0; i < p.length; ++i) nv |= std::uint32_t(p.data[i]) << (8 * i);
+    v = nv;
+  };
+  switch (p.address) {
+    case kSrc: p.is_read() ? rd_u32(src_) : wr_u32(src_); break;
+    case kDst: p.is_read() ? rd_u32(dst_) : wr_u32(dst_); break;
+    case kLen: p.is_read() ? rd_u32(len_) : wr_u32(len_); break;
+    case kCtrl:
+      if (p.is_write() && p.data[0] == 1 && !busy_) {
+        busy_ = true;
+        done_ = false;
+        start_event_.notify();
+      }
+      break;
+    case kStatus: rd_u32((busy_ ? 1u : 0u) | (done_ ? 2u : 0u)); break;
+    default: p.response = tlmlite::Response::kAddressError; break;
+  }
+}
+
+}  // namespace vpdift::soc

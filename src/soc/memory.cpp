@@ -1,0 +1,77 @@
+#include "soc/memory.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "tlmlite/payload.hpp"
+
+namespace vpdift::soc {
+
+Memory::Memory(sysc::Simulation& sim, std::string name, std::size_t size,
+               bool track_tags)
+    : Module(sim, std::move(name)), data_(size, 0) {
+  if (track_tags) tags_.assign(size, dift::kBottomTag);
+  tsock_.register_transport(
+      [this](tlmlite::Payload& p, sysc::Time& d) { transport(p, d); });
+}
+
+void Memory::load_image(const rvasm::Program& program, std::uint64_t ram_base) {
+  for (const auto& seg : program.segments) {
+    if (seg.bytes.empty()) continue;
+    if (seg.base < ram_base || seg.end() > ram_base + data_.size())
+      throw std::out_of_range(name_ + ": program segment outside RAM");
+    std::memcpy(data_.data() + (seg.base - ram_base), seg.bytes.data(),
+                seg.bytes.size());
+  }
+}
+
+void Memory::classify(std::size_t offset, std::size_t length, dift::Tag tag) {
+  if (tags_.empty()) return;
+  if (offset + length > tags_.size())
+    throw std::out_of_range(name_ + ": classify out of range");
+  std::memset(tags_.data() + offset, tag, length);
+}
+
+dift::Tag Memory::tag_at(std::size_t offset) const {
+  return tags_.empty() ? dift::kBottomTag : tags_.at(offset);
+}
+
+std::uint32_t Memory::read_u32(std::size_t offset) const {
+  std::uint32_t v;
+  std::memcpy(&v, data_.data() + offset, 4);
+  return v;
+}
+
+void Memory::write_u32(std::size_t offset, std::uint32_t value) {
+  std::memcpy(data_.data() + offset, &value, 4);
+}
+
+std::map<dift::Tag, std::size_t> Memory::tag_histogram() const {
+  std::map<dift::Tag, std::size_t> h;
+  for (dift::Tag t : tags_) ++h[t];
+  return h;
+}
+
+void Memory::transport(tlmlite::Payload& p, sysc::Time& delay) {
+  if (p.address + p.length > data_.size()) {
+    p.response = tlmlite::Response::kAddressError;
+    return;
+  }
+  const std::size_t off = p.address;
+  if (p.is_read()) {
+    std::memcpy(p.data, data_.data() + off, p.length);
+    if (p.tainted()) {
+      if (tags_.empty())
+        std::memset(p.tags, dift::kBottomTag, p.length);
+      else
+        std::memcpy(p.tags, tags_.data() + off, p.length);
+    }
+  } else {
+    std::memcpy(data_.data() + off, p.data, p.length);
+    if (p.tainted() && !tags_.empty()) std::memcpy(tags_.data() + off, p.tags, p.length);
+  }
+  delay += sysc::Time::ns(10);
+  p.response = tlmlite::Response::kOk;
+}
+
+}  // namespace vpdift::soc

@@ -1,0 +1,54 @@
+// Main RAM with an optional per-byte tag plane.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dift/tag.hpp"
+#include "rvasm/program.hpp"
+#include "sysc/kernel.hpp"
+#include "tlmlite/socket.hpp"
+
+namespace vpdift::soc {
+
+/// Byte-addressable RAM. In the DIFT build every byte carries a dift::Tag in
+/// a parallel plane; the plain VP allocates no tag storage at all.
+class Memory : public sysc::Module {
+ public:
+  Memory(sysc::Simulation& sim, std::string name, std::size_t size, bool track_tags);
+
+  tlmlite::TargetSocket& socket() { return tsock_; }
+
+  std::uint8_t* data() { return data_.data(); }
+  dift::Tag* tags() { return tags_.empty() ? nullptr : tags_.data(); }
+  std::size_t size() const { return data_.size(); }
+  bool tracks_tags() const { return !tags_.empty(); }
+
+  /// Copies all program segments into RAM. Segment addresses are absolute
+  /// bus addresses; `ram_base` is this memory's mapping base.
+  void load_image(const rvasm::Program& program, std::uint64_t ram_base);
+
+  /// Tags [offset, offset+length) (no-op when tags are not tracked).
+  void classify(std::size_t offset, std::size_t length, dift::Tag tag);
+  /// Tag at `offset` (kBottomTag when untracked).
+  dift::Tag tag_at(std::size_t offset) const;
+
+  /// Direct read/write helpers for tests and host-side tooling.
+  std::uint32_t read_u32(std::size_t offset) const;
+  void write_u32(std::size_t offset, std::uint32_t value);
+
+  /// Taint map statistics: bytes per security class (policy debugging aid).
+  /// Empty when tags are not tracked.
+  std::map<dift::Tag, std::size_t> tag_histogram() const;
+
+ private:
+  void transport(tlmlite::Payload& p, sysc::Time& delay);
+
+  tlmlite::TargetSocket tsock_;
+  std::vector<std::uint8_t> data_;
+  std::vector<dift::Tag> tags_;
+};
+
+}  // namespace vpdift::soc

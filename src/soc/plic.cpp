@@ -1,0 +1,67 @@
+#include "soc/plic.hpp"
+
+#include "tlmlite/payload.hpp"
+
+namespace vpdift::soc {
+
+Plic::Plic(sysc::Simulation& sim, std::string name) : Module(sim, std::move(name)) {
+  tsock_.register_transport(
+      [this](tlmlite::Payload& p, sysc::Time& d) { transport(p, d); });
+}
+
+void Plic::raise(std::uint32_t src) {
+  pending_ |= 1u << (src & 31);
+  update();
+}
+
+void Plic::set_level(std::uint32_t src, bool level) {
+  if (level)
+    pending_ |= 1u << (src & 31);
+  else
+    pending_ &= ~(1u << (src & 31));
+  update();
+}
+
+void Plic::update() {
+  if (ext_irq_) ext_irq_((pending_ & enable_) != 0);
+}
+
+void Plic::transport(tlmlite::Payload& p, sysc::Time& delay) {
+  delay += sysc::Time::ns(20);
+  p.response = tlmlite::Response::kOk;
+  auto rd_u32 = [&](std::uint32_t v) {
+    for (std::uint32_t i = 0; i < p.length; ++i) {
+      p.data[i] = static_cast<std::uint8_t>(v >> (8 * i));
+      if (p.tainted()) p.tags[i] = dift::kBottomTag;
+    }
+  };
+  switch (p.address) {
+    case kPending: rd_u32(pending_); break;
+    case kEnable:
+      if (p.is_read()) {
+        rd_u32(enable_);
+      } else {
+        std::uint32_t v = 0;
+        for (std::uint32_t i = 0; i < p.length; ++i) v |= std::uint32_t(p.data[i]) << (8 * i);
+        enable_ = v;
+        update();
+      }
+      break;
+    case kClaim:
+      if (p.is_read()) {
+        std::uint32_t src = 0;
+        const std::uint32_t active = pending_ & enable_;
+        for (std::uint32_t s = 1; s < 32; ++s)
+          if (active & (1u << s)) { src = s; break; }
+        if (src != 0) {
+          pending_ &= ~(1u << src);
+          update();
+        }
+        rd_u32(src);
+      }
+      break;
+    default: p.response = tlmlite::Response::kAddressError; break;
+  }
+}
+
+}  // namespace vpdift::soc

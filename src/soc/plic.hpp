@@ -1,0 +1,50 @@
+// Simplified platform-level interrupt controller (PLIC).
+//
+// 32 level/pulse sources, one hart target. The external-interrupt line to
+// the core is asserted while any enabled source is pending and unclaimed.
+//
+// Register map:
+//   0x00 PENDING (r)
+//   0x04 ENABLE  (rw)
+//   0x08 CLAIM   (r: highest pending&enabled source, clears it; 0 if none)
+//                (w: completion — ignored in this simplified model)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sysc/kernel.hpp"
+#include "tlmlite/socket.hpp"
+
+namespace vpdift::soc {
+
+class Plic : public sysc::Module {
+ public:
+  static constexpr std::uint64_t kPending = 0x00, kEnable = 0x04, kClaim = 0x08;
+
+  Plic(sysc::Simulation& sim, std::string name);
+
+  tlmlite::TargetSocket& socket() { return tsock_; }
+
+  /// External-interrupt line (level) into the core.
+  void set_ext_irq(std::function<void(bool)> fn) { ext_irq_ = std::move(fn); }
+
+  /// Gateway: peripheral raises source `src` (1..31).
+  void raise(std::uint32_t src);
+  /// Gateway for level-style sources.
+  void set_level(std::uint32_t src, bool level);
+
+  std::uint32_t pending() const { return pending_; }
+
+ private:
+  void transport(tlmlite::Payload& p, sysc::Time& delay);
+  void update();
+
+  tlmlite::TargetSocket tsock_;
+  std::uint32_t pending_ = 0;
+  std::uint32_t enable_ = 0;
+  std::function<void(bool)> ext_irq_;
+};
+
+}  // namespace vpdift::soc

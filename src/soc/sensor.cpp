@@ -1,0 +1,67 @@
+#include "soc/sensor.hpp"
+
+#include "dift/context.hpp"
+#include "tlmlite/payload.hpp"
+
+namespace vpdift::soc {
+
+Sensor::Sensor(sysc::Simulation& sim, std::string name, sysc::Time period)
+    : Module(sim, std::move(name)), period_(period) {
+  tsock_.register_transport(
+      [this](tlmlite::Payload& p, sysc::Time& d) { transport(p, d); });
+}
+
+void Sensor::start() { sim_->spawn(run()); }
+
+sysc::Task Sensor::run() {
+  while (true) {
+    co_await sim_->delay(period_);
+    // Fill with pseudo-random printable data of the configured class.
+    for (auto& b : frame_) {
+      lcg_ = lcg_ * 1103515245u + 12345u;
+      b = dift::TaintedByte(static_cast<std::uint8_t>((lcg_ >> 16) % 96 + 32),
+                            data_tag_);
+    }
+    ++frames_;
+    if (irq_) irq_();
+  }
+}
+
+void Sensor::transport(tlmlite::Payload& p, sysc::Time& delay) {
+  delay += sysc::Time::ns(50);
+  p.response = tlmlite::Response::kOk;
+  if (p.address + p.length <= kFrameSize) {
+    // Data-frame window.
+    for (std::uint32_t i = 0; i < p.length; ++i) {
+      auto& cell = frame_[p.address + i];
+      if (p.is_read()) {
+        p.data[i] = cell.value();
+        if (p.tainted()) p.tags[i] = cell.tag();
+      } else {
+        cell = dift::TaintedByte(p.data[i],
+                                 p.tainted() ? p.tags[i] : dift::kBottomTag);
+      }
+    }
+    return;
+  }
+  if (p.address == kDataTagReg) {
+    if (p.is_read()) {
+      // The configured security class itself is not confidential.
+      for (std::uint32_t i = 0; i < p.length; ++i) {
+        p.data[i] = i == 0 ? data_tag_ : 0;
+        if (p.tainted()) p.tags[i] = dift::kBottomTag;
+      }
+    } else {
+      // Mirrors the paper's `data_tag = *ptr`: the implicit Taint ->
+      // uint8_t conversion requires the incoming byte to be cleared for the
+      // engine's conversion clearance.
+      const dift::TaintedByte incoming(p.data[0],
+                                       p.tainted() ? p.tags[0] : dift::kBottomTag);
+      data_tag_ = incoming;
+    }
+    return;
+  }
+  p.response = tlmlite::Response::kAddressError;
+}
+
+}  // namespace vpdift::soc

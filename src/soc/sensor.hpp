@@ -1,0 +1,60 @@
+// Sensor peripheral — the paper's Fig. 4 example module.
+//
+// A memory-mapped 64-byte data frame of tainted bytes is refilled
+// periodically by a kernel thread with pseudo-random "measurement" data
+// classified by the run-time configurable `data_tag` register; each refill
+// raises an interrupt. Register map:
+//   0x00..0x3f DATA_FRAME (r)   tainted sensor data
+//   0x40       DATA_TAG   (rw)  security class of generated data; writing it
+//                               from classified data trips the checked
+//                               Taint -> uint8_t conversion (paper, line 47)
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "dift/taint.hpp"
+#include "sysc/kernel.hpp"
+#include "tlmlite/socket.hpp"
+
+namespace vpdift::soc {
+
+class Sensor : public sysc::Module {
+ public:
+  static constexpr std::size_t kFrameSize = 64;
+  static constexpr std::uint64_t kDataTagReg = 0x40;
+
+  Sensor(sysc::Simulation& sim, std::string name,
+         sysc::Time period = sysc::Time::ms(25));
+
+  tlmlite::TargetSocket& socket() { return tsock_; }
+
+  /// Interrupt line to the PLIC (pulsed on each new frame).
+  void set_irq(std::function<void()> fn) { irq_ = std::move(fn); }
+  /// Initial classification of generated data.
+  void set_data_tag(dift::Tag tag) { data_tag_ = tag; }
+  dift::Tag data_tag() const { return data_tag_; }
+
+  /// Number of frames generated so far.
+  std::uint64_t frames_generated() const { return frames_; }
+
+  /// Starts the periodic generation thread (called by the SoC builder once
+  /// the simulation graph is complete).
+  void start();
+
+ private:
+  sysc::Task run();
+  void transport(tlmlite::Payload& p, sysc::Time& delay);
+
+  tlmlite::TargetSocket tsock_;
+  std::array<dift::TaintedByte, kFrameSize> frame_{};
+  dift::Tag data_tag_ = dift::kBottomTag;
+  sysc::Time period_;
+  std::uint32_t lcg_ = 0x12345678u;
+  std::uint64_t frames_ = 0;
+  std::function<void()> irq_;
+};
+
+}  // namespace vpdift::soc

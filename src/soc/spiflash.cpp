@@ -1,0 +1,32 @@
+#include "soc/spiflash.hpp"
+
+#include <cstring>
+
+#include "tlmlite/payload.hpp"
+
+namespace vpdift::soc {
+
+SpiFlash::SpiFlash(sysc::Simulation& sim, std::string name,
+                   std::vector<std::uint8_t> image, dift::Tag image_tag)
+    : Module(sim, std::move(name)), image_(std::move(image)), tag_(image_tag) {
+  tsock_.register_transport(
+      [this](tlmlite::Payload& p, sysc::Time& d) { transport(p, d); });
+}
+
+void SpiFlash::transport(tlmlite::Payload& p, sysc::Time& delay) {
+  delay += sysc::Time::ns(200);  // XIP flash is slow
+  if (p.address + p.length > image_.size()) {
+    p.response = tlmlite::Response::kAddressError;
+    return;
+  }
+  if (!p.is_read()) {
+    p.response = tlmlite::Response::kGenericError;  // read-only device
+    return;
+  }
+  std::memcpy(p.data, image_.data() + p.address, p.length);
+  if (p.tainted())
+    for (std::uint32_t i = 0; i < p.length; ++i) p.tags[i] = tag_;
+  p.response = tlmlite::Response::kOk;
+}
+
+}  // namespace vpdift::soc

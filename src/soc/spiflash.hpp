@@ -1,0 +1,38 @@
+// Execute-in-place (XIP) SPI flash model.
+//
+// A read-only memory-mapped image, reached only through TLM transactions
+// (no DMI window) — code fetched from flash therefore exercises the core's
+// slow fetch path, and the whole image carries one security class (typically
+// HI: factory-programmed trusted code, or LI to model an untrusted external
+// part).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dift/tag.hpp"
+#include "sysc/kernel.hpp"
+#include "tlmlite/socket.hpp"
+
+namespace vpdift::soc {
+
+class SpiFlash : public sysc::Module {
+ public:
+  SpiFlash(sysc::Simulation& sim, std::string name, std::vector<std::uint8_t> image,
+           dift::Tag image_tag = dift::kBottomTag);
+
+  tlmlite::TargetSocket& socket() { return tsock_; }
+  std::size_t size() const { return image_.size(); }
+  dift::Tag image_tag() const { return tag_; }
+  void set_image_tag(dift::Tag tag) { tag_ = tag; }
+
+ private:
+  void transport(tlmlite::Payload& p, sysc::Time& delay);
+
+  tlmlite::TargetSocket tsock_;
+  std::vector<std::uint8_t> image_;
+  dift::Tag tag_;
+};
+
+}  // namespace vpdift::soc

@@ -1,0 +1,35 @@
+#include "soc/sysctrl.hpp"
+
+#include "tlmlite/payload.hpp"
+
+namespace vpdift::soc {
+
+SysCtrl::SysCtrl(sysc::Simulation& sim, std::string name)
+    : Module(sim, std::move(name)) {
+  tsock_.register_transport(
+      [this](tlmlite::Payload& p, sysc::Time& d) { transport(p, d); });
+}
+
+void SysCtrl::transport(tlmlite::Payload& p, sysc::Time& delay) {
+  delay += sysc::Time::ns(10);
+  p.response = tlmlite::Response::kOk;
+  switch (p.address) {
+    case kExit:
+      if (p.is_write()) {
+        exit_code_ = 0;
+        for (std::uint32_t i = 0; i < p.length; ++i)
+          exit_code_ |= std::uint32_t(p.data[i]) << (8 * i);
+        exited_ = true;
+        sim_->stop();
+      }
+      break;
+    case kMark:
+      if (p.is_write()) markers_.push_back(static_cast<char>(p.data[0]));
+      break;
+    default:
+      p.response = tlmlite::Response::kAddressError;
+      break;
+  }
+}
+
+}  // namespace vpdift::soc

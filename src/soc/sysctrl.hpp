@@ -1,0 +1,38 @@
+// System controller: firmware-visible exit and test-status interface.
+//
+// Register map:
+//   0x00 EXIT   (w) stop the simulation with this exit code
+//   0x04 MARK   (w) append a marker byte to the host-visible marker log
+//                   (used by the attack suite to flag "payload executed")
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sysc/kernel.hpp"
+#include "tlmlite/socket.hpp"
+
+namespace vpdift::soc {
+
+class SysCtrl : public sysc::Module {
+ public:
+  static constexpr std::uint64_t kExit = 0x00, kMark = 0x04;
+
+  SysCtrl(sysc::Simulation& sim, std::string name);
+
+  tlmlite::TargetSocket& socket() { return tsock_; }
+
+  bool exited() const { return exited_; }
+  std::uint32_t exit_code() const { return exit_code_; }
+  const std::string& markers() const { return markers_; }
+
+ private:
+  void transport(tlmlite::Payload& p, sysc::Time& delay);
+
+  tlmlite::TargetSocket tsock_;
+  bool exited_ = false;
+  std::uint32_t exit_code_ = 0;
+  std::string markers_;
+};
+
+}  // namespace vpdift::soc

@@ -1,0 +1,76 @@
+#include "soc/uart.hpp"
+
+#include "dift/context.hpp"
+#include "tlmlite/payload.hpp"
+
+namespace vpdift::soc {
+
+Uart::Uart(sysc::Simulation& sim, std::string name) : Module(sim, std::move(name)) {
+  tsock_.register_transport(
+      [this](tlmlite::Payload& p, sysc::Time& d) { transport(p, d); });
+}
+
+void Uart::feed_input(std::string_view bytes) {
+  for (char c : bytes) rx_.push_back(static_cast<std::uint8_t>(c));
+  update_irq();
+}
+
+void Uart::update_irq() {
+  if (irq_) irq_((ie_ & 1u) != 0 && !rx_.empty());
+}
+
+void Uart::transport(tlmlite::Payload& p, sysc::Time& delay) {
+  delay += sysc::Time::ns(50);
+  p.response = tlmlite::Response::kOk;
+  switch (p.address) {
+    case kTxData:
+      if (!p.is_write()) break;
+      if (p.tainted() && tx_clearance_)
+        dift::check_flow(p.tags[0], *tx_clearance_,
+                         dift::ViolationKind::kOutputClearance, 0, p.address,
+                         (name_ + ".tx").c_str());
+      tx_log_.push_back(static_cast<char>(p.data[0]));
+      break;
+    case kRxData: {
+      if (!p.is_read()) break;
+      std::uint32_t v = 0xffffffffu;
+      dift::Tag t = dift::kBottomTag;
+      if (!rx_.empty()) {
+        v = rx_.front();
+        rx_.pop_front();
+        t = rx_tag_;
+        update_irq();
+      }
+      for (std::uint32_t i = 0; i < p.length; ++i) {
+        p.data[i] = static_cast<std::uint8_t>(v >> (8 * i));
+        if (p.tainted()) p.tags[i] = t;
+      }
+      break;
+    }
+    case kStatus: {
+      if (!p.is_read()) break;
+      const std::uint32_t v = 1u | (rx_.empty() ? 0u : 2u);
+      for (std::uint32_t i = 0; i < p.length; ++i) {
+        p.data[i] = static_cast<std::uint8_t>(v >> (8 * i));
+        if (p.tainted()) p.tags[i] = dift::kBottomTag;
+      }
+      break;
+    }
+    case kIe:
+      if (p.is_write()) {
+        ie_ = p.data[0];
+        update_irq();
+      } else {
+        for (std::uint32_t i = 0; i < p.length; ++i) {
+          p.data[i] = i == 0 ? static_cast<std::uint8_t>(ie_) : 0;
+          if (p.tainted()) p.tags[i] = dift::kBottomTag;
+        }
+      }
+      break;
+    default:
+      p.response = tlmlite::Response::kAddressError;
+      break;
+  }
+}
+
+}  // namespace vpdift::soc

@@ -1,0 +1,59 @@
+// UART peripheral: clearance-checked TX, attacker-classified RX.
+//
+// Register map (word access):
+//   0x00 TXDATA  (w)  transmit one byte; raises kOutputClearance if the byte's
+//                     class may not flow to the configured TX clearance
+//   0x04 RXDATA  (r)  next received byte, or 0xffffffff when empty
+//   0x08 STATUS  (r)  bit0: tx ready (always 1), bit1: rx available
+//   0x0c IE      (rw) bit0: rx interrupt enable
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "dift/tag.hpp"
+#include "sysc/kernel.hpp"
+#include "tlmlite/socket.hpp"
+
+namespace vpdift::soc {
+
+class Uart : public sysc::Module {
+ public:
+  static constexpr std::uint64_t kTxData = 0x00, kRxData = 0x04, kStatus = 0x08,
+                                 kIe = 0x0c;
+
+  Uart(sysc::Simulation& sim, std::string name);
+
+  tlmlite::TargetSocket& socket() { return tsock_; }
+
+  /// Output clearance of the TX interface (disengaged = unchecked).
+  void set_output_clearance(std::optional<dift::Tag> tag) { tx_clearance_ = tag; }
+  /// Classification applied to received bytes (the attacker's input class).
+  void set_input_tag(dift::Tag tag) { rx_tag_ = tag; }
+  /// Interrupt line (wired to the PLIC by the SoC builder).
+  void set_irq(std::function<void(bool)> fn) { irq_ = std::move(fn); }
+
+  /// Host-side stimulus: enqueues bytes as if received on the wire.
+  void feed_input(std::string_view bytes);
+  /// Everything transmitted so far.
+  const std::string& output() const { return tx_log_; }
+  void clear_output() { tx_log_.clear(); }
+  std::size_t rx_pending() const { return rx_.size(); }
+
+ private:
+  void transport(tlmlite::Payload& p, sysc::Time& delay);
+  void update_irq();
+
+  tlmlite::TargetSocket tsock_;
+  std::deque<std::uint8_t> rx_;
+  std::string tx_log_;
+  std::optional<dift::Tag> tx_clearance_;
+  dift::Tag rx_tag_ = dift::kBottomTag;
+  std::uint32_t ie_ = 0;
+  std::function<void(bool)> irq_;
+};
+
+}  // namespace vpdift::soc

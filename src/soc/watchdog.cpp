@@ -1,0 +1,71 @@
+#include "soc/watchdog.hpp"
+
+#include "tlmlite/payload.hpp"
+
+namespace vpdift::soc {
+
+Watchdog::Watchdog(sysc::Simulation& sim, std::string name)
+    : Module(sim, std::move(name)) {
+  tsock_.register_transport(
+      [this](tlmlite::Payload& p, sysc::Time& d) { transport(p, d); });
+}
+
+sysc::Task Watchdog::run() {
+  // Poll in bounded slices (same pattern as the CLINT: a re-arm while we
+  // sleep cannot wake us, so the slice bounds the detection latency).
+  while (true) {
+    co_await sim_->delay(sysc::Time::us(50));
+    if (!enabled_) continue;
+    if (sim_->now().micros() >= deadline_us_) {
+      ++resets_;
+      deadline_us_ = sim_->now().micros() + timeout_us_;  // re-arm
+      if (on_timeout_) on_timeout_();
+    }
+  }
+}
+
+void Watchdog::transport(tlmlite::Payload& p, sysc::Time& delay) {
+  delay += sysc::Time::ns(20);
+  p.response = tlmlite::Response::kOk;
+  auto rd_u32 = [&](std::uint32_t v) {
+    for (std::uint32_t i = 0; i < p.length; ++i) {
+      p.data[i] = static_cast<std::uint8_t>(v >> (8 * i));
+      if (p.tainted()) p.tags[i] = dift::kBottomTag;
+    }
+  };
+  auto payload_u32 = [&] {
+    std::uint32_t v = 0;
+    for (std::uint32_t i = 0; i < p.length; ++i) v |= std::uint32_t(p.data[i]) << (8 * i);
+    return v;
+  };
+  switch (p.address) {
+    case kLoad:
+      if (p.is_read()) {
+        rd_u32(timeout_us_);
+      } else {
+        timeout_us_ = payload_u32();
+        deadline_us_ = sim_->now().micros() + timeout_us_;
+      }
+      break;
+    case kPet:
+      if (p.is_write() && payload_u32() == kPetMagic)
+        deadline_us_ = sim_->now().micros() + timeout_us_;
+      break;
+    case kCtrl:
+      if (p.is_read()) {
+        rd_u32(enabled_ ? 1u : 0u);
+      } else {
+        enabled_ = (payload_u32() & 1) != 0;
+        if (enabled_) deadline_us_ = sim_->now().micros() + timeout_us_;
+      }
+      break;
+    case kStatus:
+      rd_u32(resets_);
+      break;
+    default:
+      p.response = tlmlite::Response::kAddressError;
+      break;
+  }
+}
+
+}  // namespace vpdift::soc

@@ -1,0 +1,49 @@
+// Watchdog timer: if the firmware stops petting it, the SoC is reset.
+//
+// Register map:
+//   0x00 LOAD   (rw) timeout in microseconds (writing re-arms)
+//   0x04 PET    (w)  write the magic value 0x5afe to restart the countdown
+//   0x08 CTRL   (rw) bit0: enable
+//   0x0c STATUS (r)  number of watchdog resets fired so far
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sysc/kernel.hpp"
+#include "tlmlite/socket.hpp"
+
+namespace vpdift::soc {
+
+class Watchdog : public sysc::Module {
+ public:
+  static constexpr std::uint64_t kLoad = 0x00, kPet = 0x04, kCtrl = 0x08,
+                                 kStatus = 0x0c;
+  static constexpr std::uint32_t kPetMagic = 0x5afe;
+
+  Watchdog(sysc::Simulation& sim, std::string name);
+
+  tlmlite::TargetSocket& socket() { return tsock_; }
+
+  /// Fired on expiry (the SoC wires this to a CPU reset).
+  void set_on_timeout(std::function<void()> fn) { on_timeout_ = std::move(fn); }
+
+  void start() { sim_->spawn(run()); }
+
+  bool enabled() const { return enabled_; }
+  std::uint32_t resets_fired() const { return resets_; }
+
+ private:
+  sysc::Task run();
+  void transport(tlmlite::Payload& p, sysc::Time& delay);
+
+  tlmlite::TargetSocket tsock_;
+  std::uint32_t timeout_us_ = 0;
+  std::uint64_t deadline_us_ = ~0ull;
+  bool enabled_ = false;
+  std::uint32_t resets_ = 0;
+  std::function<void()> on_timeout_;
+};
+
+}  // namespace vpdift::soc

@@ -1,0 +1,109 @@
+#include "sysc/kernel.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace vpdift::sysc {
+
+Simulation* Simulation::current_ = nullptr;
+
+std::string Time::to_string() const {
+  char buf[64];
+  if (ps_ >= 1'000'000'000ull && ps_ % 1'000'000'000ull == 0)
+    std::snprintf(buf, sizeof buf, "%llu ms", static_cast<unsigned long long>(millis()));
+  else if (ps_ >= 1'000'000ull && ps_ % 1'000'000ull == 0)
+    std::snprintf(buf, sizeof buf, "%llu us", static_cast<unsigned long long>(micros()));
+  else if (ps_ >= 1'000ull && ps_ % 1'000ull == 0)
+    std::snprintf(buf, sizeof buf, "%llu ns", static_cast<unsigned long long>(nanos()));
+  else
+    std::snprintf(buf, sizeof buf, "%llu ps", static_cast<unsigned long long>(ps_));
+  return buf;
+}
+
+void Task::promise_type::unhandled_exception() {
+  if (Simulation* sim = Simulation::current()) {
+    sim->pending_exception_ = std::current_exception();
+    sim->stop();
+  } else {
+    std::terminate();
+  }
+}
+
+Task& Task::operator=(Task&& o) noexcept {
+  if (this != &o) {
+    if (handle_) handle_.destroy();
+    handle_ = std::exchange(o.handle_, nullptr);
+  }
+  return *this;
+}
+
+Task::~Task() {
+  if (handle_) handle_.destroy();
+}
+
+void Simulation::spawn(Task task) {
+  auto h = task.handle_;
+  tasks_.push_back(std::move(task));
+  post([h] {
+    if (h && !h.done()) h.resume();
+  });
+}
+
+void Simulation::schedule_in(Time after, std::function<void()> fn) {
+  timed_.push(TimedItem{now_ + after, seq_++, std::move(fn)});
+}
+
+void Simulation::post(std::function<void()> fn) { delta_.push_back(std::move(fn)); }
+
+void Simulation::dispatch(const std::function<void()>& fn) {
+  fn();
+  if (pending_exception_) {
+    auto e = std::exchange(pending_exception_, nullptr);
+    std::rethrow_exception(e);
+  }
+}
+
+void Simulation::run(Time until) {
+  if (current_ != nullptr)
+    throw std::logic_error("nested Simulation::run() is not supported");
+  current_ = this;
+  struct Reset {
+    ~Reset() { Simulation::current_ = nullptr; }
+  } reset;
+
+  stop_requested_ = false;
+  while (!stop_requested_) {
+    if (!delta_.empty()) {
+      // Drain one delta phase; handlers may post into the next one.
+      std::vector<std::function<void()>> phase;
+      phase.swap(delta_);
+      for (const auto& fn : phase) {
+        dispatch(fn);
+        if (stop_requested_) return;
+      }
+      continue;
+    }
+    if (timed_.empty()) return;
+    if (timed_.top().t > until) return;
+    TimedItem item = timed_.top();
+    timed_.pop();
+    now_ = item.t;
+    dispatch(item.fn);
+  }
+}
+
+void Event::notify() {
+  auto waiters = std::move(waiters_);
+  waiters_.clear();
+  for (auto h : waiters)
+    sim_->post([h] {
+      if (h && !h.done()) h.resume();
+    });
+}
+
+void Event::notify(Time after) {
+  sim_->schedule_in(after, [this] { notify(); });
+}
+
+}  // namespace vpdift::sysc

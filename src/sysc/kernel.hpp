@@ -1,0 +1,169 @@
+// Compact event-driven simulation kernel (SystemC stand-in).
+//
+// The paper builds on the IEEE-1666 SystemC kernel; this module reproduces
+// the subset its VP relies on, using C++20 coroutines for processes:
+//   * Task            — an SC_THREAD-like cooperative process,
+//   * Simulation      — the scheduler: timed queue + delta queue, run/stop,
+//   * Event           — notifiable wake-up point (immediate or timed),
+//   * Module          — named structural unit that spawns processes.
+// Processes suspend with `co_await sim.delay(t)` or `co_await event` and are
+// resumed by the scheduler in (time, scheduling-order) order. Exceptions
+// escaping any process (e.g. a dift::PolicyViolation raised inside a
+// peripheral thread) abort the simulation and are rethrown from run().
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sysc/time.hpp"
+
+namespace vpdift::sysc {
+
+class Simulation;
+
+/// Fire-and-forget coroutine process owned by the Simulation.
+class [[nodiscard]] Task {
+ public:
+  struct promise_type {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception();
+  };
+
+  Task(Task&& o) noexcept : handle_(o.handle_) { o.handle_ = nullptr; }
+  Task& operator=(Task&& o) noexcept;
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task();
+
+  bool done() const { return !handle_ || handle_.done(); }
+
+ private:
+  friend class Simulation;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// The scheduler. Single-threaded; one instance active per run() at a time.
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulation time.
+  Time now() const { return now_; }
+
+  /// Registers a process; it first runs at the current time (delta phase).
+  void spawn(Task task);
+
+  /// Schedules `fn` to run `after` from now (kernel-internal callbacks).
+  void schedule_in(Time after, std::function<void()> fn);
+  /// Schedules `fn` into the current delta phase.
+  void post(std::function<void()> fn);
+
+  /// Runs until no activity remains, stop() is called, or `until` is reached
+  /// (events at `until` still execute). Rethrows process exceptions.
+  void run(Time until = Time::max());
+
+  /// Requests the run loop to exit after the current activation.
+  void stop() { stop_requested_ = true; }
+  bool stop_requested() const { return stop_requested_; }
+
+  /// True when neither timed nor delta activity is pending.
+  bool idle() const { return timed_.empty() && delta_.empty(); }
+
+  /// Process count (for diagnostics).
+  std::size_t process_count() const { return tasks_.size(); }
+
+  /// The simulation currently inside run(), if any (used by Task's
+  /// exception plumbing and by awaitables).
+  static Simulation* current() { return current_; }
+
+  // -- awaitable: co_await sim.delay(t) --
+  struct DelayAwaiter {
+    Simulation* sim;
+    Time d;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      sim->schedule_in(d, [h] { h.resume(); });
+    }
+    void await_resume() const noexcept {}
+  };
+  DelayAwaiter delay(Time d) { return {this, d}; }
+
+ private:
+  friend struct Task::promise_type;
+
+  struct TimedItem {
+    Time t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const TimedItem& o) const {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+
+  void dispatch(const std::function<void()>& fn);
+
+  Time now_;
+  std::uint64_t seq_ = 0;
+  std::priority_queue<TimedItem, std::vector<TimedItem>, std::greater<>> timed_;
+  std::vector<std::function<void()>> delta_;
+  std::vector<Task> tasks_;
+  bool stop_requested_ = false;
+  std::exception_ptr pending_exception_;
+  static Simulation* current_;
+};
+
+/// Notifiable synchronisation point (sc_event equivalent).
+class Event {
+ public:
+  explicit Event(Simulation& sim) : sim_(&sim) {}
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  /// Wakes all waiters in the current delta phase.
+  void notify();
+  /// Wakes all waiters registered at notification time, `after` from now.
+  void notify(Time after);
+
+  struct Awaiter {
+    Event* ev;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { ev->waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+  Awaiter operator co_await() { return {this}; }
+
+ private:
+  Simulation* sim_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Named structural unit (sc_module equivalent).
+class Module {
+ public:
+  Module(Simulation& sim, std::string name) : sim_(&sim), name_(std::move(name)) {}
+  virtual ~Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  const std::string& name() const { return name_; }
+  Simulation& sim() const { return *sim_; }
+
+ protected:
+  Simulation* sim_;
+  std::string name_;
+};
+
+}  // namespace vpdift::sysc

@@ -1,0 +1,41 @@
+// Simulation time with picosecond resolution (sc_time equivalent).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace vpdift::sysc {
+
+/// Absolute simulation time / duration, counted in picoseconds.
+class Time {
+ public:
+  constexpr Time() = default;
+
+  static constexpr Time ps(std::uint64_t v) { return Time(v); }
+  static constexpr Time ns(std::uint64_t v) { return Time(v * 1'000ull); }
+  static constexpr Time us(std::uint64_t v) { return Time(v * 1'000'000ull); }
+  static constexpr Time ms(std::uint64_t v) { return Time(v * 1'000'000'000ull); }
+  static constexpr Time sec(std::uint64_t v) { return Time(v * 1'000'000'000'000ull); }
+  static constexpr Time max() { return Time(std::numeric_limits<std::uint64_t>::max()); }
+
+  constexpr std::uint64_t picos() const { return ps_; }
+  constexpr std::uint64_t nanos() const { return ps_ / 1'000ull; }
+  constexpr std::uint64_t micros() const { return ps_ / 1'000'000ull; }
+  constexpr std::uint64_t millis() const { return ps_ / 1'000'000'000ull; }
+
+  friend constexpr Time operator+(Time a, Time b) { return Time(a.ps_ + b.ps_); }
+  friend constexpr Time operator-(Time a, Time b) { return Time(a.ps_ - b.ps_); }
+  friend constexpr Time operator*(Time a, std::uint64_t k) { return Time(a.ps_ * k); }
+  constexpr Time& operator+=(Time o) { ps_ += o.ps_; return *this; }
+  friend constexpr auto operator<=>(Time, Time) = default;
+
+  std::string to_string() const;
+
+ private:
+  constexpr explicit Time(std::uint64_t ps) : ps_(ps) {}
+  std::uint64_t ps_ = 0;
+};
+
+}  // namespace vpdift::sysc

@@ -1,0 +1,49 @@
+// Address-routed interconnect (the VP's TLM bus).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sysc/kernel.hpp"
+#include "tlmlite/socket.hpp"
+
+namespace vpdift::tlmlite {
+
+/// Routes transactions to target sockets by address range. Transactions are
+/// rebased: the target sees an address relative to its mapping base.
+class Bus : public sysc::Module {
+ public:
+  Bus(sysc::Simulation& sim, std::string name);
+
+  /// Maps [base, base+size) to `target`. Ranges must not overlap.
+  void map(std::uint64_t base, std::uint64_t size, TargetSocket& target,
+           std::string port_name = {});
+
+  /// The socket initiators bind to.
+  TargetSocket& target_socket() { return tsock_; }
+
+  /// Direct routing entry point (equivalent to transport through tsock_).
+  void transport(Payload& p, sysc::Time& delay);
+
+  /// Number of mapped ranges.
+  std::size_t mapping_count() const { return ranges_.size(); }
+
+  /// Resolves the port name covering `address` (diagnostics), or "".
+  std::string port_at(std::uint64_t address) const;
+
+ private:
+  struct Range {
+    std::uint64_t base;
+    std::uint64_t size;
+    TargetSocket* target;
+    std::string port_name;
+    bool contains(std::uint64_t a) const { return a - base < size; }
+  };
+  const Range* route(std::uint64_t address) const;
+
+  TargetSocket tsock_;
+  std::vector<Range> ranges_;
+};
+
+}  // namespace vpdift::tlmlite

@@ -1,0 +1,40 @@
+// TLM-2.0-style generic payload carrying tainted data.
+//
+// The paper embeds Taint<uint8_t> arrays into TLM generic payloads by
+// casting the transaction's char data pointer. We keep the value and tag
+// planes as two parallel pointers instead: `data` always points at the raw
+// bytes, `tags` points at one dift::Tag per byte — or is nullptr when the
+// initiator is the plain (non-DIFT) VP. Peripherals thus serve both the VP
+// and the VP+ build from the same transport code.
+#pragma once
+
+#include <cstdint>
+
+#include "dift/tag.hpp"
+
+namespace vpdift::tlmlite {
+
+enum class Command : std::uint8_t { kRead, kWrite };
+
+enum class Response : std::uint8_t {
+  kOk,
+  kAddressError,  ///< no target mapped / offset out of range
+  kGenericError,  ///< target rejected the transaction
+};
+
+/// One bus transaction. The initiator owns the data/tag buffers.
+struct Payload {
+  Command command = Command::kRead;
+  std::uint64_t address = 0;   ///< bus address; routers rebase to target offset
+  std::uint8_t* data = nullptr;
+  dift::Tag* tags = nullptr;   ///< nullptr => initiator does not track taint
+  std::uint32_t length = 0;
+  Response response = Response::kGenericError;
+
+  bool is_read() const { return command == Command::kRead; }
+  bool is_write() const { return command == Command::kWrite; }
+  bool tainted() const { return tags != nullptr; }
+  bool ok() const { return response == Response::kOk; }
+};
+
+}  // namespace vpdift::tlmlite

@@ -1,0 +1,50 @@
+// Blocking-transport sockets (TLM-2.0 b_transport equivalent).
+//
+// A TargetSocket is registered with the target's transport function; an
+// InitiatorSocket is bound to exactly one TargetSocket. Transport is
+// synchronous: the target annotates access latency into `delay` rather than
+// suspending (loosely-timed modelling style, as used by riscv-vp).
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "sysc/time.hpp"
+#include "tlmlite/payload.hpp"
+
+namespace vpdift::tlmlite {
+
+class TargetSocket {
+ public:
+  using Transport = std::function<void(Payload&, sysc::Time&)>;
+
+  /// Registers the target's transport callback (must be done before use).
+  void register_transport(Transport fn) { transport_ = std::move(fn); }
+
+  void b_transport(Payload& p, sysc::Time& delay) {
+    if (!transport_) throw std::logic_error("TargetSocket: no transport registered");
+    transport_(p, delay);
+  }
+
+  bool bound() const { return static_cast<bool>(transport_); }
+
+ private:
+  Transport transport_;
+};
+
+class InitiatorSocket {
+ public:
+  void bind(TargetSocket& target) { target_ = &target; }
+  bool bound() const { return target_ != nullptr; }
+
+  void b_transport(Payload& p, sysc::Time& delay) {
+    if (!target_) throw std::logic_error("InitiatorSocket: unbound");
+    target_->b_transport(p, delay);
+  }
+
+ private:
+  TargetSocket* target_ = nullptr;
+};
+
+}  // namespace vpdift::tlmlite

@@ -1,0 +1,83 @@
+#include "vp/scenarios.hpp"
+
+namespace vpdift::vp::scenarios {
+
+using dift::ExecutionClearance;
+using dift::Lattice;
+using dift::Tag;
+
+PolicyBundle make_permissive_policy() {
+  PolicyBundle b(Lattice::ifp1());
+  const Tag lc = b.lattice->tag_of("LC");
+  const Tag hc = b.lattice->tag_of("HC");
+  b.policy.classify_input("uart0.rx", lc)
+      .classify_input("can0.rx", lc)
+      .classify_input("sensor0", lc)
+      .clear_output("uart0.tx", hc)
+      .clear_output("can0.tx", hc)
+      .clear_unit("aes0", hc)
+      .declassify_output("aes0", lc)
+      .set_execution_clearance(ExecutionClearance{hc, hc, hc});
+  return b;
+}
+
+PolicyBundle make_code_injection_policy(const rvasm::Program& program) {
+  PolicyBundle b(Lattice::ifp2());
+  const Tag hi = b.lattice->tag_of("HI");
+  const Tag li = b.lattice->tag_of("LI");
+  // The program image is trusted (HI) at load time...
+  for (const auto& seg : program.segments)
+    b.policy.classify_memory(seg.base, seg.bytes.size(), hi);
+  // ...except the well-defined stand-in for injected malicious code.
+  const std::uint64_t payload = program.symbol("attack_payload");
+  const std::uint64_t payload_end = program.symbol("attack_payload_end");
+  b.policy.classify_memory(payload, payload_end - payload, li);
+  // Everything entering over the serial console is untrusted.
+  b.policy.classify_input("uart0.rx", li);
+  // The instruction-fetch unit refuses LI code.
+  ExecutionClearance ec;
+  ec.fetch = hi;
+  b.policy.set_execution_clearance(ec);
+  return b;
+}
+
+dift::SecurityPolicy make_immobilizer_policy_on(const Lattice& lattice,
+                                                const rvasm::Program& program,
+                                                bool per_byte_pin) {
+  dift::SecurityPolicy policy(lattice);
+  const Tag lc_li = lattice.tag_of("(LC,LI)");
+  const Tag pin_tag = lattice.tag_of("(HC,HI)");
+
+  const std::uint64_t pin = program.symbol("pin");
+  if (per_byte_pin) {
+    for (int i = 0; i < 16; ++i) {
+      const Tag t = lattice.tag_of("PIN" + std::to_string(i));
+      policy.classify_memory(pin + i, 1, t).protect_store(pin + i, 1, t);
+    }
+  } else {
+    policy.classify_memory(pin, 16, pin_tag).protect_store(pin, 16, pin_tag);
+  }
+
+  policy.classify_input("uart0.rx", lc_li)
+      .classify_input("can0.rx", lc_li)
+      .classify_input("sensor0", lc_li)
+      .clear_output("uart0.tx", lc_li)
+      .clear_output("can0.tx", lc_li)
+      .clear_unit("aes0", pin_tag)
+      .declassify_output("aes0", lc_li)
+      .set_execution_clearance(ExecutionClearance{lc_li, lc_li, lc_li});
+  return policy;
+}
+
+PolicyBundle make_immobilizer_policy(const rvasm::Program& program,
+                                     bool per_byte_pin) {
+  Lattice base = Lattice::ifp3();
+  const Tag hc_hi = base.tag_of("(HC,HI)");
+  PolicyBundle b(per_byte_pin
+                     ? Lattice::with_per_byte_secret(base, hc_hi, 16, "PIN")
+                     : std::move(base));
+  b.policy = make_immobilizer_policy_on(*b.lattice, program, per_byte_pin);
+  return b;
+}
+
+}  // namespace vpdift::vp::scenarios

@@ -1,0 +1,49 @@
+// Ready-made security policies for the paper's three experiments.
+#pragma once
+
+#include <memory>
+
+#include "dift/lattice.hpp"
+#include "dift/policy.hpp"
+#include "rvasm/program.hpp"
+
+namespace vpdift::vp::scenarios {
+
+/// A policy together with the lattice it references (kept alive alongside).
+/// Move-only: the policy holds a pointer into `lattice`.
+struct PolicyBundle {
+  explicit PolicyBundle(dift::Lattice l)
+      : lattice(std::make_unique<dift::Lattice>(std::move(l))), policy(*lattice) {}
+  PolicyBundle(PolicyBundle&&) = default;
+  PolicyBundle& operator=(PolicyBundle&&) = default;
+
+  std::unique_ptr<dift::Lattice> lattice;
+  dift::SecurityPolicy policy;
+};
+
+/// Table II (performance overhead): a benign IFP-1 policy that keeps every
+/// DIFT mechanism engaged — classification of all inputs, output clearances,
+/// and all three execution-clearance checks — with clearances chosen so that
+/// no check ever fires. This measures the cost of tracking, not of failing.
+PolicyBundle make_permissive_policy();
+
+/// Table I (code injection): IFP-2; UART input and the `attack_payload`
+/// function are classified LI, the instruction-fetch unit requires HI.
+PolicyBundle make_code_injection_policy(const rvasm::Program& program);
+
+/// Section VI-A (immobilizer case study): IFP-3; PIN classified (HC,HI) —
+/// or one fresh class per PIN byte when `per_byte_pin` — with (LC,LI)
+/// clearance on all I/O, (HC,HI) AES key clearance, AES declassification to
+/// (LC,LI), (LC,LI) execution clearance, and store protection over the PIN.
+PolicyBundle make_immobilizer_policy(const rvasm::Program& program,
+                                     bool per_byte_pin);
+
+/// Same policy content, but built over a caller-provided lattice — used when
+/// several ECUs in one simulation must share the active IFP (the DIFT engine
+/// has one active lattice at a time). `lattice` must be IFP-3-shaped (or the
+/// per-byte refinement) and outlive the returned policy.
+dift::SecurityPolicy make_immobilizer_policy_on(const dift::Lattice& lattice,
+                                                const rvasm::Program& program,
+                                                bool per_byte_pin);
+
+}  // namespace vpdift::vp::scenarios

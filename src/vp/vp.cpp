@@ -1,0 +1,251 @@
+#include "vp/vp.hpp"
+#include <cstdio>
+#include <cstring>
+
+namespace vpdift::vp {
+
+namespace am = soc::addrmap;
+
+template <typename W>
+VirtualPrototype<W>::VirtualPrototype(VpConfig config)
+    : VirtualPrototype(nullptr, std::move(config), {}) {}
+
+template <typename W>
+VirtualPrototype<W>::VirtualPrototype(sysc::Simulation& sim, VpConfig config,
+                                      const std::string& instance)
+    : VirtualPrototype(&sim, std::move(config), instance) {}
+
+namespace {
+std::string qualify(const std::string& instance, const char* name) {
+  return instance.empty() ? std::string(name) : instance + "." + name;
+}
+}  // namespace
+
+template <typename W>
+VirtualPrototype<W>::VirtualPrototype(sysc::Simulation* external, VpConfig config,
+                                      const std::string& instance)
+    : cfg_(config),
+      owned_sim_(external ? nullptr : std::make_unique<sysc::Simulation>()),
+      sim_(external ? external : owned_sim_.get()),
+      bus_(*sim_, qualify(instance, "bus0")),
+      ram_(*sim_, qualify(instance, "ram0"), cfg_.ram_size, kTainted),
+      uart_(*sim_, qualify(instance, "uart0")),
+      sensor_(*sim_, qualify(instance, "sensor0"), cfg_.sensor_period),
+      dma_(*sim_, qualify(instance, "dma0"), kTainted),
+      aes_(*sim_, qualify(instance, "aes0")),
+      can_(*sim_, qualify(instance, "can0")),
+      clint_(*sim_, qualify(instance, "clint0")),
+      plic_(*sim_, qualify(instance, "plic0")),
+      sysctrl_(*sim_, qualify(instance, "sysctrl0")),
+      gpio_(*sim_, qualify(instance, "gpio0")),
+      wdt_(*sim_, qualify(instance, "wdt0")),
+      irq_event_(*sim_) {
+  // Address map.
+  bus_.map(am::kRamBase, ram_.size(), ram_.socket(), "ram0");
+  bus_.map(am::kClintBase, am::kClintSize, clint_.socket(), "clint0");
+  bus_.map(am::kPlicBase, am::kPlicSize, plic_.socket(), "plic0");
+  bus_.map(am::kUartBase, am::kUartSize, uart_.socket(), "uart0");
+  bus_.map(am::kSysCtrlBase, am::kSysCtrlSize, sysctrl_.socket(), "sysctrl0");
+  bus_.map(am::kSensorBase, am::kSensorSize, sensor_.socket(), "sensor0");
+  bus_.map(am::kAesBase, am::kAesSize, aes_.socket(), "aes0");
+  bus_.map(am::kCanBase, am::kCanSize, can_.socket(), "can0");
+  bus_.map(am::kDmaBase, am::kDmaSize, dma_.socket(), "dma0");
+  bus_.map(am::kGpioBase, am::kGpioSize, gpio_.socket(), "gpio0");
+  bus_.map(am::kWdtBase, am::kWdtSize, wdt_.socket(), "wdt0");
+  if (!cfg_.flash_image.empty()) {
+    flash_ = std::make_unique<soc::SpiFlash>(*sim_, "flash0", cfg_.flash_image,
+                                             cfg_.flash_tag);
+    bus_.map(am::kFlashBase, flash_->size(), flash_->socket(), "flash0");
+  }
+
+  // Initiators.
+  core_.bus_socket().bind(bus_.target_socket());
+  dma_.bus_socket().bind(bus_.target_socket());
+  core_.set_dmi(ram_.data(), ram_.tags(), am::kRamBase, ram_.size());
+  core_.set_pc(am::kRamBase);
+  core_.set_time_source([this] { return sim_->now().micros(); });
+
+  // Interrupt wiring.
+  auto wire_core_irq = [this](std::uint32_t bit) {
+    return [this, bit](bool level) {
+      core_.set_irq(bit, level);
+      if (level) irq_event_.notify();
+    };
+  };
+  clint_.set_timer_irq(wire_core_irq(rv::kIrqMtimer));
+  clint_.set_soft_irq(wire_core_irq(rv::kIrqMsoft));
+  plic_.set_ext_irq(wire_core_irq(rv::kIrqMext));
+  sensor_.set_irq([this] { plic_.raise(am::kIrqSensor); });
+  uart_.set_irq([this](bool level) { plic_.set_level(am::kIrqUartRx, level); });
+  dma_.set_irq([this] { plic_.raise(am::kIrqDma); });
+  wdt_.set_on_timeout([this] {
+    // Watchdog reset: architectural CPU reset back to the boot entry; RAM
+    // contents survive (as on real silicon).
+    core_.reset(boot_pc_);
+    core_.set_reg(2, rv::WordOps<W>::make(
+                         static_cast<std::uint32_t>(am::kRamBase + ram_.size()),
+                         dift::kBottomTag));
+  });
+  can_.set_irq([this](bool level) { plic_.set_level(am::kIrqCanRx, level); });
+
+  // Optional engine ECU across the CAN link.
+  if (cfg_.with_engine_ecu) {
+    engine_ = std::make_unique<soc::EngineEcu>(*sim_, "engine-ecu", can_,
+                                               cfg_.engine_pin, cfg_.engine_period);
+    can_.set_on_tx([this](const soc::CanFrame& f) { engine_->on_frame(f); });
+  }
+}
+
+template <typename W>
+void VirtualPrototype<W>::load(const rvasm::Program& program) {
+  ram_.load_image(program, am::kRamBase);
+  core_.set_pc(static_cast<std::uint32_t>(program.entry));
+  boot_pc_ = static_cast<std::uint32_t>(program.entry);
+  // ABI setup: stack grows down from the top of RAM.
+  core_.set_reg(2, rv::WordOps<W>::make(
+                       static_cast<std::uint32_t>(am::kRamBase + ram_.size()),
+                       dift::kBottomTag));
+}
+
+template <typename W>
+void VirtualPrototype<W>::apply_policy(const dift::SecurityPolicy& policy) {
+  policy_ = policy;
+  core_.set_policy(&*policy_);
+
+  // (i) classification of memory regions.
+  for (const auto& mc : policy_->memory_classification()) {
+    if (mc.base >= am::kRamBase && mc.base + mc.size <= am::kRamBase + ram_.size())
+      ram_.classify(mc.base - am::kRamBase, mc.size, mc.tag);
+  }
+  // (i) classification of peripheral inputs.
+  uart_.set_input_tag(policy_->input_class("uart0.rx"));
+  can_.set_input_tag(policy_->input_class("can0.rx"));
+  sensor_.set_data_tag(policy_->input_class("sensor0"));
+
+  // (iii) clearance of outputs and execution units.
+  uart_.set_output_clearance(policy_->output_clearance("uart0.tx"));
+  can_.set_output_clearance(policy_->output_clearance("can0.tx"));
+  gpio_.set_output_clearance(policy_->output_clearance("gpio0.out"));
+  gpio_.set_input_tag(policy_->input_class("gpio0.in"));
+  aes_.set_unit_clearance(policy_->unit_clearance("aes0"));
+  if (flash_ && policy_->has_input_class("flash0"))
+    flash_->set_image_tag(policy_->input_class("flash0"));
+
+  // Declassification rights for trusted peripherals.
+  if (auto to = policy_->declass_output("aes0"))
+    aes_.set_declass(policy_->grant_declass("aes0"), *to);
+}
+
+template <typename W>
+auto VirtualPrototype<W>::snapshot() -> Snapshot {
+  Snapshot s;
+  for (int r = 0; r < 32; ++r) {
+    const W w = core_.reg(static_cast<std::uint8_t>(r));
+    s.reg_values[r] = rv::WordOps<W>::value(w);
+    s.reg_tags[r] = rv::WordOps<W>::tag(w);
+  }
+  s.pc = core_.pc();
+  s.csrs = core_.csrs();
+  s.instret = core_.instret();
+  s.wfi = core_.in_wfi();
+  s.ram.assign(ram_.data(), ram_.data() + ram_.size());
+  if (ram_.tags()) s.ram_tags.assign(ram_.tags(), ram_.tags() + ram_.size());
+  s.captured_at = sim_->now();
+  return s;
+}
+
+template <typename W>
+void VirtualPrototype<W>::restore(const Snapshot& s) {
+  if (s.ram.size() != ram_.size())
+    throw std::invalid_argument("snapshot RAM size mismatch");
+  for (int r = 1; r < 32; ++r)
+    core_.set_reg(static_cast<std::uint8_t>(r),
+                  rv::WordOps<W>::make(s.reg_values[r], s.reg_tags[r]));
+  core_.set_pc(s.pc);
+  core_.csrs() = s.csrs;
+  core_.restore_counters(s.instret, s.wfi);
+  std::memcpy(ram_.data(), s.ram.data(), s.ram.size());
+  if (ram_.tags() && !s.ram_tags.empty())
+    std::memcpy(ram_.tags(), s.ram_tags.data(), s.ram_tags.size());
+}
+
+template <typename W>
+sysc::Task VirtualPrototype<W>::cpu_thread() {
+  while (!sim_->stop_requested()) {
+    const std::uint64_t before = core_.instret();
+    const rv::RunExit exit = core_.run(cfg_.quantum_instructions);
+    const std::uint64_t executed = core_.instret() - before;
+    co_await sim_->delay(cfg_.instruction_period * (executed ? executed : 1));
+    if (exit == rv::RunExit::kWfi && !core_.irq_pending()) co_await irq_event_;
+  }
+}
+
+template <typename W>
+void VirtualPrototype<W>::start() {
+  if (started_) return;
+  started_ = true;
+  sensor_.start();
+  dma_.start();
+  clint_.start();
+  wdt_.start();
+  if (engine_) engine_->start();
+  sim_->spawn(cpu_thread());
+}
+
+template <typename W>
+RunResult VirtualPrototype<W>::run(sysc::Time max_sim_time) {
+  start();
+  RunResult r;
+  // Activate the policy's IFP for the duration of the run (nests with any
+  // caller-provided context).
+  std::optional<dift::DiftContext> ctx;
+  if (policy_) {
+    ctx.emplace(policy_->lattice());
+    ctx->set_monitor_mode(monitor_mode_);
+  }
+  const std::uint64_t instret_before = core_.instret();
+  const sysc::Time deadline = sim_->now() + max_sim_time;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    sim_->run(deadline);
+  } catch (const dift::PolicyViolation& v) {
+    r.violation = true;
+    r.violation_kind = v.kind();
+    r.violation_source = v.source();
+    r.violation_required = v.required();
+    r.violation_pc = v.pc();
+    r.violation_where = v.where();
+    r.violation_message = v.what();
+    if (trace_) {
+      r.trace_dump = trace_->format();
+      // The offending instruction itself never retired (the check threw
+      // mid-execution); reconstruct it from the faulting pc.
+      if (v.pc() >= am::kRamBase && v.pc() + 4 <= am::kRamBase + ram_.size()) {
+        char line[160];
+        std::snprintf(line, sizeof line, "[violation] %08x: %s   <-- %s\n",
+                      static_cast<std::uint32_t>(v.pc()),
+                      rv::disassemble(ram_.read_u32(v.pc() - am::kRamBase)).c_str(),
+                      dift::to_string(v.kind()));
+        r.trace_dump += line;
+      }
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  if (ctx) r.recorded_violations = ctx->recorded();
+  r.exited = sysctrl_.exited();
+  r.exit_code = sysctrl_.exit_code();
+  r.timed_out = !r.exited && !r.violation;
+  r.instret = core_.instret() - instret_before;
+  r.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.mips = r.wall_seconds > 0 ? r.instret / r.wall_seconds / 1e6 : 0.0;
+  r.sim_time = sim_->now();
+  r.uart_output = uart_.output();
+  r.markers = sysctrl_.markers();
+  return r;
+}
+
+template class VirtualPrototype<rv::PlainWord>;
+template class VirtualPrototype<rv::TaintedWord>;
+
+}  // namespace vpdift::vp

@@ -1,0 +1,214 @@
+// The virtual prototype: CPU + bus + peripherals, assembled and runnable.
+//
+// VirtualPrototype<rv::PlainWord> is the original VP of the paper's Table II;
+// VirtualPrototype<rv::TaintedWord> is the VP+ with the DIFT engine. Both are
+// built from the same peripheral models (the payload's tag pointer is simply
+// null in the plain build) — mirroring how the paper patches one code base.
+//
+// Typical use:
+//   vp::Vp plain;                         // or vp::VpDift tainted;
+//   plain.load(program);
+//   auto result = plain.run(sysc::Time::sec(10));
+//
+// DIFT use adds a policy (and the lattice must outlive the run):
+//   vp::VpDift v;
+//   v.load(program);
+//   v.apply_policy(policy);
+//   auto result = v.run(sysc::Time::sec(10));
+//   if (result.violation) ... result.violation_kind / message ...
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "dift/context.hpp"
+#include "dift/policy.hpp"
+#include "rv/core.hpp"
+#include "rvasm/program.hpp"
+#include "soc/addrmap.hpp"
+#include "soc/aes_periph.hpp"
+#include "soc/can.hpp"
+#include "soc/clint.hpp"
+#include "soc/dma.hpp"
+#include "soc/gpio.hpp"
+#include "soc/memory.hpp"
+#include "soc/spiflash.hpp"
+#include "soc/watchdog.hpp"
+#include "soc/plic.hpp"
+#include "soc/sensor.hpp"
+#include "soc/sysctrl.hpp"
+#include "soc/uart.hpp"
+#include "sysc/kernel.hpp"
+#include "tlmlite/bus.hpp"
+
+namespace vpdift::vp {
+
+/// Outcome of one VP run.
+struct RunResult {
+  bool exited = false;            ///< firmware wrote the EXIT register
+  std::uint32_t exit_code = 0;
+  bool timed_out = false;         ///< neither exit nor violation before the deadline
+
+  bool violation = false;         ///< the DIFT engine stopped the run
+  dift::ViolationKind violation_kind{};
+  dift::Tag violation_source = 0;
+  dift::Tag violation_required = 0;
+  std::uint64_t violation_pc = 0;
+  std::string violation_where;
+  std::string violation_message;
+
+  /// Violations captured in monitor mode (empty in enforcement mode).
+  std::vector<dift::ViolationRecord> recorded_violations;
+
+  /// Formatted tail of the execution trace at the moment a violation fired
+  /// (only when tracing was enabled via enable_trace()).
+  std::string trace_dump;
+
+  std::uint64_t instret = 0;      ///< executed instructions
+  double wall_seconds = 0.0;      ///< host wall-clock time of the run
+  double mips = 0.0;              ///< instret / wall_seconds / 1e6
+  sysc::Time sim_time;            ///< simulated time consumed
+  std::string uart_output;        ///< everything the firmware printed
+  std::string markers;            ///< SysCtrl marker log (attack oracles)
+};
+
+struct VpConfig {
+  std::size_t ram_size = 4u << 20;
+  std::uint64_t quantum_instructions = 8192;
+  sysc::Time instruction_period = sysc::Time::ns(10);  // 100 MHz
+  sysc::Time sensor_period = sysc::Time::ms(25);
+  bool with_engine_ecu = false;
+  soc::AesKey engine_pin{};
+  sysc::Time engine_period = sysc::Time::ms(10);
+  /// Non-empty: map an XIP SPI flash with this image at addrmap::kFlashBase.
+  std::vector<std::uint8_t> flash_image;
+  dift::Tag flash_tag = dift::kBottomTag;
+};
+
+template <typename W>
+class VirtualPrototype {
+ public:
+  static constexpr bool kTainted = rv::WordOps<W>::kTainted;
+
+  explicit VirtualPrototype(VpConfig config = {});
+
+  /// Multi-ECU form: builds this VP inside an external simulation so several
+  /// prototypes can share one kernel (e.g. two ECUs on a CAN link). The
+  /// caller drives `sim` itself: call start() on each VP, wire the links,
+  /// then sim.run(...). run() must not be used on a shared-simulation VP.
+  /// `instance` prefixes the module names ("ecu1.uart0", ...).
+  VirtualPrototype(sysc::Simulation& sim, VpConfig config,
+                   const std::string& instance = {});
+
+  /// Spawns the VP's processes (CPU quantum thread, peripherals). run() does
+  /// this implicitly; shared-simulation setups call it explicitly.
+  void start();
+
+  /// Loads a program image into RAM and points the core at its entry.
+  void load(const rvasm::Program& program);
+
+  /// Installs the security policy: memory classification, peripheral
+  /// clearances, declassification rights, and CPU execution clearance.
+  /// Call after load() (classification tags the loaded image). The lattice
+  /// referenced by the policy must outlive this object.
+  void apply_policy(const dift::SecurityPolicy& policy);
+
+  /// Monitor mode: violations are recorded into RunResult instead of
+  /// stopping the simulation — one run surfaces every forbidden flow, which
+  /// is the mode of choice while a policy is being developed.
+  void set_monitor_mode(bool on) { monitor_mode_ = on; }
+
+  /// Keeps the last `depth` executed instructions (with result values and
+  /// tags); a violation's RunResult then carries the formatted history.
+  void enable_trace(std::size_t depth = 32) {
+    trace_ = std::make_unique<rv::TraceBuffer>(depth);
+    core_.set_trace(trace_.get());
+  }
+  const rv::TraceBuffer* trace() const { return trace_.get(); }
+
+  /// Runs until firmware exit, a policy violation, or `max_sim_time`.
+  RunResult run(sysc::Time max_sim_time = sysc::Time::sec(100));
+
+  /// Architectural checkpoint: CPU registers (with tags), pc, CSRs,
+  /// retirement counter, and the full RAM image with its tag plane.
+  /// Peripheral-internal state (FIFO contents, in-flight DMA) is NOT
+  /// captured — snapshot at quiescent points. Simulated time is not rewound
+  /// by restore(); checkpoints support what-if re-execution, not time travel.
+  struct Snapshot {
+    std::array<std::uint32_t, 32> reg_values{};
+    std::array<dift::Tag, 32> reg_tags{};
+    std::uint32_t pc = 0;
+    rv::CsrFile csrs;
+    std::uint64_t instret = 0;
+    bool wfi = false;
+    std::vector<std::uint8_t> ram;
+    std::vector<dift::Tag> ram_tags;
+    sysc::Time captured_at;
+  };
+  Snapshot snapshot();
+  void restore(const Snapshot& s);
+
+  // ---- component access (tests, experiment harnesses) ----
+  sysc::Simulation& sim() { return *sim_; }
+  rv::Core<W>& core() { return core_; }
+  soc::Memory& ram() { return ram_; }
+  soc::Uart& uart() { return uart_; }
+  soc::Sensor& sensor() { return sensor_; }
+  soc::Dma& dma() { return dma_; }
+  soc::AesPeriph& aes() { return aes_; }
+  soc::CanPeriph& can() { return can_; }
+  soc::Clint& clint() { return clint_; }
+  soc::Plic& plic() { return plic_; }
+  soc::SysCtrl& sysctrl() { return sysctrl_; }
+  soc::Gpio& gpio() { return gpio_; }
+  soc::Watchdog& watchdog() { return wdt_; }
+  soc::SpiFlash* flash() { return flash_.get(); }
+  soc::EngineEcu* engine() { return engine_.get(); }
+  tlmlite::Bus& bus() { return bus_; }
+  const dift::SecurityPolicy* policy() const {
+    return policy_ ? &*policy_ : nullptr;
+  }
+
+ private:
+  VirtualPrototype(sysc::Simulation* external, VpConfig config,
+                   const std::string& instance);
+  sysc::Task cpu_thread();
+
+  VpConfig cfg_;
+  std::unique_ptr<sysc::Simulation> owned_sim_;  // engaged unless shared
+  sysc::Simulation* sim_;
+  tlmlite::Bus bus_;
+  soc::Memory ram_;
+  soc::Uart uart_;
+  soc::Sensor sensor_;
+  soc::Dma dma_;
+  soc::AesPeriph aes_;
+  soc::CanPeriph can_;
+  soc::Clint clint_;
+  soc::Plic plic_;
+  soc::SysCtrl sysctrl_;
+  soc::Gpio gpio_;
+  soc::Watchdog wdt_;
+  std::unique_ptr<soc::SpiFlash> flash_;
+  std::unique_ptr<soc::EngineEcu> engine_;
+  rv::Core<W> core_;
+  sysc::Event irq_event_;
+  std::optional<dift::SecurityPolicy> policy_;
+  std::unique_ptr<rv::TraceBuffer> trace_;
+  bool started_ = false;
+  bool monitor_mode_ = false;
+  std::uint32_t boot_pc_ = soc::addrmap::kRamBase;
+};
+
+/// The original VP (plain machine words).
+using Vp = VirtualPrototype<rv::PlainWord>;
+/// The VP+ with the DIFT engine.
+using VpDift = VirtualPrototype<rv::TaintedWord>;
+
+extern template class VirtualPrototype<rv::PlainWord>;
+extern template class VirtualPrototype<rv::TaintedWord>;
+
+}  // namespace vpdift::vp

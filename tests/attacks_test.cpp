@@ -1,0 +1,99 @@
+// Table I: every applicable Wilander-Kamkar attack must be detected by the
+// code-injection policy (fetch clearance HI), and must actually succeed in
+// executing its payload when the DIFT engine is absent (plain VP).
+#include <gtest/gtest.h>
+
+#include "fw/attacks.hpp"
+#include "vp/scenarios.hpp"
+#include "vp/vp.hpp"
+
+namespace {
+
+using namespace vpdift;
+
+class AttackSuite : public ::testing::TestWithParam<int> {};
+
+TEST_P(AttackSuite, PayloadExecutesOnUnprotectedVp) {
+  // Sanity: the attack itself works — without DIFT the payload runs.
+  auto atk = fw::make_attack(GetParam());
+  vp::Vp v;
+  v.load(atk.program);
+  v.uart().feed_input(atk.uart_input);
+  auto r = v.run(sysc::Time::sec(10));
+  ASSERT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_code, 42u) << "payload did not gain control";
+  EXPECT_NE(r.markers.find('X'), std::string::npos);
+}
+
+TEST_P(AttackSuite, DetectedByFetchClearance) {
+  auto atk = fw::make_attack(GetParam());
+  vp::VpDift v;
+  v.load(atk.program);
+  auto bundle = vp::scenarios::make_code_injection_policy(atk.program);
+  v.apply_policy(bundle.policy);
+  v.uart().feed_input(atk.uart_input);
+  auto r = v.run(sysc::Time::sec(10));
+  ASSERT_TRUE(r.violation) << "attack escaped the DIFT engine; markers="
+                           << r.markers << " exit=" << r.exit_code;
+  EXPECT_EQ(r.violation_kind, dift::ViolationKind::kFetchClearance)
+      << r.violation_message;
+  // The payload must NOT have run.
+  EXPECT_EQ(r.markers.find('X'), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(Applicable, AttackSuite,
+                         ::testing::Values(3, 5, 6, 7, 9, 10, 11, 13, 14, 17));
+
+TEST(AttackSuiteMeta, NonApplicableRowsMatchTableI) {
+  const std::array<int, 8> na = {1, 2, 4, 8, 12, 15, 16, 18};
+  for (const auto& spec : fw::attack_specs()) {
+    const bool should_be_na =
+        std::find(na.begin(), na.end(), spec.id) != na.end();
+    EXPECT_EQ(!spec.applicable, should_be_na) << "attack " << spec.id;
+    if (!spec.applicable) {
+      EXPECT_STRNE(spec.note, "") << "N/A row needs a reason";
+      EXPECT_THROW(fw::make_attack(spec.id), std::invalid_argument);
+    }
+  }
+}
+
+}  // namespace
+
+namespace {
+
+using namespace vpdift;
+
+// Paper §V-B2b: fetch clearance cannot fully prevent code injection when the
+// attacker re-uses trusted code — the branch clearance closes that gap.
+TEST(CodeReuse, EscapesFetchOnlyPolicy) {
+  auto atk = fw::make_code_reuse_attack();
+  vp::VpDift v;
+  v.load(atk.program);
+  auto bundle = vp::scenarios::make_code_injection_policy(atk.program);
+  v.apply_policy(bundle.policy);  // fetch clearance HI only (Table I policy)
+  v.uart().feed_input(atk.uart_input);
+  auto r = v.run(sysc::Time::sec(5));
+  EXPECT_FALSE(r.violation) << r.violation_message;
+  ASSERT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_code, 43u);  // privileged_action ran: attack succeeded
+  EXPECT_NE(r.markers.find('P'), std::string::npos);
+}
+
+TEST(CodeReuse, CaughtByBranchClearance) {
+  auto atk = fw::make_code_reuse_attack();
+  vp::VpDift v;
+  v.load(atk.program);
+  auto bundle = vp::scenarios::make_code_injection_policy(atk.program);
+  auto ec = bundle.policy.execution_clearance();
+  ec.branch = bundle.lattice->tag_of("HI");  // jump targets must be trusted
+  bundle.policy.set_execution_clearance(ec);
+  v.apply_policy(bundle.policy);
+  v.uart().feed_input(atk.uart_input);
+  auto r = v.run(sysc::Time::sec(5));
+  ASSERT_TRUE(r.violation);
+  EXPECT_EQ(r.violation_kind, dift::ViolationKind::kBranchClearance)
+      << r.violation_message;
+  EXPECT_EQ(r.markers.find('P'), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+// Unit tests for SecurityPolicy and declassification rights.
+#include <gtest/gtest.h>
+
+#include "dift/context.hpp"
+#include "dift/policy.hpp"
+
+namespace {
+
+using namespace vpdift::dift;
+
+class PolicyTest : public ::testing::Test {
+ protected:
+  Lattice lattice_ = Lattice::ifp3();
+  DiftContext ctx_{lattice_};
+  Tag bottom_ = lattice_.tag_of("(LC,HI)");
+  Tag lcli_ = lattice_.tag_of("(LC,LI)");
+  Tag hchi_ = lattice_.tag_of("(HC,HI)");
+  Tag hcli_ = lattice_.tag_of("(HC,LI)");
+};
+
+TEST_F(PolicyTest, ClassificationRoundTrip) {
+  SecurityPolicy p(lattice_);
+  p.classify_memory(0x80001000, 16, hchi_).classify_input("uart0.rx", lcli_);
+  ASSERT_EQ(p.memory_classification().size(), 1u);
+  EXPECT_EQ(p.memory_classification()[0].tag, hchi_);
+  EXPECT_TRUE(p.memory_classification()[0].contains(0x8000100f));
+  EXPECT_FALSE(p.memory_classification()[0].contains(0x80001010));
+  EXPECT_EQ(p.input_class("uart0.rx"), lcli_);
+  EXPECT_EQ(p.input_class("unconfigured"), kBottomTag);
+}
+
+TEST_F(PolicyTest, ClearanceLookup) {
+  SecurityPolicy p(lattice_);
+  p.clear_output("uart0.tx", lcli_).clear_unit("aes0", hchi_);
+  EXPECT_EQ(p.output_clearance("uart0.tx"), lcli_);
+  EXPECT_EQ(p.output_clearance("can0.tx"), std::nullopt);
+  EXPECT_EQ(p.unit_clearance("aes0"), hchi_);
+  EXPECT_EQ(p.unit_clearance("dma0"), std::nullopt);
+}
+
+TEST_F(PolicyTest, StoreClearanceAt) {
+  SecurityPolicy p(lattice_);
+  p.protect_store(0x100, 4, hchi_).protect_store(0x104, 4, hcli_);
+  EXPECT_EQ(p.store_clearance_at(0x100), hchi_);
+  EXPECT_EQ(p.store_clearance_at(0x107), hcli_);
+  EXPECT_EQ(p.store_clearance_at(0x108), std::nullopt);
+  EXPECT_EQ(p.store_clearance_at(0xff), std::nullopt);
+}
+
+TEST_F(PolicyTest, ExecutionClearanceDefaultsDisengaged) {
+  SecurityPolicy p(lattice_);
+  EXPECT_FALSE(p.execution_clearance().fetch.has_value());
+  EXPECT_FALSE(p.execution_clearance().branch.has_value());
+  EXPECT_FALSE(p.execution_clearance().mem_addr.has_value());
+  p.set_execution_clearance({lcli_, std::nullopt, lcli_});
+  EXPECT_EQ(p.execution_clearance().fetch, lcli_);
+  EXPECT_FALSE(p.execution_clearance().branch.has_value());
+}
+
+TEST_F(PolicyTest, GrantedDeclassRightRetagsAlongSanctionedEdges) {
+  SecurityPolicy p(lattice_);
+  DeclassRight right = p.grant_declass("aes0");
+  EXPECT_TRUE(p.may_declass("aes0"));
+  EXPECT_FALSE(p.may_declass("dma0"));
+
+  const Taint<std::uint8_t> ct(0x5a, hcli_);
+  const auto declassified = right(ct, lcli_);
+  EXPECT_EQ(declassified.value(), 0x5a);
+  EXPECT_EQ(declassified.tag(), lcli_);
+}
+
+TEST_F(PolicyTest, UnsanctionedDeclassEdgeThrows) {
+  SecurityPolicy p(lattice_);
+  DeclassRight right = p.grant_declass("aes0");
+  // There is no path (declass or flow) from (HC,LI) down to bottom (LC,HI):
+  // declassification only strips confidentiality, endorsement only LI->HI —
+  // but combined they do reach. Verify against a genuinely absent edge by
+  // using a linear lattice without declass edges.
+  const Lattice lin = Lattice::linear(3);
+  DiftContext ctx(lin);
+  SecurityPolicy p2(lin);
+  DeclassRight r2 = p2.grant_declass("x");
+  const Taint<std::uint8_t> v(1, 2);
+  EXPECT_THROW(r2(v, 0), PolicyViolation);  // L2 -> L0 never sanctioned
+  EXPECT_NO_THROW(r2(Taint<std::uint8_t>(1, 0), 2));  // plain flow ok
+}
+
+TEST_F(PolicyTest, DisengagedRightAlwaysThrows) {
+  DeclassRight none;
+  EXPECT_FALSE(none.engaged());
+  const Taint<std::uint8_t> v(1, hchi_);
+  EXPECT_THROW(none(v, lcli_), PolicyViolation);
+  try {
+    none(v, lcli_);
+    FAIL();
+  } catch (const PolicyViolation& e) {
+    EXPECT_EQ(e.kind(), ViolationKind::kDeclassification);
+  }
+}
+
+TEST_F(PolicyTest, ViolationCarriesContext) {
+  try {
+    check_flow(hchi_, lcli_, ViolationKind::kOutputClearance, 0x80000040,
+               0x10000000, "uart0.tx");
+    FAIL() << "flow should be forbidden";
+  } catch (const PolicyViolation& e) {
+    EXPECT_EQ(e.kind(), ViolationKind::kOutputClearance);
+    EXPECT_EQ(e.source(), hchi_);
+    EXPECT_EQ(e.required(), lcli_);
+    EXPECT_EQ(e.pc(), 0x80000040u);
+    EXPECT_EQ(e.address(), 0x10000000u);
+    EXPECT_EQ(e.where(), "uart0.tx");
+    EXPECT_NE(std::string(e.what()).find("output-clearance"),
+              std::string::npos);
+  }
+}
+
+TEST_F(PolicyTest, ToStringCoversAllKinds) {
+  for (int k = 0; k <= static_cast<int>(ViolationKind::kExecUnitClearance); ++k)
+    EXPECT_STRNE(to_string(static_cast<ViolationKind>(k)), "unknown");
+}
+
+}  // namespace

@@ -1,0 +1,217 @@
+// Unit + property tests for the Taint<T> data type (Fig. 3).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+#include "dift/context.hpp"
+#include "dift/lattice.hpp"
+#include "dift/taint.hpp"
+
+namespace {
+
+using vpdift::dift::DiftContext;
+using vpdift::dift::kBottomTag;
+using vpdift::dift::Lattice;
+using vpdift::dift::PolicyViolation;
+using vpdift::dift::Tag;
+using vpdift::dift::Taint;
+using vpdift::dift::TaintedByte;
+
+class TaintTest : public ::testing::Test {
+ protected:
+  Lattice lattice_ = Lattice::ifp1();
+  DiftContext ctx_{lattice_};
+  Tag lc_ = lattice_.tag_of("LC");
+  Tag hc_ = lattice_.tag_of("HC");
+};
+
+TEST_F(TaintTest, ArithmeticCombinesTagsWithLub) {
+  const Taint<std::uint32_t> a(5, lc_), b(7, hc_);
+  const auto sum = a + b;
+  EXPECT_EQ(sum.value(), 12u);
+  EXPECT_EQ(sum.tag(), hc_);
+  EXPECT_EQ((a * b).value(), 35u);
+  EXPECT_EQ((a * b).tag(), hc_);
+  EXPECT_EQ((b - a).value(), 2u);
+  EXPECT_EQ((a ^ b).tag(), hc_);
+}
+
+TEST_F(TaintTest, MixedOperandsKeepTaintedTag) {
+  const Taint<std::uint32_t> a(5, hc_);
+  EXPECT_EQ((a + 3u).value(), 8u);
+  EXPECT_EQ((a + 3u).tag(), hc_);
+  EXPECT_EQ((3u + a).tag(), hc_);
+  EXPECT_EQ((100u - a).value(), 95u);
+}
+
+TEST_F(TaintTest, LiteralsAreBottomTagged) {
+  const Taint<std::uint32_t> a = 42u;  // implicit from plain value
+  EXPECT_EQ(a.tag(), kBottomTag);
+}
+
+TEST_F(TaintTest, ComparisonsYieldTaintedBool) {
+  const Taint<std::uint32_t> a(5, hc_), b(5, lc_);
+  const Taint<bool> eq = a == b;
+  EXPECT_TRUE(eq.value());
+  EXPECT_EQ(eq.tag(), hc_);
+  EXPECT_FALSE((a != b).value());
+  EXPECT_TRUE((a >= b).value());
+}
+
+TEST_F(TaintTest, CheckedConversionThrowsOnClassifiedData) {
+  const Taint<std::uint32_t> secret(1, hc_);
+  EXPECT_THROW({ [[maybe_unused]] std::uint32_t v = secret; }, PolicyViolation);
+  const Taint<std::uint32_t> pub(1, lc_);
+  EXPECT_EQ(static_cast<std::uint32_t>(pub), 1u);  // LC == bottom here
+}
+
+TEST_F(TaintTest, BranchingOnTaintedBoolChecksClearance) {
+  const Taint<std::uint32_t> secret(1, hc_);
+  bool took_branch = false;
+  EXPECT_THROW(
+      {
+        if (secret == 1u) took_branch = true;  // implicit Taint<bool> -> bool
+      },
+      PolicyViolation);
+  EXPECT_FALSE(took_branch);
+}
+
+TEST_F(TaintTest, ExpectChecksExplicitClearance) {
+  const Taint<std::uint32_t> secret(7, hc_);
+  EXPECT_EQ(secret.expect(hc_), 7u);
+  EXPECT_THROW(secret.expect(lc_), PolicyViolation);
+}
+
+TEST_F(TaintTest, ToBytesFromBytesRoundTrip) {
+  const Taint<std::uint32_t> v(0x11223344, hc_);
+  TaintedByte bytes[4];
+  v.to_bytes(bytes);
+  EXPECT_EQ(bytes[0].value(), 0x44);
+  EXPECT_EQ(bytes[3].value(), 0x11);
+  for (const auto& b : bytes) EXPECT_EQ(b.tag(), hc_);
+
+  Taint<std::uint32_t> back;
+  back.from_bytes(bytes);
+  EXPECT_EQ(back.value(), 0x11223344u);
+  EXPECT_EQ(back.tag(), hc_);
+}
+
+TEST_F(TaintTest, FromBytesLubsMixedTags) {
+  TaintedByte bytes[4] = {TaintedByte(1, lc_), TaintedByte(2, lc_),
+                          TaintedByte(3, hc_), TaintedByte(4, lc_)};
+  Taint<std::uint32_t> v;
+  v.from_bytes(bytes);
+  EXPECT_EQ(v.value(), 0x04030201u);
+  EXPECT_EQ(v.tag(), hc_);
+}
+
+TEST_F(TaintTest, RetagPreservesValue) {
+  const Taint<std::uint32_t> v(9, hc_);
+  const auto r = vpdift::dift::retag(v, lc_);
+  EXPECT_EQ(r.value(), 9u);
+  EXPECT_EQ(r.tag(), lc_);
+}
+
+TEST_F(TaintTest, CompoundAssignmentAccumulatesTags) {
+  Taint<std::uint32_t> acc(0, lc_);
+  acc += Taint<std::uint32_t>(3, lc_);
+  EXPECT_EQ(acc.tag(), lc_);
+  acc += Taint<std::uint32_t>(4, hc_);
+  EXPECT_EQ(acc.value(), 7u);
+  EXPECT_EQ(acc.tag(), hc_);
+  acc <<= Taint<std::uint32_t>(1, lc_);
+  EXPECT_EQ(acc.value(), 14u);
+  EXPECT_EQ(acc.tag(), hc_);
+}
+
+TEST(TaintNoContext, CombiningDistinctTagsWithoutContextThrows) {
+  const Taint<std::uint32_t> a(1, 0), b(2, 1);
+  EXPECT_THROW(a + b, vpdift::dift::LatticeError);
+  // Equal tags use the fast path and never consult the lattice.
+  const Taint<std::uint32_t> c(1, 3), d(2, 3);
+  EXPECT_EQ((c + d).tag(), 3);
+}
+
+TEST(TaintContext, NestingRestoresPreviousLattice) {
+  const Lattice l1 = Lattice::ifp1();
+  const Lattice l2 = Lattice::linear(4);
+  DiftContext outer(l1);
+  EXPECT_EQ(&DiftContext::active()->lattice(), &l1);
+  {
+    DiftContext inner(l2);
+    EXPECT_EQ(&DiftContext::active()->lattice(), &l2);
+    EXPECT_EQ(vpdift::dift::lub(1, 3), 3);  // linear lattice: max
+  }
+  EXPECT_EQ(&DiftContext::active()->lattice(), &l1);
+}
+
+TEST(TaintContext, CountsLubCalls) {
+  const Lattice l = Lattice::ifp1();
+  DiftContext ctx(l);
+  const Taint<std::uint32_t> a(1, 0), b(2, 1);
+  const auto before = ctx.lub_calls();
+  (void)(a + b);
+  EXPECT_EQ(ctx.lub_calls(), before + 1);
+}
+
+// Property: Taint arithmetic equals plain arithmetic on the value plane.
+TEST(TaintProperty, ValueSemanticsMatchPlainIntegers) {
+  const Lattice l = Lattice::ifp3();
+  DiftContext ctx(l);
+  std::mt19937 rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint32_t x = rng(), y = rng();
+    const Tag tx = static_cast<Tag>(rng() % l.size());
+    const Tag ty = static_cast<Tag>(rng() % l.size());
+    const Taint<std::uint32_t> a(x, tx), b(y, ty);
+    EXPECT_EQ((a + b).value(), x + y);
+    EXPECT_EQ((a - b).value(), x - y);
+    EXPECT_EQ((a * b).value(), x * y);
+    EXPECT_EQ((a & b).value(), x & y);
+    EXPECT_EQ((a | b).value(), x | y);
+    EXPECT_EQ((a ^ b).value(), x ^ y);
+    EXPECT_EQ((~a).value(), ~x);
+    EXPECT_EQ((-a).value(), -x);
+    if (y != 0) {
+      EXPECT_EQ((a / b).value(), x / y);
+      EXPECT_EQ((a % b).value(), x % y);
+    }
+    const unsigned sh = y % 32;
+    EXPECT_EQ((a << sh).value(), x << sh);
+    EXPECT_EQ((a >> sh).value(), x >> sh);
+    // Tag of every binary op is the LUB.
+    EXPECT_EQ((a + b).tag(), l.lub(tx, ty));
+    EXPECT_EQ((a ^ b).tag(), l.lub(tx, ty));
+    EXPECT_EQ((a == b).tag(), l.lub(tx, ty));
+  }
+}
+
+// Property: byte round-trip preserves value for all widths.
+TEST(TaintProperty, ByteRoundTripAllWidths) {
+  const Lattice l = Lattice::ifp1();
+  DiftContext ctx(l);
+  std::mt19937_64 rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const auto v64 = rng();
+    const Tag t = static_cast<Tag>(rng() % 2);
+    {
+      Taint<std::uint16_t> v(static_cast<std::uint16_t>(v64), t), back;
+      TaintedByte bytes[2];
+      v.to_bytes(bytes);
+      back.from_bytes(bytes);
+      EXPECT_EQ(back.value(), v.value());
+      EXPECT_EQ(back.tag(), t);
+    }
+    {
+      Taint<std::uint64_t> v(v64, t), back;
+      TaintedByte bytes[8];
+      v.to_bytes(bytes);
+      back.from_bytes(bytes);
+      EXPECT_EQ(back.value(), v.value());
+      EXPECT_EQ(back.tag(), t);
+    }
+  }
+}
+
+}  // namespace

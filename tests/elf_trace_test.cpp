@@ -1,0 +1,214 @@
+// Tests for the ELF32 loader and the execution tracer.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "fw/hal.hpp"
+#include "fw/immobilizer.hpp"
+#include "micro_vm.hpp"
+#include "rvasm/elf.hpp"
+#include "vp/scenarios.hpp"
+#include "vp/vp.hpp"
+
+namespace {
+
+using namespace vpdift;
+using namespace vpdift::rvasm::reg;
+
+// ---- ELF loader ----
+
+// Builds a minimal valid ELF32 RISC-V executable in memory.
+class ElfBuilder {
+ public:
+  ElfBuilder() : image_(52 + 2 * 32, 0) {
+    const std::uint8_t ident[16] = {0x7f, 'E', 'L', 'F', 1, 1, 1, 0};
+    std::memcpy(image_.data(), ident, 16);
+    put16(16, 2);       // ET_EXEC
+    put16(18, 243);     // EM_RISCV
+    put32(20, 1);       // version
+    put32(28, 52);      // e_phoff
+    put16(42, 32);      // e_phentsize
+    put16(44, 0);       // e_phnum (incremented by add_load)
+  }
+
+  void set_entry(std::uint32_t e) { put32(24, e); }
+
+  void add_load(std::uint32_t vaddr, const std::vector<std::uint8_t>& bytes,
+                std::uint32_t memsz = 0) {
+    const std::uint16_t idx = num_ph_++;
+    put16(44, num_ph_);
+    const std::size_t ph = 52 + std::size_t(idx) * 32;
+    const auto offset = static_cast<std::uint32_t>(image_.size());
+    image_.insert(image_.end(), bytes.begin(), bytes.end());
+    put32(ph + 0, 1);  // PT_LOAD
+    put32(ph + 4, offset);
+    put32(ph + 8, vaddr);
+    put32(ph + 16, static_cast<std::uint32_t>(bytes.size()));
+    put32(ph + 20, memsz ? memsz : static_cast<std::uint32_t>(bytes.size()));
+  }
+
+  std::vector<std::uint8_t>& image() { return image_; }
+
+  void put16(std::size_t off, std::uint16_t v) {
+    image_[off] = v & 0xff;
+    image_[off + 1] = v >> 8;
+  }
+  void put32(std::size_t off, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) image_[off + i] = (v >> (8 * i)) & 0xff;
+  }
+
+ private:
+  std::vector<std::uint8_t> image_;
+  std::uint16_t num_ph_ = 0;
+};
+
+TEST(ElfLoader, ParsesSegmentsEntryAndBss) {
+  ElfBuilder b;
+  b.set_entry(0x80000000);
+  b.add_load(0x80000000, {1, 2, 3, 4});
+  b.add_load(0x80001000, {5, 6}, /*memsz=*/16);  // with .bss tail
+  const auto p = rvasm::load_elf32(b.image().data(), b.image().size());
+  EXPECT_EQ(p.entry, 0x80000000u);
+  ASSERT_EQ(p.segments.size(), 2u);
+  EXPECT_EQ(p.segments[0].bytes, (std::vector<std::uint8_t>{1, 2, 3, 4}));
+  EXPECT_EQ(p.segments[1].base, 0x80001000u);
+  ASSERT_EQ(p.segments[1].bytes.size(), 16u);
+  EXPECT_EQ(p.segments[1].bytes[1], 6);
+  EXPECT_EQ(p.segments[1].bytes[15], 0);
+}
+
+TEST(ElfLoader, LoadedElfExecutesOnTheVp) {
+  // Assemble a tiny program, wrap its bytes into an ELF, load the ELF.
+  rvasm::Assembler a(soc::addrmap::kRamBase);
+  fw::emit_crt0(a);
+  a.label("main");
+  a.li(a0, 7);
+  a.ret();
+  fw::emit_stdlib(a);
+  const auto native = a.assemble();
+
+  ElfBuilder b;
+  b.set_entry(static_cast<std::uint32_t>(native.entry));
+  b.add_load(static_cast<std::uint32_t>(native.segments[0].base),
+             native.segments[0].bytes);
+  const auto p = rvasm::load_elf32(b.image().data(), b.image().size());
+
+  vp::Vp v;
+  v.load(p);
+  const auto r = v.run(sysc::Time::sec(1));
+  ASSERT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_code, 7u);
+}
+
+TEST(ElfLoader, RejectsMalformedImages) {
+  ElfBuilder good;
+  good.add_load(0x80000000, {1});
+  auto img = good.image();
+
+  {
+    auto bad = img;
+    bad[0] = 0;  // magic
+    EXPECT_THROW(rvasm::load_elf32(bad.data(), bad.size()), rvasm::ElfError);
+  }
+  {
+    auto bad = img;
+    bad[4] = 2;  // ELF64
+    EXPECT_THROW(rvasm::load_elf32(bad.data(), bad.size()), rvasm::ElfError);
+  }
+  {
+    auto bad = img;
+    bad[5] = 2;  // big-endian
+    EXPECT_THROW(rvasm::load_elf32(bad.data(), bad.size()), rvasm::ElfError);
+  }
+  {
+    auto bad = img;
+    bad[18] = 0x3e;  // x86-64
+    EXPECT_THROW(rvasm::load_elf32(bad.data(), bad.size()), rvasm::ElfError);
+  }
+  EXPECT_THROW(rvasm::load_elf32(img.data(), 20), rvasm::ElfError);  // truncated
+  ElfBuilder empty;  // no PT_LOAD
+  EXPECT_THROW(rvasm::load_elf32(empty.image().data(), empty.image().size()),
+               rvasm::ElfError);
+}
+
+TEST(ElfLoader, FileNotFound) {
+  EXPECT_THROW(rvasm::load_elf32_file("/nonexistent/file.elf"), rvasm::ElfError);
+}
+
+// ---- tracer ----
+
+TEST(Tracer, RecordsInstructionsWithResultsAndTags) {
+  dift::Lattice l = dift::Lattice::ifp1();
+  dift::DiftContext ctx(l);
+  testutil::MicroVm<rv::TaintedWord> vm;
+  rv::TraceBuffer trace(8);
+  vm.core.set_trace(&trace);
+
+  rvasm::Assembler a(0x80000000);
+  a.addi(a0, zero, 5);
+  a.addi(a1, a0, 2);
+  a.add(a2, a0, a1);
+  vm.load(a.assemble());
+  vm.core.set_reg(a0, dift::Taint<std::uint32_t>(0, l.tag_of("HC")));
+  vm.core.run(3);
+
+  const auto entries = trace.snapshot();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].pc, 0x80000000u);
+  EXPECT_EQ(entries[0].rd, a0);
+  EXPECT_EQ(entries[0].rd_value, 5u);
+  EXPECT_EQ(entries[0].rd_tag, dift::kBottomTag);  // addi from x0: constant
+  EXPECT_EQ(entries[2].rd_value, 12u);
+  const std::string text = trace.format();
+  EXPECT_NE(text.find("addi a0, zero, 5"), std::string::npos);
+  EXPECT_NE(text.find("add a2, a0, a1"), std::string::npos);
+}
+
+TEST(Tracer, RingBufferKeepsNewestEntries) {
+  testutil::MicroVm<rv::PlainWord> vm;
+  rv::TraceBuffer trace(4);
+  vm.core.set_trace(&trace);
+  rvasm::Assembler a(0x80000000);
+  for (int i = 0; i < 10; ++i) a.addi(a0, a0, 1);
+  vm.load(a.assemble());
+  vm.core.run(10);
+  EXPECT_EQ(trace.pushed(), 10u);
+  const auto entries = trace.snapshot();
+  ASSERT_EQ(entries.size(), 4u);
+  EXPECT_EQ(entries.back().rd_value, 10u);   // newest
+  EXPECT_EQ(entries.front().rd_value, 7u);   // oldest retained
+}
+
+TEST(Tracer, ViolationReportCarriesHistory) {
+  const soc::AesKey pin = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+  vp::VpDift v;
+  const auto prog =
+      fw::make_immobilizer(fw::ImmoVariant::kAttackDirectLeak, pin, 1);
+  v.load(prog);
+  auto bundle = vp::scenarios::make_immobilizer_policy(prog, false);
+  v.apply_policy(bundle.policy);
+  v.enable_trace(16);
+  const auto r = v.run(sysc::Time::sec(1));
+  ASSERT_TRUE(r.violation);
+  ASSERT_FALSE(r.trace_dump.empty());
+  // The history ends with the offending store to the UART.
+  EXPECT_NE(r.trace_dump.find("sb"), std::string::npos);
+  // And shows the tainted load of the PIN byte (tag 2 = (HC,HI)).
+  EXPECT_NE(r.trace_dump.find("tag=2"), std::string::npos);
+}
+
+TEST(Tracer, DisabledByDefaultNoDump) {
+  const soc::AesKey pin{};
+  vp::VpDift v;
+  const auto prog =
+      fw::make_immobilizer(fw::ImmoVariant::kAttackDirectLeak, pin, 1);
+  v.load(prog);
+  auto bundle = vp::scenarios::make_immobilizer_policy(prog, false);
+  v.apply_policy(bundle.policy);
+  const auto r = v.run(sysc::Time::sec(1));
+  ASSERT_TRUE(r.violation);
+  EXPECT_TRUE(r.trace_dump.empty());
+}
+
+}  // namespace

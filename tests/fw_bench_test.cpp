@@ -1,0 +1,74 @@
+// Integration: every Table-II benchmark runs and self-checks on both the
+// plain VP and the DIFT VP+ (under the permissive benchmark policy).
+#include <gtest/gtest.h>
+
+#include "fw/benchmarks.hpp"
+#include "vp/scenarios.hpp"
+#include "vp/vp.hpp"
+
+namespace {
+
+using namespace vpdift;
+
+rvasm::Program make_bench(const std::string& name) {
+  if (name == "primes") return fw::make_primes(300);
+  if (name == "qsort") return fw::make_qsort(400, 1234);
+  if (name == "dhrystone") return fw::make_dhrystone(2000);
+  if (name == "sha256") return fw::make_sha256(256, 4);
+  if (name == "sha512") return fw::make_sha512(256, 2);
+  if (name == "simple-sensor") return fw::make_simple_sensor(5);
+  if (name == "rtos-tasks") return fw::make_rtos_tasks(20, 200);
+  if (name == "crc32") return fw::make_crc32(256, 4);
+  if (name == "matmul") return fw::make_matmul(12);
+  throw std::invalid_argument(name);
+}
+
+vp::VpConfig bench_config(const std::string& name) {
+  vp::VpConfig cfg;
+  if (name == "simple-sensor") cfg.sensor_period = sysc::Time::us(200);
+  return cfg;
+}
+
+class BenchFirmware : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BenchFirmware, SelfChecksOnPlainVp) {
+  vp::Vp v(bench_config(GetParam()));
+  v.load(make_bench(GetParam()));
+  auto r = v.run(sysc::Time::sec(60));
+  ASSERT_TRUE(r.exited) << "timed out; instret=" << r.instret;
+  EXPECT_EQ(r.exit_code, 0u) << "self-check failed";
+}
+
+TEST_P(BenchFirmware, SelfChecksOnDiftVp) {
+  vp::VpDift v(bench_config(GetParam()));
+  v.load(make_bench(GetParam()));
+  auto bundle = vp::scenarios::make_permissive_policy();
+  v.apply_policy(bundle.policy);
+  auto r = v.run(sysc::Time::sec(60));
+  ASSERT_FALSE(r.violation) << r.violation_message;
+  ASSERT_TRUE(r.exited) << "timed out; instret=" << r.instret;
+  EXPECT_EQ(r.exit_code, 0u) << "self-check failed";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchFirmware,
+                         ::testing::Values("primes", "qsort", "dhrystone",
+                                           "sha256", "sha512", "simple-sensor",
+                                           "rtos-tasks", "crc32", "matmul"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (auto& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+TEST(BenchFirmware, SensorOutputReachesUart) {
+  vp::VpConfig cfg;
+  cfg.sensor_period = sysc::Time::us(200);
+  vp::Vp v(cfg);
+  v.load(fw::make_simple_sensor(3));
+  auto r = v.run(sysc::Time::sec(10));
+  ASSERT_TRUE(r.exited);
+  EXPECT_EQ(r.uart_output.size(), 3u * 64u);
+}
+
+}  // namespace

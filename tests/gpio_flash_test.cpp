@@ -1,0 +1,197 @@
+// Tests for the GPIO port, the XIP SPI flash, and the core reset.
+#include <gtest/gtest.h>
+
+#include "dift/context.hpp"
+#include "fw/hal.hpp"
+#include "micro_vm.hpp"
+#include "rvasm/assembler.hpp"
+#include "vp/vp.hpp"
+
+namespace {
+
+using namespace vpdift;
+using namespace vpdift::rvasm::reg;
+
+// ---- GPIO ----
+
+class GpioTest : public ::testing::Test {
+ protected:
+  dift::Lattice lattice_ = dift::Lattice::ifp1();
+  dift::DiftContext ctx_{lattice_};
+  sysc::Simulation sim_;
+  soc::Gpio gpio_{sim_, "gpio0"};
+
+  tlmlite::Response write32(std::uint64_t addr, std::uint32_t v, dift::Tag tag) {
+    std::uint8_t buf[4];
+    dift::Tag tags[4] = {tag, tag, tag, tag};
+    std::memcpy(buf, &v, 4);
+    tlmlite::Payload p;
+    p.command = tlmlite::Command::kWrite;
+    p.address = addr;
+    p.data = buf;
+    p.tags = tags;
+    p.length = 4;
+    sysc::Time d;
+    gpio_.socket().b_transport(p, d);
+    return p.response;
+  }
+  std::uint32_t read32(std::uint64_t addr, dift::Tag* tag_out = nullptr) {
+    std::uint8_t buf[4] = {};
+    dift::Tag tags[4] = {};
+    tlmlite::Payload p;
+    p.command = tlmlite::Command::kRead;
+    p.address = addr;
+    p.data = buf;
+    p.tags = tags;
+    p.length = 4;
+    sysc::Time d;
+    gpio_.socket().b_transport(p, d);
+    if (tag_out) *tag_out = tags[0];
+    std::uint32_t v;
+    std::memcpy(&v, buf, 4);
+    return v;
+  }
+};
+
+TEST_F(GpioTest, OutputRegisterAndCallback) {
+  std::uint32_t seen = 0;
+  gpio_.set_on_output([&](std::uint32_t v) { seen = v; });
+  EXPECT_EQ(write32(soc::Gpio::kOut, 0xa5a5, 0), tlmlite::Response::kOk);
+  EXPECT_EQ(gpio_.output_pins(), 0xa5a5u);
+  EXPECT_EQ(seen, 0xa5a5u);
+  EXPECT_EQ(read32(soc::Gpio::kOut), 0xa5a5u);
+}
+
+TEST_F(GpioTest, DebugPinLeakCaughtByClearance) {
+  gpio_.set_output_clearance(lattice_.tag_of("LC"));
+  EXPECT_EQ(write32(soc::Gpio::kOut, 1, lattice_.tag_of("LC")),
+            tlmlite::Response::kOk);
+  EXPECT_THROW(write32(soc::Gpio::kOut, 1, lattice_.tag_of("HC")),
+               dift::PolicyViolation);
+}
+
+TEST_F(GpioTest, InputPinsCarryConfiguredClass) {
+  gpio_.set_input_tag(lattice_.tag_of("HC"));
+  gpio_.set_input_pins(0x30);
+  dift::Tag t = 0;
+  EXPECT_EQ(read32(soc::Gpio::kIn, &t), 0x30u);
+  EXPECT_EQ(t, lattice_.tag_of("HC"));
+}
+
+TEST_F(GpioTest, DirectionRegisterRoundTrips) {
+  write32(soc::Gpio::kDir, 0xff00ff00, 0);
+  EXPECT_EQ(gpio_.direction(), 0xff00ff00u);
+  EXPECT_EQ(read32(soc::Gpio::kDir), 0xff00ff00u);
+}
+
+// ---- SPI flash / XIP ----
+
+// Builds a flash image containing one function: li a0, 55; sw to EXIT; hang.
+std::vector<std::uint8_t> make_flash_function() {
+  rvasm::Assembler a(soc::addrmap::kFlashBase);
+  a.label("flash_fn");
+  a.li(a0, 55);
+  a.li(t0, fw::mmio::kSysExit);
+  a.sw(a0, t0, 0);
+  a.label("hang");
+  a.j("hang");
+  const auto p = a.assemble();
+  return p.segments.front().bytes;
+}
+
+TEST(SpiFlash, ExecuteInPlaceThroughTlmFetchPath) {
+  vp::VpConfig cfg;
+  cfg.flash_image = make_flash_function();
+  vp::Vp v(cfg);
+  // RAM program jumps straight into flash.
+  rvasm::Assembler a(soc::addrmap::kRamBase);
+  a.li(t1, soc::addrmap::kFlashBase);
+  a.jr(t1);
+  v.load(a.assemble());
+  const auto r = v.run(sysc::Time::sec(1));
+  ASSERT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_code, 55u);
+}
+
+TEST(SpiFlash, UntrustedFlashCodeTripsFetchClearance) {
+  dift::Lattice l = dift::Lattice::ifp2();
+  vp::VpConfig cfg;
+  cfg.flash_image = make_flash_function();
+  vp::VpDift v(cfg);
+  rvasm::Assembler a(soc::addrmap::kRamBase);
+  a.li(t1, soc::addrmap::kFlashBase);
+  a.jr(t1);
+  const auto prog = a.assemble();
+  v.load(prog);
+
+  dift::SecurityPolicy policy(l);
+  policy.classify_input("flash0", l.tag_of("LI"));  // external untrusted part
+  dift::ExecutionClearance ec;
+  ec.fetch = l.tag_of("HI");
+  policy.set_execution_clearance(ec);
+  v.apply_policy(policy);
+  const auto r = v.run(sysc::Time::sec(1));
+  ASSERT_TRUE(r.violation);
+  EXPECT_EQ(r.violation_kind, dift::ViolationKind::kFetchClearance);
+  EXPECT_EQ(r.violation_pc, soc::addrmap::kFlashBase);
+}
+
+TEST(SpiFlash, TrustedFlashCodeRunsUnderFetchClearance) {
+  dift::Lattice l = dift::Lattice::ifp2();
+  vp::VpConfig cfg;
+  cfg.flash_image = make_flash_function();
+  cfg.flash_tag = 0;  // HI by default
+  vp::VpDift v(cfg);
+  rvasm::Assembler a(soc::addrmap::kRamBase);
+  a.li(t1, soc::addrmap::kFlashBase);
+  a.jr(t1);
+  v.load(a.assemble());
+  dift::SecurityPolicy policy(l);
+  dift::ExecutionClearance ec;
+  ec.fetch = l.tag_of("HI");
+  policy.set_execution_clearance(ec);
+  v.apply_policy(policy);
+  const auto r = v.run(sysc::Time::sec(1));
+  ASSERT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_code, 55u);
+}
+
+TEST(SpiFlash, WritesRejected) {
+  sysc::Simulation sim;
+  soc::SpiFlash flash(sim, "flash0", {1, 2, 3, 4});
+  std::uint8_t buf[2] = {9, 9};
+  tlmlite::Payload p;
+  p.command = tlmlite::Command::kWrite;
+  p.address = 0;
+  p.data = buf;
+  p.length = 2;
+  sysc::Time d;
+  flash.socket().b_transport(p, d);
+  EXPECT_EQ(p.response, tlmlite::Response::kGenericError);
+}
+
+// ---- core reset ----
+
+TEST(CoreReset, ClearsArchitecturalState) {
+  testutil::MicroVm<rv::PlainWord> vm;
+  rvasm::Assembler a(0x80000000);
+  a.li(a0, 42);
+  a.csrrw(zero, rv::csr::kMscratch, a0);
+  vm.load(a.assemble());
+  vm.core.set_irq(rv::kIrqMtimer, true);
+  vm.core.run(3);
+  EXPECT_EQ(vm.reg(a0), 42u);
+  EXPECT_NE(vm.core.instret(), 0u);
+
+  vm.core.reset(0x80000000);
+  EXPECT_EQ(vm.reg(a0), 0u);
+  EXPECT_EQ(vm.core.pc(), 0x80000000u);
+  EXPECT_EQ(vm.core.instret(), 0u);
+  EXPECT_FALSE(vm.core.irq_pending());
+  EXPECT_EQ(vm.core.csrs().mscratch.value, 0u);
+  // And it runs again from scratch.
+  vm.core.run(1);
+  EXPECT_EQ(vm.reg(a0), 42u);
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+// Host-side reference implementations (used to seed firmware expectations).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "fw/host_ref.hpp"
+
+namespace {
+
+using namespace vpdift::fw;
+
+TEST(HostSha256, Nist180_2EmptyString) {
+  const auto d = sha256(nullptr, 0);
+  const std::uint8_t expected[] = {0xe3, 0xb0, 0xc4, 0x42, 0x98, 0xfc, 0x1c,
+                                   0x14, 0x9a, 0xfb, 0xf4, 0xc8, 0x99, 0x6f,
+                                   0xb9, 0x24};
+  EXPECT_EQ(std::memcmp(d.data(), expected, sizeof expected), 0);
+}
+
+TEST(HostSha256, Nist180_2Abc) {
+  const std::uint8_t msg[] = {'a', 'b', 'c'};
+  const auto d = sha256(msg, 3);
+  const std::uint8_t expected[] = {0xba, 0x78, 0x16, 0xbf, 0x8f, 0x01,
+                                   0xcf, 0xea, 0x41, 0x41, 0x40, 0xde,
+                                   0x5d, 0xae, 0x22, 0x23};
+  EXPECT_EQ(std::memcmp(d.data(), expected, sizeof expected), 0);
+}
+
+TEST(HostSha256, Nist180_2TwoBlockMessage) {
+  const char* msg = "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+  const auto d = sha256(reinterpret_cast<const std::uint8_t*>(msg),
+                        std::strlen(msg));
+  const std::uint8_t expected[] = {0x24, 0x8d, 0x6a, 0x61, 0xd2, 0x06, 0x38,
+                                   0xb8, 0xe5, 0xc0, 0x26, 0x93, 0x0c, 0x3e,
+                                   0x60, 0x39};
+  EXPECT_EQ(std::memcmp(d.data(), expected, sizeof expected), 0);
+}
+
+TEST(HostSha256, PaddingBoundaries) {
+  // 55/56/64-byte messages cross the one-vs-two-final-block boundary.
+  for (std::size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 120u}) {
+    std::vector<std::uint8_t> msg(len, 'x');
+    const auto d1 = sha256(msg.data(), msg.size());
+    // Changing the last byte must change the digest (sanity of the padding).
+    msg.back() = 'y';
+    const auto d2 = sha256(msg.data(), msg.size());
+    EXPECT_NE(d1, d2) << len;
+  }
+}
+
+TEST(HostSha512, Nist180_2Abc) {
+  const std::uint8_t msg[] = {'a', 'b', 'c'};
+  const auto d = sha512(msg, 3);
+  const std::uint8_t expected[] = {0xdd, 0xaf, 0x35, 0xa1, 0x93, 0x61, 0x7a,
+                                   0xba, 0xcc, 0x41, 0x73, 0x49, 0xae, 0x20,
+                                   0x41, 0x31};
+  EXPECT_EQ(std::memcmp(d.data(), expected, sizeof expected), 0);
+}
+
+TEST(HostSha512, Nist180_2Empty) {
+  const auto d = sha512(nullptr, 0);
+  const std::uint8_t expected[] = {0xcf, 0x83, 0xe1, 0x35, 0x7e, 0xef, 0xb8,
+                                   0xbd, 0xf1, 0x54, 0x28, 0x50, 0xd6, 0x6d,
+                                   0x80, 0x07};
+  EXPECT_EQ(std::memcmp(d.data(), expected, sizeof expected), 0);
+}
+
+TEST(HostSha512, Nist180_2TwoBlock) {
+  const char* msg =
+      "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno"
+      "ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu";
+  const auto d = sha512(reinterpret_cast<const std::uint8_t*>(msg),
+                        std::strlen(msg));
+  const std::uint8_t expected[] = {0x8e, 0x95, 0x9b, 0x75, 0xda, 0xe3, 0x13,
+                                   0xda, 0x8c, 0xf4, 0xf7, 0x28, 0x14, 0xfc,
+                                   0x14, 0x3f};
+  EXPECT_EQ(std::memcmp(d.data(), expected, sizeof expected), 0);
+}
+
+TEST(HostSha512, PaddingBoundaries) {
+  for (std::size_t len : {111u, 112u, 127u, 128u, 129u, 239u, 240u}) {
+    std::vector<std::uint8_t> msg(len, 'x');
+    const auto d1 = sha512(msg.data(), msg.size());
+    msg.back() = 'y';
+    const auto d2 = sha512(msg.data(), msg.size());
+    EXPECT_NE(d1, d2) << len;
+  }
+}
+
+TEST(HostRef, CountPrimesKnownValues) {
+  EXPECT_EQ(count_primes(2), 0u);
+  EXPECT_EQ(count_primes(3), 1u);
+  EXPECT_EQ(count_primes(10), 4u);
+  EXPECT_EQ(count_primes(100), 25u);
+  EXPECT_EQ(count_primes(1000), 168u);
+  EXPECT_EQ(count_primes(10000), 1229u);
+}
+
+TEST(HostRef, LcgMatchesFirmwareConstant) {
+  EXPECT_EQ(lcg_next(0), 12345u);
+  EXPECT_EQ(lcg_next(1), 1103515245u + 12345u);
+}
+
+TEST(HostRef, DhrystoneChecksumIsDeterministicAndIterationSensitive) {
+  EXPECT_EQ(dhrystone_checksum(100), dhrystone_checksum(100));
+  EXPECT_NE(dhrystone_checksum(100), dhrystone_checksum(101));
+  EXPECT_EQ(dhrystone_checksum(0), 0u);
+}
+
+TEST(HostRef, Sha256ChainWord0Deterministic) {
+  EXPECT_EQ(sha256_chain_word0(64, 3), sha256_chain_word0(64, 3));
+  EXPECT_NE(sha256_chain_word0(64, 3), sha256_chain_word0(64, 4));
+  EXPECT_NE(sha256_chain_word0(64, 3), sha256_chain_word0(65, 3));
+}
+
+}  // namespace

@@ -1,0 +1,194 @@
+// Section VI-A: the immobilizer case-study narrative, step by step.
+#include <gtest/gtest.h>
+
+#include "fw/immobilizer.hpp"
+#include "soc/aes128.hpp"
+#include "vp/scenarios.hpp"
+#include "vp/vp.hpp"
+
+namespace {
+
+using namespace vpdift;
+
+const soc::AesKey kPin = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                          0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+
+struct ImmoRun {
+  vp::RunResult result;
+  std::uint64_t auth_ok = 0;
+  std::uint64_t auth_fail = 0;
+};
+
+ImmoRun run_immo(fw::ImmoVariant variant, bool per_byte, std::string uart_input,
+                 std::uint32_t challenges = 3) {
+  vp::VpConfig cfg;
+  cfg.with_engine_ecu = true;
+  cfg.engine_pin = kPin;
+  cfg.engine_period = sysc::Time::ms(2);
+  vp::VpDift v(cfg);
+  auto prog = fw::make_immobilizer(variant, kPin, challenges);
+  v.load(prog);
+  auto bundle = vp::scenarios::make_immobilizer_policy(prog, per_byte);
+  v.apply_policy(bundle.policy);
+  if (!uart_input.empty()) v.uart().feed_input(uart_input);
+  ImmoRun out;
+  out.result = v.run(sysc::Time::sec(5));
+  out.auth_ok = v.engine()->auth_ok();
+  out.auth_fail = v.engine()->auth_fail();
+  return out;
+}
+
+// Normal operation: challenge-response authentication succeeds, no policy
+// violation, PIN never on the bus in plaintext.
+TEST(Immobilizer, FixedFirmwareAuthenticates) {
+  auto r = run_immo(fw::ImmoVariant::kFixedDump, /*per_byte=*/false, "");
+  ASSERT_FALSE(r.result.violation) << r.result.violation_message;
+  ASSERT_TRUE(r.result.exited);
+  EXPECT_EQ(r.result.exit_code, 0u);
+  EXPECT_GE(r.auth_ok, 3u);
+  EXPECT_EQ(r.auth_fail, 0u);
+}
+
+// The paper's first finding: the debug memory dump leaks the PIN over the
+// UART — caught as an output-clearance violation.
+TEST(Immobilizer, VulnerableDumpLeakDetected) {
+  auto r = run_immo(fw::ImmoVariant::kVulnerableDump, false, "d");
+  ASSERT_TRUE(r.result.violation);
+  EXPECT_EQ(r.result.violation_kind, dift::ViolationKind::kOutputClearance)
+      << r.result.violation_message;
+  EXPECT_EQ(r.result.violation_where, "uart0.tx");
+}
+
+// The fix: the dump excludes the PIN region; the same command is now benign.
+TEST(Immobilizer, FixedDumpIsBenign) {
+  auto r = run_immo(fw::ImmoVariant::kFixedDump, false, "d");
+  ASSERT_FALSE(r.result.violation) << r.result.violation_message;
+  ASSERT_TRUE(r.result.exited);
+  // The dump printed the 32 application-data bytes, not the PIN.
+  EXPECT_NE(r.result.uart_output.find("abcdefgh"), std::string::npos);
+  EXPECT_EQ(r.result.uart_output.size(), 32u);
+}
+
+// Attack scenario 1: PIN exfiltration (direct, indirect, buffer overflow).
+TEST(Immobilizer, Scenario1DirectLeakDetected) {
+  auto r = run_immo(fw::ImmoVariant::kAttackDirectLeak, false, "");
+  ASSERT_TRUE(r.result.violation);
+  EXPECT_EQ(r.result.violation_kind, dift::ViolationKind::kOutputClearance);
+}
+
+TEST(Immobilizer, Scenario1IndirectLeakDetected) {
+  auto r = run_immo(fw::ImmoVariant::kAttackIndirectLeak, false, "");
+  ASSERT_TRUE(r.result.violation);
+  EXPECT_EQ(r.result.violation_kind, dift::ViolationKind::kOutputClearance);
+  EXPECT_EQ(r.result.violation_where, "can0.tx");
+}
+
+TEST(Immobilizer, Scenario1OverflowLeakDetected) {
+  auto r = run_immo(fw::ImmoVariant::kAttackOverflowLeak, false, "");
+  ASSERT_TRUE(r.result.violation);
+  EXPECT_EQ(r.result.violation_kind, dift::ViolationKind::kOutputClearance);
+}
+
+// Attack scenario 2: control flow depending on the PIN.
+TEST(Immobilizer, Scenario2BranchLeakDetected) {
+  auto r = run_immo(fw::ImmoVariant::kAttackBranchLeak, false, "");
+  ASSERT_TRUE(r.result.violation);
+  EXPECT_EQ(r.result.violation_kind, dift::ViolationKind::kBranchClearance)
+      << r.result.violation_message;
+}
+
+// Attack scenario 3: overwriting the PIN with external (LI) data.
+TEST(Immobilizer, Scenario3ExternalOverwriteDetected) {
+  auto r = run_immo(fw::ImmoVariant::kAttackOverwriteExternal, false, "");
+  ASSERT_TRUE(r.result.violation);
+  EXPECT_EQ(r.result.violation_kind, dift::ViolationKind::kStoreClearance)
+      << r.result.violation_message;
+}
+
+// Attack scenario 4 (entropy reduction): overwriting PIN bytes with *trusted*
+// PIN data is NOT caught by the plain IFP-3 policy...
+TEST(Immobilizer, Scenario4EscapesBasePolicy) {
+  auto r = run_immo(fw::ImmoVariant::kAttackOverwriteTrusted, false, "");
+  EXPECT_FALSE(r.result.violation) << r.result.violation_message;
+  ASSERT_TRUE(r.result.exited);
+  // The immobilizer still "works" — but now with a 1-byte-entropy PIN.
+  EXPECT_EQ(r.auth_fail + r.auth_ok, r.auth_fail + r.auth_ok);
+}
+
+// ...but the per-byte-PIN policy refinement detects it (the paper's fix).
+TEST(Immobilizer, Scenario4DetectedByPerBytePolicy) {
+  auto r = run_immo(fw::ImmoVariant::kAttackOverwriteTrusted, true, "");
+  ASSERT_TRUE(r.result.violation);
+  EXPECT_EQ(r.result.violation_kind, dift::ViolationKind::kStoreClearance)
+      << r.result.violation_message;
+}
+
+// The per-byte policy still admits normal operation.
+TEST(Immobilizer, PerBytePolicyAdmitsNormalOperation) {
+  auto r = run_immo(fw::ImmoVariant::kFixedDump, true, "d");
+  ASSERT_FALSE(r.result.violation) << r.result.violation_message;
+  ASSERT_TRUE(r.result.exited);
+  EXPECT_GE(r.auth_ok, 3u);
+}
+
+// Entropy-reduction exploitation: after scenario 4 under the base policy, the
+// response on the CAN bus is brute-forceable byte-by-byte (256 candidates).
+TEST(Immobilizer, Scenario4EnablesBruteForce) {
+  vp::VpConfig cfg;
+  cfg.with_engine_ecu = true;
+  cfg.engine_pin = kPin;  // engine still holds the real PIN -> auth fails
+  cfg.engine_period = sysc::Time::ms(2);
+  vp::VpDift v(cfg);
+  auto prog =
+      fw::make_immobilizer(fw::ImmoVariant::kAttackOverwriteTrusted, kPin, 2);
+  v.load(prog);
+  auto bundle = vp::scenarios::make_immobilizer_policy(prog, false);
+  v.apply_policy(bundle.policy);
+
+  // Capture challenge/response pairs from the wire.
+  struct Pair {
+    soc::CanFrame challenge, response;
+  };
+  std::vector<soc::CanFrame> responses;
+  v.can().set_on_tx([&](const soc::CanFrame& f) {
+    v.engine()->on_frame(f);
+    if (f.id == soc::EngineEcu::kResponseId) responses.push_back(f);
+  });
+  auto r = v.run(sysc::Time::sec(5));
+  ASSERT_FALSE(r.violation) << r.violation_message;
+  ASSERT_FALSE(responses.empty());
+
+  // Host-side attacker: all PIN bytes are equal now, so 256 candidates.
+  // Recover the degenerate key from one observed response.
+  const soc::CanFrame resp = responses.front();
+  // Challenges are deterministic in the engine model; re-derive the one that
+  // produced this response by brute force over the key space directly.
+  int hits = 0;
+  soc::AesKey found{};
+  for (int cand = 0; cand < 256; ++cand) {
+    soc::AesKey k;
+    k.fill(static_cast<std::uint8_t>(cand));
+    // Try the candidate against the observed response using each challenge
+    // the engine may have sent; the engine's LCG start state is fixed.
+    std::uint32_t lcg = 0xcafebabe;
+    for (int tries = 0; tries < 8; ++tries) {
+      soc::AesBlock block{};
+      for (int i = 0; i < 8; ++i) {
+        lcg = lcg * 1103515245u + 12345u;
+        block[i] = static_cast<std::uint8_t>(lcg >> 16);
+      }
+      const soc::AesBlock enc = soc::aes128_encrypt(k, block);
+      bool match = true;
+      for (int i = 0; i < 8 && match; ++i) match = enc[i] == resp.data[i];
+      if (match) {
+        ++hits;
+        found = k;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(hits, 1) << "brute force should recover exactly one key";
+  EXPECT_EQ(found[0], kPin[0]) << "recovered key must be fill(pin[0])";
+}
+
+}  // namespace

@@ -1,0 +1,40 @@
+// Minimal CPU+RAM harness for ISA-level core tests.
+#pragma once
+
+#include "rv/core.hpp"
+#include "rvasm/assembler.hpp"
+#include "soc/memory.hpp"
+#include "sysc/kernel.hpp"
+#include "tlmlite/bus.hpp"
+
+namespace vpdift::testutil {
+
+template <typename W>
+struct MicroVm {
+  static constexpr std::uint64_t kBase = 0x80000000ull;
+
+  sysc::Simulation sim;
+  tlmlite::Bus bus{sim, "bus"};
+  soc::Memory ram{sim, "ram", 64 * 1024, rv::WordOps<W>::kTainted};
+  rv::Core<W> core;
+
+  MicroVm() {
+    bus.map(kBase, ram.size(), ram.socket(), "ram");
+    core.bus_socket().bind(bus.target_socket());
+    core.set_dmi(ram.data(), ram.tags(), kBase, ram.size());
+    core.set_pc(kBase);
+  }
+
+  void load(const rvasm::Program& p) {
+    ram.load_image(p, kBase);
+    core.set_pc(static_cast<std::uint32_t>(p.entry));
+  }
+
+  /// Assembles `emit` with an `ebreak`-terminated epilogue and runs until the
+  /// breakpoint traps (mtvec=0 -> pc wraps to 0 -> we stop on instret budget).
+  /// Simpler: run an exact number of steps.
+  std::uint32_t reg(std::uint8_t r) const { return rv::WordOps<W>::value(core.reg(r)); }
+  dift::Tag tag(std::uint8_t r) const { return rv::WordOps<W>::tag(core.reg(r)); }
+};
+
+}  // namespace vpdift::testutil

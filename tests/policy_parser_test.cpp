@@ -1,0 +1,140 @@
+// Tests for the text policy format.
+#include <gtest/gtest.h>
+
+#include "dift/policy_parser.hpp"
+#include "fw/hal.hpp"
+#include "rvasm/assembler.hpp"
+#include "soc/addrmap.hpp"
+#include "vp/vp.hpp"
+
+namespace {
+
+using namespace vpdift;
+using dift::PolicyParseError;
+using dift::PolicySpec;
+
+constexpr const char* kIfp1Policy = R"(
+# confidentiality lattice (Fig. 1, IFP-1)
+class LC
+class HC
+flow LC -> HC
+declass HC -> LC
+
+classify memory 0x80001000 16 HC
+classify input uart0.rx LC
+clear output uart0.tx LC
+clear unit aes0 HC
+declassify aes0 LC
+exec fetch LC
+exec branch LC
+protect 0x80001000 16 HC
+)";
+
+TEST(PolicyParser, FullPolicyRoundTrip) {
+  const auto spec = PolicySpec::parse(kIfp1Policy);
+  const auto& l = spec.lattice();
+  EXPECT_EQ(l.size(), 2u);
+  EXPECT_TRUE(l.allowed_flow(l.tag_of("LC"), l.tag_of("HC")));
+  EXPECT_TRUE(l.allowed_declass(l.tag_of("HC"), l.tag_of("LC")));
+
+  const auto& p = spec.policy();
+  ASSERT_EQ(p.memory_classification().size(), 1u);
+  EXPECT_EQ(p.memory_classification()[0].base, 0x80001000u);
+  EXPECT_EQ(p.memory_classification()[0].tag, l.tag_of("HC"));
+  EXPECT_EQ(p.input_class("uart0.rx"), l.tag_of("LC"));
+  EXPECT_EQ(p.output_clearance("uart0.tx"), l.tag_of("LC"));
+  EXPECT_EQ(p.unit_clearance("aes0"), l.tag_of("HC"));
+  EXPECT_EQ(p.declass_output("aes0"), l.tag_of("LC"));
+  EXPECT_EQ(p.execution_clearance().fetch, l.tag_of("LC"));
+  EXPECT_EQ(p.execution_clearance().branch, l.tag_of("LC"));
+  EXPECT_FALSE(p.execution_clearance().mem_addr.has_value());
+  EXPECT_EQ(p.store_clearance_at(0x80001008), l.tag_of("HC"));
+}
+
+TEST(PolicyParser, SymbolReferences) {
+  std::map<std::string, std::uint64_t> symbols{{"pin", 0x80002000}};
+  const auto spec = PolicySpec::parse(R"(
+class HI
+class LI
+flow HI -> LI
+classify memory $pin 16 HI
+protect $pin+8 8 HI
+)",
+                                      &symbols);
+  EXPECT_EQ(spec.policy().memory_classification()[0].base, 0x80002000u);
+  EXPECT_EQ(spec.policy().store_clearance_at(0x80002008),
+            spec.lattice().tag_of("HI"));
+  EXPECT_FALSE(spec.policy().store_clearance_at(0x80002000).has_value());
+}
+
+TEST(PolicyParser, ErrorsCarryLineNumbers) {
+  try {
+    PolicySpec::parse("class A\nflow A -> B\n");
+    FAIL();
+  } catch (const PolicyParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_NE(std::string(e.what()).find("unknown security class"),
+              std::string::npos);
+  }
+}
+
+TEST(PolicyParser, RejectsUnknownDirectiveAndBadUsage) {
+  EXPECT_THROW(PolicySpec::parse("frobnicate\n"), PolicyParseError);
+  EXPECT_THROW(PolicySpec::parse("class A\nclass B\nflow A B\nexec sideways A\n"),
+               PolicyParseError);
+  EXPECT_THROW(PolicySpec::parse("class A\nclassify memory zzz 4 A\n"),
+               PolicyParseError);
+  EXPECT_THROW(PolicySpec::parse("class A\nclassify memory $x 4 A\n"),
+               PolicyParseError);  // no symbol table
+}
+
+TEST(PolicyParser, RejectsLatticeLinesAfterPolicyLines) {
+  EXPECT_THROW(PolicySpec::parse(R"(
+class A
+classify input u A
+class B
+)"),
+               PolicyParseError);
+}
+
+TEST(PolicyParser, RejectsInvalidLattice) {
+  // Two classes, no flows: no common upper bound.
+  EXPECT_THROW(PolicySpec::parse("class A\nclass B\nclassify input u A\n"),
+               PolicyParseError);
+}
+
+TEST(PolicyParser, ParsedPolicyDrivesTheVp) {
+  // End to end: firmware leaks a secret; the policy text stops it.
+  using namespace vpdift::rvasm::reg;
+  rvasm::Assembler a(soc::addrmap::kRamBase);
+  fw::emit_crt0(a);
+  a.label("main");
+  a.la(t0, "secret");
+  a.lbu(a0, t0, 0);
+  a.li(t1, fw::mmio::kUartTx);
+  a.sb(a0, t1, 0);
+  a.li(a0, 0);
+  a.ret();
+  fw::emit_stdlib(a);
+  a.align(4);
+  a.label("secret");
+  a.word(0x12345678);
+  const auto prog = a.assemble();
+
+  auto spec = PolicySpec::parse(R"(
+class LC
+class HC
+flow LC -> HC
+classify memory $secret 4 HC
+clear output uart0.tx LC
+)",
+                                &prog.symbols);
+  vp::VpDift v;
+  v.load(prog);
+  v.apply_policy(spec.policy());
+  const auto r = v.run(sysc::Time::sec(1));
+  ASSERT_TRUE(r.violation);
+  EXPECT_EQ(r.violation_kind, dift::ViolationKind::kOutputClearance);
+}
+
+}  // namespace

@@ -1,0 +1,321 @@
+// ISA-level DIFT semantics: tag propagation through the tainted core and the
+// three execution-clearance checks of Section V-B2.
+#include <gtest/gtest.h>
+
+#include "dift/context.hpp"
+#include "micro_vm.hpp"
+#include "rv/csr.hpp"
+
+namespace {
+
+using namespace vpdift;
+using namespace vpdift::rvasm::reg;
+using testutil::MicroVm;
+using Vm = MicroVm<rv::TaintedWord>;
+using dift::PolicyViolation;
+using dift::Tag;
+using dift::ViolationKind;
+
+class DiftCore : public ::testing::Test {
+ protected:
+  dift::Lattice lattice_ = dift::Lattice::ifp1();
+  dift::DiftContext ctx_{lattice_};
+  Tag lc_ = lattice_.tag_of("LC");
+  Tag hc_ = lattice_.tag_of("HC");
+  Vm vm_;
+  dift::SecurityPolicy policy_{lattice_};
+
+  void load_asm(const std::function<void(rvasm::Assembler&)>& emit) {
+    rvasm::Assembler a(Vm::kBase);
+    emit(a);
+    vm_.load(a.assemble());
+  }
+  void set_reg(std::uint8_t r, std::uint32_t v, Tag t) {
+    vm_.core.set_reg(r, dift::Taint<std::uint32_t>(v, t));
+  }
+};
+
+TEST_F(DiftCore, AluPropagatesLub) {
+  load_asm([](auto& a) {
+    a.add(a2, a0, a1);
+    a.xor_(a3, a0, a1);
+    a.mul(a4, a0, a1);
+    a.sltu(a5, a0, a1);
+    a.sub(a6, a0, a0);
+  });
+  set_reg(a0, 3, hc_);
+  set_reg(a1, 4, lc_);
+  vm_.core.run(5);
+  EXPECT_EQ(vm_.reg(a2), 7u);
+  EXPECT_EQ(vm_.tag(a2), hc_);
+  EXPECT_EQ(vm_.tag(a3), hc_);
+  EXPECT_EQ(vm_.tag(a4), hc_);
+  EXPECT_EQ(vm_.tag(a5), hc_);
+  EXPECT_EQ(vm_.tag(a6), hc_);  // x op x keeps its class
+}
+
+TEST_F(DiftCore, ImmediateOpsKeepSourceTag) {
+  load_asm([](auto& a) {
+    a.addi(a1, a0, 5);
+    a.andi(a2, a0, 0xff);
+    a.slli(a3, a0, 2);
+  });
+  set_reg(a0, 10, hc_);
+  vm_.core.run(3);
+  EXPECT_EQ(vm_.tag(a1), hc_);
+  EXPECT_EQ(vm_.tag(a2), hc_);
+  EXPECT_EQ(vm_.tag(a3), hc_);
+  EXPECT_EQ(vm_.reg(a3), 40u);
+}
+
+TEST_F(DiftCore, LuiProducesUntaintedConstant) {
+  load_asm([](auto& a) { a.lui(a0, 5); });
+  set_reg(a0, 1, hc_);
+  vm_.core.run(1);
+  EXPECT_EQ(vm_.tag(a0), dift::kBottomTag);
+}
+
+TEST_F(DiftCore, StoreLoadRoundTripsTagThroughMemory) {
+  load_asm([](auto& a) {
+    a.la(t0, "buf");
+    a.sw(a0, t0, 0);
+    a.lw(a1, t0, 0);
+    a.lb(a2, t0, 1);
+    a.j("end");
+    a.align(4);
+    a.label("buf");
+    a.zero_fill(8);
+    a.label("end");
+  });
+  set_reg(a0, 0xcafe, hc_);
+  vm_.core.run(6);
+  EXPECT_EQ(vm_.tag(a1), hc_);
+  EXPECT_EQ(vm_.tag(a2), hc_);
+  // The tag plane holds per-byte tags.
+  const auto off = 0;  // find buf offset via the stored value instead
+  (void)off;
+}
+
+TEST_F(DiftCore, PartialStoreMixesTagsAndLoadLubs) {
+  load_asm([](auto& a) {
+    a.la(t0, "buf");
+    a.sw(a0, t0, 0);   // 4 bytes LC
+    a.sb(a1, t0, 2);   // byte 2 becomes HC
+    a.lw(a2, t0, 0);   // word load LUBs -> HC
+    a.lbu(a3, t0, 0);  // byte 0 stays LC
+    a.j("end");
+    a.align(4);
+    a.label("buf");
+    a.zero_fill(8);
+    a.label("end");
+  });
+  set_reg(a0, 0x11111111, lc_);
+  set_reg(a1, 0x22, hc_);
+  vm_.core.run(7);
+  EXPECT_EQ(vm_.tag(a2), hc_);
+  EXPECT_EQ(vm_.tag(a3), lc_);
+}
+
+TEST_F(DiftCore, CsrCarriesTag) {
+  load_asm([](auto& a) {
+    a.csrrw(zero, rv::csr::kMscratch, a0);
+    a.csrrs(a1, rv::csr::kMscratch, zero);
+  });
+  set_reg(a0, 7, hc_);
+  vm_.core.run(2);
+  EXPECT_EQ(vm_.tag(a1), hc_);
+}
+
+// ---- execution clearance: branch ----
+
+TEST_F(DiftCore, BranchOnTaintedConditionViolates) {
+  dift::ExecutionClearance ec;
+  ec.branch = lc_;
+  policy_.set_execution_clearance(ec);
+  vm_.core.set_policy(&policy_);
+  load_asm([](auto& a) {
+    a.beq(a0, a1, "x");
+    a.label("x");
+    a.nop();
+  });
+  set_reg(a0, 1, hc_);
+  try {
+    vm_.core.run(2);
+    FAIL() << "expected branch-clearance violation";
+  } catch (const PolicyViolation& v) {
+    EXPECT_EQ(v.kind(), ViolationKind::kBranchClearance);
+    EXPECT_EQ(v.source(), hc_);
+    EXPECT_EQ(v.pc(), Vm::kBase);
+  }
+}
+
+TEST_F(DiftCore, BranchOnCleanConditionPasses) {
+  dift::ExecutionClearance ec;
+  ec.branch = lc_;
+  policy_.set_execution_clearance(ec);
+  vm_.core.set_policy(&policy_);
+  load_asm([](auto& a) {
+    a.beq(a0, a1, "x");
+    a.label("x");
+    a.li(a2, 5);
+  });
+  set_reg(a0, 1, lc_);
+  EXPECT_NO_THROW(vm_.core.run(2));
+  EXPECT_EQ(vm_.reg(a2), 5u);
+}
+
+TEST_F(DiftCore, IndirectJumpOnTaintedTargetViolates) {
+  dift::ExecutionClearance ec;
+  ec.branch = lc_;
+  policy_.set_execution_clearance(ec);
+  vm_.core.set_policy(&policy_);
+  load_asm([](auto& a) { a.jalr(zero, a0, 0); });
+  set_reg(a0, Vm::kBase, hc_);
+  EXPECT_THROW(vm_.core.run(1), PolicyViolation);
+}
+
+TEST_F(DiftCore, TrapVectorTaintCheckedOnDispatch) {
+  dift::ExecutionClearance ec;
+  ec.branch = lc_;
+  policy_.set_execution_clearance(ec);
+  vm_.core.set_policy(&policy_);
+  load_asm([](auto& a) {
+    a.csrrw(zero, rv::csr::kMtvec, a0);  // tainted trap vector
+    a.ecall();
+  });
+  set_reg(a0, Vm::kBase + 0x40, hc_);
+  try {
+    vm_.core.run(2);
+    FAIL();
+  } catch (const PolicyViolation& v) {
+    EXPECT_EQ(v.kind(), ViolationKind::kBranchClearance);
+    EXPECT_EQ(v.where(), "core.trap-vector");
+  }
+}
+
+// ---- execution clearance: memory address ----
+
+TEST_F(DiftCore, TaintedLoadAddressViolates) {
+  dift::ExecutionClearance ec;
+  ec.mem_addr = lc_;
+  policy_.set_execution_clearance(ec);
+  vm_.core.set_policy(&policy_);
+  load_asm([](auto& a) { a.lw(a1, a0, 0); });
+  set_reg(a0, Vm::kBase, hc_);
+  try {
+    vm_.core.run(1);
+    FAIL();
+  } catch (const PolicyViolation& v) {
+    EXPECT_EQ(v.kind(), ViolationKind::kMemAddrClearance);
+    EXPECT_EQ(v.address(), Vm::kBase);
+  }
+}
+
+TEST_F(DiftCore, TaintedStoreAddressViolates) {
+  dift::ExecutionClearance ec;
+  ec.mem_addr = lc_;
+  policy_.set_execution_clearance(ec);
+  vm_.core.set_policy(&policy_);
+  load_asm([](auto& a) { a.sw(a1, a0, 0); });
+  set_reg(a0, Vm::kBase + 64, hc_);
+  EXPECT_THROW(vm_.core.run(1), PolicyViolation);
+}
+
+TEST_F(DiftCore, CleanAddressWithTaintedDataPasses) {
+  dift::ExecutionClearance ec;
+  ec.mem_addr = lc_;
+  policy_.set_execution_clearance(ec);
+  vm_.core.set_policy(&policy_);
+  load_asm([](auto& a) {
+    a.la(t0, "buf");
+    a.sw(a0, t0, 0);
+    a.j("end");
+    a.align(4);
+    a.label("buf");
+    a.zero_fill(4);
+    a.label("end");
+  });
+  set_reg(a0, 1, hc_);  // data may be secret; the *address* is clean
+  EXPECT_NO_THROW(vm_.core.run(4));
+}
+
+// ---- execution clearance: fetch ----
+
+TEST_F(DiftCore, FetchingClassifiedCodeViolates) {
+  dift::ExecutionClearance ec;
+  ec.fetch = lc_;
+  policy_.set_execution_clearance(ec);
+  vm_.core.set_policy(&policy_);
+  load_asm([](auto& a) {
+    a.nop();
+    a.nop();
+  });
+  vm_.ram.classify(4, 4, hc_);  // second instruction is confidential
+  vm_.core.run(1);              // first nop fine
+  try {
+    vm_.core.run(1);
+    FAIL();
+  } catch (const PolicyViolation& v) {
+    EXPECT_EQ(v.kind(), ViolationKind::kFetchClearance);
+    EXPECT_EQ(v.pc(), Vm::kBase + 4);
+  }
+}
+
+// ---- store clearance (integrity-protected regions) ----
+
+TEST_F(DiftCore, StoreClearanceProtectsRegion) {
+  policy_.protect_store(Vm::kBase + 0x100, 16, lc_);
+  vm_.core.set_policy(&policy_);
+  load_asm([](auto& a) {
+    a.li(t0, 0x80000100);
+    a.sw(a0, t0, 0);
+  });
+  set_reg(a0, 5, hc_);  // HC does not flow to LC
+  try {
+    vm_.core.run(3);
+    FAIL();
+  } catch (const PolicyViolation& v) {
+    EXPECT_EQ(v.kind(), ViolationKind::kStoreClearance);
+    EXPECT_EQ(v.address(), Vm::kBase + 0x100);
+  }
+}
+
+TEST_F(DiftCore, StoreClearanceAdmitsAllowedFlow) {
+  policy_.protect_store(Vm::kBase + 0x100, 16, hc_);
+  vm_.core.set_policy(&policy_);
+  load_asm([](auto& a) {
+    a.li(t0, 0x80000100);
+    a.sw(a0, t0, 0);
+    a.li(a2, 1);
+  });
+  set_reg(a0, 5, lc_);  // LC flows to HC
+  EXPECT_NO_THROW(vm_.core.run(4));
+  EXPECT_EQ(vm_.reg(a2), 1u);
+}
+
+TEST_F(DiftCore, StoresOutsideProtectedRegionUnaffected) {
+  policy_.protect_store(Vm::kBase + 0x100, 16, lc_);
+  vm_.core.set_policy(&policy_);
+  load_asm([](auto& a) {
+    a.li(t0, 0x80000200);
+    a.sw(a0, t0, 0);
+    a.li(a2, 1);
+  });
+  set_reg(a0, 5, hc_);
+  EXPECT_NO_THROW(vm_.core.run(4));
+}
+
+// Disabled checks: the same programs run clean without execution clearance.
+TEST_F(DiftCore, ChecksDisengagedByDefault) {
+  vm_.core.set_policy(&policy_);  // policy without execution clearance
+  load_asm([](auto& a) {
+    a.beq(a0, a1, "x");
+    a.label("x");
+    a.lw(a2, a0, 0);
+  });
+  set_reg(a0, Vm::kBase, hc_);
+  EXPECT_NO_THROW(vm_.core.run(2));
+  EXPECT_EQ(vm_.tag(a2), dift::kBottomTag);  // code bytes untagged
+}
+
+}  // namespace

@@ -1,0 +1,493 @@
+// ISA-level semantics tests for the RV32IM core (plain instantiation).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "micro_vm.hpp"
+#include "rv/csr.hpp"
+
+namespace {
+
+using namespace vpdift;
+using namespace vpdift::rvasm::reg;
+using testutil::MicroVm;
+using Vm = MicroVm<rv::PlainWord>;
+
+Vm& run_asm(Vm& vm, const std::function<void(rvasm::Assembler&)>& emit,
+            std::uint64_t steps) {
+  rvasm::Assembler a(Vm::kBase);
+  emit(a);
+  vm.load(a.assemble());
+  vm.core.run(steps);
+  return vm;
+}
+
+TEST(Exec, AddSubWrapAround) {
+  Vm vm;
+  run_asm(vm, [](auto& a) {
+    a.li(a0, 0x7fffffff);
+    a.li(a1, 1);
+    a.add(a2, a0, a1);
+    a.sub(a3, a1, a0);
+  }, 6);
+  EXPECT_EQ(vm.reg(a2), 0x80000000u);
+  EXPECT_EQ(vm.reg(a3), 0x80000002u);
+}
+
+TEST(Exec, X0IsHardwiredZero) {
+  Vm vm;
+  run_asm(vm, [](auto& a) {
+    a.li(a0, 7);
+    a.add(x0, a0, a0);
+    a.mv(a1, x0);
+  }, 3);
+  EXPECT_EQ(vm.reg(x0), 0u);
+  EXPECT_EQ(vm.reg(a1), 0u);
+}
+
+TEST(Exec, LogicOps) {
+  Vm vm;
+  run_asm(vm, [](auto& a) {
+    a.li(a0, 0xf0f0);
+    a.li(a1, 0x0ff0);
+    a.and_(a2, a0, a1);
+    a.or_(a3, a0, a1);
+    a.xor_(a4, a0, a1);
+    a.not_(a5, a0);
+  }, 8);
+  EXPECT_EQ(vm.reg(a2), 0x00f0u);
+  EXPECT_EQ(vm.reg(a3), 0xfff0u);
+  EXPECT_EQ(vm.reg(a4), 0xff00u);
+  EXPECT_EQ(vm.reg(a5), 0xffff0f0fu);
+}
+
+TEST(Exec, ShiftsArithmeticAndLogical) {
+  Vm vm;
+  run_asm(vm, [](auto& a) {
+    a.li(a0, 0x80000000);
+    a.srai(a1, a0, 4);
+    a.srli(a2, a0, 4);
+    a.slli(a3, a0, 1);
+    a.li(t0, 36);      // shift amounts use only the low 5 bits
+    a.srl(a4, a0, t0);
+  }, 8);
+  EXPECT_EQ(vm.reg(a1), 0xf8000000u);
+  EXPECT_EQ(vm.reg(a2), 0x08000000u);
+  EXPECT_EQ(vm.reg(a3), 0u);
+  EXPECT_EQ(vm.reg(a4), 0x08000000u);
+}
+
+TEST(Exec, SetLessThanSignedUnsigned) {
+  Vm vm;
+  run_asm(vm, [](auto& a) {
+    a.li(a0, -1);
+    a.li(a1, 1);
+    a.slt(a2, a0, a1);
+    a.sltu(a3, a0, a1);
+    a.slti(a4, a0, 0);
+    a.sltiu(a5, a0, 0);
+  }, 8);
+  EXPECT_EQ(vm.reg(a2), 1u);
+  EXPECT_EQ(vm.reg(a3), 0u);  // 0xffffffff unsigned is large
+  EXPECT_EQ(vm.reg(a4), 1u);
+  EXPECT_EQ(vm.reg(a5), 0u);
+}
+
+TEST(Exec, MulFamily) {
+  Vm vm;
+  run_asm(vm, [](auto& a) {
+    a.li(a0, -7);
+    a.li(a1, 3);
+    a.mul(a2, a0, a1);
+    a.mulh(a3, a0, a1);
+    a.mulhu(a4, a0, a1);
+    a.mulhsu(a5, a0, a1);
+  }, 8);
+  EXPECT_EQ(vm.reg(a2), static_cast<std::uint32_t>(-21));
+  EXPECT_EQ(vm.reg(a3), 0xffffffffu);  // sign extension of -21
+  // mulhu: 0xfffffff9 * 3 = 0x2_FFFF_FFEB -> high = 2
+  EXPECT_EQ(vm.reg(a4), 2u);
+  // mulhsu: (-7) * 3u -> -21 -> high = -1
+  EXPECT_EQ(vm.reg(a5), 0xffffffffu);
+}
+
+TEST(Exec, DivRemSpecialCases) {
+  Vm vm;
+  run_asm(vm, [](auto& a) {
+    a.li(a0, 7);
+    a.li(a1, 0);
+    a.div_(a2, a0, a1);   // div by zero -> -1
+    a.rem(a3, a0, a1);    // rem by zero -> dividend
+    a.li(a0, INT32_MIN);
+    a.li(a1, -1);
+    a.div_(a4, a0, a1);   // overflow -> INT32_MIN
+    a.rem(a5, a0, a1);    // overflow -> 0
+    a.li(a0, -7);
+    a.li(a1, 2);
+    a.div_(a6, a0, a1);   // truncating: -3
+    a.rem(a7, a0, a1);    // sign of dividend: -1
+  }, 20);
+  EXPECT_EQ(vm.reg(a2), 0xffffffffu);
+  EXPECT_EQ(vm.reg(a3), 7u);
+  EXPECT_EQ(vm.reg(a4), 0x80000000u);
+  EXPECT_EQ(vm.reg(a5), 0u);
+  EXPECT_EQ(vm.reg(a6), static_cast<std::uint32_t>(-3));
+  EXPECT_EQ(vm.reg(a7), static_cast<std::uint32_t>(-1));
+}
+
+TEST(Exec, LoadStoreWidthsAndSignExtension) {
+  Vm vm;
+  run_asm(vm, [](auto& a) {
+    a.la(t0, "buf");
+    a.li(a0, 0xdeadbeef);
+    a.sw(a0, t0, 0);
+    a.lb(a1, t0, 3);   // 0xde sign-extends
+    a.lbu(a2, t0, 3);
+    a.lh(a3, t0, 2);   // 0xdead sign-extends
+    a.lhu(a4, t0, 2);
+    a.lw(a5, t0, 0);
+    a.li(a6, 0x1234);
+    a.sh(a6, t0, 4);
+    a.lhu(a7, t0, 4);
+    a.j("end");
+    a.align(4);
+    a.label("buf");
+    a.zero_fill(16);
+    a.label("end");
+  }, 14);
+  EXPECT_EQ(vm.reg(a1), 0xffffffdeu);
+  EXPECT_EQ(vm.reg(a2), 0xdeu);
+  EXPECT_EQ(vm.reg(a3), 0xffffdeadu);
+  EXPECT_EQ(vm.reg(a4), 0xdeadu);
+  EXPECT_EQ(vm.reg(a5), 0xdeadbeefu);
+  EXPECT_EQ(vm.reg(a7), 0x1234u);
+}
+
+TEST(Exec, BranchesTakenAndNotTaken) {
+  Vm vm;
+  run_asm(vm, [](auto& a) {
+    a.li(a0, 5);
+    a.li(a1, 5);
+    a.li(a2, 0);
+    a.beq(a0, a1, "taken");
+    a.li(a2, 99);  // skipped
+    a.label("taken");
+    a.li(a3, 0);
+    a.bne(a0, a1, "nottaken");
+    a.li(a3, 7);   // executed
+    a.label("nottaken");
+    a.li(a4, -1);
+    a.li(a5, 1);
+    a.li(a6, 0);
+    a.blt(a4, a5, "lt");
+    a.li(a6, 99);
+    a.label("lt");
+    a.li(a7, 0);
+    a.bltu(a4, a5, "ltu");  // unsigned: not taken
+    a.li(a7, 7);
+    a.label("ltu");
+  }, 20);
+  EXPECT_EQ(vm.reg(a2), 0u);
+  EXPECT_EQ(vm.reg(a3), 7u);
+  EXPECT_EQ(vm.reg(a6), 0u);
+  EXPECT_EQ(vm.reg(a7), 7u);
+}
+
+TEST(Exec, JalAndJalrLink) {
+  Vm vm;
+  run_asm(vm, [](auto& a) {
+    a.jal(ra, "f");      // at base+0, links base+4
+    a.li(a1, 1);         // at base+4 (after return)
+    a.j("end");
+    a.label("f");
+    a.mv(a0, ra);
+    a.ret();
+    a.label("end");
+  }, 6);
+  EXPECT_EQ(vm.reg(a0), Vm::kBase + 4);
+  EXPECT_EQ(vm.reg(a1), 1u);
+}
+
+TEST(Exec, AuipcIsPcRelative) {
+  Vm vm;
+  run_asm(vm, [](auto& a) {
+    a.nop();
+    a.auipc(a0, 1);  // pc = base+4 -> a0 = base+4+0x1000
+  }, 2);
+  EXPECT_EQ(vm.reg(a0), Vm::kBase + 4 + 0x1000);
+}
+
+TEST(Exec, InstretCounts) {
+  Vm vm;
+  run_asm(vm, [](auto& a) {
+    for (int i = 0; i < 10; ++i) a.nop();
+  }, 10);
+  EXPECT_EQ(vm.core.instret(), 10u);
+}
+
+// ---- traps and CSRs ----
+
+TEST(Traps, EcallVectorsToMtvec) {
+  Vm vm;
+  run_asm(vm, [](auto& a) {
+    a.la(t0, "handler");
+    a.csrrw(zero, rv::csr::kMtvec, t0);
+    a.ecall();
+    a.li(a0, 99);  // must be skipped
+    a.label("handler");
+    a.csrrs(a1, rv::csr::kMcause, zero);
+    a.csrrs(a2, rv::csr::kMepc, zero);
+  }, 6);
+  EXPECT_EQ(vm.reg(a0), 0u);
+  EXPECT_EQ(vm.reg(a1), rv::kCauseEcallM);
+  EXPECT_EQ(vm.reg(a2), Vm::kBase + 12);  // pc of the ecall (after 2-insn la + csrrw)
+}
+
+TEST(Traps, IllegalInstructionSetsMtval) {
+  Vm vm;
+  run_asm(vm, [](auto& a) {
+    a.la(t0, "handler");
+    a.csrrw(zero, rv::csr::kMtvec, t0);
+    a.insn(0xffffffff);
+    a.label("handler");
+    a.csrrs(a1, rv::csr::kMcause, zero);
+    a.csrrs(a2, rv::csr::kMtval, zero);
+  }, 6);
+  EXPECT_EQ(vm.reg(a1), rv::kCauseIllegalInsn);
+  EXPECT_EQ(vm.reg(a2), 0xffffffffu);
+}
+
+TEST(Traps, MretReturnsAndRestoresMie) {
+  Vm vm;
+  run_asm(vm, [](auto& a) {
+    a.la(t0, "handler");
+    a.csrrw(zero, rv::csr::kMtvec, t0);
+    a.csrrsi(zero, rv::csr::kMstatus, 8);  // MIE=1
+    a.ecall();
+    a.li(a0, 42);  // resumed here after mret
+    a.j("end");
+    a.label("handler");
+    a.csrrs(t1, rv::csr::kMepc, zero);
+    a.addi(t1, t1, 4);  // skip the ecall
+    a.csrrw(zero, rv::csr::kMepc, t1);
+    a.csrrs(a1, rv::csr::kMstatus, zero);  // inside handler: MIE=0, MPIE=1
+    a.mret();
+    a.label("end");
+    a.csrrs(a2, rv::csr::kMstatus, zero);  // after mret: MIE=1
+  }, 14);
+  EXPECT_EQ(vm.reg(a0), 42u);
+  EXPECT_EQ(vm.reg(a1) & rv::kMstatusMie, 0u);
+  EXPECT_NE(vm.reg(a1) & rv::kMstatusMpie, 0u);
+  EXPECT_NE(vm.reg(a2) & rv::kMstatusMie, 0u);
+}
+
+TEST(Traps, LoadAccessFaultOnUnmappedAddress) {
+  Vm vm;
+  run_asm(vm, [](auto& a) {
+    a.la(t0, "handler");
+    a.csrrw(zero, rv::csr::kMtvec, t0);
+    a.li(t1, 0x40000000);  // nothing mapped there
+    a.lw(a0, t1, 0);
+    a.label("handler");
+    a.csrrs(a1, rv::csr::kMcause, zero);
+    a.csrrs(a2, rv::csr::kMtval, zero);
+  }, 8);
+  EXPECT_EQ(vm.reg(a1), rv::kCauseLoadAccessFault);
+  EXPECT_EQ(vm.reg(a2), 0x40000000u);
+}
+
+TEST(Traps, StoreAccessFault) {
+  Vm vm;
+  run_asm(vm, [](auto& a) {
+    a.la(t0, "handler");
+    a.csrrw(zero, rv::csr::kMtvec, t0);
+    a.li(t1, 0x40000000);
+    a.sw(t1, t1, 0);
+    a.label("handler");
+    a.csrrs(a1, rv::csr::kMcause, zero);
+    a.label("stay");
+    a.j("stay");
+  }, 8);
+  EXPECT_EQ(vm.reg(a1), rv::kCauseStoreAccessFault);
+}
+
+TEST(Traps, MisalignedJumpTarget) {
+  // With the C extension IALIGN=16, so only odd targets are misaligned
+  // (jalr clears bit 0 per spec; branches/jal with odd displacement trap).
+  Vm vm;
+  run_asm(vm, [](auto& a) {
+    a.la(t0, "handler");
+    a.csrrw(zero, rv::csr::kMtvec, t0);
+    a.li(t1, 0x80000403);  // odd after jalr's bit-0 clear? 0x...403 & ~1 = 0x...402
+    a.jalr(zero, t1, 0);   // lands at 0x80000402: legal (2-aligned), zeros there
+    a.label("handler");
+    a.csrrs(a1, rv::csr::kMcause, zero);
+    a.csrrs(a2, rv::csr::kMtval, zero);
+  }, 8);
+  // The zeros at the landing pad decode as the defined-illegal parcel.
+  EXPECT_EQ(vm.reg(a1), rv::kCauseIllegalInsn);
+}
+
+TEST(Csr, ReadWriteSetClear) {
+  Vm vm;
+  run_asm(vm, [](auto& a) {
+    a.li(t0, 0xff);
+    a.csrrw(a0, rv::csr::kMscratch, t0);  // old = 0
+    a.li(t1, 0x0f);
+    a.csrrc(a1, rv::csr::kMscratch, t1);  // old = 0xff, new = 0xf0
+    a.csrrsi(a2, rv::csr::kMscratch, 1);  // old = 0xf0, new = 0xf1
+    a.csrrs(a3, rv::csr::kMscratch, zero);  // read only
+  }, 8);
+  EXPECT_EQ(vm.reg(a0), 0u);
+  EXPECT_EQ(vm.reg(a1), 0xffu);
+  EXPECT_EQ(vm.reg(a2), 0xf0u);
+  EXPECT_EQ(vm.reg(a3), 0xf1u);
+}
+
+TEST(Csr, UnknownCsrTraps) {
+  Vm vm;
+  run_asm(vm, [](auto& a) {
+    a.la(t0, "handler");
+    a.csrrw(zero, rv::csr::kMtvec, t0);
+    a.csrrw(a0, 0x123, zero);  // unimplemented CSR
+    a.label("handler");
+    a.csrrs(a1, rv::csr::kMcause, zero);
+  }, 6);
+  EXPECT_EQ(vm.reg(a1), rv::kCauseIllegalInsn);
+}
+
+TEST(Csr, WriteToReadOnlyCsrTraps) {
+  Vm vm;
+  run_asm(vm, [](auto& a) {
+    a.la(t0, "handler");
+    a.csrrw(zero, rv::csr::kMtvec, t0);
+    a.csrrw(a0, rv::csr::kCycle, t0);  // 0xc00 is read-only space
+    a.label("handler");
+    a.csrrs(a1, rv::csr::kMcause, zero);
+  }, 6);
+  EXPECT_EQ(vm.reg(a1), rv::kCauseIllegalInsn);
+}
+
+TEST(Csr, InstretShadowCounts) {
+  Vm vm;
+  run_asm(vm, [](auto& a) {
+    a.nop();
+    a.nop();
+    a.csrrs(a0, rv::csr::kInstret, zero);
+  }, 3);
+  EXPECT_EQ(vm.reg(a0), 2u);
+}
+
+// ---- interrupts ----
+
+TEST(Interrupts, TimerInterruptTaken) {
+  Vm vm;
+  rvasm::Assembler a(Vm::kBase);
+  a.la(t0, "handler");
+  a.csrrw(zero, rv::csr::kMtvec, t0);
+  a.li(t0, rv::kIrqMtimer);
+  a.csrrs(zero, rv::csr::kMie, t0);
+  a.csrrsi(zero, rv::csr::kMstatus, 8);
+  a.label("spin");
+  a.j("spin");
+  a.label("handler");
+  a.csrrs(a1, rv::csr::kMcause, zero);
+  a.label("stay");
+  a.j("stay");
+  vm.load(a.assemble());
+  vm.core.run(6);  // setup + some spinning
+  vm.core.set_irq(rv::kIrqMtimer, true);
+  vm.core.run(4);
+  EXPECT_EQ(vm.reg(a1), rv::kIrqBit | 7u);
+}
+
+TEST(Interrupts, MaskedWhenMieClear) {
+  Vm vm;
+  rvasm::Assembler a(Vm::kBase);
+  a.la(t0, "handler");
+  a.csrrw(zero, rv::csr::kMtvec, t0);
+  a.li(t0, rv::kIrqMtimer);
+  a.csrrs(zero, rv::csr::kMie, t0);
+  // mstatus.MIE left 0: interrupt must not be taken.
+  a.li(a1, 77);
+  a.label("spin");
+  a.j("spin");
+  a.label("handler");
+  a.li(a1, 1);
+  vm.load(a.assemble());
+  vm.core.set_irq(rv::kIrqMtimer, true);
+  vm.core.run(20);
+  EXPECT_EQ(vm.reg(a1), 77u);
+}
+
+TEST(Interrupts, PriorityExternalOverSoftwareOverTimer) {
+  Vm vm;
+  rvasm::Assembler a(Vm::kBase);
+  a.la(t0, "handler");
+  a.csrrw(zero, rv::csr::kMtvec, t0);
+  a.li(t0, rv::kIrqMtimer | rv::kIrqMsoft | rv::kIrqMext);
+  a.csrrs(zero, rv::csr::kMie, t0);
+  a.csrrsi(zero, rv::csr::kMstatus, 8);
+  a.label("spin");
+  a.j("spin");
+  a.label("handler");
+  a.csrrs(a1, rv::csr::kMcause, zero);
+  a.label("stay");
+  a.j("stay");
+  vm.load(a.assemble());
+  vm.core.set_irq(rv::kIrqMtimer, true);
+  vm.core.set_irq(rv::kIrqMsoft, true);
+  vm.core.set_irq(rv::kIrqMext, true);
+  vm.core.run(10);
+  EXPECT_EQ(vm.reg(a1), rv::kIrqBit | 11u);  // MEI wins
+}
+
+TEST(Interrupts, WfiStallsUntilPendingEvenWhenMasked) {
+  Vm vm;
+  rvasm::Assembler a(Vm::kBase);
+  a.li(a1, 1);
+  a.wfi();
+  a.li(a1, 2);
+  a.label("stay");
+  a.j("stay");
+  vm.load(a.assemble());
+  auto exit = vm.core.run(100);
+  EXPECT_EQ(exit, rv::RunExit::kWfi);
+  EXPECT_TRUE(vm.core.in_wfi());
+  EXPECT_EQ(vm.reg(a1), 1u);
+  // Pending+enabled wakes WFI even with mstatus.MIE = 0 (no trap taken).
+  vm.core.csrs().mie = rv::kIrqMtimer;
+  vm.core.set_irq(rv::kIrqMtimer, true);
+  vm.core.run(3);
+  EXPECT_FALSE(vm.core.in_wfi());
+  EXPECT_EQ(vm.reg(a1), 2u);
+}
+
+// Randomised ALU property: firmware computation matches a host-side mirror.
+TEST(ExecProperty, RandomAluProgramsMatchHost) {
+  std::mt19937 rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint32_t x = rng(), y = rng() | 1;  // avoid div-by-0
+    Vm vm;
+    run_asm(vm, [&](auto& a) {
+      a.li(s0, static_cast<std::int64_t>(x));
+      a.li(s1, static_cast<std::int64_t>(y));
+      a.add(a0, s0, s1);
+      a.sub(a1, s0, s1);
+      a.xor_(a2, s0, s1);
+      a.mul(a3, s0, s1);
+      a.divu(a4, s0, s1);
+      a.remu(a5, s0, s1);
+      a.sltu(a6, s0, s1);
+    }, 12);
+    EXPECT_EQ(vm.reg(a0), x + y);
+    EXPECT_EQ(vm.reg(a1), x - y);
+    EXPECT_EQ(vm.reg(a2), x ^ y);
+    EXPECT_EQ(vm.reg(a3), x * y);
+    EXPECT_EQ(vm.reg(a4), x / y);
+    EXPECT_EQ(vm.reg(a5), x % y);
+    EXPECT_EQ(vm.reg(a6), x < y ? 1u : 0u);
+  }
+}
+
+}  // namespace

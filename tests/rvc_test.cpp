@@ -1,0 +1,366 @@
+// RV32C compressed-instruction tests: decoder expansion, assembler
+// round-trips, and mixed 16/32-bit execution on both core instantiations.
+#include <gtest/gtest.h>
+
+#include "dift/context.hpp"
+#include "micro_vm.hpp"
+#include "rv/decode.hpp"
+#include "fw/hal.hpp"
+#include "rvasm/assembler.hpp"
+#include "vp/vp.hpp"
+
+namespace {
+
+using namespace vpdift;
+using namespace vpdift::rvasm::reg;
+using rvasm::Assembler;
+using testutil::MicroVm;
+
+std::uint16_t first_half(const rvasm::Program& p) {
+  const auto& b = p.segments.front().bytes;
+  return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+}
+
+rv::Insn encode16_one(const std::function<void(Assembler&)>& emit) {
+  Assembler a(0x80000000);
+  emit(a);
+  return rv::decode16(first_half(a.assemble()));
+}
+
+// ---- decoder expansion round-trips through the assembler ----
+
+TEST(Rvc, AddiLiNop) {
+  auto d = encode16_one([](auto& a) { a.c_addi(s3, -5); });
+  EXPECT_EQ(d.op, rv::Op::kAddi);
+  EXPECT_EQ(d.rd, s3);
+  EXPECT_EQ(d.rs1, s3);
+  EXPECT_EQ(d.imm, -5);
+  EXPECT_EQ(d.len, 2);
+
+  d = encode16_one([](auto& a) { a.c_li(t2, 31); });
+  EXPECT_EQ(d.op, rv::Op::kAddi);
+  EXPECT_EQ(d.rs1, 0);
+  EXPECT_EQ(d.imm, 31);
+
+  d = encode16_one([](auto& a) { a.c_nop(); });
+  EXPECT_EQ(d.op, rv::Op::kAddi);
+  EXPECT_EQ(d.rd, 0);
+}
+
+TEST(Rvc, LuiAndSpAdjust) {
+  auto d = encode16_one([](auto& a) { a.c_lui(a1, -2); });
+  EXPECT_EQ(d.op, rv::Op::kLui);
+  EXPECT_EQ(d.rd, a1);
+  EXPECT_EQ(d.imm, -2 << 12);
+
+  d = encode16_one([](auto& a) { a.c_addi16sp(-64); });
+  EXPECT_EQ(d.op, rv::Op::kAddi);
+  EXPECT_EQ(d.rd, sp);
+  EXPECT_EQ(d.rs1, sp);
+  EXPECT_EQ(d.imm, -64);
+
+  d = encode16_one([](auto& a) { a.c_addi4spn(a2, 64); });
+  EXPECT_EQ(d.op, rv::Op::kAddi);
+  EXPECT_EQ(d.rd, a2);
+  EXPECT_EQ(d.rs1, sp);
+  EXPECT_EQ(d.imm, 64);
+}
+
+TEST(Rvc, MemoryForms) {
+  auto d = encode16_one([](auto& a) { a.c_lw(a0, a1, 64); });
+  EXPECT_EQ(d.op, rv::Op::kLw);
+  EXPECT_EQ(d.rd, a0);
+  EXPECT_EQ(d.rs1, a1);
+  EXPECT_EQ(d.imm, 64);
+
+  d = encode16_one([](auto& a) { a.c_sw(s0, s1, 124); });
+  EXPECT_EQ(d.op, rv::Op::kSw);
+  EXPECT_EQ(d.rs2, s0);
+  EXPECT_EQ(d.rs1, s1);
+  EXPECT_EQ(d.imm, 124);
+
+  d = encode16_one([](auto& a) { a.c_lwsp(t3, 248); });
+  EXPECT_EQ(d.op, rv::Op::kLw);
+  EXPECT_EQ(d.rd, t3);
+  EXPECT_EQ(d.rs1, sp);
+  EXPECT_EQ(d.imm, 248);
+
+  d = encode16_one([](auto& a) { a.c_swsp(ra, 252); });
+  EXPECT_EQ(d.op, rv::Op::kSw);
+  EXPECT_EQ(d.rs2, ra);
+  EXPECT_EQ(d.rs1, sp);
+  EXPECT_EQ(d.imm, 252);
+}
+
+TEST(Rvc, AluForms) {
+  auto d = encode16_one([](auto& a) { a.c_mv(t0, t1); });
+  EXPECT_EQ(d.op, rv::Op::kAdd);
+  EXPECT_EQ(d.rd, t0);
+  EXPECT_EQ(d.rs1, 0);
+  EXPECT_EQ(d.rs2, t1);
+
+  d = encode16_one([](auto& a) { a.c_add(a0, a1); });
+  EXPECT_EQ(d.op, rv::Op::kAdd);
+  EXPECT_EQ(d.rs1, a0);
+  EXPECT_EQ(d.rs2, a1);
+
+  d = encode16_one([](auto& a) { a.c_sub(a0, a1); });
+  EXPECT_EQ(d.op, rv::Op::kSub);
+  d = encode16_one([](auto& a) { a.c_xor(a2, a3); });
+  EXPECT_EQ(d.op, rv::Op::kXor);
+  d = encode16_one([](auto& a) { a.c_or(s0, s1); });
+  EXPECT_EQ(d.op, rv::Op::kOr);
+  d = encode16_one([](auto& a) { a.c_and(a4, a5); });
+  EXPECT_EQ(d.op, rv::Op::kAnd);
+
+  d = encode16_one([](auto& a) { a.c_andi(a0, -9); });
+  EXPECT_EQ(d.op, rv::Op::kAndi);
+  EXPECT_EQ(d.imm, -9);
+  d = encode16_one([](auto& a) { a.c_srli(a0, 7); });
+  EXPECT_EQ(d.op, rv::Op::kSrli);
+  EXPECT_EQ(d.imm, 7);
+  d = encode16_one([](auto& a) { a.c_srai(a0, 31); });
+  EXPECT_EQ(d.op, rv::Op::kSrai);
+  d = encode16_one([](auto& a) { a.c_slli(t4, 12); });
+  EXPECT_EQ(d.op, rv::Op::kSlli);
+  EXPECT_EQ(d.rd, t4);
+  EXPECT_EQ(d.imm, 12);
+}
+
+TEST(Rvc, ControlFlowForms) {
+  auto d = encode16_one([](auto& a) { a.c_jr(ra); });
+  EXPECT_EQ(d.op, rv::Op::kJalr);
+  EXPECT_EQ(d.rd, 0);
+  EXPECT_EQ(d.rs1, ra);
+
+  d = encode16_one([](auto& a) { a.c_jalr(t0); });
+  EXPECT_EQ(d.op, rv::Op::kJalr);
+  EXPECT_EQ(d.rd, ra);
+
+  d = encode16_one([](auto& a) { a.c_ebreak(); });
+  EXPECT_EQ(d.op, rv::Op::kEbreak);
+
+  // Jumps and branches with label fixups.
+  {
+    Assembler a(0x80000000);
+    a.c_j("fwd");
+    a.c_nop();
+    a.label("fwd");
+    const auto dj = rv::decode16(first_half(a.assemble()));
+    EXPECT_EQ(dj.op, rv::Op::kJal);
+    EXPECT_EQ(dj.rd, 0);
+    EXPECT_EQ(dj.imm, 4);
+  }
+  {
+    Assembler a(0x80000000);
+    a.label("back");
+    a.c_nop();
+    a.c_bnez(a0, "back");
+    const auto prog = a.assemble();
+    const auto& b = prog.segments.front().bytes;
+    const auto db = rv::decode16(static_cast<std::uint16_t>(b[2] | (b[3] << 8)));
+    EXPECT_EQ(db.op, rv::Op::kBne);
+    EXPECT_EQ(db.rs1, a0);
+    EXPECT_EQ(db.rs2, 0);
+    EXPECT_EQ(db.imm, -2);
+  }
+}
+
+TEST(Rvc, IllegalEncodings) {
+  EXPECT_EQ(rv::decode16(0x0000).op, rv::Op::kIllegal);  // defined illegal
+  // FP loads (C.FLW, quadrant 0 f3=011) are unsupported.
+  EXPECT_EQ(rv::decode16(0x6000).op, rv::Op::kIllegal);
+  // decode_any dispatches by the low bits.
+  EXPECT_EQ(rv::decode_any(0x0001).len, 2);   // c.nop
+  EXPECT_EQ(rv::decode_any(0x00000013).len, 4);  // addi x0,x0,0
+}
+
+TEST(Rvc, AssemblerRejectsInvalidOperands) {
+  Assembler a(0x80000000);
+  EXPECT_THROW(a.c_lw(t0, a0, 4), rvasm::AsmError);   // t0 not in x8..x15
+  EXPECT_THROW(a.c_lw(a0, a1, 3), rvasm::AsmError);   // unaligned offset
+  EXPECT_THROW(a.c_addi(a0, 32), rvasm::AsmError);    // imm6 range
+  EXPECT_THROW(a.c_lui(sp, 1), rvasm::AsmError);      // rd = x2 reserved
+  EXPECT_THROW(a.c_addi16sp(8), rvasm::AsmError);     // not 16-aligned
+  EXPECT_THROW(a.c_mv(a0, zero), rvasm::AsmError);
+  EXPECT_THROW(a.c_lwsp(zero, 0), rvasm::AsmError);
+}
+
+// ---- execution of mixed 16/32-bit code ----
+
+TEST(RvcExec, MixedWidthProgramComputesCorrectly) {
+  MicroVm<rv::PlainWord> vm;
+  Assembler a(0x80000000);
+  a.c_li(a0, 10);        // 2 bytes
+  a.addi(a1, a0, 100);   // 4 bytes at offset 2 (misaligned-by-4 is fine)
+  a.c_add(a1, a0);       // a1 = 120
+  a.c_slli(a1, 1);       // a1 = 240
+  a.c_mv(a2, a1);
+  a.c_andi(a2, 0xf);     // a2 = 240 & 0xf = 0
+  a.c_sub(a2, a2);       // wait: a2 - a2 = 0
+  vm.load(a.assemble());
+  vm.core.run(7);
+  EXPECT_EQ(vm.reg(a1), 240u);
+  EXPECT_EQ(vm.reg(a2), 0u);
+  EXPECT_EQ(vm.core.pc(), 0x80000000u + 2 + 4 + 2 + 2 + 2 + 2 + 2);
+}
+
+TEST(RvcExec, CompressedJumpAndLink) {
+  MicroVm<rv::PlainWord> vm;
+  Assembler a(0x80000000);
+  a.c_jal("f");          // 2-byte jal: links pc+2
+  a.c_li(a1, 7);         // executed after return
+  a.label("stay");
+  a.c_j("stay");
+  a.label("f");
+  a.c_mv(a0, ra);
+  a.c_jr(ra);
+  vm.load(a.assemble());
+  vm.core.run(5);
+  EXPECT_EQ(vm.reg(a0), 0x80000002u);  // link = pc + 2
+  EXPECT_EQ(vm.reg(a1), 7u);
+}
+
+TEST(RvcExec, CompressedBranchAndMemory) {
+  MicroVm<rv::PlainWord> vm;
+  Assembler a(0x80000000);
+  a.la(s0, "buf");
+  a.c_li(a0, 21);
+  a.c_sw(a0, s0, 4);
+  a.c_lw(a1, s0, 4);
+  a.c_beqz(a1, "fail");
+  a.c_bnez(a1, "ok");
+  a.label("fail");
+  a.c_li(a2, 1);
+  a.label("ok");
+  a.c_li(a3, 9);
+  a.j("end");
+  a.align(8);
+  a.label("buf");
+  a.zero_fill(16);
+  a.label("end");
+  vm.load(a.assemble());
+  vm.core.run(9);
+  EXPECT_EQ(vm.reg(a1), 21u);
+  EXPECT_EQ(vm.reg(a2), 0u);  // fail path skipped
+  EXPECT_EQ(vm.reg(a3), 9u);
+}
+
+TEST(RvcExec, StackFormsAndSpAdjust) {
+  MicroVm<rv::PlainWord> vm;
+  Assembler a(0x80000000);
+  a.li(sp, 0x80008000);
+  a.c_addi16sp(-32);
+  a.c_li(a0, 13);
+  a.c_swsp(a0, 12);
+  a.c_lwsp(a1, 12);
+  a.c_addi4spn(a2, 12);  // a2 = sp + 12
+  a.c_addi16sp(32);
+  vm.load(a.assemble());
+  vm.core.run(8);
+  EXPECT_EQ(vm.reg(a1), 13u);
+  EXPECT_EQ(vm.reg(a2), 0x80008000u - 32 + 12);
+  EXPECT_EQ(vm.reg(sp), 0x80008000u);
+}
+
+TEST(RvcExec, TaintPropagatesThroughCompressedOps) {
+  dift::Lattice l = dift::Lattice::ifp1();
+  dift::DiftContext ctx(l);
+  MicroVm<rv::TaintedWord> vm;
+  Assembler a(0x80000000);
+  a.c_add(a2, a0);   // a2 += a0 (a2 starts 0)
+  a.c_mv(a3, a2);
+  a.c_slli(a3, 2);
+  vm.load(a.assemble());
+  vm.core.set_reg(a0, dift::Taint<std::uint32_t>(5, l.tag_of("HC")));
+  vm.core.run(3);
+  EXPECT_EQ(vm.reg(a3), 20u);
+  EXPECT_EQ(vm.tag(a2), l.tag_of("HC"));
+  EXPECT_EQ(vm.tag(a3), l.tag_of("HC"));
+}
+
+TEST(RvcExec, FetchClearanceSeesCompressedParcelBytes) {
+  dift::Lattice l = dift::Lattice::ifp1();
+  dift::DiftContext ctx(l);
+  MicroVm<rv::TaintedWord> vm;
+  dift::SecurityPolicy policy(l);
+  dift::ExecutionClearance ec;
+  ec.fetch = l.tag_of("LC");
+  policy.set_execution_clearance(ec);
+  vm.core.set_policy(&policy);
+  Assembler a(0x80000000);
+  a.c_nop();
+  a.c_nop();
+  vm.load(a.assemble());
+  vm.ram.classify(2, 2, l.tag_of("HC"));  // second (compressed) parcel
+  vm.core.run(1);  // first parcel fine
+  EXPECT_THROW(vm.core.run(1), dift::PolicyViolation);
+}
+
+TEST(RvcExec, JumpToTwoByteAlignedTargetIsLegal) {
+  // With the C extension IALIGN=16: a 32-bit jal may land on pc%4==2.
+  MicroVm<rv::PlainWord> vm;
+  Assembler a(0x80000000);
+  a.c_nop();           // puts the next instruction at +2
+  a.label("target");
+  a.c_li(a0, 3);
+  a.j("end");
+  a.align(4);
+  a.label("entry");
+  a.jal(zero, "target");
+  a.label("end");
+  a.c_li(a1, 4);
+  const auto prog = a.assemble();
+  vm.load(prog);
+  vm.core.set_pc(static_cast<std::uint32_t>(prog.symbol("entry")));
+  vm.core.run(4);
+  EXPECT_EQ(vm.reg(a0), 3u);
+  EXPECT_EQ(vm.reg(a1), 4u);
+}
+
+}  // namespace
+
+namespace {
+
+// Full-VP integration: a compressed-instruction firmware runs to completion
+// on both platform variants (exercises the decode cache at halfword
+// granularity inside the real SoC).
+template <typename VpT>
+void run_compressed_firmware() {
+  using namespace vpdift;
+  using namespace vpdift::rvasm::reg;
+  rvasm::Assembler a(soc::addrmap::kRamBase);
+  a.c_li(a0, 0);   // sum
+  a.c_li(a1, 31);  // i
+  a.label("loop");
+  a.c_add(a0, a1);
+  a.c_addi(a1, -1);
+  a.c_bnez(a1, "loop");
+  // exit(sum == 496 ? 0 : 1)
+  a.li(t1, 496);
+  a.li(a2, 0);
+  a.c_nop();
+  rvasm::Assembler& b = a;
+  b.beq(a0, t1, "good");
+  b.c_li(a2, 1);
+  b.label("good");
+  b.li(t0, fw::mmio::kSysExit);
+  b.sw(a2, t0, 0);
+  b.label("stay");
+  b.c_j("stay");
+  VpT v;
+  v.load(a.assemble());
+  const auto r = v.run(sysc::Time::sec(1));
+  ASSERT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_code, 0u);
+}
+
+TEST(RvcExec, CompressedFirmwareOnPlainVp) {
+  run_compressed_firmware<vp::Vp>();
+}
+
+TEST(RvcExec, CompressedFirmwareOnDiftVp) {
+  run_compressed_firmware<vp::VpDift>();
+}
+
+}  // namespace

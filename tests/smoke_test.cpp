@@ -1,0 +1,34 @@
+#include <gtest/gtest.h>
+#include "fw/benchmarks.hpp"
+#include "vp/vp.hpp"
+
+using namespace vpdift;
+
+TEST(Smoke, PrimesRunsOnPlainVp) {
+  vp::Vp v;
+  v.load(fw::make_primes(200));
+  auto r = v.run(sysc::Time::sec(10));
+  EXPECT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_code, 0u);
+  EXPECT_GT(r.instret, 1000u);
+}
+
+TEST(Smoke, QsortRunsOnPlainVp) {
+  vp::Vp v;
+  v.load(fw::make_qsort(500, 42));
+  auto r = v.run(sysc::Time::sec(10));
+  EXPECT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_code, 0u);
+}
+
+TEST(Smoke, PrimesRunsOnDiftVp) {
+  dift::Lattice l = dift::Lattice::ifp1();
+  dift::SecurityPolicy p(l);
+  vp::VpDift v;
+  v.load(fw::make_primes(200));
+  v.apply_policy(p);
+  auto r = v.run(sysc::Time::sec(10));
+  EXPECT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_code, 0u);
+  EXPECT_FALSE(r.violation);
+}

@@ -1,0 +1,369 @@
+// Unit tests for the threaded peripherals: sensor, DMA, AES engine, CAN.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "dift/context.hpp"
+#include "soc/aes_periph.hpp"
+#include "soc/can.hpp"
+#include "soc/dma.hpp"
+#include "soc/memory.hpp"
+#include "soc/sensor.hpp"
+#include "tlmlite/bus.hpp"
+#include "tlmlite/payload.hpp"
+
+namespace {
+
+using namespace vpdift;
+using tlmlite::Command;
+using tlmlite::Payload;
+using tlmlite::Response;
+
+struct Xfer {
+  static void rw(tlmlite::TargetSocket& sock, Command cmd, std::uint64_t addr,
+                 std::uint8_t* data, dift::Tag* tags, std::uint32_t n) {
+    Payload p;
+    p.command = cmd;
+    p.address = addr;
+    p.data = data;
+    p.tags = tags;
+    p.length = n;
+    sysc::Time d;
+    sock.b_transport(p, d);
+    ASSERT_TRUE(p.ok()) << "addr=" << std::hex << addr;
+  }
+};
+
+class SensorTest : public ::testing::Test {
+ protected:
+  dift::Lattice lattice_ = dift::Lattice::ifp1();
+  dift::DiftContext ctx_{lattice_};
+  sysc::Simulation sim_;
+  soc::Sensor sensor_{sim_, "sensor0", sysc::Time::ms(25)};
+};
+
+TEST_F(SensorTest, GeneratesFramesPeriodicallyWithIrq) {
+  int irqs = 0;
+  sensor_.set_irq([&] { ++irqs; });
+  sensor_.start();
+  sim_.run(sysc::Time::ms(100));
+  EXPECT_EQ(sensor_.frames_generated(), 4u);
+  EXPECT_EQ(irqs, 4);
+}
+
+TEST_F(SensorTest, FrameDataCarriesConfiguredTag) {
+  sensor_.set_data_tag(lattice_.tag_of("HC"));
+  sensor_.start();
+  sim_.run(sysc::Time::ms(30));
+  std::uint8_t buf[8];
+  dift::Tag tags[8];
+  Xfer::rw(sensor_.socket(), Command::kRead, 0, buf, tags, 8);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(tags[i], lattice_.tag_of("HC"));
+    EXPECT_GE(buf[i], 32);  // printable range per the generator
+  }
+}
+
+TEST_F(SensorTest, DataTagRegisterReadsBackAndReconfigures) {
+  std::uint8_t v = lattice_.tag_of("HC");
+  Xfer::rw(sensor_.socket(), Command::kWrite, soc::Sensor::kDataTagReg, &v,
+           nullptr, 1);
+  EXPECT_EQ(sensor_.data_tag(), lattice_.tag_of("HC"));
+  std::uint8_t rd = 0;
+  dift::Tag t = 9;
+  Xfer::rw(sensor_.socket(), Command::kRead, soc::Sensor::kDataTagReg, &rd, &t, 1);
+  EXPECT_EQ(rd, lattice_.tag_of("HC"));
+  EXPECT_EQ(t, dift::kBottomTag);  // the class itself is not confidential
+}
+
+TEST_F(SensorTest, WritingDataTagFromClassifiedDataTripsConversion) {
+  // Mirrors the paper's line 47: `data_tag = *ptr` is a checked conversion.
+  std::uint8_t v = 1;
+  dift::Tag hc = lattice_.tag_of("HC");
+  Payload p;
+  p.command = Command::kWrite;
+  p.address = soc::Sensor::kDataTagReg;
+  p.data = &v;
+  p.tags = &hc;
+  p.length = 1;
+  sysc::Time d;
+  EXPECT_THROW(sensor_.socket().b_transport(p, d), dift::PolicyViolation);
+}
+
+class DmaTest : public ::testing::Test {
+ protected:
+  dift::Lattice lattice_ = dift::Lattice::ifp1();
+  dift::DiftContext ctx_{lattice_};
+  sysc::Simulation sim_;
+  tlmlite::Bus bus_{sim_, "bus0"};
+  soc::Memory ram_{sim_, "ram0", 4096, true};
+  soc::Dma dma_{sim_, "dma0", /*tainted_mode=*/true};
+
+  void SetUp() override {
+    bus_.map(0x80000000, ram_.size(), ram_.socket(), "ram0");
+    bus_.map(0x53000000, 0x100, dma_.socket(), "dma0");
+    dma_.bus_socket().bind(bus_.target_socket());
+    dma_.start();
+  }
+
+  void reg_write(std::uint64_t reg, std::uint32_t v) {
+    std::uint8_t buf[4];
+    std::memcpy(buf, &v, 4);
+    Xfer::rw(dma_.socket(), Command::kWrite, reg, buf, nullptr, 4);
+  }
+  std::uint32_t reg_read(std::uint64_t reg) {
+    std::uint8_t buf[4] = {};
+    Xfer::rw(dma_.socket(), Command::kRead, reg, buf, nullptr, 4);
+    std::uint32_t v;
+    std::memcpy(&v, buf, 4);
+    return v;
+  }
+};
+
+TEST_F(DmaTest, CopiesDataAndTagsBehindTheCpusBack) {
+  // Source: 100 tainted bytes in RAM.
+  for (int i = 0; i < 100; ++i) ram_.data()[i] = static_cast<std::uint8_t>(i);
+  ram_.classify(0, 100, lattice_.tag_of("HC"));
+
+  int irqs = 0;
+  dma_.set_irq([&] { ++irqs; });
+  reg_write(soc::Dma::kSrc, 0x80000000);
+  reg_write(soc::Dma::kDst, 0x80000400);
+  reg_write(soc::Dma::kLen, 100);
+  reg_write(soc::Dma::kCtrl, 1);
+  EXPECT_EQ(reg_read(soc::Dma::kStatus) & 1u, 1u);  // busy
+  sim_.run(sysc::Time::ms(1));
+  EXPECT_EQ(reg_read(soc::Dma::kStatus), 2u);  // done, not busy
+  EXPECT_EQ(irqs, 1);
+  EXPECT_EQ(dma_.transfers_completed(), 1u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(ram_.data()[0x400 + i], static_cast<std::uint8_t>(i));
+    EXPECT_EQ(ram_.tag_at(0x400 + i), lattice_.tag_of("HC")) << i;
+  }
+  EXPECT_EQ(ram_.tag_at(0x400 + 100), dift::kBottomTag);
+}
+
+TEST_F(DmaTest, ZeroLengthTransferCompletesImmediately) {
+  reg_write(soc::Dma::kLen, 0);
+  reg_write(soc::Dma::kCtrl, 1);
+  sim_.run(sysc::Time::ms(1));
+  EXPECT_EQ(reg_read(soc::Dma::kStatus), 2u);
+}
+
+class AesPeriphTest : public ::testing::Test {
+ protected:
+  dift::Lattice lattice_ = dift::Lattice::ifp3();
+  dift::DiftContext ctx_{lattice_};
+  dift::SecurityPolicy policy_{lattice_};
+  sysc::Simulation sim_;
+  soc::AesPeriph aes_{sim_, "aes0"};
+  dift::Tag lcli_ = lattice_.tag_of("(LC,LI)");
+  dift::Tag hchi_ = lattice_.tag_of("(HC,HI)");
+
+  void write_block(std::uint64_t base, const std::uint8_t* data, dift::Tag tag) {
+    std::uint8_t buf[16];
+    dift::Tag tags[16];
+    std::memcpy(buf, data, 16);
+    for (auto& t : tags) t = tag;
+    Xfer::rw(aes_.socket(), Command::kWrite, base, buf, tags, 16);
+  }
+  void trigger() {
+    std::uint8_t one = 1;
+    Xfer::rw(aes_.socket(), Command::kWrite, soc::AesPeriph::kCtrl, &one,
+             nullptr, 1);
+  }
+};
+
+TEST_F(AesPeriphTest, EncryptsCorrectlyAndDeclassifies) {
+  aes_.set_unit_clearance(hchi_);
+  aes_.set_declass(policy_.grant_declass("aes0"), lcli_);
+
+  const soc::AesKey key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                           0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  const soc::AesBlock pt = {0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96,
+                            0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93, 0x17, 0x2a};
+  write_block(soc::AesPeriph::kKey, key.data(), hchi_);
+  write_block(soc::AesPeriph::kInput, pt.data(), lcli_);
+  trigger();
+
+  std::uint8_t out[16];
+  dift::Tag tags[16];
+  Xfer::rw(aes_.socket(), Command::kRead, soc::AesPeriph::kOutput, out, tags, 16);
+  EXPECT_EQ(out[0], 0x3a);
+  EXPECT_EQ(out[15], 0x97);
+  for (auto t : tags) EXPECT_EQ(t, lcli_);  // declassified ciphertext
+  EXPECT_EQ(aes_.encryptions(), 1u);
+}
+
+TEST_F(AesPeriphTest, WithoutDeclassRightCiphertextKeepsCombinedTag) {
+  aes_.set_unit_clearance(hchi_);
+  const soc::AesKey key{};
+  const soc::AesBlock pt{};
+  write_block(soc::AesPeriph::kKey, key.data(), hchi_);
+  write_block(soc::AesPeriph::kInput, pt.data(), lcli_);
+  trigger();
+  std::uint8_t out[16];
+  dift::Tag tags[16];
+  Xfer::rw(aes_.socket(), Command::kRead, soc::AesPeriph::kOutput, out, tags, 16);
+  // combined = LUB((HC,HI),(LC,LI)) = (HC,LI)
+  for (auto t : tags) EXPECT_EQ(t, lattice_.tag_of("(HC,LI)"));
+}
+
+TEST_F(AesPeriphTest, UnitClearanceRejectsUntrustedKey) {
+  aes_.set_unit_clearance(hchi_);
+  const soc::AesKey key{};
+  write_block(soc::AesPeriph::kKey, key.data(), lcli_);  // attacker key: LI
+  const soc::AesBlock pt{};
+  write_block(soc::AesPeriph::kInput, pt.data(), lcli_);
+  std::uint8_t one = 1;
+  Payload p;
+  p.command = Command::kWrite;
+  p.address = soc::AesPeriph::kCtrl;
+  p.data = &one;
+  p.length = 1;
+  sysc::Time d;
+  try {
+    aes_.socket().b_transport(p, d);
+    FAIL() << "untrusted key must be rejected";
+  } catch (const dift::PolicyViolation& v) {
+    EXPECT_EQ(v.kind(), dift::ViolationKind::kExecUnitClearance);
+  }
+}
+
+TEST_F(AesPeriphTest, StatusReflectsCompletion) {
+  std::uint8_t st = 9;
+  Xfer::rw(aes_.socket(), Command::kRead, soc::AesPeriph::kStatus, &st, nullptr, 1);
+  EXPECT_EQ(st, 0);
+  const soc::AesKey key{};
+  const soc::AesBlock pt{};
+  write_block(soc::AesPeriph::kKey, key.data(), dift::kBottomTag);
+  write_block(soc::AesPeriph::kInput, pt.data(), dift::kBottomTag);
+  trigger();
+  Xfer::rw(aes_.socket(), Command::kRead, soc::AesPeriph::kStatus, &st, nullptr, 1);
+  EXPECT_EQ(st, 1);
+}
+
+class CanTest : public ::testing::Test {
+ protected:
+  dift::Lattice lattice_ = dift::Lattice::ifp3();
+  dift::DiftContext ctx_{lattice_};
+  sysc::Simulation sim_;
+  soc::CanPeriph can_{sim_, "can0"};
+  dift::Tag lcli_ = lattice_.tag_of("(LC,LI)");
+  dift::Tag hchi_ = lattice_.tag_of("(HC,HI)");
+};
+
+TEST_F(CanTest, TransmitDeliversFrameToWire) {
+  soc::CanFrame seen{};
+  can_.set_on_tx([&](const soc::CanFrame& f) { seen = f; });
+  std::uint8_t data[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  Xfer::rw(can_.socket(), Command::kWrite, soc::CanPeriph::kTxData, data,
+           nullptr, 8);
+  std::uint8_t id[4] = {0x23, 0x01, 0, 0};
+  Xfer::rw(can_.socket(), Command::kWrite, soc::CanPeriph::kTxId, id, nullptr, 4);
+  std::uint8_t dlc[4] = {8, 0, 0, 0};
+  Xfer::rw(can_.socket(), Command::kWrite, soc::CanPeriph::kTxDlc, dlc, nullptr, 4);
+  std::uint8_t one = 1;
+  Xfer::rw(can_.socket(), Command::kWrite, soc::CanPeriph::kTxCtrl, &one, nullptr, 1);
+  EXPECT_EQ(seen.id, 0x123u);
+  EXPECT_EQ(seen.dlc, 8u);
+  EXPECT_EQ(seen.data[7], 8);
+  EXPECT_EQ(can_.frames_sent(), 1u);
+}
+
+TEST_F(CanTest, OutputClearanceBlocksClassifiedPayload) {
+  can_.set_output_clearance(lcli_);
+  std::uint8_t data[8] = {};
+  dift::Tag tags[8];
+  for (auto& t : tags) t = hchi_;
+  Xfer::rw(can_.socket(), Command::kWrite, soc::CanPeriph::kTxData, data, tags, 8);
+  std::uint8_t dlc[4] = {8, 0, 0, 0};
+  Xfer::rw(can_.socket(), Command::kWrite, soc::CanPeriph::kTxDlc, dlc, nullptr, 4);
+  std::uint8_t one = 1;
+  Payload p;
+  p.command = Command::kWrite;
+  p.address = soc::CanPeriph::kTxCtrl;
+  p.data = &one;
+  p.length = 1;
+  sysc::Time d;
+  EXPECT_THROW(can_.socket().b_transport(p, d), dift::PolicyViolation);
+}
+
+TEST_F(CanTest, ReceiveMailboxTagsAndPops) {
+  can_.set_input_tag(lcli_);
+  soc::CanFrame f;
+  f.id = 0x100;
+  f.dlc = 4;
+  f.data = {0xaa, 0xbb, 0xcc, 0xdd, 0, 0, 0, 0};
+  can_.receive(f);
+  EXPECT_EQ(can_.rx_pending(), 1u);
+
+  std::uint8_t st[4] = {};
+  Xfer::rw(can_.socket(), Command::kRead, soc::CanPeriph::kRxStatus, st, nullptr, 4);
+  EXPECT_EQ(st[0], 1);
+  std::uint8_t byte0;
+  dift::Tag t;
+  Xfer::rw(can_.socket(), Command::kRead, soc::CanPeriph::kRxData, &byte0, &t, 1);
+  EXPECT_EQ(byte0, 0xaa);
+  EXPECT_EQ(t, lcli_);
+  std::uint8_t one = 1;
+  Xfer::rw(can_.socket(), Command::kWrite, soc::CanPeriph::kRxPop, &one, nullptr, 1);
+  EXPECT_EQ(can_.rx_pending(), 0u);
+}
+
+TEST_F(CanTest, RxInterruptTracksQueueAndEnable) {
+  bool level = false;
+  can_.set_irq([&](bool l) { level = l; });
+  soc::CanFrame f;
+  f.id = 1;
+  can_.receive(f);
+  EXPECT_FALSE(level);
+  std::uint8_t ie[4] = {1, 0, 0, 0};
+  Xfer::rw(can_.socket(), Command::kWrite, soc::CanPeriph::kIe, ie, nullptr, 4);
+  EXPECT_TRUE(level);
+  std::uint8_t one = 1;
+  Xfer::rw(can_.socket(), Command::kWrite, soc::CanPeriph::kRxPop, &one, nullptr, 1);
+  EXPECT_FALSE(level);
+}
+
+TEST_F(CanTest, EngineEcuAuthenticatesCorrectResponder) {
+  const soc::AesKey pin = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+  soc::EngineEcu engine(sim_, "engine", can_, pin, sysc::Time::ms(5));
+  engine.start();
+  // A host-modelled immobilizer that answers correctly.
+  can_.set_input_tag(dift::kBottomTag);
+  sim_.schedule_in(sysc::Time::ms(6), [&] {
+    ASSERT_EQ(can_.rx_pending(), 1u);
+    std::uint8_t ch[8];
+    Xfer::rw(can_.socket(), Command::kRead, soc::CanPeriph::kRxData, ch, nullptr, 8);
+    soc::AesBlock block{};
+    for (int i = 0; i < 8; ++i) block[i] = ch[i];
+    const auto enc = soc::aes128_encrypt(pin, block);
+    soc::CanFrame resp;
+    resp.id = soc::EngineEcu::kResponseId;
+    resp.dlc = 8;
+    for (int i = 0; i < 8; ++i) resp.data[i] = enc[i];
+    engine.on_frame(resp);
+  });
+  sim_.run(sysc::Time::ms(8));
+  EXPECT_EQ(engine.challenges_sent(), 1u);
+  EXPECT_EQ(engine.auth_ok(), 1u);
+  EXPECT_EQ(engine.auth_fail(), 0u);
+}
+
+TEST_F(CanTest, EngineEcuRejectsWrongResponse) {
+  const soc::AesKey pin{};
+  soc::EngineEcu engine(sim_, "engine", can_, pin, sysc::Time::ms(5));
+  engine.start();
+  sim_.schedule_in(sysc::Time::ms(6), [&] {
+    soc::CanFrame resp;
+    resp.id = soc::EngineEcu::kResponseId;
+    resp.dlc = 8;
+    resp.data = {9, 9, 9, 9, 9, 9, 9, 9};
+    engine.on_frame(resp);
+  });
+  sim_.run(sysc::Time::ms(8));
+  EXPECT_EQ(engine.auth_fail(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,160 @@
+// Unit tests for the simulation kernel (time, scheduler, events, processes).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sysc/kernel.hpp"
+
+namespace {
+
+using namespace vpdift::sysc;
+
+TEST(TimeArithmetic, UnitsAndComparisons) {
+  EXPECT_EQ(Time::ns(1).picos(), 1000u);
+  EXPECT_EQ(Time::us(1).nanos(), 1000u);
+  EXPECT_EQ(Time::ms(1).micros(), 1000u);
+  EXPECT_EQ(Time::sec(1).millis(), 1000u);
+  EXPECT_LT(Time::ns(999), Time::us(1));
+  EXPECT_EQ(Time::ns(500) + Time::ns(500), Time::us(1));
+  EXPECT_EQ(Time::us(3) - Time::us(1), Time::us(2));
+  EXPECT_EQ(Time::ns(10) * 3, Time::ns(30));
+}
+
+TEST(TimeArithmetic, ToStringPicksLargestExactUnit) {
+  EXPECT_EQ(Time::ms(25).to_string(), "25 ms");
+  EXPECT_EQ(Time::us(7).to_string(), "7 us");
+  EXPECT_EQ(Time::ns(3).to_string(), "3 ns");
+  EXPECT_EQ(Time::ps(1).to_string(), "1 ps");
+}
+
+TEST(Scheduler, TimedCallbacksRunInOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_in(Time::ns(30), [&] { order.push_back(3); });
+  sim.schedule_in(Time::ns(10), [&] { order.push_back(1); });
+  sim.schedule_in(Time::ns(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), Time::ns(30));
+}
+
+TEST(Scheduler, SameTimeKeepsSchedulingOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    sim.schedule_in(Time::ns(10), [&order, i] { order.push_back(i); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadlineButIncludesIt) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_in(Time::ns(10), [&] { ++fired; });
+  sim.schedule_in(Time::ns(20), [&] { ++fired; });
+  sim.schedule_in(Time::ns(30), [&] { ++fired; });
+  sim.run(Time::ns(20));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), Time::ns(20));
+  sim.run();  // drain the rest
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Scheduler, StopAbortsRun) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_in(Time::ns(10), [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_in(Time::ns(20), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.idle());
+}
+
+namespace procs {
+Task ticker(Simulation& sim, std::vector<std::uint64_t>& stamps, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await sim.delay(Time::us(10));
+    stamps.push_back(sim.now().micros());
+  }
+}
+
+Task waiter(Simulation& sim, Event& ev, int& wakeups) {
+  (void)sim;
+  while (true) {
+    co_await ev;
+    ++wakeups;
+  }
+}
+
+Task notifier(Simulation& sim, Event& ev) {
+  co_await sim.delay(Time::us(5));
+  ev.notify();
+  co_await sim.delay(Time::us(5));
+  ev.notify();
+}
+
+Task thrower(Simulation& sim) {
+  co_await sim.delay(Time::ns(1));
+  throw std::runtime_error("process exploded");
+}
+}  // namespace procs
+
+TEST(Processes, CoroutineDelaysAdvanceTime) {
+  Simulation sim;
+  std::vector<std::uint64_t> stamps;
+  sim.spawn(procs::ticker(sim, stamps, 3));
+  sim.run();
+  EXPECT_EQ(stamps, (std::vector<std::uint64_t>{10, 20, 30}));
+}
+
+TEST(Processes, EventWakesAllWaiters) {
+  Simulation sim;
+  Event ev(sim);
+  int wakeups1 = 0, wakeups2 = 0;
+  sim.spawn(procs::waiter(sim, ev, wakeups1));
+  sim.spawn(procs::waiter(sim, ev, wakeups2));
+  sim.spawn(procs::notifier(sim, ev));
+  sim.run(Time::ms(1));
+  EXPECT_EQ(wakeups1, 2);
+  EXPECT_EQ(wakeups2, 2);
+}
+
+TEST(Processes, TimedNotifyFiresAtRequestedTime) {
+  Simulation sim;
+  Event ev(sim);
+  int wakeups = 0;
+  sim.spawn(procs::waiter(sim, ev, wakeups));
+  std::uint64_t woke_at = 0;
+  sim.schedule_in(Time::us(0), [&] { ev.notify(Time::us(7)); });
+  sim.schedule_in(Time::us(8), [&] { woke_at = wakeups; });
+  sim.run(Time::us(10));
+  EXPECT_EQ(woke_at, 1u);
+}
+
+TEST(Processes, ExceptionPropagatesOutOfRun) {
+  Simulation sim;
+  sim.spawn(procs::thrower(sim));
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+TEST(Processes, ProcessCountTracksSpawns) {
+  Simulation sim;
+  std::vector<std::uint64_t> stamps;
+  EXPECT_EQ(sim.process_count(), 0u);
+  sim.spawn(procs::ticker(sim, stamps, 1));
+  sim.spawn(procs::ticker(sim, stamps, 1));
+  EXPECT_EQ(sim.process_count(), 2u);
+}
+
+TEST(Module, CarriesNameAndSim) {
+  Simulation sim;
+  Module m(sim, "uart0");
+  EXPECT_EQ(m.name(), "uart0");
+  EXPECT_EQ(&m.sim(), &sim);
+}
+
+}  // namespace

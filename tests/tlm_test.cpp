@@ -1,0 +1,186 @@
+// Unit tests for the TLM-lite payload, sockets, and bus routing.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "sysc/kernel.hpp"
+#include "tlmlite/bus.hpp"
+#include "tlmlite/payload.hpp"
+#include "tlmlite/socket.hpp"
+
+namespace {
+
+using namespace vpdift;
+using namespace vpdift::tlmlite;
+
+struct ScratchTarget {
+  TargetSocket socket;
+  std::uint8_t mem[64] = {};
+  dift::Tag tags[64] = {};
+  std::uint64_t last_address = ~0ull;
+
+  ScratchTarget() {
+    socket.register_transport([this](Payload& p, sysc::Time& delay) {
+      last_address = p.address;
+      if (p.address + p.length > sizeof(mem)) {
+        p.response = Response::kAddressError;
+        return;
+      }
+      if (p.is_read()) {
+        std::memcpy(p.data, mem + p.address, p.length);
+        if (p.tainted()) std::memcpy(p.tags, tags + p.address, p.length);
+      } else {
+        std::memcpy(mem + p.address, p.data, p.length);
+        if (p.tainted()) std::memcpy(tags + p.address, p.tags, p.length);
+      }
+      delay += sysc::Time::ns(5);
+      p.response = Response::kOk;
+    });
+  }
+};
+
+TEST(Socket, UnboundInitiatorThrows) {
+  InitiatorSocket init;
+  Payload p;
+  sysc::Time d;
+  EXPECT_FALSE(init.bound());
+  EXPECT_THROW(init.b_transport(p, d), std::logic_error);
+}
+
+TEST(Socket, UnregisteredTargetThrows) {
+  TargetSocket t;
+  Payload p;
+  sysc::Time d;
+  EXPECT_FALSE(t.bound());
+  EXPECT_THROW(t.b_transport(p, d), std::logic_error);
+}
+
+TEST(Socket, WriteThenReadRoundTripsWithTags) {
+  ScratchTarget target;
+  InitiatorSocket init;
+  init.bind(target.socket);
+
+  std::uint8_t data[4] = {1, 2, 3, 4};
+  dift::Tag tags[4] = {7, 7, 7, 7};
+  Payload w;
+  w.command = Command::kWrite;
+  w.address = 8;
+  w.data = data;
+  w.tags = tags;
+  w.length = 4;
+  sysc::Time delay;
+  init.b_transport(w, delay);
+  ASSERT_TRUE(w.ok());
+
+  std::uint8_t rd[4] = {};
+  dift::Tag rt[4] = {};
+  Payload r;
+  r.command = Command::kRead;
+  r.address = 8;
+  r.data = rd;
+  r.tags = rt;
+  r.length = 4;
+  init.b_transport(r, delay);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(rd[0], 1);
+  EXPECT_EQ(rd[3], 4);
+  EXPECT_EQ(rt[0], 7);
+  EXPECT_GE(delay, sysc::Time::ns(10));  // both transports annotated latency
+}
+
+TEST(Socket, UntaintedInitiatorPassesNullTags) {
+  ScratchTarget target;
+  InitiatorSocket init;
+  init.bind(target.socket);
+  std::uint8_t data[2] = {9, 9};
+  Payload w;
+  w.command = Command::kWrite;
+  w.address = 0;
+  w.data = data;
+  w.length = 2;
+  sysc::Time d;
+  init.b_transport(w, d);
+  EXPECT_TRUE(w.ok());
+  EXPECT_FALSE(w.tainted());
+}
+
+class BusTest : public ::testing::Test {
+ protected:
+  sysc::Simulation sim_;
+  Bus bus_{sim_, "bus0"};
+  ScratchTarget a_, b_;
+
+  void SetUp() override {
+    bus_.map(0x1000, 64, a_.socket, "a");
+    bus_.map(0x2000, 64, b_.socket, "b");
+  }
+
+  Payload make_read(std::uint64_t addr, std::uint8_t* buf, std::uint32_t len) {
+    Payload p;
+    p.command = Command::kRead;
+    p.address = addr;
+    p.data = buf;
+    p.length = len;
+    return p;
+  }
+};
+
+TEST_F(BusTest, RoutesByAddressAndRebases) {
+  std::uint8_t buf[4] = {};
+  sysc::Time d;
+  auto p = make_read(0x1010, buf, 4);
+  bus_.transport(p, d);
+  EXPECT_TRUE(p.ok());
+  EXPECT_EQ(a_.last_address, 0x10u);   // rebased
+  EXPECT_EQ(p.address, 0x1010u);       // restored for the initiator
+
+  auto q = make_read(0x2004, buf, 4);
+  bus_.transport(q, d);
+  EXPECT_EQ(b_.last_address, 0x4u);
+}
+
+TEST_F(BusTest, UnmappedAddressIsAddressError) {
+  std::uint8_t buf[4] = {};
+  sysc::Time d;
+  auto p = make_read(0x3000, buf, 4);
+  bus_.transport(p, d);
+  EXPECT_EQ(p.response, Response::kAddressError);
+}
+
+TEST_F(BusTest, AccessStraddlingRangeEndIsAddressError) {
+  std::uint8_t buf[8] = {};
+  sysc::Time d;
+  auto p = make_read(0x103e, buf, 4);  // last two bytes fall off the range
+  bus_.transport(p, d);
+  EXPECT_EQ(p.response, Response::kAddressError);
+}
+
+TEST_F(BusTest, OverlappingMappingRejected) {
+  ScratchTarget c;
+  EXPECT_THROW(bus_.map(0x1020, 64, c.socket, "c"), std::invalid_argument);
+  EXPECT_THROW(bus_.map(0x0fff, 2, c.socket, "c"), std::invalid_argument);
+  EXPECT_NO_THROW(bus_.map(0x1040, 16, c.socket, "c"));
+}
+
+TEST_F(BusTest, EmptyMappingRejected) {
+  ScratchTarget c;
+  EXPECT_THROW(bus_.map(0x5000, 0, c.socket, "c"), std::invalid_argument);
+}
+
+TEST_F(BusTest, PortNameLookup) {
+  EXPECT_EQ(bus_.port_at(0x1000), "a");
+  EXPECT_EQ(bus_.port_at(0x203f), "b");
+  EXPECT_EQ(bus_.port_at(0x9999), "");
+  EXPECT_EQ(bus_.mapping_count(), 2u);
+}
+
+TEST_F(BusTest, TargetSocketRoutesLikeTransport) {
+  std::uint8_t buf[1] = {};
+  sysc::Time d;
+  auto p = make_read(0x2000, buf, 1);
+  bus_.target_socket().b_transport(p, d);
+  EXPECT_TRUE(p.ok());
+  EXPECT_EQ(b_.last_address, 0u);
+}
+
+}  // namespace

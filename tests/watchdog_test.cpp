@@ -1,0 +1,123 @@
+// Watchdog timer: petting keeps the system alive; starvation resets the CPU
+// while RAM persists.
+#include <gtest/gtest.h>
+
+#include "fw/hal.hpp"
+#include "rvasm/assembler.hpp"
+#include "vp/vp.hpp"
+
+namespace {
+
+using namespace vpdift;
+using namespace vpdift::rvasm::reg;
+
+constexpr std::uint32_t kWdtLoad = soc::addrmap::kWdtBase + soc::Watchdog::kLoad;
+constexpr std::uint32_t kWdtPet = soc::addrmap::kWdtBase + soc::Watchdog::kPet;
+constexpr std::uint32_t kWdtCtrl = soc::addrmap::kWdtBase + soc::Watchdog::kCtrl;
+
+// Firmware: bump a RAM boot counter. First boot arms the watchdog and hangs
+// without petting; the reset reboots into the same image, which now sees
+// boot_count >= 2 and exits cleanly.
+rvasm::Program make_wdt_firmware() {
+  rvasm::Assembler a(soc::addrmap::kRamBase);
+  fw::emit_crt0(a);
+  a.label("main");
+  a.la(t0, "boot_count");
+  a.lw(t1, t0, 0);
+  a.addi(t1, t1, 1);
+  a.sw(t1, t0, 0);
+  a.li(t2, 2);
+  a.bgeu(t1, t2, "second_boot");
+  // First boot: arm the watchdog (500 us) and wedge.
+  a.li(t0, kWdtLoad);
+  a.li(t1, 500);
+  a.sw(t1, t0, 0);
+  a.li(t0, kWdtCtrl);
+  a.li(t1, 1);
+  a.sw(t1, t0, 0);
+  a.label("wedge");
+  a.j("wedge");
+  a.label("second_boot");
+  a.li(a0, 0);
+  a.ret();
+  fw::emit_stdlib(a);
+  a.align(4);
+  a.label("boot_count");
+  a.word(0);
+  a.entry("_start");
+  return a.assemble();
+}
+
+TEST(Watchdog, StarvationResetsCoreAndRamSurvives) {
+  vp::Vp v;
+  const auto prog = make_wdt_firmware();
+  v.load(prog);
+  const auto r = v.run(sysc::Time::sec(2));
+  ASSERT_TRUE(r.exited) << "watchdog reset did not happen";
+  EXPECT_EQ(r.exit_code, 0u);
+  EXPECT_EQ(v.watchdog().resets_fired(), 1u);
+  // RAM kept the boot counter across the reset.
+  const auto off = prog.symbol("boot_count") - soc::addrmap::kRamBase;
+  EXPECT_EQ(v.ram().read_u32(off), 2u);
+}
+
+TEST(Watchdog, PettingPreventsReset) {
+  // Firmware pets in a loop for a while, then exits.
+  rvasm::Assembler a(soc::addrmap::kRamBase);
+  fw::emit_crt0(a);
+  a.label("main");
+  a.li(t0, kWdtLoad);
+  a.li(t1, 300);
+  a.sw(t1, t0, 0);
+  a.li(t0, kWdtCtrl);
+  a.li(t1, 1);
+  a.sw(t1, t0, 0);
+  a.li(s0, 50);  // pet 50 times with small busy-waits in between
+  a.label("pet_loop");
+  a.li(t0, kWdtPet);
+  a.li(t1, soc::Watchdog::kPetMagic);
+  a.sw(t1, t0, 0);
+  a.li(t2, 2000);  // ~2000 instructions < 300 us at 100 MHz? (20 us) fine
+  a.label("busy");
+  a.addi(t2, t2, -1);
+  a.bnez(t2, "busy");
+  a.addi(s0, s0, -1);
+  a.bnez(s0, "pet_loop");
+  a.li(a0, 0);
+  a.ret();
+  fw::emit_stdlib(a);
+  vp::Vp v;
+  v.load(a.assemble());
+  const auto r = v.run(sysc::Time::sec(2));
+  ASSERT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_code, 0u);
+  EXPECT_EQ(v.watchdog().resets_fired(), 0u);
+}
+
+TEST(Watchdog, WrongPetMagicIgnored) {
+  sysc::Simulation sim;
+  soc::Watchdog wdt(sim, "wdt0");
+  int timeouts = 0;
+  wdt.set_on_timeout([&] { ++timeouts; });
+  wdt.start();
+  auto write32 = [&](std::uint64_t addr, std::uint32_t v) {
+    std::uint8_t buf[4];
+    std::memcpy(buf, &v, 4);
+    tlmlite::Payload p;
+    p.command = tlmlite::Command::kWrite;
+    p.address = addr;
+    p.data = buf;
+    p.length = 4;
+    sysc::Time d;
+    wdt.socket().b_transport(p, d);
+  };
+  write32(soc::Watchdog::kLoad, 100);
+  write32(soc::Watchdog::kCtrl, 1);
+  sim.schedule_in(sysc::Time::us(80),
+                  [&] { write32(soc::Watchdog::kPet, 0x1234); });  // wrong magic
+  sim.run(sysc::Time::us(500));
+  EXPECT_GE(timeouts, 1);
+  EXPECT_GE(wdt.resets_fired(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,161 @@
+// vpdift-run — command-line front end for the virtual prototype.
+//
+//   vpdift-run [options] <firmware>
+//
+//   <firmware>            an ELF32 RISC-V executable, or one of the built-in
+//                         demo images: primes, qsort, dhrystone, sha256,
+//                         sha512, simple-sensor, rtos-tasks, immobilizer
+//   --policy FILE         text security policy (see dift/policy_parser.hpp);
+//                         $symbols resolve against the firmware image.
+//                         Running with a policy selects the DIFT VP+.
+//   --monitor             record violations and keep running
+//   --trace N             keep an N-entry instruction trace for diagnostics
+//   --uart-input STR      bytes fed into the UART before the run
+//   --max-ms N            simulated-time budget (default 10000)
+//   --stats               print tag histogram and engine statistics
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "dift/policy_parser.hpp"
+#include "fw/benchmarks.hpp"
+#include "fw/immobilizer.hpp"
+#include "rvasm/elf.hpp"
+#include "vp/vp.hpp"
+
+using namespace vpdift;
+
+namespace {
+
+rvasm::Program load_firmware(const std::string& name) {
+  if (name == "primes") return fw::make_primes(10000);
+  if (name == "qsort") return fw::make_qsort(5000, 1);
+  if (name == "dhrystone") return fw::make_dhrystone(20000);
+  if (name == "sha256") return fw::make_sha256(1024, 64);
+  if (name == "sha512") return fw::make_sha512(1024, 16);
+  if (name == "simple-sensor") return fw::make_simple_sensor(20);
+  if (name == "rtos-tasks") return fw::make_rtos_tasks(100, 200);
+  if (name == "immobilizer") {
+    const soc::AesKey pin = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                             0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+    return fw::make_immobilizer(fw::ImmoVariant::kFixedDump, pin, 5);
+  }
+  return rvasm::load_elf32_file(name);  // throws ElfError if not loadable
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: vpdift-run [--policy FILE] [--monitor] [--trace N]\n"
+               "                  [--uart-input STR] [--max-ms N] [--stats]\n"
+               "                  <elf-file | builtin-name>\n");
+  return 2;
+}
+
+template <typename VpT>
+int run(const rvasm::Program& program, const dift::PolicySpec* spec,
+        bool monitor, int trace_depth, const std::string& uart_input,
+        std::uint64_t max_ms, bool stats) {
+  vp::VpConfig cfg;
+  cfg.with_engine_ecu = true;  // makes the immobilizer demo interactive
+  cfg.engine_pin = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                    0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  VpT v(cfg);
+  v.load(program);
+  if (spec) v.apply_policy(spec->policy());
+  if (monitor) v.set_monitor_mode(true);
+  if (trace_depth > 0) v.enable_trace(static_cast<std::size_t>(trace_depth));
+  if (!uart_input.empty()) v.uart().feed_input(uart_input);
+
+  const auto r = v.run(sysc::Time::ms(max_ms));
+
+  if (!r.uart_output.empty())
+    std::printf("--- UART ---\n%s\n------------\n", r.uart_output.c_str());
+  if (r.violation) {
+    std::printf("POLICY VIOLATION: %s\n", r.violation_message.c_str());
+    if (!r.trace_dump.empty())
+      std::printf("instruction history:\n%s", r.trace_dump.c_str());
+  } else if (r.exited) {
+    std::printf("exited with code %u\n", r.exit_code);
+  } else {
+    std::printf("timed out after %s simulated\n", r.sim_time.to_string().c_str());
+  }
+  if (!r.recorded_violations.empty()) {
+    std::printf("%zu violations recorded (monitor mode):\n",
+                r.recorded_violations.size());
+    for (const auto& rec : r.recorded_violations)
+      std::printf("  %-18s at %-12s pc=0x%llx\n", dift::to_string(rec.kind),
+                  rec.where.c_str(), static_cast<unsigned long long>(rec.pc));
+  }
+  std::printf("%llu instructions, %.2f s wall, %.1f MIPS, %s simulated\n",
+              static_cast<unsigned long long>(r.instret), r.wall_seconds,
+              r.mips, r.sim_time.to_string().c_str());
+  if (stats) {
+    const auto hist = v.ram().tag_histogram();
+    if (!hist.empty()) {
+      std::printf("RAM taint map:\n");
+      for (const auto& [tag, count] : hist)
+        if (tag != dift::kBottomTag || hist.size() == 1)
+          std::printf("  class %-12s : %zu bytes\n",
+                      spec ? spec->lattice().name_of(tag).c_str()
+                           : std::to_string(tag).c_str(),
+                      count);
+    }
+  }
+  if (r.violation) return 3;
+  return r.exited ? static_cast<int>(r.exit_code) : 4;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string firmware, policy_path, uart_input;
+  bool monitor = false, stats = false;
+  int trace_depth = 0;
+  std::uint64_t max_ms = 10000;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) { usage(); std::exit(2); }
+      return argv[++i];
+    };
+    if (arg == "--policy") policy_path = next();
+    else if (arg == "--monitor") monitor = true;
+    else if (arg == "--stats") stats = true;
+    else if (arg == "--trace") trace_depth = std::atoi(next());
+    else if (arg == "--uart-input") uart_input = next();
+    else if (arg == "--max-ms") max_ms = std::strtoull(next(), nullptr, 0);
+    else if (arg == "--help" || arg == "-h") return usage();
+    else if (!arg.empty() && arg[0] == '-') return usage();
+    else firmware = arg;
+  }
+  if (firmware.empty()) return usage();
+
+  try {
+    const rvasm::Program program = load_firmware(firmware);
+    std::printf("loaded %s: %zu bytes, %zu instructions, entry 0x%llx\n",
+                firmware.c_str(), program.size(), program.instruction_slots(),
+                static_cast<unsigned long long>(program.entry));
+
+    if (policy_path.empty())
+      return run<vp::Vp>(program, nullptr, false, trace_depth, uart_input,
+                         max_ms, stats);
+
+    std::ifstream in(policy_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open policy file %s\n", policy_path.c_str());
+      return 2;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const auto spec = dift::PolicySpec::parse(buf.str(), &program.symbols);
+    std::printf("policy: %zu security classes\n", spec.lattice().size());
+    return run<vp::VpDift>(program, &spec, monitor, trace_depth, uart_input,
+                           max_ms, stats);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
