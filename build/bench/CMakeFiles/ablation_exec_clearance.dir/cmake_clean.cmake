@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_exec_clearance.dir/ablation_exec_clearance.cpp.o"
+  "CMakeFiles/ablation_exec_clearance.dir/ablation_exec_clearance.cpp.o.d"
+  "ablation_exec_clearance"
+  "ablation_exec_clearance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_exec_clearance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casestudy_immobilizer.dir/casestudy_immobilizer.cpp.o"
+  "CMakeFiles/casestudy_immobilizer.dir/casestudy_immobilizer.cpp.o.d"
+  "casestudy_immobilizer"
+  "casestudy_immobilizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casestudy_immobilizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_ifp_lattices.dir/fig1_ifp_lattices.cpp.o"
+  "CMakeFiles/fig1_ifp_lattices.dir/fig1_ifp_lattices.cpp.o.d"
+  "fig1_ifp_lattices"
+  "fig1_ifp_lattices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_ifp_lattices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_dift.dir/micro_dift.cpp.o"
+  "CMakeFiles/micro_dift.dir/micro_dift.cpp.o.d"
+  "micro_dift"
+  "micro_dift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_dift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/code_injection_demo.dir/code_injection_demo.cpp.o"
+  "CMakeFiles/code_injection_demo.dir/code_injection_demo.cpp.o.d"
+  "code_injection_demo"
+  "code_injection_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/code_injection_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dual_ecu_network.dir/dual_ecu_network.cpp.o"
+  "CMakeFiles/dual_ecu_network.dir/dual_ecu_network.cpp.o.d"
+  "dual_ecu_network"
+  "dual_ecu_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dual_ecu_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

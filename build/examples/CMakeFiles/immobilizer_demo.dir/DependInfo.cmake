@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/immobilizer_demo.cpp" "examples/CMakeFiles/immobilizer_demo.dir/immobilizer_demo.cpp.o" "gcc" "examples/CMakeFiles/immobilizer_demo.dir/immobilizer_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vp/CMakeFiles/vpdift_vp.dir/DependInfo.cmake"
+  "/root/repo/build/src/fw/CMakeFiles/vpdift_fw.dir/DependInfo.cmake"
+  "/root/repo/build/src/rv/CMakeFiles/vpdift_rv.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/vpdift_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlmlite/CMakeFiles/vpdift_tlm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dift/CMakeFiles/vpdift_dift.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysc/CMakeFiles/vpdift_sysc.dir/DependInfo.cmake"
+  "/root/repo/build/src/rvasm/CMakeFiles/vpdift_rvasm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

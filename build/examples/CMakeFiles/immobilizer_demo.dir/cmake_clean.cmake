@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/immobilizer_demo.dir/immobilizer_demo.cpp.o"
+  "CMakeFiles/immobilizer_demo.dir/immobilizer_demo.cpp.o.d"
+  "immobilizer_demo"
+  "immobilizer_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/immobilizer_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

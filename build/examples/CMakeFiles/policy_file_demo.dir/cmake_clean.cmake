@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_file_demo.dir/policy_file_demo.cpp.o"
+  "CMakeFiles/policy_file_demo.dir/policy_file_demo.cpp.o.d"
+  "policy_file_demo"
+  "policy_file_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_file_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

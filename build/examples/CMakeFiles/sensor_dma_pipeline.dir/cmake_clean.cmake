@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_dma_pipeline.dir/sensor_dma_pipeline.cpp.o"
+  "CMakeFiles/sensor_dma_pipeline.dir/sensor_dma_pipeline.cpp.o.d"
+  "sensor_dma_pipeline"
+  "sensor_dma_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_dma_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

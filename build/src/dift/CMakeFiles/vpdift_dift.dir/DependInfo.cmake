@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dift/context.cpp" "src/dift/CMakeFiles/vpdift_dift.dir/context.cpp.o" "gcc" "src/dift/CMakeFiles/vpdift_dift.dir/context.cpp.o.d"
+  "/root/repo/src/dift/lattice.cpp" "src/dift/CMakeFiles/vpdift_dift.dir/lattice.cpp.o" "gcc" "src/dift/CMakeFiles/vpdift_dift.dir/lattice.cpp.o.d"
+  "/root/repo/src/dift/policy.cpp" "src/dift/CMakeFiles/vpdift_dift.dir/policy.cpp.o" "gcc" "src/dift/CMakeFiles/vpdift_dift.dir/policy.cpp.o.d"
+  "/root/repo/src/dift/policy_parser.cpp" "src/dift/CMakeFiles/vpdift_dift.dir/policy_parser.cpp.o" "gcc" "src/dift/CMakeFiles/vpdift_dift.dir/policy_parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpdift_dift.dir/context.cpp.o"
+  "CMakeFiles/vpdift_dift.dir/context.cpp.o.d"
+  "CMakeFiles/vpdift_dift.dir/lattice.cpp.o"
+  "CMakeFiles/vpdift_dift.dir/lattice.cpp.o.d"
+  "CMakeFiles/vpdift_dift.dir/policy.cpp.o"
+  "CMakeFiles/vpdift_dift.dir/policy.cpp.o.d"
+  "CMakeFiles/vpdift_dift.dir/policy_parser.cpp.o"
+  "CMakeFiles/vpdift_dift.dir/policy_parser.cpp.o.d"
+  "libvpdift_dift.a"
+  "libvpdift_dift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpdift_dift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fw/attacks.cpp" "src/fw/CMakeFiles/vpdift_fw.dir/attacks.cpp.o" "gcc" "src/fw/CMakeFiles/vpdift_fw.dir/attacks.cpp.o.d"
+  "/root/repo/src/fw/bench_progs.cpp" "src/fw/CMakeFiles/vpdift_fw.dir/bench_progs.cpp.o" "gcc" "src/fw/CMakeFiles/vpdift_fw.dir/bench_progs.cpp.o.d"
+  "/root/repo/src/fw/bench_progs2.cpp" "src/fw/CMakeFiles/vpdift_fw.dir/bench_progs2.cpp.o" "gcc" "src/fw/CMakeFiles/vpdift_fw.dir/bench_progs2.cpp.o.d"
+  "/root/repo/src/fw/bench_progs3.cpp" "src/fw/CMakeFiles/vpdift_fw.dir/bench_progs3.cpp.o" "gcc" "src/fw/CMakeFiles/vpdift_fw.dir/bench_progs3.cpp.o.d"
+  "/root/repo/src/fw/bench_progs4.cpp" "src/fw/CMakeFiles/vpdift_fw.dir/bench_progs4.cpp.o" "gcc" "src/fw/CMakeFiles/vpdift_fw.dir/bench_progs4.cpp.o.d"
+  "/root/repo/src/fw/bench_sha512.cpp" "src/fw/CMakeFiles/vpdift_fw.dir/bench_sha512.cpp.o" "gcc" "src/fw/CMakeFiles/vpdift_fw.dir/bench_sha512.cpp.o.d"
+  "/root/repo/src/fw/engine_fw.cpp" "src/fw/CMakeFiles/vpdift_fw.dir/engine_fw.cpp.o" "gcc" "src/fw/CMakeFiles/vpdift_fw.dir/engine_fw.cpp.o.d"
+  "/root/repo/src/fw/hal.cpp" "src/fw/CMakeFiles/vpdift_fw.dir/hal.cpp.o" "gcc" "src/fw/CMakeFiles/vpdift_fw.dir/hal.cpp.o.d"
+  "/root/repo/src/fw/host_ref.cpp" "src/fw/CMakeFiles/vpdift_fw.dir/host_ref.cpp.o" "gcc" "src/fw/CMakeFiles/vpdift_fw.dir/host_ref.cpp.o.d"
+  "/root/repo/src/fw/immobilizer.cpp" "src/fw/CMakeFiles/vpdift_fw.dir/immobilizer.cpp.o" "gcc" "src/fw/CMakeFiles/vpdift_fw.dir/immobilizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rvasm/CMakeFiles/vpdift_rvasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/vpdift_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlmlite/CMakeFiles/vpdift_tlm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dift/CMakeFiles/vpdift_dift.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysc/CMakeFiles/vpdift_sysc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

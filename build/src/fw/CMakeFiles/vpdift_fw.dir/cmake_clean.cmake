@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpdift_fw.dir/attacks.cpp.o"
+  "CMakeFiles/vpdift_fw.dir/attacks.cpp.o.d"
+  "CMakeFiles/vpdift_fw.dir/bench_progs.cpp.o"
+  "CMakeFiles/vpdift_fw.dir/bench_progs.cpp.o.d"
+  "CMakeFiles/vpdift_fw.dir/bench_progs2.cpp.o"
+  "CMakeFiles/vpdift_fw.dir/bench_progs2.cpp.o.d"
+  "CMakeFiles/vpdift_fw.dir/bench_progs3.cpp.o"
+  "CMakeFiles/vpdift_fw.dir/bench_progs3.cpp.o.d"
+  "CMakeFiles/vpdift_fw.dir/bench_progs4.cpp.o"
+  "CMakeFiles/vpdift_fw.dir/bench_progs4.cpp.o.d"
+  "CMakeFiles/vpdift_fw.dir/bench_sha512.cpp.o"
+  "CMakeFiles/vpdift_fw.dir/bench_sha512.cpp.o.d"
+  "CMakeFiles/vpdift_fw.dir/engine_fw.cpp.o"
+  "CMakeFiles/vpdift_fw.dir/engine_fw.cpp.o.d"
+  "CMakeFiles/vpdift_fw.dir/hal.cpp.o"
+  "CMakeFiles/vpdift_fw.dir/hal.cpp.o.d"
+  "CMakeFiles/vpdift_fw.dir/host_ref.cpp.o"
+  "CMakeFiles/vpdift_fw.dir/host_ref.cpp.o.d"
+  "CMakeFiles/vpdift_fw.dir/immobilizer.cpp.o"
+  "CMakeFiles/vpdift_fw.dir/immobilizer.cpp.o.d"
+  "libvpdift_fw.a"
+  "libvpdift_fw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpdift_fw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

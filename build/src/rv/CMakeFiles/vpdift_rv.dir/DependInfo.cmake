@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rv/core.cpp" "src/rv/CMakeFiles/vpdift_rv.dir/core.cpp.o" "gcc" "src/rv/CMakeFiles/vpdift_rv.dir/core.cpp.o.d"
+  "/root/repo/src/rv/csr.cpp" "src/rv/CMakeFiles/vpdift_rv.dir/csr.cpp.o" "gcc" "src/rv/CMakeFiles/vpdift_rv.dir/csr.cpp.o.d"
+  "/root/repo/src/rv/decode.cpp" "src/rv/CMakeFiles/vpdift_rv.dir/decode.cpp.o" "gcc" "src/rv/CMakeFiles/vpdift_rv.dir/decode.cpp.o.d"
+  "/root/repo/src/rv/trace.cpp" "src/rv/CMakeFiles/vpdift_rv.dir/trace.cpp.o" "gcc" "src/rv/CMakeFiles/vpdift_rv.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dift/CMakeFiles/vpdift_dift.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlmlite/CMakeFiles/vpdift_tlm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysc/CMakeFiles/vpdift_sysc.dir/DependInfo.cmake"
+  "/root/repo/build/src/rvasm/CMakeFiles/vpdift_rvasm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpdift_rv.dir/core.cpp.o"
+  "CMakeFiles/vpdift_rv.dir/core.cpp.o.d"
+  "CMakeFiles/vpdift_rv.dir/csr.cpp.o"
+  "CMakeFiles/vpdift_rv.dir/csr.cpp.o.d"
+  "CMakeFiles/vpdift_rv.dir/decode.cpp.o"
+  "CMakeFiles/vpdift_rv.dir/decode.cpp.o.d"
+  "CMakeFiles/vpdift_rv.dir/trace.cpp.o"
+  "CMakeFiles/vpdift_rv.dir/trace.cpp.o.d"
+  "libvpdift_rv.a"
+  "libvpdift_rv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpdift_rv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpdift_rvasm.dir/assembler.cpp.o"
+  "CMakeFiles/vpdift_rvasm.dir/assembler.cpp.o.d"
+  "CMakeFiles/vpdift_rvasm.dir/elf.cpp.o"
+  "CMakeFiles/vpdift_rvasm.dir/elf.cpp.o.d"
+  "libvpdift_rvasm.a"
+  "libvpdift_rvasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpdift_rvasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

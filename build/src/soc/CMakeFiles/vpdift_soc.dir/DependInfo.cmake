@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soc/aes128.cpp" "src/soc/CMakeFiles/vpdift_soc.dir/aes128.cpp.o" "gcc" "src/soc/CMakeFiles/vpdift_soc.dir/aes128.cpp.o.d"
+  "/root/repo/src/soc/aes_periph.cpp" "src/soc/CMakeFiles/vpdift_soc.dir/aes_periph.cpp.o" "gcc" "src/soc/CMakeFiles/vpdift_soc.dir/aes_periph.cpp.o.d"
+  "/root/repo/src/soc/can.cpp" "src/soc/CMakeFiles/vpdift_soc.dir/can.cpp.o" "gcc" "src/soc/CMakeFiles/vpdift_soc.dir/can.cpp.o.d"
+  "/root/repo/src/soc/clint.cpp" "src/soc/CMakeFiles/vpdift_soc.dir/clint.cpp.o" "gcc" "src/soc/CMakeFiles/vpdift_soc.dir/clint.cpp.o.d"
+  "/root/repo/src/soc/dma.cpp" "src/soc/CMakeFiles/vpdift_soc.dir/dma.cpp.o" "gcc" "src/soc/CMakeFiles/vpdift_soc.dir/dma.cpp.o.d"
+  "/root/repo/src/soc/gpio.cpp" "src/soc/CMakeFiles/vpdift_soc.dir/gpio.cpp.o" "gcc" "src/soc/CMakeFiles/vpdift_soc.dir/gpio.cpp.o.d"
+  "/root/repo/src/soc/memory.cpp" "src/soc/CMakeFiles/vpdift_soc.dir/memory.cpp.o" "gcc" "src/soc/CMakeFiles/vpdift_soc.dir/memory.cpp.o.d"
+  "/root/repo/src/soc/plic.cpp" "src/soc/CMakeFiles/vpdift_soc.dir/plic.cpp.o" "gcc" "src/soc/CMakeFiles/vpdift_soc.dir/plic.cpp.o.d"
+  "/root/repo/src/soc/sensor.cpp" "src/soc/CMakeFiles/vpdift_soc.dir/sensor.cpp.o" "gcc" "src/soc/CMakeFiles/vpdift_soc.dir/sensor.cpp.o.d"
+  "/root/repo/src/soc/spiflash.cpp" "src/soc/CMakeFiles/vpdift_soc.dir/spiflash.cpp.o" "gcc" "src/soc/CMakeFiles/vpdift_soc.dir/spiflash.cpp.o.d"
+  "/root/repo/src/soc/sysctrl.cpp" "src/soc/CMakeFiles/vpdift_soc.dir/sysctrl.cpp.o" "gcc" "src/soc/CMakeFiles/vpdift_soc.dir/sysctrl.cpp.o.d"
+  "/root/repo/src/soc/uart.cpp" "src/soc/CMakeFiles/vpdift_soc.dir/uart.cpp.o" "gcc" "src/soc/CMakeFiles/vpdift_soc.dir/uart.cpp.o.d"
+  "/root/repo/src/soc/watchdog.cpp" "src/soc/CMakeFiles/vpdift_soc.dir/watchdog.cpp.o" "gcc" "src/soc/CMakeFiles/vpdift_soc.dir/watchdog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dift/CMakeFiles/vpdift_dift.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlmlite/CMakeFiles/vpdift_tlm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysc/CMakeFiles/vpdift_sysc.dir/DependInfo.cmake"
+  "/root/repo/build/src/rvasm/CMakeFiles/vpdift_rvasm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

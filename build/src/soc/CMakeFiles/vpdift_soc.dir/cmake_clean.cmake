@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpdift_soc.dir/aes128.cpp.o"
+  "CMakeFiles/vpdift_soc.dir/aes128.cpp.o.d"
+  "CMakeFiles/vpdift_soc.dir/aes_periph.cpp.o"
+  "CMakeFiles/vpdift_soc.dir/aes_periph.cpp.o.d"
+  "CMakeFiles/vpdift_soc.dir/can.cpp.o"
+  "CMakeFiles/vpdift_soc.dir/can.cpp.o.d"
+  "CMakeFiles/vpdift_soc.dir/clint.cpp.o"
+  "CMakeFiles/vpdift_soc.dir/clint.cpp.o.d"
+  "CMakeFiles/vpdift_soc.dir/dma.cpp.o"
+  "CMakeFiles/vpdift_soc.dir/dma.cpp.o.d"
+  "CMakeFiles/vpdift_soc.dir/gpio.cpp.o"
+  "CMakeFiles/vpdift_soc.dir/gpio.cpp.o.d"
+  "CMakeFiles/vpdift_soc.dir/memory.cpp.o"
+  "CMakeFiles/vpdift_soc.dir/memory.cpp.o.d"
+  "CMakeFiles/vpdift_soc.dir/plic.cpp.o"
+  "CMakeFiles/vpdift_soc.dir/plic.cpp.o.d"
+  "CMakeFiles/vpdift_soc.dir/sensor.cpp.o"
+  "CMakeFiles/vpdift_soc.dir/sensor.cpp.o.d"
+  "CMakeFiles/vpdift_soc.dir/spiflash.cpp.o"
+  "CMakeFiles/vpdift_soc.dir/spiflash.cpp.o.d"
+  "CMakeFiles/vpdift_soc.dir/sysctrl.cpp.o"
+  "CMakeFiles/vpdift_soc.dir/sysctrl.cpp.o.d"
+  "CMakeFiles/vpdift_soc.dir/uart.cpp.o"
+  "CMakeFiles/vpdift_soc.dir/uart.cpp.o.d"
+  "CMakeFiles/vpdift_soc.dir/watchdog.cpp.o"
+  "CMakeFiles/vpdift_soc.dir/watchdog.cpp.o.d"
+  "libvpdift_soc.a"
+  "libvpdift_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpdift_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpdift_sysc.dir/kernel.cpp.o"
+  "CMakeFiles/vpdift_sysc.dir/kernel.cpp.o.d"
+  "libvpdift_sysc.a"
+  "libvpdift_sysc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpdift_sysc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvpdift_sysc.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpdift_tlm.dir/bus.cpp.o"
+  "CMakeFiles/vpdift_tlm.dir/bus.cpp.o.d"
+  "libvpdift_tlm.a"
+  "libvpdift_tlm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpdift_tlm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

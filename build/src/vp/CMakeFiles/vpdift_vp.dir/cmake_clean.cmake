@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpdift_vp.dir/scenarios.cpp.o"
+  "CMakeFiles/vpdift_vp.dir/scenarios.cpp.o.d"
+  "CMakeFiles/vpdift_vp.dir/vp.cpp.o"
+  "CMakeFiles/vpdift_vp.dir/vp.cpp.o.d"
+  "libvpdift_vp.a"
+  "libvpdift_vp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpdift_vp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/attacks_test.cpp" "tests/CMakeFiles/vpdift_tests.dir/attacks_test.cpp.o" "gcc" "tests/CMakeFiles/vpdift_tests.dir/attacks_test.cpp.o.d"
+  "/root/repo/tests/coverage_gaps_test.cpp" "tests/CMakeFiles/vpdift_tests.dir/coverage_gaps_test.cpp.o" "gcc" "tests/CMakeFiles/vpdift_tests.dir/coverage_gaps_test.cpp.o.d"
+  "/root/repo/tests/dift_lattice_test.cpp" "tests/CMakeFiles/vpdift_tests.dir/dift_lattice_test.cpp.o" "gcc" "tests/CMakeFiles/vpdift_tests.dir/dift_lattice_test.cpp.o.d"
+  "/root/repo/tests/dift_policy_test.cpp" "tests/CMakeFiles/vpdift_tests.dir/dift_policy_test.cpp.o" "gcc" "tests/CMakeFiles/vpdift_tests.dir/dift_policy_test.cpp.o.d"
+  "/root/repo/tests/dift_taint_test.cpp" "tests/CMakeFiles/vpdift_tests.dir/dift_taint_test.cpp.o" "gcc" "tests/CMakeFiles/vpdift_tests.dir/dift_taint_test.cpp.o.d"
+  "/root/repo/tests/dual_ecu_test.cpp" "tests/CMakeFiles/vpdift_tests.dir/dual_ecu_test.cpp.o" "gcc" "tests/CMakeFiles/vpdift_tests.dir/dual_ecu_test.cpp.o.d"
+  "/root/repo/tests/elf_trace_test.cpp" "tests/CMakeFiles/vpdift_tests.dir/elf_trace_test.cpp.o" "gcc" "tests/CMakeFiles/vpdift_tests.dir/elf_trace_test.cpp.o.d"
+  "/root/repo/tests/fuzz_diff_test.cpp" "tests/CMakeFiles/vpdift_tests.dir/fuzz_diff_test.cpp.o" "gcc" "tests/CMakeFiles/vpdift_tests.dir/fuzz_diff_test.cpp.o.d"
+  "/root/repo/tests/fw_bench_test.cpp" "tests/CMakeFiles/vpdift_tests.dir/fw_bench_test.cpp.o" "gcc" "tests/CMakeFiles/vpdift_tests.dir/fw_bench_test.cpp.o.d"
+  "/root/repo/tests/gpio_flash_test.cpp" "tests/CMakeFiles/vpdift_tests.dir/gpio_flash_test.cpp.o" "gcc" "tests/CMakeFiles/vpdift_tests.dir/gpio_flash_test.cpp.o.d"
+  "/root/repo/tests/host_ref_test.cpp" "tests/CMakeFiles/vpdift_tests.dir/host_ref_test.cpp.o" "gcc" "tests/CMakeFiles/vpdift_tests.dir/host_ref_test.cpp.o.d"
+  "/root/repo/tests/immobilizer_test.cpp" "tests/CMakeFiles/vpdift_tests.dir/immobilizer_test.cpp.o" "gcc" "tests/CMakeFiles/vpdift_tests.dir/immobilizer_test.cpp.o.d"
+  "/root/repo/tests/policy_parser_test.cpp" "tests/CMakeFiles/vpdift_tests.dir/policy_parser_test.cpp.o" "gcc" "tests/CMakeFiles/vpdift_tests.dir/policy_parser_test.cpp.o.d"
+  "/root/repo/tests/rv_dift_test.cpp" "tests/CMakeFiles/vpdift_tests.dir/rv_dift_test.cpp.o" "gcc" "tests/CMakeFiles/vpdift_tests.dir/rv_dift_test.cpp.o.d"
+  "/root/repo/tests/rv_exec_test.cpp" "tests/CMakeFiles/vpdift_tests.dir/rv_exec_test.cpp.o" "gcc" "tests/CMakeFiles/vpdift_tests.dir/rv_exec_test.cpp.o.d"
+  "/root/repo/tests/rvasm_test.cpp" "tests/CMakeFiles/vpdift_tests.dir/rvasm_test.cpp.o" "gcc" "tests/CMakeFiles/vpdift_tests.dir/rvasm_test.cpp.o.d"
+  "/root/repo/tests/rvc_test.cpp" "tests/CMakeFiles/vpdift_tests.dir/rvc_test.cpp.o" "gcc" "tests/CMakeFiles/vpdift_tests.dir/rvc_test.cpp.o.d"
+  "/root/repo/tests/smoke_test.cpp" "tests/CMakeFiles/vpdift_tests.dir/smoke_test.cpp.o" "gcc" "tests/CMakeFiles/vpdift_tests.dir/smoke_test.cpp.o.d"
+  "/root/repo/tests/soc_periph_test.cpp" "tests/CMakeFiles/vpdift_tests.dir/soc_periph_test.cpp.o" "gcc" "tests/CMakeFiles/vpdift_tests.dir/soc_periph_test.cpp.o.d"
+  "/root/repo/tests/soc_test.cpp" "tests/CMakeFiles/vpdift_tests.dir/soc_test.cpp.o" "gcc" "tests/CMakeFiles/vpdift_tests.dir/soc_test.cpp.o.d"
+  "/root/repo/tests/sysc_test.cpp" "tests/CMakeFiles/vpdift_tests.dir/sysc_test.cpp.o" "gcc" "tests/CMakeFiles/vpdift_tests.dir/sysc_test.cpp.o.d"
+  "/root/repo/tests/tlm_test.cpp" "tests/CMakeFiles/vpdift_tests.dir/tlm_test.cpp.o" "gcc" "tests/CMakeFiles/vpdift_tests.dir/tlm_test.cpp.o.d"
+  "/root/repo/tests/vp_test.cpp" "tests/CMakeFiles/vpdift_tests.dir/vp_test.cpp.o" "gcc" "tests/CMakeFiles/vpdift_tests.dir/vp_test.cpp.o.d"
+  "/root/repo/tests/watchdog_test.cpp" "tests/CMakeFiles/vpdift_tests.dir/watchdog_test.cpp.o" "gcc" "tests/CMakeFiles/vpdift_tests.dir/watchdog_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vp/CMakeFiles/vpdift_vp.dir/DependInfo.cmake"
+  "/root/repo/build/src/fw/CMakeFiles/vpdift_fw.dir/DependInfo.cmake"
+  "/root/repo/build/src/rv/CMakeFiles/vpdift_rv.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/vpdift_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlmlite/CMakeFiles/vpdift_tlm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dift/CMakeFiles/vpdift_dift.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysc/CMakeFiles/vpdift_sysc.dir/DependInfo.cmake"
+  "/root/repo/build/src/rvasm/CMakeFiles/vpdift_rvasm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpdift-run.dir/vpdift_run.cpp.o"
+  "CMakeFiles/vpdift-run.dir/vpdift_run.cpp.o.d"
+  "vpdift-run"
+  "vpdift-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpdift-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
