@@ -4,11 +4,20 @@
 //     design-choice ablation from DESIGN.md),
 //   * byte (de)serialisation used on the TLM path,
 //   * lattice construction/validation cost by class count,
+//   * shadow-summary queries and maintenance (the block fast path),
 //   * end-to-end ISS instruction rate, plain vs tainted core.
+//
+// Run with --benchmark_format=json (or --benchmark_out=FILE
+// --benchmark_out_format=json) for a machine-readable report; the ISS
+// benchmarks attach the engine counters (lub/s, summary hits/s) as
+// user counters so they appear in that JSON.
 #include <benchmark/benchmark.h>
+
+#include <vector>
 
 #include "dift/context.hpp"
 #include "dift/lattice.hpp"
+#include "dift/shadow.hpp"
 #include "dift/taint.hpp"
 #include "fw/benchmarks.hpp"
 #include "vp/scenarios.hpp"
@@ -111,10 +120,57 @@ void BM_LatticeBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_LatticeBuild)->Arg(4)->Arg(16)->Arg(64)->Arg(128)->Complexity();
 
+// Shadow-summary primitives: a uniform-block query vs the per-byte LUB loop
+// it replaces, and the maintenance cost of a store that splits a block.
+void BM_ShadowUniformQuery(benchmark::State& state) {
+  std::vector<Tag> plane(1 << 16, Tag(2));
+  dift::ShadowSummary shadow;
+  shadow.attach(plane.data(), plane.size());
+  std::uint64_t off = 0;
+  for (auto _ : state) {
+    off = (off + 64) & 0xffff;
+    Tag t = 0;
+    benchmark::DoNotOptimize(shadow.uniform(off, 4, &t));
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_ShadowUniformQuery);
+
+void BM_ShadowPerByteLub(benchmark::State& state) {
+  const Lattice l = Lattice::ifp3();
+  DiftContext ctx(l);
+  std::vector<Tag> plane(1 << 16, Tag(2));
+  std::uint64_t off = 0;
+  for (auto _ : state) {
+    off = (off + 64) & 0xffff;
+    Tag t = plane[off];
+    for (int i = 1; i < 4; ++i) t = dift::lub(t, plane[off + i]);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_ShadowPerByteLub);
+
+void BM_ShadowStoreSplit(benchmark::State& state) {
+  std::vector<Tag> plane(1 << 16, Tag(0));
+  dift::ShadowSummary shadow;
+  shadow.attach(plane.data(), plane.size());
+  std::uint64_t off = 0;
+  for (auto _ : state) {
+    off = (off + 64) & 0xffff;
+    plane[off] = Tag(1);
+    shadow.on_store(off, 1, Tag(1));  // block goes mixed
+    plane[off] = Tag(0);
+    shadow.on_store(off, 1, Tag(0));  // stays mixed until rescanned
+    shadow.rescan_block(off >> dift::ShadowSummary::kBlockShift);
+  }
+}
+BENCHMARK(BM_ShadowStoreSplit);
+
 // End-to-end ISS rate: instructions per second on the primes kernel.
 template <typename VpT>
 void run_iss(benchmark::State& state, bool dift) {
   std::uint64_t instret = 0;
+  dift::DiftStats stats;
   for (auto _ : state) {
     VpT v;
     v.load(fw::make_primes(4000));
@@ -123,9 +179,19 @@ void run_iss(benchmark::State& state, bool dift) {
     const auto r = v.run(sysc::Time::sec(60));
     if (!r.exited || r.exit_code != 0) state.SkipWithError("self-check failed");
     instret += r.instret;
+    stats += r.stats;
   }
   state.counters["instr/s"] =
       benchmark::Counter(static_cast<double>(instret), benchmark::Counter::kIsRate);
+  state.counters["lub/s"] = benchmark::Counter(
+      static_cast<double>(stats.lub_calls), benchmark::Counter::kIsRate);
+  state.counters["summary_hits/s"] = benchmark::Counter(
+      static_cast<double>(stats.summary_hits()), benchmark::Counter::kIsRate);
+  state.counters["decode_hit_pct"] =
+      stats.decode_hits + stats.decode_misses
+          ? 100.0 * static_cast<double>(stats.decode_hits) /
+                static_cast<double>(stats.decode_hits + stats.decode_misses)
+          : 0.0;
 }
 
 void BM_IssPlainVp(benchmark::State& state) { run_iss<vp::Vp>(state, false); }

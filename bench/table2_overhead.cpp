@@ -8,8 +8,16 @@
 // multi-billion runs (see EXPERIMENTS.md); the *shape* — overhead factors in
 // the 1.2x-3x band, interrupt-bound workloads at the low end — is the
 // reproduced quantity. Pass a scale factor >= 1 as argv[1] for longer runs.
+//
+// Besides the table, the harness writes a machine-readable report
+// (BENCH_table2.json by default; override with argv[2]) carrying per-workload
+// VP/VP+ MIPS, the overhead factor, the DIFT engine counters of the VP+ run,
+// and the geometric-mean overhead of the paper's workload set — the number
+// perf work is measured against.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <string>
 #include <vector>
@@ -34,6 +42,7 @@ struct Measurement {
   std::uint64_t instret = 0;
   double wall = 0, mips = 0;
   bool ok = false;
+  dift::DiftStats stats;
 };
 
 template <typename VpT>
@@ -49,6 +58,7 @@ Measurement run_one(const Workload& w, bool dift) {
   m.wall = r.wall_seconds;
   m.mips = r.mips;
   m.ok = r.exited && r.exit_code == 0 && !r.violation;
+  m.stats = r.stats;
   return m;
 }
 
@@ -59,6 +69,7 @@ const soc::AesKey kPin = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
 
 int main(int argc, char** argv) {
   const std::uint32_t scale = argc > 1 ? std::atoi(argv[1]) : 4;
+  const std::string json_path = argc > 2 ? argv[2] : "BENCH_table2.json";
 
   std::vector<Workload> workloads = {
       {"qsort", [=] { return fw::make_qsort(30000 * scale, 0xc0ffee); }},
@@ -109,9 +120,10 @@ int main(int argc, char** argv) {
               "MIPS", "MIPS", "");
 
   double sum_instr = 0, sum_loc = 0, sum_vp = 0, sum_vpd = 0, sum_mips_vp = 0,
-         sum_mips_vpd = 0, sum_ov = 0;
+         sum_mips_vpd = 0, sum_ov = 0, log_ov = 0;
   int n = 0;
   bool all_ok = true;
+  std::string json_rows;
   for (const auto& w : workloads) {
     const std::size_t loc = w.make().instruction_slots();
     const Measurement plain = run_one<vp::Vp>(w, false);
@@ -123,6 +135,21 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(plain.instret), loc, plain.wall,
                 dift.wall, plain.mips, dift.mips, ov,
                 plain.ok && dift.ok ? "" : "  [SELF-CHECK FAILED]");
+    {
+      char row[512];
+      std::snprintf(row, sizeof row,
+                    "    {\"name\":\"%s\",\"extra\":%s,\"ok\":%s,"
+                    "\"instret\":%llu,\"loc_asm\":%zu,"
+                    "\"vp\":{\"wall_s\":%.4f,\"mips\":%.2f},"
+                    "\"vp_dift\":{\"wall_s\":%.4f,\"mips\":%.2f},"
+                    "\"overhead\":%.4f,\"dift_stats\":",
+                    w.name.c_str(), w.extra ? "true" : "false",
+                    plain.ok && dift.ok ? "true" : "false",
+                    static_cast<unsigned long long>(plain.instret), loc,
+                    plain.wall, plain.mips, dift.wall, dift.mips, ov);
+      if (!json_rows.empty()) json_rows += ",\n";
+      json_rows += std::string(row) + dift::to_json(dift.stats) + "}";
+    }
     if (w.extra) continue;  // extras reported but kept out of the averages
     sum_instr += static_cast<double>(plain.instret);
     sum_loc += static_cast<double>(loc);
@@ -131,14 +158,32 @@ int main(int argc, char** argv) {
     sum_mips_vp += plain.mips;
     sum_mips_vpd += dift.mips;
     sum_ov += ov;
+    log_ov += std::log(ov > 0 ? ov : 1.0);
     ++n;
   }
+  const double geomean_ov = n ? std::exp(log_ov / n) : 0.0;
   std::printf("%-14s %14.0f %8.0f | %9.2f %9.2f | %7.1f %7.1f | %4.1fx\n",
               "- average -", sum_instr / n, sum_loc / n, sum_vp / n,
               sum_vpd / n, sum_mips_vp / n, sum_mips_vpd / n, sum_ov / n);
   std::printf("(* = extra workloads beyond the paper's set, excluded from the average)\n");
+  std::printf("geomean overhead (paper set): %.2fx\n", geomean_ov);
   std::printf("\nPaper reference: average overhead 2.0x (range 1.2x-2.9x), "
               "interrupt-bound simple-sensor lowest.\n");
+
+  std::ofstream out(json_path);
+  if (out) {
+    char head[256];
+    std::snprintf(head, sizeof head,
+                  "{\n  \"bench\": \"table2_overhead\",\n  \"scale\": %u,\n"
+                  "  \"geomean_overhead\": %.4f,\n  \"all_ok\": %s,\n"
+                  "  \"workloads\": [\n",
+                  scale, geomean_ov, all_ok ? "true" : "false");
+    out << head << json_rows << "\n  ]\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: cannot write %s\n", json_path.c_str());
+  }
+
   std::printf("%s\n", all_ok ? "OK: all self-checks passed."
                              : "FAILED: a workload self-check failed.");
   return all_ok ? 0 : 1;

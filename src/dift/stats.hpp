@@ -1,0 +1,75 @@
+// DIFT engine statistics.
+//
+// One flat counter block for everything the engine does on the hot path:
+// tag combinations (LUB table lookups), flow checks, decode-cache behaviour,
+// shadow-summary fast-path hits (see shadow.hpp) and bus traffic. The VP
+// fills a DiftStats into every vp::RunResult so benchmark harnesses can emit
+// machine-readable reports (BENCH_*.json) and perf PRs have a baseline to
+// beat. Counters are plain 64-bit adds — cheap enough to stay enabled in
+// both the plain VP and the VP+.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vpdift::dift {
+
+struct DiftStats {
+  std::uint64_t lub_calls = 0;       ///< LUB table lookups (a != b slow path)
+  std::uint64_t flow_checks = 0;     ///< flow-table lookups (from != to)
+  std::uint64_t decode_hits = 0;     ///< decode-cache entries reused as-is
+  std::uint64_t decode_misses = 0;   ///< decode-cache fills/revalidations
+  std::uint64_t fetch_summary_hits = 0;  ///< fetches cleared via block memo
+  std::uint64_t load_summary_hits = 0;   ///< loads tagged via uniform summary
+  std::uint64_t mem_summary_hits = 0;    ///< Memory reads served via summary
+  std::uint64_t dma_summary_hits = 0;    ///< DMA bursts forwarded as uniform
+  std::uint64_t bus_transactions = 0;    ///< b_transport calls routed by the bus
+
+  std::uint64_t summary_hits() const {
+    return fetch_summary_hits + load_summary_hits + mem_summary_hits +
+           dma_summary_hits;
+  }
+
+  DiftStats& operator+=(const DiftStats& o) {
+    lub_calls += o.lub_calls;
+    flow_checks += o.flow_checks;
+    decode_hits += o.decode_hits;
+    decode_misses += o.decode_misses;
+    fetch_summary_hits += o.fetch_summary_hits;
+    load_summary_hits += o.load_summary_hits;
+    mem_summary_hits += o.mem_summary_hits;
+    dma_summary_hits += o.dma_summary_hits;
+    bus_transactions += o.bus_transactions;
+    return *this;
+  }
+
+  DiftStats operator-(const DiftStats& o) const {
+    DiftStats d;
+    d.lub_calls = lub_calls - o.lub_calls;
+    d.flow_checks = flow_checks - o.flow_checks;
+    d.decode_hits = decode_hits - o.decode_hits;
+    d.decode_misses = decode_misses - o.decode_misses;
+    d.fetch_summary_hits = fetch_summary_hits - o.fetch_summary_hits;
+    d.load_summary_hits = load_summary_hits - o.load_summary_hits;
+    d.mem_summary_hits = mem_summary_hits - o.mem_summary_hits;
+    d.dma_summary_hits = dma_summary_hits - o.dma_summary_hits;
+    d.bus_transactions = bus_transactions - o.bus_transactions;
+    return d;
+  }
+};
+
+/// JSON object rendering, shared by the bench harnesses and the CLI runner.
+inline std::string to_json(const DiftStats& s) {
+  auto f = [](const char* k, std::uint64_t v, bool last = false) {
+    return "\"" + std::string(k) + "\":" + std::to_string(v) + (last ? "" : ",");
+  };
+  return "{" + f("lub_calls", s.lub_calls) + f("flow_checks", s.flow_checks) +
+         f("decode_hits", s.decode_hits) + f("decode_misses", s.decode_misses) +
+         f("fetch_summary_hits", s.fetch_summary_hits) +
+         f("load_summary_hits", s.load_summary_hits) +
+         f("mem_summary_hits", s.mem_summary_hits) +
+         f("dma_summary_hits", s.dma_summary_hits) +
+         f("bus_transactions", s.bus_transactions, true) + "}";
+}
+
+}  // namespace vpdift::dift

@@ -15,11 +15,13 @@ Core<W>::Core(std::string name) : name_(std::move(name)) {}
 
 template <typename W>
 void Core<W>::set_dmi(std::uint8_t* data, Tag* tags, std::uint64_t base,
-                      std::uint64_t size) {
+                      std::uint64_t size, dift::ShadowSummary* shadow) {
   dmi_data_ = data;
   dmi_tags_ = tags;
   dmi_base_ = base;
   dmi_size_ = size;
+  shadow_ = shadow;
+  invalidate_fetch_memo();
   // One entry per halfword (IALIGN=16 with the C extension), capped to the
   // low window of RAM where program text lives — fetches beyond it simply
   // decode each time. Entries start as {raw=0, insn=decode16(0)}, which is
@@ -33,6 +35,7 @@ void Core<W>::set_policy(const dift::SecurityPolicy* policy) {
   policy_ = policy;
   exec_ = policy ? policy->execution_clearance() : dift::ExecutionClearance{};
   has_store_prot_ = policy && !policy->store_protection().empty();
+  invalidate_fetch_memo();
 }
 
 template <typename W>
@@ -43,6 +46,7 @@ void Core<W>::reset(std::uint32_t reset_pc) {
   next_pc_ = reset_pc;
   instret_ = 0;
   wfi_ = false;
+  invalidate_fetch_memo();
   if (!decode_cache_.empty())
     decode_cache_.assign(decode_cache_.size(), DecodeEntry{0, decode16(0)});
 }
@@ -65,8 +69,13 @@ auto Core<W>::load(std::uint32_t addr, std::uint32_t size, bool sign_extend)
     for (std::uint32_t i = 0; i < size; ++i)
       value |= std::uint32_t(dmi_data_[off + i]) << (8 * i);
     if constexpr (kTainted) {
-      tag = dmi_tags_[off];
-      for (std::uint32_t i = 1; i < size; ++i) tag = dift::lub(tag, dmi_tags_[off + i]);
+      if (shadow_ && shadow_->uniform(off, size, &tag)) {
+        ++stats_.load_summary_hits;
+      } else {
+        tag = dmi_tags_[off];
+        for (std::uint32_t i = 1; i < size; ++i)
+          tag = dift::lub(tag, dmi_tags_[off + i]);
+      }
     }
   } else {
     std::uint8_t buf[4] = {};
@@ -82,8 +91,13 @@ auto Core<W>::load(std::uint32_t addr, std::uint32_t size, bool sign_extend)
     if (!p.ok()) return {0, dift::kBottomTag, true};
     for (std::uint32_t i = 0; i < size; ++i) value |= std::uint32_t(buf[i]) << (8 * i);
     if constexpr (kTainted) {
-      tag = tbuf[0];
-      for (std::uint32_t i = 1; i < size; ++i) tag = dift::lub(tag, tbuf[i]);
+      if (p.tags_uniform()) {
+        tag = static_cast<Tag>(p.tag_summary);
+        ++stats_.load_summary_hits;
+      } else {
+        tag = tbuf[0];
+        for (std::uint32_t i = 1; i < size; ++i) tag = dift::lub(tag, tbuf[i]);
+      }
     }
   }
   if (sign_extend) {
@@ -108,8 +122,10 @@ bool Core<W>::store(std::uint32_t addr, std::uint32_t value, Tag tag,
     const std::uint64_t off = addr - dmi_base_;
     for (std::uint32_t i = 0; i < size; ++i)
       dmi_data_[off + i] = static_cast<std::uint8_t>(value >> (8 * i));
-    if constexpr (kTainted)
+    if constexpr (kTainted) {
       for (std::uint32_t i = 0; i < size; ++i) dmi_tags_[off + i] = tag;
+      if (shadow_) shadow_->on_store(off, size, tag);
+    }
     return false;
   }
   std::uint8_t buf[4];
@@ -124,6 +140,7 @@ bool Core<W>::store(std::uint32_t addr, std::uint32_t value, Tag tag,
   p.data = buf;
   p.tags = kTainted ? tbuf : nullptr;
   p.length = size;
+  p.set_tag_summary(tag);  // tbuf was filled uniformly above
   sysc::Time delay;
   transport_with_pc(p, delay);
   return !p.ok();
@@ -157,8 +174,13 @@ auto Core<W>::fetch32(std::uint32_t addr) -> MemAccess {
     std::memcpy(&value, dmi_data_ + off, 4);  // host is little-endian
     Tag tag = dift::kBottomTag;
     if constexpr (kTainted) {
-      tag = dmi_tags_[off];
-      for (std::uint32_t i = 1; i < 4; ++i) tag = dift::lub(tag, dmi_tags_[off + i]);
+      if (shadow_ && shadow_->uniform(off, 4, &tag)) {
+        ++stats_.load_summary_hits;
+      } else {
+        tag = dmi_tags_[off];
+        for (std::uint32_t i = 1; i < 4; ++i)
+          tag = dift::lub(tag, dmi_tags_[off + i]);
+      }
     }
     return {value, tag, false};
   }
@@ -167,6 +189,7 @@ auto Core<W>::fetch32(std::uint32_t addr) -> MemAccess {
 
 template <typename W>
 void Core<W>::take_trap(std::uint32_t cause, std::uint32_t tval) {
+  trapped_ = true;
   auto& s = csrs_;
   std::uint32_t m = s.mstatus.value;
   const bool mie = (m & kMstatusMie) != 0;
@@ -493,25 +516,53 @@ RunExit Core<W>::run(std::uint64_t max_instructions) {
         if (e.raw != raw) {
           e.raw = raw;
           e.insn = decode_any(raw);
+          ++stats_.decode_misses;
+        } else {
+          ++stats_.decode_hits;
         }
         insn = &e.insn;
       } else {
         scratch = decode_any(raw);
         insn = &scratch;
+        ++stats_.decode_misses;
       }
       if constexpr (kTainted) {
         if (exec_.fetch) {
-          Tag tag = dmi_tags_[off];
-          for (std::uint32_t i = 1; i < insn->len; ++i)
-            tag = dift::lub(tag, dmi_tags_[off + i]);
-          dift::check_flow(tag, *exec_.fetch, ViolationKind::kFetchClearance,
-                           pc_, pc_, "core.fetch");
+          const std::uint64_t block = off >> dift::ShadowSummary::kBlockShift;
+          const bool one_block =
+              ((off + insn->len - 1) >> dift::ShadowSummary::kBlockShift) == block;
+          if (one_block && fetch_memo_.block == block && shadow_ &&
+              fetch_memo_.generation == shadow_->generation() &&
+              fetch_memo_.flow == dift::detail::g_active.flow &&
+              fetch_memo_.clearance == *exec_.fetch) {
+            ++stats_.fetch_summary_hits;  // memoised: uniform block, flow allowed
+          } else {
+            Tag tag = dift::kBottomTag;
+            const bool uniform =
+                shadow_ && one_block && shadow_->uniform(off, insn->len, &tag);
+            if (!uniform) {
+              tag = dmi_tags_[off];
+              for (std::uint32_t i = 1; i < insn->len; ++i)
+                tag = dift::lub(tag, dmi_tags_[off + i]);
+            }
+            if (uniform && dift::allowed_flow(tag, *exec_.fetch)) {
+              fetch_memo_ = {block, shadow_->generation(),
+                             dift::detail::g_active.flow, *exec_.fetch};
+              ++stats_.fetch_summary_hits;
+            } else {
+              dift::check_flow(tag, *exec_.fetch, ViolationKind::kFetchClearance,
+                               pc_, pc_, "core.fetch");
+            }
+          }
         }
       }
       next_pc_ = pc_ + insn->len;
+      trapped_ = false;
       execute(*insn);
       if (trace_) {
-        const std::uint8_t rd = insn->rd;
+        // A trapping instruction never wrote rd; record x0 (0, untainted)
+        // instead of the stale pre-trap register contents.
+        const std::uint8_t rd = trapped_ ? 0 : insn->rd;
         trace_->push({instret_, pc_, insn->raw, rd, Ops::value(regs_[rd]),
                       Ops::tag(regs_[rd])});
       }
@@ -539,10 +590,13 @@ RunExit Core<W>::run(std::uint64_t max_instructions) {
         }
         const Insn d = decode_any(f.value);
         next_pc_ = pc_ + d.len;
+        trapped_ = false;
         execute(d);
-        if (trace_)
-          trace_->push({instret_, pc_, d.raw, d.rd, Ops::value(regs_[d.rd]),
-                        Ops::tag(regs_[d.rd])});
+        if (trace_) {
+          const std::uint8_t rd = trapped_ ? 0 : d.rd;
+          trace_->push({instret_, pc_, d.raw, rd, Ops::value(regs_[rd]),
+                        Ops::tag(regs_[rd])});
+        }
       }
     }
     pc_ = next_pc_;

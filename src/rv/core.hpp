@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "dift/policy.hpp"
+#include "dift/shadow.hpp"
+#include "dift/stats.hpp"
 #include "rv/csr.hpp"
 #include "rv/decode.hpp"
 #include "rv/trace.hpp"
@@ -49,9 +51,11 @@ class Core {
   /// Socket for data/fetch transactions that miss the DMI window.
   tlmlite::InitiatorSocket& bus_socket() { return bus_; }
   /// Direct-memory-interface window over main RAM (`tags` may be null in the
-  /// plain build).
+  /// plain build). `shadow` is the optional block-summary layer over `tags`
+  /// (see dift/shadow.hpp); when given, the tainted core's load/fetch paths
+  /// skip the per-byte LUB loop on uniform blocks.
   void set_dmi(std::uint8_t* data, dift::Tag* tags, std::uint64_t base,
-               std::uint64_t size);
+               std::uint64_t size, dift::ShadowSummary* shadow = nullptr);
   /// Installs the security policy (execution clearance + store protection).
   /// Only meaningful for the tainted instantiation.
   void set_policy(const dift::SecurityPolicy* policy);
@@ -100,6 +104,10 @@ class Core {
   /// Single-step convenience for tests.
   void step() { run(1); }
 
+  /// Cumulative engine counters (decode cache, summary fast paths). The VP
+  /// snapshots these around run() to report per-run deltas.
+  const dift::DiftStats& stats() const { return stats_; }
+
  private:
   struct MemAccess {
     std::uint32_t value;
@@ -140,6 +148,24 @@ class Core {
   dift::Tag* dmi_tags_ = nullptr;
   std::uint64_t dmi_base_ = 0;
   std::uint64_t dmi_size_ = 0;
+  dift::ShadowSummary* shadow_ = nullptr;
+
+  // Fetch-clearance memo: while the summary generation, flow table and
+  // clearance are unchanged, a fetch from this uniform block is known to be
+  // allowed — the whole per-instruction check collapses to four compares.
+  // Only successful (allowed) checks are memoised, so enforcement throws and
+  // monitor-mode records are never suppressed.
+  struct FetchMemo {
+    std::uint64_t block = ~std::uint64_t{0};
+    std::uint64_t generation = ~std::uint64_t{0};
+    const std::uint8_t* flow = nullptr;
+    dift::Tag clearance{};
+  };
+  FetchMemo fetch_memo_;
+  void invalidate_fetch_memo() { fetch_memo_ = FetchMemo{}; }
+
+  dift::DiftStats stats_;
+  bool trapped_ = false;  ///< execute() took a trap (no rd write happened)
 
   // Decode cache over the low part of the DMI window (riscv-vp-style): one
   // pre-decoded entry per halfword, revalidated against the raw instruction

@@ -25,17 +25,8 @@ void CanPeriph::transport(tlmlite::Payload& p, sysc::Time& delay) {
   p.response = tlmlite::Response::kOk;
   const std::uint64_t a = p.address;
 
-  auto rd_u32 = [&](std::uint32_t v) {
-    for (std::uint32_t i = 0; i < p.length; ++i) {
-      p.data[i] = static_cast<std::uint8_t>(v >> (8 * i));
-      if (p.tainted()) p.tags[i] = dift::kBottomTag;
-    }
-  };
-  auto wr_u32 = [&](std::uint32_t& v) {
-    std::uint32_t nv = 0;
-    for (std::uint32_t i = 0; i < p.length; ++i) nv |= std::uint32_t(p.data[i]) << (8 * i);
-    v = nv;
-  };
+  auto rd_u32 = [&](std::uint32_t v) { tlmlite::fill_reg_u32(p, v); };
+  auto wr_u32 = [&](std::uint32_t& v) { v = tlmlite::collect_reg_u32(p); };
 
   if (a >= kTxData && a + p.length <= kTxData + 8) {
     if (p.is_write()) {

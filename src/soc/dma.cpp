@@ -41,6 +41,12 @@ sysc::Task Dma::run() {
       wr.data = buf;
       wr.tags = tainted_mode_ ? tbuf : nullptr;
       wr.length = n;
+      // Forward the source's uniform-tag summary so the destination can
+      // update its block summaries without rescanning the burst.
+      if (tainted_mode_ && rd.ok() && rd.tags_uniform()) {
+        wr.tag_summary = rd.tag_summary;
+        ++summary_hits_;
+      }
       isock_.b_transport(wr, delay);
 
       s += n;
@@ -58,29 +64,26 @@ sysc::Task Dma::run() {
 void Dma::transport(tlmlite::Payload& p, sysc::Time& delay) {
   delay += sysc::Time::ns(50);
   p.response = tlmlite::Response::kOk;
-  auto rd_u32 = [&](std::uint32_t v) {
-    for (std::uint32_t i = 0; i < p.length; ++i) {
-      p.data[i] = static_cast<std::uint8_t>(v >> (8 * i));
-      if (p.tainted()) p.tags[i] = dift::kBottomTag;
-    }
-  };
-  auto wr_u32 = [&](std::uint32_t& v) {
-    std::uint32_t nv = 0;
-    for (std::uint32_t i = 0; i < p.length; ++i) nv |= std::uint32_t(p.data[i]) << (8 * i);
-    v = nv;
-  };
+  auto rd_u32 = [&](std::uint32_t v) { tlmlite::fill_reg_u32(p, v); };
+  auto wr_u32 = [&](std::uint32_t& v) { v = tlmlite::collect_reg_u32(p); };
   switch (p.address) {
     case kSrc: p.is_read() ? rd_u32(src_) : wr_u32(src_); break;
     case kDst: p.is_read() ? rd_u32(dst_) : wr_u32(dst_); break;
     case kLen: p.is_read() ? rd_u32(len_) : wr_u32(len_); break;
     case kCtrl:
-      if (p.is_write() && p.data[0] == 1 && !busy_) {
+      if (p.is_read()) {
+        rd_u32(0);  // write-only register reads as zero, never as stale bytes
+      } else if (p.data[0] == 1 && !busy_) {
         busy_ = true;
         done_ = false;
         start_event_.notify();
       }
       break;
-    case kStatus: rd_u32((busy_ ? 1u : 0u) | (done_ ? 2u : 0u)); break;
+    case kStatus:
+      // Read-only: a write must not scribble status bytes into the
+      // initiator's payload buffer.
+      if (p.is_read()) rd_u32((busy_ ? 1u : 0u) | (done_ ? 2u : 0u));
+      break;
     default: p.response = tlmlite::Response::kAddressError; break;
   }
 }

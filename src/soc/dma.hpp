@@ -38,6 +38,8 @@ class Dma : public sysc::Module {
   void start() { sim_->spawn(run()); }
 
   std::uint64_t transfers_completed() const { return transfers_; }
+  /// Bursts whose tags were forwarded as one uniform summary.
+  std::uint64_t summary_hits() const { return summary_hits_; }
 
  private:
   sysc::Task run();
@@ -50,6 +52,7 @@ class Dma : public sysc::Module {
   bool busy_ = false, done_ = false;
   bool tainted_mode_;
   std::uint64_t transfers_ = 0;
+  std::uint64_t summary_hits_ = 0;
   std::function<void()> irq_;
 };
 

@@ -14,13 +14,12 @@ void Gpio::transport(tlmlite::Payload& p, sysc::Time& delay) {
   delay += sysc::Time::ns(20);
   p.response = tlmlite::Response::kOk;
   auto rd_u32 = [&](std::uint32_t v, dift::Tag tag) {
-    for (std::uint32_t i = 0; i < p.length; ++i) {
-      p.data[i] = static_cast<std::uint8_t>(v >> (8 * i));
-      if (p.tainted()) p.tags[i] = tag;
-    }
+    tlmlite::fill_reg_u32(p, v, tag);
   };
   auto wr_u32 = [&](std::uint32_t& v) {
-    for (std::uint32_t i = 0; i < p.length; ++i) {
+    // Byte-lane merge, clamped to the register width (shift-UB otherwise).
+    const std::uint32_t n = p.length < 4 ? p.length : 4;
+    for (std::uint32_t i = 0; i < n; ++i) {
       v &= ~(0xffu << (8 * i));
       v |= std::uint32_t(p.data[i]) << (8 * i);
     }

@@ -10,7 +10,10 @@ namespace vpdift::soc {
 Memory::Memory(sysc::Simulation& sim, std::string name, std::size_t size,
                bool track_tags)
     : Module(sim, std::move(name)), data_(size, 0) {
-  if (track_tags) tags_.assign(size, dift::kBottomTag);
+  if (track_tags) {
+    tags_.assign(size, dift::kBottomTag);
+    shadow_.attach(tags_.data(), tags_.size());
+  }
   tsock_.register_transport(
       [this](tlmlite::Payload& p, sysc::Time& d) { transport(p, d); });
 }
@@ -30,6 +33,7 @@ void Memory::classify(std::size_t offset, std::size_t length, dift::Tag tag) {
   if (offset + length > tags_.size())
     throw std::out_of_range(name_ + ": classify out of range");
   std::memset(tags_.data() + offset, tag, length);
+  shadow_.on_classify(offset, length, tag);
 }
 
 dift::Tag Memory::tag_at(std::size_t offset) const {
@@ -61,14 +65,27 @@ void Memory::transport(tlmlite::Payload& p, sysc::Time& delay) {
   if (p.is_read()) {
     std::memcpy(p.data, data_.data() + off, p.length);
     if (p.tainted()) {
-      if (tags_.empty())
+      dift::Tag t = dift::kBottomTag;
+      if (tags_.empty()) {
         std::memset(p.tags, dift::kBottomTag, p.length);
-      else
+        p.set_tag_summary(dift::kBottomTag);
+      } else if (shadow_.uniform(off, p.length, &t)) {
+        std::memset(p.tags, t, p.length);
+        p.set_tag_summary(t);
+        ++summary_hits_;
+      } else {
         std::memcpy(p.tags, tags_.data() + off, p.length);
+      }
     }
   } else {
     std::memcpy(data_.data() + off, p.data, p.length);
-    if (p.tainted() && !tags_.empty()) std::memcpy(tags_.data() + off, p.tags, p.length);
+    if (p.tainted() && !tags_.empty()) {
+      std::memcpy(tags_.data() + off, p.tags, p.length);
+      if (p.tags_uniform())
+        shadow_.on_store(off, p.length, static_cast<dift::Tag>(p.tag_summary));
+      else
+        shadow_.on_store_bytes(off, p.length);
+    }
   }
   delay += sysc::Time::ns(10);
   p.response = tlmlite::Response::kOk;

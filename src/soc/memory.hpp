@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "dift/shadow.hpp"
 #include "dift/tag.hpp"
 #include "rvasm/program.hpp"
 #include "sysc/kernel.hpp"
@@ -43,12 +44,22 @@ class Memory : public sysc::Module {
   /// Empty when tags are not tracked.
   std::map<dift::Tag, std::size_t> tag_histogram() const;
 
+  /// Block-summary layer over the tag plane (unattached when untracked).
+  dift::ShadowSummary& shadow() { return shadow_; }
+  const dift::ShadowSummary& shadow() const { return shadow_; }
+  /// Call after writing the tag plane directly (e.g. snapshot restore).
+  void rebuild_summary() { shadow_.rebuild(); }
+  /// Reads served from a uniform block without touching the tag plane.
+  std::uint64_t summary_hits() const { return summary_hits_; }
+
  private:
   void transport(tlmlite::Payload& p, sysc::Time& delay);
 
   tlmlite::TargetSocket tsock_;
   std::vector<std::uint8_t> data_;
   std::vector<dift::Tag> tags_;
+  dift::ShadowSummary shadow_;
+  std::uint64_t summary_hits_ = 0;
 };
 
 }  // namespace vpdift::soc

@@ -29,21 +29,16 @@ void Plic::update() {
 void Plic::transport(tlmlite::Payload& p, sysc::Time& delay) {
   delay += sysc::Time::ns(20);
   p.response = tlmlite::Response::kOk;
-  auto rd_u32 = [&](std::uint32_t v) {
-    for (std::uint32_t i = 0; i < p.length; ++i) {
-      p.data[i] = static_cast<std::uint8_t>(v >> (8 * i));
-      if (p.tainted()) p.tags[i] = dift::kBottomTag;
-    }
-  };
+  auto rd_u32 = [&](std::uint32_t v) { tlmlite::fill_reg_u32(p, v); };
   switch (p.address) {
-    case kPending: rd_u32(pending_); break;
+    case kPending:
+      if (p.is_read()) rd_u32(pending_);
+      break;
     case kEnable:
       if (p.is_read()) {
         rd_u32(enable_);
       } else {
-        std::uint32_t v = 0;
-        for (std::uint32_t i = 0; i < p.length; ++i) v |= std::uint32_t(p.data[i]) << (8 * i);
-        enable_ = v;
+        enable_ = tlmlite::collect_reg_u32(p);
         update();
       }
       break;

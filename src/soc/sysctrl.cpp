@@ -16,9 +16,7 @@ void SysCtrl::transport(tlmlite::Payload& p, sysc::Time& delay) {
   switch (p.address) {
     case kExit:
       if (p.is_write()) {
-        exit_code_ = 0;
-        for (std::uint32_t i = 0; i < p.length; ++i)
-          exit_code_ |= std::uint32_t(p.data[i]) << (8 * i);
+        exit_code_ = tlmlite::collect_reg_u32(p);
         exited_ = true;
         sim_->stop();
       }

@@ -24,11 +24,21 @@ void Uart::transport(tlmlite::Payload& p, sysc::Time& delay) {
   p.response = tlmlite::Response::kOk;
   switch (p.address) {
     case kTxData:
-      if (!p.is_write()) break;
-      if (p.tainted() && tx_clearance_)
-        dift::check_flow(p.tags[0], *tx_clearance_,
+      if (!p.is_write()) {
+        // Write-only register: reads must still fill the payload (kOk with
+        // uninitialized data/tags leaks whatever the initiator had there).
+        tlmlite::fill_reg_u32(p, 0);
+        break;
+      }
+      if (p.tainted() && tx_clearance_) {
+        // Every payload byte must be cleared to leave, not just byte 0 — a
+        // multi-byte store with a classified high byte must not slip out.
+        dift::Tag t = p.tags[0];
+        for (std::uint32_t i = 1; i < p.length; ++i) t = dift::lub(t, p.tags[i]);
+        dift::check_flow(t, *tx_clearance_,
                          dift::ViolationKind::kOutputClearance, 0, p.address,
                          (name_ + ".tx").c_str());
+      }
       tx_log_.push_back(static_cast<char>(p.data[0]));
       break;
     case kRxData: {
@@ -41,30 +51,18 @@ void Uart::transport(tlmlite::Payload& p, sysc::Time& delay) {
         t = rx_tag_;
         update_irq();
       }
-      for (std::uint32_t i = 0; i < p.length; ++i) {
-        p.data[i] = static_cast<std::uint8_t>(v >> (8 * i));
-        if (p.tainted()) p.tags[i] = t;
-      }
+      tlmlite::fill_reg_u32(p, v, t);
       break;
     }
-    case kStatus: {
-      if (!p.is_read()) break;
-      const std::uint32_t v = 1u | (rx_.empty() ? 0u : 2u);
-      for (std::uint32_t i = 0; i < p.length; ++i) {
-        p.data[i] = static_cast<std::uint8_t>(v >> (8 * i));
-        if (p.tainted()) p.tags[i] = dift::kBottomTag;
-      }
+    case kStatus:
+      if (p.is_read()) tlmlite::fill_reg_u32(p, 1u | (rx_.empty() ? 0u : 2u));
       break;
-    }
     case kIe:
       if (p.is_write()) {
         ie_ = p.data[0];
         update_irq();
       } else {
-        for (std::uint32_t i = 0; i < p.length; ++i) {
-          p.data[i] = i == 0 ? static_cast<std::uint8_t>(ie_) : 0;
-          if (p.tainted()) p.tags[i] = dift::kBottomTag;
-        }
+        tlmlite::fill_reg_u32(p, ie_);
       }
       break;
     default:

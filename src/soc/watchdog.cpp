@@ -27,17 +27,8 @@ sysc::Task Watchdog::run() {
 void Watchdog::transport(tlmlite::Payload& p, sysc::Time& delay) {
   delay += sysc::Time::ns(20);
   p.response = tlmlite::Response::kOk;
-  auto rd_u32 = [&](std::uint32_t v) {
-    for (std::uint32_t i = 0; i < p.length; ++i) {
-      p.data[i] = static_cast<std::uint8_t>(v >> (8 * i));
-      if (p.tainted()) p.tags[i] = dift::kBottomTag;
-    }
-  };
-  auto payload_u32 = [&] {
-    std::uint32_t v = 0;
-    for (std::uint32_t i = 0; i < p.length; ++i) v |= std::uint32_t(p.data[i]) << (8 * i);
-    return v;
-  };
+  auto rd_u32 = [&](std::uint32_t v) { tlmlite::fill_reg_u32(p, v); };
+  auto payload_u32 = [&] { return tlmlite::collect_reg_u32(p); };
   switch (p.address) {
     case kLoad:
       if (p.is_read()) {
@@ -60,7 +51,7 @@ void Watchdog::transport(tlmlite::Payload& p, sysc::Time& delay) {
       }
       break;
     case kStatus:
-      rd_u32(resets_);
+      if (p.is_read()) rd_u32(resets_);
       break;
     default:
       p.response = tlmlite::Response::kAddressError;

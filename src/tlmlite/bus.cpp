@@ -26,6 +26,7 @@ const Bus::Range* Bus::route(std::uint64_t address) const {
 }
 
 void Bus::transport(Payload& p, sysc::Time& delay) {
+  ++transactions_;
   const Range* r = route(p.address);
   if (r == nullptr || !r->contains(p.address + p.length - 1)) {
     p.response = Response::kAddressError;

@@ -32,6 +32,9 @@ class Bus : public sysc::Module {
   /// Resolves the port name covering `address` (diagnostics), or "".
   std::string port_at(std::uint64_t address) const;
 
+  /// Total transactions routed (cumulative; the VP reports per-run deltas).
+  std::uint64_t transactions() const { return transactions_; }
+
  private:
   struct Range {
     std::uint64_t base;
@@ -44,6 +47,7 @@ class Bus : public sysc::Module {
 
   TargetSocket tsock_;
   std::vector<Range> ranges_;
+  std::uint64_t transactions_ = 0;
 };
 
 }  // namespace vpdift::tlmlite

@@ -24,6 +24,9 @@ enum class Response : std::uint8_t {
 
 /// One bus transaction. The initiator owns the data/tag buffers.
 struct Payload {
+  /// tag_summary sentinel: the tag bytes are not known to be uniform.
+  static constexpr std::uint16_t kMixedTags = 0xffff;
+
   Command command = Command::kRead;
   std::uint64_t address = 0;   ///< bus address; routers rebase to target offset
   std::uint8_t* data = nullptr;
@@ -31,10 +34,43 @@ struct Payload {
   std::uint32_t length = 0;
   Response response = Response::kGenericError;
 
+  /// Shadow-summary hint (see dift/shadow.hpp): when != kMixedTags, every
+  /// byte of `tags` carries this one tag. Targets set it on reads served
+  /// from a uniform block; initiators set it on writes whose tag bytes they
+  /// filled uniformly (the CPU store path, DMA forwarding a uniform burst).
+  /// Whoever sets it vouches that it matches the tag plane — kMixedTags is
+  /// always a safe default.
+  std::uint16_t tag_summary = kMixedTags;
+
   bool is_read() const { return command == Command::kRead; }
   bool is_write() const { return command == Command::kWrite; }
   bool tainted() const { return tags != nullptr; }
   bool ok() const { return response == Response::kOk; }
+  bool tags_uniform() const { return tag_summary != kMixedTags; }
+  void set_tag_summary(dift::Tag t) { tag_summary = t; }
 };
+
+/// Fills a register-read payload from a 32-bit register value. Bytes beyond
+/// the register's width read as zero — and the shift is clamped accordingly:
+/// `v >> (8*i)` with i >= 4 is undefined behaviour on a 32-bit value, which
+/// an oversized read (length > 4) would otherwise trigger.
+inline void fill_reg_u32(Payload& p, std::uint32_t v,
+                         dift::Tag tag = dift::kBottomTag) {
+  for (std::uint32_t i = 0; i < p.length; ++i) {
+    p.data[i] = i < 4 ? static_cast<std::uint8_t>(v >> (8 * i)) : 0;
+    if (p.tainted()) p.tags[i] = tag;
+  }
+  p.set_tag_summary(tag);
+}
+
+/// Collects a 32-bit register value from a write payload, ignoring bytes
+/// beyond the register's width (clamped for the same shift-UB reason).
+inline std::uint32_t collect_reg_u32(const Payload& p) {
+  std::uint32_t v = 0;
+  const std::uint32_t n = p.length < 4 ? p.length : 4;
+  for (std::uint32_t i = 0; i < n; ++i)
+    v |= std::uint32_t(p.data[i]) << (8 * i);
+  return v;
+}
 
 }  // namespace vpdift::tlmlite

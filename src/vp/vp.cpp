@@ -61,7 +61,8 @@ VirtualPrototype<W>::VirtualPrototype(sysc::Simulation* external, VpConfig confi
   // Initiators.
   core_.bus_socket().bind(bus_.target_socket());
   dma_.bus_socket().bind(bus_.target_socket());
-  core_.set_dmi(ram_.data(), ram_.tags(), am::kRamBase, ram_.size());
+  core_.set_dmi(ram_.data(), ram_.tags(), am::kRamBase, ram_.size(),
+                ram_.tags() ? &ram_.shadow() : nullptr);
   core_.set_pc(am::kRamBase);
   core_.set_time_source([this] { return sim_->now().micros(); });
 
@@ -165,8 +166,10 @@ void VirtualPrototype<W>::restore(const Snapshot& s) {
   core_.csrs() = s.csrs;
   core_.restore_counters(s.instret, s.wfi);
   std::memcpy(ram_.data(), s.ram.data(), s.ram.size());
-  if (ram_.tags() && !s.ram_tags.empty())
+  if (ram_.tags() && !s.ram_tags.empty()) {
     std::memcpy(ram_.tags(), s.ram_tags.data(), s.ram_tags.size());
+    ram_.rebuild_summary();  // block summaries must mirror the restored plane
+  }
 }
 
 template <typename W>
@@ -203,6 +206,18 @@ RunResult VirtualPrototype<W>::run(sysc::Time max_sim_time) {
     ctx.emplace(policy_->lattice());
     ctx->set_monitor_mode(monitor_mode_);
   }
+  // Counter snapshot AFTER the context activates (its constructor zeroes the
+  // lattice-table counters); the run's stats are the delta from here.
+  auto capture_stats = [this] {
+    dift::DiftStats s = core_.stats();
+    s.lub_calls = dift::detail::g_active.lub_calls;
+    s.flow_checks = dift::detail::g_active.flow_checks;
+    s.mem_summary_hits = ram_.summary_hits();
+    s.dma_summary_hits = dma_.summary_hits();
+    s.bus_transactions = bus_.transactions();
+    return s;
+  };
+  const dift::DiftStats stats_before = capture_stats();
   const std::uint64_t instret_before = core_.instret();
   const sysc::Time deadline = sim_->now() + max_sim_time;
   const auto t0 = std::chrono::steady_clock::now();
@@ -242,6 +257,7 @@ RunResult VirtualPrototype<W>::run(sysc::Time max_sim_time) {
   r.sim_time = sim_->now();
   r.uart_output = uart_.output();
   r.markers = sysctrl_.markers();
+  r.stats = capture_stats() - stats_before;
   return r;
 }
 

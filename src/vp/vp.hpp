@@ -26,6 +26,7 @@
 
 #include "dift/context.hpp"
 #include "dift/policy.hpp"
+#include "dift/stats.hpp"
 #include "rv/core.hpp"
 #include "rvasm/program.hpp"
 #include "soc/addrmap.hpp"
@@ -73,6 +74,9 @@ struct RunResult {
   sysc::Time sim_time;            ///< simulated time consumed
   std::string uart_output;        ///< everything the firmware printed
   std::string markers;            ///< SysCtrl marker log (attack oracles)
+
+  /// DIFT engine counters for this run (all zero in the plain VP build).
+  dift::DiftStats stats;
 };
 
 struct VpConfig {

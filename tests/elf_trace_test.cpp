@@ -180,6 +180,31 @@ TEST(Tracer, RingBufferKeepsNewestEntries) {
   EXPECT_EQ(entries.front().rd_value, 7u);   // oldest retained
 }
 
+// Regression: a trapping instruction never writes rd, but the trace push
+// recorded `regs_[rd]` anyway — the entry showed the register's stale
+// pre-trap contents as if the instruction had produced them. A trapped
+// instruction must record x0 (0, untainted).
+TEST(Tracer, TrappedInstructionDoesNotRecordStaleRd) {
+  testutil::MicroVm<rv::PlainWord> vm;
+  rv::TraceBuffer trace(8);
+  vm.core.set_trace(&trace);
+
+  rvasm::Assembler a(0x80000000);
+  a.li(a1, 0x5a5a5a5a);  // recognizable stale value in the load's rd
+  a.li(t0, 0x10000000);  // unmapped address
+  a.lw(a1, t0, 0);       // load access fault: traps, a1 stays untouched
+  vm.load(a.assemble());
+  vm.core.run(8);  // post-trap fetch faults retire without trace entries
+
+  EXPECT_EQ(vm.reg(a1), 0x5a5a5a5au);  // the trap left a1 alone...
+  const auto entries = trace.snapshot();
+  ASSERT_FALSE(entries.empty());
+  const auto& fault = entries.back();  // ...and its trace entry says so
+  EXPECT_EQ(fault.rd, 0);
+  EXPECT_EQ(fault.rd_value, 0u);
+  EXPECT_EQ(fault.rd_tag, dift::kBottomTag);
+}
+
 TEST(Tracer, ViolationReportCarriesHistory) {
   const soc::AesKey pin = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
   vp::VpDift v;

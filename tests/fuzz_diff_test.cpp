@@ -8,12 +8,19 @@
 //    twice with two different input *values*; every register whose final
 //    value differs between the runs is data-dependent on the input and must
 //    therefore carry a non-bottom tag in the tainted run.
+// 3. Register-access width fuzzing: randomized 1..8-byte reads/writes at the
+//    DMA and UART register files — oversized accesses must clamp to the
+//    4-byte register width (never shift past it: UB) and reads must always
+//    fill the whole payload (bytes beyond the register read as zero).
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <random>
 
 #include "dift/context.hpp"
 #include "micro_vm.hpp"
+#include "soc/dma.hpp"
+#include "soc/uart.hpp"
 
 namespace {
 
@@ -180,5 +187,58 @@ TEST_P(FuzzSeeds, DynamicTaintSoundness) {
 
 INSTANTIATE_TEST_SUITE_P(ManySeeds, FuzzSeeds,
                          ::testing::Range(0u, 25u));
+
+// Regression fuzz for the register-width clamp: before the fix, a payload
+// longer than 4 bytes made the peripherals' rd_u32/wr_u32 helpers evaluate
+// `v >> (8*i)` for i >= 4 — undefined behaviour — and left the tail of a
+// read payload untouched. Randomized widths at every register must yield
+// zero-filled tails, bottom tags, and (under UBSan) no shift UB.
+TEST(RegisterWidthFuzz, OversizedDmaAndUartAccessesClamp) {
+  dift::Lattice l = dift::Lattice::ifp1();
+  dift::DiftContext ctx(l);
+  sysc::Simulation sim;
+  soc::Dma dma(sim, "dma0", /*tainted_mode=*/true);
+  soc::Uart uart(sim, "uart0");
+
+  const std::uint64_t dma_regs[] = {soc::Dma::kSrc, soc::Dma::kDst,
+                                    soc::Dma::kLen, soc::Dma::kCtrl,
+                                    soc::Dma::kStatus};
+  const std::uint64_t uart_regs[] = {soc::Uart::kTxData, soc::Uart::kRxData,
+                                     soc::Uart::kStatus, soc::Uart::kIe};
+
+  std::mt19937 rng(0xd1f7);
+  for (int iter = 0; iter < 400; ++iter) {
+    const bool use_dma = rng() % 2 == 0;
+    tlmlite::TargetSocket& sock = use_dma ? dma.socket() : uart.socket();
+    const std::uint64_t addr = use_dma ? dma_regs[rng() % 5]
+                                       : uart_regs[rng() % 4];
+    const std::uint32_t n = 1 + rng() % 8;
+
+    std::uint8_t buf[8];
+    dift::Tag tags[8];
+    for (std::uint32_t i = 0; i < n; ++i) {
+      buf[i] = static_cast<std::uint8_t>(rng());
+      tags[i] = dift::kBottomTag;
+    }
+    tlmlite::Payload p;
+    p.command = rng() % 2 ? tlmlite::Command::kRead : tlmlite::Command::kWrite;
+    p.address = addr;
+    p.data = buf;
+    p.tags = rng() % 2 ? tags : nullptr;
+    p.length = n;
+    sysc::Time d;
+    sock.b_transport(p, d);
+    ASSERT_TRUE(p.ok()) << "addr=" << std::hex << addr << " len=" << n;
+
+    if (p.command == tlmlite::Command::kRead) {
+      for (std::uint32_t i = 4; i < n; ++i)
+        ASSERT_EQ(buf[i], 0u) << "tail byte " << i << " of read @" << std::hex
+                              << addr << " not clamped to zero";
+      if (p.tainted())
+        for (std::uint32_t i = 0; i < n; ++i)
+          ASSERT_EQ(tags[i], dift::kBottomTag);
+    }
+  }
+}
 
 }  // namespace

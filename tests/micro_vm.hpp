@@ -21,7 +21,8 @@ struct MicroVm {
   MicroVm() {
     bus.map(kBase, ram.size(), ram.socket(), "ram");
     core.bus_socket().bind(bus.target_socket());
-    core.set_dmi(ram.data(), ram.tags(), kBase, ram.size());
+    core.set_dmi(ram.data(), ram.tags(), kBase, ram.size(),
+                 ram.tags() ? &ram.shadow() : nullptr);
     core.set_pc(kBase);
   }
 

@@ -9,6 +9,7 @@
 #include "soc/dma.hpp"
 #include "soc/memory.hpp"
 #include "soc/sensor.hpp"
+#include "soc/uart.hpp"
 #include "tlmlite/bus.hpp"
 #include "tlmlite/payload.hpp"
 
@@ -148,6 +149,88 @@ TEST_F(DmaTest, ZeroLengthTransferCompletesImmediately) {
   reg_write(soc::Dma::kCtrl, 1);
   sim_.run(sysc::Time::ms(1));
   EXPECT_EQ(reg_read(soc::Dma::kStatus), 2u);
+}
+
+// Regression: a read of the (write-only) kCtrl register used to return kOk
+// without filling the payload — the initiator consumed uninitialized canary
+// bytes and stale tags. It must read as zero with clean tags.
+TEST_F(DmaTest, CtrlReadReturnsZeroWithCleanTags) {
+  std::uint8_t buf[4] = {0xab, 0xab, 0xab, 0xab};
+  dift::Tag tags[4] = {7, 7, 7, 7};
+  Xfer::rw(dma_.socket(), Command::kRead, soc::Dma::kCtrl, buf, tags, 4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(buf[i], 0u) << i;
+    EXPECT_EQ(tags[i], dift::kBottomTag) << i;
+  }
+}
+
+// Regression: register reads longer than the 4-byte register width shifted
+// `v >> (8*i)` past the value's width (UB) and left bytes 4.. unfilled. They
+// must clamp: bytes beyond the register read as zero.
+TEST_F(DmaTest, OversizedRegisterReadClampsToRegisterWidth) {
+  reg_write(soc::Dma::kSrc, 0x11223344);
+  std::uint8_t buf[8];
+  std::memset(buf, 0xab, sizeof buf);
+  dift::Tag tags[8] = {9, 9, 9, 9, 9, 9, 9, 9};
+  Xfer::rw(dma_.socket(), Command::kRead, soc::Dma::kSrc, buf, tags, 8);
+  EXPECT_EQ(buf[0], 0x44);
+  EXPECT_EQ(buf[3], 0x11);
+  for (int i = 4; i < 8; ++i) EXPECT_EQ(buf[i], 0u) << i;
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(tags[i], dift::kBottomTag) << i;
+}
+
+// Regression: a *write* to the read-only kStatus register used to overwrite
+// the initiator's payload buffer with the status value.
+TEST_F(DmaTest, StatusWriteDoesNotScribbleIntoThePayload) {
+  std::uint8_t buf[4] = {0x5a, 0x5a, 0x5a, 0x5a};
+  Xfer::rw(dma_.socket(), Command::kWrite, soc::Dma::kStatus, buf, nullptr, 4);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(buf[i], 0x5a) << i;
+}
+
+class UartRegressionTest : public ::testing::Test {
+ protected:
+  dift::Lattice lattice_ = dift::Lattice::ifp1();
+  dift::DiftContext ctx_{lattice_};
+  sysc::Simulation sim_;
+  soc::Uart uart_{sim_, "uart0"};
+  dift::Tag lc_ = lattice_.tag_of("LC");
+  dift::Tag hc_ = lattice_.tag_of("HC");
+};
+
+// Regression: the TX output-clearance check only inspected tags[0], so a
+// multi-byte store whose *later* bytes carried classified data slipped
+// through. Every payload byte must be cleared.
+TEST_F(UartRegressionTest, TxClearanceChecksEveryPayloadByte) {
+  uart_.set_output_clearance(lc_);
+  std::uint8_t data[4] = {'a', 'b', 'c', 'd'};
+  dift::Tag tags[4] = {lc_, lc_, hc_, lc_};  // classified byte NOT first
+  Payload p;
+  p.command = Command::kWrite;
+  p.address = soc::Uart::kTxData;
+  p.data = data;
+  p.tags = tags;
+  p.length = 4;
+  sysc::Time d;
+  EXPECT_THROW(uart_.socket().b_transport(p, d), dift::PolicyViolation);
+}
+
+TEST_F(UartRegressionTest, TxClearancePassesUniformlyClearedPayload) {
+  uart_.set_output_clearance(lc_);
+  // The TX register transmits byte 0 of each store; a uniformly cleared
+  // multi-byte payload must pass the widened check without a violation.
+  std::uint8_t data[4] = {'o', 'k', '!', '\n'};
+  dift::Tag tags[4] = {lc_, lc_, lc_, lc_};
+  Xfer::rw(uart_.socket(), Command::kWrite, soc::Uart::kTxData, data, tags, 4);
+  EXPECT_EQ(uart_.output(), "o");
+}
+
+TEST_F(UartRegressionTest, OversizedStatusReadClampsToRegisterWidth) {
+  std::uint8_t buf[8];
+  std::memset(buf, 0xab, sizeof buf);
+  dift::Tag tags[8] = {9, 9, 9, 9, 9, 9, 9, 9};
+  Xfer::rw(uart_.socket(), Command::kRead, soc::Uart::kStatus, buf, tags, 8);
+  for (int i = 4; i < 8; ++i) EXPECT_EQ(buf[i], 0u) << i;
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(tags[i], dift::kBottomTag) << i;
 }
 
 class AesPeriphTest : public ::testing::Test {

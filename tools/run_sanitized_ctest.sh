@@ -1,0 +1,16 @@
+#!/bin/sh
+# Configures a separate AddressSanitizer+UBSan build tree (build-asan/) and
+# runs the full tier-1 ctest suite under it. Any sanitizer report aborts the
+# offending test (-fno-sanitize-recover=all), so a green run means the suite
+# is clean of UB and memory errors, not just functionally passing.
+#
+#   tools/run_sanitized_ctest.sh [build-dir]
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${1:-"$repo/build-asan"}
+
+cmake -B "$build" -S "$repo" -DVPDIFT_SANITIZE=ON
+cmake --build "$build" -j "$(nproc)"
+cd "$build"
+ctest --output-on-failure -j "$(nproc)"

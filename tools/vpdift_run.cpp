@@ -13,6 +13,8 @@
 //   --uart-input STR      bytes fed into the UART before the run
 //   --max-ms N            simulated-time budget (default 10000)
 //   --stats               print tag histogram and engine statistics
+//   --json FILE           write a machine-readable run report (result, MIPS,
+//                         DIFT engine counters) to FILE
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -49,14 +51,14 @@ int usage() {
   std::fprintf(stderr,
                "usage: vpdift-run [--policy FILE] [--monitor] [--trace N]\n"
                "                  [--uart-input STR] [--max-ms N] [--stats]\n"
-               "                  <elf-file | builtin-name>\n");
+               "                  [--json FILE] <elf-file | builtin-name>\n");
   return 2;
 }
 
 template <typename VpT>
 int run(const rvasm::Program& program, const dift::PolicySpec* spec,
         bool monitor, int trace_depth, const std::string& uart_input,
-        std::uint64_t max_ms, bool stats) {
+        std::uint64_t max_ms, bool stats, const std::string& json_path) {
   vp::VpConfig cfg;
   cfg.with_engine_ecu = true;  // makes the immobilizer demo interactive
   cfg.engine_pin = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
@@ -102,6 +104,44 @@ int run(const rvasm::Program& program, const dift::PolicySpec* spec,
                            : std::to_string(tag).c_str(),
                       count);
     }
+    const auto& s = r.stats;
+    std::printf("engine counters:\n");
+    std::printf("  lub calls            : %llu\n",
+                static_cast<unsigned long long>(s.lub_calls));
+    std::printf("  flow checks          : %llu\n",
+                static_cast<unsigned long long>(s.flow_checks));
+    std::printf("  decode cache         : %llu hits / %llu misses\n",
+                static_cast<unsigned long long>(s.decode_hits),
+                static_cast<unsigned long long>(s.decode_misses));
+    std::printf("  summary fast path    : %llu (fetch %llu, load %llu, "
+                "mem %llu, dma %llu)\n",
+                static_cast<unsigned long long>(s.summary_hits()),
+                static_cast<unsigned long long>(s.fetch_summary_hits),
+                static_cast<unsigned long long>(s.load_summary_hits),
+                static_cast<unsigned long long>(s.mem_summary_hits),
+                static_cast<unsigned long long>(s.dma_summary_hits));
+    std::printf("  bus transactions     : %llu\n",
+                static_cast<unsigned long long>(s.bus_transactions));
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (out) {
+      char head[512];
+      std::snprintf(head, sizeof head,
+                    "{\n  \"exited\": %s,\n  \"exit_code\": %u,\n"
+                    "  \"violation\": %s,\n  \"timed_out\": %s,\n"
+                    "  \"instret\": %llu,\n  \"wall_s\": %.4f,\n"
+                    "  \"mips\": %.2f,\n  \"dift_stats\": ",
+                    r.exited ? "true" : "false", r.exit_code,
+                    r.violation ? "true" : "false",
+                    r.timed_out ? "true" : "false",
+                    static_cast<unsigned long long>(r.instret), r.wall_seconds,
+                    r.mips);
+      out << head << dift::to_json(r.stats) << "\n}\n";
+      std::printf("wrote %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: cannot write %s\n", json_path.c_str());
+    }
   }
   if (r.violation) return 3;
   return r.exited ? static_cast<int>(r.exit_code) : 4;
@@ -110,7 +150,7 @@ int run(const rvasm::Program& program, const dift::PolicySpec* spec,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string firmware, policy_path, uart_input;
+  std::string firmware, policy_path, uart_input, json_path;
   bool monitor = false, stats = false;
   int trace_depth = 0;
   std::uint64_t max_ms = 10000;
@@ -124,6 +164,7 @@ int main(int argc, char** argv) {
     if (arg == "--policy") policy_path = next();
     else if (arg == "--monitor") monitor = true;
     else if (arg == "--stats") stats = true;
+    else if (arg == "--json") json_path = next();
     else if (arg == "--trace") trace_depth = std::atoi(next());
     else if (arg == "--uart-input") uart_input = next();
     else if (arg == "--max-ms") max_ms = std::strtoull(next(), nullptr, 0);
@@ -141,7 +182,7 @@ int main(int argc, char** argv) {
 
     if (policy_path.empty())
       return run<vp::Vp>(program, nullptr, false, trace_depth, uart_input,
-                         max_ms, stats);
+                         max_ms, stats, json_path);
 
     std::ifstream in(policy_path);
     if (!in) {
@@ -153,7 +194,7 @@ int main(int argc, char** argv) {
     const auto spec = dift::PolicySpec::parse(buf.str(), &program.symbols);
     std::printf("policy: %zu security classes\n", spec.lattice().size());
     return run<vp::VpDift>(program, &spec, monitor, trace_depth, uart_input,
-                           max_ms, stats);
+                           max_ms, stats, json_path);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
