@@ -5,85 +5,68 @@
 // (to prove the exploit actually works without DIFT) and once on the VP+
 // (expecting a fetch-clearance violation). N/A rows print the structural
 // reason inherited from the RISC-V port.
+//
+// The runs go through the campaign engine (campaign/suites.hpp): one job per
+// VP execution, executed serially by default, or on N worker threads with
+// `--jobs N` / the VPDIFT_JOBS environment knob — the verdicts are identical
+// either way, since every job is an isolated, thread-confined simulation.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
-#include "fw/attacks.hpp"
-#include "vp/scenarios.hpp"
-#include "vp/vp.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+#include "campaign/suites.hpp"
+#include "campaign/thread_pool.hpp"
 
 using namespace vpdift;
 
-namespace {
-
-struct Row {
-  const fw::AttackSpec* spec;
-  std::string result;     // "Detected" / "N/A" / "MISSED"
-  std::string expected;   // the paper's column
-  bool exploit_works = false;
-};
-
-const char* paper_expected(int id) {
-  switch (id) {
-    case 3: case 5: case 6: case 7: case 9: case 10: case 11: case 13:
-    case 14: case 17:
-      return "Detected";
-    default:
-      return "N/A";
+int main(int argc, char** argv) {
+  std::size_t jobs = campaign::ThreadPool::jobs_from_env(1);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      std::uint64_t n = 0;
+      if (!campaign::parse_u64(argv[++i], &n) || n < 1) {
+        std::fprintf(stderr, "invalid value for --jobs: '%s'\n", argv[i]);
+        return 2;
+      }
+      jobs = static_cast<std::size_t>(n);
+    } else {
+      std::fprintf(stderr, "usage: table1_code_injection [--jobs N]\n");
+      return 2;
+    }
   }
-}
 
-}  // namespace
-
-int main() {
   std::printf("Table I — buffer-overflow test-suite results\n");
   std::printf("Policy: IFP-2; program image HI, UART input LI, attack payload "
-              "LI, instruction-fetch clearance HI\n\n");
+              "LI, instruction-fetch clearance HI\n");
+  std::printf("(%zu worker%s)\n\n", jobs, jobs == 1 ? "" : "s");
   std::printf("%-4s %-14s %-26s %-10s %-10s %-10s %s\n", "Atk", "Location",
               "Target", "Technique", "Result", "Paper", "Match");
 
+  const campaign::CampaignSpec spec = campaign::suites::table1();
+  campaign::RunnerOptions opts;
+  opts.jobs = jobs;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto results = campaign::Runner(opts).run(spec);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
   int mismatches = 0;
-  for (const auto& spec : fw::attack_specs()) {
-    Row row{&spec, "N/A", paper_expected(spec.id)};
-    if (spec.applicable) {
-      auto atk = fw::make_attack(spec.id);
-      {
-        // Control run: the exploit must work on the unprotected VP.
-        vp::Vp v;
-        v.load(atk.program);
-        v.uart().feed_input(atk.uart_input);
-        auto r = v.run(sysc::Time::sec(10));
-        row.exploit_works =
-            r.exited && r.exit_code == 42 && r.markers.find('X') != std::string::npos;
-      }
-      {
-        vp::VpDift v;
-        v.load(atk.program);
-        auto bundle = vp::scenarios::make_code_injection_policy(atk.program);
-        v.apply_policy(bundle.policy);
-        v.uart().feed_input(atk.uart_input);
-        auto r = v.run(sysc::Time::sec(10));
-        if (r.violation &&
-            r.violation_kind == dift::ViolationKind::kFetchClearance &&
-            r.markers.find('X') == std::string::npos) {
-          row.result = "Detected";
-        } else {
-          row.result = "MISSED";
-        }
-      }
-    }
-    const bool match = row.result == row.expected;
-    if (!match) ++mismatches;
-    std::printf("%-4d %-14s %-26s %-10s %-10s %-10s %s%s\n", spec.id,
-                spec.location, spec.target, spec.technique, row.result.c_str(),
-                row.expected.c_str(), match ? "yes" : "NO",
-                spec.applicable && !row.exploit_works
+  for (const auto& row : campaign::suites::table1_rows(results)) {
+    if (!row.match) ++mismatches;
+    std::printf("%-4d %-14s %-26s %-10s %-10s %-10s %s%s\n", row.id,
+                row.location, row.target, row.technique, row.result.c_str(),
+                row.expected.c_str(), row.match ? "yes" : "NO",
+                row.result != "N/A" && !row.exploit_works
                     ? "  [warning: exploit inert on plain VP]"
                     : "");
   }
 
-  std::printf("\n%s: %d/18 rows match the paper's Table I.\n",
-              mismatches == 0 ? "OK" : "FAILED", 18 - mismatches);
+  std::printf("\n%s: %d/18 rows match the paper's Table I. (%zu jobs, %.2f s)\n",
+              mismatches == 0 ? "OK" : "FAILED", 18 - mismatches,
+              spec.jobs.size(), wall);
   return mismatches == 0 ? 0 : 1;
 }

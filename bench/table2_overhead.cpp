@@ -14,151 +14,114 @@
 // VP/VP+ MIPS, the overhead factor, the DIFT engine counters of the VP+ run,
 // and the geometric-mean overhead of the paper's workload set — the number
 // perf work is measured against.
+//
+// The 2x10 runs execute through the campaign engine (campaign/suites.hpp);
+// `--jobs N` / VPDIFT_JOBS runs them on N worker threads. NOTE: overhead
+// factors are wall-clock ratios — run with --jobs 1 (the default) when the
+// absolute MIPS numbers matter, since concurrent jobs share host cores.
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
+#include <cstring>
 #include <fstream>
-#include <functional>
 #include <string>
 #include <vector>
 
-#include "fw/benchmarks.hpp"
-#include "fw/immobilizer.hpp"
-#include "vp/scenarios.hpp"
-#include "vp/vp.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+#include "campaign/suites.hpp"
+#include "campaign/thread_pool.hpp"
+#include "dift/stats.hpp"
 
 using namespace vpdift;
 
-namespace {
-
-struct Workload {
-  std::string name;
-  std::function<rvasm::Program()> make;
-  std::function<vp::VpConfig()> config = [] { return vp::VpConfig{}; };
-  bool extra = false;  // beyond the paper's Table II set; excluded from averages
-};
-
-struct Measurement {
-  std::uint64_t instret = 0;
-  double wall = 0, mips = 0;
-  bool ok = false;
-  dift::DiftStats stats;
-};
-
-template <typename VpT>
-Measurement run_one(const Workload& w, bool dift) {
-  VpT v(w.config());
-  const auto prog = w.make();
-  v.load(prog);
-  vp::scenarios::PolicyBundle bundle = vp::scenarios::make_permissive_policy();
-  if (dift) v.apply_policy(bundle.policy);
-  const auto r = v.run(sysc::Time::sec(600));
-  Measurement m;
-  m.instret = r.instret;
-  m.wall = r.wall_seconds;
-  m.mips = r.mips;
-  m.ok = r.exited && r.exit_code == 0 && !r.violation;
-  m.stats = r.stats;
-  return m;
-}
-
-const soc::AesKey kPin = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
-                          0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  const std::uint32_t scale = argc > 1 ? std::atoi(argv[1]) : 4;
-  const std::string json_path = argc > 2 ? argv[2] : "BENCH_table2.json";
+  std::uint32_t scale = 4;
+  std::string json_path = "BENCH_table2.json";
+  std::size_t jobs = campaign::ThreadPool::jobs_from_env(1);
 
-  std::vector<Workload> workloads = {
-      {"qsort", [=] { return fw::make_qsort(30000 * scale, 0xc0ffee); }},
-      {"dhrystone", [=] { return fw::make_dhrystone(40000 * scale); }},
-      {"primes", [=] { return fw::make_primes(60000 * scale); }},
-      {"sha512", [=] { return fw::make_sha512(2048, 120 * scale); }},
-      {"sha256*",
-       [=] { return fw::make_sha256(4096, 1200 * scale); },
-       [] { return vp::VpConfig{}; },
-       /*extra=*/true},
-      {"crc32*",
-       [=] { return fw::make_crc32(4096, 60 * scale); },
-       [] { return vp::VpConfig{}; },
-       /*extra=*/true},
-      {"matmul*",
-       [=] { return fw::make_matmul(40 + 12 * scale); },
-       [] { return vp::VpConfig{}; },
-       /*extra=*/true},
-      {"simple-sensor",
-       [=] { return fw::make_simple_sensor(1500 * scale); },
-       [] {
-         vp::VpConfig cfg;
-         cfg.sensor_period = sysc::Time::us(100);
-         return cfg;
-       }},
-      {"rtos-tasks", [=] { return fw::make_rtos_tasks(1200 * scale, 50); }},
-      {"immo-fixed",
-       [=] {
-         return fw::make_immobilizer(fw::ImmoVariant::kFixedDump, kPin,
-                                     15 * scale);
-       },
-       [] {
-         vp::VpConfig cfg;
-         cfg.with_engine_ecu = true;
-         cfg.engine_pin = kPin;
-         cfg.engine_period = sysc::Time::ms(1);
-         return cfg;
-       }},
-  };
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      std::uint64_t n = 0;
+      if (!campaign::parse_u64(argv[++i], &n) || n < 1) {
+        std::fprintf(stderr, "invalid value for --jobs: '%s'\n", argv[i]);
+        return 2;
+      }
+      jobs = static_cast<std::size_t>(n);
+    } else if (positional == 0) {
+      std::uint64_t s = 0;
+      if (!campaign::parse_u64(argv[i], &s) || s < 1) {
+        std::fprintf(stderr, "invalid scale '%s'\n", argv[i]);
+        return 2;
+      }
+      scale = static_cast<std::uint32_t>(s);
+      ++positional;
+    } else if (positional == 1) {
+      json_path = argv[i];
+      ++positional;
+    } else {
+      std::fprintf(stderr,
+                   "usage: table2_overhead [--jobs N] [scale [json-path]]\n");
+      return 2;
+    }
+  }
 
   std::printf("Table II — performance overhead of VP-based DIFT (VP vs VP+)\n");
   std::printf("(workloads scaled for a laptop-class run; paper ran billions "
-              "of instructions on native hardware)\n\n");
+              "of instructions on native hardware; %zu worker%s)\n\n",
+              jobs, jobs == 1 ? "" : "s");
   std::printf("%-14s %14s %8s | %9s %9s | %7s %7s | %5s\n", "Benchmark",
               "#instr exec.", "LoC ASM", "VP [s]", "VP+ [s]", "VP", "VP+",
               "Ov");
   std::printf("%-14s %14s %8s | %9s %9s | %7s %7s | %5s\n", "", "", "", "", "",
               "MIPS", "MIPS", "");
 
+  const campaign::CampaignSpec spec = campaign::suites::table2(scale);
+  campaign::RunnerOptions opts;
+  opts.jobs = jobs;
+  const auto results = campaign::Runner(opts).run(spec);
+  const auto rows = campaign::suites::table2_rows(results, scale);
+
   double sum_instr = 0, sum_loc = 0, sum_vp = 0, sum_vpd = 0, sum_mips_vp = 0,
          sum_mips_vpd = 0, sum_ov = 0, log_ov = 0;
   int n = 0;
   bool all_ok = true;
   std::string json_rows;
-  for (const auto& w : workloads) {
-    const std::size_t loc = w.make().instruction_slots();
-    const Measurement plain = run_one<vp::Vp>(w, false);
-    const Measurement dift = run_one<vp::VpDift>(w, true);
-    const double ov = plain.mips > 0 && dift.mips > 0 ? plain.mips / dift.mips : 0;
-    all_ok = all_ok && plain.ok && dift.ok;
+  for (const auto& row : rows) {
+    const bool ok = row.plain.ok && row.dift.ok;
+    all_ok = all_ok && ok;
+    const vp::RunResult& plain = row.plain.run;
+    const vp::RunResult& dift = row.dift.run;
     std::printf("%-14s %14llu %8zu | %9.2f %9.2f | %7.1f %7.1f | %4.1fx%s\n",
-                w.name.c_str(),
-                static_cast<unsigned long long>(plain.instret), loc, plain.wall,
-                dift.wall, plain.mips, dift.mips, ov,
-                plain.ok && dift.ok ? "" : "  [SELF-CHECK FAILED]");
+                row.name.c_str(),
+                static_cast<unsigned long long>(plain.instret), row.loc_asm,
+                plain.wall_seconds, dift.wall_seconds, plain.mips, dift.mips,
+                row.overhead, ok ? "" : "  [SELF-CHECK FAILED]");
     {
-      char row[512];
-      std::snprintf(row, sizeof row,
+      char buf[512];
+      std::snprintf(buf, sizeof buf,
                     "    {\"name\":\"%s\",\"extra\":%s,\"ok\":%s,"
                     "\"instret\":%llu,\"loc_asm\":%zu,"
                     "\"vp\":{\"wall_s\":%.4f,\"mips\":%.2f},"
                     "\"vp_dift\":{\"wall_s\":%.4f,\"mips\":%.2f},"
                     "\"overhead\":%.4f,\"dift_stats\":",
-                    w.name.c_str(), w.extra ? "true" : "false",
-                    plain.ok && dift.ok ? "true" : "false",
-                    static_cast<unsigned long long>(plain.instret), loc,
-                    plain.wall, plain.mips, dift.wall, dift.mips, ov);
+                    row.name.c_str(), row.extra ? "true" : "false",
+                    ok ? "true" : "false",
+                    static_cast<unsigned long long>(plain.instret), row.loc_asm,
+                    plain.wall_seconds, plain.mips, dift.wall_seconds,
+                    dift.mips, row.overhead);
       if (!json_rows.empty()) json_rows += ",\n";
-      json_rows += std::string(row) + dift::to_json(dift.stats) + "}";
+      json_rows += std::string(buf) + dift::to_json(dift.stats) + "}";
     }
-    if (w.extra) continue;  // extras reported but kept out of the averages
+    if (row.extra) continue;  // extras reported but kept out of the averages
     sum_instr += static_cast<double>(plain.instret);
-    sum_loc += static_cast<double>(loc);
-    sum_vp += plain.wall;
-    sum_vpd += dift.wall;
+    sum_loc += static_cast<double>(row.loc_asm);
+    sum_vp += plain.wall_seconds;
+    sum_vpd += dift.wall_seconds;
     sum_mips_vp += plain.mips;
     sum_mips_vpd += dift.mips;
-    sum_ov += ov;
-    log_ov += std::log(ov > 0 ? ov : 1.0);
+    sum_ov += row.overhead;
+    log_ov += std::log(row.overhead > 0 ? row.overhead : 1.0);
     ++n;
   }
   const double geomean_ov = n ? std::exp(log_ov / n) : 0.0;
@@ -175,9 +138,9 @@ int main(int argc, char** argv) {
     char head[256];
     std::snprintf(head, sizeof head,
                   "{\n  \"bench\": \"table2_overhead\",\n  \"scale\": %u,\n"
-                  "  \"geomean_overhead\": %.4f,\n  \"all_ok\": %s,\n"
-                  "  \"workloads\": [\n",
-                  scale, geomean_ov, all_ok ? "true" : "false");
+                  "  \"jobs\": %zu,\n  \"geomean_overhead\": %.4f,\n"
+                  "  \"all_ok\": %s,\n  \"workloads\": [\n",
+                  scale, jobs, geomean_ov, all_ok ? "true" : "false");
     out << head << json_rows << "\n  ]\n}\n";
     std::printf("wrote %s\n", json_path.c_str());
   } else {

@@ -1,0 +1,100 @@
+#include "campaign/aggregator.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace vpdift::campaign {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Aggregator::add(const JobResult& r) {
+  results_.push_back(r);
+  if (r.ok) ++ok_;
+  if (r.verdict == "crash") ++crashed_;
+  instret_ += r.run.instret;
+  job_wall_ += r.wall_seconds;
+  stats_ += r.run.stats;
+}
+
+std::string Aggregator::summary(const std::string& campaign_name,
+                                double wall_s) const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "campaign %s: %zu jobs, %zu ok, %zu crashed, %.2f s wall",
+                campaign_name.c_str(), results_.size(), ok_, crashed_, wall_s);
+  return buf;
+}
+
+std::string Aggregator::to_json(const std::string& campaign_name,
+                                std::size_t workers, double wall_s) const {
+  std::ostringstream out;
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "{\n  \"campaign\": \"%s\",\n  \"workers\": %zu,\n"
+                "  \"jobs\": %zu,\n  \"ok\": %zu,\n  \"crashed\": %zu,\n"
+                "  \"all_ok\": %s,\n  \"wall_s\": %.4f,\n"
+                "  \"job_wall_s\": %.4f,\n  \"total_instret\": %llu,\n"
+                "  \"agg_mips\": %.2f,\n  \"dift_stats\": ",
+                json_escape(campaign_name).c_str(), workers, results_.size(),
+                ok_, crashed_, all_ok() ? "true" : "false", wall_s, job_wall_,
+                static_cast<unsigned long long>(instret_),
+                wall_s > 0 ? instret_ / wall_s / 1e6 : 0.0);
+  out << buf << dift::to_json(stats_) << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results_.size(); ++i) {
+    const JobResult& r = results_[i];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\":\"%s\",\"verdict\":\"%s\",\"ok\":%s,"
+                  "\"attempts\":%d,\"exited\":%s,\"exit_code\":%u,"
+                  "\"violation\":%s,\"timed_out\":%s,\"instret\":%llu,"
+                  "\"wall_s\":%.4f,\"mips\":%.2f,\"sim_ms\":%llu,"
+                  "\"recorded_violations\":%zu,",
+                  json_escape(r.name).c_str(), json_escape(r.verdict).c_str(),
+                  r.ok ? "true" : "false", r.attempts,
+                  r.run.exited ? "true" : "false", r.run.exit_code,
+                  r.run.violation ? "true" : "false",
+                  r.run.timed_out ? "true" : "false",
+                  static_cast<unsigned long long>(r.run.instret),
+                  r.wall_seconds, r.run.mips,
+                  static_cast<unsigned long long>(r.run.sim_time.millis()),
+                  r.run.recorded_violations.size());
+    out << buf;
+    if (!r.error.empty()) out << "\"error\":\"" << json_escape(r.error) << "\",";
+    out << "\"dift_stats\":" << dift::to_json(r.run.stats) << "}"
+        << (i + 1 < results_.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+bool Aggregator::write_json(const std::string& path,
+                            const std::string& campaign_name,
+                            std::size_t workers, double wall_s) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json(campaign_name, workers, wall_s);
+  return static_cast<bool>(out);
+}
+
+}  // namespace vpdift::campaign

@@ -1,0 +1,58 @@
+// Campaign report aggregation.
+//
+// Folds per-job JobResults (with their vp::RunResult / dift::DiftStats) into
+// one machine-readable JSON report, the campaign-level analogue of
+// BENCH_table2.json: top-level metadata + aggregate counters + a per-job
+// results array. Benchmark drivers and the vpdift-campaign CLI both emit it,
+// so downstream tooling reads one shape regardless of how a sweep was run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/runner.hpp"
+#include "dift/stats.hpp"
+
+namespace vpdift::campaign {
+
+class Aggregator {
+ public:
+  /// Folds one finished job into the report (call from one thread, or
+  /// serialize externally — RunnerOptions::on_done already is).
+  void add(const JobResult& r);
+
+  std::size_t total() const { return results_.size(); }
+  std::size_t ok() const { return ok_; }
+  std::size_t crashed() const { return crashed_; }
+  bool all_ok() const { return ok_ == results_.size(); }
+  std::uint64_t total_instret() const { return instret_; }
+  const dift::DiftStats& stats() const { return stats_; }
+
+  /// One human line: "campaign x: 36 jobs, 36 ok, 0 crashed, 1.2 s wall".
+  std::string summary(const std::string& campaign_name, double wall_s) const;
+
+  /// The full JSON report. `workers` and `wall_s` describe the run that
+  /// produced the results (they are campaign-level facts the aggregator
+  /// cannot know itself).
+  std::string to_json(const std::string& campaign_name, std::size_t workers,
+                      double wall_s) const;
+
+  /// to_json() to a file; returns false (and leaves no file guarantee) on
+  /// I/O failure.
+  bool write_json(const std::string& path, const std::string& campaign_name,
+                  std::size_t workers, double wall_s) const;
+
+ private:
+  std::vector<JobResult> results_;
+  std::size_t ok_ = 0;
+  std::size_t crashed_ = 0;
+  std::uint64_t instret_ = 0;
+  double job_wall_ = 0;
+  dift::DiftStats stats_;
+};
+
+/// Escapes a string for embedding in a JSON document.
+std::string json_escape(const std::string& s);
+
+}  // namespace vpdift::campaign

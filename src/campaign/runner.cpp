@@ -1,0 +1,217 @@
+#include "campaign/runner.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <sstream>
+
+#include "campaign/thread_pool.hpp"
+#include "dift/policy_parser.hpp"
+#include "fw/attacks.hpp"
+#include "fw/benchmarks.hpp"
+#include "fw/immobilizer.hpp"
+#include "rvasm/elf.hpp"
+#include "vp/scenarios.hpp"
+
+namespace vpdift::campaign {
+
+namespace {
+
+const soc::AesKey kDemoPin = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                              0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+
+/// A resolved policy keeps whatever owns the lattice alive for the run.
+struct ResolvedPolicy {
+  std::optional<vp::scenarios::PolicyBundle> bundle;
+  std::optional<dift::PolicySpec> file;
+  const dift::SecurityPolicy* policy = nullptr;
+};
+
+ResolvedPolicy resolve_policy(const std::string& name,
+                              const rvasm::Program& program) {
+  ResolvedPolicy r;
+  if (name.empty()) return r;
+  if (name == "permissive") {
+    r.bundle.emplace(vp::scenarios::make_permissive_policy());
+  } else if (name == "code-injection") {
+    r.bundle.emplace(vp::scenarios::make_code_injection_policy(program));
+  } else if (name == "immobilizer") {
+    r.bundle.emplace(
+        vp::scenarios::make_immobilizer_policy(program, /*per_byte_pin=*/false));
+  } else if (name == "immobilizer-per-byte") {
+    r.bundle.emplace(
+        vp::scenarios::make_immobilizer_policy(program, /*per_byte_pin=*/true));
+  } else {
+    // Anything else is a policy file (optionally "file:PATH").
+    const std::string path =
+        name.rfind("file:", 0) == 0 ? name.substr(5) : name;
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open policy file: " + path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    r.file.emplace(dift::PolicySpec::parse(buf.str(), &program.symbols));
+    r.policy = &r.file->policy();
+    return r;
+  }
+  r.policy = &r.bundle->policy;
+  return r;
+}
+
+/// Watches the host clock from inside the simulation: between CPU quanta it
+/// wakes every simulated millisecond and stops the run once the wall-clock
+/// deadline passed. Granularity is one quantum / one simulated ms, so a
+/// runaway job overshoots its budget by at most a few scheduler turns.
+sysc::Task wall_guard(sysc::Simulation& sim,
+                      std::chrono::steady_clock::time_point deadline,
+                      bool* fired) {
+  for (;;) {
+    co_await sim.delay(sysc::Time::ms(1));
+    if (sim.stop_requested()) co_return;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      *fired = true;
+      sim.stop();
+      co_return;
+    }
+  }
+}
+
+/// The attack firmwares come with a canonical attacker byte stream; a spec
+/// file that names them without an explicit uart-input gets it by default
+/// (otherwise the firmware blocks on the UART and idles to its timeout).
+std::string default_uart_input(const std::string& firmware) {
+  if (firmware == "code-reuse") return fw::make_code_reuse_attack().uart_input;
+  if (firmware.rfind("attack:", 0) == 0) {
+    std::int32_t id = 0;
+    if (parse_i32(firmware.substr(7), &id)) return fw::make_attack(id).uart_input;
+  }
+  return {};
+}
+
+template <typename VpT>
+JobResult execute_once(const JobSpec& job) {
+  JobResult res;
+  res.name = job.name;
+
+  const rvasm::Program program =
+      job.make_program ? job.make_program() : resolve_firmware(job.firmware);
+  const std::string uart_input =
+      !job.uart_input.empty() || job.make_program
+          ? job.uart_input
+          : default_uart_input(job.firmware);
+
+  vp::VpConfig cfg;
+  if (job.make_config) {
+    cfg = job.make_config();
+  } else if (job.engine_ecu) {
+    cfg.with_engine_ecu = true;
+    cfg.engine_pin = kDemoPin;
+    cfg.engine_period = sysc::Time::ms(1);
+  }
+
+  bool wall_fired = false;  // outlives the VP (the guard coroutine reads it)
+  VpT v(cfg);
+  v.load(program);
+  const ResolvedPolicy policy = resolve_policy(job.policy, program);
+  if (policy.policy) v.apply_policy(*policy.policy);
+  if (job.mode == VpMode::kMonitor) v.set_monitor_mode(true);
+  if (!uart_input.empty()) v.uart().feed_input(uart_input);
+  if (job.wall_budget_s > 0) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(job.wall_budget_s));
+    v.sim().spawn(wall_guard(v.sim(), deadline, &wall_fired));
+  }
+
+  res.run = v.run(sysc::Time::ms(job.max_ms));
+
+  if (res.run.violation) {
+    res.verdict =
+        std::string("violation:") + dift::to_string(res.run.violation_kind);
+  } else if (res.run.exited) {
+    res.verdict = "exit:" + std::to_string(res.run.exit_code);
+  } else {
+    res.verdict = wall_fired ? "wall-timeout" : "timeout";
+  }
+  res.ok = verdict_matches(job.expect, res.verdict);
+  return res;
+}
+
+}  // namespace
+
+bool verdict_matches(const std::string& expect, const std::string& verdict) {
+  if (verdict == "crash") return false;
+  if (expect.empty()) return true;
+  if (expect == "exit") return verdict.rfind("exit:", 0) == 0;
+  if (expect == "violation") return verdict.rfind("violation:", 0) == 0;
+  return verdict == expect;
+}
+
+rvasm::Program resolve_firmware(const std::string& name) {
+  if (name == "primes") return fw::make_primes(10000);
+  if (name == "qsort") return fw::make_qsort(5000, 1);
+  if (name == "dhrystone") return fw::make_dhrystone(20000);
+  if (name == "sha256") return fw::make_sha256(1024, 64);
+  if (name == "sha512") return fw::make_sha512(1024, 16);
+  if (name == "simple-sensor") return fw::make_simple_sensor(20);
+  if (name == "rtos-tasks") return fw::make_rtos_tasks(100, 200);
+  if (name == "immobilizer")
+    return fw::make_immobilizer(fw::ImmoVariant::kFixedDump, kDemoPin, 5);
+  if (name == "code-reuse") return fw::make_code_reuse_attack().program;
+  if (name.rfind("attack:", 0) == 0) {
+    std::int32_t id = 0;
+    if (!parse_i32(name.substr(7), &id))
+      throw std::invalid_argument("bad attack id in '" + name + "'");
+    return fw::make_attack(id).program;
+  }
+  return rvasm::load_elf32_file(name);  // throws ElfError if not loadable
+}
+
+JobResult Runner::run_job(const JobSpec& job) {
+  JobResult res;
+  const auto t0 = std::chrono::steady_clock::now();
+  const int max_attempts = job.retries + 1;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    try {
+      res = job.mode == VpMode::kPlain ? execute_once<vp::Vp>(job)
+                                       : execute_once<vp::VpDift>(job);
+    } catch (const std::exception& e) {
+      res = JobResult{};
+      res.name = job.name;
+      res.verdict = "crash";
+      res.error = e.what();
+    }
+    res.attempts = attempt;
+    if (res.verdict != "crash") break;  // retries exist to absorb crashes
+  }
+  res.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return res;
+}
+
+std::vector<JobResult> Runner::run(const CampaignSpec& spec) {
+  std::vector<JobResult> results(spec.jobs.size());
+  if (opts_.jobs <= 1) {
+    // Serial reference path: same thread, same order as the spec.
+    for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
+      results[i] = run_job(spec.jobs[i]);
+      if (opts_.on_done) opts_.on_done(results[i]);
+    }
+    return results;
+  }
+
+  std::mutex done_m;
+  ThreadPool pool(opts_.jobs);
+  pool.parallel_for(spec.jobs.size(), [&](std::size_t i) {
+    results[i] = run_job(spec.jobs[i]);
+    if (opts_.on_done) {
+      std::lock_guard lk(done_m);
+      opts_.on_done(results[i]);
+    }
+  });
+  return results;
+}
+
+}  // namespace vpdift::campaign

@@ -1,0 +1,66 @@
+// Batch execution of campaign jobs on worker threads.
+//
+// Each job is one self-contained VP simulation: the worker thread builds the
+// firmware, the policy and the VirtualPrototype locally, runs it, and folds
+// the outcome into a JobResult. Nothing is shared between jobs — the
+// thread_local active-context refactor (dift/context.hpp, sysc/kernel.hpp)
+// makes a VP thread-confined, and the runner never lets two threads touch
+// the same VP. With jobs == 1 the runner degrades to a plain serial loop on
+// the calling thread, which is the bit-identical reference the parallel
+// paths are tested against.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign/spec.hpp"
+#include "vp/vp.hpp"
+
+namespace vpdift::campaign {
+
+/// Outcome of one job (last attempt, if it was retried).
+struct JobResult {
+  std::string name;
+  std::string verdict;  ///< exit:N | violation:<kind> | timeout | wall-timeout | crash
+  bool ok = false;      ///< verdict matches the job's `expect` (no crash, if empty)
+  int attempts = 0;     ///< 1 + retries actually consumed
+  std::string error;    ///< exception message when verdict == "crash"
+  vp::RunResult run;    ///< full VP run result (default-constructed on crash)
+  double wall_seconds = 0.0;  ///< host time across all attempts
+};
+
+struct RunnerOptions {
+  std::size_t jobs = 1;  ///< worker threads; 1 = serial on the calling thread
+  /// Called as each job finishes (any worker thread; calls are serialized).
+  std::function<void(const JobResult&)> on_done;
+};
+
+class Runner {
+ public:
+  explicit Runner(RunnerOptions opts = {}) : opts_(std::move(opts)) {}
+
+  /// Executes every job of `spec`; the result vector parallels spec.jobs
+  /// regardless of completion order.
+  std::vector<JobResult> run(const CampaignSpec& spec);
+
+  /// Executes one job on the calling thread (the worker body; also the
+  /// serial path). Never throws — failures become verdict "crash".
+  static JobResult run_job(const JobSpec& job);
+
+ private:
+  RunnerOptions opts_;
+};
+
+/// Resolves a firmware reference: a builtin name (primes, qsort, dhrystone,
+/// sha256, sha512, simple-sensor, rtos-tasks, immobilizer), "attack:N"
+/// (Table I row N), "code-reuse", or a path to an ELF32 file.
+rvasm::Program resolve_firmware(const std::string& name);
+
+/// True iff `verdict` satisfies `expect` ("" matches anything but "crash";
+/// "exit" / "violation" match any exit code / violation kind; otherwise the
+/// comparison is exact).
+bool verdict_matches(const std::string& expect, const std::string& verdict);
+
+}  // namespace vpdift::campaign

@@ -1,0 +1,465 @@
+#include "campaign/spec.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace vpdift::campaign {
+
+const char* to_string(VpMode mode) {
+  switch (mode) {
+    case VpMode::kPlain: return "plain";
+    case VpMode::kDift: return "dift";
+    case VpMode::kMonitor: return "monitor";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------- numerics
+
+namespace {
+// strtoull/strtol/strtod silently skip leading whitespace; strict parsing
+// must not.
+bool leading_space(std::string_view s) {
+  return !s.empty() && std::isspace(static_cast<unsigned char>(s[0]));
+}
+}  // namespace
+
+bool parse_u64(std::string_view s, std::uint64_t* out) {
+  if (s.empty() || leading_space(s)) return false;
+  const std::string z(s);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(z.c_str(), &end, 0);
+  if (errno != 0 || end != z.c_str() + z.size() || z[0] == '-') return false;
+  *out = v;
+  return true;
+}
+
+bool parse_i32(std::string_view s, std::int32_t* out) {
+  if (s.empty() || leading_space(s)) return false;
+  const std::string z(s);
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(z.c_str(), &end, 0);
+  if (errno != 0 || end != z.c_str() + z.size()) return false;
+  if (v < INT32_MIN || v > INT32_MAX) return false;
+  *out = static_cast<std::int32_t>(v);
+  return true;
+}
+
+bool parse_f64(std::string_view s, double* out) {
+  if (s.empty() || leading_space(s)) return false;
+  const std::string z(s);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(z.c_str(), &end);
+  if (errno != 0 || end != z.c_str() + z.size()) return false;
+  *out = v;
+  return true;
+}
+
+std::string decode_escapes(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    if (++i >= s.size())
+      throw std::invalid_argument("dangling backslash in escaped string");
+    switch (s[i]) {
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case '0': out += '\0'; break;
+      case '\\': out += '\\'; break;
+      case 'x': {
+        if (i + 2 >= s.size() || !std::isxdigit(static_cast<unsigned char>(s[i + 1])) ||
+            !std::isxdigit(static_cast<unsigned char>(s[i + 2])))
+          throw std::invalid_argument("malformed \\xNN escape");
+        const std::string hex(s.substr(i + 1, 2));
+        out += static_cast<char>(std::strtoul(hex.c_str(), nullptr, 16));
+        i += 2;
+        break;
+      }
+      default:
+        throw std::invalid_argument(std::string("unknown escape \\") + s[i]);
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- text format
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return s;
+}
+
+VpMode parse_mode(std::string_view v, std::size_t line) {
+  if (v == "plain") return VpMode::kPlain;
+  if (v == "dift") return VpMode::kDift;
+  if (v == "monitor") return VpMode::kMonitor;
+  throw SpecParseError(line, "unknown mode '" + std::string(v) +
+                                 "' (plain | dift | monitor)");
+}
+
+bool parse_bool(std::string_view v, std::size_t line) {
+  if (v == "on" || v == "true" || v == "1") return true;
+  if (v == "off" || v == "false" || v == "0") return false;
+  throw SpecParseError(line, "expected on/off, got '" + std::string(v) + "'");
+}
+
+/// Applies one `key value` line to `job`. Returns false if the key is unknown.
+bool apply_field(JobSpec& job, std::string_view key, std::string_view value,
+                 std::size_t line) {
+  if (key == "firmware") {
+    job.firmware = std::string(value);
+  } else if (key == "policy") {
+    job.policy = std::string(value);
+  } else if (key == "mode") {
+    job.mode = parse_mode(value, line);
+  } else if (key == "uart-input" || key == "uart_input") {
+    try {
+      job.uart_input = decode_escapes(value);
+    } catch (const std::invalid_argument& e) {
+      throw SpecParseError(line, e.what());
+    }
+  } else if (key == "max-ms" || key == "max_ms") {
+    if (!parse_u64(value, &job.max_ms))
+      throw SpecParseError(line, "max-ms: not a number: '" + std::string(value) + "'");
+  } else if (key == "wall-budget-s" || key == "wall_budget_s") {
+    if (!parse_f64(value, &job.wall_budget_s) || job.wall_budget_s < 0)
+      throw SpecParseError(line, "wall-budget-s: not a non-negative number: '" +
+                                     std::string(value) + "'");
+  } else if (key == "retries") {
+    if (!parse_i32(value, &job.retries) || job.retries < 0)
+      throw SpecParseError(line, "retries: not a non-negative integer: '" +
+                                     std::string(value) + "'");
+  } else if (key == "engine-ecu" || key == "engine_ecu") {
+    job.engine_ecu = parse_bool(value, line);
+  } else if (key == "expect") {
+    job.expect = std::string(value);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+CampaignSpec parse_text(std::string_view text) {
+  CampaignSpec spec;
+  JobSpec defaults;
+  JobSpec* target = nullptr;  // nullptr until `defaults` or `job` opens a block
+  bool in_defaults = false;
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view raw = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    if (const std::size_t hash = raw.find('#'); hash != std::string_view::npos)
+      raw = raw.substr(0, hash);
+    const std::string_view line = trim(raw);
+    if (line.empty()) continue;
+
+    const std::size_t sp = line.find_first_of(" \t");
+    const std::string_view key = sp == std::string_view::npos ? line : line.substr(0, sp);
+    const std::string_view value =
+        sp == std::string_view::npos ? std::string_view{} : trim(line.substr(sp + 1));
+
+    if (key == "campaign") {
+      spec.name = std::string(value);
+    } else if (key == "defaults") {
+      target = &defaults;
+      in_defaults = true;
+    } else if (key == "job") {
+      if (value.empty()) throw SpecParseError(line_no, "job needs a name");
+      spec.jobs.push_back(defaults);
+      spec.jobs.back().name = std::string(value);
+      target = &spec.jobs.back();
+      in_defaults = false;
+    } else {
+      if (!target)
+        throw SpecParseError(line_no, "field '" + std::string(key) +
+                                          "' outside a job/defaults block");
+      if (!apply_field(*target, key, value, line_no))
+        throw SpecParseError(line_no, "unknown field '" + std::string(key) + "'");
+      (void)in_defaults;
+    }
+  }
+
+  for (const JobSpec& j : spec.jobs)
+    if (j.firmware.empty())
+      throw SpecParseError(0, "job '" + j.name + "' has no firmware");
+  return spec;
+}
+
+// ------------------------------------------------------------- JSON format
+//
+// Minimal recursive-descent parser for the subset campaign specs need:
+// objects, arrays, strings (with the usual escapes), numbers, true/false/
+// null. No external dependency; errors carry the 1-based line number.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind =
+      Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  // ordered
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) {
+    throw SpecParseError(line_, msg);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') ++line_;
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of JSON");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kString;
+        v.string = string();
+        return v;
+      }
+      case 't': case 'f': return boolean();
+      case 'n': return null();
+      default: return number();
+    }
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') { ++pos_; return v; }
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') { ++pos_; return v; }
+    for (;;) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') { out += c; continue; }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      c = text_[pos_++];
+      switch (c) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          const std::string hex(text_.substr(pos_, 4));
+          char* end = nullptr;
+          const unsigned long cp = std::strtoul(hex.c_str(), &end, 16);
+          if (end != hex.c_str() + 4) fail("malformed \\u escape");
+          if (cp > 0xff) fail("non-latin1 \\u escape unsupported in specs");
+          out += static_cast<char>(cp);
+          pos_ += 4;
+          break;
+        }
+        default: fail("unknown string escape");
+      }
+    }
+  }
+
+  JsonValue boolean() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (text_.substr(pos_, 4) == "true") { v.boolean = true; pos_ += 4; }
+    else if (text_.substr(pos_, 5) == "false") { v.boolean = false; pos_ += 5; }
+    else fail("bad literal");
+    return v;
+  }
+
+  JsonValue null() {
+    if (text_.substr(pos_, 4) != "null") fail("bad literal");
+    pos_ += 4;
+    return {};
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    if (!parse_f64(text_.substr(start, pos_ - start), &v.number))
+      fail("malformed number");
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+void apply_json_fields(JobSpec& job, const JsonValue& obj) {
+  for (const auto& [key, v] : obj.object) {
+    if (key == "name") {
+      job.name = v.string;
+      continue;
+    }
+    std::string text;
+    switch (v.kind) {
+      case JsonValue::Kind::kString: text = v.string; break;
+      case JsonValue::Kind::kBool: text = v.boolean ? "on" : "off"; break;
+      case JsonValue::Kind::kNumber: {
+        std::ostringstream os;
+        os << v.number;
+        text = os.str();
+        break;
+      }
+      default:
+        throw SpecParseError(0, "job field '" + key + "' has an unsupported type");
+    }
+    // JSON strings arrive already unescaped; apply_field would re-decode
+    // backslashes in uart input, so set that one directly.
+    if (key == "uart_input" || key == "uart-input") {
+      job.uart_input = text;
+      continue;
+    }
+    if (!apply_field(job, key, text, 0))
+      throw SpecParseError(0, "unknown job field '" + key + "'");
+  }
+}
+
+CampaignSpec parse_json(std::string_view text) {
+  const JsonValue root = JsonParser(text).parse();
+  if (root.kind != JsonValue::Kind::kObject)
+    throw SpecParseError(1, "top-level JSON value must be an object");
+  CampaignSpec spec;
+  if (const JsonValue* name = root.find("campaign"); name)
+    spec.name = name->string;
+  else if (const JsonValue* n2 = root.find("name"); n2)
+    spec.name = n2->string;
+
+  JobSpec defaults;
+  if (const JsonValue* d = root.find("defaults"); d)
+    apply_json_fields(defaults, *d);
+
+  const JsonValue* jobs = root.find("jobs");
+  if (!jobs || jobs->kind != JsonValue::Kind::kArray)
+    throw SpecParseError(1, "spec needs a \"jobs\" array");
+  for (const JsonValue& j : jobs->array) {
+    if (j.kind != JsonValue::Kind::kObject)
+      throw SpecParseError(1, "every job must be an object");
+    JobSpec job = defaults;
+    apply_json_fields(job, j);
+    if (job.name.empty())
+      job.name = "job" + std::to_string(spec.jobs.size());
+    if (job.firmware.empty())
+      throw SpecParseError(1, "job '" + job.name + "' has no firmware");
+    spec.jobs.push_back(std::move(job));
+  }
+  return spec;
+}
+
+}  // namespace
+
+CampaignSpec CampaignSpec::parse(std::string_view text) {
+  const std::string_view body = trim(text);
+  if (!body.empty() && body.front() == '{') return parse_json(body);
+  return parse_text(text);
+}
+
+CampaignSpec CampaignSpec::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open campaign spec: " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+}  // namespace vpdift::campaign

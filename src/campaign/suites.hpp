@@ -1,0 +1,57 @@
+// The paper's evaluation suites expressed as campaigns.
+//
+// Table I (18-attack code-injection suite) and Table II (VP vs VP+ overhead)
+// are embarrassingly parallel: every table cell is an independent VP run.
+// These builders turn each table into a CampaignSpec — one job per VP
+// execution — plus pairing helpers that fold the flat JobResult list back
+// into the paper's rows. The bench harnesses and the vpdift-campaign CLI
+// share this code, so "bench serial" and "campaign --jobs N" are the same
+// computation by construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+
+namespace vpdift::campaign::suites {
+
+/// Table I as a campaign: per applicable attack, a control job on the plain
+/// VP ("atkN-plain": the exploit must actually work, exit 42 + marker 'X')
+/// and a detection job on the VP+ ("atkN-dift": code-injection policy,
+/// expecting a fetch-clearance violation). 2 x 10 applicable rows = 20 jobs.
+CampaignSpec table1();
+
+struct Table1Row {
+  int id = 0;
+  const char* location = "";
+  const char* target = "";
+  const char* technique = "";
+  std::string result;    ///< "Detected" / "N/A" / "MISSED"
+  std::string expected;  ///< the paper's column
+  bool match = false;
+  bool exploit_works = false;  ///< control run reached the payload
+};
+
+/// Folds table1() results (any execution order) into the 18 paper rows.
+std::vector<Table1Row> table1_rows(const std::vector<JobResult>& results);
+
+/// Table II as a campaign: per workload a plain-VP job ("name-vp") and a
+/// VP+ job under the permissive policy ("name-vpd"), both expecting exit:0.
+CampaignSpec table2(std::uint32_t scale);
+
+struct Table2Row {
+  std::string name;
+  bool extra = false;        ///< beyond the paper's set; out of averages
+  std::size_t loc_asm = 0;   ///< static instruction slots
+  JobResult plain, dift;
+  double overhead = 0.0;     ///< plain MIPS / dift MIPS
+};
+
+/// Pairs table2() results back into workload rows (order = workload table).
+std::vector<Table2Row> table2_rows(const std::vector<JobResult>& results,
+                                   std::uint32_t scale);
+
+}  // namespace vpdift::campaign::suites

@@ -1,0 +1,134 @@
+#include "campaign/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <utility>
+
+namespace vpdift::campaign {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) workers = 1;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    workers_.push_back(std::make_unique<Worker>());
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(state_m_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> fn) {
+  std::size_t slot;
+  {
+    std::lock_guard lk(state_m_);
+    slot = next_++ % workers_.size();
+    ++queued_;
+    ++pending_;
+  }
+  {
+    std::lock_guard lk(workers_[slot]->m);
+    workers_[slot]->q.push_back(std::move(fn));
+  }
+  wake_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t self, std::function<void()>& out) {
+  // Own deque first, newest-first; then sweep the others oldest-first.
+  {
+    Worker& w = *workers_[self];
+    std::lock_guard lk(w.m);
+    if (!w.q.empty()) {
+      out = std::move(w.q.back());
+      w.q.pop_back();
+      std::lock_guard slk(state_m_);
+      --queued_;
+      return true;
+    }
+  }
+  for (std::size_t k = 1; k < workers_.size(); ++k) {
+    Worker& v = *workers_[(self + k) % workers_.size()];
+    std::lock_guard lk(v.m);
+    if (!v.q.empty()) {
+      out = std::move(v.q.front());
+      v.q.pop_front();
+      std::lock_guard slk(state_m_);
+      --queued_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  for (;;) {
+    std::function<void()> job;
+    if (!try_pop(self, job)) {
+      std::unique_lock lk(state_m_);
+      wake_.wait(lk, [this] { return stop_ || queued_ > 0; });
+      if (stop_ && queued_ == 0) return;
+      continue;
+    }
+    job();
+    job = nullptr;  // release captures before reporting completion
+    {
+      std::lock_guard lk(state_m_);
+      if (--pending_ == 0) idle_.notify_all();
+    }
+    // A finished task may have submitted follow-ups; other workers could
+    // still be asleep from before. Cheap insurance against a lost wakeup:
+    wake_.notify_one();
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lk(state_m_);
+  idle_.wait(lk, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  std::mutex done_m;
+  std::condition_variable done_cv;
+  std::size_t done = 0;  // guarded by done_m
+  std::exception_ptr first;
+  for (std::size_t i = 0; i < n; ++i) {
+    submit([&, i] {
+      std::exception_ptr err;
+      try {
+        fn(i);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      std::lock_guard lk(done_m);
+      if (err && !first) first = err;
+      if (++done == n) done_cv.notify_all();
+    });
+  }
+  std::unique_lock lk(done_m);
+  done_cv.wait(lk, [&] { return done == n; });
+  if (first) std::rethrow_exception(first);
+}
+
+std::size_t ThreadPool::jobs_from_env(std::size_t fallback) {
+  if (const char* env = std::getenv("VPDIFT_JOBS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end && *end == '\0' && v >= 1 && v <= 1024)
+      return static_cast<std::size_t>(v);
+  }
+  if (fallback) return fallback;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? hw : 1;
+}
+
+}  // namespace vpdift::campaign

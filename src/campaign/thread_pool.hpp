@@ -1,0 +1,75 @@
+// Work-stealing thread pool for the campaign runner.
+//
+// Each worker owns a deque: it pops its own work LIFO (cache-warm) and, when
+// empty, steals FIFO from the other workers — the classic Chase-Lev shape,
+// implemented with per-deque mutexes (campaign jobs run for milliseconds to
+// seconds, so queue-operation cost is irrelevant; simplicity and TSan-clean
+// correctness win).
+//
+// Tasks must be independent: a task must not block waiting for another task
+// submitted to the same pool (no nested parallel_for), because workers do
+// not re-enter the scheduler while a task runs. Campaign jobs satisfy this
+// by construction — each is a self-contained, thread-confined VP simulation.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vpdift::campaign {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (clamped to >= 1).
+  explicit ThreadPool(std::size_t workers);
+
+  /// Finishes all queued work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// Enqueues `fn` (round-robin across worker deques; idle thieves even it
+  /// out). May be called from any thread, including from inside a task.
+  void submit(std::function<void()> fn);
+
+  /// Blocks the calling thread until every submitted task has finished.
+  void wait_idle();
+
+  /// Runs fn(0) .. fn(n-1) across the pool and waits for all of them.
+  /// Rethrows the first exception a task raised (after all tasks finish).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Worker count from the VPDIFT_JOBS environment knob; falls back to
+  /// `fallback` (or hardware_concurrency when 0). Always >= 1.
+  static std::size_t jobs_from_env(std::size_t fallback = 0);
+
+ private:
+  struct Worker {
+    std::mutex m;
+    std::deque<std::function<void()>> q;
+  };
+
+  bool try_pop(std::size_t self, std::function<void()>& out);
+  void worker_loop(std::size_t self);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex state_m_;          // guards queued_/pending_/next_/stop_
+  std::condition_variable wake_;  // queued work available (or stopping)
+  std::condition_variable idle_;  // pending_ reached zero
+  std::size_t queued_ = 0;        // tasks sitting in deques
+  std::size_t pending_ = 0;       // tasks submitted but not yet finished
+  std::size_t next_ = 0;          // round-robin submit cursor
+  bool stop_ = false;
+};
+
+}  // namespace vpdift::campaign

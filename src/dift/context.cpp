@@ -5,10 +5,10 @@
 namespace vpdift::dift {
 
 namespace detail {
-ActiveTables g_active;
+thread_local constinit ActiveTables g_active;
 }  // namespace detail
 
-DiftContext* DiftContext::s_active_ = nullptr;
+thread_local constinit DiftContext* DiftContext::s_active_ = nullptr;
 
 DiftContext::DiftContext(const Lattice& lattice)
     : lattice_(&lattice), previous_(s_active_), saved_(detail::g_active) {

@@ -7,8 +7,12 @@
 // lub()/allowed_flow() below. A DiftContext is a RAII scope that installs a
 // lattice as the active one (contexts nest; the previous one is restored).
 //
-// The simulation is single-threaded (like a SystemC kernel), so a plain
-// global is both safe and fast here.
+// Each simulation is single-threaded (like a SystemC kernel), but several
+// independent simulations may run concurrently on different threads (the
+// campaign runner does exactly that), so the active tables are thread_local:
+// every thread carries its own active-IFP slot, and a VP is *thread-confined*
+// — all calls into one VirtualPrototype must come from the thread that runs
+// its simulation.
 #pragma once
 
 #include <cstdint>
@@ -30,7 +34,10 @@ struct ActiveTables {
   std::uint64_t flow_checks = 0;
   std::uint64_t pc_hint = 0;  ///< pc of the instruction driving the bus
 };
-extern ActiveTables g_active;
+// constinit: guarantees constant (wrapper-free) TLS initialization — the
+// hot path must not pay a guard check, and g++'s lazy-init TLS wrapper
+// trips UBSan's null-member check when the object escapes through it.
+extern thread_local constinit ActiveTables g_active;
 }  // namespace detail
 
 /// A violation captured in monitor (record-and-continue) mode.
@@ -80,7 +87,7 @@ class DiftContext {
   detail::ActiveTables saved_;
   bool monitor_ = false;
   std::vector<ViolationRecord> recorded_;
-  static DiftContext* s_active_;
+  static thread_local constinit DiftContext* s_active_;
 };
 
 /// Least upper bound of two tags under the active IFP.

@@ -6,7 +6,7 @@
 
 namespace vpdift::sysc {
 
-Simulation* Simulation::current_ = nullptr;
+thread_local constinit Simulation* Simulation::current_ = nullptr;
 
 std::string Time::to_string() const {
   char buf[64];

@@ -53,7 +53,8 @@ class [[nodiscard]] Task {
   std::coroutine_handle<promise_type> handle_;
 };
 
-/// The scheduler. Single-threaded; one instance active per run() at a time.
+/// The scheduler. Single-threaded; one instance active per run() at a time
+/// *per thread* (independent simulations may run on separate threads).
 class Simulation {
  public:
   Simulation() = default;
@@ -85,8 +86,10 @@ class Simulation {
   /// Process count (for diagnostics).
   std::size_t process_count() const { return tasks_.size(); }
 
-  /// The simulation currently inside run(), if any (used by Task's
-  /// exception plumbing and by awaitables).
+  /// The simulation currently inside run() *on this thread*, if any (used
+  /// by Task's exception plumbing and by awaitables). Thread-local so that
+  /// independent simulations may run concurrently on different threads;
+  /// each Simulation remains single-threaded (thread-confined).
   static Simulation* current() { return current_; }
 
   // -- awaitable: co_await sim.delay(t) --
@@ -122,7 +125,7 @@ class Simulation {
   std::vector<Task> tasks_;
   bool stop_requested_ = false;
   std::exception_ptr pending_exception_;
-  static Simulation* current_;
+  static thread_local constinit Simulation* current_;
 };
 
 /// Notifiable synchronisation point (sc_event equivalent).

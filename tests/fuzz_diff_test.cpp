@@ -16,7 +16,9 @@
 
 #include <cstring>
 #include <random>
+#include <vector>
 
+#include "campaign/thread_pool.hpp"
 #include "dift/context.hpp"
 #include "micro_vm.hpp"
 #include "soc/dma.hpp"
@@ -187,6 +189,47 @@ TEST_P(FuzzSeeds, DynamicTaintSoundness) {
 
 INSTANTIATE_TEST_SUITE_P(ManySeeds, FuzzSeeds,
                          ::testing::Range(0u, 25u));
+
+// The same differential sweep through the campaign engine: every seed is an
+// independent job on the work-stealing pool (worker count from VPDIFT_JOBS,
+// default 4), and the parallel results must be bit-identical to a serial
+// run of the very same computation — the archetypal guard for the
+// thread_local active-context refactor, since each worker installs its own
+// DiftContext while the others are mid-simulation.
+TEST(FuzzCampaign, ParallelSeedsBitIdenticalToSerial) {
+  constexpr std::uint32_t kSeeds = 25;
+  struct SeedOutcome {
+    std::array<std::uint32_t, 32> plain{};
+    std::array<std::uint32_t, 32> tainted{};
+  };
+  const auto fuzz_one = [](std::uint32_t seed) {
+    const dift::Lattice l = dift::Lattice::ifp1();
+    dift::DiftContext ctx(l);
+    ProgramFuzzer fuzzer(seed);
+    const auto prog = fuzzer.generate(300);
+    std::mt19937 vals(seed ^ 0xabcdef);
+    std::array<std::uint32_t, 8> inputs;
+    for (auto& v : inputs) v = vals();
+    SeedOutcome out;
+    out.plain = run_fuzz<rv::PlainWord>(prog, inputs, 0);
+    out.tainted = run_fuzz<rv::TaintedWord>(prog, inputs, l.tag_of("HC"));
+    return out;
+  };
+
+  std::vector<SeedOutcome> serial(kSeeds);
+  for (std::uint32_t s = 0; s < kSeeds; ++s) serial[s] = fuzz_one(s);
+
+  std::vector<SeedOutcome> parallel(kSeeds);
+  campaign::ThreadPool pool(campaign::ThreadPool::jobs_from_env(4));
+  pool.parallel_for(kSeeds, [&](std::size_t s) {
+    parallel[s] = fuzz_one(static_cast<std::uint32_t>(s));
+  });
+
+  for (std::uint32_t s = 0; s < kSeeds; ++s) {
+    ASSERT_EQ(serial[s].plain, parallel[s].plain) << "seed " << s;
+    ASSERT_EQ(serial[s].tainted, parallel[s].tainted) << "seed " << s;
+  }
+}
 
 // Regression fuzz for the register-width clamp: before the fix, a payload
 // longer than 4 bytes made the peripherals' rd_u32/wr_u32 helpers evaluate

@@ -1,0 +1,189 @@
+// vpdift-campaign — batch-execution front end for the virtual prototype.
+//
+//   vpdift-campaign [options] <spec-file>
+//   vpdift-campaign [options] --suite table1
+//   vpdift-campaign [options] --suite table2[:scale]
+//
+//   <spec-file>     campaign spec, text or JSON (see src/campaign/spec.hpp
+//                   and docs/campaign.md for the format)
+//   --suite NAME    a built-in suite instead of a spec file: the paper's
+//                   Table I attack sweep or Table II overhead matrix
+//   --jobs N        worker threads (default: $VPDIFT_JOBS, else 1 = serial)
+//   --out FILE      JSON campaign report (default: CAMPAIGN_<name>.json)
+//   --quiet         suppress the per-job progress lines
+//   --list          print the parsed job list and exit without running
+//
+// Exit status: 0 when every job met its expectation (for --suite table1,
+// additionally when all 18 rows match the paper), 1 otherwise, 2 on usage
+// or spec errors.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "campaign/aggregator.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+#include "campaign/suites.hpp"
+#include "campaign/thread_pool.hpp"
+
+using namespace vpdift;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: vpdift-campaign [--jobs N] [--out FILE] [--quiet] "
+               "[--list]\n"
+               "                       <spec-file | --suite table1 | --suite "
+               "table2[:scale]>\n");
+  return 2;
+}
+
+int print_table1(const std::vector<campaign::JobResult>& results) {
+  const auto rows = campaign::suites::table1_rows(results);
+  std::printf("\nTable I — buffer-overflow test-suite results\n");
+  std::printf("%-4s %-14s %-26s %-10s %-10s %-10s %s\n", "Atk", "Location",
+              "Target", "Technique", "Result", "Paper", "Match");
+  int mismatches = 0;
+  for (const auto& row : rows) {
+    if (!row.match) ++mismatches;
+    std::printf("%-4d %-14s %-26s %-10s %-10s %-10s %s%s\n", row.id,
+                row.location, row.target, row.technique, row.result.c_str(),
+                row.expected.c_str(), row.match ? "yes" : "NO",
+                row.result != "N/A" && !row.exploit_works
+                    ? "  [warning: exploit inert on plain VP]"
+                    : "");
+  }
+  std::printf("\n%s: %d/18 rows match the paper's Table I.\n",
+              mismatches == 0 ? "OK" : "FAILED", 18 - mismatches);
+  return mismatches == 0 ? 0 : 1;
+}
+
+int print_table2(const std::vector<campaign::JobResult>& results,
+                 std::uint32_t scale) {
+  const auto rows = campaign::suites::table2_rows(results, scale);
+  std::printf("\nTable II — performance overhead of VP-based DIFT (VP vs VP+)\n");
+  std::printf("%-14s %14s | %9s %9s | %5s\n", "Benchmark", "#instr exec.",
+              "VP [s]", "VP+ [s]", "Ov");
+  bool all_ok = true;
+  for (const auto& row : rows) {
+    all_ok = all_ok && row.plain.ok && row.dift.ok;
+    std::printf("%-14s %14llu | %9.2f %9.2f | %4.1fx%s\n", row.name.c_str(),
+                static_cast<unsigned long long>(row.plain.run.instret),
+                row.plain.run.wall_seconds, row.dift.run.wall_seconds,
+                row.overhead,
+                row.plain.ok && row.dift.ok ? "" : "  [SELF-CHECK FAILED]");
+  }
+  std::printf("%s\n", all_ok ? "OK: all self-checks passed."
+                             : "FAILED: a workload self-check failed.");
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec_path, suite, out_path;
+  std::size_t jobs = campaign::ThreadPool::jobs_from_env(1);
+  bool quiet = false, list = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) { usage(); std::exit(2); }
+      return argv[++i];
+    };
+    if (arg == "--jobs") {
+      std::uint64_t n = 0;
+      const char* v = next();
+      if (!campaign::parse_u64(v, &n) || n < 1 || n > 1024) {
+        std::fprintf(stderr, "invalid value for --jobs: '%s'\n", v);
+        return usage();
+      }
+      jobs = static_cast<std::size_t>(n);
+    } else if (arg == "--suite") suite = next();
+    else if (arg == "--out") out_path = next();
+    else if (arg == "--quiet") quiet = true;
+    else if (arg == "--list") list = true;
+    else if (arg == "--help" || arg == "-h") return usage();
+    else if (!arg.empty() && arg[0] == '-') return usage();
+    else spec_path = arg;
+  }
+  if (spec_path.empty() == suite.empty()) return usage();  // exactly one
+
+  try {
+    campaign::CampaignSpec spec;
+    std::uint32_t table2_scale = 1;
+    if (suite.empty()) {
+      spec = campaign::CampaignSpec::load_file(spec_path);
+    } else if (suite == "table1") {
+      spec = campaign::suites::table1();
+    } else if (suite == "table2" || suite.rfind("table2:", 0) == 0) {
+      if (suite.size() > 7) {
+        std::uint64_t s = 0;
+        if (!campaign::parse_u64(suite.substr(7), &s) || s < 1) {
+          std::fprintf(stderr, "invalid table2 scale in '%s'\n", suite.c_str());
+          return 2;
+        }
+        table2_scale = static_cast<std::uint32_t>(s);
+      }
+      spec = campaign::suites::table2(table2_scale);
+    } else {
+      std::fprintf(stderr, "unknown suite '%s' (table1 | table2[:scale])\n",
+                   suite.c_str());
+      return 2;
+    }
+
+    std::printf("campaign %s: %zu jobs on %zu worker%s\n", spec.name.c_str(),
+                spec.jobs.size(), jobs, jobs == 1 ? "" : "s");
+    if (list) {
+      for (const auto& j : spec.jobs)
+        std::printf("  %-20s fw=%-12s mode=%-7s policy=%-20s max-ms=%llu%s\n",
+                    j.name.c_str(), j.firmware.c_str(),
+                    campaign::to_string(j.mode),
+                    j.policy.empty() ? "-" : j.policy.c_str(),
+                    static_cast<unsigned long long>(j.max_ms),
+                    j.expect.empty() ? "" : (" expect=" + j.expect).c_str());
+      return 0;
+    }
+
+    campaign::Aggregator agg;
+    std::size_t done = 0;
+    campaign::RunnerOptions opts;
+    opts.jobs = jobs;
+    opts.on_done = [&](const campaign::JobResult& r) {
+      agg.add(r);
+      ++done;
+      if (!quiet)
+        std::printf("[%zu/%zu] %-20s %-28s %s (%.2f s%s)\n", done,
+                    spec.jobs.size(), r.name.c_str(), r.verdict.c_str(),
+                    r.ok ? "ok" : "FAILED", r.wall_seconds,
+                    r.attempts > 1
+                        ? (", " + std::to_string(r.attempts) + " attempts").c_str()
+                        : "");
+    };
+
+    const auto t0 = std::chrono::steady_clock::now();
+    campaign::Runner runner(opts);
+    const auto results = runner.run(spec);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    std::printf("%s\n", agg.summary(spec.name, wall).c_str());
+
+    const std::string report =
+        out_path.empty() ? "CAMPAIGN_" + spec.name + ".json" : out_path;
+    if (agg.write_json(report, spec.name, jobs, wall))
+      std::printf("wrote %s\n", report.c_str());
+    else
+      std::fprintf(stderr, "warning: cannot write %s\n", report.c_str());
+
+    if (suite == "table1") return print_table1(results);
+    if (!suite.empty()) return print_table2(results, table2_scale);
+    return agg.all_ok() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

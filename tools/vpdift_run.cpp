@@ -4,7 +4,8 @@
 //
 //   <firmware>            an ELF32 RISC-V executable, or one of the built-in
 //                         demo images: primes, qsort, dhrystone, sha256,
-//                         sha512, simple-sensor, rtos-tasks, immobilizer
+//                         sha512, simple-sensor, rtos-tasks, immobilizer,
+//                         attack:N (Table I row), code-reuse
 //   --policy FILE         text security policy (see dift/policy_parser.hpp);
 //                         $symbols resolve against the firmware image.
 //                         Running with a policy selects the DIFT VP+.
@@ -20,32 +21,18 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <type_traits>
 
+#include "campaign/runner.hpp"  // resolve_firmware (shared with the campaign CLI)
+#include "campaign/spec.hpp"    // strict numeric parsing
 #include "dift/policy_parser.hpp"
 #include "fw/benchmarks.hpp"
 #include "fw/immobilizer.hpp"
-#include "rvasm/elf.hpp"
 #include "vp/vp.hpp"
 
 using namespace vpdift;
 
 namespace {
-
-rvasm::Program load_firmware(const std::string& name) {
-  if (name == "primes") return fw::make_primes(10000);
-  if (name == "qsort") return fw::make_qsort(5000, 1);
-  if (name == "dhrystone") return fw::make_dhrystone(20000);
-  if (name == "sha256") return fw::make_sha256(1024, 64);
-  if (name == "sha512") return fw::make_sha512(1024, 16);
-  if (name == "simple-sensor") return fw::make_simple_sensor(20);
-  if (name == "rtos-tasks") return fw::make_rtos_tasks(100, 200);
-  if (name == "immobilizer") {
-    const soc::AesKey pin = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
-                             0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
-    return fw::make_immobilizer(fw::ImmoVariant::kFixedDump, pin, 5);
-  }
-  return rvasm::load_elf32_file(name);  // throws ElfError if not loadable
-}
 
 int usage() {
   std::fprintf(stderr,
@@ -161,13 +148,27 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) { usage(); std::exit(2); }
       return argv[++i];
     };
+    // Numeric flags parse strictly: garbage used to atoi into a silent 0.
+    auto next_num = [&](const char* flag, auto* out) {
+      const char* v = next();
+      bool ok;
+      if constexpr (std::is_same_v<decltype(out), std::uint64_t*>)
+        ok = campaign::parse_u64(v, out);
+      else
+        ok = campaign::parse_i32(v, out) && *out >= 0;
+      if (!ok) {
+        std::fprintf(stderr, "invalid value for %s: '%s'\n", flag, v);
+        usage();
+        std::exit(2);
+      }
+    };
     if (arg == "--policy") policy_path = next();
     else if (arg == "--monitor") monitor = true;
     else if (arg == "--stats") stats = true;
     else if (arg == "--json") json_path = next();
-    else if (arg == "--trace") trace_depth = std::atoi(next());
+    else if (arg == "--trace") next_num("--trace", &trace_depth);
     else if (arg == "--uart-input") uart_input = next();
-    else if (arg == "--max-ms") max_ms = std::strtoull(next(), nullptr, 0);
+    else if (arg == "--max-ms") next_num("--max-ms", &max_ms);
     else if (arg == "--help" || arg == "-h") return usage();
     else if (!arg.empty() && arg[0] == '-') return usage();
     else firmware = arg;
@@ -175,7 +176,7 @@ int main(int argc, char** argv) {
   if (firmware.empty()) return usage();
 
   try {
-    const rvasm::Program program = load_firmware(firmware);
+    const rvasm::Program program = campaign::resolve_firmware(firmware);
     std::printf("loaded %s: %zu bytes, %zu instructions, entry 0x%llx\n",
                 firmware.c_str(), program.size(), program.instruction_slots(),
                 static_cast<unsigned long long>(program.entry));
