@@ -192,6 +192,21 @@ void run_iss(benchmark::State& state, bool dift) {
           ? 100.0 * static_cast<double>(stats.decode_hits) /
                 static_cast<double>(stats.decode_hits + stats.decode_misses)
           : 0.0;
+  const double block_lookups =
+      static_cast<double>(stats.block_hits + stats.block_misses +
+                          stats.block_invalidations + stats.chained_transfers);
+  state.counters["block_hit_pct"] =
+      block_lookups > 0
+          ? 100.0 *
+                static_cast<double>(stats.block_hits + stats.chained_transfers) /
+                block_lookups
+          : 0.0;
+  state.counters["chained_pct"] =
+      block_lookups > 0
+          ? 100.0 * static_cast<double>(stats.chained_transfers) / block_lookups
+          : 0.0;
+  state.counters["block_invalidations"] =
+      static_cast<double>(stats.block_invalidations);
 }
 
 void BM_IssPlainVp(benchmark::State& state) { run_iss<vp::Vp>(state, false); }

@@ -142,12 +142,24 @@ std::vector<Table2Workload> table2_workloads() {
   };
 }
 
+// `only` matching tolerates the trailing '*' marking extra workloads, so CI
+// subsets can say "sha256" rather than "sha256*".
+bool selected(const std::string& name, const std::vector<std::string>& only) {
+  if (only.empty()) return true;
+  std::string bare = name;
+  if (!bare.empty() && bare.back() == '*') bare.pop_back();
+  for (const std::string& f : only)
+    if (f == name || f == bare) return true;
+  return false;
+}
+
 }  // namespace
 
-CampaignSpec table2(std::uint32_t scale) {
+CampaignSpec table2(std::uint32_t scale, const std::vector<std::string>& only) {
   CampaignSpec spec;
   spec.name = "table2-overhead";
   for (const Table2Workload& w : table2_workloads()) {
+    if (!selected(w.name, only)) continue;
     for (const bool dift : {false, true}) {
       JobSpec job;
       job.name = w.name + (dift ? "-vpd" : "-vp");
@@ -165,9 +177,11 @@ CampaignSpec table2(std::uint32_t scale) {
 }
 
 std::vector<Table2Row> table2_rows(const std::vector<JobResult>& results,
-                                   std::uint32_t scale) {
+                                   std::uint32_t scale,
+                                   const std::vector<std::string>& only) {
   std::vector<Table2Row> rows;
   for (const Table2Workload& w : table2_workloads()) {
+    if (!selected(w.name, only)) continue;
     const JobResult* plain = find_result(results, w.name + "-vp");
     const JobResult* dift = find_result(results, w.name + "-vpd");
     if (!plain || !dift)

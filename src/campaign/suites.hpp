@@ -40,7 +40,10 @@ std::vector<Table1Row> table1_rows(const std::vector<JobResult>& results);
 
 /// Table II as a campaign: per workload a plain-VP job ("name-vp") and a
 /// VP+ job under the permissive policy ("name-vpd"), both expecting exit:0.
-CampaignSpec table2(std::uint32_t scale);
+/// A non-empty `only` restricts the suite to the named workloads (names match
+/// with or without the trailing '*' marking extra workloads).
+CampaignSpec table2(std::uint32_t scale,
+                    const std::vector<std::string>& only = {});
 
 struct Table2Row {
   std::string name;
@@ -51,7 +54,9 @@ struct Table2Row {
 };
 
 /// Pairs table2() results back into workload rows (order = workload table).
+/// `only` must match the filter the campaign was built with.
 std::vector<Table2Row> table2_rows(const std::vector<JobResult>& results,
-                                   std::uint32_t scale);
+                                   std::uint32_t scale,
+                                   const std::vector<std::string>& only = {});
 
 }  // namespace vpdift::campaign::suites

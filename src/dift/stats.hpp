@@ -1,12 +1,13 @@
 // DIFT engine statistics.
 //
 // One flat counter block for everything the engine does on the hot path:
-// tag combinations (LUB table lookups), flow checks, decode-cache behaviour,
-// shadow-summary fast-path hits (see shadow.hpp) and bus traffic. The VP
-// fills a DiftStats into every vp::RunResult so benchmark harnesses can emit
-// machine-readable reports (BENCH_*.json) and perf PRs have a baseline to
-// beat. Counters are plain 64-bit adds — cheap enough to stay enabled in
-// both the plain VP and the VP+.
+// tag combinations (LUB table lookups), flow checks, block-translation-cache
+// behaviour, shadow-summary fast-path hits (see shadow.hpp) and bus traffic.
+// The VP fills a DiftStats into every vp::RunResult so benchmark harnesses
+// can emit machine-readable reports (BENCH_*.json) and perf PRs have a
+// baseline to beat. Counters are plain 64-bit adds — cheap enough to stay
+// enabled in both the plain VP and the VP+ (and the block engine hoists the
+// per-instruction ones to block boundaries anyway).
 #pragma once
 
 #include <cstdint>
@@ -17,9 +18,13 @@ namespace vpdift::dift {
 struct DiftStats {
   std::uint64_t lub_calls = 0;       ///< LUB table lookups (a != b slow path)
   std::uint64_t flow_checks = 0;     ///< flow-table lookups (from != to)
-  std::uint64_t decode_hits = 0;     ///< decode-cache entries reused as-is
-  std::uint64_t decode_misses = 0;   ///< decode-cache fills/revalidations
-  std::uint64_t fetch_summary_hits = 0;  ///< fetches cleared via block memo
+  std::uint64_t decode_hits = 0;     ///< instructions executed from cached blocks
+  std::uint64_t decode_misses = 0;   ///< instructions decoded into micro-ops
+  std::uint64_t block_hits = 0;      ///< block-cache lookups that found a valid block
+  std::uint64_t block_misses = 0;    ///< block-cache lookups that built a new block
+  std::uint64_t block_invalidations = 0;  ///< cached blocks rebuilt (raw bytes changed)
+  std::uint64_t chained_transfers = 0;    ///< block entries resolved via terminator chain
+  std::uint64_t fetch_summary_hits = 0;  ///< fetches cleared via block-span memo
   std::uint64_t load_summary_hits = 0;   ///< loads tagged via uniform summary
   std::uint64_t mem_summary_hits = 0;    ///< Memory reads served via summary
   std::uint64_t dma_summary_hits = 0;    ///< DMA bursts forwarded as uniform
@@ -35,6 +40,10 @@ struct DiftStats {
     flow_checks += o.flow_checks;
     decode_hits += o.decode_hits;
     decode_misses += o.decode_misses;
+    block_hits += o.block_hits;
+    block_misses += o.block_misses;
+    block_invalidations += o.block_invalidations;
+    chained_transfers += o.chained_transfers;
     fetch_summary_hits += o.fetch_summary_hits;
     load_summary_hits += o.load_summary_hits;
     mem_summary_hits += o.mem_summary_hits;
@@ -49,6 +58,10 @@ struct DiftStats {
     d.flow_checks = flow_checks - o.flow_checks;
     d.decode_hits = decode_hits - o.decode_hits;
     d.decode_misses = decode_misses - o.decode_misses;
+    d.block_hits = block_hits - o.block_hits;
+    d.block_misses = block_misses - o.block_misses;
+    d.block_invalidations = block_invalidations - o.block_invalidations;
+    d.chained_transfers = chained_transfers - o.chained_transfers;
     d.fetch_summary_hits = fetch_summary_hits - o.fetch_summary_hits;
     d.load_summary_hits = load_summary_hits - o.load_summary_hits;
     d.mem_summary_hits = mem_summary_hits - o.mem_summary_hits;
@@ -65,6 +78,9 @@ inline std::string to_json(const DiftStats& s) {
   };
   return "{" + f("lub_calls", s.lub_calls) + f("flow_checks", s.flow_checks) +
          f("decode_hits", s.decode_hits) + f("decode_misses", s.decode_misses) +
+         f("block_hits", s.block_hits) + f("block_misses", s.block_misses) +
+         f("block_invalidations", s.block_invalidations) +
+         f("chained_transfers", s.chained_transfers) +
          f("fetch_summary_hits", s.fetch_summary_hits) +
          f("load_summary_hits", s.load_summary_hits) +
          f("mem_summary_hits", s.mem_summary_hits) +

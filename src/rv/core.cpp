@@ -10,6 +10,282 @@ namespace vpdift::rv {
 using dift::Tag;
 using dift::ViolationKind;
 
+// ---------------------------------------------------------------------------
+// Per-instruction handlers.
+//
+// Every Op has one handler function per Core instantiation; the block engine
+// stores the resolved function pointer in each micro-op so the dispatch loop
+// is just `op.fn(core, op.insn)`. execute() routes through the same table, so
+// the slow (bus-fetch) path and the block path share semantics by
+// construction. Handlers read the current instruction pc from `c.pc_` and
+// leave the successor pc in `c.next_pc_` (pre-set to pc + len by the caller).
+//
+// Taint semantics mirror the Taint<T> operators (paper Fig. 3): reg-reg ALU
+// results take the LUB of the operand tags — with an untainted-operand fast
+// path that skips the LUB machinery when both tags are ⊥ — while reg-imm
+// forms propagate rs1's tag (immediates are untagged). In the plain
+// instantiation all tag code compiles away.
+// ---------------------------------------------------------------------------
+
+template <typename W>
+struct CoreOps {
+  using C = Core<W>;
+  using Ops = WordOps<W>;
+  static constexpr bool kT = Ops::kTainted;
+  using Fn = typename C::ExecFn;
+
+  struct OpInfo {
+    Fn fn;
+    bool mem;         ///< load/store: can raise IRQs / modify code mid-block
+    bool cf;          ///< conditional branch: exits the block only when taken
+    bool terminator;  ///< ends a translated block
+  };
+
+  // ---- ALU value functions ----
+  static constexpr std::uint32_t f_add(std::uint32_t a, std::uint32_t b) { return a + b; }
+  static constexpr std::uint32_t f_sub(std::uint32_t a, std::uint32_t b) { return a - b; }
+  static constexpr std::uint32_t f_xor(std::uint32_t a, std::uint32_t b) { return a ^ b; }
+  static constexpr std::uint32_t f_or(std::uint32_t a, std::uint32_t b) { return a | b; }
+  static constexpr std::uint32_t f_and(std::uint32_t a, std::uint32_t b) { return a & b; }
+  static constexpr std::uint32_t f_sll(std::uint32_t a, std::uint32_t b) { return a << (b & 31); }
+  static constexpr std::uint32_t f_srl(std::uint32_t a, std::uint32_t b) { return a >> (b & 31); }
+  static constexpr std::uint32_t f_sra(std::uint32_t a, std::uint32_t b) {
+    return static_cast<std::uint32_t>(static_cast<std::int32_t>(a) >> (b & 31));
+  }
+  static constexpr std::uint32_t f_slt(std::uint32_t a, std::uint32_t b) {
+    return static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b) ? 1u : 0u;
+  }
+  static constexpr std::uint32_t f_sltu(std::uint32_t a, std::uint32_t b) {
+    return a < b ? 1u : 0u;
+  }
+  static constexpr std::uint32_t f_mul(std::uint32_t a, std::uint32_t b) { return a * b; }
+  static constexpr std::uint32_t f_mulh(std::uint32_t a, std::uint32_t b) {
+    const std::int64_t p = static_cast<std::int64_t>(static_cast<std::int32_t>(a)) *
+                           static_cast<std::int64_t>(static_cast<std::int32_t>(b));
+    return static_cast<std::uint32_t>(static_cast<std::uint64_t>(p) >> 32);
+  }
+  static constexpr std::uint32_t f_mulhsu(std::uint32_t a, std::uint32_t b) {
+    const std::int64_t p = static_cast<std::int64_t>(static_cast<std::int32_t>(a)) *
+                           static_cast<std::int64_t>(std::uint64_t(b));
+    return static_cast<std::uint32_t>(static_cast<std::uint64_t>(p) >> 32);
+  }
+  static constexpr std::uint32_t f_mulhu(std::uint32_t a, std::uint32_t b) {
+    return static_cast<std::uint32_t>((std::uint64_t(a) * std::uint64_t(b)) >> 32);
+  }
+  static constexpr std::uint32_t f_div(std::uint32_t a, std::uint32_t b) {
+    const auto sa = static_cast<std::int32_t>(a);
+    const auto sb = static_cast<std::int32_t>(b);
+    if (sb == 0) return 0xffffffffu;
+    if (sa == INT32_MIN && sb == -1) return static_cast<std::uint32_t>(INT32_MIN);
+    return static_cast<std::uint32_t>(sa / sb);
+  }
+  static constexpr std::uint32_t f_divu(std::uint32_t a, std::uint32_t b) {
+    return b == 0 ? 0xffffffffu : a / b;
+  }
+  static constexpr std::uint32_t f_rem(std::uint32_t a, std::uint32_t b) {
+    const auto sa = static_cast<std::int32_t>(a);
+    const auto sb = static_cast<std::int32_t>(b);
+    if (sb == 0) return a;
+    if (sa == INT32_MIN && sb == -1) return 0;
+    return static_cast<std::uint32_t>(sa % sb);
+  }
+  static constexpr std::uint32_t f_remu(std::uint32_t a, std::uint32_t b) {
+    return b == 0 ? a : a % b;
+  }
+
+  // ---- branch predicates ----
+  static constexpr bool p_eq(std::uint32_t a, std::uint32_t b) { return a == b; }
+  static constexpr bool p_ne(std::uint32_t a, std::uint32_t b) { return a != b; }
+  static constexpr bool p_lt(std::uint32_t a, std::uint32_t b) {
+    return static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b);
+  }
+  static constexpr bool p_ge(std::uint32_t a, std::uint32_t b) {
+    return static_cast<std::int32_t>(a) >= static_cast<std::int32_t>(b);
+  }
+  static constexpr bool p_ltu(std::uint32_t a, std::uint32_t b) { return a < b; }
+  static constexpr bool p_geu(std::uint32_t a, std::uint32_t b) { return a >= b; }
+
+  // ---- handler templates ----
+
+  template <std::uint32_t (*F)(std::uint32_t, std::uint32_t)>
+  static void h_rr(C& c, const Insn& d) {
+    const std::uint32_t v = F(c.rv(d.rs1), c.rv(d.rs2));
+    if constexpr (kT) {
+      const Tag t1 = c.rt(d.rs1), t2 = c.rt(d.rs2);
+      if ((t1 | t2) == 0)  // untainted fast path: no LUB needed
+        c.wr(d.rd, v, dift::kBottomTag);
+      else
+        c.wr(d.rd, v, dift::lub(t1, t2));
+    } else {
+      c.wr(d.rd, v, dift::kBottomTag);
+    }
+  }
+
+  template <std::uint32_t (*F)(std::uint32_t, std::uint32_t)>
+  static void h_ri(C& c, const Insn& d) {
+    c.wr(d.rd, F(c.rv(d.rs1), static_cast<std::uint32_t>(d.imm)), c.rt(d.rs1));
+  }
+
+  template <bool (*P)(std::uint32_t, std::uint32_t)>
+  static void h_br(C& c, const Insn& d) {
+    const bool taken = P(c.rv(d.rs1), c.rv(d.rs2));
+    if constexpr (kT) {
+      const Tag cond = Ops::combine(c.rt(d.rs1), c.rt(d.rs2));
+      if (c.exec_.branch)
+        dift::check_flow(cond, *c.exec_.branch, ViolationKind::kBranchClearance,
+                         c.pc_, 0, "core.branch");
+    }
+    if (taken) {
+      const std::uint32_t target = c.pc_ + static_cast<std::uint32_t>(d.imm);
+      if (target & 1) c.take_trap(kCauseInsnMisaligned, target);
+      else c.next_pc_ = target;
+    }
+  }
+
+  template <std::uint32_t SZ, bool SIGN>
+  static void h_load(C& c, const Insn& d) {
+    const std::uint32_t addr = c.rv(d.rs1) + static_cast<std::uint32_t>(d.imm);
+    if constexpr (kT) {
+      if (c.exec_.mem_addr)
+        dift::check_flow(c.rt(d.rs1), *c.exec_.mem_addr,
+                         ViolationKind::kMemAddrClearance, c.pc_, addr, "core.lsu");
+    }
+    const auto m = c.load(addr, SZ, SIGN);
+    if (m.fault) c.take_trap(kCauseLoadAccessFault, addr);
+    else c.wr(d.rd, m.value, m.tag);
+  }
+
+  template <std::uint32_t SZ>
+  static void h_store(C& c, const Insn& d) {
+    const std::uint32_t addr = c.rv(d.rs1) + static_cast<std::uint32_t>(d.imm);
+    if constexpr (kT) {
+      if (c.exec_.mem_addr)
+        dift::check_flow(c.rt(d.rs1), *c.exec_.mem_addr,
+                         ViolationKind::kMemAddrClearance, c.pc_, addr, "core.lsu");
+    }
+    if (c.store(addr, c.rv(d.rs2), c.rt(d.rs2), SZ))
+      c.take_trap(kCauseStoreAccessFault, addr);
+  }
+
+  static void h_lui(C& c, const Insn& d) {
+    c.wr(d.rd, static_cast<std::uint32_t>(d.imm), dift::kBottomTag);
+  }
+  static void h_auipc(C& c, const Insn& d) {
+    c.wr(d.rd, c.pc_ + static_cast<std::uint32_t>(d.imm), dift::kBottomTag);
+  }
+  static void h_jal(C& c, const Insn& d) {
+    const std::uint32_t target = c.pc_ + static_cast<std::uint32_t>(d.imm);
+    if (target & 1) { c.take_trap(kCauseInsnMisaligned, target); return; }
+    c.wr(d.rd, c.pc_ + d.len, dift::kBottomTag);
+    c.next_pc_ = target;
+  }
+  static void h_jalr(C& c, const Insn& d) {
+    const std::uint32_t target =
+        (c.rv(d.rs1) + static_cast<std::uint32_t>(d.imm)) & ~1u;
+    if constexpr (kT) {
+      // Indirect jump: the target address acts as the "branch condition".
+      if (c.exec_.branch)
+        dift::check_flow(c.rt(d.rs1), *c.exec_.branch, ViolationKind::kBranchClearance,
+                         c.pc_, target, "core.jalr");
+    }
+    if (target & 1) { c.take_trap(kCauseInsnMisaligned, target); return; }
+    c.wr(d.rd, c.pc_ + d.len, dift::kBottomTag);
+    c.next_pc_ = target;
+  }
+  static void h_fence(C&, const Insn&) {}  // single hart, loosely timed: no-op
+  static void h_ecall(C& c, const Insn&) { c.take_trap(kCauseEcallM, 0); }
+  static void h_ebreak(C& c, const Insn&) { c.take_trap(kCauseBreakpoint, c.pc_); }
+  static void h_csr(C& c, const Insn& d) { c.do_csr(d); }
+  static void h_mret(C& c, const Insn&) {
+    auto& s = c.csrs_;
+    std::uint32_t m = s.mstatus.value;
+    const bool mpie = (m & kMstatusMpie) != 0;
+    m &= ~kMstatusMie;
+    if (mpie) m |= kMstatusMie;
+    m |= kMstatusMpie;
+    s.mstatus.value = m;
+    if constexpr (kT) {
+      if (c.exec_.branch)
+        dift::check_flow(s.mepc.tag, *c.exec_.branch, ViolationKind::kBranchClearance,
+                         c.pc_, s.mepc.value, "core.mret");
+    }
+    c.next_pc_ = s.mepc.value;
+  }
+  static void h_wfi(C& c, const Insn&) {
+    if ((c.csrs_.mip & c.csrs_.mie) == 0) c.wfi_ = true;
+  }
+  static void h_illegal(C& c, const Insn& d) { c.take_trap(kCauseIllegalInsn, d.raw); }
+
+  // ---- dispatch table, indexed by Op ----
+  static constexpr std::array<OpInfo, kNumOps> make_table() {
+    std::array<OpInfo, kNumOps> t{};
+    for (auto& e : t) e = {&h_illegal, false, false, true};
+    auto set = [&](Op op, Fn fn, bool mem, bool term, bool cf = false) {
+      t[static_cast<std::size_t>(op)] = {fn, mem, cf, term};
+    };
+    set(Op::kLui, &h_lui, false, false);
+    set(Op::kAuipc, &h_auipc, false, false);
+    set(Op::kJal, &h_jal, false, true);
+    set(Op::kJalr, &h_jalr, false, true);
+    set(Op::kBeq, &h_br<&p_eq>, false, false, true);
+    set(Op::kBne, &h_br<&p_ne>, false, false, true);
+    set(Op::kBlt, &h_br<&p_lt>, false, false, true);
+    set(Op::kBge, &h_br<&p_ge>, false, false, true);
+    set(Op::kBltu, &h_br<&p_ltu>, false, false, true);
+    set(Op::kBgeu, &h_br<&p_geu>, false, false, true);
+    set(Op::kLb, &h_load<1, true>, true, false);
+    set(Op::kLh, &h_load<2, true>, true, false);
+    set(Op::kLw, &h_load<4, false>, true, false);
+    set(Op::kLbu, &h_load<1, false>, true, false);
+    set(Op::kLhu, &h_load<2, false>, true, false);
+    set(Op::kSb, &h_store<1>, true, false);
+    set(Op::kSh, &h_store<2>, true, false);
+    set(Op::kSw, &h_store<4>, true, false);
+    set(Op::kAddi, &h_ri<&f_add>, false, false);
+    set(Op::kSlti, &h_ri<&f_slt>, false, false);
+    set(Op::kSltiu, &h_ri<&f_sltu>, false, false);
+    set(Op::kXori, &h_ri<&f_xor>, false, false);
+    set(Op::kOri, &h_ri<&f_or>, false, false);
+    set(Op::kAndi, &h_ri<&f_and>, false, false);
+    set(Op::kSlli, &h_ri<&f_sll>, false, false);
+    set(Op::kSrli, &h_ri<&f_srl>, false, false);
+    set(Op::kSrai, &h_ri<&f_sra>, false, false);
+    set(Op::kAdd, &h_rr<&f_add>, false, false);
+    set(Op::kSub, &h_rr<&f_sub>, false, false);
+    set(Op::kSll, &h_rr<&f_sll>, false, false);
+    set(Op::kSlt, &h_rr<&f_slt>, false, false);
+    set(Op::kSltu, &h_rr<&f_sltu>, false, false);
+    set(Op::kXor, &h_rr<&f_xor>, false, false);
+    set(Op::kSrl, &h_rr<&f_srl>, false, false);
+    set(Op::kSra, &h_rr<&f_sra>, false, false);
+    set(Op::kOr, &h_rr<&f_or>, false, false);
+    set(Op::kAnd, &h_rr<&f_and>, false, false);
+    set(Op::kFence, &h_fence, false, true);
+    set(Op::kEcall, &h_ecall, false, true);
+    set(Op::kEbreak, &h_ebreak, false, true);
+    set(Op::kMul, &h_rr<&f_mul>, false, false);
+    set(Op::kMulh, &h_rr<&f_mulh>, false, false);
+    set(Op::kMulhsu, &h_rr<&f_mulhsu>, false, false);
+    set(Op::kMulhu, &h_rr<&f_mulhu>, false, false);
+    set(Op::kDiv, &h_rr<&f_div>, false, false);
+    set(Op::kDivu, &h_rr<&f_divu>, false, false);
+    set(Op::kRem, &h_rr<&f_rem>, false, false);
+    set(Op::kRemu, &h_rr<&f_remu>, false, false);
+    set(Op::kCsrrw, &h_csr, false, true);
+    set(Op::kCsrrs, &h_csr, false, true);
+    set(Op::kCsrrc, &h_csr, false, true);
+    set(Op::kCsrrwi, &h_csr, false, true);
+    set(Op::kCsrrsi, &h_csr, false, true);
+    set(Op::kCsrrci, &h_csr, false, true);
+    set(Op::kMret, &h_mret, false, true);
+    set(Op::kWfi, &h_wfi, false, true);
+    return t;
+  }
+  static constexpr std::array<OpInfo, kNumOps> kTable = make_table();
+
+  static const OpInfo& entry(Op op) { return kTable[static_cast<std::size_t>(op)]; }
+};
+
 template <typename W>
 Core<W>::Core(std::string name) : name_(std::move(name)) {}
 
@@ -21,13 +297,7 @@ void Core<W>::set_dmi(std::uint8_t* data, Tag* tags, std::uint64_t base,
   dmi_base_ = base;
   dmi_size_ = size;
   shadow_ = shadow;
-  invalidate_fetch_memo();
-  // One entry per halfword (IALIGN=16 with the C extension), capped to the
-  // low window of RAM where program text lives — fetches beyond it simply
-  // decode each time. Entries start as {raw=0, insn=decode16(0)}, which is
-  // exactly correct for zero-filled memory, so no validity flag is needed.
-  decode_cache_.assign(std::min<std::uint64_t>(size, kDecodeCacheWindow) / 2,
-                       DecodeEntry{0, decode16(0)});
+  invalidate_blocks();
 }
 
 template <typename W>
@@ -35,7 +305,7 @@ void Core<W>::set_policy(const dift::SecurityPolicy* policy) {
   policy_ = policy;
   exec_ = policy ? policy->execution_clearance() : dift::ExecutionClearance{};
   has_store_prot_ = policy && !policy->store_protection().empty();
-  invalidate_fetch_memo();
+  invalidate_blocks();
 }
 
 template <typename W>
@@ -46,9 +316,7 @@ void Core<W>::reset(std::uint32_t reset_pc) {
   next_pc_ = reset_pc;
   instret_ = 0;
   wfi_ = false;
-  invalidate_fetch_memo();
-  if (!decode_cache_.empty())
-    decode_cache_.assign(decode_cache_.size(), DecodeEntry{0, decode16(0)});
+  invalidate_blocks();
 }
 
 template <typename W>
@@ -120,6 +388,9 @@ bool Core<W>::store(std::uint32_t addr, std::uint32_t value, Tag tag,
   }
   if (addr >= dmi_base_ && std::uint64_t(addr) - dmi_base_ + size <= dmi_size_) {
     const std::uint64_t off = addr - dmi_base_;
+    // Forward store into the remainder of the executing block: the dispatch
+    // loop must abandon its stale micro-ops and re-translate.
+    if (off < cur_block_hi_ && off + size > cur_block_lo_) smc_break_ = true;
     for (std::uint32_t i = 0; i < size; ++i)
       dmi_data_[off + i] = static_cast<std::uint8_t>(value >> (8 * i));
     if constexpr (kTainted) {
@@ -143,6 +414,9 @@ bool Core<W>::store(std::uint32_t addr, std::uint32_t value, Tag tag,
   p.set_tag_summary(tag);  // tbuf was filled uniformly above
   sysc::Time delay;
   transport_with_pc(p, delay);
+  // A peripheral register write may have side effects on code memory (e.g.
+  // starting a DMA transfer into RAM); end the current block conservatively.
+  smc_break_ = true;
   return !p.ok();
 }
 
@@ -175,7 +449,7 @@ auto Core<W>::fetch32(std::uint32_t addr) -> MemAccess {
     Tag tag = dift::kBottomTag;
     if constexpr (kTainted) {
       if (shadow_ && shadow_->uniform(off, 4, &tag)) {
-        ++stats_.load_summary_hits;
+        ++stats_.fetch_summary_hits;  // fetch-path attribution
       } else {
         tag = dmi_tags_[off];
         for (std::uint32_t i = 1; i < 4; ++i)
@@ -265,342 +539,314 @@ void Core<W>::do_csr(const Insn& d) {
 
 template <typename W>
 void Core<W>::execute(const Insn& d) {
-  auto branch = [this, &d](bool taken, Tag cond_tag) {
-    if constexpr (kTainted) {
-      if (exec_.branch)
-        dift::check_flow(cond_tag, *exec_.branch, ViolationKind::kBranchClearance,
-                         pc_, 0, "core.branch");
-    } else {
-      (void)cond_tag;
-    }
-    if (taken) {
-      const std::uint32_t target = pc_ + static_cast<std::uint32_t>(d.imm);
-      if (target & 1) take_trap(kCauseInsnMisaligned, target);
-      else next_pc_ = target;
-    }
-  };
-  auto mem_addr_check = [this](std::uint32_t addr, Tag addr_tag) {
-    if constexpr (kTainted) {
-      if (exec_.mem_addr)
-        dift::check_flow(addr_tag, *exec_.mem_addr, ViolationKind::kMemAddrClearance,
-                         pc_, addr, "core.lsu");
-    } else {
-      (void)addr;
-      (void)addr_tag;
-    }
-  };
-  auto do_load = [&](std::uint32_t size, bool sign) {
-    const std::uint32_t addr = rv(d.rs1) + static_cast<std::uint32_t>(d.imm);
-    mem_addr_check(addr, rt(d.rs1));
-    const MemAccess m = load(addr, size, sign);
-    if (m.fault) take_trap(kCauseLoadAccessFault, addr);
-    else wr(d.rd, m.value, m.tag);
-  };
-  auto do_store = [&](std::uint32_t size) {
-    const std::uint32_t addr = rv(d.rs1) + static_cast<std::uint32_t>(d.imm);
-    mem_addr_check(addr, rt(d.rs1));
-    if (store(addr, rv(d.rs2), rt(d.rs2), size))
-      take_trap(kCauseStoreAccessFault, addr);
-  };
+  CoreOps<W>::entry(d.op).fn(*this, d);
+}
 
-  switch (d.op) {
-    case Op::kLui: wr(d.rd, static_cast<std::uint32_t>(d.imm), dift::kBottomTag); break;
-    case Op::kAuipc:
-      wr(d.rd, pc_ + static_cast<std::uint32_t>(d.imm), dift::kBottomTag);
-      break;
+// ---------------------------------------------------------------------------
+// Block translation engine.
+// ---------------------------------------------------------------------------
 
-    case Op::kJal: {
-      const std::uint32_t target = pc_ + static_cast<std::uint32_t>(d.imm);
-      if (target & 1) { take_trap(kCauseInsnMisaligned, target); break; }
-      wr(d.rd, pc_ + d.len, dift::kBottomTag);
-      next_pc_ = target;
-      break;
-    }
-    case Op::kJalr: {
-      const std::uint32_t target =
-          (rv(d.rs1) + static_cast<std::uint32_t>(d.imm)) & ~1u;
-      if constexpr (kTainted) {
-        // Indirect jump: the target address acts as the "branch condition".
-        if (exec_.branch)
-          dift::check_flow(rt(d.rs1), *exec_.branch, ViolationKind::kBranchClearance,
-                           pc_, target, "core.jalr");
-      }
-      if (target & 1) { take_trap(kCauseInsnMisaligned, target); break; }
-      wr(d.rd, pc_ + d.len, dift::kBottomTag);
-      next_pc_ = target;
-      break;
-    }
+namespace {
 
-    case Op::kBeq: branch(rv(d.rs1) == rv(d.rs2), combine(rt(d.rs1), rt(d.rs2))); break;
-    case Op::kBne: branch(rv(d.rs1) != rv(d.rs2), combine(rt(d.rs1), rt(d.rs2))); break;
-    case Op::kBlt:
-      branch(static_cast<std::int32_t>(rv(d.rs1)) < static_cast<std::int32_t>(rv(d.rs2)),
-             combine(rt(d.rs1), rt(d.rs2)));
-      break;
-    case Op::kBge:
-      branch(static_cast<std::int32_t>(rv(d.rs1)) >= static_cast<std::int32_t>(rv(d.rs2)),
-             combine(rt(d.rs1), rt(d.rs2)));
-      break;
-    case Op::kBltu: branch(rv(d.rs1) < rv(d.rs2), combine(rt(d.rs1), rt(d.rs2))); break;
-    case Op::kBgeu: branch(rv(d.rs1) >= rv(d.rs2), combine(rt(d.rs1), rt(d.rs2))); break;
-
-    case Op::kLb: do_load(1, true); break;
-    case Op::kLh: do_load(2, true); break;
-    case Op::kLw: do_load(4, false); break;
-    case Op::kLbu: do_load(1, false); break;
-    case Op::kLhu: do_load(2, false); break;
-    case Op::kSb: do_store(1); break;
-    case Op::kSh: do_store(2); break;
-    case Op::kSw: do_store(4); break;
-
-    // Immediate ALU ops — expressed directly on the machine word W so the
-    // tainted build combines tags through the overloaded operators (paper
-    // Fig. 3) and the plain build compiles to bare integer ops.
-    case Op::kAddi: wrw(d.rd, regs_[d.rs1] + static_cast<std::uint32_t>(d.imm)); break;
-    case Op::kXori: wrw(d.rd, regs_[d.rs1] ^ static_cast<std::uint32_t>(d.imm)); break;
-    case Op::kOri: wrw(d.rd, regs_[d.rs1] | static_cast<std::uint32_t>(d.imm)); break;
-    case Op::kAndi: wrw(d.rd, regs_[d.rs1] & static_cast<std::uint32_t>(d.imm)); break;
-    case Op::kSlti:
-      wr(d.rd,
-         static_cast<std::int32_t>(rv(d.rs1)) < d.imm ? 1u : 0u, rt(d.rs1));
-      break;
-    case Op::kSltiu:
-      wr(d.rd, rv(d.rs1) < static_cast<std::uint32_t>(d.imm) ? 1u : 0u, rt(d.rs1));
-      break;
-    case Op::kSlli: wr(d.rd, rv(d.rs1) << (d.imm & 31), rt(d.rs1)); break;
-    case Op::kSrli: wr(d.rd, rv(d.rs1) >> (d.imm & 31), rt(d.rs1)); break;
-    case Op::kSrai:
-      wr(d.rd,
-         static_cast<std::uint32_t>(static_cast<std::int32_t>(rv(d.rs1)) >> (d.imm & 31)),
-         rt(d.rs1));
-      break;
-
-    // Register ALU ops — same machine-word style as the paper's example
-    // `regs[RD] = regs[RS1] + regs[RS2]`.
-    case Op::kAdd: wrw(d.rd, regs_[d.rs1] + regs_[d.rs2]); break;
-    case Op::kSub: wrw(d.rd, regs_[d.rs1] - regs_[d.rs2]); break;
-    case Op::kXor: wrw(d.rd, regs_[d.rs1] ^ regs_[d.rs2]); break;
-    case Op::kOr: wrw(d.rd, regs_[d.rs1] | regs_[d.rs2]); break;
-    case Op::kAnd: wrw(d.rd, regs_[d.rs1] & regs_[d.rs2]); break;
-    case Op::kSll:
-      wr(d.rd, rv(d.rs1) << (rv(d.rs2) & 31), combine(rt(d.rs1), rt(d.rs2)));
-      break;
-    case Op::kSrl:
-      wr(d.rd, rv(d.rs1) >> (rv(d.rs2) & 31), combine(rt(d.rs1), rt(d.rs2)));
-      break;
-    case Op::kSra:
-      wr(d.rd,
-         static_cast<std::uint32_t>(static_cast<std::int32_t>(rv(d.rs1)) >>
-                                    (rv(d.rs2) & 31)),
-         combine(rt(d.rs1), rt(d.rs2)));
-      break;
-    case Op::kSlt:
-      wr(d.rd,
-         static_cast<std::int32_t>(rv(d.rs1)) < static_cast<std::int32_t>(rv(d.rs2))
-             ? 1u : 0u,
-         combine(rt(d.rs1), rt(d.rs2)));
-      break;
-    case Op::kSltu:
-      wr(d.rd, rv(d.rs1) < rv(d.rs2) ? 1u : 0u, combine(rt(d.rs1), rt(d.rs2)));
-      break;
-
-    case Op::kMul:
-      wr(d.rd, rv(d.rs1) * rv(d.rs2), combine(rt(d.rs1), rt(d.rs2)));
-      break;
-    case Op::kMulh: {
-      const std::int64_t p = static_cast<std::int64_t>(static_cast<std::int32_t>(rv(d.rs1))) *
-                             static_cast<std::int64_t>(static_cast<std::int32_t>(rv(d.rs2)));
-      wr(d.rd, static_cast<std::uint32_t>(static_cast<std::uint64_t>(p) >> 32),
-         combine(rt(d.rs1), rt(d.rs2)));
-      break;
-    }
-    case Op::kMulhsu: {
-      const std::int64_t p = static_cast<std::int64_t>(static_cast<std::int32_t>(rv(d.rs1))) *
-                             static_cast<std::int64_t>(std::uint64_t(rv(d.rs2)));
-      wr(d.rd, static_cast<std::uint32_t>(static_cast<std::uint64_t>(p) >> 32),
-         combine(rt(d.rs1), rt(d.rs2)));
-      break;
-    }
-    case Op::kMulhu: {
-      const std::uint64_t p = std::uint64_t(rv(d.rs1)) * std::uint64_t(rv(d.rs2));
-      wr(d.rd, static_cast<std::uint32_t>(p >> 32), combine(rt(d.rs1), rt(d.rs2)));
-      break;
-    }
-    case Op::kDiv: {
-      const auto a = static_cast<std::int32_t>(rv(d.rs1));
-      const auto b = static_cast<std::int32_t>(rv(d.rs2));
-      std::uint32_t r;
-      if (b == 0) r = 0xffffffffu;
-      else if (a == INT32_MIN && b == -1) r = static_cast<std::uint32_t>(INT32_MIN);
-      else r = static_cast<std::uint32_t>(a / b);
-      wr(d.rd, r, combine(rt(d.rs1), rt(d.rs2)));
-      break;
-    }
-    case Op::kDivu: {
-      const std::uint32_t a = rv(d.rs1), b = rv(d.rs2);
-      wr(d.rd, b == 0 ? 0xffffffffu : a / b, combine(rt(d.rs1), rt(d.rs2)));
-      break;
-    }
-    case Op::kRem: {
-      const auto a = static_cast<std::int32_t>(rv(d.rs1));
-      const auto b = static_cast<std::int32_t>(rv(d.rs2));
-      std::uint32_t r;
-      if (b == 0) r = static_cast<std::uint32_t>(a);
-      else if (a == INT32_MIN && b == -1) r = 0;
-      else r = static_cast<std::uint32_t>(a % b);
-      wr(d.rd, r, combine(rt(d.rs1), rt(d.rs2)));
-      break;
-    }
-    case Op::kRemu: {
-      const std::uint32_t a = rv(d.rs1), b = rv(d.rs2);
-      wr(d.rd, b == 0 ? a : a % b, combine(rt(d.rs1), rt(d.rs2)));
-      break;
-    }
-
-    case Op::kFence: break;  // single hart, loosely timed: no-op
-    case Op::kEcall: take_trap(kCauseEcallM, 0); break;
-    case Op::kEbreak: take_trap(kCauseBreakpoint, pc_); break;
-
-    case Op::kCsrrw: case Op::kCsrrs: case Op::kCsrrc:
-    case Op::kCsrrwi: case Op::kCsrrsi: case Op::kCsrrci:
-      do_csr(d);
-      break;
-
-    case Op::kMret: {
-      auto& s = csrs_;
-      std::uint32_t m = s.mstatus.value;
-      const bool mpie = (m & kMstatusMpie) != 0;
-      m &= ~kMstatusMie;
-      if (mpie) m |= kMstatusMie;
-      m |= kMstatusMpie;
-      s.mstatus.value = m;
-      if constexpr (kTainted) {
-        if (exec_.branch)
-          dift::check_flow(s.mepc.tag, *exec_.branch, ViolationKind::kBranchClearance,
-                           pc_, s.mepc.value, "core.mret");
-      }
-      next_pc_ = s.mepc.value;
-      break;
-    }
-    case Op::kWfi:
-      if ((csrs_.mip & csrs_.mie) == 0) wfi_ = true;
-      break;
-
-    case Op::kIllegal:
-    default:
-      take_trap(kCauseIllegalInsn, d.raw);
-      break;
+// Byte-exact revalidation of a cached block against the current code bytes —
+// memcmp semantics, but inlined word-wise: block entry is the hottest edge in
+// the ISS and the libc call overhead is measurable on 2-4 op blocks.
+inline bool raw_match(const std::uint8_t* mem, const std::uint8_t* snap,
+                      std::uint32_t len) {
+  std::uint32_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    std::uint64_t a, b;
+    std::memcpy(&a, mem + i, 8);
+    std::memcpy(&b, snap + i, 8);
+    if (a != b) return false;
   }
+  for (; i < len; ++i)
+    if (mem[i] != snap[i]) return false;
+  return true;
+}
+
+}  // namespace
+
+template <typename W>
+void Core<W>::build_into(Block& b, std::uint64_t off) {
+  b.start_off = off;
+  b.chain = nullptr;
+  b.chain_off = ~std::uint64_t{0};
+  b.fetch_memo = false;
+  b.ops.clear();
+  std::uint64_t cur = off;
+  // A full 32-bit parcel must be readable even for a 16-bit instruction
+  // (mirroring the old fast-path condition); pcs in the last 2 bytes of the
+  // window fall back to the slow path.
+  while (b.ops.size() < kMaxBlockOps && cur + 4 <= dmi_size_) {
+    std::uint32_t raw;
+    std::memcpy(&raw, dmi_data_ + cur, 4);  // host is little-endian
+    const Insn insn = decode_any(raw);
+    const auto& e = CoreOps<W>::entry(insn.op);
+    b.ops.push_back(MicroOp{insn, e.fn, e.mem, e.cf});
+    cur += insn.len;
+    ++stats_.decode_misses;
+    if (e.terminator) break;
+  }
+  b.byte_len = static_cast<std::uint32_t>(cur - off);
+  b.raw.assign(dmi_data_ + off, dmi_data_ + cur);
+}
+
+template <typename W>
+auto Core<W>::lookup_block(std::uint64_t off, bool& fresh) -> Block* {
+  const auto slot = static_cast<std::size_t>(off >> 1);
+  if (slot >= blocks_.size()) {
+    // Lazily size the cache to the DMI window: geometric growth, one slot
+    // per halfword at most. Block objects are heap-allocated, so chain
+    // pointers survive the resize.
+    const auto cap = static_cast<std::size_t>(dmi_size_ / 2);
+    std::size_t want = blocks_.empty() ? std::size_t{4096} : blocks_.size();
+    while (want <= slot) want *= 2;
+    blocks_.resize(std::min(want, cap));
+    if (slot >= blocks_.size()) return nullptr;  // beyond the DMI window
+  }
+  auto& up = blocks_[slot];
+  if (!up) {
+    up = std::make_unique<Block>();
+    build_into(*up, off);
+    ++stats_.block_misses;
+    fresh = true;
+    return up.get();
+  }
+  Block* b = up.get();
+  if (raw_match(dmi_data_ + off, b->raw.data(), b->byte_len)) {
+    ++stats_.block_hits;
+    fresh = false;
+    return b;
+  }
+  build_into(*b, off);  // self-modified: re-translate in place
+  ++stats_.block_invalidations;
+  fresh = true;
+  return b;
+}
+
+template <typename W>
+std::uint64_t Core<W>::exec_block(Block& b, std::uint64_t budget, bool fresh) {
+  // One fetch-clearance check covering the whole block span (the old
+  // per-instruction memo generalized): if the span is uniformly tagged and
+  // the flow is allowed, memoise and skip per-instruction checks entirely.
+  bool cleared = true;
+  if constexpr (kTainted) {
+    if (exec_.fetch) {
+      cleared = false;
+      if (b.fetch_memo && shadow_ && b.fetch_gen == shadow_->generation() &&
+          b.fetch_flow == dift::detail::g_active.flow &&
+          b.fetch_clearance == *exec_.fetch) {
+        cleared = true;
+      } else {
+        Tag tag = dift::kBottomTag;
+        if (shadow_ && shadow_->uniform(b.start_off, b.byte_len, &tag) &&
+            dift::allowed_flow(tag, *exec_.fetch)) {
+          b.fetch_memo = true;
+          b.fetch_gen = shadow_->generation();
+          b.fetch_flow = dift::detail::g_active.flow;
+          b.fetch_clearance = *exec_.fetch;
+          cleared = true;
+        }
+      }
+    }
+  }
+
+  const auto n = static_cast<std::size_t>(
+      std::min<std::uint64_t>(b.ops.size(), budget));
+  cur_block_lo_ = b.start_off;
+  cur_block_hi_ = b.start_off + b.byte_len;
+  smc_break_ = false;
+  const MicroOp* ops = b.ops.data();
+  std::uint64_t done = 0;
+
+  if (cleared && !trace_) {
+    // Fast path: no per-instruction fetch checks, no trace test. Loads and
+    // stores can raise interrupts synchronously (CLINT) or modify code, so
+    // they re-test the block-exit conditions.
+    try {
+      while (done < n) {
+        const MicroOp& op = ops[done];
+        const std::uint32_t seq = pc_ + op.insn.len;
+        next_pc_ = seq;
+        trapped_ = false;
+        op.fn(*this, op.insn);
+        pc_ = next_pc_;
+        ++instret_;
+        ++done;
+        if (trapped_) break;
+        if (op.cf && pc_ != seq) break;  // taken branch left the block
+        if (op.mem && ((csrs_.mip & csrs_.mie) != 0 || smc_break_)) break;
+      }
+      if (!fresh) stats_.decode_hits += done;
+      if constexpr (kTainted) {
+        if (exec_.fetch) stats_.fetch_summary_hits += done;
+      }
+    } catch (...) {
+      // Enforcement violation inside a handler: the instruction was fetched
+      // and decoded but did not retire — count it like the per-insn engine.
+      if (!fresh) stats_.decode_hits += done + 1;
+      if constexpr (kTainted) {
+        if (exec_.fetch) stats_.fetch_summary_hits += done + 1;
+      }
+      cur_block_lo_ = cur_block_hi_ = 0;
+      throw;
+    }
+  } else {
+    // Careful path: trace attached, or the block span is not uniformly
+    // cleared for fetch — fall back to exact per-instruction checks so
+    // violation pcs and monitor-mode records match single-step execution.
+    try {
+      while (done < n) {
+        const MicroOp& op = ops[done];
+        if (!fresh) ++stats_.decode_hits;
+        if constexpr (kTainted) {
+          if (exec_.fetch) {
+            if (cleared) {
+              ++stats_.fetch_summary_hits;
+            } else {
+              const std::uint64_t off = std::uint64_t(pc_) - dmi_base_;
+              const std::uint64_t blk = off >> dift::ShadowSummary::kBlockShift;
+              const bool one_block =
+                  ((off + op.insn.len - 1) >> dift::ShadowSummary::kBlockShift) == blk;
+              Tag tag = dift::kBottomTag;
+              const bool uniform =
+                  shadow_ && one_block && shadow_->uniform(off, op.insn.len, &tag);
+              if (!uniform) {
+                tag = dmi_tags_[off];
+                for (std::uint32_t i = 1; i < op.insn.len; ++i)
+                  tag = dift::lub(tag, dmi_tags_[off + i]);
+              }
+              if (uniform && dift::allowed_flow(tag, *exec_.fetch)) {
+                ++stats_.fetch_summary_hits;
+              } else {
+                dift::check_flow(tag, *exec_.fetch, ViolationKind::kFetchClearance,
+                                 pc_, pc_, "core.fetch");
+              }
+            }
+          }
+        }
+        const std::uint32_t seq = pc_ + op.insn.len;
+        next_pc_ = seq;
+        trapped_ = false;
+        op.fn(*this, op.insn);
+        if (trace_) {
+          // A trapping instruction never wrote rd; record x0 (0, untainted)
+          // instead of the stale pre-trap register contents.
+          const std::uint8_t rd = trapped_ ? 0 : op.insn.rd;
+          trace_->push({instret_, pc_, op.insn.raw, rd, Ops::value(regs_[rd]),
+                        Ops::tag(regs_[rd])});
+        }
+        pc_ = next_pc_;
+        ++instret_;
+        ++done;
+        if (trapped_) break;
+        if (op.cf && pc_ != seq) break;  // taken branch left the block
+        if (op.mem && ((csrs_.mip & csrs_.mie) != 0 || smc_break_)) break;
+      }
+    } catch (...) {
+      cur_block_lo_ = cur_block_hi_ = 0;
+      throw;
+    }
+  }
+  cur_block_lo_ = cur_block_hi_ = 0;
+  return done;
+}
+
+template <typename W>
+void Core<W>::step_slow() {
+  // Slow path (XIP flash etc.): read one parcel over the bus, extend to 32
+  // bits when it is an uncompressed instruction.
+  next_pc_ = pc_ + 4;
+  MemAccess f = load(pc_, 2, false);
+  if (!f.fault && (f.value & 3) == 3) {
+    const MemAccess hi = load(pc_ + 2, 2, false);
+    if (hi.fault) {
+      f.fault = true;
+    } else {
+      f.value |= hi.value << 16;
+      f.tag = Ops::combine(f.tag, hi.tag);
+    }
+  }
+  if (f.fault) {
+    take_trap(kCauseInsnAccessFault, pc_);
+  } else {
+    if constexpr (kTainted) {
+      if (exec_.fetch)
+        dift::check_flow(f.tag, *exec_.fetch, ViolationKind::kFetchClearance,
+                         pc_, pc_, "core.fetch");
+    }
+    const Insn d = decode_any(f.value);
+    next_pc_ = pc_ + d.len;
+    trapped_ = false;
+    execute(d);
+    if (trace_) {
+      const std::uint8_t rd = trapped_ ? 0 : d.rd;
+      trace_->push({instret_, pc_, d.raw, rd, Ops::value(regs_[rd]),
+                    Ops::tag(regs_[rd])});
+    }
+  }
+  pc_ = next_pc_;
+  ++instret_;
 }
 
 template <typename W>
 RunExit Core<W>::run(std::uint64_t max_instructions) {
-  for (std::uint64_t i = 0; i < max_instructions; ++i) {
+  std::uint64_t executed = 0;
+  Block* prev = nullptr;  // last block that ran to completion (chain source)
+  while (executed < max_instructions) {
+    // One interrupt-pending test per block entry. Mid-block, mip can only
+    // change through a load/store (CLINT et al.), and memory micro-ops end
+    // the block when an enabled interrupt became pending — so the trap is
+    // taken at the same instruction boundary as with per-insn checking.
     if (csrs_.mip & csrs_.mie) check_interrupts();
     if (wfi_) return RunExit::kWfi;
 
     if (pc_ & 1) {
       next_pc_ = pc_ + 4;
       take_trap(kCauseInsnMisaligned, pc_);
-    } else if (pc_ >= dmi_base_ && std::uint64_t(pc_) - dmi_base_ + 4 <= dmi_size_) {
-      // Fast path: fetch + decode cache over the DMI window. The key is the
-      // full 32-bit read even for a 16-bit parcel — a changed second half
-      // merely forces a harmless re-decode.
-      const std::uint64_t off = pc_ - dmi_base_;
-      std::uint32_t raw;
-      std::memcpy(&raw, dmi_data_ + off, 4);  // host is little-endian
-      Insn scratch;
-      const Insn* insn;
-      if (const std::size_t slot = off / 2; slot < decode_cache_.size()) {
-        DecodeEntry& e = decode_cache_[slot];
-        if (e.raw != raw) {
-          e.raw = raw;
-          e.insn = decode_any(raw);
-          ++stats_.decode_misses;
+      pc_ = next_pc_;
+      ++instret_;
+      ++executed;
+      prev = nullptr;
+      continue;
+    }
+    if (pc_ >= dmi_base_ && std::uint64_t(pc_) - dmi_base_ + 4 <= dmi_size_) {
+      const std::uint64_t off = std::uint64_t(pc_) - dmi_base_;
+      bool fresh = false;
+      Block* b = nullptr;
+      if (prev && prev->chain && prev->chain_off == off) {
+        // Chained transfer: skip the cache lookup, but still revalidate the
+        // raw bytes (self-modifying code) before trusting the micro-ops.
+        b = prev->chain;
+        if (raw_match(dmi_data_ + off, b->raw.data(), b->byte_len)) {
+          ++stats_.chained_transfers;
         } else {
-          ++stats_.decode_hits;
-        }
-        insn = &e.insn;
-      } else {
-        scratch = decode_any(raw);
-        insn = &scratch;
-        ++stats_.decode_misses;
-      }
-      if constexpr (kTainted) {
-        if (exec_.fetch) {
-          const std::uint64_t block = off >> dift::ShadowSummary::kBlockShift;
-          const bool one_block =
-              ((off + insn->len - 1) >> dift::ShadowSummary::kBlockShift) == block;
-          if (one_block && fetch_memo_.block == block && shadow_ &&
-              fetch_memo_.generation == shadow_->generation() &&
-              fetch_memo_.flow == dift::detail::g_active.flow &&
-              fetch_memo_.clearance == *exec_.fetch) {
-            ++stats_.fetch_summary_hits;  // memoised: uniform block, flow allowed
-          } else {
-            Tag tag = dift::kBottomTag;
-            const bool uniform =
-                shadow_ && one_block && shadow_->uniform(off, insn->len, &tag);
-            if (!uniform) {
-              tag = dmi_tags_[off];
-              for (std::uint32_t i = 1; i < insn->len; ++i)
-                tag = dift::lub(tag, dmi_tags_[off + i]);
-            }
-            if (uniform && dift::allowed_flow(tag, *exec_.fetch)) {
-              fetch_memo_ = {block, shadow_->generation(),
-                             dift::detail::g_active.flow, *exec_.fetch};
-              ++stats_.fetch_summary_hits;
-            } else {
-              dift::check_flow(tag, *exec_.fetch, ViolationKind::kFetchClearance,
-                               pc_, pc_, "core.fetch");
-            }
-          }
+          build_into(*b, off);
+          ++stats_.block_invalidations;
+          fresh = true;
         }
       }
-      next_pc_ = pc_ + insn->len;
-      trapped_ = false;
-      execute(*insn);
-      if (trace_) {
-        // A trapping instruction never wrote rd; record x0 (0, untainted)
-        // instead of the stale pre-trap register contents.
-        const std::uint8_t rd = trapped_ ? 0 : insn->rd;
-        trace_->push({instret_, pc_, insn->raw, rd, Ops::value(regs_[rd]),
-                      Ops::tag(regs_[rd])});
-      }
-    } else {
-      // Slow path (XIP flash etc.): read one parcel, extend to 32 bits when
-      // it is an uncompressed instruction.
-      next_pc_ = pc_ + 4;
-      MemAccess f = load(pc_, 2, false);
-      if (!f.fault && (f.value & 3) == 3) {
-        const MemAccess hi = load(pc_ + 2, 2, false);
-        if (hi.fault) {
-          f.fault = true;
-        } else {
-          f.value |= hi.value << 16;
-          f.tag = Ops::combine(f.tag, hi.tag);
+      if (!b) {
+        b = lookup_block(off, fresh);
+        if (b && prev) {
+          prev->chain = b;
+          prev->chain_off = off;
         }
       }
-      if (f.fault) {
-        take_trap(kCauseInsnAccessFault, pc_);
-      } else {
-        if constexpr (kTainted) {
-          if (exec_.fetch)
-            dift::check_flow(f.tag, *exec_.fetch, ViolationKind::kFetchClearance,
-                             pc_, pc_, "core.fetch");
-        }
-        const Insn d = decode_any(f.value);
-        next_pc_ = pc_ + d.len;
-        trapped_ = false;
-        execute(d);
-        if (trace_) {
-          const std::uint8_t rd = trapped_ ? 0 : d.rd;
-          trace_->push({instret_, pc_, d.raw, rd, Ops::value(regs_[rd]),
-                        Ops::tag(regs_[rd])});
-        }
+      if (b) {
+        const std::uint64_t done = exec_block(*b, max_instructions - executed, fresh);
+        executed += done;
+        // The chain is a prediction, not a guarantee — the chain_off match
+        // and the raw revalidation on the next entry keep it honest — so any
+        // exit (terminator, taken branch, mem break) may install one.
+        prev = b;
+        continue;
       }
     }
-    pc_ = next_pc_;
-    ++instret_;
+    step_slow();
+    ++executed;
+    prev = nullptr;
   }
   return RunExit::kQuantumExhausted;
 }

@@ -12,11 +12,19 @@
 // riscv-vp. The core is driven in instruction quanta by the VP's CPU thread:
 // run(n) executes up to n instructions and returns early on WFI or when the
 // simulation must stop.
+//
+// The hot loop is a basic-block translation cache (see docs/perf.md): code
+// in the DMI window is decoded once per straight-line region into micro-ops
+// with per-instruction handler function pointers, and per-instruction
+// overheads (interrupt-pending test, fetch-clearance check, trace test) are
+// hoisted to block boundaries. Blocks revalidate against the raw instruction
+// bytes so self-modifying code stays correct.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,6 +45,9 @@ enum class RunExit : std::uint8_t {
   kQuantumExhausted,
   kWfi,  ///< core executed WFI and no enabled interrupt is pending
 };
+
+template <typename W>
+struct CoreOps;  // per-instruction handler tables (defined in core.cpp)
 
 template <typename W>
 class Core {
@@ -61,8 +72,9 @@ class Core {
   void set_policy(const dift::SecurityPolicy* policy);
   /// Source for the `time` CSR, in microseconds of simulated time.
   void set_time_source(std::function<std::uint64_t()> fn) { time_us_ = std::move(fn); }
-  /// Attaches an execution trace ring buffer (nullptr detaches). Costs one
-  /// predictable branch per instruction while attached.
+  /// Attaches an execution trace ring buffer (nullptr detaches). While
+  /// attached, blocks execute on the careful (per-instruction) path so the
+  /// trace is bit-identical to single-step execution.
   void set_trace(TraceBuffer* trace) { trace_ = trace; }
 
   // ---- architectural state ----
@@ -90,7 +102,7 @@ class Core {
   RunExit run(std::uint64_t max_instructions);
 
   /// Architectural reset: clears registers, CSRs, pending interrupts, the
-  /// WFI state, the decode cache, and the retirement counter; pc moves to
+  /// WFI state, the block cache, and the retirement counter; pc moves to
   /// `reset_pc`. Wiring (bus, DMI, policy, trace) is preserved.
   void reset(std::uint32_t reset_pc);
 
@@ -104,26 +116,84 @@ class Core {
   /// Single-step convenience for tests.
   void step() { run(1); }
 
-  /// Cumulative engine counters (decode cache, summary fast paths). The VP
+  /// Cumulative engine counters (block cache, summary fast paths). The VP
   /// snapshots these around run() to report per-run deltas.
   const dift::DiftStats& stats() const { return stats_; }
 
- private:
+  /// Result of a data/fetch memory access.
   struct MemAccess {
     std::uint32_t value;
     dift::Tag tag;
     bool fault;
   };
 
+  /// Fetch-path read of one 32-bit parcel. Shadow-summary hits on the DMI
+  /// window count as `fetch_summary_hits` (fetch-path attribution), unlike
+  /// load(), whose hits count as `load_summary_hits`.
+  MemAccess fetch32(std::uint32_t addr);
+
+ private:
+  friend struct CoreOps<W>;
+  /// Handler signature for one decoded instruction: executes the operation,
+  /// leaving `next_pc_` at the successor pc (handlers of control-flow ops
+  /// overwrite it). Shared by the block dispatch loop and execute().
+  using ExecFn = void (*)(Core&, const Insn&);
+
+  /// One pre-decoded instruction of a translated block.
+  struct MicroOp {
+    Insn insn;
+    ExecFn fn;
+    bool mem;  ///< load/store: may raise an IRQ or modify code mid-block
+    bool cf;   ///< conditional branch: exits the block only when taken
+  };
+
+  /// One translated basic block: a run of micro-ops ending at the first
+  /// unconditional-control-flow/CSR/fence/WFI terminator (or kMaxBlockOps).
+  /// Conditional branches stay inside the block — they fall through to the
+  /// next micro-op when not taken and exit the block when taken, which keeps
+  /// branch-dense inner loops in one block instead of fragmenting them.
+  /// `raw` snapshots the encoded bytes; a byte compare on entry revalidates
+  /// against self-modifying code. `chain` caches the successor block reached last time the block ran
+  /// to completion. The fetch memo generalizes the old single-shadow-block
+  /// memo to the whole block span: while the shadow generation, flow table
+  /// and clearance are unchanged, fetching this block is known to be allowed.
+  /// Only successful (allowed) checks are memoised, so enforcement throws and
+  /// monitor-mode records are never suppressed.
+  struct Block {
+    std::uint64_t start_off = 0;  ///< DMI offset of the block head
+    std::uint32_t byte_len = 0;
+    Block* chain = nullptr;
+    std::uint64_t chain_off = ~std::uint64_t{0};
+    std::uint64_t fetch_gen = ~std::uint64_t{0};
+    const std::uint8_t* fetch_flow = nullptr;
+    dift::Tag fetch_clearance{};
+    bool fetch_memo = false;
+    std::vector<MicroOp> ops;
+    std::vector<std::uint8_t> raw;
+  };
+
+  /// Upper bound on micro-ops per block (straight-line runs longer than this
+  /// split into consecutive blocks).
+  static constexpr std::size_t kMaxBlockOps = 64;
+
   void execute(const Insn& d);
   void transport_with_pc(tlmlite::Payload& p, sysc::Time& delay);
   MemAccess load(std::uint32_t addr, std::uint32_t size, bool sign_extend);
   bool store(std::uint32_t addr, std::uint32_t value, dift::Tag tag,
              std::uint32_t size);
-  MemAccess fetch32(std::uint32_t addr);
   void take_trap(std::uint32_t cause, std::uint32_t tval);
   void check_interrupts();
   void do_csr(const Insn& d);
+
+  Block* lookup_block(std::uint64_t off, bool& fresh);
+  void build_into(Block& b, std::uint64_t off);
+  std::uint64_t exec_block(Block& b, std::uint64_t budget, bool fresh);
+  void step_slow();
+  void invalidate_blocks() {
+    blocks_.clear();
+    cur_block_lo_ = cur_block_hi_ = 0;
+    smc_break_ = false;
+  }
 
   dift::Tag combine(dift::Tag a, dift::Tag b) { return Ops::combine(a, b); }
   std::uint32_t rv(std::uint8_t r) const { return Ops::value(regs_[r]); }
@@ -150,32 +220,23 @@ class Core {
   std::uint64_t dmi_size_ = 0;
   dift::ShadowSummary* shadow_ = nullptr;
 
-  // Fetch-clearance memo: while the summary generation, flow table and
-  // clearance are unchanged, a fetch from this uniform block is known to be
-  // allowed — the whole per-instruction check collapses to four compares.
-  // Only successful (allowed) checks are memoised, so enforcement throws and
-  // monitor-mode records are never suppressed.
-  struct FetchMemo {
-    std::uint64_t block = ~std::uint64_t{0};
-    std::uint64_t generation = ~std::uint64_t{0};
-    const std::uint8_t* flow = nullptr;
-    dift::Tag clearance{};
-  };
-  FetchMemo fetch_memo_;
-  void invalidate_fetch_memo() { fetch_memo_ = FetchMemo{}; }
-
   dift::DiftStats stats_;
   bool trapped_ = false;  ///< execute() took a trap (no rd write happened)
 
-  // Decode cache over the low part of the DMI window (riscv-vp-style): one
-  // pre-decoded entry per halfword, revalidated against the raw instruction
-  // bytes so that self-modifying code stays correct.
-  static constexpr std::uint64_t kDecodeCacheWindow = 256u << 10;
-  struct DecodeEntry {
-    std::uint32_t raw = 0;
-    Insn insn;
-  };
-  std::vector<DecodeEntry> decode_cache_;
+  // Block translation cache over the DMI window, keyed by halfword offset
+  // (IALIGN=16 with the C extension) and grown lazily up to one slot per
+  // halfword of the window. Block objects live on the heap so chain pointers
+  // survive vector growth; invalidated blocks are rebuilt in place.
+  std::vector<std::unique_ptr<Block>> blocks_;
+
+  // Bounds (DMI offsets) of the block currently executing, so store() can
+  // flag forward stores into the remainder of the block; `smc_break_` makes
+  // the dispatch loop leave the block and re-translate at the new pc. Bus
+  // (MMIO) stores set the flag unconditionally: a peripheral register write
+  // may trigger DMA into code memory.
+  std::uint64_t cur_block_lo_ = 0;
+  std::uint64_t cur_block_hi_ = 0;
+  bool smc_break_ = false;
 
   const dift::SecurityPolicy* policy_ = nullptr;
   dift::ExecutionClearance exec_;

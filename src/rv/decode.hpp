@@ -24,6 +24,9 @@ enum class Op : std::uint8_t {
   kMret, kWfi,
 };
 
+/// Number of distinct Op values (handler tables are indexed by Op).
+inline constexpr std::size_t kNumOps = static_cast<std::size_t>(Op::kWfi) + 1;
+
 /// One decoded instruction. For CSR ops, `imm` holds the CSR number and
 /// `rs1` the source register / zimm. Compressed (RVC) instructions are
 /// expanded to their base-ISA equivalent with `len == 2`.

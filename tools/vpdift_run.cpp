@@ -100,6 +100,13 @@ int run(const rvasm::Program& program, const dift::PolicySpec* spec,
     std::printf("  decode cache         : %llu hits / %llu misses\n",
                 static_cast<unsigned long long>(s.decode_hits),
                 static_cast<unsigned long long>(s.decode_misses));
+    std::printf("  block cache          : %llu hits / %llu misses / "
+                "%llu invalidations\n",
+                static_cast<unsigned long long>(s.block_hits),
+                static_cast<unsigned long long>(s.block_misses),
+                static_cast<unsigned long long>(s.block_invalidations));
+    std::printf("  chained transfers    : %llu\n",
+                static_cast<unsigned long long>(s.chained_transfers));
     std::printf("  summary fast path    : %llu (fetch %llu, load %llu, "
                 "mem %llu, dma %llu)\n",
                 static_cast<unsigned long long>(s.summary_hits()),
