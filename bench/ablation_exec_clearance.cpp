@@ -41,7 +41,7 @@ bool run_attack_with(std::optional<dift::Tag> fetch_clearance, int attack_id) {
   bundle.policy.set_execution_clearance(ec);
   v.apply_policy(bundle.policy);
   v.uart().feed_input(atk.uart_input);
-  return v.run(sysc::Time::sec(10)).violation;
+  return v.run(sysc::Time::sec(10)).violation();
 }
 
 bool run_immo_with(bool branch_check, bool memaddr_check,
@@ -59,7 +59,7 @@ bool run_immo_with(bool branch_check, bool memaddr_check,
   if (!memaddr_check) ec.mem_addr.reset();
   bundle.policy.set_execution_clearance(ec);
   v.apply_policy(bundle.policy);
-  return v.run(sysc::Time::sec(5)).violation;
+  return v.run(sysc::Time::sec(5)).violation();
 }
 
 }  // namespace
@@ -94,7 +94,7 @@ int main() {
       }
       v.apply_policy(bundle.policy);
       v.uart().feed_input(atk.uart_input);
-      return v.run(sysc::Time::sec(5)).violation;
+      return v.run(sysc::Time::sec(5)).violation();
     };
     report("fetch=HI only", "code reuse (return into trusted fn)",
            run_reuse(false), false);
@@ -117,7 +117,7 @@ int main() {
     v.apply_policy(bundle.policy);
     v.uart().feed_input(atk.uart_input);
     report("branch=HI, fetch disabled", "code injection (attack 3)",
-           v.run(sysc::Time::sec(5)).violation, true);
+           v.run(sysc::Time::sec(5)).violation(), true);
   }
 
   // Branch check vs PIN-dependent control flow.

@@ -70,17 +70,17 @@ int main() {
   std::printf("Step 1: manual test suite against the original firmware\n");
   {
     auto o = run(fw::ImmoVariant::kVulnerableDump, false, "d");
-    check(o.r.violation &&
+    check(o.r.violation() &&
               o.r.violation_kind == dift::ViolationKind::kOutputClearance,
           "debug memory dump leaks the PIN over the UART -> output-clearance "
           "violation raised");
-    if (o.r.violation) std::printf("      %s\n", o.r.violation_message.c_str());
+    if (o.r.violation()) std::printf("      %s\n", o.r.violation_message.c_str());
   }
 
   std::printf("\nStep 2: SW fix — dump excludes the PIN region\n");
   {
     auto o = run(fw::ImmoVariant::kFixedDump, false, "d");
-    check(!o.r.violation && o.r.exited && o.r.exit_code == 0,
+    check(!o.r.violation() && o.r.exited() && o.r.exit_code == 0,
           "fixed firmware passes the test suite");
     check(o.auth_ok >= 3, "challenge-response authentication succeeds");
   }
@@ -88,31 +88,31 @@ int main() {
   std::printf("\nStep 3: injected attack scenarios\n");
   {
     auto o = run(fw::ImmoVariant::kAttackDirectLeak, false, "");
-    check(o.r.violation &&
+    check(o.r.violation() &&
               o.r.violation_kind == dift::ViolationKind::kOutputClearance,
           "scenario 1a: direct PIN write to UART detected");
   }
   {
     auto o = run(fw::ImmoVariant::kAttackIndirectLeak, false, "");
-    check(o.r.violation &&
+    check(o.r.violation() &&
               o.r.violation_kind == dift::ViolationKind::kOutputClearance,
           "scenario 1b: PIN through intermediate buffer to CAN detected");
   }
   {
     auto o = run(fw::ImmoVariant::kAttackOverflowLeak, false, "");
-    check(o.r.violation &&
+    check(o.r.violation() &&
               o.r.violation_kind == dift::ViolationKind::kOutputClearance,
           "scenario 1c: buffer-overflow read into the PIN detected");
   }
   {
     auto o = run(fw::ImmoVariant::kAttackBranchLeak, false, "");
-    check(o.r.violation &&
+    check(o.r.violation() &&
               o.r.violation_kind == dift::ViolationKind::kBranchClearance,
           "scenario 2: PIN-dependent control flow detected");
   }
   {
     auto o = run(fw::ImmoVariant::kAttackOverwriteExternal, false, "");
-    check(o.r.violation &&
+    check(o.r.violation() &&
               o.r.violation_kind == dift::ViolationKind::kStoreClearance,
           "scenario 3: PIN overwrite with external (LI) data detected");
   }
@@ -120,7 +120,7 @@ int main() {
   std::printf("\nStep 4: the entropy-reduction attack (scenario 4)\n");
   {
     auto o = run(fw::ImmoVariant::kAttackOverwriteTrusted, false, "");
-    check(!o.r.violation,
+    check(!o.r.violation(),
           "overwriting PIN bytes with *trusted* PIN data escapes the policy");
     check(!o.responses.empty(), "immobilizer still answers challenges");
     // Brute force: all PIN bytes now equal pin[0] -> 256 candidates.
@@ -155,13 +155,13 @@ int main() {
   std::printf("\nStep 5: policy fix — one security class per PIN byte\n");
   {
     auto o = run(fw::ImmoVariant::kAttackOverwriteTrusted, true, "");
-    check(o.r.violation &&
+    check(o.r.violation() &&
               o.r.violation_kind == dift::ViolationKind::kStoreClearance,
           "per-byte policy detects the trusted-data overwrite");
   }
   {
     auto o = run(fw::ImmoVariant::kFixedDump, true, "d");
-    check(!o.r.violation && o.r.exited && o.r.exit_code == 0 && o.auth_ok >= 3,
+    check(!o.r.violation() && o.r.exited() && o.r.exit_code == 0 && o.auth_ok >= 3,
           "per-byte policy still admits normal operation");
   }
 

@@ -177,7 +177,7 @@ void run_iss(benchmark::State& state, bool dift) {
     auto bundle = vp::scenarios::make_permissive_policy();
     if (dift) v.apply_policy(bundle.policy);
     const auto r = v.run(sysc::Time::sec(60));
-    if (!r.exited || r.exit_code != 0) state.SkipWithError("self-check failed");
+    if (!r.exited() || r.exit_code != 0) state.SkipWithError("self-check failed");
     instret += r.instret;
     stats += r.stats;
   }

@@ -44,7 +44,7 @@ int main() {
     v.apply_policy(bundle.policy);
     v.uart().feed_input(atk.uart_input);
     const auto r = v.run(sysc::Time::sec(1));
-    if (r.violation) {
+    if (r.violation()) {
       std::printf("VIOLATION: %s\n", r.violation_message.c_str());
       std::printf("markers \"%s\" (no 'X': the payload never executed)\n",
                   r.markers.c_str());

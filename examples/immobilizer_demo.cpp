@@ -37,7 +37,7 @@ int main() {
                 static_cast<unsigned long long>(v.engine()->challenges_sent()),
                 static_cast<unsigned long long>(v.engine()->auth_ok()),
                 static_cast<unsigned long long>(v.engine()->auth_fail()),
-                r.violation ? "YES (bug!)" : "none");
+                r.violation() ? "YES (bug!)" : "none");
     std::printf("AES encryptions performed by the peripheral: %llu "
                 "(ciphertext declassified (HC,*)->(LC,LI))\n",
                 static_cast<unsigned long long>(v.aes().encryptions()));
@@ -56,7 +56,7 @@ int main() {
     v.apply_policy(bundle.policy);
     v.uart().feed_input("d");
     const auto r = v.run(sysc::Time::sec(2));
-    if (r.violation) {
+    if (r.violation()) {
       std::printf("caught: %s\n", r.violation_message.c_str());
       std::printf("bytes that made it out before the PIN: \"%s\"\n",
                   r.uart_output.c_str());

@@ -91,7 +91,7 @@ int main() {
     v.enable_trace(6);
     v.uart().feed_input("d");
     const auto r = v.run(sysc::Time::sec(2));
-    if (!r.violation) {
+    if (!r.violation()) {
       std::printf("unexpected: no violation\n");
       return 1;
     }

@@ -59,7 +59,7 @@ int main() {
   const vp::RunResult r = v.run(sysc::Time::sec(1));
 
   std::printf("UART output so far : \"%s\"\n", r.uart_output.c_str());
-  if (r.violation) {
+  if (r.violation()) {
     std::printf("DIFT engine fired  : %s\n", r.violation_message.c_str());
     std::printf("  kind=%s  source-class=%s  required-clearance=%s  pc=0x%llx\n",
                 dift::to_string(r.violation_kind),

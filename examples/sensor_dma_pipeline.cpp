@@ -96,7 +96,7 @@ int main() {
   std::printf("tag of DMA'd buffer[0]  : %s (copied by hardware, not the CPU)\n",
               lattice.name_of(v.ram().tag_at(buf_off)).c_str());
 
-  if (r.violation && r.violation_kind == dift::ViolationKind::kOutputClearance) {
+  if (r.violation() && r.violation_kind == dift::ViolationKind::kOutputClearance) {
     std::printf("leak stopped at UART    : %s\n", r.violation_message.c_str());
     std::printf("\nThe taint survived sensor -> TLM -> DMA -> RAM -> CPU -> "
                 "UART. This is the\nfine-grained HW/SW tracking a source-level "

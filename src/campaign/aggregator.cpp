@@ -66,21 +66,35 @@ std::string Aggregator::to_json(const std::string& campaign_name,
     const JobResult& r = results_[i];
     std::snprintf(buf, sizeof buf,
                   "    {\"name\":\"%s\",\"verdict\":\"%s\",\"ok\":%s,"
-                  "\"attempts\":%d,\"exited\":%s,\"exit_code\":%u,"
-                  "\"violation\":%s,\"timed_out\":%s,\"instret\":%llu,"
+                  "\"attempts\":%d,\"reason\":\"%s\",\"exited\":%s,"
+                  "\"exit_code\":%u,\"violation\":%s,\"timed_out\":%s,"
+                  "\"watchdog_resets\":%u,\"instret\":%llu,"
                   "\"wall_s\":%.4f,\"mips\":%.2f,\"sim_ms\":%llu,"
                   "\"recorded_violations\":%zu,",
                   json_escape(r.name).c_str(), json_escape(r.verdict).c_str(),
                   r.ok ? "true" : "false", r.attempts,
-                  r.run.exited ? "true" : "false", r.run.exit_code,
-                  r.run.violation ? "true" : "false",
-                  r.run.timed_out ? "true" : "false",
+                  vp::to_string(r.run.reason),
+                  r.run.exited() ? "true" : "false", r.run.exit_code,
+                  r.run.violation() ? "true" : "false",
+                  r.run.timed_out() ? "true" : "false", r.run.watchdog_resets,
                   static_cast<unsigned long long>(r.run.instret),
                   r.wall_seconds, r.run.mips,
                   static_cast<unsigned long long>(r.run.sim_time.millis()),
                   r.run.recorded_violations.size());
     out << buf;
     if (!r.error.empty()) out << "\"error\":\"" << json_escape(r.error) << "\",";
+    if (r.history.size() > 1 ||
+        (!r.history.empty() && r.history.front().verdict == "crash")) {
+      out << "\"history\":[";
+      for (std::size_t a = 0; a < r.history.size(); ++a) {
+        out << (a ? "," : "") << "{\"verdict\":\""
+            << json_escape(r.history[a].verdict) << "\"";
+        if (!r.history[a].error.empty())
+          out << ",\"error\":\"" << json_escape(r.history[a].error) << "\"";
+        out << "}";
+      }
+      out << "],";
+    }
     out << "\"dift_stats\":" << dift::to_json(r.run.stats) << "}"
         << (i + 1 < results_.size() ? ",\n" : "\n");
   }

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <optional>
 #include <sstream>
+#include <type_traits>
 
 #include "campaign/thread_pool.hpp"
 #include "dift/policy_parser.hpp"
@@ -116,6 +117,13 @@ JobResult execute_once(const JobSpec& job) {
   if (policy.policy) v.apply_policy(*policy.policy);
   if (job.mode == VpMode::kMonitor) v.set_monitor_mode(true);
   if (!uart_input.empty()) v.uart().feed_input(uart_input);
+  // Fault-injection (or any other) setup runs after the image, policy and
+  // UART stream are in place but before simulated time starts.
+  if constexpr (std::is_same_v<VpT, vp::VpDift>) {
+    if (job.pre_run_dift) job.pre_run_dift(v);
+  } else {
+    if (job.pre_run_plain) job.pre_run_plain(v);
+  }
   if (job.wall_budget_s > 0) {
     const auto deadline =
         std::chrono::steady_clock::now() +
@@ -126,13 +134,31 @@ JobResult execute_once(const JobSpec& job) {
 
   res.run = v.run(sysc::Time::ms(job.max_ms));
 
-  if (res.run.violation) {
-    res.verdict =
-        std::string("violation:") + dift::to_string(res.run.violation_kind);
-  } else if (res.run.exited) {
-    res.verdict = "exit:" + std::to_string(res.run.exit_code);
-  } else {
-    res.verdict = wall_fired ? "wall-timeout" : "timeout";
+  // The VP cannot tell a wall-budget stop from a sim-budget one (both end the
+  // simulation from outside the core); reclassify using the guard's flag.
+  if (wall_fired && res.run.reason == vp::ExitReason::kSimTimeout)
+    res.run.reason = vp::ExitReason::kWallTimeout;
+
+  switch (res.run.reason) {
+    case vp::ExitReason::kViolation:
+      res.verdict =
+          std::string("violation:") + dift::to_string(res.run.violation_kind);
+      break;
+    case vp::ExitReason::kExit:
+      res.verdict = "exit:" + std::to_string(res.run.exit_code);
+      break;
+    case vp::ExitReason::kWallTimeout:
+      res.verdict = "wall-timeout";
+      break;
+    case vp::ExitReason::kWatchdogReset:
+      res.verdict = "watchdog-reset";
+      break;
+    case vp::ExitReason::kTrap:
+      res.verdict = "trap";
+      break;
+    case vp::ExitReason::kSimTimeout:
+      res.verdict = "timeout";
+      break;
   }
   res.ok = verdict_matches(job.expect, res.verdict);
   return res;
@@ -170,6 +196,7 @@ rvasm::Program resolve_firmware(const std::string& name) {
 
 JobResult Runner::run_job(const JobSpec& job) {
   JobResult res;
+  std::vector<AttemptRecord> history;
   const auto t0 = std::chrono::steady_clock::now();
   const int max_attempts = job.retries + 1;
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
@@ -181,10 +208,19 @@ JobResult Runner::run_job(const JobSpec& job) {
       res.name = job.name;
       res.verdict = "crash";
       res.error = e.what();
+    } catch (...) {
+      // A worker must never let anything escape — an uncaught throw on a
+      // pool thread would terminate the whole campaign process.
+      res = JobResult{};
+      res.name = job.name;
+      res.verdict = "crash";
+      res.error = "non-std exception";
     }
+    history.push_back({res.verdict, res.error});
     res.attempts = attempt;
     if (res.verdict != "crash") break;  // retries exist to absorb crashes
   }
+  res.history = std::move(history);
   res.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

@@ -20,13 +20,23 @@
 
 namespace vpdift::campaign {
 
+/// One retry attempt's outcome, kept so the aggregate report can show what
+/// the retries actually absorbed (a job that crashed twice and then passed
+/// looks identical to a clean pass in the final verdict alone).
+struct AttemptRecord {
+  std::string verdict;
+  std::string error;  ///< empty unless the attempt crashed
+};
+
 /// Outcome of one job (last attempt, if it was retried).
 struct JobResult {
   std::string name;
-  std::string verdict;  ///< exit:N | violation:<kind> | timeout | wall-timeout | crash
+  std::string verdict;  ///< exit:N | violation:<kind> | timeout | wall-timeout
+                        ///< | watchdog-reset | trap | crash
   bool ok = false;      ///< verdict matches the job's `expect` (no crash, if empty)
   int attempts = 0;     ///< 1 + retries actually consumed
   std::string error;    ///< exception message when verdict == "crash"
+  std::vector<AttemptRecord> history;  ///< every attempt, in order
   vp::RunResult run;    ///< full VP run result (default-constructed on crash)
   double wall_seconds = 0.0;  ///< host time across all attempts
 };

@@ -67,6 +67,11 @@ struct JobSpec {
   /// Programmatic overrides (suite builders only; not settable from files).
   std::function<rvasm::Program()> make_program;
   std::function<vp::VpConfig()> make_config;
+  /// Run right before simulated time starts (image, policy and UART input
+  /// are already applied). The fault-injection suite uses these to arm the
+  /// fault; only the hook matching the job's VP flavour is called.
+  std::function<void(vp::VpDift&)> pre_run_dift;
+  std::function<void(vp::Vp&)> pre_run_plain;
 };
 
 class SpecParseError : public std::runtime_error {

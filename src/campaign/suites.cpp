@@ -75,10 +75,10 @@ std::vector<Table1Row> table1_rows(const std::vector<JobResult>& results) {
       const JobResult* detect = find_result(results, base + "-dift");
       if (!control || !detect)
         throw std::invalid_argument("table1_rows: missing results for " + base);
-      row.exploit_works = control->run.exited && control->run.exit_code == 42 &&
+      row.exploit_works = control->run.exited() && control->run.exit_code == 42 &&
                           control->run.markers.find('X') != std::string::npos;
       const bool detected =
-          detect->run.violation &&
+          detect->run.violation() &&
           detect->run.violation_kind == dift::ViolationKind::kFetchClearance &&
           detect->run.markers.find('X') == std::string::npos;
       row.result = detected ? "Detected" : "MISSED";

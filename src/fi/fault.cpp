@@ -1,0 +1,36 @@
+#include "fi/fault.hpp"
+
+#include <cstdio>
+
+namespace vpdift::fi {
+
+const char* to_string(FaultModel model) {
+  switch (model) {
+    case FaultModel::kGprFlip: return "gpr-flip";
+    case FaultModel::kRamFlip: return "ram-flip";
+    case FaultModel::kTagCorrupt: return "tag-corrupt";
+    case FaultModel::kUartRxDrop: return "uart-rx-drop";
+    case FaultModel::kUartRxCorrupt: return "uart-rx-corrupt";
+    case FaultModel::kCanErrorFrame: return "can-error-frame";
+    case FaultModel::kCanBusOff: return "can-bus-off";
+    case FaultModel::kSensorStuck: return "sensor-stuck";
+    case FaultModel::kFlashCorrupt: return "flash-corrupt";
+    case FaultModel::kIrqSpurious: return "irq-spurious";
+    case FaultModel::kIrqSuppress: return "irq-suppress";
+  }
+  return "?";
+}
+
+std::string FaultSpec::describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "%s seed=%llx @instret=%llu @us=%llu reg=x%u bits=%x "
+                "off=%llx span=%u irq=%u",
+                to_string(model), static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(trigger_instret),
+                static_cast<unsigned long long>(trigger_us), reg, bits,
+                static_cast<unsigned long long>(offset), span, irq_src);
+  return buf;
+}
+
+}  // namespace vpdift::fi

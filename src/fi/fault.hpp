@@ -1,0 +1,78 @@
+// Fault models for the deterministic fault-injection campaign.
+//
+// A FaultSpec is a fully-serialisable description of ONE fault: what to
+// corrupt, when (in retired instructions for architectural faults, in
+// simulated microseconds for peripheral/wire faults), and with which
+// deterministic seed. Specs are generated from a master seed by
+// fi::build_suite() and applied to a live VP by fi::arm() — the same spec
+// always produces the same corruption, which is what makes a campaign
+// reproducible across serial and parallel execution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vpdift::fi {
+
+/// What gets corrupted. Architectural models (GPR/RAM/tag) trigger on a
+/// retired-instruction count via rv::Core::arm_fault(); peripheral and IRQ
+/// models trigger at a simulated time via sysc::Simulation::schedule_in().
+enum class FaultModel : std::uint8_t {
+  kGprFlip,       ///< XOR a bit mask into one general-purpose register
+  kRamFlip,       ///< XOR a bit mask into one RAM data byte (tag untouched)
+  kTagCorrupt,    ///< overwrite the taint tags of a tainted byte run —
+                  ///< models a soft error in the DIFT shadow memory itself
+  kUartRxDrop,    ///< drop pending UART RX bytes (lost frames on the wire)
+  kUartRxCorrupt, ///< XOR pending UART RX bytes (bit errors on the wire)
+  kCanErrorFrame, ///< an error frame destroys the head RX mailbox entry
+  kCanBusOff,     ///< CAN controller enters bus-off: TX and RX go dead
+  kSensorStuck,   ///< sensor data window freezes (interrupts keep firing)
+  kFlashCorrupt,  ///< next SPI flash read transactions return flipped bits
+  kIrqSpurious,   ///< a PLIC source pends without its peripheral raising it
+  kIrqSuppress,   ///< a PLIC source line goes dead (raises are swallowed)
+};
+
+const char* to_string(FaultModel model);
+constexpr std::size_t kFaultModelCount = 11;
+
+/// One concrete fault. Only the fields relevant to `model` are meaningful;
+/// the rest stay zero so equal specs compare (and print) equal.
+struct FaultSpec {
+  FaultModel model = FaultModel::kGprFlip;
+  std::uint64_t seed = 0;             ///< per-fault PRNG seed (tag corruption)
+  std::uint64_t trigger_instret = 0;  ///< architectural models: fire when
+                                      ///< instret reaches this count
+  std::uint64_t trigger_us = 0;       ///< peripheral models: fire at this
+                                      ///< simulated time
+  std::uint8_t reg = 0;               ///< kGprFlip: x1..x31
+  std::uint32_t bits = 0;             ///< flip/XOR mask (model-dependent width)
+  std::uint64_t offset = 0;           ///< kRamFlip: RAM offset
+  std::uint32_t span = 1;             ///< run length (bytes / frames / reads)
+  std::uint32_t irq_src = 0;          ///< kIrqSpurious / kIrqSuppress
+
+  /// Stable one-line description; identical specs describe identically, so
+  /// the determinism test can compare schedules as strings.
+  std::string describe() const;
+};
+
+/// SplitMix64: tiny, fast, and fully deterministic from its seed — the only
+/// randomness source of the FI subsystem (never wall clock, never libc rand).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound); bound must be non-zero.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace vpdift::fi

@@ -1,0 +1,32 @@
+// Arms one FaultSpec on a live (not yet running) virtual prototype.
+//
+// Architectural faults (GPR / RAM / tag) land on the core's block-boundary
+// fault hook: rv::Core::arm_fault() clamps the block-execution budget so the
+// fault fires at exactly the requested retired-instruction count, without
+// invalidating the translation cache (the affected block merely re-enters
+// through a fresh lookup). Peripheral and IRQ faults are scheduled on the
+// simulation clock and applied through the peripherals' fi_* hooks.
+//
+// Everything here is deterministic: the corruption drawn from FaultSpec.seed
+// is the same on every run, serial or parallel.
+#pragma once
+
+#include <cstdint>
+
+#include "fi/fault.hpp"
+#include "vp/vp.hpp"
+
+namespace vpdift::fi {
+
+/// Arms `fault` on `v`. Call after load()/apply_policy()/feed_input() and
+/// before run() — the campaign runner's pre_run_dift hook is the intended
+/// call site. The spec is copied; nothing must outlive the VP.
+void arm(vp::VpDift& v, const FaultSpec& fault);
+
+/// Programs and enables the watchdog from the host side (LOAD + CTRL writes
+/// straight into the register file), so fault campaigns can observe
+/// watchdog-recovered outcomes on firmware that never touches the watchdog
+/// itself.
+void arm_watchdog(vp::VpDift& v, std::uint32_t timeout_us);
+
+}  // namespace vpdift::fi

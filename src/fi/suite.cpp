@@ -1,0 +1,347 @@
+#include "fi/suite.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "campaign/aggregator.hpp"  // json_escape
+#include "fi/injector.hpp"
+#include "soc/addrmap.hpp"
+
+namespace vpdift::fi {
+
+namespace {
+
+/// Fault-model mix per 100 faults. Tag corruption is deliberately the
+/// largest share — it is the model the DIFT angle of this campaign exists
+/// to study (does the protection fail open or fail closed when its own
+/// shadow state takes a hit?).
+struct ModelWeight {
+  FaultModel model;
+  unsigned weight;
+};
+constexpr ModelWeight kMix[] = {
+    {FaultModel::kGprFlip, 18},       {FaultModel::kRamFlip, 14},
+    {FaultModel::kTagCorrupt, 30},    {FaultModel::kUartRxDrop, 5},
+    {FaultModel::kUartRxCorrupt, 5},  {FaultModel::kCanErrorFrame, 3},
+    {FaultModel::kCanBusOff, 3},      {FaultModel::kSensorStuck, 4},
+    {FaultModel::kFlashCorrupt, 3},   {FaultModel::kIrqSpurious, 7},
+    {FaultModel::kIrqSuppress, 8},
+};
+constexpr unsigned kMixTotal = 100;
+
+FaultModel pick_model(Rng& rng) {
+  unsigned roll = static_cast<unsigned>(rng.below(kMixTotal));
+  for (const auto& mw : kMix) {
+    if (roll < mw.weight) return mw.model;
+    roll -= mw.weight;
+  }
+  return FaultModel::kGprFlip;  // unreachable
+}
+
+std::uint32_t pick_irq_src(Rng& rng) {
+  constexpr std::uint32_t srcs[] = {soc::addrmap::kIrqSensor,
+                                    soc::addrmap::kIrqUartRx,
+                                    soc::addrmap::kIrqDma,
+                                    soc::addrmap::kIrqCanRx};
+  return srcs[rng.below(4)];
+}
+
+}  // namespace
+
+const char* to_string(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kDetectedByPolicy: return "detected-by-policy";
+    case Verdict::kDetectedByTrap: return "detected-by-trap";
+    case Verdict::kWatchdogRecovered: return "watchdog-recovered";
+    case Verdict::kSilentDataCorruption: return "silent-data-corruption";
+    case Verdict::kHang: return "hang";
+    case Verdict::kCrash: return "crash";
+    case Verdict::kMasked: return "masked";
+  }
+  return "?";
+}
+
+bool parse_fi_ref(const std::string& ref, FiSuiteSpec* out) {
+  if (ref.rfind("fi:", 0) != 0) return false;
+  const std::string body = ref.substr(3);
+  const std::size_t colon = body.rfind(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  std::uint64_t n = 0;
+  if (!campaign::parse_u64(body.substr(colon + 1), &n) || n == 0) return false;
+  out->benchmark = body.substr(0, colon);
+  out->n_faults = static_cast<std::size_t>(n);
+  return true;
+}
+
+FiSuite build_suite(const FiSuiteSpec& spec) {
+  FiSuite s;
+  s.spec = spec;
+
+  // Image extent (throws early on an unknown benchmark). RAM bit flips
+  // target the heap window past the image and the stack page, never the
+  // text/data image itself — code corruption is a different experiment and
+  // would churn the translation cache this campaign asserts is untouched.
+  const rvasm::Program program = campaign::resolve_firmware(spec.benchmark);
+  std::uint64_t image_end = 0;
+  for (const auto& seg : program.segments)
+    image_end = std::max(image_end, seg.end());
+  const std::uint64_t ram_size = vp::VpConfig{}.ram_size;
+  std::uint64_t heap_off = image_end > soc::addrmap::kRamBase
+                               ? image_end - soc::addrmap::kRamBase
+                               : 0;
+  heap_off = std::min<std::uint64_t>(heap_off, ram_size - 1);
+  const std::uint64_t heap_len =
+      std::min<std::uint64_t>(64 * 1024, ram_size - heap_off);
+  const std::uint64_t stack_off = ram_size - 4096;
+
+  campaign::JobSpec base;
+  base.firmware = spec.benchmark;
+  base.policy = "code-injection";
+  base.mode = campaign::VpMode::kDift;
+  base.engine_ecu = spec.benchmark == "immobilizer";
+  base.max_ms = 10000;
+  base.retries = 0;
+
+  campaign::JobSpec golden_job = base;
+  golden_job.name = "golden:" + spec.benchmark;
+  s.golden = campaign::Runner::run_job(golden_job);
+  if (s.golden.verdict == "crash")
+    throw std::runtime_error("fi golden run crashed: " + s.golden.error);
+
+  s.golden_us = std::max<std::uint64_t>(s.golden.run.sim_time.micros(), 1);
+  const std::uint64_t instret = std::max<std::uint64_t>(s.golden.run.instret, 2);
+  s.wdt_us = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(3 * s.golden_us + 1000, ~std::uint32_t(0)));
+  // Budget: the watchdog may bite once and the firmware re-run from reset a
+  // few times before we call it a hang.
+  const std::uint64_t max_ms = (s.wdt_us + 4 * s.golden_us) / 1000 + 20;
+
+  Rng rng(spec.seed);
+  s.jobs.name = "fi:" + spec.benchmark;
+  s.faults.reserve(spec.n_faults);
+  s.jobs.jobs.reserve(spec.n_faults);
+  for (std::size_t i = 0; i < spec.n_faults; ++i) {
+    FaultSpec f;
+    f.model = pick_model(rng);
+    f.seed = rng.next();
+    f.trigger_instret = 1 + rng.below(instret - 1);
+    f.trigger_us = rng.below(s.golden_us + 1);
+    switch (f.model) {
+      case FaultModel::kGprFlip:
+        f.reg = static_cast<std::uint8_t>(1 + rng.below(31));
+        f.bits = 1u << rng.below(32);
+        if (rng.below(4) == 0) f.bits |= 1u << rng.below(32);  // double flip
+        break;
+      case FaultModel::kRamFlip:
+        f.bits = 1u << rng.below(8);
+        if (rng.below(4) == 0) f.bits |= 1u << rng.below(8);
+        f.offset = (rng.next() & 1) ? heap_off + rng.below(heap_len)
+                                    : stack_off + rng.below(4096);
+        break;
+      case FaultModel::kTagCorrupt:
+        break;  // everything derives from f.seed at fire time
+      case FaultModel::kUartRxDrop:
+        f.span = static_cast<std::uint32_t>(1 + rng.below(4));
+        break;
+      case FaultModel::kUartRxCorrupt:
+        f.span = static_cast<std::uint32_t>(1 + rng.below(4));
+        f.bits = 1u << rng.below(8);
+        break;
+      case FaultModel::kCanErrorFrame:
+      case FaultModel::kCanBusOff:
+      case FaultModel::kSensorStuck:
+        break;
+      case FaultModel::kFlashCorrupt:
+        f.span = static_cast<std::uint32_t>(1 + rng.below(8));
+        f.bits = 1u << rng.below(8);
+        break;
+      case FaultModel::kIrqSpurious:
+      case FaultModel::kIrqSuppress:
+        f.irq_src = pick_irq_src(rng);
+        break;
+    }
+
+    campaign::JobSpec j = base;
+    char name[64];
+    std::snprintf(name, sizeof name, "fi%04zu:%s", i, to_string(f.model));
+    j.name = name;
+    j.max_ms = max_ms;
+    const FaultSpec fc = f;
+    const std::uint32_t wdt_us = s.wdt_us;
+    j.pre_run_dift = [fc, wdt_us](vp::VpDift& v) {
+      arm_watchdog(v, wdt_us);
+      arm(v, fc);
+    };
+    s.faults.push_back(f);
+    s.jobs.jobs.push_back(std::move(j));
+  }
+  return s;
+}
+
+Verdict classify(const campaign::JobResult& golden,
+                 const campaign::JobResult& r) {
+  if (r.verdict == "crash") return Verdict::kCrash;
+  if (r.run.violation()) {
+    // A golden run that is itself a violation (attack benchmarks under the
+    // code-injection policy): the same violation again means the fault did
+    // not defeat the protection.
+    if (golden.run.violation() && r.verdict == golden.verdict)
+      return Verdict::kMasked;
+    return Verdict::kDetectedByPolicy;
+  }
+  if (r.run.reason == vp::ExitReason::kTrap) return Verdict::kDetectedByTrap;
+  if (!r.run.exited()) return Verdict::kHang;
+
+  // Exited. The crt0 default trap handler logs marker 'T' and exits 0xff —
+  // that is detection, unless the golden run ends the same way.
+  const bool golden_trapped =
+      golden.run.exited() && golden.run.exit_code == 0xffu &&
+      golden.run.markers.find('T') != std::string::npos;
+  if (!golden_trapped && r.run.exit_code == 0xffu &&
+      r.run.markers.find('T') != std::string::npos)
+    return Verdict::kDetectedByTrap;
+
+  const bool exit_match =
+      golden.run.exited() && r.run.exit_code == golden.run.exit_code;
+  const bool output_match = exit_match &&
+                            r.run.uart_output == golden.run.uart_output &&
+                            r.run.markers == golden.run.markers;
+  if (output_match)
+    return r.run.watchdog_resets > 0 ? Verdict::kWatchdogRecovered
+                                     : Verdict::kMasked;
+  // A reset replays the firmware, so UART output duplicates — reaching the
+  // golden exit code after a reset still counts as recovered.
+  if (exit_match && r.run.watchdog_resets > 0)
+    return Verdict::kWatchdogRecovered;
+  return Verdict::kSilentDataCorruption;
+}
+
+std::size_t CoverageMatrix::verdict_total(Verdict v) const {
+  std::size_t n = 0;
+  for (const auto& row : counts) n += row[static_cast<std::size_t>(v)];
+  return n;
+}
+
+std::size_t CoverageMatrix::model_total(FaultModel m) const {
+  std::size_t n = 0;
+  for (std::size_t v = 0; v < kVerdictCount; ++v)
+    n += counts[static_cast<std::size_t>(m)][v];
+  return n;
+}
+
+CoverageMatrix build_matrix(const FiSuite& suite,
+                            const std::vector<campaign::JobResult>& results,
+                            std::vector<Verdict>* verdicts) {
+  if (results.size() != suite.faults.size())
+    throw std::invalid_argument("fi matrix: results/faults size mismatch");
+  CoverageMatrix m;
+  if (verdicts) verdicts->clear();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Verdict v = classify(suite.golden, results[i]);
+    ++m.counts[static_cast<std::size_t>(suite.faults[i].model)]
+              [static_cast<std::size_t>(v)];
+    ++m.total;
+    if (verdicts) verdicts->push_back(v);
+  }
+  return m;
+}
+
+std::string matrix_table(const CoverageMatrix& m) {
+  // Short column heads keep the table inside 100 columns.
+  static const char* kHeads[kVerdictCount] = {
+      "policy", "trap", "wdog", "sdc", "hang", "crash", "masked"};
+  std::ostringstream out;
+  char line[160];
+  std::snprintf(line, sizeof line, "%-16s %7s %7s %7s %7s %7s %7s %7s %7s\n",
+                "fault model", kHeads[0], kHeads[1], kHeads[2], kHeads[3],
+                kHeads[4], kHeads[5], kHeads[6], "total");
+  out << line;
+  for (std::size_t mi = 0; mi < kFaultModelCount; ++mi) {
+    const FaultModel model = static_cast<FaultModel>(mi);
+    if (m.model_total(model) == 0) continue;
+    std::snprintf(line, sizeof line,
+                  "%-16s %7zu %7zu %7zu %7zu %7zu %7zu %7zu %7zu\n",
+                  to_string(model), m.counts[mi][0], m.counts[mi][1],
+                  m.counts[mi][2], m.counts[mi][3], m.counts[mi][4],
+                  m.counts[mi][5], m.counts[mi][6], m.model_total(model));
+    out << line;
+  }
+  std::snprintf(line, sizeof line,
+                "%-16s %7zu %7zu %7zu %7zu %7zu %7zu %7zu %7zu\n", "total",
+                m.verdict_total(Verdict::kDetectedByPolicy),
+                m.verdict_total(Verdict::kDetectedByTrap),
+                m.verdict_total(Verdict::kWatchdogRecovered),
+                m.verdict_total(Verdict::kSilentDataCorruption),
+                m.verdict_total(Verdict::kHang),
+                m.verdict_total(Verdict::kCrash),
+                m.verdict_total(Verdict::kMasked), m.total);
+  out << line;
+  return out.str();
+}
+
+std::string matrix_json(const FiSuite& suite,
+                        const std::vector<campaign::JobResult>& results,
+                        const std::vector<Verdict>& verdicts,
+                        std::size_t workers, double wall_s) {
+  std::ostringstream out;
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\n  \"suite\": \"fi:%s:%zu\",\n  \"benchmark\": \"%s\",\n"
+      "  \"seed\": %llu,\n  \"workers\": %zu,\n  \"wall_s\": %.4f,\n"
+      "  \"golden\": {\"verdict\": \"%s\", \"exit_code\": %u,\n"
+      "    \"instret\": %llu, \"sim_us\": %llu},\n  \"wdt_us\": %u,\n",
+      campaign::json_escape(suite.spec.benchmark).c_str(),
+      suite.spec.n_faults,
+      campaign::json_escape(suite.spec.benchmark).c_str(),
+      static_cast<unsigned long long>(suite.spec.seed), workers, wall_s,
+      campaign::json_escape(suite.golden.verdict).c_str(),
+      suite.golden.run.exit_code,
+      static_cast<unsigned long long>(suite.golden.run.instret),
+      static_cast<unsigned long long>(suite.golden_us), suite.wdt_us);
+  out << buf;
+
+  const CoverageMatrix m = build_matrix(suite, results);
+  out << "  \"matrix\": {\n";
+  bool first_row = true;
+  for (std::size_t mi = 0; mi < kFaultModelCount; ++mi) {
+    const FaultModel model = static_cast<FaultModel>(mi);
+    if (m.model_total(model) == 0) continue;
+    out << (first_row ? "" : ",\n") << "    \"" << to_string(model)
+        << "\": {";
+    first_row = false;
+    bool first_cell = true;
+    for (std::size_t v = 0; v < kVerdictCount; ++v) {
+      if (m.counts[mi][v] == 0) continue;
+      out << (first_cell ? "" : ", ") << "\""
+          << to_string(static_cast<Verdict>(v)) << "\": " << m.counts[mi][v];
+      first_cell = false;
+    }
+    out << "}";
+  }
+  out << "\n  },\n  \"verdict_totals\": {";
+  for (std::size_t v = 0; v < kVerdictCount; ++v)
+    out << (v ? ", " : "") << "\"" << to_string(static_cast<Verdict>(v))
+        << "\": " << m.verdict_total(static_cast<Verdict>(v));
+  out << "},\n  \"faults\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\":\"%s\",\"model\":\"%s\",\"verdict\":\"%s\","
+                  "\"run_verdict\":\"%s\",\"watchdog_resets\":%u,"
+                  "\"spec\":\"%s\"}%s\n",
+                  campaign::json_escape(results[i].name).c_str(),
+                  to_string(suite.faults[i].model),
+                  to_string(verdicts[i]),
+                  campaign::json_escape(results[i].verdict).c_str(),
+                  results[i].run.watchdog_resets,
+                  campaign::json_escape(suite.faults[i].describe()).c_str(),
+                  i + 1 < results.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace vpdift::fi

@@ -1,0 +1,91 @@
+// Fault-injection campaign suite: golden run, deterministic fault schedule,
+// outcome classification, and the detection-coverage matrix.
+//
+// A suite reference "fi:<benchmark>:<n-faults>" expands to:
+//   1. one fault-free golden run of <benchmark> (serial, on the caller's
+//      thread) whose exit code / UART output / markers become the oracle,
+//   2. <n-faults> fault jobs, each a normal campaign::JobSpec whose
+//      pre_run_dift hook arms exactly one FaultSpec (plus a host-armed
+//      watchdog so recovery is observable),
+//   3. after the campaign ran (serial or --jobs N — the schedule and every
+//      verdict are identical either way), classify() maps each JobResult to
+//      a resilience Verdict and build_matrix() folds them into the
+//      fault-model x verdict detection-coverage matrix.
+//
+// Determinism: the schedule derives only from (benchmark, n, master seed)
+// and the golden run's instruction count / duration — never from the wall
+// clock — and fault jobs get simulated-time budgets only (no wall budgets),
+// so a loaded host cannot change a verdict.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+#include "fi/fault.hpp"
+#include "fi/verdict.hpp"
+
+namespace vpdift::fi {
+
+struct FiSuiteSpec {
+  std::string benchmark;      ///< anything campaign::resolve_firmware accepts
+  std::size_t n_faults = 0;
+  std::uint64_t seed = 1;     ///< master seed for the fault schedule
+};
+
+/// Parses "fi:<benchmark>:<n-faults>". The count is taken from the LAST
+/// colon-separated field, so benchmarks with colons ("fi:attack:3:40") work.
+/// Returns false when `ref` does not start with "fi:" or the count is
+/// malformed. The seed is not part of the ref (CLI flag --seed).
+bool parse_fi_ref(const std::string& ref, FiSuiteSpec* out);
+
+struct FiSuite {
+  FiSuiteSpec spec;
+  campaign::JobResult golden;     ///< the fault-free reference run
+  std::uint64_t golden_us = 0;    ///< golden simulated duration
+  std::uint32_t wdt_us = 0;       ///< watchdog timeout armed in fault runs
+  std::vector<FaultSpec> faults;  ///< parallels jobs.jobs, index for index
+  campaign::CampaignSpec jobs;    ///< ready for campaign::Runner::run()
+};
+
+/// Runs the golden reference (throws std::runtime_error if it crashes) and
+/// derives the fault schedule. Same spec in = bit-identical schedule out.
+FiSuite build_suite(const FiSuiteSpec& spec);
+
+/// Classifies one fault run against the golden reference.
+Verdict classify(const campaign::JobResult& golden,
+                 const campaign::JobResult& r);
+
+/// Detection coverage: counts[fault model][verdict].
+struct CoverageMatrix {
+  std::array<std::array<std::size_t, kVerdictCount>, kFaultModelCount>
+      counts{};
+  std::size_t total = 0;
+
+  std::size_t count(FaultModel m, Verdict v) const {
+    return counts[static_cast<std::size_t>(m)][static_cast<std::size_t>(v)];
+  }
+  std::size_t verdict_total(Verdict v) const;
+  std::size_t model_total(FaultModel m) const;
+};
+
+/// Classifies every result and folds the matrix. `verdicts` (optional)
+/// receives the per-job verdict, index for index.
+CoverageMatrix build_matrix(const FiSuite& suite,
+                            const std::vector<campaign::JobResult>& results,
+                            std::vector<Verdict>* verdicts = nullptr);
+
+/// Human-readable fault-model x verdict table.
+std::string matrix_table(const CoverageMatrix& m);
+
+/// Machine-readable campaign report: suite parameters, golden reference,
+/// per-fault {spec, verdict, run verdict}, and the coverage matrix.
+std::string matrix_json(const FiSuite& suite,
+                        const std::vector<campaign::JobResult>& results,
+                        const std::vector<Verdict>& verdicts,
+                        std::size_t workers, double wall_s);
+
+}  // namespace vpdift::fi

@@ -1,0 +1,29 @@
+// Resilience verdicts: how one fault-injection run ended relative to the
+// fault-free golden run.
+#pragma once
+
+#include <cstdint>
+
+namespace vpdift::fi {
+
+/// Ordered roughly worst-first for reporting. A fault run gets exactly one.
+enum class Verdict : std::uint8_t {
+  kDetectedByPolicy,       ///< the DIFT policy stopped the corrupted flow
+  kDetectedByTrap,         ///< the CPU trapped (firmware trap handler or a
+                           ///< fatal trap with no vector installed)
+  kWatchdogRecovered,      ///< the watchdog reset the SoC and the firmware
+                           ///< then reached the golden exit code
+  kSilentDataCorruption,   ///< exited "normally" with wrong output — the
+                           ///< outcome every detection mechanism exists to
+                           ///< prevent
+  kHang,                   ///< never exited (simulated-time budget ran out)
+  kCrash,                  ///< the VP itself threw (a model bug, not a
+                           ///< firmware outcome)
+  kMasked,                 ///< output identical to golden; the fault had no
+                           ///< architecturally visible effect
+};
+
+const char* to_string(Verdict verdict);
+constexpr std::size_t kVerdictCount = 7;
+
+}  // namespace vpdift::fi

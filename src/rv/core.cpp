@@ -316,6 +316,7 @@ void Core<W>::reset(std::uint32_t reset_pc) {
   next_pc_ = reset_pc;
   instret_ = 0;
   wfi_ = false;
+  fatal_trap_ = false;
   invalidate_blocks();
 }
 
@@ -474,6 +475,10 @@ void Core<W>::take_trap(std::uint32_t cause, std::uint32_t tval) {
   s.mepc = {pc_, dift::kBottomTag};
   s.mcause = {cause, dift::kBottomTag};
   s.mtval = {tval, dift::kBottomTag};
+  // No trap vector installed: the machine is wedged (pc 0 faults forever).
+  // Latch it so the VP can end the run with a defined reason instead of
+  // spinning to its simulated-time budget.
+  if ((s.mtvec.value & ~3u) == 0) fatal_trap_ = true;
   if constexpr (kTainted) {
     if (exec_.branch)
       dift::check_flow(s.mtvec.tag, *exec_.branch, ViolationKind::kBranchClearance,
@@ -795,6 +800,17 @@ RunExit Core<W>::run(std::uint64_t max_instructions) {
   std::uint64_t executed = 0;
   Block* prev = nullptr;  // last block that ran to completion (chain source)
   while (executed < max_instructions) {
+    // Armed injected fault (arm_fault()): fire once the retirement counter
+    // reaches the trigger. This sits at the block-boundary check point the
+    // per-instruction hot loop already funnels through, so the test costs
+    // one predictable branch per block entry.
+    if (fault_armed_ && instret_ >= fault_at_) {
+      fault_armed_ = false;
+      auto fn = std::move(fault_fn_);
+      fault_fn_ = nullptr;
+      prev = nullptr;  // the mutation may have redirected control flow
+      if (fn) fn(*this);
+    }
     // One interrupt-pending test per block entry. Mid-block, mip can only
     // change through a load/store (CLINT et al.), and memory micro-ops end
     // the block when an enabled interrupt became pending — so the trap is
@@ -835,7 +851,14 @@ RunExit Core<W>::run(std::uint64_t max_instructions) {
         }
       }
       if (b) {
-        const std::uint64_t done = exec_block(*b, max_instructions - executed, fresh);
+        // Pending-fault clamp: never execute past the trigger point. The
+        // holding block runs partially and falls back to the loop top where
+        // the fault fires at the exact boundary — a graceful single-step-
+        // style degradation of that one block, not a cache invalidation.
+        std::uint64_t budget = max_instructions - executed;
+        if (fault_armed_ && fault_at_ - instret_ < budget)
+          budget = fault_at_ - instret_;
+        const std::uint64_t done = exec_block(*b, budget, fresh);
         executed += done;
         // The chain is a prediction, not a guarantee — the chain_off match
         // and the raw revalidation on the next entry keep it honest — so any

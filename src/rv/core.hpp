@@ -101,6 +101,31 @@ class Core {
   /// Policy violations (VP+ only) propagate as dift::PolicyViolation.
   RunExit run(std::uint64_t max_instructions);
 
+  /// True once the core trapped with a null trap vector (mtvec == 0): the
+  /// machine has no handler and would spin on access faults at pc 0. The VP
+  /// polls this after each quantum and halts the run (ExitReason::kTrap)
+  /// instead of burning simulated time. Cleared by reset().
+  bool fatal_trap() const { return fatal_trap_; }
+
+  /// Fault injection (src/fi): arms a one-shot state-mutation callback that
+  /// fires at the first instruction boundary at or after `at_instret`
+  /// retired instructions. While armed, the dispatch loop clamps each
+  /// block's execution budget to the trigger distance, so a block holding
+  /// the trigger point executes partially and stops exactly there — the
+  /// cache degrades to a shorter run of the same block instead of being
+  /// invalidated (re-entry mid-block translates a fresh block at that pc;
+  /// `block_invalidations` is untouched by injection). The callback runs
+  /// between instructions with the core architecturally quiescent; tag-plane
+  /// mutations must keep the shadow summary coherent themselves. An armed
+  /// fault survives reset() (the trigger re-applies against the restarted
+  /// retirement counter), which keeps post-watchdog schedules deterministic.
+  void arm_fault(std::uint64_t at_instret, std::function<void(Core&)> fn) {
+    fault_at_ = at_instret;
+    fault_fn_ = std::move(fn);
+    fault_armed_ = static_cast<bool>(fault_fn_);
+  }
+  bool fault_armed() const { return fault_armed_; }
+
   /// Architectural reset: clears registers, CSRs, pending interrupts, the
   /// WFI state, the block cache, and the retirement counter; pc moves to
   /// `reset_pc`. Wiring (bus, DMI, policy, trace) is preserved.
@@ -222,6 +247,12 @@ class Core {
 
   dift::DiftStats stats_;
   bool trapped_ = false;  ///< execute() took a trap (no rd write happened)
+  bool fatal_trap_ = false;  ///< trapped into mtvec == 0 (no handler installed)
+
+  // One-shot injected fault (see arm_fault()).
+  bool fault_armed_ = false;
+  std::uint64_t fault_at_ = 0;
+  std::function<void(Core&)> fault_fn_;
 
   // Block translation cache over the DMI window, keyed by halfword offset
   // (IALIGN=16 with the C extension) and grown lazily up to one slot per

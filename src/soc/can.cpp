@@ -12,8 +12,24 @@ CanPeriph::CanPeriph(sysc::Simulation& sim, std::string name)
 }
 
 void CanPeriph::receive(const CanFrame& frame) {
+  if (bus_off_) return;  // a bus-off controller sees nothing on the wire
   rx_.push_back(frame);
   update_irq();
+}
+
+bool CanPeriph::fi_drop_rx_frame() {
+  if (rx_.empty()) return false;
+  rx_.pop_front();
+  update_irq();
+  return true;
+}
+
+void CanPeriph::fi_set_bus_off(bool off) {
+  bus_off_ = off;
+  if (off) {
+    rx_.clear();  // pending mailbox content is lost with the bus
+    update_irq();
+  }
 }
 
 void CanPeriph::update_irq() {
@@ -55,7 +71,7 @@ void CanPeriph::transport(tlmlite::Payload& p, sysc::Time& delay) {
     case kTxId: p.is_read() ? rd_u32(tx_.id) : wr_u32(tx_.id); break;
     case kTxDlc: p.is_read() ? rd_u32(tx_.dlc) : wr_u32(tx_.dlc); break;
     case kTxCtrl:
-      if (p.is_write() && p.data[0] == 1) {
+      if (p.is_write() && p.data[0] == 1 && !bus_off_) {
         // Output clearance: every payload byte must be allowed to leave.
         if (tx_clearance_) {
           for (std::uint32_t i = 0; i < tx_.dlc && i < 8; ++i)

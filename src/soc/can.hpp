@@ -61,6 +61,14 @@ class CanPeriph : public sysc::Module {
   std::uint64_t frames_sent() const { return tx_count_; }
   std::size_t rx_pending() const { return rx_.size(); }
 
+  /// Fault injection: an error frame on the wire destroys the frame at the
+  /// head of the RX mailbox. Returns true if a frame was actually dropped.
+  bool fi_drop_rx_frame();
+  /// Fault injection: bus-off — TX requests are silently discarded and
+  /// incoming frames are lost until the condition is cleared.
+  void fi_set_bus_off(bool off);
+  bool fi_bus_off() const { return bus_off_; }
+
  private:
   void transport(tlmlite::Payload& p, sysc::Time& delay);
   void update_irq();
@@ -73,6 +81,7 @@ class CanPeriph : public sysc::Module {
   dift::Tag rx_tag_ = dift::kBottomTag;
   std::uint32_t ie_ = 0;
   std::uint64_t tx_count_ = 0;
+  bool bus_off_ = false;
   std::function<void(const CanFrame&)> on_tx_;
   std::function<void(bool)> irq_;
 };

@@ -10,15 +10,21 @@ Plic::Plic(sysc::Simulation& sim, std::string name) : Module(sim, std::move(name
 }
 
 void Plic::raise(std::uint32_t src) {
-  pending_ |= 1u << (src & 31);
+  pending_ |= (1u << (src & 31)) & ~fi_suppress_;
   update();
 }
 
 void Plic::set_level(std::uint32_t src, bool level) {
   if (level)
-    pending_ |= 1u << (src & 31);
+    pending_ |= (1u << (src & 31)) & ~fi_suppress_;
   else
     pending_ &= ~(1u << (src & 31));
+  update();
+}
+
+void Plic::fi_set_suppressed(std::uint32_t mask) {
+  fi_suppress_ = mask;
+  pending_ &= ~mask;
   update();
 }
 

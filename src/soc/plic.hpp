@@ -37,6 +37,12 @@ class Plic : public sysc::Module {
 
   std::uint32_t pending() const { return pending_; }
 
+  /// Fault injection: sources whose bit is set in `mask` never reach the
+  /// pending register (a dead interrupt line); already-pending suppressed
+  /// sources are cleared.
+  void fi_set_suppressed(std::uint32_t mask);
+  std::uint32_t fi_suppressed() const { return fi_suppress_; }
+
  private:
   void transport(tlmlite::Payload& p, sysc::Time& delay);
   void update();
@@ -44,6 +50,7 @@ class Plic : public sysc::Module {
   tlmlite::TargetSocket tsock_;
   std::uint32_t pending_ = 0;
   std::uint32_t enable_ = 0;
+  std::uint32_t fi_suppress_ = 0;
   std::function<void(bool)> ext_irq_;
 };
 

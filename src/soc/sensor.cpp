@@ -16,11 +16,15 @@ void Sensor::start() { sim_->spawn(run()); }
 sysc::Task Sensor::run() {
   while (true) {
     co_await sim_->delay(period_);
-    // Fill with pseudo-random printable data of the configured class.
-    for (auto& b : frame_) {
-      lcg_ = lcg_ * 1103515245u + 12345u;
-      b = dift::TaintedByte(static_cast<std::uint8_t>((lcg_ >> 16) % 96 + 32),
-                            data_tag_);
+    // Fill with pseudo-random printable data of the configured class. A
+    // stuck sensor keeps its timing (frames and interrupts fire) but the
+    // data window freezes — the classic undetectable ADC failure.
+    if (!fi_stuck_) {
+      for (auto& b : frame_) {
+        lcg_ = lcg_ * 1103515245u + 12345u;
+        b = dift::TaintedByte(static_cast<std::uint8_t>((lcg_ >> 16) % 96 + 32),
+                              data_tag_);
+      }
     }
     ++frames_;
     if (irq_) irq_();

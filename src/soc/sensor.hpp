@@ -40,6 +40,11 @@ class Sensor : public sysc::Module {
   /// Number of frames generated so far.
   std::uint64_t frames_generated() const { return frames_; }
 
+  /// Fault injection: stuck-at — the ADC keeps timing frames and raising
+  /// interrupts, but the data window freezes at its current contents.
+  void fi_set_stuck(bool stuck) { fi_stuck_ = stuck; }
+  bool fi_stuck() const { return fi_stuck_; }
+
   /// Starts the periodic generation thread (called by the SoC builder once
   /// the simulation graph is complete).
   void start();
@@ -54,6 +59,7 @@ class Sensor : public sysc::Module {
   sysc::Time period_;
   std::uint32_t lcg_ = 0x12345678u;
   std::uint64_t frames_ = 0;
+  bool fi_stuck_ = false;
   std::function<void()> irq_;
 };
 

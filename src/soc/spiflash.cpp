@@ -24,6 +24,10 @@ void SpiFlash::transport(tlmlite::Payload& p, sysc::Time& delay) {
     return;
   }
   std::memcpy(p.data, image_.data() + p.address, p.length);
+  if (fi_reads_ > 0) {
+    p.data[0] ^= fi_mask_;
+    --fi_reads_;
+  }
   if (p.tainted())
     for (std::uint32_t i = 0; i < p.length; ++i) p.tags[i] = tag_;
   p.response = tlmlite::Response::kOk;

@@ -27,12 +27,22 @@ class SpiFlash : public sysc::Module {
   dift::Tag image_tag() const { return tag_; }
   void set_image_tag(dift::Tag tag) { tag_ = tag; }
 
+  /// Fault injection: the next `n` read transactions return data with byte 0
+  /// XORed by `mask` (a marginal SPI line). The backing image is untouched.
+  void fi_corrupt_reads(std::uint32_t n, std::uint8_t mask) {
+    fi_reads_ = n;
+    fi_mask_ = mask;
+  }
+  std::uint32_t fi_reads_left() const { return fi_reads_; }
+
  private:
   void transport(tlmlite::Payload& p, sysc::Time& delay);
 
   tlmlite::TargetSocket tsock_;
   std::vector<std::uint8_t> image_;
   dift::Tag tag_;
+  std::uint32_t fi_reads_ = 0;
+  std::uint8_t fi_mask_ = 0;
 };
 
 }  // namespace vpdift::soc

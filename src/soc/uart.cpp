@@ -15,6 +15,22 @@ void Uart::feed_input(std::string_view bytes) {
   update_irq();
 }
 
+std::size_t Uart::fi_drop_rx(std::size_t n) {
+  std::size_t dropped = 0;
+  while (dropped < n && !rx_.empty()) {
+    rx_.pop_front();
+    ++dropped;
+  }
+  if (dropped) update_irq();
+  return dropped;
+}
+
+std::size_t Uart::fi_corrupt_rx(std::size_t n, std::uint8_t mask) {
+  const std::size_t hit = n < rx_.size() ? n : rx_.size();
+  for (std::size_t i = 0; i < hit; ++i) rx_[i] ^= mask;
+  return hit;
+}
+
 void Uart::update_irq() {
   if (irq_) irq_((ie_ & 1u) != 0 && !rx_.empty());
 }

@@ -43,6 +43,13 @@ class Uart : public sysc::Module {
   void clear_output() { tx_log_.clear(); }
   std::size_t rx_pending() const { return rx_.size(); }
 
+  /// Fault injection: drops up to `n` pending RX bytes (frame losses on the
+  /// wire). Returns how many were actually dropped.
+  std::size_t fi_drop_rx(std::size_t n);
+  /// Fault injection: XORs up to `n` pending RX bytes with `mask` (bit
+  /// errors on the wire). Returns how many bytes were corrupted.
+  std::size_t fi_corrupt_rx(std::size_t n, std::uint8_t mask);
+
  private:
   void transport(tlmlite::Payload& p, sysc::Time& delay);
   void update_irq();

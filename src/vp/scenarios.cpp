@@ -28,10 +28,15 @@ PolicyBundle make_code_injection_policy(const rvasm::Program& program) {
   // The program image is trusted (HI) at load time...
   for (const auto& seg : program.segments)
     b.policy.classify_memory(seg.base, seg.bytes.size(), hi);
-  // ...except the well-defined stand-in for injected malicious code.
-  const std::uint64_t payload = program.symbol("attack_payload");
-  const std::uint64_t payload_end = program.symbol("attack_payload_end");
-  b.policy.classify_memory(payload, payload_end - payload, li);
+  // ...except the well-defined stand-in for injected malicious code. A
+  // program without the marker symbols (a plain benchmark under this policy,
+  // e.g. a fault-injection run) simply has no pre-tainted payload region.
+  if (program.symbols.count("attack_payload") &&
+      program.symbols.count("attack_payload_end")) {
+    const std::uint64_t payload = program.symbol("attack_payload");
+    const std::uint64_t payload_end = program.symbol("attack_payload_end");
+    b.policy.classify_memory(payload, payload_end - payload, li);
+  }
   // Everything entering over the serial console is untrusted.
   b.policy.classify_input("uart0.rx", li);
   // The instruction-fetch unit refuses LI code.

@@ -6,6 +6,18 @@ namespace vpdift::vp {
 
 namespace am = soc::addrmap;
 
+const char* to_string(ExitReason reason) {
+  switch (reason) {
+    case ExitReason::kSimTimeout: return "sim-timeout";
+    case ExitReason::kExit: return "exit";
+    case ExitReason::kViolation: return "violation";
+    case ExitReason::kWallTimeout: return "wall-timeout";
+    case ExitReason::kWatchdogReset: return "watchdog-reset";
+    case ExitReason::kTrap: return "trap";
+  }
+  return "?";
+}
+
 template <typename W>
 VirtualPrototype<W>::VirtualPrototype(VpConfig config)
     : VirtualPrototype(nullptr, std::move(config), {}) {}
@@ -177,6 +189,13 @@ sysc::Task VirtualPrototype<W>::cpu_thread() {
   while (!sim_->stop_requested()) {
     const std::uint64_t before = core_.instret();
     const rv::RunExit exit = core_.run(cfg_.quantum_instructions);
+    if (core_.fatal_trap()) {
+      // The core trapped into a null trap vector — it would spin on
+      // instruction-access faults at pc 0 until the simulated-time budget
+      // burned down. Halt the CPU process instead; run() reports kTrap.
+      sim_->stop();
+      break;
+    }
     const std::uint64_t executed = core_.instret() - before;
     co_await sim_->delay(cfg_.instruction_period * (executed ? executed : 1));
     if (exit == rv::RunExit::kWfi && !core_.irq_pending()) co_await irq_event_;
@@ -219,12 +238,13 @@ RunResult VirtualPrototype<W>::run(sysc::Time max_sim_time) {
   };
   const dift::DiftStats stats_before = capture_stats();
   const std::uint64_t instret_before = core_.instret();
+  const std::uint32_t resets_before = wdt_.resets_fired();
   const sysc::Time deadline = sim_->now() + max_sim_time;
   const auto t0 = std::chrono::steady_clock::now();
   try {
     sim_->run(deadline);
   } catch (const dift::PolicyViolation& v) {
-    r.violation = true;
+    r.reason = ExitReason::kViolation;
     r.violation_kind = v.kind();
     r.violation_source = v.source();
     r.violation_required = v.required();
@@ -248,10 +268,22 @@ RunResult VirtualPrototype<W>::run(sysc::Time max_sim_time) {
   const auto t1 = std::chrono::steady_clock::now();
 
   if (ctx) r.recorded_violations = ctx->recorded();
-  r.exited = sysctrl_.exited();
+  r.watchdog_resets = wdt_.resets_fired() - resets_before;
+  if (r.reason != ExitReason::kViolation) {
+    if (sysctrl_.exited())
+      r.reason = ExitReason::kExit;
+    else if (core_.fatal_trap())
+      r.reason = ExitReason::kTrap;
+    else if (r.watchdog_resets > 0)
+      r.reason = ExitReason::kWatchdogReset;
+    else
+      r.reason = ExitReason::kSimTimeout;
+  }
   r.exit_code = sysctrl_.exit_code();
-  r.timed_out = !r.exited && !r.violation;
-  r.instret = core_.instret() - instret_before;
+  // A watchdog reset zeroes the retirement counter; clamp so the delta stays
+  // meaningful on a multi-run VP whose counter restarted below the snapshot.
+  r.instret = core_.instret() >= instret_before ? core_.instret() - instret_before
+                                                : core_.instret();
   r.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   r.mips = r.wall_seconds > 0 ? r.instret / r.wall_seconds / 1e6 : 0.0;
   r.sim_time = sim_->now();

@@ -15,7 +15,7 @@
 //   v.load(program);
 //   v.apply_policy(policy);
 //   auto result = v.run(sysc::Time::sec(10));
-//   if (result.violation) ... result.violation_kind / message ...
+//   if (result.violation()) ... result.violation_kind / message ...
 #pragma once
 
 #include <chrono>
@@ -47,13 +47,31 @@
 
 namespace vpdift::vp {
 
+/// Why a VP run ended. Exactly one reason per run — the old overlapping
+/// `exited` / `timed_out` / `violation` booleans survive as derived
+/// accessors on RunResult.
+enum class ExitReason : std::uint8_t {
+  kSimTimeout,     ///< the simulated-time budget ran out
+  kExit,           ///< firmware wrote the EXIT register
+  kViolation,      ///< the DIFT engine stopped the run (enforcement mode)
+  kWallTimeout,    ///< a wall-clock guard stopped the simulation
+  kWatchdogReset,  ///< budget ran out while the watchdog was reset-cycling
+  kTrap,           ///< fatal trap: the core trapped with a null trap vector
+};
+const char* to_string(ExitReason reason);
+
 /// Outcome of one VP run.
 struct RunResult {
-  bool exited = false;            ///< firmware wrote the EXIT register
+  ExitReason reason = ExitReason::kSimTimeout;
   std::uint32_t exit_code = 0;
-  bool timed_out = false;         ///< neither exit nor violation before the deadline
+  /// Watchdog resets fired during this run (RAM survives each one).
+  std::uint32_t watchdog_resets = 0;
 
-  bool violation = false;         ///< the DIFT engine stopped the run
+  // Derived views of `reason`, kept for the historical three-bool API.
+  bool exited() const { return reason == ExitReason::kExit; }
+  bool violation() const { return reason == ExitReason::kViolation; }
+  bool timed_out() const { return !exited() && !violation(); }
+
   dift::ViolationKind violation_kind{};
   dift::Tag violation_source = 0;
   dift::Tag violation_required = 0;

@@ -20,7 +20,7 @@ TEST_P(AttackSuite, PayloadExecutesOnUnprotectedVp) {
   v.load(atk.program);
   v.uart().feed_input(atk.uart_input);
   auto r = v.run(sysc::Time::sec(10));
-  ASSERT_TRUE(r.exited);
+  ASSERT_TRUE(r.exited());
   EXPECT_EQ(r.exit_code, 42u) << "payload did not gain control";
   EXPECT_NE(r.markers.find('X'), std::string::npos);
 }
@@ -33,7 +33,7 @@ TEST_P(AttackSuite, DetectedByFetchClearance) {
   v.apply_policy(bundle.policy);
   v.uart().feed_input(atk.uart_input);
   auto r = v.run(sysc::Time::sec(10));
-  ASSERT_TRUE(r.violation) << "attack escaped the DIFT engine; markers="
+  ASSERT_TRUE(r.violation()) << "attack escaped the DIFT engine; markers="
                            << r.markers << " exit=" << r.exit_code;
   EXPECT_EQ(r.violation_kind, dift::ViolationKind::kFetchClearance)
       << r.violation_message;
@@ -73,8 +73,8 @@ TEST(CodeReuse, EscapesFetchOnlyPolicy) {
   v.apply_policy(bundle.policy);  // fetch clearance HI only (Table I policy)
   v.uart().feed_input(atk.uart_input);
   auto r = v.run(sysc::Time::sec(5));
-  EXPECT_FALSE(r.violation) << r.violation_message;
-  ASSERT_TRUE(r.exited);
+  EXPECT_FALSE(r.violation()) << r.violation_message;
+  ASSERT_TRUE(r.exited());
   EXPECT_EQ(r.exit_code, 43u);  // privileged_action ran: attack succeeded
   EXPECT_NE(r.markers.find('P'), std::string::npos);
 }
@@ -90,7 +90,7 @@ TEST(CodeReuse, CaughtByBranchClearance) {
   v.apply_policy(bundle.policy);
   v.uart().feed_input(atk.uart_input);
   auto r = v.run(sysc::Time::sec(5));
-  ASSERT_TRUE(r.violation);
+  ASSERT_TRUE(r.violation());
   EXPECT_EQ(r.violation_kind, dift::ViolationKind::kBranchClearance)
       << r.violation_message;
   EXPECT_EQ(r.markers.find('P'), std::string::npos);

@@ -36,10 +36,10 @@ using namespace vpdift;
 // ---------------------------------------------------------------------------
 
 void expect_same_result(const vp::RunResult& a, const vp::RunResult& b) {
-  EXPECT_EQ(a.exited, b.exited);
+  EXPECT_EQ(a.exited(), b.exited());
   EXPECT_EQ(a.exit_code, b.exit_code);
-  EXPECT_EQ(a.timed_out, b.timed_out);
-  EXPECT_EQ(a.violation, b.violation);
+  EXPECT_EQ(a.timed_out(), b.timed_out());
+  EXPECT_EQ(a.violation(), b.violation());
   EXPECT_EQ(a.instret, b.instret);
   EXPECT_EQ(a.sim_time.picos(), b.sim_time.picos());
   EXPECT_EQ(a.uart_output, b.uart_output);
@@ -65,8 +65,8 @@ TEST(ParallelVp, TwoThreadsMatchSerial) {
   // Serial reference: two full simulations back to back on this thread.
   const vp::RunResult ref_plain = run_plain_primes();
   const vp::RunResult ref_dift = run_dift_qsort();
-  ASSERT_TRUE(ref_plain.exited);
-  ASSERT_TRUE(ref_dift.exited);
+  ASSERT_TRUE(ref_plain.exited());
+  ASSERT_TRUE(ref_dift.exited());
 
   // Now the same two simulations concurrently, one VP per thread. Each
   // thread gets its own thread_local Simulation::current_ / dift active
@@ -334,6 +334,52 @@ TEST(Runner, CrashVerdictConsumesRetries) {
   EXPECT_NE(r.error.find("intentional build failure"), std::string::npos);
 }
 
+TEST(Runner, NonStdExceptionYieldsCrashVerdict) {
+  // A throw of something not derived from std::exception must not escape
+  // run_job — on a pool thread it would terminate the whole campaign.
+  campaign::JobSpec job;
+  job.name = "boom-int";
+  job.firmware = "unused";
+  job.make_program = []() -> rvasm::Program { throw 42; };
+  const auto r = campaign::Runner::run_job(job);
+  EXPECT_EQ(r.verdict, "crash");
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "non-std exception");
+  ASSERT_EQ(r.history.size(), 1u);
+  EXPECT_EQ(r.history[0].verdict, "crash");
+  EXPECT_EQ(r.history[0].error, "non-std exception");
+}
+
+TEST(Runner, AttemptHistoryRecordsEveryRetry) {
+  campaign::JobSpec job;
+  job.name = "flaky";
+  job.firmware = "unused";
+  job.retries = 2;
+  job.make_program = []() -> rvasm::Program {
+    throw std::runtime_error("always down");
+  };
+  const auto r = campaign::Runner::run_job(job);
+  EXPECT_EQ(r.attempts, 3);
+  ASSERT_EQ(r.history.size(), 3u);
+  for (const auto& att : r.history) {
+    EXPECT_EQ(att.verdict, "crash");
+    EXPECT_NE(att.error.find("always down"), std::string::npos);
+  }
+}
+
+TEST(Runner, AttemptHistoryOnCleanRunHasOneEntry) {
+  campaign::JobSpec job;
+  job.name = "clean";
+  job.firmware = "primes";
+  job.mode = campaign::VpMode::kPlain;
+  job.expect = "exit:0";
+  const auto r = campaign::Runner::run_job(job);
+  EXPECT_TRUE(r.ok);
+  ASSERT_EQ(r.history.size(), 1u);
+  EXPECT_EQ(r.history[0].verdict, "exit:0");
+  EXPECT_TRUE(r.history[0].error.empty());
+}
+
 TEST(Runner, WallTimeoutStopsRunawayJob) {
   // An infinite loop with a huge simulated-time budget: only the wall-clock
   // watchdog can end this job.
@@ -404,7 +450,7 @@ TEST(Aggregator, CountsAndJsonShape) {
   good.verdict = "exit:0";
   good.ok = true;
   good.attempts = 1;
-  good.run.exited = true;
+  good.run.reason = vp::ExitReason::kExit;
   good.run.instret = 1000;
   good.wall_seconds = 0.5;
 

@@ -91,7 +91,7 @@ TEST(PowersetLattice, CompartmentsIsolateSecretsInTheVp) {
   v.load(prog);
   v.apply_policy(policy);
   const auto r = v.run(sysc::Time::sec(1));
-  ASSERT_TRUE(r.violation);
+  ASSERT_TRUE(r.violation());
   EXPECT_EQ(r.violation_kind, dift::ViolationKind::kOutputClearance);
   EXPECT_EQ(r.uart_output, "K");  // the KEY byte made it out, BIO did not
 }
@@ -121,7 +121,7 @@ TEST(GpioVp, FirmwareDebugPinLeakBlocked) {
   v.load(prog);
   v.apply_policy(policy);
   const auto r = v.run(sysc::Time::sec(1));
-  ASSERT_TRUE(r.violation);
+  ASSERT_TRUE(r.violation());
   EXPECT_EQ(r.violation_where, "gpio0.out");
   EXPECT_GE(r.violation_pc, soc::addrmap::kRamBase);
 }
@@ -147,7 +147,7 @@ TEST(GpioVp, FirmwareReadsClassifiedInputPins) {
   v.load(prog);
   v.apply_policy(policy);
   const auto r = v.run(sysc::Time::sec(1));
-  ASSERT_TRUE(r.violation);
+  ASSERT_TRUE(r.violation());
   EXPECT_EQ(r.violation_kind, dift::ViolationKind::kOutputClearance);
 }
 

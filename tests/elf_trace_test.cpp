@@ -97,7 +97,7 @@ TEST(ElfLoader, LoadedElfExecutesOnTheVp) {
   vp::Vp v;
   v.load(p);
   const auto r = v.run(sysc::Time::sec(1));
-  ASSERT_TRUE(r.exited);
+  ASSERT_TRUE(r.exited());
   EXPECT_EQ(r.exit_code, 7u);
 }
 
@@ -215,7 +215,7 @@ TEST(Tracer, ViolationReportCarriesHistory) {
   v.apply_policy(bundle.policy);
   v.enable_trace(16);
   const auto r = v.run(sysc::Time::sec(1));
-  ASSERT_TRUE(r.violation);
+  ASSERT_TRUE(r.violation());
   ASSERT_FALSE(r.trace_dump.empty());
   // The history ends with the offending store to the UART.
   EXPECT_NE(r.trace_dump.find("sb"), std::string::npos);
@@ -232,7 +232,7 @@ TEST(Tracer, DisabledByDefaultNoDump) {
   auto bundle = vp::scenarios::make_immobilizer_policy(prog, false);
   v.apply_policy(bundle.policy);
   const auto r = v.run(sysc::Time::sec(1));
-  ASSERT_TRUE(r.violation);
+  ASSERT_TRUE(r.violation());
   EXPECT_TRUE(r.trace_dump.empty());
 }
 

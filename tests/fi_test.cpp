@@ -1,0 +1,281 @@
+// Fault-injection subsystem: schedule determinism, verdict taxonomy,
+// serial/parallel equivalence, translation-cache neutrality, and the
+// tag-corruption fail-open/fail-closed behaviour.
+#include <gtest/gtest.h>
+
+#include "campaign/runner.hpp"
+#include "fi/injector.hpp"
+#include "fi/suite.hpp"
+#include "vp/scenarios.hpp"
+#include "vp/vp.hpp"
+
+using namespace vpdift;
+
+TEST(FiRef, Parsing) {
+  fi::FiSuiteSpec s;
+  EXPECT_TRUE(fi::parse_fi_ref("fi:qsort:200", &s));
+  EXPECT_EQ(s.benchmark, "qsort");
+  EXPECT_EQ(s.n_faults, 200u);
+
+  // The count comes from the LAST colon: benchmarks with colons work.
+  EXPECT_TRUE(fi::parse_fi_ref("fi:attack:3:40", &s));
+  EXPECT_EQ(s.benchmark, "attack:3");
+  EXPECT_EQ(s.n_faults, 40u);
+
+  EXPECT_FALSE(fi::parse_fi_ref("qsort:200", &s));
+  EXPECT_FALSE(fi::parse_fi_ref("fi:qsort", &s));
+  EXPECT_FALSE(fi::parse_fi_ref("fi:qsort:abc", &s));
+  EXPECT_FALSE(fi::parse_fi_ref("fi:qsort:0", &s));
+  EXPECT_FALSE(fi::parse_fi_ref("fi::5", &s));
+}
+
+TEST(FiSchedule, SameSeedSameSchedule) {
+  fi::FiSuiteSpec spec;
+  spec.benchmark = "attack:3";
+  spec.n_faults = 25;
+  spec.seed = 42;
+  const fi::FiSuite a = fi::build_suite(spec);
+  const fi::FiSuite b = fi::build_suite(spec);
+  ASSERT_EQ(a.faults.size(), b.faults.size());
+  for (std::size_t i = 0; i < a.faults.size(); ++i)
+    EXPECT_EQ(a.faults[i].describe(), b.faults[i].describe()) << i;
+  EXPECT_EQ(a.golden.verdict, b.golden.verdict);
+  EXPECT_EQ(a.wdt_us, b.wdt_us);
+}
+
+TEST(FiSchedule, DifferentSeedDifferentSchedule) {
+  fi::FiSuiteSpec spec;
+  spec.benchmark = "attack:3";
+  spec.n_faults = 25;
+  spec.seed = 42;
+  const fi::FiSuite a = fi::build_suite(spec);
+  spec.seed = 43;
+  const fi::FiSuite b = fi::build_suite(spec);
+  bool any_differ = false;
+  for (std::size_t i = 0; i < a.faults.size(); ++i)
+    any_differ = any_differ ||
+                 a.faults[i].describe() != b.faults[i].describe();
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(FiSchedule, SerialAndParallelVerdictsIdentical) {
+  fi::FiSuiteSpec spec;
+  spec.benchmark = "attack:3";
+  spec.n_faults = 12;
+  spec.seed = 11;
+  const fi::FiSuite suite = fi::build_suite(spec);
+
+  campaign::RunnerOptions serial_opts, parallel_opts;
+  serial_opts.jobs = 1;
+  parallel_opts.jobs = 4;
+  campaign::Runner serial(serial_opts);
+  campaign::Runner parallel(parallel_opts);
+  const auto rs = serial.run(suite.jobs);
+  const auto rp = parallel.run(suite.jobs);
+
+  std::vector<fi::Verdict> vs, vp_;
+  fi::build_matrix(suite, rs, &vs);
+  fi::build_matrix(suite, rp, &vp_);
+  ASSERT_EQ(vs.size(), vp_.size());
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    EXPECT_EQ(vs[i], vp_[i]) << suite.faults[i].describe();
+    EXPECT_EQ(rs[i].verdict, rp[i].verdict) << suite.faults[i].describe();
+  }
+}
+
+// An armed architectural fault must degrade the block cache gracefully: the
+// budget clamp re-enters the cached block with a shorter budget, it does not
+// flush translations. Same workload, with and without a GPR fault — the
+// invalidation counter must not move.
+TEST(FiInjector, BlockInvalidationsUnchangedByInjection) {
+  const rvasm::Program program = campaign::resolve_firmware("qsort");
+  auto golden_run = [&](bool faulted) {
+    auto bundle = vp::scenarios::make_code_injection_policy(program);
+    vp::VpDift v;
+    v.load(program);
+    v.apply_policy(bundle.policy);
+    if (faulted) {
+      fi::FaultSpec f;
+      f.model = fi::FaultModel::kGprFlip;
+      f.trigger_instret = 5000;
+      f.reg = 20;        // a saved register qsort barely uses
+      f.bits = 1u << 30;
+      fi::arm(v, f);
+    }
+    return v.run(sysc::Time::sec(10));
+  };
+  const auto clean = golden_run(false);
+  const auto faulted = golden_run(true);
+  ASSERT_TRUE(clean.exited());
+  EXPECT_EQ(faulted.stats.block_invalidations, clean.stats.block_invalidations);
+  // And the fault really fired (the budget clamp hit the boundary).
+  EXPECT_GE(faulted.instret, 5000u);
+}
+
+// Corrupting the shadow tags of the attack payload makes the DIFT protection
+// fail open: the golden run is a fetch-clearance violation, the corrupted
+// run silently executes the payload. Pinned seed, checked end to end.
+TEST(FiSuite, TagCorruptionFailsOpenOnAttack) {
+  fi::FiSuiteSpec spec;
+  spec.benchmark = "attack:3";
+  spec.n_faults = 40;
+  spec.seed = 11;
+  const fi::FiSuite suite = fi::build_suite(spec);
+  ASSERT_EQ(suite.golden.verdict, "violation:fetch-clearance");
+
+  campaign::RunnerOptions opts;
+  opts.jobs = 2;
+  campaign::Runner runner(opts);
+  const auto results = runner.run(suite.jobs);
+  std::vector<fi::Verdict> verdicts;
+  const fi::CoverageMatrix m = fi::build_matrix(suite, results, &verdicts);
+
+  EXPECT_EQ(m.verdict_total(fi::Verdict::kCrash), 0u);
+  // At least one shadow-tag fault lets the attack through undetected.
+  EXPECT_GE(m.count(fi::FaultModel::kTagCorrupt,
+                    fi::Verdict::kSilentDataCorruption),
+            1u);
+  // The silent runs really are the attack executing: exit code 42.
+  for (std::size_t i = 0; i < verdicts.size(); ++i) {
+    if (suite.faults[i].model == fi::FaultModel::kTagCorrupt &&
+        verdicts[i] == fi::Verdict::kSilentDataCorruption) {
+      EXPECT_TRUE(results[i].run.exited());
+      EXPECT_EQ(results[i].run.exit_code, 42u);
+    }
+  }
+}
+
+// The fail-closed direction: corrupting trusted code's tags to an
+// unflowable class trips the fetch clearance — detected-by-policy.
+TEST(FiSuite, TagCorruptionFailsClosedOnBenchmark) {
+  fi::FiSuiteSpec spec;
+  spec.benchmark = "qsort";
+  spec.n_faults = 60;
+  spec.seed = 7;
+  const fi::FiSuite suite = fi::build_suite(spec);
+  ASSERT_EQ(suite.golden.verdict, "exit:0");
+
+  campaign::RunnerOptions opts;
+  opts.jobs = 2;
+  campaign::Runner runner(opts);
+  const auto results = runner.run(suite.jobs);
+  const fi::CoverageMatrix m = fi::build_matrix(suite, results);
+  EXPECT_EQ(m.verdict_total(fi::Verdict::kCrash), 0u);
+  EXPECT_GE(m.count(fi::FaultModel::kTagCorrupt,
+                    fi::Verdict::kDetectedByPolicy),
+            1u);
+}
+
+TEST(FiClassify, VerdictTaxonomy) {
+  campaign::JobResult golden;
+  golden.verdict = "exit:0";
+  golden.run.reason = vp::ExitReason::kExit;
+  golden.run.exit_code = 0;
+  golden.run.uart_output = "done\n";
+  golden.run.markers = "A";
+
+  campaign::JobResult r = golden;
+  EXPECT_EQ(fi::classify(golden, r), fi::Verdict::kMasked);
+
+  r = golden;
+  r.verdict = "crash";
+  EXPECT_EQ(fi::classify(golden, r), fi::Verdict::kCrash);
+
+  r = golden;
+  r.verdict = "violation:fetch-clearance";
+  r.run.reason = vp::ExitReason::kViolation;
+  EXPECT_EQ(fi::classify(golden, r), fi::Verdict::kDetectedByPolicy);
+
+  r = golden;
+  r.verdict = "trap";
+  r.run.reason = vp::ExitReason::kTrap;
+  EXPECT_EQ(fi::classify(golden, r), fi::Verdict::kDetectedByTrap);
+
+  // crt0 default trap handler: marker 'T', exit 0xff.
+  r = golden;
+  r.run.exit_code = 0xff;
+  r.run.markers = "AT";
+  EXPECT_EQ(fi::classify(golden, r), fi::Verdict::kDetectedByTrap);
+
+  r = golden;
+  r.run.exit_code = 1;  // wrong exit code, no detection
+  EXPECT_EQ(fi::classify(golden, r), fi::Verdict::kSilentDataCorruption);
+
+  r = golden;
+  r.run.uart_output = "dnoe\n";  // right code, wrong output
+  EXPECT_EQ(fi::classify(golden, r), fi::Verdict::kSilentDataCorruption);
+
+  r = golden;
+  r.verdict = "timeout";
+  r.run.reason = vp::ExitReason::kSimTimeout;
+  EXPECT_EQ(fi::classify(golden, r), fi::Verdict::kHang);
+
+  r = golden;
+  r.verdict = "watchdog-reset";
+  r.run.reason = vp::ExitReason::kWatchdogReset;
+  r.run.watchdog_resets = 3;
+  EXPECT_EQ(fi::classify(golden, r), fi::Verdict::kHang);
+
+  // Reset, then reaching the golden exit code = recovered (the replayed
+  // firmware duplicates its UART output, which must not count as SDC).
+  r = golden;
+  r.run.watchdog_resets = 1;
+  r.run.uart_output = "done\ndone\n";
+  r.run.markers = "AA";
+  EXPECT_EQ(fi::classify(golden, r), fi::Verdict::kWatchdogRecovered);
+
+  // A golden violation reproduced identically is a masked fault, not a
+  // detection caused by the fault.
+  campaign::JobResult gv;
+  gv.verdict = "violation:fetch-clearance";
+  gv.run.reason = vp::ExitReason::kViolation;
+  r = gv;
+  EXPECT_EQ(fi::classify(gv, r), fi::Verdict::kMasked);
+  r.verdict = "violation:output-clearance";
+  EXPECT_EQ(fi::classify(gv, r), fi::Verdict::kDetectedByPolicy);
+}
+
+// Peripheral fi hooks, exercised directly.
+TEST(FiHooks, UartDropAndCorrupt) {
+  sysc::Simulation sim;
+  soc::Uart uart(sim, "u");
+  uart.feed_input("abcd");
+  EXPECT_EQ(uart.fi_drop_rx(2), 2u);
+  EXPECT_EQ(uart.rx_pending(), 2u);
+  EXPECT_EQ(uart.fi_corrupt_rx(8, 0x01), 2u);  // clamped to pending
+  EXPECT_EQ(uart.fi_drop_rx(8), 2u);
+  EXPECT_EQ(uart.fi_drop_rx(1), 0u);
+}
+
+TEST(FiHooks, CanBusOffSilencesRxAndTx) {
+  sysc::Simulation sim;
+  soc::CanPeriph can(sim, "c");
+  soc::CanFrame f;
+  f.id = 7;
+  f.dlc = 1;
+  can.receive(f);
+  EXPECT_EQ(can.rx_pending(), 1u);
+  can.fi_set_bus_off(true);
+  EXPECT_EQ(can.rx_pending(), 0u);  // mailbox lost with the bus
+  can.receive(f);
+  EXPECT_EQ(can.rx_pending(), 0u);  // nothing heard while bus-off
+  EXPECT_FALSE(can.fi_drop_rx_frame());
+  can.fi_set_bus_off(false);
+  can.receive(f);
+  EXPECT_TRUE(can.fi_drop_rx_frame());
+}
+
+TEST(FiHooks, PlicSuppressionKillsSource) {
+  sysc::Simulation sim;
+  soc::Plic plic(sim, "p");
+  bool line = false;
+  plic.set_ext_irq([&](bool v) { line = v; });
+  plic.raise(3);
+  EXPECT_TRUE(plic.pending() & (1u << 3));
+  plic.fi_set_suppressed(1u << 3);
+  EXPECT_FALSE(plic.pending() & (1u << 3));  // pending bit cleared
+  plic.raise(3);
+  EXPECT_FALSE(plic.pending() & (1u << 3));  // raises swallowed
+  plic.raise(2);
+  EXPECT_TRUE(plic.pending() & (1u << 2));  // other sources unaffected
+}

@@ -35,7 +35,7 @@ TEST_P(BenchFirmware, SelfChecksOnPlainVp) {
   vp::Vp v(bench_config(GetParam()));
   v.load(make_bench(GetParam()));
   auto r = v.run(sysc::Time::sec(60));
-  ASSERT_TRUE(r.exited) << "timed out; instret=" << r.instret;
+  ASSERT_TRUE(r.exited()) << "timed out; instret=" << r.instret;
   EXPECT_EQ(r.exit_code, 0u) << "self-check failed";
 }
 
@@ -45,8 +45,8 @@ TEST_P(BenchFirmware, SelfChecksOnDiftVp) {
   auto bundle = vp::scenarios::make_permissive_policy();
   v.apply_policy(bundle.policy);
   auto r = v.run(sysc::Time::sec(60));
-  ASSERT_FALSE(r.violation) << r.violation_message;
-  ASSERT_TRUE(r.exited) << "timed out; instret=" << r.instret;
+  ASSERT_FALSE(r.violation()) << r.violation_message;
+  ASSERT_TRUE(r.exited()) << "timed out; instret=" << r.instret;
   EXPECT_EQ(r.exit_code, 0u) << "self-check failed";
 }
 
@@ -67,7 +67,7 @@ TEST(BenchFirmware, SensorOutputReachesUart) {
   vp::Vp v(cfg);
   v.load(fw::make_simple_sensor(3));
   auto r = v.run(sysc::Time::sec(10));
-  ASSERT_TRUE(r.exited);
+  ASSERT_TRUE(r.exited());
   EXPECT_EQ(r.uart_output.size(), 3u * 64u);
 }
 

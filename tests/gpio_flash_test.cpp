@@ -109,7 +109,7 @@ TEST(SpiFlash, ExecuteInPlaceThroughTlmFetchPath) {
   a.jr(t1);
   v.load(a.assemble());
   const auto r = v.run(sysc::Time::sec(1));
-  ASSERT_TRUE(r.exited);
+  ASSERT_TRUE(r.exited());
   EXPECT_EQ(r.exit_code, 55u);
 }
 
@@ -131,7 +131,7 @@ TEST(SpiFlash, UntrustedFlashCodeTripsFetchClearance) {
   policy.set_execution_clearance(ec);
   v.apply_policy(policy);
   const auto r = v.run(sysc::Time::sec(1));
-  ASSERT_TRUE(r.violation);
+  ASSERT_TRUE(r.violation());
   EXPECT_EQ(r.violation_kind, dift::ViolationKind::kFetchClearance);
   EXPECT_EQ(r.violation_pc, soc::addrmap::kFlashBase);
 }
@@ -152,7 +152,7 @@ TEST(SpiFlash, TrustedFlashCodeRunsUnderFetchClearance) {
   policy.set_execution_clearance(ec);
   v.apply_policy(policy);
   const auto r = v.run(sysc::Time::sec(1));
-  ASSERT_TRUE(r.exited);
+  ASSERT_TRUE(r.exited());
   EXPECT_EQ(r.exit_code, 55u);
 }
 

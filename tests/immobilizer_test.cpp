@@ -42,8 +42,8 @@ ImmoRun run_immo(fw::ImmoVariant variant, bool per_byte, std::string uart_input,
 // violation, PIN never on the bus in plaintext.
 TEST(Immobilizer, FixedFirmwareAuthenticates) {
   auto r = run_immo(fw::ImmoVariant::kFixedDump, /*per_byte=*/false, "");
-  ASSERT_FALSE(r.result.violation) << r.result.violation_message;
-  ASSERT_TRUE(r.result.exited);
+  ASSERT_FALSE(r.result.violation()) << r.result.violation_message;
+  ASSERT_TRUE(r.result.exited());
   EXPECT_EQ(r.result.exit_code, 0u);
   EXPECT_GE(r.auth_ok, 3u);
   EXPECT_EQ(r.auth_fail, 0u);
@@ -53,7 +53,7 @@ TEST(Immobilizer, FixedFirmwareAuthenticates) {
 // UART — caught as an output-clearance violation.
 TEST(Immobilizer, VulnerableDumpLeakDetected) {
   auto r = run_immo(fw::ImmoVariant::kVulnerableDump, false, "d");
-  ASSERT_TRUE(r.result.violation);
+  ASSERT_TRUE(r.result.violation());
   EXPECT_EQ(r.result.violation_kind, dift::ViolationKind::kOutputClearance)
       << r.result.violation_message;
   EXPECT_EQ(r.result.violation_where, "uart0.tx");
@@ -62,8 +62,8 @@ TEST(Immobilizer, VulnerableDumpLeakDetected) {
 // The fix: the dump excludes the PIN region; the same command is now benign.
 TEST(Immobilizer, FixedDumpIsBenign) {
   auto r = run_immo(fw::ImmoVariant::kFixedDump, false, "d");
-  ASSERT_FALSE(r.result.violation) << r.result.violation_message;
-  ASSERT_TRUE(r.result.exited);
+  ASSERT_FALSE(r.result.violation()) << r.result.violation_message;
+  ASSERT_TRUE(r.result.exited());
   // The dump printed the 32 application-data bytes, not the PIN.
   EXPECT_NE(r.result.uart_output.find("abcdefgh"), std::string::npos);
   EXPECT_EQ(r.result.uart_output.size(), 32u);
@@ -72,27 +72,27 @@ TEST(Immobilizer, FixedDumpIsBenign) {
 // Attack scenario 1: PIN exfiltration (direct, indirect, buffer overflow).
 TEST(Immobilizer, Scenario1DirectLeakDetected) {
   auto r = run_immo(fw::ImmoVariant::kAttackDirectLeak, false, "");
-  ASSERT_TRUE(r.result.violation);
+  ASSERT_TRUE(r.result.violation());
   EXPECT_EQ(r.result.violation_kind, dift::ViolationKind::kOutputClearance);
 }
 
 TEST(Immobilizer, Scenario1IndirectLeakDetected) {
   auto r = run_immo(fw::ImmoVariant::kAttackIndirectLeak, false, "");
-  ASSERT_TRUE(r.result.violation);
+  ASSERT_TRUE(r.result.violation());
   EXPECT_EQ(r.result.violation_kind, dift::ViolationKind::kOutputClearance);
   EXPECT_EQ(r.result.violation_where, "can0.tx");
 }
 
 TEST(Immobilizer, Scenario1OverflowLeakDetected) {
   auto r = run_immo(fw::ImmoVariant::kAttackOverflowLeak, false, "");
-  ASSERT_TRUE(r.result.violation);
+  ASSERT_TRUE(r.result.violation());
   EXPECT_EQ(r.result.violation_kind, dift::ViolationKind::kOutputClearance);
 }
 
 // Attack scenario 2: control flow depending on the PIN.
 TEST(Immobilizer, Scenario2BranchLeakDetected) {
   auto r = run_immo(fw::ImmoVariant::kAttackBranchLeak, false, "");
-  ASSERT_TRUE(r.result.violation);
+  ASSERT_TRUE(r.result.violation());
   EXPECT_EQ(r.result.violation_kind, dift::ViolationKind::kBranchClearance)
       << r.result.violation_message;
 }
@@ -100,7 +100,7 @@ TEST(Immobilizer, Scenario2BranchLeakDetected) {
 // Attack scenario 3: overwriting the PIN with external (LI) data.
 TEST(Immobilizer, Scenario3ExternalOverwriteDetected) {
   auto r = run_immo(fw::ImmoVariant::kAttackOverwriteExternal, false, "");
-  ASSERT_TRUE(r.result.violation);
+  ASSERT_TRUE(r.result.violation());
   EXPECT_EQ(r.result.violation_kind, dift::ViolationKind::kStoreClearance)
       << r.result.violation_message;
 }
@@ -109,8 +109,8 @@ TEST(Immobilizer, Scenario3ExternalOverwriteDetected) {
 // PIN data is NOT caught by the plain IFP-3 policy...
 TEST(Immobilizer, Scenario4EscapesBasePolicy) {
   auto r = run_immo(fw::ImmoVariant::kAttackOverwriteTrusted, false, "");
-  EXPECT_FALSE(r.result.violation) << r.result.violation_message;
-  ASSERT_TRUE(r.result.exited);
+  EXPECT_FALSE(r.result.violation()) << r.result.violation_message;
+  ASSERT_TRUE(r.result.exited());
   // The immobilizer still "works" — but now with a 1-byte-entropy PIN.
   EXPECT_EQ(r.auth_fail + r.auth_ok, r.auth_fail + r.auth_ok);
 }
@@ -118,7 +118,7 @@ TEST(Immobilizer, Scenario4EscapesBasePolicy) {
 // ...but the per-byte-PIN policy refinement detects it (the paper's fix).
 TEST(Immobilizer, Scenario4DetectedByPerBytePolicy) {
   auto r = run_immo(fw::ImmoVariant::kAttackOverwriteTrusted, true, "");
-  ASSERT_TRUE(r.result.violation);
+  ASSERT_TRUE(r.result.violation());
   EXPECT_EQ(r.result.violation_kind, dift::ViolationKind::kStoreClearance)
       << r.result.violation_message;
 }
@@ -126,8 +126,8 @@ TEST(Immobilizer, Scenario4DetectedByPerBytePolicy) {
 // The per-byte policy still admits normal operation.
 TEST(Immobilizer, PerBytePolicyAdmitsNormalOperation) {
   auto r = run_immo(fw::ImmoVariant::kFixedDump, true, "d");
-  ASSERT_FALSE(r.result.violation) << r.result.violation_message;
-  ASSERT_TRUE(r.result.exited);
+  ASSERT_FALSE(r.result.violation()) << r.result.violation_message;
+  ASSERT_TRUE(r.result.exited());
   EXPECT_GE(r.auth_ok, 3u);
 }
 
@@ -155,7 +155,7 @@ TEST(Immobilizer, Scenario4EnablesBruteForce) {
     if (f.id == soc::EngineEcu::kResponseId) responses.push_back(f);
   });
   auto r = v.run(sysc::Time::sec(5));
-  ASSERT_FALSE(r.violation) << r.violation_message;
+  ASSERT_FALSE(r.violation()) << r.violation_message;
   ASSERT_FALSE(responses.empty());
 
   // Host-side attacker: all PIN bytes are equal now, so 256 candidates.

@@ -133,7 +133,7 @@ clear output uart0.tx LC
   v.load(prog);
   v.apply_policy(spec.policy());
   const auto r = v.run(sysc::Time::sec(1));
-  ASSERT_TRUE(r.violation);
+  ASSERT_TRUE(r.violation());
   EXPECT_EQ(r.violation_kind, dift::ViolationKind::kOutputClearance);
 }
 

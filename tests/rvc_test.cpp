@@ -351,7 +351,7 @@ void run_compressed_firmware() {
   VpT v;
   v.load(a.assemble());
   const auto r = v.run(sysc::Time::sec(1));
-  ASSERT_TRUE(r.exited);
+  ASSERT_TRUE(r.exited());
   EXPECT_EQ(r.exit_code, 0u);
 }
 

@@ -184,7 +184,7 @@ TEST(DiftStats, QsortRunPopulatesCounters) {
   auto bundle = vp::scenarios::make_permissive_policy();
   v.apply_policy(bundle.policy);
   const auto r = v.run(sysc::Time::sec(60));
-  ASSERT_TRUE(r.exited);
+  ASSERT_TRUE(r.exited());
   ASSERT_EQ(r.exit_code, 0u);
 
   EXPECT_GT(r.stats.fetch_summary_hits, 0u);
@@ -207,7 +207,7 @@ TEST(DiftStats, PlainVpKeepsTagCountersZero) {
   vp::Vp v;
   v.load(fw::make_primes(500));
   const auto r = v.run(sysc::Time::sec(60));
-  ASSERT_TRUE(r.exited);
+  ASSERT_TRUE(r.exited());
   EXPECT_EQ(r.stats.lub_calls, 0u);
   EXPECT_EQ(r.stats.flow_checks, 0u);
   EXPECT_EQ(r.stats.fetch_summary_hits, 0u);
@@ -225,7 +225,7 @@ TEST(ShadowSummary, SnapshotRestoreRebuildsSummary) {
   v.apply_policy(bundle.policy);
   const auto snap = v.snapshot();
   const auto r = v.run(sysc::Time::sec(60));
-  ASSERT_TRUE(r.exited);
+  ASSERT_TRUE(r.exited());
   v.restore(snap);
   expect_coherent(v.ram());
 }

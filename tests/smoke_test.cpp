@@ -8,7 +8,7 @@ TEST(Smoke, PrimesRunsOnPlainVp) {
   vp::Vp v;
   v.load(fw::make_primes(200));
   auto r = v.run(sysc::Time::sec(10));
-  EXPECT_TRUE(r.exited);
+  EXPECT_TRUE(r.exited());
   EXPECT_EQ(r.exit_code, 0u);
   EXPECT_GT(r.instret, 1000u);
 }
@@ -17,7 +17,7 @@ TEST(Smoke, QsortRunsOnPlainVp) {
   vp::Vp v;
   v.load(fw::make_qsort(500, 42));
   auto r = v.run(sysc::Time::sec(10));
-  EXPECT_TRUE(r.exited);
+  EXPECT_TRUE(r.exited());
   EXPECT_EQ(r.exit_code, 0u);
 }
 
@@ -28,7 +28,7 @@ TEST(Smoke, PrimesRunsOnDiftVp) {
   v.load(fw::make_primes(200));
   v.apply_policy(p);
   auto r = v.run(sysc::Time::sec(10));
-  EXPECT_TRUE(r.exited);
+  EXPECT_TRUE(r.exited());
   EXPECT_EQ(r.exit_code, 0u);
-  EXPECT_FALSE(r.violation);
+  EXPECT_FALSE(r.violation());
 }

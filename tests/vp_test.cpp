@@ -39,8 +39,8 @@ TEST(VpIntegration, TimeoutReportedWhenFirmwareHangs) {
   vp::Vp v;
   v.load(a.assemble());
   const auto r = v.run(sysc::Time::ms(5));
-  EXPECT_FALSE(r.exited);
-  EXPECT_TRUE(r.timed_out);
+  EXPECT_FALSE(r.exited());
+  EXPECT_TRUE(r.timed_out());
   EXPECT_GT(r.instret, 0u);
   EXPECT_GE(r.sim_time, sysc::Time::ms(5));
 }
@@ -55,7 +55,7 @@ TEST(VpIntegration, ExitCodePropagates) {
   vp::Vp v;
   v.load(a.assemble());
   const auto r = v.run(sysc::Time::sec(1));
-  ASSERT_TRUE(r.exited);
+  ASSERT_TRUE(r.exited());
   EXPECT_EQ(r.exit_code, 123u);
 }
 
@@ -69,7 +69,7 @@ TEST(VpIntegration, DefaultTrapHandlerMarksAndExits) {
   vp::Vp v;
   v.load(a.assemble());
   const auto r = v.run(sysc::Time::sec(1));
-  ASSERT_TRUE(r.exited);
+  ASSERT_TRUE(r.exited());
   EXPECT_EQ(r.exit_code, 0xffu);
   EXPECT_EQ(r.markers, "T");
 }
@@ -84,7 +84,7 @@ TEST(VpIntegration, ViolationCarriesFaultingPc) {
   auto bundle = vp::scenarios::make_immobilizer_policy(prog, false);
   v.apply_policy(bundle.policy);
   const auto r = v.run(sysc::Time::sec(1));
-  ASSERT_TRUE(r.violation);
+  ASSERT_TRUE(r.violation());
   EXPECT_EQ(r.violation_where, "uart0.tx");
   EXPECT_GE(r.violation_pc, soc::addrmap::kRamBase);  // a real firmware pc
 }
@@ -103,8 +103,8 @@ TEST(VpIntegration, MonitorModeRecordsAndContinues) {
   v.set_monitor_mode(true);
   v.uart().feed_input("d");
   const auto r = v.run(sysc::Time::sec(5));
-  EXPECT_FALSE(r.violation) << "monitor mode must not stop the run";
-  ASSERT_TRUE(r.exited);
+  EXPECT_FALSE(r.violation()) << "monitor mode must not stop the run";
+  ASSERT_TRUE(r.exited());
   // The dump leaked the 16 PIN bytes (plus scratch area reads are benign):
   // one output-clearance record per confidential byte.
   std::size_t output_violations = 0;
@@ -122,7 +122,7 @@ TEST(VpIntegration, MonitorModeCleanRunRecordsNothing) {
   v.apply_policy(bundle.policy);
   v.set_monitor_mode(true);
   const auto r = v.run(sysc::Time::sec(1));
-  ASSERT_TRUE(r.exited);
+  ASSERT_TRUE(r.exited());
   EXPECT_TRUE(r.recorded_violations.empty());
 }
 
@@ -150,9 +150,9 @@ TEST(VpIntegration, SequentialRunsResumeSimulation) {
   vp::Vp v(cfg);
   v.load(fw::make_simple_sensor(10));
   auto r1 = v.run(sysc::Time::us(700));  // not enough for 10 frames
-  EXPECT_TRUE(r1.timed_out);
+  EXPECT_TRUE(r1.timed_out());
   auto r2 = v.run(sysc::Time::sec(10));  // resume to completion
-  EXPECT_TRUE(r2.exited);
+  EXPECT_TRUE(r2.exited());
   EXPECT_EQ(r2.exit_code, 0u);
 }
 
@@ -173,7 +173,7 @@ TEST(VpIntegration, UartInputReachableAcrossRuns) {
   v.load(a.assemble());
   v.uart().feed_input("Q");
   const auto r = v.run(sysc::Time::sec(1));
-  ASSERT_TRUE(r.exited);
+  ASSERT_TRUE(r.exited());
   EXPECT_EQ(r.uart_output, "Q");
 }
 
@@ -188,10 +188,10 @@ TEST(VpSnapshot, RestoreReplaysToTheSameResult) {
   vp::Vp v;
   v.load(fw::make_primes(5000));
   auto r1 = v.run(sysc::Time::us(500));  // stop mid-computation
-  ASSERT_TRUE(r1.timed_out);
+  ASSERT_TRUE(r1.timed_out());
   const auto snap = v.snapshot();
   const auto r2 = v.run(sysc::Time::sec(10));  // future A: run to completion
-  ASSERT_TRUE(r2.exited);
+  ASSERT_TRUE(r2.exited());
   EXPECT_EQ(r2.exit_code, 0u);
 
   // Future B: a fresh VP restored from the checkpoint completes identically.
@@ -199,7 +199,7 @@ TEST(VpSnapshot, RestoreReplaysToTheSameResult) {
   w.load(fw::make_primes(5000));
   w.restore(snap);
   const auto r3 = w.run(sysc::Time::sec(10));
-  ASSERT_TRUE(r3.exited);
+  ASSERT_TRUE(r3.exited());
   EXPECT_EQ(r3.exit_code, 0u);
   // Both futures retired the same number of instructions from the snapshot.
   EXPECT_EQ(w.core().instret(), v.core().instret());

@@ -4,6 +4,7 @@
 
 #include "fw/hal.hpp"
 #include "rvasm/assembler.hpp"
+#include "vp/scenarios.hpp"
 #include "vp/vp.hpp"
 
 namespace {
@@ -53,7 +54,7 @@ TEST(Watchdog, StarvationResetsCoreAndRamSurvives) {
   const auto prog = make_wdt_firmware();
   v.load(prog);
   const auto r = v.run(sysc::Time::sec(2));
-  ASSERT_TRUE(r.exited) << "watchdog reset did not happen";
+  ASSERT_TRUE(r.exited()) << "watchdog reset did not happen";
   EXPECT_EQ(r.exit_code, 0u);
   EXPECT_EQ(v.watchdog().resets_fired(), 1u);
   // RAM kept the boot counter across the reset.
@@ -89,9 +90,71 @@ TEST(Watchdog, PettingPreventsReset) {
   vp::Vp v;
   v.load(a.assemble());
   const auto r = v.run(sysc::Time::sec(2));
-  ASSERT_TRUE(r.exited);
+  ASSERT_TRUE(r.exited());
   EXPECT_EQ(r.exit_code, 0u);
   EXPECT_EQ(v.watchdog().resets_fired(), 0u);
+}
+
+TEST(Watchdog, BiteDuringTaintedExecutionLeavesNoStaleRegisterTaint) {
+  // First boot pulls a classified byte off the UART (LC under the permissive
+  // policy), parks it in a callee-saved register AND in RAM, then starves the
+  // watchdog. The architectural reset must clear the register-file taint —
+  // the rebooted program never touched the UART — while the RAM shadow, like
+  // RAM itself, survives the reset.
+  rvasm::Assembler a(soc::addrmap::kRamBase);
+  fw::emit_crt0(a);
+  a.label("main");
+  a.addi(sp, sp, -16);
+  a.sw(ra, sp, 12);
+  a.la(t0, "boot_count");
+  a.lw(t1, t0, 0);
+  a.addi(t1, t1, 1);
+  a.sw(t1, t0, 0);
+  a.li(t2, 2);
+  a.bgeu(t1, t2, "second_boot");
+  a.call("uart_getc");  // a0 = tainted byte
+  a.la(t0, "taint_cell");
+  a.sb(a0, t0, 0);  // tainted RAM byte: must survive the reset
+  a.mv(s1, a0);     // tainted register: must NOT survive the reset
+  a.li(t0, kWdtLoad);
+  a.li(t1, 500);
+  a.sw(t1, t0, 0);
+  a.li(t0, kWdtCtrl);
+  a.li(t1, 1);
+  a.sw(t1, t0, 0);
+  a.label("wedge");
+  a.j("wedge");
+  a.label("second_boot");
+  a.li(a0, 0);
+  a.lw(ra, sp, 12);
+  a.addi(sp, sp, 16);
+  a.ret();
+  fw::emit_stdlib(a);
+  a.align(4);
+  a.label("boot_count");
+  a.word(0);
+  a.label("taint_cell");
+  a.word(0);
+  a.entry("_start");
+  const auto prog = a.assemble();
+
+  vp::VpDift v;
+  v.load(prog);
+  auto bundle = vp::scenarios::make_permissive_policy();
+  v.apply_policy(bundle.policy);
+  v.uart().feed_input("K");
+  const auto r = v.run(sysc::Time::sec(2));
+  ASSERT_TRUE(r.exited()) << "watchdog reset did not happen";
+  EXPECT_EQ(r.exit_code, 0u);
+  EXPECT_EQ(r.watchdog_resets, 1u);
+
+  using Ops = rv::WordOps<rv::TaintedWord>;
+  for (std::uint32_t i = 0; i < 32; ++i)
+    EXPECT_EQ(Ops::tag(v.core().reg(i)), dift::kBottomTag)
+        << "stale taint in x" << i << " after watchdog reset";
+  const auto off = prog.symbol("taint_cell") - soc::addrmap::kRamBase;
+  EXPECT_EQ(v.ram().tags()[off], bundle.lattice->tag_of("LC"))
+      << "RAM taint must persist across the reset, like RAM contents";
 }
 
 TEST(Watchdog, WrongPetMagicIgnored) {

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Fault-injection smoke gate: run the pinned fi campaigns and compare their
+detection-coverage matrices against ci/expected_fi_smoke.json.
+
+The fault schedule is a pure function of (benchmark, n-faults, seed), and the
+VP is deterministic, so the full per-model verdict matrix must match the
+checked-in baseline bit-for-bit — on any machine, at any --jobs level. A
+mismatch means either a real behaviour change (update the baseline alongside
+the change that caused it, and explain it in the commit) or lost determinism
+(a bug; see docs/fault_injection.md).
+
+Usage: python3 tools/check_fi_smoke.py <path-to-vpdift-campaign> [--jobs N]
+"""
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    campaign_bin = sys.argv[1]
+    jobs = "2"
+    if "--jobs" in sys.argv[2:]:
+        jobs = sys.argv[sys.argv.index("--jobs") + 1]
+
+    here = os.path.dirname(os.path.abspath(__file__))
+    expected_path = os.path.join(here, "..", "ci", "expected_fi_smoke.json")
+    expected = json.load(open(expected_path))
+
+    bad = False
+    for camp in expected["campaigns"]:
+        ref, seed = camp["ref"], camp["seed"]
+        with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+            out_path = tmp.name
+        try:
+            proc = subprocess.run(
+                [campaign_bin, "--quiet", "--jobs", jobs,
+                 "--seed", str(seed), ref, "--out", out_path],
+                capture_output=True, text=True)
+            if proc.returncode != 0:
+                print(f"{ref} seed={seed}: campaign exited "
+                      f"{proc.returncode}\n{proc.stdout}{proc.stderr}")
+                bad = True
+                continue
+            got = json.load(open(out_path))
+        finally:
+            if os.path.exists(out_path):
+                os.unlink(out_path)
+
+        ok = True
+        for key in ("golden_verdict", "golden_instret", "wdt_us"):
+            got_val = (got["golden"]["verdict"] if key == "golden_verdict"
+                       else got["golden"]["instret"] if key == "golden_instret"
+                       else got["wdt_us"])
+            if got_val != camp[key]:
+                print(f"{ref} seed={seed}: {key} {got_val!r} "
+                      f"!= expected {camp[key]!r}")
+                ok = False
+        for key in ("matrix", "verdict_totals"):
+            if got[key] != camp[key]:
+                print(f"{ref} seed={seed}: {key} mismatch")
+                print(f"  expected: {json.dumps(camp[key], sort_keys=True)}")
+                print(f"  got:      {json.dumps(got[key], sort_keys=True)}")
+                ok = False
+        if ok:
+            totals = camp["verdict_totals"]
+            print(f"{ref} seed={seed}: OK "
+                  f"(policy={totals['detected-by-policy']} "
+                  f"trap={totals['detected-by-trap']} "
+                  f"sdc={totals['silent-data-corruption']} "
+                  f"masked={totals['masked']})")
+        bad = bad or not ok
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,7 +29,7 @@ if [ "$mode" = tsan ]; then
   # The threading tests: campaign subsystem + parallel fuzz + CLI tests that
   # exercise --jobs. The serial remainder of the suite adds no thread pairs
   # for TSan to analyse, so it is skipped here (the asan run covers it).
-  filter='campaign|Campaign|ParallelVp|ThreadPool|Runner\.|Aggregator|FuzzCampaign|cli\.'
+  filter='campaign|Campaign|ParallelVp|ThreadPool|Runner\.|Aggregator|FuzzCampaign|cli\.|Fi[A-Z]'
 else
   build=${1:-"$repo/build-asan"}
   sanitize=ON

@@ -1,24 +1,32 @@
 // vpdift-campaign — batch-execution front end for the virtual prototype.
 //
 //   vpdift-campaign [options] <spec-file>
+//   vpdift-campaign [options] fi:<benchmark>:<n-faults>
 //   vpdift-campaign [options] --suite table1
 //   vpdift-campaign [options] --suite table2[:scale]
 //
 //   <spec-file>     campaign spec, text or JSON (see src/campaign/spec.hpp
 //                   and docs/campaign.md for the format)
+//   fi:<bm>:<n>     fault-injection campaign: n seeded faults against
+//                   benchmark bm, classified against a fault-free golden
+//                   run (see docs/fault_injection.md)
 //   --suite NAME    a built-in suite instead of a spec file: the paper's
 //                   Table I attack sweep or Table II overhead matrix
 //   --jobs N        worker threads (default: $VPDIFT_JOBS, else 1 = serial)
-//   --out FILE      JSON campaign report (default: CAMPAIGN_<name>.json)
+//   --seed N        master seed of the fi: fault schedule (default 1)
+//   --out FILE      JSON campaign report (default: CAMPAIGN_<name>.json,
+//                   or FI_<benchmark>_<n>.json for fi: campaigns)
 //   --quiet         suppress the per-job progress lines
 //   --list          print the parsed job list and exit without running
 //
 // Exit status: 0 when every job met its expectation (for --suite table1,
-// additionally when all 18 rows match the paper), 1 otherwise, 2 on usage
-// or spec errors.
+// additionally when all 18 rows match the paper; for fi: campaigns, when no
+// fault run crashed the VP), 1 otherwise, 2 on usage or spec errors.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <optional>
 #include <string>
 
 #include "campaign/aggregator.hpp"
@@ -26,6 +34,7 @@
 #include "campaign/spec.hpp"
 #include "campaign/suites.hpp"
 #include "campaign/thread_pool.hpp"
+#include "fi/suite.hpp"
 
 using namespace vpdift;
 
@@ -33,10 +42,10 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: vpdift-campaign [--jobs N] [--out FILE] [--quiet] "
-               "[--list]\n"
-               "                       <spec-file | --suite table1 | --suite "
-               "table2[:scale]>\n");
+               "usage: vpdift-campaign [--jobs N] [--seed N] [--out FILE] "
+               "[--quiet] [--list]\n"
+               "                       <spec-file | fi:<benchmark>:<n-faults> "
+               "| --suite table1 | --suite table2[:scale]>\n");
   return 2;
 }
 
@@ -85,6 +94,7 @@ int print_table2(const std::vector<campaign::JobResult>& results,
 int main(int argc, char** argv) {
   std::string spec_path, suite, out_path;
   std::size_t jobs = campaign::ThreadPool::jobs_from_env(1);
+  std::uint64_t seed = 1;
   bool quiet = false, list = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -101,6 +111,12 @@ int main(int argc, char** argv) {
         return usage();
       }
       jobs = static_cast<std::size_t>(n);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!campaign::parse_u64(v, &seed)) {
+        std::fprintf(stderr, "invalid value for --seed: '%s'\n", v);
+        return usage();
+      }
     } else if (arg == "--suite") suite = next();
     else if (arg == "--out") out_path = next();
     else if (arg == "--quiet") quiet = true;
@@ -114,7 +130,23 @@ int main(int argc, char** argv) {
   try {
     campaign::CampaignSpec spec;
     std::uint32_t table2_scale = 1;
-    if (suite.empty()) {
+    fi::FiSuiteSpec fi_spec;
+    std::optional<fi::FiSuite> fi_suite;
+    if (!spec_path.empty() && fi::parse_fi_ref(spec_path, &fi_spec)) {
+      fi_spec.seed = seed;
+      std::printf("fi: golden run of %s (serial)...\n",
+                  fi_spec.benchmark.c_str());
+      fi_suite = fi::build_suite(fi_spec);
+      std::printf(
+          "fi: golden %s, %llu instructions, %llu us simulated; "
+          "%zu faults from seed %llu, watchdog %u us\n",
+          fi_suite->golden.verdict.c_str(),
+          static_cast<unsigned long long>(fi_suite->golden.run.instret),
+          static_cast<unsigned long long>(fi_suite->golden_us),
+          fi_suite->faults.size(),
+          static_cast<unsigned long long>(fi_spec.seed), fi_suite->wdt_us);
+      spec = fi_suite->jobs;
+    } else if (suite.empty()) {
       spec = campaign::CampaignSpec::load_file(spec_path);
     } else if (suite == "table1") {
       spec = campaign::suites::table1();
@@ -171,6 +203,36 @@ int main(int argc, char** argv) {
             .count();
 
     std::printf("%s\n", agg.summary(spec.name, wall).c_str());
+
+    if (fi_suite) {
+      std::vector<fi::Verdict> verdicts;
+      const fi::CoverageMatrix matrix =
+          fi::build_matrix(*fi_suite, results, &verdicts);
+      std::printf("\nDetection coverage (%zu faults, golden = %s)\n",
+                  matrix.total, fi_suite->golden.verdict.c_str());
+      std::printf("%s", fi::matrix_table(matrix).c_str());
+
+      std::string report = out_path;
+      if (report.empty()) {
+        report = "FI_" + fi_spec.benchmark + "_" +
+                 std::to_string(fi_spec.n_faults) + ".json";
+        for (char& c : report)
+          if (c == ':' || c == '/') c = '-';
+      }
+      std::ofstream out(report);
+      if (out && (out << fi::matrix_json(*fi_suite, results, verdicts, jobs,
+                                         wall)))
+        std::printf("wrote %s\n", report.c_str());
+      else
+        std::fprintf(stderr, "warning: cannot write %s\n", report.c_str());
+
+      const std::size_t crashes =
+          matrix.verdict_total(fi::Verdict::kCrash);
+      if (crashes > 0)
+        std::printf("FAILED: %zu fault run%s crashed the VP.\n", crashes,
+                    crashes == 1 ? "" : "s");
+      return crashes == 0 ? 0 : 1;
+    }
 
     const std::string report =
         out_path.empty() ? "CAMPAIGN_" + spec.name + ".json" : out_path;

@@ -61,15 +61,22 @@ int run(const rvasm::Program& program, const dift::PolicySpec* spec,
 
   if (!r.uart_output.empty())
     std::printf("--- UART ---\n%s\n------------\n", r.uart_output.c_str());
-  if (r.violation) {
+  if (r.violation()) {
     std::printf("POLICY VIOLATION: %s\n", r.violation_message.c_str());
     if (!r.trace_dump.empty())
       std::printf("instruction history:\n%s", r.trace_dump.c_str());
-  } else if (r.exited) {
+  } else if (r.exited()) {
     std::printf("exited with code %u\n", r.exit_code);
+  } else if (r.reason == vp::ExitReason::kTrap) {
+    std::printf("fatal trap (no trap vector installed) after %s simulated\n",
+                r.sim_time.to_string().c_str());
   } else {
-    std::printf("timed out after %s simulated\n", r.sim_time.to_string().c_str());
+    std::printf("timed out after %s simulated (%s)\n",
+                r.sim_time.to_string().c_str(), vp::to_string(r.reason));
   }
+  if (r.watchdog_resets > 0)
+    std::printf("%u watchdog reset%s fired during the run\n", r.watchdog_resets,
+                r.watchdog_resets == 1 ? "" : "s");
   if (!r.recorded_violations.empty()) {
     std::printf("%zu violations recorded (monitor mode):\n",
                 r.recorded_violations.size());
@@ -122,13 +129,16 @@ int run(const rvasm::Program& program, const dift::PolicySpec* spec,
     if (out) {
       char head[512];
       std::snprintf(head, sizeof head,
-                    "{\n  \"exited\": %s,\n  \"exit_code\": %u,\n"
+                    "{\n  \"reason\": \"%s\",\n"
+                    "  \"exited\": %s,\n  \"exit_code\": %u,\n"
                     "  \"violation\": %s,\n  \"timed_out\": %s,\n"
+                    "  \"watchdog_resets\": %u,\n"
                     "  \"instret\": %llu,\n  \"wall_s\": %.4f,\n"
                     "  \"mips\": %.2f,\n  \"dift_stats\": ",
-                    r.exited ? "true" : "false", r.exit_code,
-                    r.violation ? "true" : "false",
-                    r.timed_out ? "true" : "false",
+                    vp::to_string(r.reason),
+                    r.exited() ? "true" : "false", r.exit_code,
+                    r.violation() ? "true" : "false",
+                    r.timed_out() ? "true" : "false", r.watchdog_resets,
                     static_cast<unsigned long long>(r.instret), r.wall_seconds,
                     r.mips);
       out << head << dift::to_json(r.stats) << "\n}\n";
@@ -137,8 +147,8 @@ int run(const rvasm::Program& program, const dift::PolicySpec* spec,
       std::fprintf(stderr, "warning: cannot write %s\n", json_path.c_str());
     }
   }
-  if (r.violation) return 3;
-  return r.exited ? static_cast<int>(r.exit_code) : 4;
+  if (r.violation()) return 3;
+  return r.exited() ? static_cast<int>(r.exit_code) : 4;
 }
 
 }  // namespace
