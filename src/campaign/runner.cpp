@@ -22,12 +22,9 @@ namespace {
 const soc::AesKey kDemoPin = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
                               0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
 
-/// A resolved policy keeps whatever owns the lattice alive for the run.
-struct ResolvedPolicy {
-  std::optional<vp::scenarios::PolicyBundle> bundle;
-  std::optional<dift::PolicySpec> file;
-  const dift::SecurityPolicy* policy = nullptr;
-};
+}  // namespace
+
+const soc::AesKey& demo_pin() { return kDemoPin; }
 
 ResolvedPolicy resolve_policy(const std::string& name,
                               const rvasm::Program& program) {
@@ -52,12 +49,42 @@ ResolvedPolicy resolve_policy(const std::string& name,
     std::stringstream buf;
     buf << in.rdbuf();
     r.file.emplace(dift::PolicySpec::parse(buf.str(), &program.symbols));
-    r.policy = &r.file->policy();
     return r;
   }
-  r.policy = &r.bundle->policy;
   return r;
 }
+
+/// The attack firmwares come with a canonical attacker byte stream; a spec
+/// file that names them without an explicit uart-input gets it by default
+/// (otherwise the firmware blocks on the UART and idles to its timeout).
+std::string default_uart_input(const std::string& firmware) {
+  if (firmware == "code-reuse") return fw::make_code_reuse_attack().uart_input;
+  if (firmware.rfind("attack:", 0) == 0) {
+    std::int32_t id = 0;
+    if (parse_i32(firmware.substr(7), &id)) return fw::make_attack(id).uart_input;
+  }
+  return {};
+}
+
+std::string verdict_of(const vp::RunResult& run) {
+  switch (run.reason) {
+    case vp::ExitReason::kViolation:
+      return std::string("violation:") + dift::to_string(run.violation_kind);
+    case vp::ExitReason::kExit:
+      return "exit:" + std::to_string(run.exit_code);
+    case vp::ExitReason::kWallTimeout:
+      return "wall-timeout";
+    case vp::ExitReason::kWatchdogReset:
+      return "watchdog-reset";
+    case vp::ExitReason::kTrap:
+      return "trap";
+    case vp::ExitReason::kSimTimeout:
+      return "timeout";
+  }
+  return "?";
+}
+
+namespace {
 
 /// Watches the host clock from inside the simulation: between CPU quanta it
 /// wakes every simulated millisecond and stops the run once the wall-clock
@@ -75,18 +102,6 @@ sysc::Task wall_guard(sysc::Simulation& sim,
       co_return;
     }
   }
-}
-
-/// The attack firmwares come with a canonical attacker byte stream; a spec
-/// file that names them without an explicit uart-input gets it by default
-/// (otherwise the firmware blocks on the UART and idles to its timeout).
-std::string default_uart_input(const std::string& firmware) {
-  if (firmware == "code-reuse") return fw::make_code_reuse_attack().uart_input;
-  if (firmware.rfind("attack:", 0) == 0) {
-    std::int32_t id = 0;
-    if (parse_i32(firmware.substr(7), &id)) return fw::make_attack(id).uart_input;
-  }
-  return {};
 }
 
 template <typename VpT>
@@ -114,7 +129,7 @@ JobResult execute_once(const JobSpec& job) {
   VpT v(cfg);
   v.load(program);
   const ResolvedPolicy policy = resolve_policy(job.policy, program);
-  if (policy.policy) v.apply_policy(*policy.policy);
+  if (const auto* p = policy.policy()) v.apply_policy(*p);
   if (job.mode == VpMode::kMonitor) v.set_monitor_mode(true);
   if (!uart_input.empty()) v.uart().feed_input(uart_input);
   // Fault-injection (or any other) setup runs after the image, policy and
@@ -139,27 +154,7 @@ JobResult execute_once(const JobSpec& job) {
   if (wall_fired && res.run.reason == vp::ExitReason::kSimTimeout)
     res.run.reason = vp::ExitReason::kWallTimeout;
 
-  switch (res.run.reason) {
-    case vp::ExitReason::kViolation:
-      res.verdict =
-          std::string("violation:") + dift::to_string(res.run.violation_kind);
-      break;
-    case vp::ExitReason::kExit:
-      res.verdict = "exit:" + std::to_string(res.run.exit_code);
-      break;
-    case vp::ExitReason::kWallTimeout:
-      res.verdict = "wall-timeout";
-      break;
-    case vp::ExitReason::kWatchdogReset:
-      res.verdict = "watchdog-reset";
-      break;
-    case vp::ExitReason::kTrap:
-      res.verdict = "trap";
-      break;
-    case vp::ExitReason::kSimTimeout:
-      res.verdict = "timeout";
-      break;
-  }
+  res.verdict = verdict_of(res.run);
   res.ok = verdict_matches(job.expect, res.verdict);
   return res;
 }

@@ -12,10 +12,13 @@
 
 #include <cstddef>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "campaign/spec.hpp"
+#include "dift/policy_parser.hpp"
+#include "vp/scenarios.hpp"
 #include "vp/vp.hpp"
 
 namespace vpdift::campaign {
@@ -72,5 +75,37 @@ rvasm::Program resolve_firmware(const std::string& name);
 /// "exit" / "violation" match any exit code / violation kind; otherwise the
 /// comparison is exact).
 bool verdict_matches(const std::string& expect, const std::string& verdict);
+
+/// A resolved policy keeps whatever owns the lattice alive for the run
+/// (scenario bundles own their lattice; parsed files own theirs).
+struct ResolvedPolicy {
+  std::optional<vp::scenarios::PolicyBundle> bundle;
+  std::optional<dift::PolicySpec> file;
+
+  /// The policy to apply, or nullptr for "no policy". Derived on demand:
+  /// the SecurityPolicy lives by value inside `bundle`/`file`, so a cached
+  /// pointer would dangle as soon as a ResolvedPolicy is moved.
+  const dift::SecurityPolicy* policy() const {
+    if (bundle) return &bundle->policy;
+    if (file) return &file->policy();
+    return nullptr;
+  }
+};
+
+/// Resolves a policy name (permissive, code-injection, immobilizer[-per-byte],
+/// or a policy file path) against `program`. Empty name → null policy.
+ResolvedPolicy resolve_policy(const std::string& name,
+                              const rvasm::Program& program);
+
+/// Canonical attacker byte stream for the attack firmwares ("" otherwise) —
+/// what a job without an explicit uart-input receives.
+std::string default_uart_input(const std::string& firmware);
+
+/// Maps a finished run to its campaign verdict string
+/// (exit:N | violation:<kind> | timeout | wall-timeout | watchdog-reset | trap).
+std::string verdict_of(const vp::RunResult& run);
+
+/// The demo AES PIN shared by the immobilizer firmware and engine-ECU config.
+const soc::AesKey& demo_pin();
 
 }  // namespace vpdift::campaign

@@ -1,0 +1,245 @@
+#include "fi/fork.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "campaign/thread_pool.hpp"
+#include "fi/injector.hpp"
+
+namespace vpdift::fi {
+
+namespace {
+
+bool is_arch(FaultModel m) {
+  return m == FaultModel::kGprFlip || m == FaultModel::kRamFlip ||
+         m == FaultModel::kTagCorrupt;
+}
+
+/// Everything a worker needs to build a VP equivalent to one of the suite's
+/// cold fault jobs, minus the fault itself. One template per worker: the
+/// resolved policy owns the lattice, which must stay thread-confined.
+struct JobTemplate {
+  rvasm::Program program;
+  std::string uart_input;
+  vp::VpConfig cfg;
+  campaign::ResolvedPolicy policy;
+  std::uint64_t max_ms = 0;
+  std::uint32_t wdt_us = 0;
+};
+
+JobTemplate make_template(const FiSuite& suite) {
+  JobTemplate t;
+  t.program = campaign::resolve_firmware(suite.spec.benchmark);
+  t.uart_input = campaign::default_uart_input(suite.spec.benchmark);
+  if (suite.spec.benchmark == "immobilizer") {
+    t.cfg.with_engine_ecu = true;
+    t.cfg.engine_pin = campaign::demo_pin();
+    t.cfg.engine_period = sysc::Time::ms(1);
+  }
+  t.policy = campaign::resolve_policy("code-injection", t.program);
+  t.max_ms = suite.jobs.jobs.empty() ? 10000 : suite.jobs.jobs.front().max_ms;
+  t.wdt_us = suite.wdt_us;
+  return t;
+}
+
+/// A VP set up exactly like a cold fault job at t=0: image, policy, UART
+/// stream, host-armed watchdog. The cursor runs this as-is; tails restore a
+/// snapshot over it (which overwrites the UART/watchdog setup with the
+/// captured state — the setup only matters for state equality pre-restore).
+std::unique_ptr<vp::VpDift> make_vp(const JobTemplate& t) {
+  auto v = std::make_unique<vp::VpDift>(t.cfg);
+  v->load(t.program);
+  if (const auto* p = t.policy.policy()) v->apply_policy(*p);
+  if (!t.uart_input.empty()) v->uart().feed_input(t.uart_input);
+  arm_watchdog(*v, t.wdt_us);
+  return v;
+}
+
+/// Runs one fault's tail from `snap` and composes the cold-equivalent
+/// JobResult. `tail_executed` receives the instructions the tail actually
+/// retired (the fork engine's share of this job's cost).
+campaign::JobResult run_tail(const JobTemplate& t, const FiSuite& suite,
+                             std::size_t index, const vp::VpSnapshot& snap,
+                             std::uint64_t* tail_executed) {
+  const campaign::JobSpec& job = suite.jobs.jobs[index];
+  campaign::JobResult res;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    auto w = make_vp(t);
+    w->restore(snap);
+    apply_now(*w, suite.faults[index]);
+    // The cold job's deadline is an absolute ms(max_ms); the tail starts at
+    // captured_at, so it gets the remainder of that same absolute budget.
+    const sysc::Time budget = sysc::Time::ms(job.max_ms);
+    res.run = w->run(budget > snap.captured_at ? budget - snap.captured_at
+                                               : sysc::Time());
+    *tail_executed = res.run.instret;
+    // Compose the cold-equivalent instruction count. run() reported the
+    // delta from snap.instret; a cold run reports the delta from zero — add
+    // the golden prefix back, UNLESS a watchdog reset restarted the counter
+    // (then run() already clamped to the cold-equal since-last-reset value,
+    // and the identity below does not hold).
+    if (w->core().instret() == snap.instret + res.run.instret)
+      res.run.instret += snap.instret;
+    // Engine counters: golden-prefix cumulative + tail delta = cold total.
+    res.run.stats += snap.stats;
+    res.verdict = campaign::verdict_of(res.run);
+  } catch (const std::exception& e) {
+    res = campaign::JobResult{};
+    res.verdict = "crash";
+    res.error = e.what();
+  } catch (...) {
+    res = campaign::JobResult{};
+    res.verdict = "crash";
+    res.error = "non-std exception";
+  }
+  res.name = job.name;
+  res.attempts = 1;
+  res.history = {{res.verdict, res.error}};
+  res.ok = campaign::verdict_matches(job.expect, res.verdict);
+  res.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return res;
+}
+
+/// One worker: a golden cursor over a contiguous slice of the fault list.
+void run_chunk(const FiSuite& suite, const std::vector<std::size_t>& chunk,
+               std::vector<campaign::JobResult>& results,
+               const std::function<void(const campaign::JobResult&)>& on_done,
+               std::mutex& done_m, ForkStats* stats, std::mutex& stats_m) {
+  const JobTemplate t = make_template(suite);
+  auto cursor = make_vp(t);
+
+  // Group the chunk's faults by trigger site: one snapshot per site.
+  std::map<std::uint64_t, std::vector<std::size_t>> arch_sites;
+  std::map<std::uint64_t, std::vector<std::size_t>> time_sites;
+  for (std::size_t i : chunk) {
+    const FaultSpec& f = suite.faults[i];
+    auto& group = is_arch(f.model) ? arch_sites[f.trigger_instret]
+                                   : time_sites[f.trigger_us];
+    group.push_back(i);
+  }
+
+  std::vector<bool> visited(suite.faults.size(), false);
+  std::size_t snapshots = 0;
+  std::uint64_t tail_instret = 0, replay_instret = 0;
+
+  auto emit = [&](std::size_t i, campaign::JobResult r) {
+    if (on_done) {
+      std::lock_guard lk(done_m);
+      on_done(r);
+    }
+    results[i] = std::move(r);
+  };
+
+  auto process_site = [&](const std::vector<std::size_t>& faults_here) {
+    const vp::VpSnapshot snap = cursor->snapshot();
+    ++snapshots;
+    for (std::size_t i : faults_here) {
+      visited[i] = true;
+      std::uint64_t executed = 0;
+      campaign::JobResult r = run_tail(t, suite, i, snap, &executed);
+      tail_instret += executed;
+      replay_instret += r.verdict == "crash" ? 0 : r.run.instret;
+      emit(i, std::move(r));
+    }
+  };
+
+  // Chain the architectural sites along the retired-instruction axis: the
+  // core disarms before invoking a callback, so each callback arms the next
+  // site. Triggers are in [1, golden instret), so every site is reached.
+  std::vector<std::pair<std::uint64_t, const std::vector<std::size_t>*>> chain;
+  chain.reserve(arch_sites.size());
+  for (const auto& [at, group] : arch_sites) chain.push_back({at, &group});
+  std::size_t next_arch = 0;
+  std::function<void()> arm_next = [&] {
+    if (next_arch >= chain.size()) return;
+    const auto site = chain[next_arch++];
+    cursor->core().arm_fault(
+        site.first, [&, site](rv::Core<rv::TaintedWord>&) {
+          process_site(*site.second);
+          arm_next();
+        });
+  };
+  arm_next();
+
+  // Time sites are scheduled before the run starts, like fi::arm() does for
+  // a cold job — setup-time scheduling keeps the same event order at equal
+  // timestamps. A site past the firmware's exit simply never fires, exactly
+  // as the cold job's fault never fires.
+  for (const auto& [us, group] : time_sites) {
+    const std::vector<std::size_t>* site = &group;
+    cursor->sim().schedule_in(sysc::Time::us(us),
+                              [&, site] { process_site(*site); });
+  }
+
+  std::string cursor_error;
+  vp::RunResult golden;
+  try {
+    golden = cursor->run(sysc::Time::ms(t.max_ms));
+  } catch (const std::exception& e) {
+    cursor_error = e.what();
+  } catch (...) {
+    cursor_error = "non-std exception";
+  }
+
+  // Unvisited sites: the cursor ended before the trigger, so the cold job's
+  // fault would never have fired — its result IS the golden outcome.
+  campaign::JobResult golden_res;
+  golden_res.run = golden;
+  golden_res.verdict =
+      cursor_error.empty() ? campaign::verdict_of(golden) : "crash";
+  golden_res.error = cursor_error;
+  golden_res.attempts = 1;
+  for (std::size_t i : chunk) {
+    if (visited[i]) continue;
+    campaign::JobResult r = golden_res;
+    r.name = suite.jobs.jobs[i].name;
+    r.ok = campaign::verdict_matches(suite.jobs.jobs[i].expect, r.verdict);
+    r.history = {{r.verdict, r.error}};
+    if (cursor_error.empty()) replay_instret += golden.instret;
+    emit(i, std::move(r));
+  }
+
+  if (stats) {
+    std::lock_guard lk(stats_m);
+    stats->golden_instret += golden.instret;
+    stats->tail_instret += tail_instret;
+    stats->replay_instret += replay_instret;
+    stats->snapshots += snapshots;
+  }
+}
+
+}  // namespace
+
+std::vector<campaign::JobResult> run_forked(
+    const FiSuite& suite, std::size_t jobs,
+    const std::function<void(const campaign::JobResult&)>& on_done,
+    ForkStats* stats) {
+  const std::size_t n = suite.faults.size();
+  if (stats) *stats = ForkStats{};
+  std::vector<campaign::JobResult> results(n);
+  if (n == 0) return results;
+
+  const std::size_t workers = std::max<std::size_t>(1, std::min(jobs, n));
+  std::vector<std::vector<std::size_t>> chunks(workers);
+  for (std::size_t i = 0; i < n; ++i) chunks[i * workers / n].push_back(i);
+
+  std::mutex done_m, stats_m;
+  if (workers <= 1) {
+    run_chunk(suite, chunks[0], results, on_done, done_m, stats, stats_m);
+    return results;
+  }
+  campaign::ThreadPool pool(workers);
+  pool.parallel_for(workers, [&](std::size_t c) {
+    run_chunk(suite, chunks[c], results, on_done, done_m, stats, stats_m);
+  });
+  return results;
+}
+
+}  // namespace vpdift::fi

@@ -1,0 +1,68 @@
+// Fork-based execution of a fault-injection suite.
+//
+// The cold (replay) path re-runs the firmware from reset for every fault, so
+// a campaign of N faults costs O(N x full run). The fork engine instead runs
+// the fault-free golden trajectory ONCE per worker ("the cursor"), snapshots
+// the full VP state at each fault site (vp::VpSnapshot: architectural state,
+// RAM + tag plane, every peripheral, kernel process phases), and runs only
+// the post-fault tail of each job on a fresh VP restored from that snapshot —
+// O(golden + sum of tails).
+//
+// Equivalence contract: for every fault, the composed JobResult (verdict,
+// instret, DiftStats, watchdog resets, UART output, markers) is
+// bit-identical to what campaign::Runner::run(suite.jobs) would produce for
+// the same suite, serial or parallel. The fork-vs-replay tests pin this for
+// all fault models.
+//
+// Mechanics per worker:
+//  * architectural sites (GPR/RAM/tag faults) are visited by chaining
+//    rv::Core::arm_fault callbacks along the cursor's retired-instruction
+//    axis (the core disarms before invoking a callback, so the callback can
+//    arm the next site);
+//  * time sites (peripheral/IRQ faults) are visited by scheduling callbacks
+//    at their trigger times before the cursor starts — the same setup-time
+//    scheduling order fi::arm() uses for a cold job;
+//  * each visited site takes ONE snapshot (faults sharing a site share it)
+//    and runs its tails inline via a nested simulation run;
+//  * sites the cursor never reaches (the firmware exited first — exactly the
+//    cold runs whose trigger never fires) synthesize their result from the
+//    cursor's own outcome.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "campaign/runner.hpp"
+#include "fi/suite.hpp"
+
+namespace vpdift::fi {
+
+/// Work accounting of one forked campaign — the basis of the reported
+/// golden-vs-tail speedup.
+struct ForkStats {
+  std::uint64_t golden_instret = 0;  ///< retired by the golden cursors
+  std::uint64_t tail_instret = 0;    ///< retired by the forked tails
+  std::uint64_t replay_instret = 0;  ///< what full replay would have retired
+  std::size_t snapshots = 0;         ///< distinct fault sites snapshotted
+
+  std::uint64_t executed() const { return golden_instret + tail_instret; }
+  double speedup() const {
+    return executed() ? static_cast<double>(replay_instret) /
+                            static_cast<double>(executed())
+                      : 0.0;
+  }
+};
+
+/// Executes `suite`'s fault jobs in fork mode on `jobs` workers (<=1 =
+/// serial on the calling thread; each worker runs its own golden cursor over
+/// a contiguous slice of the fault list). The result vector parallels
+/// suite.faults index for index. `on_done` is called as each job finishes
+/// (serialized). Never throws per-job — failures become verdict "crash".
+std::vector<campaign::JobResult> run_forked(
+    const FiSuite& suite, std::size_t jobs,
+    const std::function<void(const campaign::JobResult&)>& on_done = {},
+    ForkStats* stats = nullptr);
+
+}  // namespace vpdift::fi

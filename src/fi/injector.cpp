@@ -125,65 +125,69 @@ void corrupt_tags(vp::VpDift& v, const FaultSpec& f, std::uint32_t pc) {
 
 }  // namespace
 
+void apply_now(vp::VpDift& v, const FaultSpec& f) {
+  switch (f.model) {
+    case FaultModel::kGprFlip: {
+      if (f.reg == 0) break;  // x0 is hardwired
+      using Ops = rv::WordOps<rv::TaintedWord>;
+      rv::Core<rv::TaintedWord>& c = v.core();
+      const auto w = c.reg(f.reg & 31);
+      c.set_reg(f.reg & 31, Ops::make(Ops::value(w) ^ f.bits, Ops::tag(w)));
+      break;
+    }
+    case FaultModel::kRamFlip:
+      if (f.offset < v.ram().size())
+        v.ram().data()[f.offset] ^= static_cast<std::uint8_t>(f.bits);
+      break;
+    case FaultModel::kTagCorrupt:
+      corrupt_tags(v, f, v.core().pc());
+      break;
+    case FaultModel::kUartRxDrop:
+      v.uart().fi_drop_rx(f.span);
+      break;
+    case FaultModel::kUartRxCorrupt:
+      v.uart().fi_corrupt_rx(f.span, static_cast<std::uint8_t>(f.bits));
+      break;
+    case FaultModel::kCanErrorFrame:
+      v.can().fi_drop_rx_frame();
+      break;
+    case FaultModel::kCanBusOff:
+      v.can().fi_set_bus_off(true);
+      break;
+    case FaultModel::kSensorStuck:
+      v.sensor().fi_set_stuck(true);
+      break;
+    case FaultModel::kFlashCorrupt:
+      if (v.flash())
+        v.flash()->fi_corrupt_reads(f.span, static_cast<std::uint8_t>(f.bits));
+      break;
+    case FaultModel::kIrqSpurious:
+      v.plic().raise(f.irq_src & 31);
+      break;
+    case FaultModel::kIrqSuppress:
+      v.plic().fi_set_suppressed(1u << (f.irq_src & 31));
+      break;
+  }
+}
+
 void arm(vp::VpDift& v, const FaultSpec& fault) {
   vp::VpDift* vp = &v;
   const FaultSpec f = fault;
-  auto at_time = [vp, &fault](std::function<void()> fn) {
-    vp->sim().schedule_in(sysc::Time::us(fault.trigger_us), std::move(fn));
-  };
-
   switch (f.model) {
     case FaultModel::kGprFlip:
-      v.core().arm_fault(f.trigger_instret, [f](rv::Core<rv::TaintedWord>& c) {
-        if (f.reg == 0) return;  // x0 is hardwired
-        using Ops = rv::WordOps<rv::TaintedWord>;
-        const auto w = c.reg(f.reg & 31);
-        c.set_reg(f.reg & 31, Ops::make(Ops::value(w) ^ f.bits, Ops::tag(w)));
-      });
-      break;
     case FaultModel::kRamFlip:
-      v.core().arm_fault(f.trigger_instret,
-                         [vp, f](rv::Core<rv::TaintedWord>&) {
-                           if (f.offset < vp->ram().size())
-                             vp->ram().data()[f.offset] ^=
-                                 static_cast<std::uint8_t>(f.bits);
-                         });
-      break;
     case FaultModel::kTagCorrupt:
+      // Architectural faults: block-boundary hook at the exact retired-
+      // instruction count. The callback's machine state is what apply_now
+      // mutates — identical to the fork engine applying after a restore of
+      // a snapshot captured at the same point.
       v.core().arm_fault(f.trigger_instret,
-                         [vp, f](rv::Core<rv::TaintedWord>& c) {
-                           corrupt_tags(*vp, f, c.pc());
-                         });
+                         [vp, f](rv::Core<rv::TaintedWord>&) { apply_now(*vp, f); });
       break;
-    case FaultModel::kUartRxDrop:
-      at_time([vp, f] { vp->uart().fi_drop_rx(f.span); });
-      break;
-    case FaultModel::kUartRxCorrupt:
-      at_time([vp, f] {
-        vp->uart().fi_corrupt_rx(f.span, static_cast<std::uint8_t>(f.bits));
-      });
-      break;
-    case FaultModel::kCanErrorFrame:
-      at_time([vp] { vp->can().fi_drop_rx_frame(); });
-      break;
-    case FaultModel::kCanBusOff:
-      at_time([vp] { vp->can().fi_set_bus_off(true); });
-      break;
-    case FaultModel::kSensorStuck:
-      at_time([vp] { vp->sensor().fi_set_stuck(true); });
-      break;
-    case FaultModel::kFlashCorrupt:
-      at_time([vp, f] {
-        if (vp->flash())
-          vp->flash()->fi_corrupt_reads(f.span,
-                                        static_cast<std::uint8_t>(f.bits));
-      });
-      break;
-    case FaultModel::kIrqSpurious:
-      at_time([vp, f] { vp->plic().raise(f.irq_src & 31); });
-      break;
-    case FaultModel::kIrqSuppress:
-      at_time([vp, f] { vp->plic().fi_set_suppressed(1u << (f.irq_src & 31)); });
+    default:
+      // Peripheral/IRQ faults: fire at the simulated-time trigger.
+      vp->sim().schedule_in(sysc::Time::us(f.trigger_us),
+                            [vp, f] { apply_now(*vp, f); });
       break;
   }
 }

@@ -23,6 +23,13 @@ namespace vpdift::fi {
 /// call site. The spec is copied; nothing must outlive the VP.
 void arm(vp::VpDift& v, const FaultSpec& fault);
 
+/// Applies `fault`'s corruption to `v` immediately, instead of arming a
+/// trigger. The fork engine's call site: the VP has just been restored from
+/// a snapshot captured at the fault's exact trigger point, so applying now
+/// is equivalent to the cold run's trigger firing. arm() routes its own
+/// trigger callbacks through this function — one mutation path, two clocks.
+void apply_now(vp::VpDift& v, const FaultSpec& fault);
+
 /// Programs and enables the watchdog from the host side (LOAD + CTRL writes
 /// straight into the register file), so fault campaigns can observe
 /// watchdog-recovered outcomes on firmware that never touches the watchdog

@@ -75,9 +75,78 @@ bool parse_fi_ref(const std::string& ref, FiSuiteSpec* out) {
   return true;
 }
 
-FiSuite build_suite(const FiSuiteSpec& spec) {
+namespace {
+
+/// The shared JobSpec skeleton of the golden run and every fault job.
+campaign::JobSpec base_job(const FiSuiteSpec& spec) {
+  campaign::JobSpec base;
+  base.firmware = spec.benchmark;
+  base.policy = "code-injection";
+  base.mode = campaign::VpMode::kDift;
+  base.engine_ecu = spec.benchmark == "immobilizer";
+  base.max_ms = 10000;
+  base.retries = 0;
+  return base;
+}
+
+/// Runs the golden reference and fills in the derived budgets — the part of
+/// suite construction that is independent of where the faults come from.
+FiSuite make_golden(const FiSuiteSpec& spec) {
   FiSuite s;
   s.spec = spec;
+  campaign::JobSpec golden_job = base_job(spec);
+  golden_job.name = "golden:" + spec.benchmark;
+  s.golden = campaign::Runner::run_job(golden_job);
+  if (s.golden.verdict == "crash")
+    throw std::runtime_error("fi golden run crashed: " + s.golden.error);
+  s.golden_us = std::max<std::uint64_t>(s.golden.run.sim_time.micros(), 1);
+  s.wdt_us = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(3 * s.golden_us + 1000, ~std::uint32_t(0)));
+  return s;
+}
+
+/// Simulated-time budget per fault job: the watchdog may bite once and the
+/// firmware re-run from reset a few times before we call it a hang.
+std::uint64_t fault_budget_ms(const FiSuite& s) {
+  return (s.wdt_us + 4 * s.golden_us) / 1000 + 20;
+}
+
+/// Turns a fault list into campaign jobs on `s` (replay path: each job's
+/// pre_run_dift hook arms the watchdog and the one fault).
+void add_fault_jobs(FiSuite& s, std::vector<FaultSpec> faults) {
+  const campaign::JobSpec base = base_job(s.spec);
+  const std::uint64_t max_ms = fault_budget_ms(s);
+  s.jobs.name = "fi:" + s.spec.benchmark;
+  s.faults = std::move(faults);
+  s.jobs.jobs.reserve(s.faults.size());
+  for (std::size_t i = 0; i < s.faults.size(); ++i) {
+    const FaultSpec& f = s.faults[i];
+    campaign::JobSpec j = base;
+    char name[64];
+    std::snprintf(name, sizeof name, "fi%04zu:%s", i, to_string(f.model));
+    j.name = name;
+    j.max_ms = max_ms;
+    const FaultSpec fc = f;
+    const std::uint32_t wdt_us = s.wdt_us;
+    j.pre_run_dift = [fc, wdt_us](vp::VpDift& v) {
+      arm_watchdog(v, wdt_us);
+      arm(v, fc);
+    };
+    s.jobs.jobs.push_back(std::move(j));
+  }
+}
+
+}  // namespace
+
+FiSuite assemble_suite(const FiSuiteSpec& spec, std::vector<FaultSpec> faults) {
+  FiSuite s = make_golden(spec);
+  s.spec.n_faults = faults.size();
+  add_fault_jobs(s, std::move(faults));
+  return s;
+}
+
+FiSuite build_suite(const FiSuiteSpec& spec) {
+  FiSuite s = make_golden(spec);
 
   // Image extent (throws early on an unknown benchmark). RAM bit flips
   // target the heap window past the image and the stack page, never the
@@ -96,32 +165,11 @@ FiSuite build_suite(const FiSuiteSpec& spec) {
       std::min<std::uint64_t>(64 * 1024, ram_size - heap_off);
   const std::uint64_t stack_off = ram_size - 4096;
 
-  campaign::JobSpec base;
-  base.firmware = spec.benchmark;
-  base.policy = "code-injection";
-  base.mode = campaign::VpMode::kDift;
-  base.engine_ecu = spec.benchmark == "immobilizer";
-  base.max_ms = 10000;
-  base.retries = 0;
-
-  campaign::JobSpec golden_job = base;
-  golden_job.name = "golden:" + spec.benchmark;
-  s.golden = campaign::Runner::run_job(golden_job);
-  if (s.golden.verdict == "crash")
-    throw std::runtime_error("fi golden run crashed: " + s.golden.error);
-
-  s.golden_us = std::max<std::uint64_t>(s.golden.run.sim_time.micros(), 1);
   const std::uint64_t instret = std::max<std::uint64_t>(s.golden.run.instret, 2);
-  s.wdt_us = static_cast<std::uint32_t>(
-      std::min<std::uint64_t>(3 * s.golden_us + 1000, ~std::uint32_t(0)));
-  // Budget: the watchdog may bite once and the firmware re-run from reset a
-  // few times before we call it a hang.
-  const std::uint64_t max_ms = (s.wdt_us + 4 * s.golden_us) / 1000 + 20;
 
   Rng rng(spec.seed);
-  s.jobs.name = "fi:" + spec.benchmark;
-  s.faults.reserve(spec.n_faults);
-  s.jobs.jobs.reserve(spec.n_faults);
+  std::vector<FaultSpec> faults;
+  faults.reserve(spec.n_faults);
   for (std::size_t i = 0; i < spec.n_faults; ++i) {
     FaultSpec f;
     f.model = pick_model(rng);
@@ -162,21 +210,9 @@ FiSuite build_suite(const FiSuiteSpec& spec) {
         f.irq_src = pick_irq_src(rng);
         break;
     }
-
-    campaign::JobSpec j = base;
-    char name[64];
-    std::snprintf(name, sizeof name, "fi%04zu:%s", i, to_string(f.model));
-    j.name = name;
-    j.max_ms = max_ms;
-    const FaultSpec fc = f;
-    const std::uint32_t wdt_us = s.wdt_us;
-    j.pre_run_dift = [fc, wdt_us](vp::VpDift& v) {
-      arm_watchdog(v, wdt_us);
-      arm(v, fc);
-    };
-    s.faults.push_back(f);
-    s.jobs.jobs.push_back(std::move(j));
+    faults.push_back(f);
   }
+  add_fault_jobs(s, std::move(faults));
   return s;
 }
 

@@ -55,6 +55,14 @@ struct FiSuite {
 /// derives the fault schedule. Same spec in = bit-identical schedule out.
 FiSuite build_suite(const FiSuiteSpec& spec);
 
+/// Runs the golden reference and assembles campaign jobs for a handcrafted
+/// fault list instead of a seed-derived schedule — build_suite's back half.
+/// Callers are responsible for keeping trigger_instret within
+/// [1, golden instret) and trigger_us within [0, golden_us] if they want the
+/// fault to land inside the golden trajectory. spec.n_faults is ignored
+/// (faults.size() wins).
+FiSuite assemble_suite(const FiSuiteSpec& spec, std::vector<FaultSpec> faults);
+
 /// Classifies one fault run against the golden reference.
 Verdict classify(const campaign::JobResult& golden,
                  const campaign::JobResult& r);

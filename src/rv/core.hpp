@@ -125,6 +125,25 @@ class Core {
     fault_armed_ = static_cast<bool>(fault_fn_);
   }
   bool fault_armed() const { return fault_armed_; }
+  /// Trigger point of the armed fault (meaningful while fault_armed()).
+  std::uint64_t fault_at() const { return fault_at_; }
+  /// Drops an armed-but-unfired fault. Snapshot restore calls this so a
+  /// forked tail never inherits the parent's pending trigger.
+  void disarm_fault() {
+    fault_armed_ = false;
+    fault_fn_ = nullptr;
+  }
+
+  /// Drops every cached block translation (and the current-block bounds).
+  /// Required after any RAM mutation that bypasses the store path — e.g.
+  /// snapshot restore memcpys new code bytes straight into the DMI window,
+  /// so `smc_break_` never fires and chained blocks would keep executing
+  /// stale translations.
+  void invalidate_blocks() {
+    blocks_.clear();
+    cur_block_lo_ = cur_block_hi_ = 0;
+    smc_break_ = false;
+  }
 
   /// Architectural reset: clears registers, CSRs, pending interrupts, the
   /// WFI state, the block cache, and the retirement counter; pc moves to
@@ -214,11 +233,6 @@ class Core {
   void build_into(Block& b, std::uint64_t off);
   std::uint64_t exec_block(Block& b, std::uint64_t budget, bool fresh);
   void step_slow();
-  void invalidate_blocks() {
-    blocks_.clear();
-    cur_block_lo_ = cur_block_hi_ = 0;
-    smc_break_ = false;
-  }
 
   dift::Tag combine(dift::Tag a, dift::Tag b) { return Ops::combine(a, b); }
   std::uint32_t rv(std::uint8_t r) const { return Ops::value(regs_[r]); }

@@ -48,6 +48,33 @@ class AesPeriph : public sysc::Module {
 
   std::uint64_t encryptions() const { return encryptions_; }
 
+  /// Snapshotable device state (key/input/output blocks with their tags;
+  /// clearances and declassification rights are policy configuration).
+  struct State {
+    AesKey key{};
+    std::array<dift::Tag, 16> key_tags{};
+    AesBlock input{};
+    std::array<dift::Tag, 16> input_tags{};
+    AesBlock output{};
+    dift::Tag output_data_tag = dift::kBottomTag;
+    bool done = false;
+    std::uint64_t encryptions = 0;
+  };
+  State save_state() const {
+    return {key_,    key_tags_,        input_, input_tags_,
+            output_, output_data_tag_, done_,  encryptions_};
+  }
+  void load_state(const State& s) {
+    key_ = s.key;
+    key_tags_ = s.key_tags;
+    input_ = s.input;
+    input_tags_ = s.input_tags;
+    output_ = s.output;
+    output_data_tag_ = s.output_data_tag;
+    done_ = s.done;
+    encryptions_ = s.encryptions;
+  }
+
  private:
   void transport(tlmlite::Payload& p, sysc::Time& delay);
   void encrypt();

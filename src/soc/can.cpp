@@ -113,7 +113,14 @@ EngineEcu::EngineEcu(sysc::Simulation& sim, std::string name, CanPeriph& immo_ca
 
 sysc::Task EngineEcu::run() {
   while (true) {
-    co_await sim_->delay(period_);
+    sysc::Time d = period_;
+    if (resume_hop_) {
+      // Restored mid-interval: challenge k lands at k * period in a cold
+      // run; sleep to the next challenge's absolute due time.
+      resume_hop_ = false;
+      d = period_ * (challenges_ + 1) - sim_->now();
+    }
+    co_await sim_->delay(d);
     // New random challenge.
     for (auto& b : challenge_) {
       lcg_ = lcg_ * 1103515245u + 12345u;

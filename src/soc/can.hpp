@@ -69,6 +69,28 @@ class CanPeriph : public sysc::Module {
   void fi_set_bus_off(bool off);
   bool fi_bus_off() const { return bus_off_; }
 
+  /// Snapshotable device state (mailboxes, counters, fault latches).
+  /// Clearances/input tags are policy configuration, not state.
+  struct State {
+    CanFrame tx;
+    std::array<dift::Tag, 8> tx_tags{};
+    std::deque<CanFrame> rx;
+    std::uint32_t ie = 0;
+    std::uint64_t tx_count = 0;
+    bool bus_off = false;
+  };
+  State save_state() const { return {tx_, tx_tags_, rx_, ie_, tx_count_, bus_off_}; }
+  /// Restores device state without re-deriving the IRQ line (the restored
+  /// PLIC pending set is authoritative for level-triggered sources).
+  void load_state(const State& s) {
+    tx_ = s.tx;
+    tx_tags_ = s.tx_tags;
+    rx_ = s.rx;
+    ie_ = s.ie;
+    tx_count_ = s.tx_count;
+    bus_off_ = s.bus_off;
+  }
+
  private:
   void transport(tlmlite::Payload& p, sysc::Time& delay);
   void update_irq();
@@ -106,6 +128,28 @@ class EngineEcu : public sysc::Module {
   std::uint64_t auth_ok() const { return auth_ok_; }
   std::uint64_t auth_fail() const { return auth_fail_; }
 
+  /// Snapshotable ECU state. Challenge k goes out at absolute time
+  /// k * period, so `challenges` pins the generator's phase the same way
+  /// the sensor's frame counter does.
+  struct State {
+    std::uint32_t lcg = 0xcafebabe;
+    std::array<std::uint8_t, 8> challenge{};
+    bool awaiting_response = false;
+    std::uint64_t challenges = 0, auth_ok = 0, auth_fail = 0;
+  };
+  State save_state() const {
+    return {lcg_, challenge_, awaiting_response_, challenges_, auth_ok_, auth_fail_};
+  }
+  void load_state(const State& s) {
+    lcg_ = s.lcg;
+    challenge_ = s.challenge;
+    awaiting_response_ = s.awaiting_response;
+    challenges_ = s.challenges;
+    auth_ok_ = s.auth_ok;
+    auth_fail_ = s.auth_fail;
+    resume_hop_ = true;
+  }
+
  private:
   sysc::Task run();
 
@@ -116,6 +160,7 @@ class EngineEcu : public sysc::Module {
   std::array<std::uint8_t, 8> challenge_{};
   bool awaiting_response_ = false;
   std::uint64_t challenges_ = 0, auth_ok_ = 0, auth_fail_ = 0;
+  bool resume_hop_ = false;
 };
 
 }  // namespace vpdift::soc

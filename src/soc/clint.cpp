@@ -15,11 +15,30 @@ void Clint::update_timer_irq() {
 }
 
 sysc::Task Clint::run() {
+  if (resume_hop_) {
+    // First activation after a snapshot restore: re-join the saved wake
+    // chain instead of starting a fresh one.
+    resume_hop_ = false;
+    if (parked_ && mtime() >= mtimecmp_) {
+      co_await cmp_changed_;
+      parked_ = false;
+      update_timer_irq();
+    } else if (!parked_ && next_wake_ > sim_->now()) {
+      co_await sim_->delay(next_wake_ - sim_->now());
+      update_timer_irq();
+    }
+    // parked-but-cmp-already-moved-forward means the waking notification was
+    // pending (same delta) at capture time: the cold process resumes at the
+    // capture instant and starts a fresh slice — exactly what falling into
+    // the loop does. A slice ending right now likewise falls through.
+  }
   while (true) {
     if (mtime() >= mtimecmp_) {
       update_timer_irq();
       // Wait for SW to move mtimecmp forward (or clear it).
+      parked_ = true;
       co_await cmp_changed_;
+      parked_ = false;
       update_timer_irq();
       continue;
     }
@@ -28,6 +47,7 @@ sysc::Task Clint::run() {
     // slice bounds the interrupt latency for a cmp that moved *earlier*.
     const std::uint64_t delta_us = mtimecmp_ - mtime();
     const std::uint64_t slice = delta_us > 100 ? 100 : delta_us;
+    next_wake_ = sim_->now() + sysc::Time::us(slice);
     co_await sim_->delay(sysc::Time::us(slice));
     update_timer_irq();
   }

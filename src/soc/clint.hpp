@@ -38,6 +38,26 @@ class Clint : public sysc::Module {
 
   void start() { sim_->spawn(run()); }
 
+  /// Snapshotable device state. The timer process's phase is pinned by
+  /// `parked` (awaiting a compare rewrite) and `next_wake` (absolute end of
+  /// the current polling slice), so a restored process re-joins the exact
+  /// wake chain a cold run would execute. Does NOT re-derive the interrupt
+  /// lines on load: the restored CSR mip is authoritative.
+  struct State {
+    std::uint64_t mtimecmp = ~0ull;
+    std::uint32_t msip = 0;
+    bool parked = false;
+    sysc::Time next_wake;
+  };
+  State save_state() const { return {mtimecmp_, msip_, parked_, next_wake_}; }
+  void load_state(const State& s) {
+    mtimecmp_ = s.mtimecmp;
+    msip_ = s.msip;
+    parked_ = s.parked;
+    next_wake_ = s.next_wake;
+    resume_hop_ = true;
+  }
+
  private:
   sysc::Task run();
   void transport(tlmlite::Payload& p, sysc::Time& delay);
@@ -47,6 +67,9 @@ class Clint : public sysc::Module {
   sysc::Event cmp_changed_;
   std::uint64_t mtimecmp_ = ~0ull;
   std::uint32_t msip_ = 0;
+  bool parked_ = false;
+  sysc::Time next_wake_;
+  bool resume_hop_ = false;
   std::function<void(bool)> timer_irq_;
   std::function<void(bool)> soft_irq_;
 };

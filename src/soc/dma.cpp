@@ -15,43 +15,23 @@ Dma::Dma(sysc::Simulation& sim, std::string name, bool tainted_mode)
 }
 
 sysc::Task Dma::run() {
+  if (resume_hop_ && busy_) {
+    // Restored mid-transfer: the cold process is asleep in the pacing delay
+    // of the burst it just issued; wait out the remainder, then continue
+    // the copy from the saved cursors.
+    resume_hop_ = false;
+    if (next_burst_due_ > sim_->now())
+      co_await sim_->delay(next_burst_due_ - sim_->now());
+  } else {
+    resume_hop_ = false;
+  }
   while (true) {
     // A start command may have arrived before this thread first ran (the
     // notification would then be lost); the busy flag covers that window.
     while (!busy_) co_await start_event_;
-    std::uint32_t remaining = len_;
-    std::uint32_t s = src_, d = dst_;
-    while (remaining > 0) {
-      const std::uint32_t n = std::min(remaining, kBurstBytes);
-      std::uint8_t buf[kBurstBytes];
-      dift::Tag tbuf[kBurstBytes];
-      sysc::Time delay;
-
-      tlmlite::Payload rd;
-      rd.command = tlmlite::Command::kRead;
-      rd.address = s;
-      rd.data = buf;
-      rd.tags = tainted_mode_ ? tbuf : nullptr;
-      rd.length = n;
-      isock_.b_transport(rd, delay);
-
-      tlmlite::Payload wr;
-      wr.command = tlmlite::Command::kWrite;
-      wr.address = d;
-      wr.data = buf;
-      wr.tags = tainted_mode_ ? tbuf : nullptr;
-      wr.length = n;
-      // Forward the source's uniform-tag summary so the destination can
-      // update its block summaries without rescanning the burst.
-      if (tainted_mode_ && rd.ok() && rd.tags_uniform()) {
-        wr.tag_summary = rd.tag_summary;
-        ++summary_hits_;
-      }
-      isock_.b_transport(wr, delay);
-
-      s += n;
-      d += n;
-      remaining -= n;
+    while (remaining_ > 0) {
+      burst();
+      next_burst_due_ = sim_->now() + sysc::Time::ns(100);
       co_await sim_->delay(sysc::Time::ns(100));  // burst pacing
     }
     busy_ = false;
@@ -59,6 +39,39 @@ sysc::Task Dma::run() {
     ++transfers_;
     if (irq_) irq_();
   }
+}
+
+void Dma::burst() {
+  const std::uint32_t n = std::min(remaining_, kBurstBytes);
+  std::uint8_t buf[kBurstBytes];
+  dift::Tag tbuf[kBurstBytes];
+  sysc::Time delay;
+
+  tlmlite::Payload rd;
+  rd.command = tlmlite::Command::kRead;
+  rd.address = cur_src_;
+  rd.data = buf;
+  rd.tags = tainted_mode_ ? tbuf : nullptr;
+  rd.length = n;
+  isock_.b_transport(rd, delay);
+
+  tlmlite::Payload wr;
+  wr.command = tlmlite::Command::kWrite;
+  wr.address = cur_dst_;
+  wr.data = buf;
+  wr.tags = tainted_mode_ ? tbuf : nullptr;
+  wr.length = n;
+  // Forward the source's uniform-tag summary so the destination can
+  // update its block summaries without rescanning the burst.
+  if (tainted_mode_ && rd.ok() && rd.tags_uniform()) {
+    wr.tag_summary = rd.tag_summary;
+    ++summary_hits_;
+  }
+  isock_.b_transport(wr, delay);
+
+  cur_src_ += n;
+  cur_dst_ += n;
+  remaining_ -= n;
 }
 
 void Dma::transport(tlmlite::Payload& p, sysc::Time& delay) {
@@ -76,6 +89,9 @@ void Dma::transport(tlmlite::Payload& p, sysc::Time& delay) {
       } else if (p.data[0] == 1 && !busy_) {
         busy_ = true;
         done_ = false;
+        cur_src_ = src_;
+        cur_dst_ = dst_;
+        remaining_ = len_;
         start_event_.notify();
       }
       break;

@@ -41,8 +41,39 @@ class Dma : public sysc::Module {
   /// Bursts whose tags were forwarded as one uniform summary.
   std::uint64_t summary_hits() const { return summary_hits_; }
 
+  /// Snapshotable device state, including an in-flight transfer: cursor
+  /// positions, remaining byte count, and the absolute due time of the next
+  /// burst, so a restored copy resumes burst-exact.
+  struct State {
+    std::uint32_t src = 0, dst = 0, len = 0;
+    bool busy = false, done = false;
+    std::uint64_t transfers = 0;
+    std::uint64_t summary_hits = 0;
+    std::uint32_t cur_src = 0, cur_dst = 0, remaining = 0;
+    sysc::Time next_burst_due;
+  };
+  State save_state() const {
+    return {src_,      dst_,     len_,      busy_,    done_,          transfers_,
+            summary_hits_, cur_src_, cur_dst_, remaining_, next_burst_due_};
+  }
+  void load_state(const State& s) {
+    src_ = s.src;
+    dst_ = s.dst;
+    len_ = s.len;
+    busy_ = s.busy;
+    done_ = s.done;
+    transfers_ = s.transfers;
+    summary_hits_ = s.summary_hits;
+    cur_src_ = s.cur_src;
+    cur_dst_ = s.cur_dst;
+    remaining_ = s.remaining;
+    next_burst_due_ = s.next_burst_due;
+    resume_hop_ = true;
+  }
+
  private:
   sysc::Task run();
+  void burst();
   void transport(tlmlite::Payload& p, sysc::Time& delay);
 
   tlmlite::TargetSocket tsock_;
@@ -53,6 +84,11 @@ class Dma : public sysc::Module {
   bool tainted_mode_;
   std::uint64_t transfers_ = 0;
   std::uint64_t summary_hits_ = 0;
+  // In-flight transfer progress (members, not locals, so snapshots can
+  // capture a copy mid-burst).
+  std::uint32_t cur_src_ = 0, cur_dst_ = 0, remaining_ = 0;
+  sysc::Time next_burst_due_;
+  bool resume_hop_ = false;
   std::function<void()> irq_;
 };
 

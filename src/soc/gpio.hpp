@@ -39,6 +39,18 @@ class Gpio : public sysc::Module {
   std::uint32_t output_pins() const { return out_; }
   std::uint32_t direction() const { return dir_; }
 
+  /// Snapshotable device state (pin levels and direction; clearances are
+  /// policy configuration).
+  struct State {
+    std::uint32_t out = 0, in = 0, dir = 0;
+  };
+  State save_state() const { return {out_, in_, dir_}; }
+  void load_state(const State& s) {
+    out_ = s.out;
+    in_ = s.in;
+    dir_ = s.dir;
+  }
+
  private:
   void transport(tlmlite::Payload& p, sysc::Time& delay);
 

@@ -43,6 +43,20 @@ class Plic : public sysc::Module {
   void fi_set_suppressed(std::uint32_t mask);
   std::uint32_t fi_suppressed() const { return fi_suppress_; }
 
+  /// Snapshotable device state. Load does not re-drive the ext-irq line;
+  /// the restored CSR mip carries the captured level.
+  struct State {
+    std::uint32_t pending = 0;
+    std::uint32_t enable = 0;
+    std::uint32_t fi_suppress = 0;
+  };
+  State save_state() const { return {pending_, enable_, fi_suppress_}; }
+  void load_state(const State& s) {
+    pending_ = s.pending;
+    enable_ = s.enable;
+    fi_suppress_ = s.fi_suppress;
+  }
+
  private:
   void transport(tlmlite::Payload& p, sysc::Time& delay);
   void update();

@@ -15,7 +15,15 @@ void Sensor::start() { sim_->spawn(run()); }
 
 sysc::Task Sensor::run() {
   while (true) {
-    co_await sim_->delay(period_);
+    sysc::Time d = period_;
+    if (resume_hop_) {
+      // Restored mid-interval: frame k lands at k * period in a cold run,
+      // so sleep to the next frame's absolute due time instead of a full
+      // period from the (arbitrary) restore instant.
+      resume_hop_ = false;
+      d = period_ * (frames_ + 1) - sim_->now();
+    }
+    co_await sim_->delay(d);
     // Fill with pseudo-random printable data of the configured class. A
     // stuck sensor keeps its timing (frames and interrupts fire) but the
     // data window freezes — the classic undetectable ADC failure.

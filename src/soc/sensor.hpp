@@ -49,6 +49,26 @@ class Sensor : public sysc::Module {
   /// the simulation graph is complete).
   void start();
 
+  /// Snapshotable device state. Frame k is generated at absolute time
+  /// k * period, so `frames` alone pins the generator's phase: a restored
+  /// process sleeps to (frames + 1) * period and is back on the cold grid.
+  struct State {
+    std::array<dift::TaintedByte, kFrameSize> frame{};
+    dift::Tag data_tag = dift::kBottomTag;
+    std::uint32_t lcg = 0x12345678u;
+    std::uint64_t frames = 0;
+    bool fi_stuck = false;
+  };
+  State save_state() const { return {frame_, data_tag_, lcg_, frames_, fi_stuck_}; }
+  void load_state(const State& s) {
+    frame_ = s.frame;
+    data_tag_ = s.data_tag;
+    lcg_ = s.lcg;
+    frames_ = s.frames;
+    fi_stuck_ = s.fi_stuck;
+    resume_hop_ = true;
+  }
+
  private:
   sysc::Task run();
   void transport(tlmlite::Payload& p, sysc::Time& delay);
@@ -60,6 +80,7 @@ class Sensor : public sysc::Module {
   std::uint32_t lcg_ = 0x12345678u;
   std::uint64_t frames_ = 0;
   bool fi_stuck_ = false;
+  bool resume_hop_ = false;
   std::function<void()> irq_;
 };
 

@@ -35,6 +35,18 @@ class SpiFlash : public sysc::Module {
   }
   std::uint32_t fi_reads_left() const { return fi_reads_; }
 
+  /// Snapshotable device state. The image itself is immutable and owned by
+  /// the constructing VP config — only the fault latches are state.
+  struct State {
+    std::uint32_t fi_reads = 0;
+    std::uint8_t fi_mask = 0;
+  };
+  State save_state() const { return {fi_reads_, fi_mask_}; }
+  void load_state(const State& s) {
+    fi_reads_ = s.fi_reads;
+    fi_mask_ = s.fi_mask;
+  }
+
  private:
   void transport(tlmlite::Payload& p, sysc::Time& delay);
 

@@ -26,6 +26,20 @@ class SysCtrl : public sysc::Module {
   std::uint32_t exit_code() const { return exit_code_; }
   const std::string& markers() const { return markers_; }
 
+  /// Snapshotable device state (the marker log is cumulative, like the UART
+  /// TX log, so restored runs compose with the golden prefix).
+  struct State {
+    bool exited = false;
+    std::uint32_t exit_code = 0;
+    std::string markers;
+  };
+  State save_state() const { return {exited_, exit_code_, markers_}; }
+  void load_state(const State& s) {
+    exited_ = s.exited;
+    exit_code_ = s.exit_code;
+    markers_ = s.markers;
+  }
+
  private:
   void transport(tlmlite::Payload& p, sysc::Time& delay);
 

@@ -50,6 +50,24 @@ class Uart : public sysc::Module {
   /// errors on the wire). Returns how many bytes were corrupted.
   std::size_t fi_corrupt_rx(std::size_t n, std::uint8_t mask);
 
+  /// Snapshotable device state (FIFO contents and interrupt enable; the TX
+  /// log is included so a restored run's cumulative output matches a cold
+  /// replay). Clearances/input tags are policy configuration, not state.
+  struct State {
+    std::deque<std::uint8_t> rx;
+    std::string tx_log;
+    std::uint32_t ie = 0;
+  };
+  State save_state() const { return {rx_, tx_log_, ie_}; }
+  /// Restores device state. Deliberately does NOT re-derive the IRQ line:
+  /// the restored PLIC pending set is authoritative (a cold run may have
+  /// claimed-and-cleared the level-triggered source already).
+  void load_state(const State& s) {
+    rx_ = s.rx;
+    tx_log_ = s.tx_log;
+    ie_ = s.ie;
+  }
+
  private:
   void transport(tlmlite::Payload& p, sysc::Time& delay);
   void update_irq();

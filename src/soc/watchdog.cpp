@@ -12,15 +12,32 @@ Watchdog::Watchdog(sysc::Simulation& sim, std::string name)
 
 sysc::Task Watchdog::run() {
   // Poll in bounded slices (same pattern as the CLINT: a re-arm while we
-  // sleep cannot wake us, so the slice bounds the detection latency).
+  // sleep cannot wake us, so the slice bounds the detection latency). The
+  // checks land on the absolute 50 us grid, which lets a restored process
+  // realign to the same check times a cold run would have used.
   while (true) {
-    co_await sim_->delay(sysc::Time::us(50));
-    if (!enabled_) continue;
-    if (sim_->now().micros() >= deadline_us_) {
-      ++resets_;
-      deadline_us_ = sim_->now().micros() + timeout_us_;  // re-arm
-      if (on_timeout_) on_timeout_();
+    sysc::Time d = sysc::Time::us(50);
+    if (resume_hop_) {
+      // Restored mid-interval: sleep to the next grid point (possibly the
+      // current instant) instead of a full slice. No check happens before
+      // that point — a past-due deadline must still bite on the grid, as
+      // it would have in a cold run.
+      resume_hop_ = false;
+      sysc::Time next = sysc::Time::us(sim_->now().micros() / 50 * 50);
+      while (next < sim_->now()) next += sysc::Time::us(50);
+      d = next - sim_->now();
     }
+    co_await sim_->delay(d);
+    check();
+  }
+}
+
+void Watchdog::check() {
+  if (!enabled_) return;
+  if (sim_->now().micros() >= deadline_us_) {
+    ++resets_;
+    deadline_us_ = sim_->now().micros() + timeout_us_;  // re-arm
+    if (on_timeout_) on_timeout_();
   }
 }
 

@@ -34,8 +34,26 @@ class Watchdog : public sysc::Module {
   bool enabled() const { return enabled_; }
   std::uint32_t resets_fired() const { return resets_; }
 
+  /// Snapshotable device state. `deadline_us` is absolute simulated time, so
+  /// it stays meaningful across a sim-time-preserving restore.
+  struct State {
+    std::uint32_t timeout_us = 0;
+    std::uint64_t deadline_us = ~0ull;
+    bool enabled = false;
+    std::uint32_t resets = 0;
+  };
+  State save_state() const { return {timeout_us_, deadline_us_, enabled_, resets_}; }
+  void load_state(const State& s) {
+    timeout_us_ = s.timeout_us;
+    deadline_us_ = s.deadline_us;
+    enabled_ = s.enabled;
+    resets_ = s.resets;
+    resume_hop_ = true;
+  }
+
  private:
   sysc::Task run();
+  void check();
   void transport(tlmlite::Payload& p, sysc::Time& delay);
 
   tlmlite::TargetSocket tsock_;
@@ -43,6 +61,7 @@ class Watchdog : public sysc::Module {
   std::uint64_t deadline_us_ = ~0ull;
   bool enabled_ = false;
   std::uint32_t resets_ = 0;
+  bool resume_hop_ = false;
   std::function<void()> on_timeout_;
 };
 

@@ -64,13 +64,28 @@ void Simulation::dispatch(const std::function<void()>& fn) {
   }
 }
 
+void Simulation::set_now(Time t) {
+  if (!idle())
+    throw std::logic_error("Simulation::set_now() requires an idle kernel");
+  if (current_ == this)
+    throw std::logic_error("Simulation::set_now() inside run() is not supported");
+  now_ = t;
+}
+
 void Simulation::run(Time until) {
-  if (current_ != nullptr)
-    throw std::logic_error("nested Simulation::run() is not supported");
+  // A simulation must not re-enter its own run loop, but a *different*
+  // simulation may run nested inside a dispatched handler — the snapshot/fork
+  // campaign engine executes forked-tail VPs (each with its own kernel)
+  // from inside the golden run's callbacks. Save and restore the outer
+  // kernel's `current_` so exception plumbing keeps targeting the right one.
+  if (current_ == this)
+    throw std::logic_error("Simulation::run() re-entered on the same instance");
+  Simulation* outer = current_;
   current_ = this;
   struct Reset {
-    ~Reset() { Simulation::current_ = nullptr; }
-  } reset;
+    Simulation* outer;
+    ~Reset() { Simulation::current_ = outer; }
+  } reset{outer};
 
   stop_requested_ = false;
   while (!stop_requested_) {

@@ -53,8 +53,10 @@ class [[nodiscard]] Task {
   std::coroutine_handle<promise_type> handle_;
 };
 
-/// The scheduler. Single-threaded; one instance active per run() at a time
-/// *per thread* (independent simulations may run on separate threads).
+/// The scheduler. Single-threaded and thread-confined. A different
+/// Simulation may run nested inside a dispatched handler (the fork engine
+/// runs tail VPs from inside the golden run); re-entering run() on the
+/// same instance throws.
 class Simulation {
  public:
   Simulation() = default;
@@ -63,6 +65,12 @@ class Simulation {
 
   /// Current simulation time.
   Time now() const { return now_; }
+
+  /// Rebases the simulation clock — only valid while the kernel is idle
+  /// (no pending timed or delta activity) and not inside run(). Used by
+  /// snapshot restore to resume a forked VP at the capture time so every
+  /// subsequent delay lands at the same absolute instant as a cold replay.
+  void set_now(Time t);
 
   /// Registers a process; it first runs at the current time (delta phase).
   void spawn(Task task);

@@ -150,6 +150,17 @@ void VirtualPrototype<W>::apply_policy(const dift::SecurityPolicy& policy) {
 }
 
 template <typename W>
+dift::DiftStats VirtualPrototype<W>::capture_stats() const {
+  dift::DiftStats s = core_.stats();
+  s.lub_calls = dift::detail::g_active.lub_calls;
+  s.flow_checks = dift::detail::g_active.flow_checks;
+  s.mem_summary_hits = ram_.summary_hits();
+  s.dma_summary_hits = dma_.summary_hits();
+  s.bus_transactions = bus_.transactions();
+  return s;
+}
+
+template <typename W>
 auto VirtualPrototype<W>::snapshot() -> Snapshot {
   Snapshot s;
   for (int r = 0; r < 32; ++r) {
@@ -164,6 +175,30 @@ auto VirtualPrototype<W>::snapshot() -> Snapshot {
   s.ram.assign(ram_.data(), ram_.data() + ram_.size());
   if (ram_.tags()) s.ram_tags.assign(ram_.tags(), ram_.tags() + ram_.size());
   s.captured_at = sim_->now();
+
+  // CPU process phase. Mid-quantum (arm_fault callback): the quantum's
+  // remaining instructions resume immediately at captured_at. Suspended
+  // (timed callback, between runs, pre-start): honour the pending wake.
+  s.quantum_carry = in_quantum_ ? core_.instret() - quantum_start_ : 0;
+  s.cpu_wake = in_quantum_ ? sim_->now() : cpu_wake_;
+  s.stop_pending = sim_->stop_requested();
+
+  s.fault_was_armed = core_.fault_armed();
+  s.fault_trigger = core_.fault_at();
+  s.stats = capture_stats();
+
+  s.uart = uart_.save_state();
+  s.can = can_.save_state();
+  s.dma = dma_.save_state();
+  s.clint = clint_.save_state();
+  s.plic = plic_.save_state();
+  s.sensor = sensor_.save_state();
+  s.watchdog = wdt_.save_state();
+  s.sysctrl = sysctrl_.save_state();
+  s.gpio = gpio_.save_state();
+  s.aes = aes_.save_state();
+  if (engine_) s.engine = engine_->save_state();
+  if (flash_) s.flash = flash_->save_state();
   return s;
 }
 
@@ -178,17 +213,78 @@ void VirtualPrototype<W>::restore(const Snapshot& s) {
   core_.csrs() = s.csrs;
   core_.restore_counters(s.instret, s.wfi);
   std::memcpy(ram_.data(), s.ram.data(), s.ram.size());
-  if (ram_.tags() && !s.ram_tags.empty()) {
-    std::memcpy(ram_.tags(), s.ram_tags.data(), s.ram_tags.size());
+  if (ram_.tags()) {
+    if (!s.ram_tags.empty()) {
+      std::memcpy(ram_.tags(), s.ram_tags.data(), s.ram_tags.size());
+    } else {
+      // Snapshot from a plain VP: it carries no tag plane. Stale tags from
+      // the pre-restore run must not leak into the restored world — clear
+      // to the bottom element instead.
+      std::memset(ram_.tags(), dift::kBottomTag, ram_.size());
+    }
     ram_.rebuild_summary();  // block summaries must mirror the restored plane
   }
+  // RAM changed behind the store path: cached translations (and chained
+  // block successors) may now point at stale code bytes, and smc_break_
+  // never fired for them.
+  core_.invalidate_blocks();
+  // A forked tail must not inherit the parent's pending fault trigger.
+  core_.disarm_fault();
+
+  if (!started_ && sim_->idle()) {
+    // Fresh VP: full-fidelity resume. Rewind the clock to the capture
+    // instant and re-arm every peripheral process so the continuation is
+    // equivalent to the source having kept running.
+    uart_.load_state(s.uart);
+    can_.load_state(s.can);
+    dma_.load_state(s.dma);
+    clint_.load_state(s.clint);
+    plic_.load_state(s.plic);
+    sensor_.load_state(s.sensor);
+    wdt_.load_state(s.watchdog);
+    sysctrl_.load_state(s.sysctrl);
+    gpio_.load_state(s.gpio);
+    aes_.load_state(s.aes);
+    if (engine_ && s.engine) engine_->load_state(*s.engine);
+    if (flash_ && s.flash) flash_->load_state(*s.flash);
+    sim_->set_now(s.captured_at);
+    resume_ = true;
+    resume_wake_ = s.cpu_wake;
+    resume_carry_ = s.quantum_carry;
+    resume_stop_ = s.stop_pending;
+  }
+  // Started VP: legacy in-place semantics — architectural state only;
+  // simulated time and peripheral processes are left alone.
 }
 
 template <typename W>
 sysc::Task VirtualPrototype<W>::cpu_thread() {
+  std::uint64_t carry = 0;
+  if (resume_) {
+    // First activation after a full-fidelity restore: re-enter the CPU
+    // process exactly where the snapshot interrupted it. A mid-quantum
+    // capture resumes the quantum's remainder immediately (before any
+    // peripheral's timed wake at this instant, matching the cold order of
+    // a quantum in flight); a suspended capture honours the pending wake.
+    resume_ = false;
+    carry = resume_carry_;
+    if (resume_wake_ > sim_->now())
+      co_await sim_->delay(resume_wake_ - sim_->now());
+    if (core_.in_wfi() && !core_.irq_pending() && !sim_->stop_requested())
+      co_await irq_event_;
+  }
   while (!sim_->stop_requested()) {
-    const std::uint64_t before = core_.instret();
-    const rv::RunExit exit = core_.run(cfg_.quantum_instructions);
+    quantum_start_ = core_.instret() - carry;
+    in_quantum_ = true;
+    const rv::RunExit exit = core_.run(cfg_.quantum_instructions - carry);
+    in_quantum_ = false;
+    if (resume_stop_) {
+      // The snapshot was taken after a stop request (e.g. the firmware's
+      // EXIT write) in this same quantum; re-issue it so the simulation
+      // halts at the quantum boundary like the cold run did.
+      resume_stop_ = false;
+      sim_->stop();
+    }
     if (core_.fatal_trap()) {
       // The core trapped into a null trap vector — it would spin on
       // instruction-access faults at pc 0 until the simulated-time budget
@@ -196,8 +292,12 @@ sysc::Task VirtualPrototype<W>::cpu_thread() {
       sim_->stop();
       break;
     }
-    const std::uint64_t executed = core_.instret() - before;
-    co_await sim_->delay(cfg_.instruction_period * (executed ? executed : 1));
+    // The post-quantum delay covers the whole quantum including any carry,
+    // so quantum boundaries stay on the cold run's absolute schedule.
+    const std::uint64_t executed = core_.instret() - quantum_start_;
+    carry = 0;
+    cpu_wake_ = sim_->now() + cfg_.instruction_period * (executed ? executed : 1);
+    co_await sim_->delay(cpu_wake_ - sim_->now());
     if (exit == rv::RunExit::kWfi && !core_.irq_pending()) co_await irq_event_;
   }
 }
@@ -227,15 +327,6 @@ RunResult VirtualPrototype<W>::run(sysc::Time max_sim_time) {
   }
   // Counter snapshot AFTER the context activates (its constructor zeroes the
   // lattice-table counters); the run's stats are the delta from here.
-  auto capture_stats = [this] {
-    dift::DiftStats s = core_.stats();
-    s.lub_calls = dift::detail::g_active.lub_calls;
-    s.flow_checks = dift::detail::g_active.flow_checks;
-    s.mem_summary_hits = ram_.summary_hits();
-    s.dma_summary_hits = dma_.summary_hits();
-    s.bus_transactions = bus_.transactions();
-    return s;
-  };
   const dift::DiftStats stats_before = capture_stats();
   const std::uint64_t instret_before = core_.instret();
   const std::uint32_t resets_before = wdt_.resets_fired();

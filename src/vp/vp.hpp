@@ -110,6 +110,74 @@ struct VpConfig {
   dift::Tag flash_tag = dift::kBottomTag;
 };
 
+/// Full-fidelity VP checkpoint: architectural CPU state, RAM (with tag
+/// plane), every peripheral's internal state, and the scheduling phase of
+/// each kernel process (CPU quantum progress, pending wake times).
+///
+/// Contract:
+///  * snapshot() may be taken at any point — pre-start, between runs, or
+///    from inside a running simulation (e.g. an arm_fault callback or a
+///    scheduled time callback). The capture is synchronous and complete.
+///  * restore() onto a FRESH VP (constructed, load()ed, not yet started)
+///    rewinds the target's simulation clock to `captured_at` and re-arms
+///    every peripheral process so the continuation is equivalent to the
+///    source simply having kept running — the basis of fork-based fault
+///    campaigns.
+///  * restore() onto a STARTED VP keeps the legacy in-place semantics:
+///    architectural state (registers, pc, CSRs, counters, RAM, tags) is
+///    restored, the translated-block cache is invalidated, and any armed
+///    fault is cleared; simulated time and peripheral processes are left
+///    alone. Use a fresh VP for faithful re-execution.
+///  * An armed-but-unfired rv::Core::arm_fault trigger is never inherited:
+///    `fault_was_armed`/`fault_trigger` record that one existed (the
+///    callback itself is not serialisable) and restore() disarms.
+///
+/// The struct is deliberately not a template: a plain-VP snapshot has an
+/// empty `ram_tags`; restoring it into a DIFT VP clears the target's tag
+/// plane to kBottomTag (and rebuilds the shadow summary) rather than
+/// silently keeping stale tags.
+struct VpSnapshot {
+  std::array<std::uint32_t, 32> reg_values{};
+  std::array<dift::Tag, 32> reg_tags{};
+  std::uint32_t pc = 0;
+  rv::CsrFile csrs;
+  std::uint64_t instret = 0;
+  bool wfi = false;
+  std::vector<std::uint8_t> ram;
+  std::vector<dift::Tag> ram_tags;
+  sysc::Time captured_at;
+
+  // CPU process phase: instructions already retired inside the interrupted
+  // quantum, the absolute wake time of the pending quantum delay, and
+  // whether a stop request was outstanding at capture time.
+  std::uint64_t quantum_carry = 0;
+  sysc::Time cpu_wake;
+  bool stop_pending = false;
+
+  // Armed-fault bookkeeping (informational; restore() always disarms).
+  bool fault_was_armed = false;
+  std::uint64_t fault_trigger = 0;
+
+  /// Cumulative engine counters at capture time. For a VP that has run
+  /// from reset under one DiftContext (the fork engine's golden cursor),
+  /// this is the golden-prefix contribution to a composed run's stats.
+  dift::DiftStats stats;
+
+  // Peripheral-internal state (see each peripheral's State type).
+  soc::Uart::State uart;
+  soc::CanPeriph::State can;
+  soc::Dma::State dma;
+  soc::Clint::State clint;
+  soc::Plic::State plic;
+  soc::Sensor::State sensor;
+  soc::Watchdog::State watchdog;
+  soc::SysCtrl::State sysctrl;
+  soc::Gpio::State gpio;
+  soc::AesPeriph::State aes;
+  std::optional<soc::EngineEcu::State> engine;
+  std::optional<soc::SpiFlash::State> flash;
+};
+
 template <typename W>
 class VirtualPrototype {
  public:
@@ -154,22 +222,8 @@ class VirtualPrototype {
   /// Runs until firmware exit, a policy violation, or `max_sim_time`.
   RunResult run(sysc::Time max_sim_time = sysc::Time::sec(100));
 
-  /// Architectural checkpoint: CPU registers (with tags), pc, CSRs,
-  /// retirement counter, and the full RAM image with its tag plane.
-  /// Peripheral-internal state (FIFO contents, in-flight DMA) is NOT
-  /// captured — snapshot at quiescent points. Simulated time is not rewound
-  /// by restore(); checkpoints support what-if re-execution, not time travel.
-  struct Snapshot {
-    std::array<std::uint32_t, 32> reg_values{};
-    std::array<dift::Tag, 32> reg_tags{};
-    std::uint32_t pc = 0;
-    rv::CsrFile csrs;
-    std::uint64_t instret = 0;
-    bool wfi = false;
-    std::vector<std::uint8_t> ram;
-    std::vector<dift::Tag> ram_tags;
-    sysc::Time captured_at;
-  };
+  /// Full-fidelity VP checkpoint — see VpSnapshot for the contract.
+  using Snapshot = VpSnapshot;
   Snapshot snapshot();
   void restore(const Snapshot& s);
 
@@ -198,6 +252,7 @@ class VirtualPrototype {
   VirtualPrototype(sysc::Simulation* external, VpConfig config,
                    const std::string& instance);
   sysc::Task cpu_thread();
+  dift::DiftStats capture_stats() const;
 
   VpConfig cfg_;
   std::unique_ptr<sysc::Simulation> owned_sim_;  // engaged unless shared
@@ -223,6 +278,17 @@ class VirtualPrototype {
   bool started_ = false;
   bool monitor_mode_ = false;
   std::uint32_t boot_pc_ = soc::addrmap::kRamBase;
+
+  // CPU quantum-phase tracking, so a snapshot taken mid-quantum (from an
+  // arm_fault callback) records how far into the quantum the core is, and
+  // so a restored cpu_thread can re-enter the interrupted quantum.
+  std::uint64_t quantum_start_ = 0;  ///< instret at the current quantum's start
+  bool in_quantum_ = false;          ///< inside core_.run() right now
+  sysc::Time cpu_wake_;              ///< absolute end of the pending CPU delay
+  bool resume_ = false;              ///< first cpu_thread activation is a resume
+  sysc::Time resume_wake_;           ///< wake time to honour on resume
+  std::uint64_t resume_carry_ = 0;   ///< instructions already retired in the quantum
+  bool resume_stop_ = false;         ///< re-issue sim_->stop() after the resumed quantum
 };
 
 /// The original VP (plain machine words).

@@ -157,4 +157,60 @@ TEST(Module, CarriesNameAndSim) {
   EXPECT_EQ(&m.sim(), &sim);
 }
 
+// The fork engine runs forked-tail VPs (each with its own kernel) from
+// inside the golden run's callbacks, so a DIFFERENT simulation must be able
+// to run nested inside a dispatched handler — with independent clocks and
+// with `current()` restored for the outer kernel afterwards.
+TEST(Scheduler, NestedRunOfAnotherSimulation) {
+  Simulation outer, inner;
+  std::vector<int> order;
+  inner.schedule_in(Time::ns(5), [&] {
+    order.push_back(2);
+    EXPECT_EQ(Simulation::current(), &inner);
+  });
+  outer.schedule_in(Time::ns(10), [&] {
+    order.push_back(1);
+    inner.run();
+    order.push_back(3);
+    EXPECT_EQ(Simulation::current(), &outer);
+  });
+  outer.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(outer.now(), Time::ns(10));  // clocks stay independent
+  EXPECT_EQ(inner.now(), Time::ns(5));
+}
+
+TEST(Scheduler, SameInstanceRunReentryThrows) {
+  Simulation sim;
+  bool threw = false;
+  sim.schedule_in(Time::ns(1), [&] {
+    try {
+      sim.run();
+    } catch (const std::logic_error&) {
+      threw = true;
+    }
+  });
+  sim.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(Scheduler, SetNowRebasesIdleKernel) {
+  Simulation sim;
+  sim.schedule_in(Time::us(1), [] {});
+  EXPECT_THROW(sim.set_now(Time::ms(3)), std::logic_error);  // not idle
+  sim.run();
+  sim.set_now(Time::ms(3));
+  EXPECT_EQ(sim.now(), Time::ms(3));
+  // Subsequent delays land relative to the rebased clock.
+  Time fired_at;
+  sim.schedule_in(Time::us(7), [&] { fired_at = sim.now(); });
+  sim.run();
+  EXPECT_EQ(fired_at, Time::ms(3) + Time::us(7));
+  // Inside run() the rebase is rejected even when the queues are empty.
+  sim.schedule_in(Time::ns(1), [&] {
+    EXPECT_THROW(sim.set_now(Time::ms(9)), std::logic_error);
+  });
+  sim.run();
+}
+
 }  // namespace

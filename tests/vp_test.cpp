@@ -231,4 +231,62 @@ TEST(VpSnapshot, SizeMismatchRejected) {
   EXPECT_THROW(v.restore(bogus), std::invalid_argument);
 }
 
+// Bugfix regression: restore() must invalidate the translated-block cache.
+// Both programs below share a bit-identical loop head; its cached
+// translation carries a chain pointer to the (different) `func` body, and
+// chained dispatch bypasses the raw-bytes revalidation that lookup does.
+// Without the invalidation, the restored VP keeps executing the OLD func.
+TEST(VpSnapshot, RestoreInvalidatesStaleTranslations) {
+  auto make_looper = [](std::int64_t n) {
+    rvasm::Assembler a(soc::addrmap::kRamBase);
+    a.label("loop");
+    a.call("func");
+    a.j("loop");
+    a.label("func");
+    a.li(a0, n);
+    a.ret();
+    return a.assemble();
+  };
+
+  vp::Vp v;
+  v.load(make_looper(1));
+  (void)v.run(sysc::Time::us(200));  // hot, chained translations of func #1
+  EXPECT_EQ(v.core().reg(10), 1u);
+
+  vp::Vp donor;
+  donor.load(make_looper(2));
+  const auto snap = donor.snapshot();
+
+  v.restore(snap);
+  (void)v.run(sysc::Time::us(200));
+  EXPECT_EQ(v.core().reg(10), 2u);  // a stale translation would leave 1
+}
+
+// Bugfix regression: restoring a snapshot WITHOUT a tag plane (taken on a
+// plain VP) into a DIFT VP must clear every tag to kBottomTag and rebuild
+// the shadow summary to match — not silently keep the old classification.
+TEST(VpSnapshot, PlainSnapshotClearsDiftTagPlane) {
+  const auto prog = fw::make_immobilizer(fw::ImmoVariant::kFixedDump, kPin, 1);
+
+  vp::Vp plain;
+  plain.load(prog);
+  const auto snap = plain.snapshot();
+  EXPECT_TRUE(snap.ram_tags.empty());
+
+  vp::VpDift d;
+  d.load(prog);
+  auto bundle = vp::scenarios::make_immobilizer_policy(prog, false);
+  d.apply_policy(bundle.policy);
+  const auto pin_off = prog.symbol("pin") - soc::addrmap::kRamBase;
+  ASSERT_NE(d.ram().tag_at(pin_off), dift::kBottomTag);
+
+  d.restore(snap);
+  EXPECT_EQ(d.ram().tag_at(pin_off), dift::kBottomTag);
+  // The summary must agree with the cleared plane (uniform bottom), or the
+  // fast path would keep serving the stale classification.
+  dift::Tag t = 0xff;
+  EXPECT_TRUE(d.ram().shadow().uniform(pin_off, 16, &t));
+  EXPECT_EQ(t, dift::kBottomTag);
+}
+
 }  // namespace

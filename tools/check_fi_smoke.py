@@ -9,6 +9,12 @@ mismatch means either a real behaviour change (update the baseline alongside
 the change that caused it, and explain it in the commit) or lost determinism
 (a bug; see docs/fault_injection.md).
 
+Every campaign runs twice: once in cold-replay mode and once in --fork mode
+(golden run + snapshot-restored tails). Both must reproduce the SAME baseline
+matrix — that pins the fork engine's equivalence contract in CI. The fork
+run's instruction-count speedup is reported on stdout and, when
+$GITHUB_STEP_SUMMARY is set, appended to the job summary.
+
 Usage: python3 tools/check_fi_smoke.py <path-to-vpdift-campaign> [--jobs N]
 """
 import json
@@ -16,6 +22,47 @@ import os
 import subprocess
 import sys
 import tempfile
+
+
+def run_campaign(campaign_bin, ref, seed, jobs, fork):
+    """Returns (report-dict | None, fork-speedup-line | None, error | None)."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        out_path = tmp.name
+    try:
+        cmd = [campaign_bin, "--quiet", "--jobs", jobs, "--seed", str(seed)]
+        if fork:
+            cmd.append("--fork")
+        cmd += [ref, "--out", out_path]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            return None, None, (f"campaign exited {proc.returncode}\n"
+                                f"{proc.stdout}{proc.stderr}")
+        speedup = next((ln.strip() for ln in proc.stdout.splitlines()
+                        if ln.startswith("fork:")), None)
+        return json.load(open(out_path)), speedup, None
+    finally:
+        if os.path.exists(out_path):
+            os.unlink(out_path)
+
+
+def check(camp, got, label):
+    ok = True
+    ref, seed = camp["ref"], camp["seed"]
+    for key in ("golden_verdict", "golden_instret", "wdt_us"):
+        got_val = (got["golden"]["verdict"] if key == "golden_verdict"
+                   else got["golden"]["instret"] if key == "golden_instret"
+                   else got["wdt_us"])
+        if got_val != camp[key]:
+            print(f"{ref} seed={seed} [{label}]: {key} {got_val!r} "
+                  f"!= expected {camp[key]!r}")
+            ok = False
+    for key in ("matrix", "verdict_totals"):
+        if got[key] != camp[key]:
+            print(f"{ref} seed={seed} [{label}]: {key} mismatch")
+            print(f"  expected: {json.dumps(camp[key], sort_keys=True)}")
+            print(f"  got:      {json.dumps(got[key], sort_keys=True)}")
+            ok = False
+    return ok
 
 
 def main() -> int:
@@ -32,48 +79,35 @@ def main() -> int:
     expected = json.load(open(expected_path))
 
     bad = False
+    summary = []
     for camp in expected["campaigns"]:
         ref, seed = camp["ref"], camp["seed"]
-        with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
-            out_path = tmp.name
-        try:
-            proc = subprocess.run(
-                [campaign_bin, "--quiet", "--jobs", jobs,
-                 "--seed", str(seed), ref, "--out", out_path],
-                capture_output=True, text=True)
-            if proc.returncode != 0:
-                print(f"{ref} seed={seed}: campaign exited "
-                      f"{proc.returncode}\n{proc.stdout}{proc.stderr}")
+        for fork in (False, True):
+            label = "fork" if fork else "replay"
+            got, speedup, err = run_campaign(campaign_bin, ref, seed, jobs,
+                                             fork)
+            if err:
+                print(f"{ref} seed={seed} [{label}]: {err}")
                 bad = True
                 continue
-            got = json.load(open(out_path))
-        finally:
-            if os.path.exists(out_path):
-                os.unlink(out_path)
+            ok = check(camp, got, label)
+            if ok:
+                totals = camp["verdict_totals"]
+                print(f"{ref} seed={seed} [{label}]: OK "
+                      f"(policy={totals['detected-by-policy']} "
+                      f"trap={totals['detected-by-trap']} "
+                      f"sdc={totals['silent-data-corruption']} "
+                      f"masked={totals['masked']})")
+            if fork and speedup:
+                print(f"{ref} seed={seed}: {speedup}")
+                summary.append(f"- `{ref}` seed={seed}: {speedup}")
+            bad = bad or not ok
 
-        ok = True
-        for key in ("golden_verdict", "golden_instret", "wdt_us"):
-            got_val = (got["golden"]["verdict"] if key == "golden_verdict"
-                       else got["golden"]["instret"] if key == "golden_instret"
-                       else got["wdt_us"])
-            if got_val != camp[key]:
-                print(f"{ref} seed={seed}: {key} {got_val!r} "
-                      f"!= expected {camp[key]!r}")
-                ok = False
-        for key in ("matrix", "verdict_totals"):
-            if got[key] != camp[key]:
-                print(f"{ref} seed={seed}: {key} mismatch")
-                print(f"  expected: {json.dumps(camp[key], sort_keys=True)}")
-                print(f"  got:      {json.dumps(got[key], sort_keys=True)}")
-                ok = False
-        if ok:
-            totals = camp["verdict_totals"]
-            print(f"{ref} seed={seed}: OK "
-                  f"(policy={totals['detected-by-policy']} "
-                  f"trap={totals['detected-by-trap']} "
-                  f"sdc={totals['silent-data-corruption']} "
-                  f"masked={totals['masked']})")
-        bad = bad or not ok
+    step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if step_summary and summary:
+        with open(step_summary, "a") as f:
+            f.write("### Fault-injection fork speedup\n")
+            f.write("\n".join(summary) + "\n")
     return 1 if bad else 0
 
 

@@ -14,6 +14,10 @@
 //                   Table I attack sweep or Table II overhead matrix
 //   --jobs N        worker threads (default: $VPDIFT_JOBS, else 1 = serial)
 //   --seed N        master seed of the fi: fault schedule (default 1)
+//   --fork          fi: campaigns only — fork mode: one golden run per
+//                   worker, snapshot at each fault site, execute only the
+//                   post-fault tails (bit-identical matrix, fewer retired
+//                   instructions; see docs/fault_injection.md)
 //   --out FILE      JSON campaign report (default: CAMPAIGN_<name>.json,
 //                   or FI_<benchmark>_<n>.json for fi: campaigns)
 //   --quiet         suppress the per-job progress lines
@@ -34,6 +38,7 @@
 #include "campaign/spec.hpp"
 #include "campaign/suites.hpp"
 #include "campaign/thread_pool.hpp"
+#include "fi/fork.hpp"
 #include "fi/suite.hpp"
 
 using namespace vpdift;
@@ -42,8 +47,8 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: vpdift-campaign [--jobs N] [--seed N] [--out FILE] "
-               "[--quiet] [--list]\n"
+               "usage: vpdift-campaign [--jobs N] [--seed N] [--fork] "
+               "[--out FILE] [--quiet] [--list]\n"
                "                       <spec-file | fi:<benchmark>:<n-faults> "
                "| --suite table1 | --suite table2[:scale]>\n");
   return 2;
@@ -95,7 +100,7 @@ int main(int argc, char** argv) {
   std::string spec_path, suite, out_path;
   std::size_t jobs = campaign::ThreadPool::jobs_from_env(1);
   std::uint64_t seed = 1;
-  bool quiet = false, list = false;
+  bool quiet = false, list = false, fork_mode = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -119,6 +124,7 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--suite") suite = next();
     else if (arg == "--out") out_path = next();
+    else if (arg == "--fork") fork_mode = true;
     else if (arg == "--quiet") quiet = true;
     else if (arg == "--list") list = true;
     else if (arg == "--help" || arg == "-h") return usage();
@@ -165,6 +171,10 @@ int main(int argc, char** argv) {
                    suite.c_str());
       return 2;
     }
+    if (fork_mode && !fi_suite) {
+      std::fprintf(stderr, "--fork applies to fi:<benchmark>:<n> campaigns only\n");
+      return 2;
+    }
 
     std::printf("campaign %s: %zu jobs on %zu worker%s\n", spec.name.c_str(),
                 spec.jobs.size(), jobs, jobs == 1 ? "" : "s");
@@ -196,8 +206,14 @@ int main(int argc, char** argv) {
     };
 
     const auto t0 = std::chrono::steady_clock::now();
-    campaign::Runner runner(opts);
-    const auto results = runner.run(spec);
+    std::vector<campaign::JobResult> results;
+    fi::ForkStats fork_stats;
+    if (fork_mode) {
+      results = fi::run_forked(*fi_suite, jobs, opts.on_done, &fork_stats);
+    } else {
+      campaign::Runner runner(opts);
+      results = runner.run(spec);
+    }
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
@@ -211,6 +227,16 @@ int main(int argc, char** argv) {
       std::printf("\nDetection coverage (%zu faults, golden = %s)\n",
                   matrix.total, fi_suite->golden.verdict.c_str());
       std::printf("%s", fi::matrix_table(matrix).c_str());
+      if (fork_mode)
+        std::printf(
+            "fork: %zu snapshots; executed %llu instructions "
+            "(golden %llu + tails %llu) vs %llu full-replay — %.2fx\n",
+            fork_stats.snapshots,
+            static_cast<unsigned long long>(fork_stats.executed()),
+            static_cast<unsigned long long>(fork_stats.golden_instret),
+            static_cast<unsigned long long>(fork_stats.tail_instret),
+            static_cast<unsigned long long>(fork_stats.replay_instret),
+            fork_stats.speedup());
 
       std::string report = out_path;
       if (report.empty()) {
