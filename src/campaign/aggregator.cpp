@@ -48,7 +48,8 @@ std::string Aggregator::summary(const std::string& campaign_name,
 }
 
 std::string Aggregator::to_json(const std::string& campaign_name,
-                                std::size_t workers, double wall_s) const {
+                                std::size_t workers, double wall_s,
+                                const std::string& extra) const {
   std::ostringstream out;
   char buf[512];
   std::snprintf(buf, sizeof buf,
@@ -56,12 +57,15 @@ std::string Aggregator::to_json(const std::string& campaign_name,
                 "  \"jobs\": %zu,\n  \"ok\": %zu,\n  \"crashed\": %zu,\n"
                 "  \"all_ok\": %s,\n  \"wall_s\": %.4f,\n"
                 "  \"job_wall_s\": %.4f,\n  \"total_instret\": %llu,\n"
-                "  \"agg_mips\": %.2f,\n  \"dift_stats\": ",
+                "  \"agg_mips\": %.2f,\n",
                 json_escape(campaign_name).c_str(), workers, results_.size(),
                 ok_, crashed_, all_ok() ? "true" : "false", wall_s, job_wall_,
                 static_cast<unsigned long long>(instret_),
                 wall_s > 0 ? instret_ / wall_s / 1e6 : 0.0);
-  out << buf << dift::to_json(stats_) << ",\n  \"results\": [\n";
+  out << buf;
+  if (interrupted_) out << "  \"interrupted\": true,\n";
+  if (!extra.empty()) out << "  " << extra << ",\n";
+  out << "  \"dift_stats\": " << dift::to_json(stats_) << ",\n  \"results\": [\n";
   for (std::size_t i = 0; i < results_.size(); ++i) {
     const JobResult& r = results_[i];
     std::snprintf(buf, sizeof buf,
@@ -104,10 +108,11 @@ std::string Aggregator::to_json(const std::string& campaign_name,
 
 bool Aggregator::write_json(const std::string& path,
                             const std::string& campaign_name,
-                            std::size_t workers, double wall_s) const {
+                            std::size_t workers, double wall_s,
+                            const std::string& extra) const {
   std::ofstream out(path);
   if (!out) return false;
-  out << to_json(campaign_name, workers, wall_s);
+  out << to_json(campaign_name, workers, wall_s, extra);
   return static_cast<bool>(out);
 }
 

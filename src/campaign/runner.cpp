@@ -105,12 +105,14 @@ sysc::Task wall_guard(sysc::Simulation& sim,
 }
 
 template <typename VpT>
-JobResult execute_once(const JobSpec& job) {
+JobResult execute_once(const JobSpec& job, const RunnerEnv* env) {
   JobResult res;
   res.name = job.name;
 
   const rvasm::Program program =
-      job.make_program ? job.make_program() : resolve_firmware(job.firmware);
+      job.make_program                   ? job.make_program()
+      : env && env->resolve_firmware     ? env->resolve_firmware(job.firmware)
+                                         : resolve_firmware(job.firmware);
   const std::string uart_input =
       !job.uart_input.empty() || job.make_program
           ? job.uart_input
@@ -126,10 +128,27 @@ JobResult execute_once(const JobSpec& job) {
   }
 
   bool wall_fired = false;  // outlives the VP (the guard coroutine reads it)
-  VpT v(cfg);
-  v.load(program);
-  const ResolvedPolicy policy = resolve_policy(job.policy, program);
-  if (const auto* p = policy.policy()) v.apply_policy(*p);
+  // Warm path: a pooled VP is reset + re-armed; cold path builds one here.
+  std::unique_ptr<VpT> local;
+  VpT* vp = nullptr;
+  if (env && env->pool) {
+    vp = &env->pool->acquire<VpT>(cfg);
+  } else {
+    local = std::make_unique<VpT>(cfg);
+    vp = local.get();
+  }
+  VpT& v = *vp;
+  v.load_firmware(program);
+  std::shared_ptr<const ResolvedPolicy> cached_policy;
+  ResolvedPolicy owned_policy;
+  const ResolvedPolicy* policy = &owned_policy;
+  if (env && env->resolve_policy) {
+    cached_policy = env->resolve_policy(job.policy, program);
+    if (cached_policy) policy = cached_policy.get();
+  } else {
+    owned_policy = resolve_policy(job.policy, program);
+  }
+  if (const auto* p = policy->policy()) v.apply_policy(*p);
   if (job.mode == VpMode::kMonitor) v.set_monitor_mode(true);
   if (!uart_input.empty()) v.uart().feed_input(uart_input);
   // Fault-injection (or any other) setup runs after the image, policy and
@@ -161,6 +180,26 @@ JobResult execute_once(const JobSpec& job) {
 
 }  // namespace
 
+template <typename VpT>
+VpT& VpPool::acquire(const vp::VpConfig& cfg) {
+  std::unique_ptr<VpT>* slot;
+  if constexpr (std::is_same_v<VpT, vp::VpDift>)
+    slot = &dift_;
+  else
+    slot = &plain_;
+  if (*slot && vp::config_equivalent((*slot)->config(), cfg)) {
+    (*slot)->reset();
+    ++reuses_;
+  } else {
+    *slot = std::make_unique<VpT>(cfg);
+    ++builds_;
+  }
+  return **slot;
+}
+
+template vp::Vp& VpPool::acquire<vp::Vp>(const vp::VpConfig&);
+template vp::VpDift& VpPool::acquire<vp::VpDift>(const vp::VpConfig&);
+
 bool verdict_matches(const std::string& expect, const std::string& verdict) {
   if (verdict == "crash") return false;
   if (expect.empty()) return true;
@@ -189,15 +228,15 @@ rvasm::Program resolve_firmware(const std::string& name) {
   return rvasm::load_elf32_file(name);  // throws ElfError if not loadable
 }
 
-JobResult Runner::run_job(const JobSpec& job) {
+JobResult Runner::run_job(const JobSpec& job, const RunnerEnv* env) {
   JobResult res;
   std::vector<AttemptRecord> history;
   const auto t0 = std::chrono::steady_clock::now();
   const int max_attempts = job.retries + 1;
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     try {
-      res = job.mode == VpMode::kPlain ? execute_once<vp::Vp>(job)
-                                       : execute_once<vp::VpDift>(job);
+      res = job.mode == VpMode::kPlain ? execute_once<vp::Vp>(job, env)
+                                       : execute_once<vp::VpDift>(job, env);
     } catch (const std::exception& e) {
       res = JobResult{};
       res.name = job.name;
@@ -224,10 +263,23 @@ JobResult Runner::run_job(const JobSpec& job) {
 
 std::vector<JobResult> Runner::run(const CampaignSpec& spec) {
   std::vector<JobResult> results(spec.jobs.size());
+  const auto cancelled = [this] {
+    return opts_.cancel && opts_.cancel->load(std::memory_order_relaxed);
+  };
+  const auto skip = [&](std::size_t i) {
+    results[i].name = spec.jobs[i].name;
+    results[i].verdict = "skipped";
+  };
   if (opts_.jobs <= 1) {
     // Serial reference path: same thread, same order as the spec.
+    // Environments (warm pools, cached resolvers) hold single-threaded
+    // state, so this is the only path that honours opts_.env.
     for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
-      results[i] = run_job(spec.jobs[i]);
+      if (cancelled()) {
+        skip(i);
+        continue;
+      }
+      results[i] = run_job(spec.jobs[i], opts_.env);
       if (opts_.on_done) opts_.on_done(results[i]);
     }
     return results;
@@ -236,6 +288,10 @@ std::vector<JobResult> Runner::run(const CampaignSpec& spec) {
   std::mutex done_m;
   ThreadPool pool(opts_.jobs);
   pool.parallel_for(spec.jobs.size(), [&](std::size_t i) {
+    if (cancelled()) {
+      skip(i);
+      return;
+    }
     results[i] = run_job(spec.jobs[i]);
     if (opts_.on_done) {
       std::lock_guard lk(done_m);

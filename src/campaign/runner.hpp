@@ -10,8 +10,11 @@
 // paths are tested against.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -44,10 +47,60 @@ struct JobResult {
   double wall_seconds = 0.0;  ///< host time across all attempts
 };
 
+struct ResolvedPolicy;
+
+/// Caches one constructed VP per flavour and re-arms it (reset +
+/// load_firmware) for the next job instead of rebuilding — the service
+/// worker's warm path. Single-threaded by design: a VP is thread-confined,
+/// so a pool must only ever be driven from one thread (the service's
+/// worker processes each own one).
+class VpPool {
+ public:
+  /// A reset VP matching `cfg` — reused when the cached instance's config
+  /// is config_equivalent(), rebuilt otherwise. The reference stays valid
+  /// until the next acquire of the same flavour.
+  template <typename VpT>
+  VpT& acquire(const vp::VpConfig& cfg);
+
+  std::uint64_t builds() const { return builds_; }
+  std::uint64_t reuses() const { return reuses_; }
+
+ private:
+  std::unique_ptr<vp::Vp> plain_;
+  std::unique_ptr<vp::VpDift> dift_;
+  std::uint64_t builds_ = 0;
+  std::uint64_t reuses_ = 0;
+};
+
+/// Pluggable execution environment for run_job: resolver overrides (how
+/// the service's content-hash caches slot in under the runner) and an
+/// optional warm-VP pool. Everything here may hold single-threaded state —
+/// pass an env only on serial (jobs == 1) runs or per-worker.
+struct RunnerEnv {
+  /// Override of campaign::resolve_firmware (e.g. an ELF-image cache).
+  std::function<rvasm::Program(const std::string&)> resolve_firmware;
+  /// Override of campaign::resolve_policy (e.g. a parsed-policy cache).
+  /// The returned pointer must stay valid for the duration of the job; a
+  /// shared_ptr so a cache can hand out its entry without copying (a
+  /// ResolvedPolicy owns its lattice and is move-only).
+  std::function<std::shared_ptr<const ResolvedPolicy>(
+      const std::string& name, const rvasm::Program& program)>
+      resolve_policy;
+  /// Warm-VP pool; nullptr = build a fresh VP per job (the cold path).
+  VpPool* pool = nullptr;
+};
+
 struct RunnerOptions {
   std::size_t jobs = 1;  ///< worker threads; 1 = serial on the calling thread
   /// Called as each job finishes (any worker thread; calls are serialized).
   std::function<void(const JobResult&)> on_done;
+  /// Cooperative cancellation (graceful SIGINT/SIGTERM): once set, jobs not
+  /// yet started are skipped (verdict "skipped", ok = false, on_done NOT
+  /// called) while in-flight jobs finish normally.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Execution environment forwarded to every run_job call. Environments
+  /// hold single-threaded state; only honoured when jobs == 1.
+  const RunnerEnv* env = nullptr;
 };
 
 class Runner {
@@ -60,7 +113,8 @@ class Runner {
 
   /// Executes one job on the calling thread (the worker body; also the
   /// serial path). Never throws — failures become verdict "crash".
-  static JobResult run_job(const JobSpec& job);
+  /// `env` (optional) supplies resolver overrides and a warm-VP pool.
+  static JobResult run_job(const JobSpec& job, const RunnerEnv* env = nullptr);
 
  private:
   RunnerOptions opts_;

@@ -7,6 +7,8 @@
 #include <map>
 #include <sstream>
 
+#include "campaign/json.hpp"
+
 namespace vpdift::campaign {
 
 const char* to_string(VpMode mode) {
@@ -210,182 +212,12 @@ CampaignSpec parse_text(std::string_view text) {
 
 // ------------------------------------------------------------- JSON format
 //
-// Minimal recursive-descent parser for the subset campaign specs need:
-// objects, arrays, strings (with the usual escapes), numbers, true/false/
-// null. No external dependency; errors carry the 1-based line number.
+// The document parser lives in campaign/json.hpp (shared with the service
+// protocol); this section only maps parsed objects onto JobSpecs.
 
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind =
-      Kind::kNull;
-  bool boolean = false;
-  double number = 0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;  // ordered
+}  // namespace
 
-  const JsonValue* find(const std::string& key) const {
-    for (const auto& [k, v] : object)
-      if (k == key) return &v;
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing content after JSON document");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& msg) {
-    throw SpecParseError(line_, msg);
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c == '\n') ++line_;
-      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    if (pos_ >= text_.size()) fail("unexpected end of JSON");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  JsonValue value() {
-    skip_ws();
-    switch (peek()) {
-      case '{': return object();
-      case '[': return array();
-      case '"': {
-        JsonValue v;
-        v.kind = JsonValue::Kind::kString;
-        v.string = string();
-        return v;
-      }
-      case 't': case 'f': return boolean();
-      case 'n': return null();
-      default: return number();
-    }
-  }
-
-  JsonValue object() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kObject;
-    expect('{');
-    skip_ws();
-    if (peek() == '}') { ++pos_; return v; }
-    for (;;) {
-      skip_ws();
-      std::string key = string();
-      skip_ws();
-      expect(':');
-      v.object.emplace_back(std::move(key), value());
-      skip_ws();
-      if (peek() == ',') { ++pos_; continue; }
-      expect('}');
-      return v;
-    }
-  }
-
-  JsonValue array() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kArray;
-    expect('[');
-    skip_ws();
-    if (peek() == ']') { ++pos_; return v; }
-    for (;;) {
-      v.array.push_back(value());
-      skip_ws();
-      if (peek() == ',') { ++pos_; continue; }
-      expect(']');
-      return v;
-    }
-  }
-
-  std::string string() {
-    expect('"');
-    std::string out;
-    for (;;) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c != '\\') { out += c; continue; }
-      if (pos_ >= text_.size()) fail("unterminated escape");
-      c = text_[pos_++];
-      switch (c) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-          const std::string hex(text_.substr(pos_, 4));
-          char* end = nullptr;
-          const unsigned long cp = std::strtoul(hex.c_str(), &end, 16);
-          if (end != hex.c_str() + 4) fail("malformed \\u escape");
-          if (cp > 0xff) fail("non-latin1 \\u escape unsupported in specs");
-          out += static_cast<char>(cp);
-          pos_ += 4;
-          break;
-        }
-        default: fail("unknown string escape");
-      }
-    }
-  }
-
-  JsonValue boolean() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kBool;
-    if (text_.substr(pos_, 4) == "true") { v.boolean = true; pos_ += 4; }
-    else if (text_.substr(pos_, 5) == "false") { v.boolean = false; pos_ += 5; }
-    else fail("bad literal");
-    return v;
-  }
-
-  JsonValue null() {
-    if (text_.substr(pos_, 4) != "null") fail("bad literal");
-    pos_ += 4;
-    return {};
-  }
-
-  JsonValue number() {
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E'))
-      ++pos_;
-    JsonValue v;
-    v.kind = JsonValue::Kind::kNumber;
-    if (!parse_f64(text_.substr(start, pos_ - start), &v.number))
-      fail("malformed number");
-    return v;
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-  std::size_t line_ = 1;
-};
-
-void apply_json_fields(JobSpec& job, const JsonValue& obj) {
+void job_spec_from_json(JobSpec& job, const JsonValue& obj) {
   for (const auto& [key, v] : obj.object) {
     if (key == "name") {
       job.name = v.string;
@@ -415,8 +247,30 @@ void apply_json_fields(JobSpec& job, const JsonValue& obj) {
   }
 }
 
+std::string job_spec_to_json(const JobSpec& job) {
+  std::ostringstream out;
+  out << "{\"name\":" << json_quote(job.name)
+      << ",\"firmware\":" << json_quote(job.firmware)
+      << ",\"policy\":" << json_quote(job.policy)
+      << ",\"mode\":" << json_quote(to_string(job.mode))
+      << ",\"uart_input\":" << json_quote(job.uart_input)
+      << ",\"max_ms\":" << job.max_ms
+      << ",\"wall_budget_s\":" << job.wall_budget_s
+      << ",\"retries\":" << job.retries
+      << ",\"engine_ecu\":" << (job.engine_ecu ? "true" : "false")
+      << ",\"expect\":" << json_quote(job.expect) << "}";
+  return out.str();
+}
+
+namespace {
+
 CampaignSpec parse_json(std::string_view text) {
-  const JsonValue root = JsonParser(text).parse();
+  JsonValue root;
+  try {
+    root = json_parse(text);
+  } catch (const JsonError& e) {
+    throw SpecParseError(e.line(), e.message());
+  }
   if (root.kind != JsonValue::Kind::kObject)
     throw SpecParseError(1, "top-level JSON value must be an object");
   CampaignSpec spec;
@@ -427,7 +281,7 @@ CampaignSpec parse_json(std::string_view text) {
 
   JobSpec defaults;
   if (const JsonValue* d = root.find("defaults"); d)
-    apply_json_fields(defaults, *d);
+    job_spec_from_json(defaults, *d);
 
   const JsonValue* jobs = root.find("jobs");
   if (!jobs || jobs->kind != JsonValue::Kind::kArray)
@@ -436,7 +290,7 @@ CampaignSpec parse_json(std::string_view text) {
     if (j.kind != JsonValue::Kind::kObject)
       throw SpecParseError(1, "every job must be an object");
     JobSpec job = defaults;
-    apply_json_fields(job, j);
+    job_spec_from_json(job, j);
     if (job.name.empty())
       job.name = "job" + std::to_string(spec.jobs.size());
     if (job.firmware.empty())

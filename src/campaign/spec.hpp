@@ -41,6 +41,7 @@
 #include <string_view>
 #include <vector>
 
+#include "campaign/json.hpp"
 #include "rvasm/program.hpp"
 #include "vp/vp.hpp"
 
@@ -107,5 +108,16 @@ bool parse_f64(std::string_view s, double* out);
 /// Decodes \xNN, \n, \r, \t, \0, \\ escapes (UART input payloads).
 /// Throws std::invalid_argument on a malformed escape.
 std::string decode_escapes(std::string_view s);
+
+/// Applies the fields of a parsed JSON job object to `job` (same field
+/// names as the JSON spec format). Throws SpecParseError on an unknown
+/// field or unsupported value type.
+void job_spec_from_json(JobSpec& job, const JsonValue& obj);
+
+/// Serializes the file-settable fields of `job` as one JSON object. The
+/// programmatic hooks (make_program / make_config / pre_run_*) cannot cross
+/// a file or process boundary and are deliberately not represented — a
+/// round-tripped JobSpec is the declarative subset only.
+std::string job_spec_to_json(const JobSpec& job);
 
 }  // namespace vpdift::campaign

@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <utility>
 
 #include "campaign/thread_pool.hpp"
@@ -107,23 +108,25 @@ campaign::JobResult run_tail(const JobTemplate& t, const FiSuite& suite,
   return res;
 }
 
+/// Site key for the warm-path cache (same grouping the cursor snapshots by).
+std::pair<bool, std::uint64_t> site_key(const FaultSpec& f) {
+  return {is_arch(f.model),
+          is_arch(f.model) ? f.trigger_instret : f.trigger_us};
+}
+
 /// One worker: a golden cursor over a contiguous slice of the fault list.
+/// `cache` (optional, single-threaded — only the serial subset path passes
+/// one) serves already-seen sites without the cursor and absorbs the sites
+/// this run visits.
 void run_chunk(const FiSuite& suite, const std::vector<std::size_t>& chunk,
                std::vector<campaign::JobResult>& results,
                const std::function<void(const campaign::JobResult&)>& on_done,
-               std::mutex& done_m, ForkStats* stats, std::mutex& stats_m) {
-  const JobTemplate t = make_template(suite);
-  auto cursor = make_vp(t);
-
-  // Group the chunk's faults by trigger site: one snapshot per site.
-  std::map<std::uint64_t, std::vector<std::size_t>> arch_sites;
-  std::map<std::uint64_t, std::vector<std::size_t>> time_sites;
-  for (std::size_t i : chunk) {
-    const FaultSpec& f = suite.faults[i];
-    auto& group = is_arch(f.model) ? arch_sites[f.trigger_instret]
-                                   : time_sites[f.trigger_us];
-    group.push_back(i);
-  }
+               std::mutex& done_m, ForkStats* stats, std::mutex& stats_m,
+               const std::atomic<bool>* cancel = nullptr,
+               FiSiteCache* cache = nullptr) {
+  const auto cancelled = [cancel] {
+    return cancel && cancel->load(std::memory_order_relaxed);
+  };
 
   std::vector<bool> visited(suite.faults.size(), false);
   std::size_t snapshots = 0;
@@ -137,16 +140,127 @@ void run_chunk(const FiSuite& suite, const std::vector<std::size_t>& chunk,
     results[i] = std::move(r);
   };
 
-  auto process_site = [&](const std::vector<std::size_t>& faults_here) {
-    const vp::VpSnapshot snap = cursor->snapshot();
+  // Skipped (cancelled before start): verdict "skipped", on_done NOT called
+  // — the same contract as campaign::Runner's cancellation.
+  auto skip_one = [&](std::size_t i) {
+    campaign::JobResult r;
+    r.name = suite.jobs.jobs[i].name;
+    r.verdict = "skipped";
+    results[i] = std::move(r);
+  };
+
+  auto flush_stats = [&](std::uint64_t golden_instret) {
+    if (!stats) return;
+    std::lock_guard lk(stats_m);
+    stats->golden_instret += golden_instret;
+    stats->tail_instret += tail_instret;
+    stats->replay_instret += replay_instret;
+    stats->snapshots += snapshots;
+  };
+
+  if (cancelled()) {
+    for (std::size_t i : chunk) skip_one(i);
+    return;
+  }
+
+  const JobTemplate t = make_template(suite);
+
+  // Synthesizes one fault's result from a golden outcome (the cold job whose
+  // trigger never fired ran the fault-free trajectory).
+  auto emit_golden = [&](std::size_t i, const campaign::JobResult& golden_res) {
+    campaign::JobResult r = golden_res;
+    r.name = suite.jobs.jobs[i].name;
+    r.ok = campaign::verdict_matches(suite.jobs.jobs[i].expect, r.verdict);
+    r.history = {{r.verdict, r.error}};
+    if (r.verdict != "crash") replay_instret += r.run.instret;
+    emit(i, std::move(r));
+  };
+
+  // Runs one fault's tail from `snap` and accounts for it.
+  auto emit_tail = [&](std::size_t i, const vp::VpSnapshot& snap) {
+    std::uint64_t executed = 0;
+    campaign::JobResult r = run_tail(t, suite, i, snap, &executed);
+    tail_instret += executed;
+    replay_instret += r.verdict == "crash" ? 0 : r.run.instret;
+    emit(i, std::move(r));
+  };
+
+  // Group the chunk's faults by trigger site: one snapshot per site.
+  std::map<std::uint64_t, std::vector<std::size_t>> arch_sites;
+  std::map<std::uint64_t, std::vector<std::size_t>> time_sites;
+  for (std::size_t i : chunk) {
+    const FaultSpec& f = suite.faults[i];
+    auto& group = is_arch(f.model) ? arch_sites[f.trigger_instret]
+                                   : time_sites[f.trigger_us];
+    group.push_back(i);
+  }
+
+  // Warm path: sites already in the cache replay their tails (or synthesize
+  // their unreached result) right away — those never touch the cursor.
+  auto serve_cached = [&](bool arch,
+                          std::map<std::uint64_t, std::vector<std::size_t>>&
+                              sites_map) {
+    if (!cache) return;
+    for (auto it = sites_map.begin(); it != sites_map.end();) {
+      const auto ce = cache->sites.find({arch, it->first});
+      const bool usable =
+          ce != cache->sites.end() &&
+          (ce->second.snap || (ce->second.unreached && cache->have_golden));
+      if (!usable) {
+        ++cache->misses;
+        ++it;
+        continue;
+      }
+      ++cache->hits;
+      for (std::size_t i : it->second) {
+        visited[i] = true;
+        if (cancelled()) {
+          skip_one(i);
+          continue;
+        }
+        if (ce->second.unreached)
+          emit_golden(i, cache->golden);
+        else
+          emit_tail(i, *ce->second.snap);
+      }
+      it = sites_map.erase(it);
+    }
+  };
+  serve_cached(true, arch_sites);
+  serve_cached(false, time_sites);
+
+  if (arch_sites.empty() && time_sites.empty()) {
+    flush_stats(0);  // fully warm: no cursor ran at all
+    return;
+  }
+
+  auto cursor = make_vp(t);
+
+  auto process_site = [&](bool arch, std::uint64_t trigger,
+                          const std::vector<std::size_t>& faults_here) {
+    if (cancelled()) {
+      // Skip this site's jobs and wind the cursor down — remaining sites
+      // fall through to the skip loop below.
+      cursor->sim().stop();
+      for (std::size_t i : faults_here) {
+        visited[i] = true;
+        skip_one(i);
+      }
+      return;
+    }
+    auto snap = std::make_shared<const vp::VpSnapshot>(cursor->snapshot());
     ++snapshots;
+    if (cache && cache->stored < cache->snapshot_cap) {
+      cache->sites[{arch, trigger}] = FiSiteCache::Entry{snap, false};
+      ++cache->stored;
+    }
     for (std::size_t i : faults_here) {
       visited[i] = true;
-      std::uint64_t executed = 0;
-      campaign::JobResult r = run_tail(t, suite, i, snap, &executed);
-      tail_instret += executed;
-      replay_instret += r.verdict == "crash" ? 0 : r.run.instret;
-      emit(i, std::move(r));
+      if (cancelled()) {
+        skip_one(i);
+        continue;
+      }
+      emit_tail(i, *snap);
     }
   };
 
@@ -162,7 +276,7 @@ void run_chunk(const FiSuite& suite, const std::vector<std::size_t>& chunk,
     const auto site = chain[next_arch++];
     cursor->core().arm_fault(
         site.first, [&, site](rv::Core<rv::TaintedWord>&) {
-          process_site(*site.second);
+          process_site(true, site.first, *site.second);
           arm_next();
         });
   };
@@ -173,9 +287,11 @@ void run_chunk(const FiSuite& suite, const std::vector<std::size_t>& chunk,
   // timestamps. A site past the firmware's exit simply never fires, exactly
   // as the cold job's fault never fires.
   for (const auto& [us, group] : time_sites) {
+    const std::uint64_t trigger = us;
     const std::vector<std::size_t>* site = &group;
-    cursor->sim().schedule_in(sysc::Time::us(us),
-                              [&, site] { process_site(*site); });
+    cursor->sim().schedule_in(sysc::Time::us(us), [&, trigger, site] {
+      process_site(false, trigger, *site);
+    });
   }
 
   std::string cursor_error;
@@ -189,30 +305,34 @@ void run_chunk(const FiSuite& suite, const std::vector<std::size_t>& chunk,
   }
 
   // Unvisited sites: the cursor ended before the trigger, so the cold job's
-  // fault would never have fired — its result IS the golden outcome.
+  // fault would never have fired — its result IS the golden outcome. (If the
+  // run was cancelled mid-cursor, "unvisited" instead means "skipped": the
+  // truncated golden is not a valid outcome, and nothing gets cached.)
   campaign::JobResult golden_res;
   golden_res.run = golden;
   golden_res.verdict =
       cursor_error.empty() ? campaign::verdict_of(golden) : "crash";
   golden_res.error = cursor_error;
   golden_res.attempts = 1;
+  const bool golden_valid = cursor_error.empty() && !cancelled();
+  if (cache && golden_valid && !cache->have_golden) {
+    cache->golden = golden_res;
+    cache->have_golden = true;
+  }
   for (std::size_t i : chunk) {
     if (visited[i]) continue;
-    campaign::JobResult r = golden_res;
-    r.name = suite.jobs.jobs[i].name;
-    r.ok = campaign::verdict_matches(suite.jobs.jobs[i].expect, r.verdict);
-    r.history = {{r.verdict, r.error}};
-    if (cursor_error.empty()) replay_instret += golden.instret;
-    emit(i, std::move(r));
+    if (cancelled()) {
+      skip_one(i);
+      continue;
+    }
+    if (cache && golden_valid) {
+      FiSiteCache::Entry& e = cache->sites[site_key(suite.faults[i])];
+      if (!e.snap) e.unreached = true;
+    }
+    emit_golden(i, golden_res);
   }
 
-  if (stats) {
-    std::lock_guard lk(stats_m);
-    stats->golden_instret += golden.instret;
-    stats->tail_instret += tail_instret;
-    stats->replay_instret += replay_instret;
-    stats->snapshots += snapshots;
-  }
+  flush_stats(golden.instret);
 }
 
 }  // namespace
@@ -220,7 +340,7 @@ void run_chunk(const FiSuite& suite, const std::vector<std::size_t>& chunk,
 std::vector<campaign::JobResult> run_forked(
     const FiSuite& suite, std::size_t jobs,
     const std::function<void(const campaign::JobResult&)>& on_done,
-    ForkStats* stats) {
+    ForkStats* stats, const std::atomic<bool>* cancel) {
   const std::size_t n = suite.faults.size();
   if (stats) *stats = ForkStats{};
   std::vector<campaign::JobResult> results(n);
@@ -232,13 +352,35 @@ std::vector<campaign::JobResult> run_forked(
 
   std::mutex done_m, stats_m;
   if (workers <= 1) {
-    run_chunk(suite, chunks[0], results, on_done, done_m, stats, stats_m);
+    run_chunk(suite, chunks[0], results, on_done, done_m, stats, stats_m,
+              cancel);
     return results;
   }
   campaign::ThreadPool pool(workers);
   pool.parallel_for(workers, [&](std::size_t c) {
-    run_chunk(suite, chunks[c], results, on_done, done_m, stats, stats_m);
+    run_chunk(suite, chunks[c], results, on_done, done_m, stats, stats_m,
+              cancel);
   });
+  return results;
+}
+
+std::vector<campaign::JobResult> run_forked_subset(
+    const FiSuite& suite, const std::vector<std::size_t>& indices,
+    const std::function<void(const campaign::JobResult&)>& on_done,
+    ForkStats* stats, FiSiteCache* cache, const std::atomic<bool>* cancel) {
+  if (stats) *stats = ForkStats{};
+  std::vector<campaign::JobResult> results(suite.faults.size());
+
+  std::vector<std::size_t> chunk = indices;
+  std::sort(chunk.begin(), chunk.end());
+  chunk.erase(std::unique(chunk.begin(), chunk.end()), chunk.end());
+  if (!chunk.empty() && chunk.back() >= suite.faults.size())
+    throw std::invalid_argument("run_forked_subset: index out of range");
+  if (chunk.empty()) return results;
+
+  std::mutex done_m, stats_m;
+  run_chunk(suite, chunk, results, on_done, done_m, stats, stats_m, cancel,
+            cache);
   return results;
 }
 

@@ -29,13 +29,18 @@
 //    cursor's own outcome.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "campaign/runner.hpp"
 #include "fi/suite.hpp"
+#include "vp/vp.hpp"
 
 namespace vpdift::fi {
 
@@ -55,14 +60,63 @@ struct ForkStats {
   }
 };
 
+/// Per-suite cache of fault-site snapshots and the golden cursor outcome —
+/// the warm path of a repeated fork campaign. A site already cached replays
+/// its tails straight from the stored snapshot (or synthesizes its result
+/// from the stored golden outcome for sites the cursor never reached)
+/// without running a cursor at all. Single-threaded by design: snapshots
+/// are heavyweight (~RAM size each) and the golden JobResult embeds
+/// thread-confined provenance, so a cache must only ever be driven from one
+/// thread — the serial run_forked_subset path (the service's worker
+/// processes each own one per suite).
+struct FiSiteCache {
+  struct Entry {
+    std::shared_ptr<const vp::VpSnapshot> snap;  ///< null when unreached
+    bool unreached = false;  ///< cursor exited before this trigger
+  };
+
+  /// Site key: (is-architectural, trigger instret-or-us) — the same grouping
+  /// the fork engine snapshots by, so faults sharing a site share an entry.
+  std::map<std::pair<bool, std::uint64_t>, Entry> sites;
+  /// The golden cursor's composed outcome (synthesizes unreached sites).
+  campaign::JobResult golden;
+  bool have_golden = false;
+
+  /// Stored-snapshot bound: a full-fidelity snapshot is about the size of
+  /// the VP's RAM + tag plane, so an unbounded cache would grow by ~8 MB per
+  /// distinct site. When full, further sites run cold (deterministically) —
+  /// they are simply never stored, not evicted.
+  std::size_t snapshot_cap = 64;
+  std::size_t stored = 0;   ///< snapshots currently held
+  std::uint64_t hits = 0;   ///< sites served from the cache
+  std::uint64_t misses = 0; ///< sites that needed the cursor
+};
+
 /// Executes `suite`'s fault jobs in fork mode on `jobs` workers (<=1 =
 /// serial on the calling thread; each worker runs its own golden cursor over
 /// a contiguous slice of the fault list). The result vector parallels
 /// suite.faults index for index. `on_done` is called as each job finishes
 /// (serialized). Never throws per-job — failures become verdict "crash".
+/// `cancel` (optional) requests graceful cancellation: fault sites not yet
+/// processed are skipped (verdict "skipped", ok = false, on_done NOT
+/// called) while in-flight tails finish normally.
 std::vector<campaign::JobResult> run_forked(
     const FiSuite& suite, std::size_t jobs,
     const std::function<void(const campaign::JobResult&)>& on_done = {},
-    ForkStats* stats = nullptr);
+    ForkStats* stats = nullptr, const std::atomic<bool>* cancel = nullptr);
+
+/// Executes only `indices` of `suite`'s fault jobs, serially on the calling
+/// thread, consulting (and filling) `cache` when given. The result vector
+/// still parallels suite.faults full-size — entries outside `indices` stay
+/// default-constructed (empty name). Cold with an empty cache, the filled
+/// entries are bit-identical to run_forked / Runner::run for the same
+/// faults; warm, the cursor is skipped entirely for cached sites, which is
+/// where the service's repeat-submission speedup comes from. Out-of-range
+/// indices throw std::invalid_argument; duplicates are processed once.
+std::vector<campaign::JobResult> run_forked_subset(
+    const FiSuite& suite, const std::vector<std::size_t>& indices,
+    const std::function<void(const campaign::JobResult&)>& on_done = {},
+    ForkStats* stats = nullptr, FiSiteCache* cache = nullptr,
+    const std::atomic<bool>* cancel = nullptr);
 
 }  // namespace vpdift::fi

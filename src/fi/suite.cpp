@@ -89,19 +89,24 @@ campaign::JobSpec base_job(const FiSuiteSpec& spec) {
   return base;
 }
 
-/// Runs the golden reference and fills in the derived budgets — the part of
-/// suite construction that is independent of where the faults come from.
-FiSuite make_golden(const FiSuiteSpec& spec) {
-  FiSuite s;
-  s.spec = spec;
-  campaign::JobSpec golden_job = base_job(spec);
-  golden_job.name = "golden:" + spec.benchmark;
-  s.golden = campaign::Runner::run_job(golden_job);
+/// Derives the budgets from an already-run golden result — shared by the
+/// run-it-here path (make_golden) and the cached-golden path
+/// (suite_from_golden). Throws if the golden crashed.
+void derive_budgets(FiSuite& s) {
   if (s.golden.verdict == "crash")
     throw std::runtime_error("fi golden run crashed: " + s.golden.error);
   s.golden_us = std::max<std::uint64_t>(s.golden.run.sim_time.micros(), 1);
   s.wdt_us = static_cast<std::uint32_t>(
       std::min<std::uint64_t>(3 * s.golden_us + 1000, ~std::uint32_t(0)));
+}
+
+/// Runs the golden reference and fills in the derived budgets — the part of
+/// suite construction that is independent of where the faults come from.
+FiSuite make_golden(const FiSuiteSpec& spec) {
+  FiSuite s;
+  s.spec = spec;
+  s.golden = campaign::Runner::run_job(golden_job(spec));
+  derive_budgets(s);
   return s;
 }
 
@@ -136,17 +141,11 @@ void add_fault_jobs(FiSuite& s, std::vector<FaultSpec> faults) {
   }
 }
 
-}  // namespace
-
-FiSuite assemble_suite(const FiSuiteSpec& spec, std::vector<FaultSpec> faults) {
-  FiSuite s = make_golden(spec);
-  s.spec.n_faults = faults.size();
-  add_fault_jobs(s, std::move(faults));
-  return s;
-}
-
-FiSuite build_suite(const FiSuiteSpec& spec) {
-  FiSuite s = make_golden(spec);
+/// The seed-derived fault schedule for a suite whose golden budgets are
+/// already in place. Deterministic: depends only on (benchmark, n, seed)
+/// and the golden run's instret / duration.
+std::vector<FaultSpec> derive_schedule(const FiSuite& s) {
+  const FiSuiteSpec& spec = s.spec;
 
   // Image extent (throws early on an unknown benchmark). RAM bit flips
   // target the heap window past the image and the stack page, never the
@@ -212,7 +211,37 @@ FiSuite build_suite(const FiSuiteSpec& spec) {
     }
     faults.push_back(f);
   }
+  return faults;
+}
+
+}  // namespace
+
+campaign::JobSpec golden_job(const FiSuiteSpec& spec) {
+  campaign::JobSpec j = base_job(spec);
+  j.name = "golden:" + spec.benchmark;
+  return j;
+}
+
+FiSuite assemble_suite(const FiSuiteSpec& spec, std::vector<FaultSpec> faults) {
+  FiSuite s = make_golden(spec);
+  s.spec.n_faults = faults.size();
   add_fault_jobs(s, std::move(faults));
+  return s;
+}
+
+FiSuite build_suite(const FiSuiteSpec& spec) {
+  FiSuite s = make_golden(spec);
+  add_fault_jobs(s, derive_schedule(s));
+  return s;
+}
+
+FiSuite suite_from_golden(const FiSuiteSpec& spec,
+                          campaign::JobResult golden) {
+  FiSuite s;
+  s.spec = spec;
+  s.golden = std::move(golden);
+  derive_budgets(s);
+  add_fault_jobs(s, derive_schedule(s));
   return s;
 }
 
@@ -320,7 +349,8 @@ std::string matrix_table(const CoverageMatrix& m) {
 std::string matrix_json(const FiSuite& suite,
                         const std::vector<campaign::JobResult>& results,
                         const std::vector<Verdict>& verdicts,
-                        std::size_t workers, double wall_s) {
+                        std::size_t workers, double wall_s,
+                        const std::string& extra) {
   std::ostringstream out;
   char buf[512];
   std::snprintf(
@@ -376,7 +406,10 @@ std::string matrix_json(const FiSuite& suite,
                   i + 1 < results.size() ? "," : "");
     out << buf;
   }
-  out << "  ]\n}\n";
+  if (extra.empty())
+    out << "  ]\n}\n";
+  else
+    out << "  ],\n  " << extra << "\n}\n";
   return out.str();
 }
 

@@ -51,9 +51,21 @@ struct FiSuite {
   campaign::CampaignSpec jobs;    ///< ready for campaign::Runner::run()
 };
 
+/// The golden-reference JobSpec for `spec` — exactly what build_suite runs
+/// first. Exposed so a caller (the service's golden-run cache) can execute
+/// and keep the golden result independently of suite assembly.
+campaign::JobSpec golden_job(const FiSuiteSpec& spec);
+
 /// Runs the golden reference (throws std::runtime_error if it crashes) and
 /// derives the fault schedule. Same spec in = bit-identical schedule out.
 FiSuite build_suite(const FiSuiteSpec& spec);
+
+/// Assembles the suite around an already-available golden result instead of
+/// re-running it (the warm path: the service feeds its cached golden back
+/// in). With a `golden` produced by running golden_job(spec), the derived
+/// schedule and jobs are bit-identical to build_suite(spec). Throws
+/// std::runtime_error if `golden` is a crash.
+FiSuite suite_from_golden(const FiSuiteSpec& spec, campaign::JobResult golden);
 
 /// Runs the golden reference and assembles campaign jobs for a handcrafted
 /// fault list instead of a seed-derived schedule — build_suite's back half.
@@ -91,9 +103,13 @@ std::string matrix_table(const CoverageMatrix& m);
 
 /// Machine-readable campaign report: suite parameters, golden reference,
 /// per-fault {spec, verdict, run verdict}, and the coverage matrix.
+/// `extra`, if non-empty, is raw `"key": value` JSON text spliced in as
+/// additional top-level fields at the end of the document (the service uses
+/// it for its cache-counter block); it does not perturb any existing field.
 std::string matrix_json(const FiSuite& suite,
                         const std::vector<campaign::JobResult>& results,
                         const std::vector<Verdict>& verdicts,
-                        std::size_t workers, double wall_s);
+                        std::size_t workers, double wall_s,
+                        const std::string& extra = {});
 
 }  // namespace vpdift::fi

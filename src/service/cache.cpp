@@ -1,0 +1,203 @@
+#include "service/cache.hpp"
+
+#include <utility>
+
+#include "service/hash.hpp"
+
+namespace vpdift::service {
+
+CacheStats& CacheStats::operator+=(const CacheStats& o) {
+  elf_hits += o.elf_hits;
+  elf_misses += o.elf_misses;
+  policy_hits += o.policy_hits;
+  policy_misses += o.policy_misses;
+  golden_cache_hits += o.golden_cache_hits;
+  golden_cache_misses += o.golden_cache_misses;
+  snapshot_hits += o.snapshot_hits;
+  snapshot_misses += o.snapshot_misses;
+  vp_builds += o.vp_builds;
+  vp_reuses += o.vp_reuses;
+  executed_instret += o.executed_instret;
+  return *this;
+}
+
+CacheStats CacheStats::operator-(const CacheStats& o) const {
+  CacheStats d;
+  d.elf_hits = elf_hits - o.elf_hits;
+  d.elf_misses = elf_misses - o.elf_misses;
+  d.policy_hits = policy_hits - o.policy_hits;
+  d.policy_misses = policy_misses - o.policy_misses;
+  d.golden_cache_hits = golden_cache_hits - o.golden_cache_hits;
+  d.golden_cache_misses = golden_cache_misses - o.golden_cache_misses;
+  d.snapshot_hits = snapshot_hits - o.snapshot_hits;
+  d.snapshot_misses = snapshot_misses - o.snapshot_misses;
+  d.vp_builds = vp_builds - o.vp_builds;
+  d.vp_reuses = vp_reuses - o.vp_reuses;
+  d.executed_instret = executed_instret - o.executed_instret;
+  return d;
+}
+
+std::string CacheStats::to_json() const {
+  auto f = [](const char* k, std::uint64_t v, bool last = false) {
+    return "\"" + std::string(k) + "\":" + std::to_string(v) +
+           (last ? "" : ",");
+  };
+  return "{" + f("elf_hits", elf_hits) + f("elf_misses", elf_misses) +
+         f("policy_hits", policy_hits) + f("policy_misses", policy_misses) +
+         f("golden_cache_hits", golden_cache_hits) +
+         f("golden_cache_misses", golden_cache_misses) +
+         f("snapshot_hits", snapshot_hits) +
+         f("snapshot_misses", snapshot_misses) + f("vp_builds", vp_builds) +
+         f("vp_reuses", vp_reuses) +
+         f("executed_instret", executed_instret, true) + "}";
+}
+
+CacheStats cache_stats_from_json(const campaign::JsonValue& obj) {
+  CacheStats s;
+  s.elf_hits = obj.u64_or("elf_hits", 0);
+  s.elf_misses = obj.u64_or("elf_misses", 0);
+  s.policy_hits = obj.u64_or("policy_hits", 0);
+  s.policy_misses = obj.u64_or("policy_misses", 0);
+  s.golden_cache_hits = obj.u64_or("golden_cache_hits", 0);
+  s.golden_cache_misses = obj.u64_or("golden_cache_misses", 0);
+  s.snapshot_hits = obj.u64_or("snapshot_hits", 0);
+  s.snapshot_misses = obj.u64_or("snapshot_misses", 0);
+  s.vp_builds = obj.u64_or("vp_builds", 0);
+  s.vp_reuses = obj.u64_or("vp_reuses", 0);
+  s.executed_instret = obj.u64_or("executed_instret", 0);
+  return s;
+}
+
+namespace {
+
+/// Builtin firmware references resolve by NAME (their content is compiled
+/// into this binary and can only change with it); anything else is a path
+/// whose bytes are the identity. Must mirror campaign::resolve_firmware.
+bool is_builtin_firmware(const std::string& name) {
+  return name == "primes" || name == "qsort" || name == "dhrystone" ||
+         name == "sha256" || name == "sha512" || name == "simple-sensor" ||
+         name == "rtos-tasks" || name == "immobilizer" ||
+         name == "code-reuse" || name.rfind("attack:", 0) == 0;
+}
+
+/// Builtin policy scenarios, mirroring campaign::resolve_policy.
+bool is_builtin_policy(const std::string& name) {
+  return name.empty() || name == "permissive" || name == "code-injection" ||
+         name == "immobilizer" || name == "immobilizer-per-byte";
+}
+
+}  // namespace
+
+std::uint64_t WarmCache::firmware_key(const std::string& name) {
+  if (is_builtin_firmware(name)) return fnv1a64(name, fnv1a64("builtin-fw:"));
+  const std::string path = name.rfind("file:", 0) == 0 ? name.substr(5) : name;
+  return hash_file(path);
+}
+
+std::uint64_t WarmCache::program_key(const rvasm::Program& program) {
+  std::uint64_t h = fnv1a64("program:");
+  h = fnv1a64_u64(program.entry, h);
+  for (const auto& seg : program.segments) {
+    h = fnv1a64_u64(seg.base, h);
+    h = fnv1a64(std::string_view(reinterpret_cast<const char*>(
+                                     seg.bytes.data()),
+                                 seg.bytes.size()),
+                h);
+  }
+  return h;
+}
+
+std::uint64_t WarmCache::policy_content_key(const std::string& name) {
+  if (is_builtin_policy(name))
+    return fnv1a64(name, fnv1a64("builtin-policy:"));
+  const std::string path = name.rfind("file:", 0) == 0 ? name.substr(5) : name;
+  return hash_file(path);
+}
+
+const rvasm::Program& WarmCache::firmware(const std::string& name) {
+  const std::uint64_t key = firmware_key(name);
+  auto it = firmware_.find(key);
+  if (it != firmware_.end()) {
+    ++counters_.elf_hits;
+    return it->second;
+  }
+  ++counters_.elf_misses;
+  return firmware_.emplace(key, campaign::resolve_firmware(name))
+      .first->second;
+}
+
+std::shared_ptr<const campaign::ResolvedPolicy> WarmCache::policy(
+    const std::string& name, const rvasm::Program& program) {
+  const std::uint64_t key =
+      fnv1a64_u64(program_key(program), policy_content_key(name));
+  auto it = policies_.find(key);
+  if (it != policies_.end()) {
+    ++counters_.policy_hits;
+    return it->second;
+  }
+  ++counters_.policy_misses;
+  auto resolved = std::make_shared<campaign::ResolvedPolicy>(
+      campaign::resolve_policy(name, program));
+  policies_.emplace(key, resolved);
+  return resolved;
+}
+
+std::uint64_t WarmCache::job_key(const campaign::JobSpec& job) {
+  std::uint64_t h = fnv1a64("job:");
+  h = fnv1a64(job.name, h);
+  h = fnv1a64_u64(firmware_key(job.firmware), h);
+  h = fnv1a64_u64(policy_content_key(job.policy), h);
+  h = fnv1a64_u64(static_cast<std::uint64_t>(job.mode), h);
+  h = fnv1a64(job.uart_input, h);
+  h = fnv1a64_u64(job.max_ms, h);
+  h = fnv1a64_u64(static_cast<std::uint64_t>(job.retries), h);
+  h = fnv1a64_u64(job.engine_ecu ? 1 : 0, h);
+  h = fnv1a64(job.expect, h);
+  return h;
+}
+
+bool WarmCache::cacheable(const campaign::JobSpec& job) {
+  return !job.make_program && !job.make_config && !job.pre_run_dift &&
+         !job.pre_run_plain && job.wall_budget_s == 0.0;
+}
+
+const campaign::JobResult* WarmCache::find_result(std::uint64_t key) const {
+  auto it = results_.find(key);
+  return it == results_.end() ? nullptr : &it->second;
+}
+
+void WarmCache::store_result(std::uint64_t key, const campaign::JobResult& r) {
+  results_[key] = r;
+}
+
+std::uint64_t WarmCache::suite_key(const fi::FiSuiteSpec& spec) {
+  return fnv1a64_u64(spec.seed,
+                     fnv1a64_u64(firmware_key(spec.benchmark),
+                                 fnv1a64("fi-suite:")));
+}
+
+campaign::RunnerEnv WarmCache::env() {
+  campaign::RunnerEnv e;
+  e.resolve_firmware = [this](const std::string& name) {
+    return firmware(name);
+  };
+  e.resolve_policy = [this](const std::string& name,
+                            const rvasm::Program& program) {
+    return policy(name, program);
+  };
+  e.pool = &pool_;
+  return e;
+}
+
+CacheStats WarmCache::stats() const {
+  CacheStats s = counters_;
+  s.vp_builds = pool_.builds();
+  s.vp_reuses = pool_.reuses();
+  for (const auto& [key, c] : sites_) {
+    s.snapshot_hits += c.hits;
+    s.snapshot_misses += c.misses;
+  }
+  return s;
+}
+
+}  // namespace vpdift::service

@@ -1,0 +1,128 @@
+// The service's content-hash warm cache.
+//
+// One WarmCache lives in each worker process and persists across
+// submissions. It layers four caches, all keyed by content (see hash.hpp):
+//
+//   * firmware   — resolved rvasm::Programs. Builtin names (primes, qsort,
+//                  attack:N, ...) key by name; ELF paths key by file BYTES,
+//                  so editing the file misses while resubmitting it hits.
+//   * policy     — campaign::ResolvedPolicy keyed by (policy content,
+//                  program content): a policy resolves against the
+//                  firmware's symbols, so the same text against a different
+//                  image is a different object. Entries are shared_ptr —
+//                  a ResolvedPolicy owns its lattice and is move-only.
+//   * result     — finished JobResults for deterministic jobs (no wall
+//                  budget, not a crash), keyed by the full job identity.
+//                  This is what makes a repeated fi golden run free.
+//   * fault site — one fi::FiSiteCache per (firmware content, seed): the
+//                  snapshots taken along a suite's golden cursor plus the
+//                  cursor outcome. The fault schedule is a deterministic
+//                  prefix sequence in n, so fi:qsort:10 and fi:qsort:20
+//                  under one seed share entries.
+//
+// Everything here is single-threaded by design (lattices and snapshots are
+// thread-confined); the service gets its parallelism from running one
+// WarmCache per worker *process*.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "campaign/runner.hpp"
+#include "fi/fork.hpp"
+#include "fi/suite.hpp"
+#include "rvasm/program.hpp"
+
+namespace vpdift::service {
+
+/// Counter block describing the cache behaviour of some span of work (one
+/// op, one submission, or a worker's lifetime — deltas subtract cleanly).
+struct CacheStats {
+  std::uint64_t elf_hits = 0, elf_misses = 0;
+  std::uint64_t policy_hits = 0, policy_misses = 0;
+  std::uint64_t golden_cache_hits = 0, golden_cache_misses = 0;
+  std::uint64_t snapshot_hits = 0, snapshot_misses = 0;
+  std::uint64_t vp_builds = 0, vp_reuses = 0;
+  /// Instructions actually retired (cache hits retire none) — the number
+  /// the warm-vs-cold acceptance check compares.
+  std::uint64_t executed_instret = 0;
+
+  CacheStats& operator+=(const CacheStats& o);
+  CacheStats operator-(const CacheStats& o) const;
+
+  /// One flat JSON object, e.g. {"elf_hits":3,...,"executed_instret":12}.
+  std::string to_json() const;
+};
+
+/// Parses a CacheStats from the JSON object `to_json` produced (absent or
+/// mistyped fields read as 0) — the client side of the counter round trip.
+CacheStats cache_stats_from_json(const campaign::JsonValue& obj);
+
+class WarmCache {
+ public:
+  /// Content key of a firmware reference (builtin name or ELF path).
+  /// Throws std::runtime_error when a path is unreadable.
+  std::uint64_t firmware_key(const std::string& name);
+
+  /// Content key of a resolved program (segments + entry point).
+  static std::uint64_t program_key(const rvasm::Program& program);
+
+  /// Content key of a policy reference (builtin scenario name or file).
+  std::uint64_t policy_content_key(const std::string& name);
+
+  /// The resolved program for `name`, cached by content key.
+  const rvasm::Program& firmware(const std::string& name);
+
+  /// The resolved policy for `name` against `program`, cached by
+  /// (policy content, program content).
+  std::shared_ptr<const campaign::ResolvedPolicy> policy(
+      const std::string& name, const rvasm::Program& program);
+
+  /// Identity of a declarative job: name, firmware content, policy content,
+  /// mode, uart input and budgets. Hook-carrying jobs have no stable
+  /// identity (see cacheable()).
+  std::uint64_t job_key(const campaign::JobSpec& job);
+
+  /// True when a finished result for `job` may be replayed from the cache:
+  /// declarative (no programmatic hooks) and free of wall-clock budgets —
+  /// the two ways a re-run could legitimately differ.
+  static bool cacheable(const campaign::JobSpec& job);
+
+  const campaign::JobResult* find_result(std::uint64_t key) const;
+  void store_result(std::uint64_t key, const campaign::JobResult& r);
+
+  /// Suite identity for the fault-site cache: (firmware content, seed).
+  /// Deliberately excludes n_faults — the schedule is a prefix sequence.
+  std::uint64_t suite_key(const fi::FiSuiteSpec& spec);
+
+  fi::FiSiteCache& site_cache(std::uint64_t key) { return sites_[key]; }
+
+  campaign::VpPool& pool() { return pool_; }
+
+  /// A RunnerEnv whose resolvers and pool are backed by this cache. The
+  /// returned object captures `this`; it must not outlive the cache.
+  campaign::RunnerEnv env();
+
+  void note_executed(std::uint64_t instret) {
+    counters_.executed_instret += instret;
+  }
+  void note_golden(bool hit) {
+    ++(hit ? counters_.golden_cache_hits : counters_.golden_cache_misses);
+  }
+
+  /// Cumulative counters (live site-cache and VP-pool numbers folded in).
+  CacheStats stats() const;
+
+ private:
+  std::map<std::uint64_t, rvasm::Program> firmware_;
+  std::map<std::uint64_t, std::shared_ptr<const campaign::ResolvedPolicy>>
+      policies_;
+  std::map<std::uint64_t, campaign::JobResult> results_;
+  std::map<std::uint64_t, fi::FiSiteCache> sites_;
+  campaign::VpPool pool_;
+  CacheStats counters_;
+};
+
+}  // namespace vpdift::service

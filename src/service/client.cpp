@@ -1,0 +1,157 @@
+#include "service/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "campaign/json.hpp"
+#include "service/protocol.hpp"
+
+namespace vpdift::service {
+
+using campaign::JsonValue;
+
+Client::Client(const std::string& socket_path) {
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("socket() failed");
+  struct sockaddr_un addr {};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof addr.sun_path) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("socket path too long: " + socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd_, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("cannot connect to " + socket_path + ": " +
+                             std::strerror(errno));
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool Client::ping() {
+  if (!write_line(fd_, "{\"op\":\"ping\"}")) return false;
+  LineReader in(fd_);
+  std::string line;
+  if (!in.read_line(&line)) return false;
+  try {
+    return campaign::json_parse(line).str_or("event") == "pong";
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+Outcome Client::await_done(
+    std::uint64_t id, const std::function<void(const JobEvent&)>& on_job) {
+  Outcome out;
+  LineReader in(fd_);
+  std::string line;
+  while (in.read_line(&line)) {
+    JsonValue msg;
+    try {
+      msg = campaign::json_parse(line);
+    } catch (const std::exception& e) {
+      out.error = std::string("garbled server line: ") + e.what();
+      return out;
+    }
+    const std::string ev = msg.str_or("event");
+    if (msg.u64_or("id", id) != id && ev != "error") continue;
+    if (ev == "accepted") {
+      out.jobs = static_cast<std::size_t>(msg.u64_or("jobs", 0));
+      continue;
+    }
+    if (ev == "job") {
+      if (on_job) {
+        JobEvent je;
+        je.name = msg.str_or("name");
+        je.verdict = msg.str_or("verdict");
+        je.ok = msg.bool_or("ok");
+        on_job(je);
+      }
+      continue;
+    }
+    if (ev == "done") {
+      out.ok = msg.bool_or("ok");
+      out.report = msg.str_or("report");
+      if (const JsonValue* sv = msg.find("service");
+          sv && sv->kind == JsonValue::Kind::kObject)
+        out.service = cache_stats_from_json(*sv);
+      return out;
+    }
+    if (ev == "error") {
+      out.error = msg.str_or("error", "unknown server error");
+      return out;
+    }
+  }
+  out.error = "server closed the connection";
+  return out;
+}
+
+Outcome Client::submit_ref(
+    const std::string& ref, std::uint64_t seed, std::size_t workers,
+    const std::function<void(const JobEvent&)>& on_job) {
+  const std::uint64_t id = next_id_++;
+  std::string req = "{\"op\":\"submit\",\"id\":" + std::to_string(id) +
+                    ",\"ref\":" + campaign::json_quote(ref) +
+                    ",\"seed\":" + std::to_string(seed);
+  if (workers) req += ",\"workers\":" + std::to_string(workers);
+  req += "}";
+  Outcome out;
+  if (!write_line(fd_, req)) {
+    out.error = "cannot write to server";
+    return out;
+  }
+  return await_done(id, on_job);
+}
+
+Outcome Client::submit_spec(
+    const std::string& spec_text,
+    const std::function<void(const JobEvent&)>& on_job) {
+  const std::uint64_t id = next_id_++;
+  const std::string req = "{\"op\":\"submit\",\"id\":" + std::to_string(id) +
+                          ",\"spec\":" + campaign::json_quote(spec_text) + "}";
+  Outcome out;
+  if (!write_line(fd_, req)) {
+    out.error = "cannot write to server";
+    return out;
+  }
+  return await_done(id, on_job);
+}
+
+CacheStats Client::server_stats() {
+  CacheStats s;
+  if (!write_line(fd_, "{\"op\":\"stats\"}")) return s;
+  LineReader in(fd_);
+  std::string line;
+  while (in.read_line(&line)) {
+    try {
+      const JsonValue msg = campaign::json_parse(line);
+      if (msg.str_or("event") != "stats") continue;
+      if (const JsonValue* sv = msg.find("service");
+          sv && sv->kind == JsonValue::Kind::kObject)
+        return cache_stats_from_json(*sv);
+      return s;
+    } catch (const std::exception&) {
+      return s;
+    }
+  }
+  return s;
+}
+
+void Client::shutdown_server() {
+  write_line(fd_, "{\"op\":\"shutdown\"}");
+  LineReader in(fd_);
+  std::string line;
+  in.read_line(&line);  // "bye" (or EOF)
+}
+
+}  // namespace vpdift::service

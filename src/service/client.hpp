@@ -1,0 +1,69 @@
+// Client side of the service protocol: connect to a running vpdift-serve,
+// submit a campaign (fi suite reference or declarative spec text), block
+// until the final report arrives, streaming per-job events to a callback on
+// the way. vpdift-campaign --connect and vpdift-serve --self-test are thin
+// wrappers over this class.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "service/cache.hpp"
+
+namespace vpdift::service {
+
+/// The final outcome of one submission.
+struct Outcome {
+  bool ok = false;          ///< server-side "ok" (all jobs ok / no crashes)
+  std::string report;       ///< the full JSON report, bit-identical to the
+                            ///< one-shot CLI's plus the "service" block
+  std::string error;        ///< non-empty when the submission failed
+  CacheStats service;       ///< the submission's cache-counter delta
+  std::size_t jobs = 0;     ///< job count the server accepted
+};
+
+/// Per-job progress event streamed while a submission runs.
+struct JobEvent {
+  std::string name;
+  std::string verdict;
+  bool ok = false;
+};
+
+class Client {
+ public:
+  /// Connects to the daemon's AF_UNIX socket.
+  /// Throws std::runtime_error when the connection fails.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Round-trip liveness check.
+  bool ping();
+
+  /// Submits "fi:<benchmark>:<n>" with `seed`; `workers` caps the fault
+  /// shard fan-out (0 = the server's worker count). Blocks until done.
+  Outcome submit_ref(const std::string& ref, std::uint64_t seed,
+                     std::size_t workers = 0,
+                     const std::function<void(const JobEvent&)>& on_job = {});
+
+  /// Submits declarative campaign-spec text (CampaignSpec::parse format).
+  Outcome submit_spec(const std::string& spec_text,
+                      const std::function<void(const JobEvent&)>& on_job = {});
+
+  /// Cumulative server-wide cache counters.
+  CacheStats server_stats();
+
+  /// Asks the daemon to drain and exit.
+  void shutdown_server();
+
+ private:
+  Outcome await_done(std::uint64_t id,
+                     const std::function<void(const JobEvent&)>& on_job);
+
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace vpdift::service

@@ -1,0 +1,56 @@
+#include "service/executor.hpp"
+
+namespace vpdift::service {
+
+campaign::JobResult Executor::run_job(const campaign::JobSpec& job) {
+  const bool cacheable = WarmCache::cacheable(job);
+  std::uint64_t key = 0;
+  if (cacheable) {
+    try {
+      key = cache_.job_key(job);
+    } catch (const std::exception& e) {
+      // Unhashable input (e.g. unreadable firmware path) fails the same way
+      // the run itself would — as a crash verdict, never an escape.
+      campaign::JobResult r;
+      r.name = job.name;
+      r.verdict = "crash";
+      r.error = e.what();
+      r.attempts = 1;
+      r.history = {{r.verdict, r.error}};
+      return r;
+    }
+    if (const campaign::JobResult* hit = cache_.find_result(key)) {
+      cache_.note_golden(true);
+      return *hit;
+    }
+    cache_.note_golden(false);
+  }
+  const campaign::RunnerEnv env = cache_.env();
+  campaign::JobResult res = campaign::Runner::run_job(job, &env);
+  cache_.note_executed(res.run.instret);
+  // Only deterministic outcomes are worth replaying: a crash might be
+  // transient (and is what retries exist for).
+  if (cacheable && res.verdict != "crash") cache_.store_result(key, res);
+  return res;
+}
+
+campaign::JobResult Executor::fi_golden(const fi::FiSuiteSpec& spec) {
+  return run_job(fi::golden_job(spec));
+}
+
+std::vector<campaign::JobResult> Executor::fi_run(
+    const fi::FiSuiteSpec& spec, const campaign::JobResult& golden,
+    const std::vector<std::size_t>& indices,
+    const std::function<void(const campaign::JobResult&)>& on_done,
+    fi::ForkStats* fork, const std::atomic<bool>* cancel) {
+  const fi::FiSuite suite = fi::suite_from_golden(spec, golden);
+  fi::FiSiteCache& sites = cache_.site_cache(cache_.suite_key(spec));
+  fi::ForkStats local;
+  std::vector<campaign::JobResult> results =
+      fi::run_forked_subset(suite, indices, on_done, &local, &sites, cancel);
+  cache_.note_executed(local.executed());
+  if (fork) *fork = local;
+  return results;
+}
+
+}  // namespace vpdift::service

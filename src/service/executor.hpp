@@ -1,0 +1,55 @@
+// Cache-aware job execution — the body of a service worker.
+//
+// An Executor wraps a WarmCache and runs the three op kinds a worker
+// receives: declarative campaign jobs (with a finished-result cache),
+// fault-injection golden runs (the same result cache — this is the
+// `golden_cache_hits` counter the warm-resubmission acceptance check
+// watches), and fault-injection chunks (fork engine + per-suite fault-site
+// snapshot cache). It is transport-agnostic: worker.cpp drives it over a
+// socketpair, tests drive it in-process.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "campaign/runner.hpp"
+#include "fi/fork.hpp"
+#include "fi/suite.hpp"
+#include "service/cache.hpp"
+
+namespace vpdift::service {
+
+class Executor {
+ public:
+  explicit Executor(WarmCache& cache) : cache_(cache) {}
+
+  /// Runs one declarative job through the warm cache: resolver overrides,
+  /// VP pool, and — for cacheable jobs — the finished-result cache (a hit
+  /// replays the stored result without executing anything). Never throws;
+  /// failures become verdict "crash".
+  campaign::JobResult run_job(const campaign::JobSpec& job);
+
+  /// The golden reference run for an fi suite (run_job of
+  /// fi::golden_job(spec) — cached like any declarative job).
+  campaign::JobResult fi_golden(const fi::FiSuiteSpec& spec);
+
+  /// Runs `indices` of the suite derived from (spec, golden) in fork mode
+  /// against the per-suite fault-site cache. The result vector parallels
+  /// the full fault list (entries outside `indices` stay empty). `golden`
+  /// must be the (possibly decoded) result of fi_golden for the same spec.
+  std::vector<campaign::JobResult> fi_run(
+      const fi::FiSuiteSpec& spec, const campaign::JobResult& golden,
+      const std::vector<std::size_t>& indices,
+      const std::function<void(const campaign::JobResult&)>& on_done = {},
+      fi::ForkStats* fork = nullptr,
+      const std::atomic<bool>* cancel = nullptr);
+
+  WarmCache& cache() { return cache_; }
+
+ private:
+  WarmCache& cache_;
+};
+
+}  // namespace vpdift::service

@@ -1,0 +1,25 @@
+#include "service/hash.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace vpdift::service {
+
+std::string hash_hex(std::uint64_t h) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+std::uint64_t hash_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for hashing: " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return fnv1a64(buf.str());
+}
+
+}  // namespace vpdift::service

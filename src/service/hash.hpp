@@ -1,0 +1,51 @@
+// Content hashing for the service's warm caches.
+//
+// Every cache in the service layer is keyed by what the submission actually
+// contains, not by when or how it arrived: an ELF image by its file bytes, a
+// policy by its text, a fault-injection suite by (firmware content, seed).
+// Resubmitting identical content therefore hits, and changing a single byte
+// anywhere in an input deterministically misses — there is no TTL and no
+// mtime heuristic to go stale. FNV-1a 64 is enough: keys live in one
+// process, collisions only cost a wrong cache hit among a handful of
+// entries, and the hash is trivially reproducible from the docs
+// (docs/service.md documents every key derivation).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace vpdift::service {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/// FNV-1a 64 over `bytes`, continuing from `seed` — chain calls to hash a
+/// composite key field by field.
+constexpr std::uint64_t fnv1a64(std::string_view bytes,
+                                std::uint64_t seed = kFnvOffset) {
+  std::uint64_t h = seed;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Mixes a 64-bit value into a running hash (little-endian byte order).
+constexpr std::uint64_t fnv1a64_u64(std::uint64_t v, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// 16 lowercase hex digits.
+std::string hash_hex(std::uint64_t h);
+
+/// FNV-1a 64 of a file's contents; throws std::runtime_error if unreadable.
+std::uint64_t hash_file(const std::string& path);
+
+}  // namespace vpdift::service

@@ -1,0 +1,219 @@
+#include "service/protocol.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "dift/violation.hpp"
+#include "vp/vp.hpp"
+
+namespace vpdift::service {
+
+namespace {
+
+constexpr std::size_t kExitReasonCount = 6;
+constexpr std::size_t kViolationKindCount = 8;
+
+/// Enum round trips scan the existing to_string tables instead of keeping a
+/// parallel name list that could drift.
+vp::ExitReason exit_reason_from_string(const std::string& s) {
+  for (std::size_t i = 0; i < kExitReasonCount; ++i) {
+    const auto r = static_cast<vp::ExitReason>(i);
+    if (s == vp::to_string(r)) return r;
+  }
+  throw std::runtime_error("unknown exit reason: " + s);
+}
+
+dift::ViolationKind violation_kind_from_string(const std::string& s) {
+  for (std::size_t i = 0; i < kViolationKindCount; ++i) {
+    const auto k = static_cast<dift::ViolationKind>(i);
+    if (s == dift::to_string(k)) return k;
+  }
+  throw std::runtime_error("unknown violation kind: " + s);
+}
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string num(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+std::string job_result_to_json(const campaign::JobResult& r) {
+  using campaign::json_quote;
+  std::ostringstream o;
+  o << "{\"name\":" << json_quote(r.name)
+    << ",\"verdict\":" << json_quote(r.verdict)
+    << ",\"ok\":" << (r.ok ? "true" : "false")
+    << ",\"attempts\":" << r.attempts
+    << ",\"error\":" << json_quote(r.error)
+    << ",\"wall_seconds\":" << num(r.wall_seconds) << ",\"history\":[";
+  for (std::size_t i = 0; i < r.history.size(); ++i)
+    o << (i ? "," : "") << "{\"verdict\":" << json_quote(r.history[i].verdict)
+      << ",\"error\":" << json_quote(r.history[i].error) << "}";
+  const vp::RunResult& run = r.run;
+  o << "],\"run\":{\"reason\":" << json_quote(vp::to_string(run.reason))
+    << ",\"exit_code\":" << run.exit_code
+    << ",\"watchdog_resets\":" << run.watchdog_resets
+    << ",\"violation_kind\":" << json_quote(dift::to_string(run.violation_kind))
+    << ",\"violation_source\":" << unsigned(run.violation_source)
+    << ",\"violation_required\":" << unsigned(run.violation_required)
+    << ",\"violation_pc\":" << num(run.violation_pc)
+    << ",\"violation_where\":" << json_quote(run.violation_where)
+    << ",\"violation_message\":" << json_quote(run.violation_message)
+    << ",\"recorded_violations\":[";
+  for (std::size_t i = 0; i < run.recorded_violations.size(); ++i) {
+    const dift::ViolationRecord& v = run.recorded_violations[i];
+    o << (i ? "," : "") << "{\"kind\":" << json_quote(dift::to_string(v.kind))
+      << ",\"source\":" << unsigned(v.source)
+      << ",\"required\":" << unsigned(v.required) << ",\"pc\":" << num(v.pc)
+      << ",\"address\":" << num(v.address)
+      << ",\"where\":" << json_quote(v.where) << "}";
+  }
+  o << "],\"trace_dump\":" << json_quote(run.trace_dump)
+    << ",\"instret\":" << num(run.instret)
+    << ",\"wall_s\":" << num(run.wall_seconds) << ",\"mips\":" << num(run.mips)
+    << ",\"sim_ps\":" << num(run.sim_time.picos())
+    << ",\"uart_output\":" << json_quote(run.uart_output)
+    << ",\"markers\":" << json_quote(run.markers)
+    << ",\"stats\":" << dift::to_json(run.stats) << "}}";
+  return o.str();
+}
+
+campaign::JobResult job_result_from_json(const campaign::JsonValue& obj) {
+  using campaign::JsonValue;
+  campaign::JobResult r;
+  r.name = obj.str_or("name", "");
+  r.verdict = obj.str_or("verdict", "");
+  r.ok = obj.bool_or("ok", false);
+  r.attempts = static_cast<int>(obj.u64_or("attempts", 0));
+  r.error = obj.str_or("error", "");
+  r.wall_seconds = obj.num_or("wall_seconds", 0.0);
+  if (const JsonValue* h = obj.find("history");
+      h && h->kind == JsonValue::Kind::kArray) {
+    for (const JsonValue& e : h->array)
+      r.history.push_back({e.str_or("verdict", ""), e.str_or("error", "")});
+  }
+  const JsonValue* runv = obj.find("run");
+  if (!runv || runv->kind != JsonValue::Kind::kObject) return r;
+  vp::RunResult& run = r.run;
+  run.reason = exit_reason_from_string(runv->str_or("reason", "sim-timeout"));
+  run.exit_code = static_cast<std::uint32_t>(runv->u64_or("exit_code", 0));
+  run.watchdog_resets =
+      static_cast<std::uint32_t>(runv->u64_or("watchdog_resets", 0));
+  run.violation_kind = violation_kind_from_string(
+      runv->str_or("violation_kind", "output-clearance"));
+  run.violation_source =
+      static_cast<dift::Tag>(runv->u64_or("violation_source", 0));
+  run.violation_required =
+      static_cast<dift::Tag>(runv->u64_or("violation_required", 0));
+  run.violation_pc = runv->u64_or("violation_pc", 0);
+  run.violation_where = runv->str_or("violation_where", "");
+  run.violation_message = runv->str_or("violation_message", "");
+  if (const JsonValue* rv = runv->find("recorded_violations");
+      rv && rv->kind == JsonValue::Kind::kArray) {
+    for (const JsonValue& e : rv->array) {
+      dift::ViolationRecord v;
+      v.kind =
+          violation_kind_from_string(e.str_or("kind", "output-clearance"));
+      v.source = static_cast<dift::Tag>(e.u64_or("source", 0));
+      v.required = static_cast<dift::Tag>(e.u64_or("required", 0));
+      v.pc = e.u64_or("pc", 0);
+      v.address = e.u64_or("address", 0);
+      v.where = e.str_or("where", "");
+      run.recorded_violations.push_back(std::move(v));
+    }
+  }
+  run.trace_dump = runv->str_or("trace_dump", "");
+  run.instret = runv->u64_or("instret", 0);
+  run.wall_seconds = runv->num_or("wall_s", 0.0);
+  run.mips = runv->num_or("mips", 0.0);
+  run.sim_time = sysc::Time::ps(runv->u64_or("sim_ps", 0));
+  run.uart_output = runv->str_or("uart_output", "");
+  run.markers = runv->str_or("markers", "");
+  if (const JsonValue* st = runv->find("stats");
+      st && st->kind == JsonValue::Kind::kObject) {
+    dift::DiftStats& s = run.stats;
+    s.lub_calls = st->u64_or("lub_calls", 0);
+    s.flow_checks = st->u64_or("flow_checks", 0);
+    s.decode_hits = st->u64_or("decode_hits", 0);
+    s.decode_misses = st->u64_or("decode_misses", 0);
+    s.block_hits = st->u64_or("block_hits", 0);
+    s.block_misses = st->u64_or("block_misses", 0);
+    s.block_invalidations = st->u64_or("block_invalidations", 0);
+    s.chained_transfers = st->u64_or("chained_transfers", 0);
+    s.fetch_summary_hits = st->u64_or("fetch_summary_hits", 0);
+    s.load_summary_hits = st->u64_or("load_summary_hits", 0);
+    s.mem_summary_hits = st->u64_or("mem_summary_hits", 0);
+    s.dma_summary_hits = st->u64_or("dma_summary_hits", 0);
+    s.bus_transactions = st->u64_or("bus_transactions", 0);
+  }
+  return r;
+}
+
+std::string fork_stats_to_json(const fi::ForkStats& s) {
+  std::ostringstream o;
+  o << "{\"golden_instret\":" << s.golden_instret
+    << ",\"tail_instret\":" << s.tail_instret
+    << ",\"replay_instret\":" << s.replay_instret
+    << ",\"snapshots\":" << s.snapshots << "}";
+  return o.str();
+}
+
+fi::ForkStats fork_stats_from_json(const campaign::JsonValue& obj) {
+  fi::ForkStats s;
+  s.golden_instret = obj.u64_or("golden_instret", 0);
+  s.tail_instret = obj.u64_or("tail_instret", 0);
+  s.replay_instret = obj.u64_or("replay_instret", 0);
+  s.snapshots = static_cast<std::size_t>(obj.u64_or("snapshots", 0));
+  return s;
+}
+
+bool LineReader::read_line(std::string* out) {
+  for (;;) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      out->assign(buf_, 0, nl);
+      buf_.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    ssize_t n;
+    do {
+      n = ::read(fd_, chunk, sizeof chunk);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return false;
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool LineBuffer::pop(std::string* line) {
+  const std::size_t nl = buf_.find('\n');
+  if (nl == std::string::npos) return false;
+  line->assign(buf_, 0, nl);
+  buf_.erase(0, nl + 1);
+  return true;
+}
+
+bool write_line(int fd, const std::string& line) {
+  std::string data = line;
+  data += '\n';
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace vpdift::service

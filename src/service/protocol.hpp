@@ -1,0 +1,70 @@
+// Wire encoding for the service: newline-delimited JSON (NDJSON).
+//
+// Both hops — client <-> server over the AF_UNIX listen socket, and
+// server <-> worker over each pre-forked worker's socketpair — speak one
+// JSON object per line. This module provides the two halves every endpoint
+// needs:
+//
+//   * value encoding: a full-fidelity campaign::JobResult round trip
+//     (including the embedded vp::RunResult, violation record and DIFT
+//     counters — a decoded golden run must drive fi::suite_from_golden and
+//     fi::classify to the same verdicts as the in-process original), plus
+//     fi::ForkStats;
+//   * line transport: a blocking reader for the single-threaded worker and
+//     client loops, an incremental buffer for the server's poll() loop, and
+//     a partial-write-safe line writer.
+//
+// Message *shapes* (which fields each op carries) are documented in
+// docs/service.md and assembled inline by server.cpp / worker.cpp /
+// client.cpp — they are one-liner compositions of these primitives.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "campaign/json.hpp"
+#include "campaign/runner.hpp"
+#include "fi/fork.hpp"
+
+namespace vpdift::service {
+
+/// One-line JSON object encoding of a JobResult, full fidelity.
+std::string job_result_to_json(const campaign::JobResult& r);
+
+/// Inverse of job_result_to_json. Unknown enum names throw
+/// std::runtime_error; absent fields decode to their defaults.
+campaign::JobResult job_result_from_json(const campaign::JsonValue& obj);
+
+std::string fork_stats_to_json(const fi::ForkStats& s);
+fi::ForkStats fork_stats_from_json(const campaign::JsonValue& obj);
+
+/// Blocking newline-delimited reader over a file descriptor (worker and
+/// client loops — one request or event at a time).
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Reads one line (without the trailing newline). False on EOF or error.
+  bool read_line(std::string* out);
+
+ private:
+  int fd_;
+  std::string buf_;
+};
+
+/// Incremental newline splitter for the server's poll() loop: feed whatever
+/// read() returned, pop complete lines.
+class LineBuffer {
+ public:
+  void feed(const char* data, std::size_t n) { buf_.append(data, n); }
+  bool pop(std::string* line);
+
+ private:
+  std::string buf_;
+};
+
+/// Writes `line` plus a newline, riding out partial writes and EINTR.
+/// False on error (e.g. EPIPE after the peer vanished).
+bool write_line(int fd, const std::string& line);
+
+}  // namespace vpdift::service

@@ -1,0 +1,892 @@
+#include "service/server.hpp"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "campaign/aggregator.hpp"
+#include "campaign/json.hpp"
+#include "campaign/spec.hpp"
+#include "fi/fork.hpp"
+#include "fi/suite.hpp"
+#include "service/cache.hpp"
+#include "service/hash.hpp"
+#include "service/protocol.hpp"
+#include "service/worker.hpp"
+
+namespace vpdift::service {
+
+namespace {
+
+using campaign::JsonValue;
+
+// Self-pipe signal plumbing: handlers only set a flag and poke the pipe so
+// the poll() loop wakes up — everything else happens on the loop thread.
+volatile sig_atomic_t g_sigchld = 0;
+volatile sig_atomic_t g_sigterm = 0;
+int g_sigpipe_wr = -1;
+
+void on_signal(int sig) {
+  if (sig == SIGCHLD)
+    g_sigchld = 1;
+  else
+    g_sigterm = 1;
+  if (g_sigpipe_wr >= 0) {
+    const char c = 1;
+    [[maybe_unused]] ssize_t n = ::write(g_sigpipe_wr, &c, 1);
+  }
+}
+
+struct WorkerProc {
+  pid_t pid = -1;
+  int fd = -1;  ///< parent end of the socketpair
+  LineBuffer buf;
+  std::vector<std::uint64_t> outstanding;  ///< op ids queued, FIFO
+};
+
+struct ClientConn {
+  LineBuffer buf;
+};
+
+struct Submission;
+
+/// One request in flight on some worker.
+struct PendingOp {
+  std::uint64_t sub = 0;
+  enum class Kind { kJob, kGolden, kFiChunk } kind = Kind::kJob;
+  std::size_t worker = 0;
+  std::size_t job_index = 0;             ///< kJob: results slot
+  std::vector<std::size_t> indices;      ///< kFiChunk: fault indices
+  std::set<std::size_t> received;        ///< kFiChunk: already streamed
+};
+
+struct Submission {
+  std::uint64_t key = 0;        ///< server-internal
+  std::uint64_t client_id = 0;  ///< client-chosen, echoed in every event
+  int client_fd = -1;           ///< -1 once the client vanished
+  bool is_fi = false;
+
+  // fi submissions
+  fi::FiSuiteSpec fspec;
+  std::size_t shard_workers = 1;
+  std::optional<fi::FiSuite> suite;  ///< built once the golden arrives
+  std::map<std::string, std::size_t> name_to_index;
+  fi::ForkStats fork;
+
+  // spec submissions
+  campaign::CampaignSpec cspec;
+
+  std::vector<campaign::JobResult> results;
+  std::size_t outstanding_ops = 0;
+  CacheStats service;  ///< summed worker deltas for this submission
+  std::chrono::steady_clock::time_point t0;
+};
+
+class Server {
+ public:
+  explicit Server(const ServerOptions& opts) : opts_(opts) {}
+  int run();
+
+ private:
+  // -- lifecycle --
+  bool setup();
+  void teardown();
+  void spawn_worker(std::size_t slot);
+  void close_fds_in_child(int keep);
+
+  // -- event handling --
+  void handle_signals();
+  void accept_client();
+  void read_client(int fd);
+  void read_worker(std::size_t w);
+  void handle_client_line(int fd, const std::string& line);
+  void handle_worker_line(std::size_t w, const std::string& line);
+  void worker_gone(std::size_t w);
+
+  // -- submissions --
+  void submit_ref(int fd, std::uint64_t id, const std::string& ref,
+                  std::uint64_t seed, std::size_t want_workers);
+  void submit_spec(int fd, std::uint64_t id, const std::string& text);
+  void golden_arrived(Submission& sub, const campaign::JobResult& golden);
+  void op_failed(std::uint64_t op_id, const std::string& error);
+  void maybe_finish(Submission& sub);
+  void finish_fi(Submission& sub);
+  void finish_spec(Submission& sub);
+  void fail_submission(Submission& sub, const std::string& error);
+  void drop_submission(std::uint64_t key);
+
+  // -- plumbing --
+  std::uint64_t send_op(std::size_t w, PendingOp op, const std::string& line);
+  void to_client(const Submission& sub, const std::string& line);
+  void relay_job(const Submission& sub, const campaign::JobResult& r);
+  void note(const char* fmt, ...);
+  bool draining_done() const { return draining_ && subs_.empty(); }
+
+  ServerOptions opts_;
+  int listen_fd_ = -1;
+  int sigpipe_rd_ = -1;
+  std::vector<WorkerProc> workers_;
+  std::map<int, ClientConn> clients_;
+  std::map<std::uint64_t, PendingOp> ops_;
+  std::map<std::uint64_t, Submission> subs_;
+  std::uint64_t next_op_ = 1;
+  std::uint64_t next_sub_ = 1;
+  CacheStats totals_;
+  bool draining_ = false;
+};
+
+void Server::note(const char* fmt, ...) {
+  if (opts_.quiet) return;
+  va_list ap;
+  va_start(ap, fmt);
+  std::fprintf(stderr, "vpdift-serve: ");
+  std::vfprintf(stderr, fmt, ap);
+  std::fprintf(stderr, "\n");
+  va_end(ap);
+}
+
+void Server::close_fds_in_child(int keep) {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (sigpipe_rd_ >= 0) ::close(sigpipe_rd_);
+  if (g_sigpipe_wr >= 0) ::close(g_sigpipe_wr);
+  for (const WorkerProc& w : workers_)
+    if (w.fd >= 0 && w.fd != keep) ::close(w.fd);
+  for (const auto& [fd, c] : clients_) ::close(fd);
+}
+
+void Server::spawn_worker(std::size_t slot) {
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0)
+    throw std::runtime_error("socketpair failed");
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(sv[0]);
+    ::close(sv[1]);
+    throw std::runtime_error("fork failed");
+  }
+  if (pid == 0) {
+    // Child: drop every parent-side fd, restore default signal dispositions
+    // (the worker should die on SIGINT like any batch process; the parent
+    // handles campaign-level grace), run the loop.
+    ::close(sv[0]);
+    close_fds_in_child(sv[1]);
+    ::signal(SIGINT, SIG_DFL);
+    ::signal(SIGTERM, SIG_DFL);
+    ::signal(SIGCHLD, SIG_DFL);
+    ::_exit(worker_main(sv[1]));
+  }
+  ::close(sv[1]);
+  workers_[slot].pid = pid;
+  workers_[slot].fd = sv[0];
+  workers_[slot].buf = LineBuffer();
+  workers_[slot].outstanding.clear();
+}
+
+bool Server::setup() {
+  ::signal(SIGPIPE, SIG_IGN);
+
+  int sp[2];
+  if (::pipe(sp) != 0) {
+    std::fprintf(stderr, "vpdift-serve: pipe failed\n");
+    return false;
+  }
+  sigpipe_rd_ = sp[0];
+  g_sigpipe_wr = sp[1];
+
+  struct sigaction sa {};
+  sa.sa_handler = on_signal;
+  ::sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  ::sigaction(SIGCHLD, &sa, nullptr);
+  sa.sa_flags = 0;  // interrupt poll() so the drain check runs promptly
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    std::fprintf(stderr, "vpdift-serve: socket failed\n");
+    return false;
+  }
+  struct sockaddr_un addr {};
+  addr.sun_family = AF_UNIX;
+  if (opts_.socket_path.size() >= sizeof addr.sun_path) {
+    std::fprintf(stderr, "vpdift-serve: socket path too long: %s\n",
+                 opts_.socket_path.c_str());
+    return false;
+  }
+  std::memcpy(addr.sun_path, opts_.socket_path.c_str(),
+              opts_.socket_path.size() + 1);
+  ::unlink(opts_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    std::fprintf(stderr, "vpdift-serve: cannot listen on %s: %s\n",
+                 opts_.socket_path.c_str(), std::strerror(errno));
+    return false;
+  }
+
+  workers_.resize(std::max<std::size_t>(1, opts_.workers));
+  for (std::size_t i = 0; i < workers_.size(); ++i) spawn_worker(i);
+  note("listening on %s, %zu workers", opts_.socket_path.c_str(),
+       workers_.size());
+  return true;
+}
+
+void Server::teardown() {
+  for (WorkerProc& w : workers_) {
+    if (w.fd >= 0) {
+      write_line(w.fd, "{\"op\":\"quit\"}");
+      ::close(w.fd);
+      w.fd = -1;
+    }
+  }
+  for (WorkerProc& w : workers_) {
+    if (w.pid > 0) {
+      int status = 0;
+      ::waitpid(w.pid, &status, 0);
+      w.pid = -1;
+    }
+  }
+  for (auto& [fd, c] : clients_) ::close(fd);
+  clients_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  ::unlink(opts_.socket_path.c_str());
+  if (sigpipe_rd_ >= 0) ::close(sigpipe_rd_);
+  if (g_sigpipe_wr >= 0) {
+    ::close(g_sigpipe_wr);
+    g_sigpipe_wr = -1;
+  }
+}
+
+int Server::run() {
+  if (!setup()) return 2;
+  while (!draining_done()) {
+    std::vector<struct pollfd> pfds;
+    std::vector<int> what;  // -1 = listen, -2 = sigpipe, >=0 worker, else client
+    pfds.push_back({listen_fd_, POLLIN, 0});
+    what.push_back(-1);
+    pfds.push_back({sigpipe_rd_, POLLIN, 0});
+    what.push_back(-2);
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      if (workers_[w].fd < 0) continue;
+      pfds.push_back({workers_[w].fd, POLLIN, 0});
+      what.push_back(static_cast<int>(w));
+    }
+    std::vector<int> client_fds;
+    for (const auto& [fd, c] : clients_) client_fds.push_back(fd);
+    for (int fd : client_fds) {
+      pfds.push_back({fd, POLLIN, 0});
+      what.push_back(-3 - fd);  // encode client fd
+    }
+
+    const int rc = ::poll(pfds.data(), pfds.size(), -1);
+    if (rc < 0) {
+      if (errno == EINTR) {
+        handle_signals();
+        continue;
+      }
+      break;
+    }
+    handle_signals();
+    for (std::size_t i = 0; i < pfds.size() && !draining_done(); ++i) {
+      if (!(pfds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+      const int tag = what[i];
+      if (tag == -1) {
+        accept_client();
+      } else if (tag == -2) {
+        char buf[64];
+        while (::read(sigpipe_rd_, buf, sizeof buf) > 0) {
+        }
+        // flags already handled above
+      } else if (tag >= 0) {
+        read_worker(static_cast<std::size_t>(tag));
+      } else {
+        read_client(-3 - tag);
+      }
+    }
+  }
+  note("shutting down");
+  teardown();
+  return 0;
+}
+
+void Server::handle_signals() {
+  if (g_sigterm) {
+    g_sigterm = 0;
+    if (!draining_) {
+      draining_ = true;
+      note("drain requested: finishing %zu in-flight submission(s)",
+           subs_.size());
+    }
+  }
+  if (g_sigchld) {
+    g_sigchld = 0;
+    for (;;) {
+      int status = 0;
+      const pid_t pid = ::waitpid(-1, &status, WNOHANG);
+      if (pid <= 0) break;
+      for (std::size_t w = 0; w < workers_.size(); ++w) {
+        if (workers_[w].pid == pid) {
+          workers_[w].pid = -1;
+          worker_gone(w);
+          break;
+        }
+      }
+    }
+  }
+}
+
+void Server::accept_client() {
+  const int fd = ::accept(listen_fd_, nullptr, nullptr);
+  if (fd < 0) return;
+  clients_[fd];
+}
+
+void Server::read_client(int fd) {
+  char buf[8192];
+  const ssize_t n = ::read(fd, buf, sizeof buf);
+  if (n <= 0) {
+    // Orphan this client's submissions: they finish, results are dropped.
+    for (auto& [key, sub] : subs_)
+      if (sub.client_fd == fd) sub.client_fd = -1;
+    ::close(fd);
+    clients_.erase(fd);
+    return;
+  }
+  auto it = clients_.find(fd);
+  if (it == clients_.end()) return;
+  it->second.buf.feed(buf, static_cast<std::size_t>(n));
+  std::string line;
+  while (clients_.count(fd) && it->second.buf.pop(&line))
+    handle_client_line(fd, line);
+}
+
+void Server::read_worker(std::size_t w) {
+  char buf[65536];
+  const ssize_t n = ::read(workers_[w].fd, buf, sizeof buf);
+  if (n <= 0) {
+    worker_gone(w);
+    return;
+  }
+  workers_[w].buf.feed(buf, static_cast<std::size_t>(n));
+  std::string line;
+  while (workers_[w].fd >= 0 && workers_[w].buf.pop(&line))
+    handle_worker_line(w, line);
+}
+
+void Server::handle_client_line(int fd, const std::string& line) {
+  JsonValue msg;
+  try {
+    msg = campaign::json_parse(line);
+  } catch (const std::exception& e) {
+    write_line(fd, std::string("{\"event\":\"error\",\"id\":0,\"error\":") +
+                       campaign::json_quote(e.what()) + "}");
+    return;
+  }
+  const std::string op = msg.str_or("op");
+  const std::uint64_t id = msg.u64_or("id", 0);
+  if (op == "ping") {
+    write_line(fd, "{\"event\":\"pong\"}");
+    return;
+  }
+  if (op == "stats") {
+    CacheStats live = totals_;
+    write_line(fd, "{\"event\":\"stats\",\"service\":" + live.to_json() + "}");
+    return;
+  }
+  if (op == "shutdown") {
+    write_line(fd, "{\"event\":\"bye\"}");
+    draining_ = true;
+    return;
+  }
+  if (op != "submit") {
+    write_line(fd, "{\"event\":\"error\",\"id\":" + std::to_string(id) +
+                       ",\"error\":\"unknown op\"}");
+    return;
+  }
+  if (draining_) {
+    write_line(fd, "{\"event\":\"error\",\"id\":" + std::to_string(id) +
+                       ",\"error\":\"server is draining\"}");
+    return;
+  }
+  if (const JsonValue* ref = msg.find("ref");
+      ref && ref->kind == JsonValue::Kind::kString) {
+    submit_ref(fd, id, ref->string, msg.u64_or("seed", 1),
+               static_cast<std::size_t>(
+                   msg.u64_or("workers", workers_.size())));
+    return;
+  }
+  if (const JsonValue* spec = msg.find("spec");
+      spec && spec->kind == JsonValue::Kind::kString) {
+    submit_spec(fd, id, spec->string);
+    return;
+  }
+  write_line(fd, "{\"event\":\"error\",\"id\":" + std::to_string(id) +
+                     ",\"error\":\"submit needs a ref or a spec\"}");
+}
+
+std::uint64_t Server::send_op(std::size_t w, PendingOp op,
+                              const std::string& line) {
+  const std::uint64_t op_id = next_op_++;
+  op.worker = w;
+  ops_[op_id] = std::move(op);
+  workers_[w].outstanding.push_back(op_id);
+  // The line carries a %ID% placeholder so callers can build the message
+  // before the id exists.
+  std::string out = line;
+  const std::size_t at = out.find("%ID%");
+  if (at != std::string::npos)
+    out.replace(at, 4, std::to_string(op_id));
+  if (workers_[w].fd < 0 || !write_line(workers_[w].fd, out))
+    op_failed(op_id, "worker unavailable");
+  return op_id;
+}
+
+void Server::submit_ref(int fd, std::uint64_t id, const std::string& ref,
+                        std::uint64_t seed, std::size_t want_workers) {
+  fi::FiSuiteSpec fspec;
+  if (!fi::parse_fi_ref(ref, &fspec)) {
+    write_line(fd, "{\"event\":\"error\",\"id\":" + std::to_string(id) +
+                       ",\"error\":\"bad ref (want fi:<benchmark>:<n>)\"}");
+    return;
+  }
+  fspec.seed = seed;
+  Submission& sub = subs_[next_sub_];
+  sub.key = next_sub_++;
+  sub.client_id = id;
+  sub.client_fd = fd;
+  sub.is_fi = true;
+  sub.fspec = fspec;
+  sub.shard_workers =
+      std::max<std::size_t>(1, std::min({want_workers, workers_.size(),
+                                         fspec.n_faults}));
+  sub.t0 = std::chrono::steady_clock::now();
+  write_line(fd, "{\"event\":\"accepted\",\"id\":" + std::to_string(id) +
+                     ",\"jobs\":" + std::to_string(fspec.n_faults) + "}");
+  // The golden runs on the suite's owner worker — the one whose warm caches
+  // accumulate this suite's snapshots — picked by content hash so repeat
+  // submissions land on the same process.
+  const std::size_t owner = static_cast<std::size_t>(
+      fnv1a64_u64(seed, fnv1a64(fspec.benchmark)) % workers_.size());
+  PendingOp op;
+  op.sub = sub.key;
+  op.kind = PendingOp::Kind::kGolden;
+  sub.outstanding_ops = 1;
+  send_op(owner, std::move(op),
+          "{\"op\":\"fi-golden\",\"id\":%ID%,\"benchmark\":" +
+              campaign::json_quote(fspec.benchmark) +
+              ",\"seed\":" + std::to_string(fspec.seed) +
+              ",\"n\":" + std::to_string(fspec.n_faults) + "}");
+  note("sub %llu: %s seed %llu -> golden on worker %zu",
+       static_cast<unsigned long long>(sub.key), ref.c_str(),
+       static_cast<unsigned long long>(seed), owner);
+}
+
+void Server::submit_spec(int fd, std::uint64_t id, const std::string& text) {
+  campaign::CampaignSpec cspec;
+  try {
+    cspec = campaign::CampaignSpec::parse(text);
+  } catch (const std::exception& e) {
+    write_line(fd, "{\"event\":\"error\",\"id\":" + std::to_string(id) +
+                       ",\"error\":" + campaign::json_quote(e.what()) + "}");
+    return;
+  }
+  Submission& sub = subs_[next_sub_];
+  sub.key = next_sub_++;
+  sub.client_id = id;
+  sub.client_fd = fd;
+  sub.cspec = std::move(cspec);
+  sub.results.resize(sub.cspec.jobs.size());
+  sub.shard_workers = workers_.size();
+  sub.t0 = std::chrono::steady_clock::now();
+  write_line(fd, "{\"event\":\"accepted\",\"id\":" + std::to_string(id) +
+                     ",\"jobs\":" + std::to_string(sub.cspec.jobs.size()) +
+                     "}");
+  if (sub.cspec.jobs.empty()) {
+    finish_spec(sub);
+    return;
+  }
+  sub.outstanding_ops = sub.cspec.jobs.size();
+  for (std::size_t i = 0; i < sub.cspec.jobs.size(); ++i) {
+    const std::string spec_json =
+        campaign::job_spec_to_json(sub.cspec.jobs[i]);
+    // Content-hash affinity: an identical job resubmitted later lands on
+    // the same worker and hits that worker's warm caches.
+    const std::size_t w =
+        static_cast<std::size_t>(fnv1a64(spec_json) % workers_.size());
+    PendingOp op;
+    op.sub = sub.key;
+    op.kind = PendingOp::Kind::kJob;
+    op.job_index = i;
+    send_op(w, std::move(op),
+            "{\"op\":\"job\",\"id\":%ID%,\"spec\":" + spec_json + "}");
+  }
+}
+
+void Server::golden_arrived(Submission& sub,
+                            const campaign::JobResult& golden) {
+  try {
+    sub.suite.emplace(fi::suite_from_golden(sub.fspec, golden));
+  } catch (const std::exception& e) {
+    fail_submission(sub, e.what());
+    return;
+  }
+  const fi::FiSuite& suite = *sub.suite;
+  const std::size_t n = suite.faults.size();
+  sub.results.assign(n, campaign::JobResult{});
+  for (std::size_t i = 0; i < n; ++i)
+    sub.name_to_index[suite.jobs.jobs[i].name] = i;
+
+  const std::string golden_json = job_result_to_json(suite.golden);
+  const std::size_t shards = std::max<std::size_t>(
+      1, std::min(sub.shard_workers, n));
+  sub.outstanding_ops = shards;
+  for (std::size_t s = 0; s < shards; ++s) {
+    PendingOp op;
+    op.sub = sub.key;
+    op.kind = PendingOp::Kind::kFiChunk;
+    std::string idx;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i * shards / n != s) continue;
+      op.indices.push_back(i);
+      idx += (idx.empty() ? "" : ",") + std::to_string(i);
+    }
+    send_op(s % workers_.size(), std::move(op),
+            "{\"op\":\"fi\",\"id\":%ID%,\"benchmark\":" +
+                campaign::json_quote(sub.fspec.benchmark) +
+                ",\"seed\":" + std::to_string(sub.fspec.seed) +
+                ",\"n\":" + std::to_string(sub.fspec.n_faults) +
+                ",\"golden\":" + golden_json + ",\"indices\":[" + idx + "]}");
+  }
+  note("sub %llu: golden done, %zu faults across %zu workers",
+       static_cast<unsigned long long>(sub.key), n, shards);
+}
+
+void Server::handle_worker_line(std::size_t /*w*/, const std::string& line) {
+  JsonValue msg;
+  try {
+    msg = campaign::json_parse(line);
+  } catch (const std::exception&) {
+    return;  // a garbled worker line; the op times out via worker death
+  }
+  const std::string ev = msg.str_or("ev");
+  const std::uint64_t op_id = msg.u64_or("id", 0);
+  auto oit = ops_.find(op_id);
+  if (oit == ops_.end()) return;  // late event for a dropped submission
+  PendingOp& op = oit->second;
+  auto sit = subs_.find(op.sub);
+
+  if (ev == "job") {
+    // Streaming fi fault result.
+    if (sit == subs_.end()) return;
+    Submission& sub = sit->second;
+    const JsonValue* rv = msg.find("result");
+    if (!rv) return;
+    campaign::JobResult r;
+    try {
+      r = job_result_from_json(*rv);
+    } catch (const std::exception&) {
+      return;
+    }
+    const auto ni = sub.name_to_index.find(r.name);
+    if (ni == sub.name_to_index.end()) return;
+    op.received.insert(ni->second);
+    relay_job(sub, r);
+    sub.results[ni->second] = std::move(r);
+    return;
+  }
+
+  if (ev == "error") {
+    op_failed(op_id, msg.str_or("error", "worker error"));
+    return;
+  }
+  if (ev != "result") return;
+
+  // Final event: the op is complete — retire it from the worker's FIFO.
+  auto& fifo = workers_[op.worker].outstanding;
+  for (std::size_t i = 0; i < fifo.size(); ++i) {
+    if (fifo[i] == op_id) {
+      fifo.erase(fifo.begin() + i);
+      break;
+    }
+  }
+  if (const JsonValue* st = msg.find("stats");
+      st && st->kind == JsonValue::Kind::kObject) {
+    const CacheStats delta = cache_stats_from_json(*st);
+    totals_ += delta;
+    if (sit != subs_.end()) sit->second.service += delta;
+  }
+  if (sit == subs_.end()) {
+    ops_.erase(oit);
+    return;
+  }
+  Submission& sub = sit->second;
+
+  switch (op.kind) {
+    case PendingOp::Kind::kGolden: {
+      ops_.erase(oit);
+      sub.outstanding_ops = 0;
+      const JsonValue* rv = msg.find("result");
+      campaign::JobResult golden;
+      try {
+        if (!rv) throw std::runtime_error("golden result missing");
+        golden = job_result_from_json(*rv);
+      } catch (const std::exception& e) {
+        fail_submission(sub, e.what());
+        return;
+      }
+      if (golden.verdict == "crash") {
+        fail_submission(sub, "fi golden run crashed: " + golden.error);
+        return;
+      }
+      golden_arrived(sub, golden);
+      return;
+    }
+    case PendingOp::Kind::kJob: {
+      const JsonValue* rv = msg.find("result");
+      campaign::JobResult r;
+      try {
+        if (!rv) throw std::runtime_error("result missing");
+        r = job_result_from_json(*rv);
+      } catch (const std::exception& e) {
+        r = campaign::JobResult{};
+        r.name = sub.cspec.jobs[op.job_index].name;
+        r.verdict = "crash";
+        r.error = e.what();
+        r.attempts = 1;
+        r.history = {{r.verdict, r.error}};
+      }
+      relay_job(sub, r);
+      sub.results[op.job_index] = std::move(r);
+      ops_.erase(oit);
+      --sub.outstanding_ops;
+      maybe_finish(sub);
+      return;
+    }
+    case PendingOp::Kind::kFiChunk: {
+      if (const JsonValue* fk = msg.find("fork");
+          fk && fk->kind == JsonValue::Kind::kObject) {
+        const fi::ForkStats f = fork_stats_from_json(*fk);
+        sub.fork.golden_instret += f.golden_instret;
+        sub.fork.tail_instret += f.tail_instret;
+        sub.fork.replay_instret += f.replay_instret;
+        sub.fork.snapshots += f.snapshots;
+      }
+      if (const JsonValue* sk = msg.find("skipped");
+          sk && sk->kind == JsonValue::Kind::kArray) {
+        for (const JsonValue& e : sk->array) {
+          const auto i = static_cast<std::size_t>(e.number);
+          if (i < sub.results.size() &&
+              sub.results[i].verdict.empty()) {
+            sub.results[i].name = sub.suite->jobs.jobs[i].name;
+            sub.results[i].verdict = "skipped";
+          }
+        }
+      }
+      ops_.erase(oit);
+      --sub.outstanding_ops;
+      maybe_finish(sub);
+      return;
+    }
+  }
+}
+
+void Server::op_failed(std::uint64_t op_id, const std::string& error) {
+  auto oit = ops_.find(op_id);
+  if (oit == ops_.end()) return;
+  const PendingOp op = std::move(oit->second);
+  ops_.erase(oit);
+  auto& fifo = workers_[op.worker].outstanding;
+  for (std::size_t i = 0; i < fifo.size(); ++i) {
+    if (fifo[i] == op_id) {
+      fifo.erase(fifo.begin() + i);
+      break;
+    }
+  }
+  auto sit = subs_.find(op.sub);
+  if (sit == subs_.end()) return;
+  Submission& sub = sit->second;
+  switch (op.kind) {
+    case PendingOp::Kind::kGolden:
+      fail_submission(sub, error);
+      return;
+    case PendingOp::Kind::kJob: {
+      campaign::JobResult r;
+      r.name = sub.cspec.jobs[op.job_index].name;
+      r.verdict = "crash";
+      r.error = error;
+      r.attempts = 1;
+      r.history = {{r.verdict, r.error}};
+      relay_job(sub, r);
+      sub.results[op.job_index] = std::move(r);
+      --sub.outstanding_ops;
+      maybe_finish(sub);
+      return;
+    }
+    case PendingOp::Kind::kFiChunk: {
+      // Faults the chunk had not streamed yet become crash verdicts — the
+      // submission still completes with a full matrix.
+      for (std::size_t i : op.indices) {
+        if (op.received.count(i)) continue;
+        campaign::JobResult r;
+        r.name = sub.suite->jobs.jobs[i].name;
+        r.verdict = "crash";
+        r.error = error;
+        r.attempts = 1;
+        r.history = {{r.verdict, r.error}};
+        relay_job(sub, r);
+        sub.results[i] = std::move(r);
+      }
+      --sub.outstanding_ops;
+      maybe_finish(sub);
+      return;
+    }
+  }
+}
+
+void Server::worker_gone(std::size_t w) {
+  if (workers_[w].fd >= 0) {
+    ::close(workers_[w].fd);
+    workers_[w].fd = -1;
+  }
+  const std::vector<std::uint64_t> lost = workers_[w].outstanding;
+  workers_[w].outstanding.clear();
+  if (!lost.empty())
+    note("worker %zu died with %zu op(s) in flight", w, lost.size());
+  for (std::uint64_t op_id : lost) op_failed(op_id, "worker crashed");
+  if (workers_[w].pid > 0) {
+    int status = 0;
+    ::waitpid(workers_[w].pid, &status, WNOHANG);
+    workers_[w].pid = -1;
+  }
+  if (!draining_) {
+    try {
+      spawn_worker(w);
+      note("worker %zu respawned", w);
+    } catch (const std::exception& e) {
+      note("worker %zu respawn failed: %s", w, e.what());
+    }
+  }
+}
+
+void Server::to_client(const Submission& sub, const std::string& line) {
+  if (sub.client_fd < 0) return;
+  write_line(sub.client_fd, line);
+}
+
+void Server::relay_job(const Submission& sub, const campaign::JobResult& r) {
+  to_client(sub,
+            "{\"event\":\"job\",\"id\":" + std::to_string(sub.client_id) +
+                ",\"name\":" + campaign::json_quote(r.name) +
+                ",\"verdict\":" + campaign::json_quote(r.verdict) +
+                ",\"ok\":" + (r.ok ? "true" : "false") + "}");
+}
+
+void Server::maybe_finish(Submission& sub) {
+  if (sub.outstanding_ops != 0) return;
+  if (sub.is_fi)
+    finish_fi(sub);
+  else
+    finish_spec(sub);
+}
+
+void Server::finish_fi(Submission& sub) {
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - sub.t0)
+          .count();
+  std::string report;
+  bool ok = false;
+  try {
+    std::vector<fi::Verdict> verdicts;
+    const fi::CoverageMatrix m =
+        fi::build_matrix(*sub.suite, sub.results, &verdicts);
+    ok = m.verdict_total(fi::Verdict::kCrash) == 0;
+    const std::string extra =
+        "\"service\": " + sub.service.to_json() +
+        ",\n  \"fork\": " + fork_stats_to_json(sub.fork);
+    report = fi::matrix_json(*sub.suite, sub.results, verdicts,
+                             sub.shard_workers, wall, extra);
+  } catch (const std::exception& e) {
+    fail_submission(sub, e.what());
+    return;
+  }
+  to_client(sub,
+            "{\"event\":\"done\",\"id\":" + std::to_string(sub.client_id) +
+                ",\"ok\":" + (ok ? "true" : "false") +
+                ",\"report\":" + campaign::json_quote(report) +
+                ",\"service\":" + sub.service.to_json() + "}");
+  note("sub %llu: done (%.2fs)", static_cast<unsigned long long>(sub.key),
+       wall);
+  drop_submission(sub.key);
+}
+
+void Server::finish_spec(Submission& sub) {
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - sub.t0)
+          .count();
+  campaign::Aggregator agg;
+  for (const campaign::JobResult& r : sub.results) agg.add(r);
+  const std::string extra = "\"service\": " + sub.service.to_json();
+  const std::string report =
+      agg.to_json(sub.cspec.name, sub.shard_workers, wall, extra);
+  to_client(sub,
+            "{\"event\":\"done\",\"id\":" + std::to_string(sub.client_id) +
+                ",\"ok\":" + (agg.all_ok() ? "true" : "false") +
+                ",\"report\":" + campaign::json_quote(report) +
+                ",\"service\":" + sub.service.to_json() + "}");
+  note("sub %llu: done (%.2fs)", static_cast<unsigned long long>(sub.key),
+       wall);
+  drop_submission(sub.key);
+}
+
+void Server::fail_submission(Submission& sub, const std::string& error) {
+  to_client(sub,
+            "{\"event\":\"error\",\"id\":" + std::to_string(sub.client_id) +
+                ",\"error\":" + campaign::json_quote(error) + "}");
+  note("sub %llu: failed: %s", static_cast<unsigned long long>(sub.key),
+       error.c_str());
+  drop_submission(sub.key);
+}
+
+void Server::drop_submission(std::uint64_t key) {
+  // Orphan any ops still pointing here (late worker events are ignored via
+  // the subs_ lookup), then forget the submission.
+  for (auto it = ops_.begin(); it != ops_.end();) {
+    if (it->second.sub == key)
+      it = ops_.erase(it);
+    else
+      ++it;
+  }
+  for (WorkerProc& w : workers_) {
+    auto& fifo = w.outstanding;
+    for (std::size_t i = 0; i < fifo.size();) {
+      if (!ops_.count(fifo[i]))
+        fifo.erase(fifo.begin() + i);
+      else
+        ++i;
+    }
+  }
+  subs_.erase(key);
+}
+
+}  // namespace
+
+int run_server(const ServerOptions& opts) { return Server(opts).run(); }
+
+}  // namespace vpdift::service

@@ -1,0 +1,39 @@
+// The campaign service daemon (vpdift-serve's engine).
+//
+// A single-threaded poll() loop in the parent process:
+//   * listens on an AF_UNIX stream socket for clients (NDJSON protocol,
+//     see docs/service.md),
+//   * pre-forks N worker processes, each a worker_main() loop over a
+//     socketpair with its own WarmCache — process isolation is what lets
+//     thread-confined simulations run in parallel AND stay warm,
+//   * shards submissions across the workers: declarative campaign jobs by
+//     content-hash affinity (the same job lands on the same worker, so its
+//     warm caches hit), fault-injection suites as one golden op to the
+//     suite's owner worker followed by contiguous fault chunks fanned out
+//     to every worker,
+//   * streams per-job results back to the submitting client as they
+//     complete, then a final report (bit-identical to the one-shot CLI's,
+//     plus a "service" cache-counter block).
+//
+// A crashed worker is reaped via SIGCHLD: its in-flight jobs resolve to
+// verdict "crash" (the submission still completes) and a fresh worker is
+// forked in its slot. SIGINT/SIGTERM drain gracefully: no new submissions,
+// in-flight ones finish, then the workers are told to quit.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace vpdift::service {
+
+struct ServerOptions {
+  std::string socket_path;   ///< AF_UNIX path to listen on
+  std::size_t workers = 2;   ///< pre-forked worker processes
+  bool quiet = false;        ///< suppress stderr progress lines
+};
+
+/// Runs the daemon until a shutdown request or SIGINT/SIGTERM; returns the
+/// process exit code (0 on clean shutdown).
+int run_server(const ServerOptions& opts);
+
+}  // namespace vpdift::service

@@ -1,0 +1,110 @@
+#include "service/worker.hpp"
+
+#include <string>
+#include <vector>
+
+#include "campaign/json.hpp"
+#include "campaign/spec.hpp"
+#include "service/executor.hpp"
+#include "service/protocol.hpp"
+
+namespace vpdift::service {
+
+namespace {
+
+using campaign::JsonValue;
+
+std::string ev_head(const char* ev, std::uint64_t id) {
+  return std::string("{\"ev\":\"") + ev +
+         "\",\"id\":" + std::to_string(id);
+}
+
+}  // namespace
+
+int worker_main(int fd) {
+  WarmCache cache;
+  Executor exec(cache);
+  LineReader in(fd);
+  std::string line;
+  while (in.read_line(&line)) {
+    if (line.empty()) continue;
+    std::uint64_t id = 0;
+    try {
+      const JsonValue msg = campaign::json_parse(line);
+      const std::string op = msg.str_or("op");
+      id = msg.u64_or("id", 0);
+      if (op == "quit") return 0;
+
+      const CacheStats before = cache.stats();
+      auto delta = [&] { return (cache.stats() - before).to_json(); };
+
+      if (op == "job") {
+        const JsonValue* spec = msg.find("spec");
+        if (!spec || spec->kind != JsonValue::Kind::kObject)
+          throw std::runtime_error("job op without a spec object");
+        campaign::JobSpec job;
+        campaign::job_spec_from_json(job, *spec);
+        const campaign::JobResult res = exec.run_job(job);
+        write_line(fd, ev_head("result", id) +
+                           ",\"result\":" + job_result_to_json(res) +
+                           ",\"stats\":" + delta() + "}");
+      } else if (op == "fi-golden") {
+        fi::FiSuiteSpec spec;
+        spec.benchmark = msg.str_or("benchmark");
+        spec.seed = msg.u64_or("seed", 1);
+        spec.n_faults = static_cast<std::size_t>(msg.u64_or("n", 0));
+        const campaign::JobResult res = exec.fi_golden(spec);
+        write_line(fd, ev_head("result", id) +
+                           ",\"result\":" + job_result_to_json(res) +
+                           ",\"stats\":" + delta() + "}");
+      } else if (op == "fi") {
+        fi::FiSuiteSpec spec;
+        spec.benchmark = msg.str_or("benchmark");
+        spec.seed = msg.u64_or("seed", 1);
+        spec.n_faults = static_cast<std::size_t>(msg.u64_or("n", 0));
+        const JsonValue* goldenv = msg.find("golden");
+        if (!goldenv || goldenv->kind != JsonValue::Kind::kObject)
+          throw std::runtime_error("fi op without a golden object");
+        const campaign::JobResult golden = job_result_from_json(*goldenv);
+        std::vector<std::size_t> indices;
+        if (const JsonValue* iv = msg.find("indices");
+            iv && iv->kind == JsonValue::Kind::kArray) {
+          for (const JsonValue& e : iv->array)
+            indices.push_back(static_cast<std::size_t>(e.number));
+        }
+        // Stream each finished fault up immediately — the server relays it
+        // to the client, which is where "incremental per-job results" on a
+        // long fi submission come from.
+        const auto on_done = [&](const campaign::JobResult& r) {
+          write_line(fd, ev_head("job", id) +
+                             ",\"result\":" + job_result_to_json(r) + "}");
+        };
+        fi::ForkStats fork;
+        const std::vector<campaign::JobResult> results =
+            exec.fi_run(spec, golden, indices, on_done, &fork);
+        std::string skipped;
+        for (std::size_t i : indices)
+          if (i < results.size() && results[i].verdict == "skipped")
+            skipped += (skipped.empty() ? "" : ",") + std::to_string(i);
+        write_line(fd, ev_head("result", id) +
+                           ",\"fork\":" + fork_stats_to_json(fork) +
+                           ",\"skipped\":[" + skipped +
+                           "],\"stats\":" + delta() + "}");
+      } else if (op == "stats") {
+        write_line(fd, ev_head("result", id) +
+                           ",\"stats\":" + cache.stats().to_json() + "}");
+      } else {
+        throw std::runtime_error("unknown op: " + op);
+      }
+    } catch (const std::exception& e) {
+      write_line(fd, ev_head("error", id) +
+                         ",\"error\":" + campaign::json_quote(e.what()) + "}");
+    } catch (...) {
+      write_line(fd, ev_head("error", id) +
+                         ",\"error\":\"non-std exception\"}");
+    }
+  }
+  return 0;
+}
+
+}  // namespace vpdift::service

@@ -1,0 +1,32 @@
+// Worker-process entry point.
+//
+// A worker is a single-threaded loop over one socketpair to the server:
+// read an NDJSON request, execute it through a process-local
+// Executor/WarmCache (simulations are thread-confined — process isolation
+// is what lets the service shard without sharing), write the reply. The
+// caches live for the process lifetime, which is exactly the warm state a
+// repeat submission hits.
+//
+// Requests (parent -> worker), one JSON object per line:
+//   {"op":"job","id":N,"spec":{...}}            declarative campaign job
+//   {"op":"fi-golden","id":N,"benchmark":B,"seed":S,"n":K}
+//   {"op":"fi","id":N,"benchmark":B,"seed":S,"n":K,
+//    "golden":{...},"indices":[...]}            fork-mode fault chunk
+//   {"op":"stats","id":N}                       cumulative cache counters
+//   {"op":"quit"}                               exit 0
+//
+// Replies (worker -> parent):
+//   {"ev":"job","id":N,"result":{...}}          one fi fault finished
+//   {"ev":"result","id":N,...}                  op finished; carries
+//       "result" (job/fi-golden), or "fork" + "skipped" (fi), and always
+//       "stats" (the op's CacheStats delta; cumulative for op "stats")
+//   {"ev":"error","id":N,"error":"..."}         op failed
+#pragma once
+
+namespace vpdift::service {
+
+/// Runs the worker loop on `fd` until EOF or a quit op; returns the process
+/// exit code. Never throws.
+int worker_main(int fd);
+
+}  // namespace vpdift::service

@@ -64,6 +64,22 @@ void Simulation::dispatch(const std::function<void()>& fn) {
   }
 }
 
+void Simulation::reset() {
+  if (current_ == this)
+    throw std::logic_error("Simulation::reset() inside run() is not supported");
+  // Destroy processes first, then drop the queued lambdas that captured
+  // their handles, then clear every registered event's waiter list — after
+  // this, nothing in the kernel references a coroutine frame.
+  tasks_.clear();
+  delta_.clear();
+  timed_ = {};
+  for (Event* ev : events_) ev->waiters_.clear();
+  now_ = Time();
+  seq_ = 0;
+  stop_requested_ = false;
+  pending_exception_ = nullptr;
+}
+
 void Simulation::set_now(Time t) {
   if (!idle())
     throw std::logic_error("Simulation::set_now() requires an idle kernel");
@@ -105,6 +121,18 @@ void Simulation::run(Time until) {
     timed_.pop();
     now_ = item.t;
     dispatch(item.fn);
+  }
+}
+
+Event::~Event() {
+  if (!sim_) return;
+  auto& evs = sim_->events_;
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    if (evs[i] == this) {
+      evs[i] = evs.back();
+      evs.pop_back();
+      break;
+    }
   }
 }
 

@@ -25,6 +25,7 @@
 namespace vpdift::sysc {
 
 class Simulation;
+class Event;
 
 /// Fire-and-forget coroutine process owned by the Simulation.
 class [[nodiscard]] Task {
@@ -72,6 +73,14 @@ class Simulation {
   /// subsequent delay lands at the same absolute instant as a cold replay.
   void set_now(Time t);
 
+  /// Rewinds the kernel to its post-construction state: destroys every
+  /// process, drops all timed and delta activity, clears the waiter lists
+  /// of every Event registered with this simulation (their coroutine
+  /// handles die with the tasks), and resets the clock to zero. Invalid
+  /// inside run(). This is what lets a long-lived service re-arm one warm
+  /// VP per job instead of rebuilding it.
+  void reset();
+
   /// Registers a process; it first runs at the current time (delta phase).
   void spawn(Task task);
 
@@ -114,6 +123,7 @@ class Simulation {
 
  private:
   friend struct Task::promise_type;
+  friend class Event;
 
   struct TimedItem {
     Time t;
@@ -131,15 +141,22 @@ class Simulation {
   std::priority_queue<TimedItem, std::vector<TimedItem>, std::greater<>> timed_;
   std::vector<std::function<void()>> delta_;
   std::vector<Task> tasks_;
+  std::vector<Event*> events_;  ///< registered events (waiters cleared on reset)
   bool stop_requested_ = false;
   std::exception_ptr pending_exception_;
   static thread_local constinit Simulation* current_;
 };
 
-/// Notifiable synchronisation point (sc_event equivalent).
+/// Notifiable synchronisation point (sc_event equivalent). Registers with
+/// its Simulation so a kernel reset can clear the waiter list — after
+/// reset() destroys the tasks, those coroutine handles are dead, and a
+/// later notify() must not try to resume them.
 class Event {
  public:
-  explicit Event(Simulation& sim) : sim_(&sim) {}
+  explicit Event(Simulation& sim) : sim_(&sim) {
+    sim_->events_.push_back(this);
+  }
+  ~Event();
   Event(const Event&) = delete;
   Event& operator=(const Event&) = delete;
 
@@ -157,6 +174,7 @@ class Event {
   Awaiter operator co_await() { return {this}; }
 
  private:
+  friend class Simulation;
   Simulation* sim_;
   std::vector<std::coroutine_handle<>> waiters_;
 };

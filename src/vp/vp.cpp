@@ -109,8 +109,83 @@ VirtualPrototype<W>::VirtualPrototype(sysc::Simulation* external, VpConfig confi
   }
 }
 
+bool config_equivalent(const VpConfig& a, const VpConfig& b) {
+  return a.ram_size == b.ram_size &&
+         a.quantum_instructions == b.quantum_instructions &&
+         a.instruction_period == b.instruction_period &&
+         a.sensor_period == b.sensor_period &&
+         a.with_engine_ecu == b.with_engine_ecu &&
+         a.engine_pin == b.engine_pin && a.engine_period == b.engine_period &&
+         a.flash_image == b.flash_image && a.flash_tag == b.flash_tag;
+}
+
 template <typename W>
-void VirtualPrototype<W>::load(const rvasm::Program& program) {
+void VirtualPrototype<W>::reset() {
+  if (!owned_sim_)
+    throw std::logic_error(
+        "VirtualPrototype::reset() requires an owned simulation "
+        "(shared-kernel multi-ECU VPs cannot be individually reset)");
+  sim_->reset();
+
+  // CPU: full architectural reset (registers, CSRs, counters, WFI, fatal
+  // trap), pending fault trigger disarmed, policy detached, translation
+  // cache dropped (the next image has different bytes).
+  core_.reset(am::kRamBase);
+  core_.disarm_fault();
+  core_.set_policy(nullptr);
+  core_.invalidate_blocks();
+  boot_pc_ = am::kRamBase;
+
+  // Memory: zero data, bottom tags, fresh summaries.
+  std::memset(ram_.data(), 0, ram_.size());
+  if (ram_.tags()) {
+    std::memset(ram_.tags(), dift::kBottomTag, ram_.size());
+    ram_.rebuild_summary();
+  }
+
+  // Peripherals: power-on state (State{} defaults equal the member
+  // initializers — pinned by the warm re-arm tests).
+  uart_.load_state({});
+  can_.load_state({});
+  dma_.load_state({});
+  clint_.load_state({});
+  plic_.load_state({});
+  sensor_.load_state({});
+  wdt_.load_state({});
+  sysctrl_.load_state({});
+  gpio_.load_state({});
+  aes_.load_state({});
+  if (engine_) engine_->load_state({});
+  if (flash_) flash_->load_state({});
+
+  // Policy residue: everything apply_policy() configures must revert, or a
+  // warm VP re-armed with a weaker policy would keep the old one's
+  // clearances/declassification rights.
+  uart_.set_input_tag(dift::kBottomTag);
+  uart_.set_output_clearance(std::nullopt);
+  can_.set_input_tag(dift::kBottomTag);
+  can_.set_output_clearance(std::nullopt);
+  sensor_.set_data_tag(dift::kBottomTag);
+  gpio_.set_input_tag(dift::kBottomTag);
+  gpio_.set_output_clearance(std::nullopt);
+  aes_.set_unit_clearance(std::nullopt);
+  aes_.set_declass(dift::DeclassRight{}, dift::kBottomTag);
+  if (flash_) flash_->set_image_tag(cfg_.flash_tag);
+  policy_.reset();
+
+  monitor_mode_ = false;
+  started_ = false;
+  quantum_start_ = 0;
+  in_quantum_ = false;
+  cpu_wake_ = sysc::Time();
+  resume_ = false;
+  resume_wake_ = sysc::Time();
+  resume_carry_ = 0;
+  resume_stop_ = false;
+}
+
+template <typename W>
+void VirtualPrototype<W>::load_firmware(const rvasm::Program& program) {
   ram_.load_image(program, am::kRamBase);
   core_.set_pc(static_cast<std::uint32_t>(program.entry));
   boot_pc_ = static_cast<std::uint32_t>(program.entry);
@@ -141,12 +216,21 @@ void VirtualPrototype<W>::apply_policy(const dift::SecurityPolicy& policy) {
   gpio_.set_output_clearance(policy_->output_clearance("gpio0.out"));
   gpio_.set_input_tag(policy_->input_class("gpio0.in"));
   aes_.set_unit_clearance(policy_->unit_clearance("aes0"));
-  if (flash_ && policy_->has_input_class("flash0"))
-    flash_->set_image_tag(policy_->input_class("flash0"));
+  if (flash_) {
+    // No flash class in the new policy: fall back to the config's tag, so
+    // re-applying a weaker policy on a warm VP sheds the old one's class.
+    flash_->set_image_tag(policy_->has_input_class("flash0")
+                              ? policy_->input_class("flash0")
+                              : cfg_.flash_tag);
+  }
 
-  // Declassification rights for trusted peripherals.
+  // Declassification rights for trusted peripherals. Explicitly disengage
+  // when the policy grants none — a warm VP must not keep the previous
+  // policy's right.
   if (auto to = policy_->declass_output("aes0"))
     aes_.set_declass(policy_->grant_declass("aes0"), *to);
+  else
+    aes_.set_declass(dift::DeclassRight{}, dift::kBottomTag);
 }
 
 template <typename W>

@@ -110,6 +110,11 @@ struct VpConfig {
   dift::Tag flash_tag = dift::kBottomTag;
 };
 
+/// True iff two configs produce structurally identical VPs — the test a
+/// warm-VP pool uses to decide between re-arming (reset + load_firmware)
+/// and rebuilding. Field-by-field equality, including the flash image.
+bool config_equivalent(const VpConfig& a, const VpConfig& b);
+
 /// Full-fidelity VP checkpoint: architectural CPU state, RAM (with tag
 /// plane), every peripheral's internal state, and the scheduling phase of
 /// each kernel process (CPU quantum progress, pending wake times).
@@ -197,8 +202,24 @@ class VirtualPrototype {
   /// this implicitly; shared-simulation setups call it explicitly.
   void start();
 
+  /// Rewinds this VP to its just-constructed state so it can be re-armed
+  /// with load_firmware()/apply_policy() instead of rebuilt: kernel reset
+  /// (all processes destroyed, clock back to zero), full CPU reset, RAM and
+  /// tag plane cleared, every peripheral back to power-on state, policy
+  /// configuration dropped. Construction wiring (bus map, IRQ routing, the
+  /// optional engine ECU and flash) is preserved — that is exactly what the
+  /// VpConfig determines, so a pool may reuse a VP across jobs whose
+  /// configs are config_equivalent(). Only valid on a VP that owns its
+  /// simulation (throws std::logic_error for shared-kernel multi-ECU VPs).
+  void reset();
+
   /// Loads a program image into RAM and points the core at its entry.
-  void load(const rvasm::Program& program);
+  /// On a warm (reset) VP this is the re-arm step of the service's
+  /// construction/load split.
+  void load_firmware(const rvasm::Program& program);
+
+  /// Historical name of load_firmware().
+  void load(const rvasm::Program& program) { load_firmware(program); }
 
   /// Installs the security policy: memory classification, peripheral
   /// clearances, declassification rights, and CPU execution clearance.
@@ -228,6 +249,7 @@ class VirtualPrototype {
   void restore(const Snapshot& s);
 
   // ---- component access (tests, experiment harnesses) ----
+  const VpConfig& config() const { return cfg_; }
   sysc::Simulation& sim() { return *sim_; }
   rv::Core<W>& core() { return core_; }
   soc::Memory& ram() { return ram_; }

@@ -29,7 +29,10 @@ def run_campaign(campaign_bin, ref, seed, jobs, fork):
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
         out_path = tmp.name
     try:
-        cmd = [campaign_bin, "--quiet", "--jobs", jobs, "--seed", str(seed)]
+        # --force: NamedTemporaryFile pre-creates out_path, and the campaign
+        # CLI refuses to overwrite an existing report without it.
+        cmd = [campaign_bin, "--quiet", "--force",
+               "--jobs", jobs, "--seed", str(seed)]
         if fork:
             cmd.append("--fork")
         cmd += [ref, "--out", out_path]

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Service smoke gate: a vpdift-serve daemon must reproduce the one-shot
+CLI's fault-injection report bit-for-bit and demonstrate its warm cache.
+
+The check:
+  1. run `vpdift-campaign fi:qsort:20` one-shot — the baseline report;
+  2. start `vpdift-serve` (2 worker processes) on a temporary socket;
+  3. submit the SAME campaign twice through `vpdift-campaign --connect`;
+  4. gate on
+     (a) bit-identity of every deterministic report field (golden
+         reference, per-fault verdicts, coverage matrix, verdict totals)
+         between the baseline and BOTH service submissions — sharding
+         across worker processes must not perturb a single verdict,
+     (b) the second submission hitting the golden-run content-hash cache
+         (service.golden_cache_hits >= 1) and retiring strictly fewer
+         instructions than the first (warm fault-site snapshots).
+
+Wall-clock fields (wall_s, mips) are host-dependent and excluded; the
+"service"/"fork" counter blocks are compared only as described in (b).
+
+Usage: check_service_smoke.py <vpdift-serve> <vpdift-campaign>
+"""
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REF = "fi:qsort:20"
+SEED = 5
+
+
+def run_campaign(campaign_bin, out_path, connect=None):
+    cmd = [campaign_bin, "--quiet", "--force", "--jobs", "2",
+           "--seed", str(SEED)]
+    if connect:
+        cmd += ["--connect", connect]
+    cmd += [REF, "--out", out_path]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise RuntimeError(f"{' '.join(cmd)} exited {proc.returncode}\n"
+                           f"{proc.stdout}{proc.stderr}")
+    return json.load(open(out_path))
+
+
+def deterministic_fields(report):
+    """Everything a correct service must reproduce exactly."""
+    return {
+        "suite": report["suite"],
+        "seed": report["seed"],
+        "golden": report["golden"],
+        "wdt_us": report["wdt_us"],
+        "matrix": report["matrix"],
+        "verdict_totals": report["verdict_totals"],
+        "faults": report["faults"],
+    }
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    serve_bin, campaign_bin = sys.argv[1], sys.argv[2]
+
+    with tempfile.TemporaryDirectory() as td:
+        baseline = run_campaign(campaign_bin, os.path.join(td, "base.json"))
+        print(f"{REF} seed={SEED}: one-shot baseline "
+              f"(golden {baseline['golden']['verdict']}, "
+              f"{len(baseline['faults'])} faults)")
+
+        sock = os.path.join(td, "vpdift.sock")
+        daemon = subprocess.Popen(
+            [serve_bin, "--socket", sock, "--workers", "2", "--quiet"])
+        try:
+            for _ in range(100):
+                if os.path.exists(sock):
+                    break
+                time.sleep(0.1)
+            else:
+                raise RuntimeError("daemon socket never appeared")
+
+            cold = run_campaign(campaign_bin, os.path.join(td, "cold.json"),
+                                connect=sock)
+            warm = run_campaign(campaign_bin, os.path.join(td, "warm.json"),
+                                connect=sock)
+        finally:
+            daemon.send_signal(signal.SIGTERM)
+            daemon.wait(timeout=30)
+
+    bad = False
+    want = deterministic_fields(baseline)
+    for label, got in (("cold", cold), ("warm", warm)):
+        have = deterministic_fields(got)
+        for key in want:
+            if have[key] != want[key]:
+                print(f"[{label}] {key} differs from one-shot baseline")
+                print(f"  expected: {json.dumps(want[key], sort_keys=True)}")
+                print(f"  got:      {json.dumps(have[key], sort_keys=True)}")
+                bad = True
+        if not bad:
+            print(f"[{label}] report matches the one-shot baseline")
+
+    hits = warm["service"]["golden_cache_hits"]
+    cold_instret = cold["service"]["executed_instret"]
+    warm_instret = warm["service"]["executed_instret"]
+    if hits < 1:
+        print(f"warm submission missed the golden cache (hits={hits})")
+        bad = True
+    if warm_instret >= cold_instret:
+        print(f"warm submission retired {warm_instret} instructions, "
+              f"expected fewer than cold's {cold_instret}")
+        bad = True
+    if not bad:
+        print(f"warm cache OK: golden hits={hits}, "
+              f"instret {cold_instret} -> {warm_instret}")
+
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary and not bad:
+        with open(summary, "a") as f:
+            f.write("### Service warm-cache speedup\n"
+                    f"- `{REF}` seed={SEED}: executed instret "
+                    f"{cold_instret} (cold) -> {warm_instret} (warm), "
+                    f"golden cache hits {hits}\n")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

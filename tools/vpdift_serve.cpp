@@ -1,0 +1,209 @@
+// vpdift-serve — the campaign service daemon.
+//
+//   vpdift-serve --socket PATH [--workers N] [--quiet]
+//   vpdift-serve --self-test
+//
+//   --socket PATH   AF_UNIX socket to listen on (NDJSON protocol, see
+//                   docs/service.md). Clients: vpdift-campaign --connect
+//   --workers N     pre-forked worker processes (default 2). Each worker
+//                   owns a warm content-hash cache (firmware, policies,
+//                   golden runs, fault-site snapshots), so repeat
+//                   submissions skip straight to the post-fault tails
+//   --quiet         suppress stderr progress lines
+//   --self-test     end-to-end smoke: fork a daemon on a temporary socket,
+//                   submit the same fi campaign twice, assert the two
+//                   reports agree on every deterministic field and the
+//                   second submission hit the golden cache and retired
+//                   fewer instructions, print SELF-TEST OK
+//
+// SIGINT/SIGTERM drain gracefully: in-flight submissions finish, then the
+// workers are told to quit and the socket is unlinked. Exit status 0 on
+// clean shutdown, 1 on a failed self-test, 2 on usage errors.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "campaign/spec.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+
+using namespace vpdift;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: vpdift-serve --socket PATH [--workers N] [--quiet]\n"
+               "       vpdift-serve --self-test\n");
+  return 2;
+}
+
+/// Strips the host-dependent lines (wall clock, cache counters) from a
+/// report so two runs of the same campaign compare equal on everything
+/// deterministic: schedule, per-fault verdicts, matrix, golden reference.
+std::string deterministic_lines(const std::string& report) {
+  std::istringstream in(report);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"wall_s\"") != std::string::npos) continue;
+    if (line.find("\"service\"") != std::string::npos) continue;
+    if (line.find("\"fork\"") != std::string::npos) continue;
+    out << line << '\n';
+  }
+  return out.str();
+}
+
+int self_test() {
+  char sock_template[] = "/tmp/vpdift-serve-XXXXXX";
+  const int tmp_fd = ::mkstemp(sock_template);
+  if (tmp_fd < 0) {
+    std::fprintf(stderr, "self-test: mkstemp failed\n");
+    return 1;
+  }
+  ::close(tmp_fd);
+  const std::string sock = sock_template;
+  ::unlink(sock.c_str());  // the server binds it fresh
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::fprintf(stderr, "self-test: fork failed\n");
+    return 1;
+  }
+  if (pid == 0) {
+    service::ServerOptions sopts;
+    sopts.socket_path = sock;
+    sopts.workers = 2;
+    sopts.quiet = true;
+    ::_exit(service::run_server(sopts));
+  }
+
+  int rc = 1;
+  try {
+    // The daemon needs a moment to bind; poll the socket.
+    bool up = false;
+    for (int i = 0; i < 200 && !up; ++i) {
+      ::usleep(50 * 1000);
+      try {
+        service::Client probe(sock);
+        up = probe.ping();
+      } catch (const std::exception&) {
+      }
+    }
+    if (!up) throw std::runtime_error("daemon did not come up");
+
+    service::Client client(sock);
+    const std::string ref = "fi:attack:3:4";
+    std::printf("self-test: submitting %s (cold)...\n", ref.c_str());
+    const service::Outcome cold = client.submit_ref(ref, 7, 2);
+    if (!cold.error.empty())
+      throw std::runtime_error("cold submission failed: " + cold.error);
+    std::printf("self-test: cold done: %zu jobs, %llu instructions\n",
+                cold.jobs,
+                static_cast<unsigned long long>(cold.service.executed_instret));
+
+    std::printf("self-test: submitting %s (warm)...\n", ref.c_str());
+    const service::Outcome warm = client.submit_ref(ref, 7, 2);
+    if (!warm.error.empty())
+      throw std::runtime_error("warm submission failed: " + warm.error);
+    std::printf(
+        "self-test: warm done: golden cache hits %llu, %llu instructions\n",
+        static_cast<unsigned long long>(warm.service.golden_cache_hits),
+        static_cast<unsigned long long>(warm.service.executed_instret));
+
+    if (deterministic_lines(cold.report) != deterministic_lines(warm.report))
+      throw std::runtime_error("cold and warm reports differ");
+    if (warm.service.golden_cache_hits < 1)
+      throw std::runtime_error("warm submission missed the golden cache");
+    if (warm.service.executed_instret >= cold.service.executed_instret)
+      throw std::runtime_error(
+          "warm submission did not retire fewer instructions (" +
+          std::to_string(warm.service.executed_instret) + " vs " +
+          std::to_string(cold.service.executed_instret) + ")");
+
+    // Concurrency: two clients submitting at the same time, different seeds
+    // so neither ride's the other's cache. Each runs in its own process so
+    // the blocking submits genuinely overlap on the daemon.
+    std::printf("self-test: two concurrent submissions...\n");
+    pid_t kids[2] = {-1, -1};
+    for (int k = 0; k < 2; ++k) {
+      kids[k] = ::fork();
+      if (kids[k] == 0) {
+        try {
+          service::Client c(sock);
+          const service::Outcome o =
+              c.submit_ref(ref, 100 + static_cast<std::uint64_t>(k), 2);
+          ::_exit(o.error.empty() && !o.report.empty() ? 0 : 1);
+        } catch (const std::exception&) {
+          ::_exit(1);
+        }
+      }
+    }
+    for (int k = 0; k < 2; ++k) {
+      int st = 0;
+      ::waitpid(kids[k], &st, 0);
+      if (!WIFEXITED(st) || WEXITSTATUS(st) != 0)
+        throw std::runtime_error("concurrent submission " +
+                                 std::to_string(k) + " failed");
+    }
+    std::printf("self-test: concurrent submissions ok\n");
+
+    client.shutdown_server();
+    std::printf("SELF-TEST OK\n");
+    rc = 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "self-test FAILED: %s\n", e.what());
+    ::kill(pid, SIGTERM);
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  ::unlink(sock.c_str());
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  service::ServerOptions opts;
+  bool run_self_test = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) { usage(); std::exit(2); }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      opts.socket_path = next();
+    } else if (arg == "--workers") {
+      std::uint64_t n = 0;
+      const char* v = next();
+      if (!campaign::parse_u64(v, &n) || n < 1 || n > 64) {
+        std::fprintf(stderr, "invalid value for --workers: '%s'\n", v);
+        return usage();
+      }
+      opts.workers = static_cast<std::size_t>(n);
+    } else if (arg == "--quiet") {
+      opts.quiet = true;
+    } else if (arg == "--self-test") {
+      run_self_test = true;
+    } else {
+      return usage();
+    }
+  }
+
+  if (run_self_test) return self_test();
+  if (opts.socket_path.empty()) return usage();
+  try {
+    return service::run_server(opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vpdift-serve: fatal: %s\n", e.what());
+    return 2;
+  }
+}
