@@ -64,7 +64,16 @@ Outcome Client::await_done(
       return out;
     }
     const std::string ev = msg.str_or("event");
-    if (msg.u64_or("id", id) != id && ev != "error") continue;
+    const std::uint64_t ev_id = msg.u64_or("id", id);
+    if (ev == "error") {
+      // Only this submission's errors end it. id 0 is the server's
+      // connection-level reply (e.g. a garbled request line) — also fatal;
+      // another submission's error on a shared connection is not ours.
+      if (ev_id != id && ev_id != 0) continue;
+      out.error = msg.str_or("error", "unknown server error");
+      return out;
+    }
+    if (ev_id != id) continue;
     if (ev == "accepted") {
       out.jobs = static_cast<std::size_t>(msg.u64_or("jobs", 0));
       continue;
@@ -85,10 +94,6 @@ Outcome Client::await_done(
       if (const JsonValue* sv = msg.find("service");
           sv && sv->kind == JsonValue::Kind::kObject)
         out.service = cache_stats_from_json(*sv);
-      return out;
-    }
-    if (ev == "error") {
-      out.error = msg.str_or("error", "unknown server error");
       return out;
     }
   }

@@ -1,5 +1,6 @@
 #include "service/server.hpp"
 
+#include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
@@ -53,15 +54,43 @@ void on_signal(int sig) {
   }
 }
 
+void set_nonblocking(int fd) {
+  const int fl = ::fcntl(fd, F_GETFL, 0);
+  if (fl >= 0) ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+}
+
+/// Writes as much of `q` as the socket accepts right now; the residue stays
+/// queued for the next POLLOUT. False only on a fatal error (the peer is
+/// gone), never on EAGAIN — the parent must never block in write(): a
+/// worker mid-way through a large reply, or a client that stopped reading,
+/// would deadlock the whole single-threaded loop.
+bool flush_queue(int fd, std::string& q) {
+  std::size_t off = 0;
+  while (off < q.size()) {
+    const ssize_t n = ::write(fd, q.data() + off, q.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const bool fatal = errno != EAGAIN && errno != EWOULDBLOCK;
+      q.erase(0, off);
+      return !fatal;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  q.erase(0, off);
+  return true;
+}
+
 struct WorkerProc {
   pid_t pid = -1;
-  int fd = -1;  ///< parent end of the socketpair
+  int fd = -1;  ///< parent end of the socketpair, O_NONBLOCK
   LineBuffer buf;
+  std::string out;  ///< queued outbound bytes, drained on POLLOUT
   std::vector<std::uint64_t> outstanding;  ///< op ids queued, FIFO
 };
 
 struct ClientConn {
   LineBuffer buf;
+  std::string out;  ///< queued outbound bytes, drained on POLLOUT
 };
 
 struct Submission;
@@ -118,6 +147,7 @@ class Server {
   void handle_client_line(int fd, const std::string& line);
   void handle_worker_line(std::size_t w, const std::string& line);
   void worker_gone(std::size_t w);
+  void drop_client(int fd);
 
   // -- submissions --
   void submit_ref(int fd, std::uint64_t id, const std::string& ref,
@@ -133,6 +163,8 @@ class Server {
 
   // -- plumbing --
   std::uint64_t send_op(std::size_t w, PendingOp op, const std::string& line);
+  bool send_worker(std::size_t w, const std::string& line);
+  void send_client(int fd, const std::string& line);
   void to_client(const Submission& sub, const std::string& line);
   void relay_job(const Submission& sub, const campaign::JobResult& r);
   void note(const char* fmt, ...);
@@ -149,6 +181,10 @@ class Server {
   std::uint64_t next_sub_ = 1;
   CacheStats totals_;
   bool draining_ = false;
+
+  /// A client whose outbound queue exceeds this stopped reading long ago;
+  /// it gets dropped rather than accumulating reports without bound.
+  static constexpr std::size_t kMaxClientQueue = 64u << 20;
 };
 
 void Server::note(const char* fmt, ...) {
@@ -192,9 +228,11 @@ void Server::spawn_worker(std::size_t slot) {
     ::_exit(worker_main(sv[1]));
   }
   ::close(sv[1]);
+  set_nonblocking(sv[0]);
   workers_[slot].pid = pid;
   workers_[slot].fd = sv[0];
   workers_[slot].buf = LineBuffer();
+  workers_[slot].out.clear();  // queued lines belonged to the dead worker
   workers_[slot].outstanding.clear();
 }
 
@@ -206,6 +244,11 @@ bool Server::setup() {
     std::fprintf(stderr, "vpdift-serve: pipe failed\n");
     return false;
   }
+  // Both ends nonblocking: the drain loop must stop at an empty pipe (a
+  // blocking read here would freeze the daemon until the NEXT signal), and
+  // the handler's write must never block on a full pipe.
+  set_nonblocking(sp[0]);
+  set_nonblocking(sp[1]);
   sigpipe_rd_ = sp[0];
   g_sigpipe_wr = sp[1];
 
@@ -251,7 +294,8 @@ bool Server::setup() {
 void Server::teardown() {
   for (WorkerProc& w : workers_) {
     if (w.fd >= 0) {
-      write_line(w.fd, "{\"op\":\"quit\"}");
+      w.out += "{\"op\":\"quit\"}\n";
+      flush_queue(w.fd, w.out);  // best effort; close() is EOF = quit too
       ::close(w.fd);
       w.fd = -1;
     }
@@ -285,13 +329,15 @@ int Server::run() {
     what.push_back(-2);
     for (std::size_t w = 0; w < workers_.size(); ++w) {
       if (workers_[w].fd < 0) continue;
-      pfds.push_back({workers_[w].fd, POLLIN, 0});
+      const short ev =
+          static_cast<short>(POLLIN | (workers_[w].out.empty() ? 0 : POLLOUT));
+      pfds.push_back({workers_[w].fd, ev, 0});
       what.push_back(static_cast<int>(w));
     }
-    std::vector<int> client_fds;
-    for (const auto& [fd, c] : clients_) client_fds.push_back(fd);
-    for (int fd : client_fds) {
-      pfds.push_back({fd, POLLIN, 0});
+    for (const auto& [fd, c] : clients_) {
+      const short ev =
+          static_cast<short>(POLLIN | (c.out.empty() ? 0 : POLLOUT));
+      pfds.push_back({fd, ev, 0});
       what.push_back(-3 - fd);  // encode client fd
     }
 
@@ -305,19 +351,39 @@ int Server::run() {
     }
     handle_signals();
     for (std::size_t i = 0; i < pfds.size() && !draining_done(); ++i) {
-      if (!(pfds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+      const short re = pfds[i].revents;
+      if (!re) continue;
       const int tag = what[i];
       if (tag == -1) {
-        accept_client();
+        if (re & POLLIN) accept_client();
       } else if (tag == -2) {
         char buf[64];
         while (::read(sigpipe_rd_, buf, sizeof buf) > 0) {
         }
         // flags already handled above
       } else if (tag >= 0) {
-        read_worker(static_cast<std::size_t>(tag));
+        const auto w = static_cast<std::size_t>(tag);
+        // handle_signals() (or an earlier entry this pass) may have reaped
+        // and respawned this worker; its old fd's revents are stale — never
+        // apply them to the fresh socket. An fd-number reuse slips past the
+        // compare, but the fds are nonblocking so a stale POLLIN/POLLHUP
+        // just reads EAGAIN instead of wedging the loop.
+        if (workers_[w].fd != pfds[i].fd) continue;
+        if ((re & POLLOUT) &&
+            !flush_queue(workers_[w].fd, workers_[w].out)) {
+          worker_gone(w);
+          continue;
+        }
+        if (re & (POLLIN | POLLHUP | POLLERR)) read_worker(w);
       } else {
-        read_client(-3 - tag);
+        const int fd = -3 - tag;
+        auto it = clients_.find(fd);
+        if (it == clients_.end()) continue;  // dropped earlier this pass
+        if ((re & POLLOUT) && !flush_queue(fd, it->second.out)) {
+          drop_client(fd);
+          continue;
+        }
+        if (re & (POLLIN | POLLHUP | POLLERR)) read_client(fd);
       }
     }
   }
@@ -355,18 +421,25 @@ void Server::handle_signals() {
 void Server::accept_client() {
   const int fd = ::accept(listen_fd_, nullptr, nullptr);
   if (fd < 0) return;
+  set_nonblocking(fd);
   clients_[fd];
+}
+
+void Server::drop_client(int fd) {
+  // Orphan this client's submissions: they finish, results are dropped.
+  for (auto& [key, sub] : subs_)
+    if (sub.client_fd == fd) sub.client_fd = -1;
+  ::close(fd);
+  clients_.erase(fd);
 }
 
 void Server::read_client(int fd) {
   char buf[8192];
   const ssize_t n = ::read(fd, buf, sizeof buf);
+  if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR))
+    return;  // stale or spurious wakeup on the nonblocking fd
   if (n <= 0) {
-    // Orphan this client's submissions: they finish, results are dropped.
-    for (auto& [key, sub] : subs_)
-      if (sub.client_fd == fd) sub.client_fd = -1;
-    ::close(fd);
-    clients_.erase(fd);
+    drop_client(fd);
     return;
   }
   auto it = clients_.find(fd);
@@ -380,6 +453,8 @@ void Server::read_client(int fd) {
 void Server::read_worker(std::size_t w) {
   char buf[65536];
   const ssize_t n = ::read(workers_[w].fd, buf, sizeof buf);
+  if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR))
+    return;  // stale wakeup (e.g. a respawn reused the old fd number)
   if (n <= 0) {
     worker_gone(w);
     return;
@@ -395,34 +470,35 @@ void Server::handle_client_line(int fd, const std::string& line) {
   try {
     msg = campaign::json_parse(line);
   } catch (const std::exception& e) {
-    write_line(fd, std::string("{\"event\":\"error\",\"id\":0,\"error\":") +
-                       campaign::json_quote(e.what()) + "}");
+    send_client(fd, std::string("{\"event\":\"error\",\"id\":0,\"error\":") +
+                        campaign::json_quote(e.what()) + "}");
     return;
   }
   const std::string op = msg.str_or("op");
   const std::uint64_t id = msg.u64_or("id", 0);
   if (op == "ping") {
-    write_line(fd, "{\"event\":\"pong\"}");
+    send_client(fd, "{\"event\":\"pong\"}");
     return;
   }
   if (op == "stats") {
     CacheStats live = totals_;
-    write_line(fd, "{\"event\":\"stats\",\"service\":" + live.to_json() + "}");
+    send_client(fd,
+                "{\"event\":\"stats\",\"service\":" + live.to_json() + "}");
     return;
   }
   if (op == "shutdown") {
-    write_line(fd, "{\"event\":\"bye\"}");
+    send_client(fd, "{\"event\":\"bye\"}");
     draining_ = true;
     return;
   }
   if (op != "submit") {
-    write_line(fd, "{\"event\":\"error\",\"id\":" + std::to_string(id) +
-                       ",\"error\":\"unknown op\"}");
+    send_client(fd, "{\"event\":\"error\",\"id\":" + std::to_string(id) +
+                        ",\"error\":\"unknown op\"}");
     return;
   }
   if (draining_) {
-    write_line(fd, "{\"event\":\"error\",\"id\":" + std::to_string(id) +
-                       ",\"error\":\"server is draining\"}");
+    send_client(fd, "{\"event\":\"error\",\"id\":" + std::to_string(id) +
+                        ",\"error\":\"server is draining\"}");
     return;
   }
   if (const JsonValue* ref = msg.find("ref");
@@ -437,8 +513,8 @@ void Server::handle_client_line(int fd, const std::string& line) {
     submit_spec(fd, id, spec->string);
     return;
   }
-  write_line(fd, "{\"event\":\"error\",\"id\":" + std::to_string(id) +
-                     ",\"error\":\"submit needs a ref or a spec\"}");
+  send_client(fd, "{\"event\":\"error\",\"id\":" + std::to_string(id) +
+                      ",\"error\":\"submit needs a ref or a spec\"}");
 }
 
 std::uint64_t Server::send_op(std::size_t w, PendingOp op,
@@ -453,22 +529,51 @@ std::uint64_t Server::send_op(std::size_t w, PendingOp op,
   const std::size_t at = out.find("%ID%");
   if (at != std::string::npos)
     out.replace(at, 4, std::to_string(op_id));
-  if (workers_[w].fd < 0 || !write_line(workers_[w].fd, out))
-    op_failed(op_id, "worker unavailable");
+  // On failure send_worker runs worker_gone, which already failed every
+  // outstanding op on that worker — including this one, so the op_failed
+  // here is a no-op in that case. NOTE: a failing send can therefore tear
+  // down the whole submission synchronously; callers must not touch a
+  // Submission& across a send_op without re-checking subs_.
+  if (!send_worker(w, out)) op_failed(op_id, "worker unavailable");
   return op_id;
+}
+
+bool Server::send_worker(std::size_t w, const std::string& line) {
+  WorkerProc& wp = workers_[w];
+  if (wp.fd < 0) return false;
+  wp.out += line;
+  wp.out += '\n';
+  // Opportunistic flush; whatever the pipe doesn't take now drains on
+  // POLLOUT. Crucially this never blocks, even when the worker is itself
+  // blocked writing a large reply the parent hasn't read yet.
+  if (!flush_queue(wp.fd, wp.out)) {
+    worker_gone(w);
+    return false;
+  }
+  return true;
+}
+
+void Server::send_client(int fd, const std::string& line) {
+  auto it = clients_.find(fd);
+  if (it == clients_.end()) return;  // client already vanished
+  std::string& q = it->second.out;
+  q += line;
+  q += '\n';
+  if (!flush_queue(fd, q) || q.size() > kMaxClientQueue) drop_client(fd);
 }
 
 void Server::submit_ref(int fd, std::uint64_t id, const std::string& ref,
                         std::uint64_t seed, std::size_t want_workers) {
   fi::FiSuiteSpec fspec;
   if (!fi::parse_fi_ref(ref, &fspec)) {
-    write_line(fd, "{\"event\":\"error\",\"id\":" + std::to_string(id) +
-                       ",\"error\":\"bad ref (want fi:<benchmark>:<n>)\"}");
+    send_client(fd, "{\"event\":\"error\",\"id\":" + std::to_string(id) +
+                        ",\"error\":\"bad ref (want fi:<benchmark>:<n>)\"}");
     return;
   }
   fspec.seed = seed;
-  Submission& sub = subs_[next_sub_];
-  sub.key = next_sub_++;
+  const std::uint64_t key = next_sub_++;
+  Submission& sub = subs_[key];
+  sub.key = key;
   sub.client_id = id;
   sub.client_fd = fd;
   sub.is_fi = true;
@@ -477,15 +582,16 @@ void Server::submit_ref(int fd, std::uint64_t id, const std::string& ref,
       std::max<std::size_t>(1, std::min({want_workers, workers_.size(),
                                          fspec.n_faults}));
   sub.t0 = std::chrono::steady_clock::now();
-  write_line(fd, "{\"event\":\"accepted\",\"id\":" + std::to_string(id) +
-                     ",\"jobs\":" + std::to_string(fspec.n_faults) + "}");
+  send_client(fd, "{\"event\":\"accepted\",\"id\":" + std::to_string(id) +
+                      ",\"jobs\":" + std::to_string(fspec.n_faults) + "}");
+  if (!clients_.count(fd)) sub.client_fd = -1;  // dropped while accepting
   // The golden runs on the suite's owner worker — the one whose warm caches
   // accumulate this suite's snapshots — picked by content hash so repeat
   // submissions land on the same process.
   const std::size_t owner = static_cast<std::size_t>(
       fnv1a64_u64(seed, fnv1a64(fspec.benchmark)) % workers_.size());
   PendingOp op;
-  op.sub = sub.key;
+  op.sub = key;
   op.kind = PendingOp::Kind::kGolden;
   sub.outstanding_ops = 1;
   send_op(owner, std::move(op),
@@ -493,8 +599,10 @@ void Server::submit_ref(int fd, std::uint64_t id, const std::string& ref,
               campaign::json_quote(fspec.benchmark) +
               ",\"seed\":" + std::to_string(fspec.seed) +
               ",\"n\":" + std::to_string(fspec.n_faults) + "}");
+  // A failed send has already failed (and freed) the submission.
+  if (!subs_.count(key)) return;
   note("sub %llu: %s seed %llu -> golden on worker %zu",
-       static_cast<unsigned long long>(sub.key), ref.c_str(),
+       static_cast<unsigned long long>(key), ref.c_str(),
        static_cast<unsigned long long>(seed), owner);
 }
 
@@ -503,26 +611,33 @@ void Server::submit_spec(int fd, std::uint64_t id, const std::string& text) {
   try {
     cspec = campaign::CampaignSpec::parse(text);
   } catch (const std::exception& e) {
-    write_line(fd, "{\"event\":\"error\",\"id\":" + std::to_string(id) +
-                       ",\"error\":" + campaign::json_quote(e.what()) + "}");
+    send_client(fd, "{\"event\":\"error\",\"id\":" + std::to_string(id) +
+                        ",\"error\":" + campaign::json_quote(e.what()) + "}");
     return;
   }
-  Submission& sub = subs_[next_sub_];
-  sub.key = next_sub_++;
+  const std::uint64_t key = next_sub_++;
+  Submission& sub = subs_[key];
+  sub.key = key;
   sub.client_id = id;
   sub.client_fd = fd;
   sub.cspec = std::move(cspec);
   sub.results.resize(sub.cspec.jobs.size());
   sub.shard_workers = workers_.size();
   sub.t0 = std::chrono::steady_clock::now();
-  write_line(fd, "{\"event\":\"accepted\",\"id\":" + std::to_string(id) +
-                     ",\"jobs\":" + std::to_string(sub.cspec.jobs.size()) +
-                     "}");
+  send_client(fd, "{\"event\":\"accepted\",\"id\":" + std::to_string(id) +
+                      ",\"jobs\":" + std::to_string(sub.cspec.jobs.size()) +
+                      "}");
+  if (!clients_.count(fd)) sub.client_fd = -1;  // dropped while accepting
   if (sub.cspec.jobs.empty()) {
     finish_spec(sub);
     return;
   }
   sub.outstanding_ops = sub.cspec.jobs.size();
+  // Build the whole fan-out before sending any of it: a failing send_op
+  // fails its op synchronously, and when every op has failed the submission
+  // finishes and is freed mid-loop — `sub` must not be read after that.
+  std::vector<std::pair<std::size_t, std::string>> fan;
+  fan.reserve(sub.cspec.jobs.size());
   for (std::size_t i = 0; i < sub.cspec.jobs.size(); ++i) {
     const std::string spec_json =
         campaign::job_spec_to_json(sub.cspec.jobs[i]);
@@ -530,12 +645,16 @@ void Server::submit_spec(int fd, std::uint64_t id, const std::string& text) {
     // the same worker and hits that worker's warm caches.
     const std::size_t w =
         static_cast<std::size_t>(fnv1a64(spec_json) % workers_.size());
+    fan.emplace_back(w,
+                     "{\"op\":\"job\",\"id\":%ID%,\"spec\":" + spec_json + "}");
+  }
+  for (std::size_t i = 0; i < fan.size(); ++i) {
     PendingOp op;
-    op.sub = sub.key;
+    op.sub = key;
     op.kind = PendingOp::Kind::kJob;
     op.job_index = i;
-    send_op(w, std::move(op),
-            "{\"op\":\"job\",\"id\":%ID%,\"spec\":" + spec_json + "}");
+    send_op(fan[i].first, std::move(op), fan[i].second);
+    if (!subs_.count(key)) return;  // every op failed; already reported
   }
 }
 
@@ -556,26 +675,39 @@ void Server::golden_arrived(Submission& sub,
   const std::string golden_json = job_result_to_json(suite.golden);
   const std::size_t shards = std::max<std::size_t>(
       1, std::min(sub.shard_workers, n));
-  sub.outstanding_ops = shards;
-  for (std::size_t s = 0; s < shards; ++s) {
+  const std::uint64_t key = sub.key;
+  // Build every chunk before sending any: a failing send_op can fail the
+  // last outstanding chunk, finish the submission and free `sub` mid-loop.
+  struct Chunk {
+    std::size_t worker = 0;
     PendingOp op;
-    op.sub = sub.key;
-    op.kind = PendingOp::Kind::kFiChunk;
+    std::string line;
+  };
+  std::vector<Chunk> chunks(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    Chunk& c = chunks[s];
+    c.worker = s % workers_.size();
+    c.op.sub = key;
+    c.op.kind = PendingOp::Kind::kFiChunk;
     std::string idx;
     for (std::size_t i = 0; i < n; ++i) {
       if (i * shards / n != s) continue;
-      op.indices.push_back(i);
+      c.op.indices.push_back(i);
       idx += (idx.empty() ? "" : ",") + std::to_string(i);
     }
-    send_op(s % workers_.size(), std::move(op),
-            "{\"op\":\"fi\",\"id\":%ID%,\"benchmark\":" +
-                campaign::json_quote(sub.fspec.benchmark) +
-                ",\"seed\":" + std::to_string(sub.fspec.seed) +
-                ",\"n\":" + std::to_string(sub.fspec.n_faults) +
-                ",\"golden\":" + golden_json + ",\"indices\":[" + idx + "]}");
+    c.line = "{\"op\":\"fi\",\"id\":%ID%,\"benchmark\":" +
+             campaign::json_quote(sub.fspec.benchmark) +
+             ",\"seed\":" + std::to_string(sub.fspec.seed) +
+             ",\"n\":" + std::to_string(sub.fspec.n_faults) +
+             ",\"golden\":" + golden_json + ",\"indices\":[" + idx + "]}";
+  }
+  sub.outstanding_ops = shards;
+  for (Chunk& c : chunks) {
+    send_op(c.worker, std::move(c.op), c.line);
+    if (!subs_.count(key)) return;  // chunk failures ended the submission
   }
   note("sub %llu: golden done, %zu faults across %zu workers",
-       static_cast<unsigned long long>(sub.key), n, shards);
+       static_cast<unsigned long long>(key), n, shards);
 }
 
 void Server::handle_worker_line(std::size_t /*w*/, const std::string& line) {
@@ -787,7 +919,7 @@ void Server::worker_gone(std::size_t w) {
 
 void Server::to_client(const Submission& sub, const std::string& line) {
   if (sub.client_fd < 0) return;
-  write_line(sub.client_fd, line);
+  send_client(sub.client_fd, line);
 }
 
 void Server::relay_job(const Submission& sub, const campaign::JobResult& r) {

@@ -11,10 +11,21 @@
 //  * repeat work hits the caches (golden results, fault-site snapshots) and
 //    retires fewer instructions, observably via CacheStats,
 //  * cooperative cancel skips cleanly and the aggregate report says so.
+#include <dirent.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -27,9 +38,11 @@
 #include "fi/fork.hpp"
 #include "fi/suite.hpp"
 #include "service/cache.hpp"
+#include "service/client.hpp"
 #include "service/executor.hpp"
 #include "service/hash.hpp"
 #include "service/protocol.hpp"
+#include "service/server.hpp"
 
 namespace {
 
@@ -370,6 +383,260 @@ TEST(CancelTest, PresetCancelSkipsEveryJobAndTheReportSaysInterrupted) {
   EXPECT_FALSE(agg.all_ok());
   const std::string json = agg.to_json(spec.name, 1, 0.0);
   EXPECT_NE(json.find("\"interrupted\": true"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Client protocol: await_done's event filter on a shared connection.
+
+std::string temp_socket_path() {
+  char tmpl[] = "/tmp/vpdift-svc-sock-XXXXXX";
+  const int fd = ::mkstemp(tmpl);
+  EXPECT_GE(fd, 0);
+  if (fd >= 0) ::close(fd);
+  ::unlink(tmpl);
+  return tmpl;
+}
+
+/// Binds + listens on an AF_UNIX socket; -1 on failure.
+int bind_listen(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  struct sockaddr_un addr {};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) !=
+          0 ||
+      ::listen(fd, 4) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Accepts one client, reads its request line, plays back `script`.
+void run_scripted_server(int lfd, const std::string& script) {
+  const int cfd = ::accept(lfd, nullptr, nullptr);
+  if (cfd < 0) return;
+  service::LineReader in(cfd);
+  std::string line;
+  in.read_line(&line);  // the submit request (the client's id is 1)
+  std::size_t off = 0;
+  while (off < script.size()) {
+    const ssize_t n =
+        ::write(cfd, script.data() + off, script.size() - off);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  // Close right away: buffered lines still reach the client, then EOF.
+  // (Waiting for the client to hang up would deadlock against join().)
+  ::close(cfd);
+}
+
+TEST(ClientProtocol, OtherSubmissionsEventsIncludingErrorsAreIgnored) {
+  // Regression: an unrelated "error" event (another submission on the same
+  // connection, different id) used to terminate await_done with the wrong
+  // error. Only matching-id events — errors included — belong to us.
+  const std::string sock = temp_socket_path();
+  const int lfd = bind_listen(sock);
+  ASSERT_GE(lfd, 0);
+  const std::string script =
+      "{\"event\":\"error\",\"id\":999,\"error\":\"someone else\"}\n"
+      "{\"event\":\"accepted\",\"id\":1,\"jobs\":2}\n"
+      "{\"event\":\"done\",\"id\":42,\"ok\":false,\"report\":\"other\"}\n"
+      "{\"event\":\"job\",\"id\":1,\"name\":\"j0\",\"verdict\":\"exit\","
+      "\"ok\":true}\n"
+      "{\"event\":\"done\",\"id\":1,\"ok\":true,\"report\":\"mine\"}\n";
+  std::thread server([&] { run_scripted_server(lfd, script); });
+
+  service::Client client(sock);
+  std::vector<std::string> seen;
+  const service::Outcome out = client.submit_ref(
+      "fi:attack:3:2", 1, 0,
+      [&](const service::JobEvent& je) { seen.push_back(je.name); });
+  server.join();
+  ::close(lfd);
+  ::unlink(sock.c_str());
+
+  EXPECT_TRUE(out.error.empty()) << out.error;
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.report, "mine");
+  EXPECT_EQ(out.jobs, 2u);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "j0");
+}
+
+TEST(ClientProtocol, ConnectionLevelIdZeroErrorEndsTheSubmission) {
+  // id 0 is the server's connection-level reply (e.g. a garbled request
+  // line): no submission-scoped event will ever follow, so it is fatal.
+  const std::string sock = temp_socket_path();
+  const int lfd = bind_listen(sock);
+  ASSERT_GE(lfd, 0);
+  std::thread server([&] {
+    run_scripted_server(
+        lfd, "{\"event\":\"error\",\"id\":0,\"error\":\"garbled line\"}\n");
+  });
+
+  service::Client client(sock);
+  const service::Outcome out = client.submit_ref("fi:attack:3:2", 1, 0);
+  server.join();
+  ::close(lfd);
+  ::unlink(sock.c_str());
+  EXPECT_EQ(out.error, "garbled line");
+}
+
+// ---------------------------------------------------------------------------
+// Daemon robustness: the poll() loop against crashing workers and fan-outs
+// larger than the socketpair buffers.
+
+/// Forks a quiet daemon on `sock` and waits until it answers a ping.
+pid_t fork_daemon(const std::string& sock, std::size_t workers) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    service::ServerOptions opts;
+    opts.socket_path = sock;
+    opts.workers = workers;
+    opts.quiet = true;
+    ::_exit(service::run_server(opts));
+  }
+  bool up = false;
+  for (int i = 0; i < 200 && !up; ++i) {
+    ::usleep(50 * 1000);
+    try {
+      service::Client probe(sock);
+      up = probe.ping();
+    } catch (const std::exception&) {
+    }
+  }
+  EXPECT_TRUE(up) << "daemon did not come up";
+  return pid;
+}
+
+/// Direct children of `parent`, via /proc/<pid>/stat's ppid field.
+std::vector<pid_t> children_of(pid_t parent) {
+  std::vector<pid_t> kids;
+  DIR* d = ::opendir("/proc");
+  if (!d) return kids;
+  while (struct dirent* e = ::readdir(d)) {
+    char* end = nullptr;
+    const long pid = std::strtol(e->d_name, &end, 10);
+    if (pid <= 0 || !end || *end != '\0') continue;
+    std::ifstream st("/proc/" + std::string(e->d_name) + "/stat");
+    std::string content((std::istreambuf_iterator<char>(st)),
+                        std::istreambuf_iterator<char>());
+    const std::size_t rp = content.rfind(')');  // comm may contain spaces
+    if (rp == std::string::npos) continue;
+    std::istringstream rest(content.substr(rp + 1));
+    std::string state;
+    long ppid = 0;
+    rest >> state >> ppid;
+    if (ppid == parent) kids.push_back(static_cast<pid_t>(pid));
+  }
+  ::closedir(d);
+  return kids;
+}
+
+/// waitpid with a deadline, so a wedged daemon fails the test instead of
+/// hanging the whole suite.
+bool wait_exit(pid_t pid, int* status, int timeout_s) {
+  for (int i = 0; i < timeout_s * 20; ++i) {
+    if (::waitpid(pid, status, WNOHANG) == pid) return true;
+    ::usleep(50 * 1000);
+  }
+  return false;
+}
+
+void kill_and_reap(pid_t pid) {
+  ::kill(pid, SIGKILL);
+  ::waitpid(pid, nullptr, 0);
+}
+
+TEST(ServiceDaemon, WorkerCrashMidSubmissionNeitherWedgesNorLosesTheDaemon) {
+  // Regression: poll() could report the self-pipe (SIGCHLD) and a dead
+  // worker's POLLHUP in the same snapshot; handle_signals() respawned the
+  // worker first, then the stale POLLHUP triggered a blocking read on the
+  // FRESH worker's silent socket — wedging the daemon forever.
+  const std::string sock = temp_socket_path();
+  const pid_t daemon = fork_daemon(sock, 2);
+
+  // Submit from a separate process so the kill lands mid-flight.
+  const pid_t kid = ::fork();
+  if (kid == 0) {
+    try {
+      service::Client c(sock);
+      const service::Outcome o = c.submit_ref("fi:attack:3:40", 5, 2);
+      // Either a report (crash verdicts included) or a clean error event:
+      // what matters is that the daemon answered at all.
+      ::_exit(!o.report.empty() || !o.error.empty() ? 0 : 1);
+    } catch (...) {
+      ::_exit(1);
+    }
+  }
+  ::usleep(100 * 1000);  // let the submission reach the workers
+  for (const pid_t w : children_of(daemon)) ::kill(w, SIGKILL);
+
+  int st = 0;
+  if (!wait_exit(kid, &st, 120)) {
+    kill_and_reap(kid);
+    kill_and_reap(daemon);
+    ::unlink(sock.c_str());
+    FAIL() << "daemon wedged after a worker crash";
+  }
+  EXPECT_TRUE(WIFEXITED(st) && WEXITSTATUS(st) == 0);
+
+  // The daemon must have respawned its workers: a fresh submission works
+  // end to end.
+  service::Client c2(sock);
+  const service::Outcome again = c2.submit_ref("fi:attack:3:4", 6, 2);
+  EXPECT_TRUE(again.error.empty()) << again.error;
+  EXPECT_FALSE(again.report.empty());
+  c2.shutdown_server();
+  int dst = 0;
+  EXPECT_TRUE(wait_exit(daemon, &dst, 60));
+  ::unlink(sock.c_str());
+}
+
+TEST(ServiceDaemon, SingleWorkerFanOutLargerThanThePipesCompletes) {
+  // Regression: submit_spec used to fan out every job op with a blocking
+  // write while the worker blocked writing a large reply the parent wasn't
+  // reading — once both socketpair buffers filled, parent and worker
+  // deadlocked permanently. 16 jobs x 48KiB names ≈ 768KiB of ops, far
+  // beyond the ~208KiB a Unix socketpair buffers per direction.
+  const std::string sock = temp_socket_path();
+  const pid_t daemon = fork_daemon(sock, 1);
+
+  std::string spec = "campaign big-fanout\n";
+  for (int i = 0; i < 16; ++i) {
+    spec += "job j" + std::to_string(i) + std::string(48 * 1024, 'x') + "\n";
+    spec += "  firmware attack:3\n  policy code-injection\n  mode dift\n";
+    spec += "  expect violation\n";
+  }
+
+  const pid_t kid = ::fork();
+  if (kid == 0) {
+    try {
+      service::Client c(sock);
+      std::size_t events = 0;
+      const service::Outcome o =
+          c.submit_spec(spec, [&](const service::JobEvent&) { ++events; });
+      ::_exit(o.error.empty() && o.ok && events == 16 ? 0 : 1);
+    } catch (...) {
+      ::_exit(1);
+    }
+  }
+  int st = 0;
+  if (!wait_exit(kid, &st, 240)) {
+    kill_and_reap(kid);
+    kill_and_reap(daemon);
+    ::unlink(sock.c_str());
+    FAIL() << "single-worker fan-out deadlocked";
+  }
+  EXPECT_TRUE(WIFEXITED(st) && WEXITSTATUS(st) == 0)
+      << "submission failed or streamed the wrong job count";
+
+  service::Client c(sock);
+  c.shutdown_server();
+  EXPECT_TRUE(wait_exit(daemon, &st, 60));
+  ::unlink(sock.c_str());
 }
 
 TEST(HashTest, Fnv1aIsStableAndFileHashTracksContent) {
