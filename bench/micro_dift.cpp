@@ -207,6 +207,23 @@ void run_iss(benchmark::State& state, bool dift) {
           : 0.0;
   state.counters["block_invalidations"] =
       static_cast<double>(stats.block_invalidations);
+  // Variant dispatch mix: what fraction of VP+ block dispatches ran the
+  // plain-word (zero tag work) variant, and how often the gate had to
+  // promote mid-block. Plain-VP runs report 0 for all three (the plain core
+  // has no variants to pick between).
+  const double variant_dispatches = static_cast<double>(
+      stats.plain_variant_hits + stats.tainted_variant_hits);
+  state.counters["plain_variant_pct"] =
+      variant_dispatches > 0
+          ? 100.0 * static_cast<double>(stats.plain_variant_hits) /
+                variant_dispatches
+          : 0.0;
+  state.counters["variant_promotions"] =
+      static_cast<double>(stats.variant_promotions);
+  state.counters["superblock_hits"] =
+      static_cast<double>(stats.superblock_hits);
+  state.counters["superblock_transfers"] =
+      static_cast<double>(stats.superblock_transfers);
 }
 
 void BM_IssPlainVp(benchmark::State& state) { run_iss<vp::Vp>(state, false); }

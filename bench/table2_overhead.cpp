@@ -25,8 +25,10 @@
 // `--jobs N` / VPDIFT_JOBS runs them on N worker threads. NOTE: overhead
 // factors are wall-clock ratios — run with --jobs 1 (the default) when the
 // absolute MIPS numbers matter, since concurrent jobs share host cores.
-// CI flags: `--only a,b,c` restricts the suite to a workload subset, and
-// `--max-overhead F` fails the run when any workload exceeds overhead F.
+// CI flags: `--only a,b,c` restricts the suite to a workload subset,
+// `--max-overhead F` fails the run when any workload exceeds overhead F, and
+// `--max-geomean F` fails the run when the geometric-mean overhead of the
+// selected paper-set workloads exceeds F (the perf-regression gate).
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -85,6 +87,7 @@ int main(int argc, char** argv) {
   std::size_t jobs = campaign::ThreadPool::jobs_from_env(1);
   std::uint32_t reps = 3;
   double max_overhead = 0.0;  // 0 = no gate
+  double max_geomean = 0.0;   // 0 = no gate
   std::vector<std::string> only;
 
   int positional = 0;
@@ -116,6 +119,13 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "invalid value for --max-overhead: '%s'\n", argv[i]);
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--max-geomean") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      max_geomean = std::strtod(argv[++i], &end);
+      if (!end || *end != '\0' || max_geomean <= 0) {
+        std::fprintf(stderr, "invalid value for --max-geomean: '%s'\n", argv[i]);
+        return 2;
+      }
     } else if (positional == 0) {
       std::uint64_t s = 0;
       if (!campaign::parse_u64(argv[i], &s) || s < 1) {
@@ -130,7 +140,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: table2_overhead [--jobs N] [--reps N] "
-                   "[--only a,b,c] [--max-overhead F] [scale [json-path]]\n");
+                   "[--only a,b,c] [--max-overhead F] [--max-geomean F] "
+                   "[scale [json-path]]\n");
       return 2;
     }
   }
@@ -251,9 +262,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "warning: cannot write %s\n", json_path.c_str());
   }
 
+  const bool geomean_over = max_geomean > 0 && geomean_ov > max_geomean;
   if (over_budget)
     std::printf("FAILED: a workload exceeded --max-overhead %.2f.\n", max_overhead);
+  if (geomean_over)
+    std::printf("FAILED: geomean overhead %.4fx exceeded --max-geomean %.2f.\n",
+                geomean_ov, max_geomean);
   std::printf("%s\n", all_ok ? "OK: all self-checks passed."
                              : "FAILED: a workload self-check failed.");
-  return all_ok && !over_budget ? 0 : 1;
+  return all_ok && !over_budget && !geomean_over ? 0 : 1;
 }

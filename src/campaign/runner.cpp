@@ -132,7 +132,7 @@ JobResult execute_once(const JobSpec& job, const RunnerEnv* env) {
   std::unique_ptr<VpT> local;
   VpT* vp = nullptr;
   if (env && env->pool) {
-    vp = &env->pool->acquire<VpT>(cfg);
+    vp = &env->pool->acquire<VpT>(cfg, program_content_key(program));
   } else {
     local = std::make_unique<VpT>(cfg);
     vp = local.get();
@@ -180,25 +180,58 @@ JobResult execute_once(const JobSpec& job, const RunnerEnv* env) {
 
 }  // namespace
 
+std::uint64_t program_content_key(const rvasm::Program& program) {
+  // FNV-1a64, seeded with a domain string. Must stay in sync with
+  // service::WarmCache::program_key, which delegates here.
+  constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix_bytes = [&](const void* p, std::size_t n) {
+    const auto* s = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) h = (h ^ s[i]) * kPrime;
+  };
+  auto mix_u64 = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) h = (h ^ ((v >> (8 * i)) & 0xff)) * kPrime;
+  };
+  mix_bytes("program:", 8);
+  mix_u64(program.entry);
+  for (const auto& seg : program.segments) {
+    mix_u64(seg.base);
+    mix_bytes(seg.bytes.data(), seg.bytes.size());
+  }
+  return h;
+}
+
 template <typename VpT>
-VpT& VpPool::acquire(const vp::VpConfig& cfg) {
+VpT& VpPool::acquire(const vp::VpConfig& cfg, std::uint64_t fw_key) {
   std::unique_ptr<VpT>* slot;
-  if constexpr (std::is_same_v<VpT, vp::VpDift>)
+  std::uint64_t* last_key;
+  if constexpr (std::is_same_v<VpT, vp::VpDift>) {
     slot = &dift_;
-  else
+    last_key = &dift_fw_key_;
+  } else {
     slot = &plain_;
+    last_key = &plain_fw_key_;
+  }
   if (*slot && vp::config_equivalent((*slot)->config(), cfg)) {
-    (*slot)->reset();
+    // Unchanged firmware content → the translated blocks stay valid after
+    // the re-arm reloads the identical bytes; keep them warm. (Translations
+    // revalidate against the raw bytes on dispatch regardless, so a key
+    // collision degrades to correctness-preserving rebuild-on-mismatch.)
+    const bool warm_code = fw_key != 0 && fw_key == *last_key;
+    (*slot)->reset(warm_code);
     ++reuses_;
+    if (warm_code) ++translation_reuses_;
   } else {
     *slot = std::make_unique<VpT>(cfg);
     ++builds_;
   }
+  *last_key = fw_key;
   return **slot;
 }
 
-template vp::Vp& VpPool::acquire<vp::Vp>(const vp::VpConfig&);
-template vp::VpDift& VpPool::acquire<vp::VpDift>(const vp::VpConfig&);
+template vp::Vp& VpPool::acquire<vp::Vp>(const vp::VpConfig&, std::uint64_t);
+template vp::VpDift& VpPool::acquire<vp::VpDift>(const vp::VpConfig&,
+                                                 std::uint64_t);
 
 bool verdict_matches(const std::string& expect, const std::string& verdict) {
   if (verdict == "crash") return false;

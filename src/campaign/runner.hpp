@@ -58,18 +58,29 @@ class VpPool {
  public:
   /// A reset VP matching `cfg` — reused when the cached instance's config
   /// is config_equivalent(), rebuilt otherwise. The reference stays valid
-  /// until the next acquire of the same flavour.
+  /// until the next acquire of the same flavour. `fw_key` is the content
+  /// hash of the firmware about to be loaded (program_content_key; 0 =
+  /// unknown): when it matches the previous acquire of the same flavour,
+  /// the re-arm keeps the core's translated-block cache warm — the reload
+  /// is byte-identical, so the translations (and superblocks) revalidate —
+  /// and the reuse is counted in translation_reuses().
   template <typename VpT>
-  VpT& acquire(const vp::VpConfig& cfg);
+  VpT& acquire(const vp::VpConfig& cfg, std::uint64_t fw_key = 0);
 
   std::uint64_t builds() const { return builds_; }
   std::uint64_t reuses() const { return reuses_; }
+  /// Re-arms that kept the translated-block cache warm (firmware content
+  /// hash unchanged since the previous acquire of that flavour).
+  std::uint64_t translation_reuses() const { return translation_reuses_; }
 
  private:
   std::unique_ptr<vp::Vp> plain_;
   std::unique_ptr<vp::VpDift> dift_;
+  std::uint64_t plain_fw_key_ = 0;
+  std::uint64_t dift_fw_key_ = 0;
   std::uint64_t builds_ = 0;
   std::uint64_t reuses_ = 0;
+  std::uint64_t translation_reuses_ = 0;
 };
 
 /// Pluggable execution environment for run_job: resolver overrides (how
@@ -124,6 +135,12 @@ class Runner {
 /// sha256, sha512, simple-sensor, rtos-tasks, immobilizer), "attack:N"
 /// (Table I row N), "code-reuse", or a path to an ELF32 file.
 rvasm::Program resolve_firmware(const std::string& name);
+
+/// FNV-1a content hash of a resolved program (entry point + every segment's
+/// base and bytes) — the identity VpPool::acquire uses to decide whether a
+/// warm VP's translated blocks are still valid for the next job. The
+/// service's WarmCache::program_key delegates here so both layers agree.
+std::uint64_t program_content_key(const rvasm::Program& program);
 
 /// True iff `verdict` satisfies `expect` ("" matches anything but "crash";
 /// "exit" / "violation" match any exit code / violation kind; otherwise the

@@ -47,6 +47,14 @@ class ShadowSummary {
   std::uint16_t block_summary(std::size_t block) const { return blocks_[block]; }
   std::uint64_t generation() const { return generation_; }
 
+  /// Number of blocks whose summary is not uniformly kBottomTag (kMixed
+  /// counts: a mixed block necessarily holds a non-bottom byte). Maintained
+  /// incrementally by set_block, so all_bottom() is an O(1) exact answer —
+  /// the core's taint-liveness gate dispatches block variants on it.
+  std::size_t live_blocks() const { return live_blocks_; }
+  /// True iff the whole attached plane is uniformly kBottomTag.
+  bool all_bottom() const { return live_blocks_ == 0; }
+
   /// True iff every byte of [off, off+len) lies in blocks summarised as one
   /// identical tag; that tag is written to *out. O(1) per touched block —
   /// the caller skips its per-byte LUB loop on success. Bounds are the
@@ -101,7 +109,9 @@ class ShadowSummary {
 
  private:
   void set_block(std::size_t b, std::uint16_t s) {
-    if (blocks_[b] != s) {
+    const std::uint16_t old = blocks_[b];
+    if (old != s) {
+      live_blocks_ += std::size_t(s != 0) - std::size_t(old != 0);
       blocks_[b] = s;
       ++generation_;
     }
@@ -111,6 +121,7 @@ class ShadowSummary {
   std::size_t size_ = 0;
   std::vector<std::uint16_t> blocks_;
   std::uint64_t generation_ = 0;
+  std::size_t live_blocks_ = 0;
 };
 
 }  // namespace vpdift::dift

@@ -29,6 +29,11 @@ struct DiftStats {
   std::uint64_t mem_summary_hits = 0;    ///< Memory reads served via summary
   std::uint64_t dma_summary_hits = 0;    ///< DMA bursts forwarded as uniform
   std::uint64_t bus_transactions = 0;    ///< b_transport calls routed by the bus
+  std::uint64_t plain_variant_hits = 0;    ///< block dispatches via plain variant
+  std::uint64_t tainted_variant_hits = 0;  ///< block dispatches via tainted variant
+  std::uint64_t variant_promotions = 0;    ///< plain dispatches promoted pre-retire
+  std::uint64_t superblock_hits = 0;       ///< dispatches executed a fused trace
+  std::uint64_t superblock_transfers = 0;  ///< block transitions taken inside traces
 
   std::uint64_t summary_hits() const {
     return fetch_summary_hits + load_summary_hits + mem_summary_hits +
@@ -49,6 +54,11 @@ struct DiftStats {
     mem_summary_hits += o.mem_summary_hits;
     dma_summary_hits += o.dma_summary_hits;
     bus_transactions += o.bus_transactions;
+    plain_variant_hits += o.plain_variant_hits;
+    tainted_variant_hits += o.tainted_variant_hits;
+    variant_promotions += o.variant_promotions;
+    superblock_hits += o.superblock_hits;
+    superblock_transfers += o.superblock_transfers;
     return *this;
   }
 
@@ -67,6 +77,11 @@ struct DiftStats {
     d.mem_summary_hits = mem_summary_hits - o.mem_summary_hits;
     d.dma_summary_hits = dma_summary_hits - o.dma_summary_hits;
     d.bus_transactions = bus_transactions - o.bus_transactions;
+    d.plain_variant_hits = plain_variant_hits - o.plain_variant_hits;
+    d.tainted_variant_hits = tainted_variant_hits - o.tainted_variant_hits;
+    d.variant_promotions = variant_promotions - o.variant_promotions;
+    d.superblock_hits = superblock_hits - o.superblock_hits;
+    d.superblock_transfers = superblock_transfers - o.superblock_transfers;
     return d;
   }
 };
@@ -85,7 +100,12 @@ inline std::string to_json(const DiftStats& s) {
          f("load_summary_hits", s.load_summary_hits) +
          f("mem_summary_hits", s.mem_summary_hits) +
          f("dma_summary_hits", s.dma_summary_hits) +
-         f("bus_transactions", s.bus_transactions, true) + "}";
+         f("bus_transactions", s.bus_transactions) +
+         f("plain_variant_hits", s.plain_variant_hits) +
+         f("tainted_variant_hits", s.tainted_variant_hits) +
+         f("variant_promotions", s.variant_promotions) +
+         f("superblock_hits", s.superblock_hits) +
+         f("superblock_transfers", s.superblock_transfers, true) + "}";
 }
 
 }  // namespace vpdift::dift

@@ -35,7 +35,8 @@ struct CoreOps {
   using Fn = typename C::ExecFn;
 
   struct OpInfo {
-    Fn fn;
+    Fn fn;            ///< full (tainted) handler
+    Fn fast;          ///< plain-variant handler (aliases fn for terminators)
     bool mem;         ///< load/store: can raise IRQs / modify code mid-block
     bool cf;          ///< conditional branch: exits the block only when taken
     bool terminator;  ///< ends a translated block
@@ -106,11 +107,23 @@ struct CoreOps {
   static constexpr bool p_geu(std::uint32_t a, std::uint32_t b) { return a >= b; }
 
   // ---- handler templates ----
+  //
+  // The PLAIN=true instantiations are the taint-liveness-specialized
+  // variants: valid only while Core::plain_state() holds (whole shadow plane
+  // uniformly ⊥, all register tags ⊥, every clearance admits ⊥-tagged
+  // execution), where each tag-related check is statically known to pass and
+  // each produced tag is statically known to be ⊥ — so dropping them keeps
+  // enforcement throws and monitor records exact (only the flow_checks
+  // counter stops ticking for the elided always-allowed checks). Ops that
+  // can *introduce* taint (bus loads: tagged peripheral data, DMA side
+  // effects) run the full semantics and raise taint_break_ so no later op
+  // of the block executes plainly. For the plain instantiation both
+  // variants compile to the same code.
 
-  template <std::uint32_t (*F)(std::uint32_t, std::uint32_t)>
+  template <std::uint32_t (*F)(std::uint32_t, std::uint32_t), bool PLAIN = false>
   static void h_rr(C& c, const Insn& d) {
     const std::uint32_t v = F(c.rv(d.rs1), c.rv(d.rs2));
-    if constexpr (kT) {
+    if constexpr (kT && !PLAIN) {
       const Tag t1 = c.rt(d.rs1), t2 = c.rt(d.rs2);
       if ((t1 | t2) == 0)  // untainted fast path: no LUB needed
         c.wr(d.rd, v, dift::kBottomTag);
@@ -121,15 +134,19 @@ struct CoreOps {
     }
   }
 
-  template <std::uint32_t (*F)(std::uint32_t, std::uint32_t)>
+  template <std::uint32_t (*F)(std::uint32_t, std::uint32_t), bool PLAIN = false>
   static void h_ri(C& c, const Insn& d) {
-    c.wr(d.rd, F(c.rv(d.rs1), static_cast<std::uint32_t>(d.imm)), c.rt(d.rs1));
+    if constexpr (kT && !PLAIN)
+      c.wr(d.rd, F(c.rv(d.rs1), static_cast<std::uint32_t>(d.imm)), c.rt(d.rs1));
+    else
+      c.wr(d.rd, F(c.rv(d.rs1), static_cast<std::uint32_t>(d.imm)),
+           dift::kBottomTag);
   }
 
-  template <bool (*P)(std::uint32_t, std::uint32_t)>
+  template <bool (*P)(std::uint32_t, std::uint32_t), bool PLAIN = false>
   static void h_br(C& c, const Insn& d) {
     const bool taken = P(c.rv(d.rs1), c.rv(d.rs2));
-    if constexpr (kT) {
+    if constexpr (kT && !PLAIN) {
       const Tag cond = Ops::combine(c.rt(d.rs1), c.rt(d.rs2));
       if (c.exec_.branch)
         dift::check_flow(cond, *c.exec_.branch, ViolationKind::kBranchClearance,
@@ -142,29 +159,84 @@ struct CoreOps {
     }
   }
 
-  template <std::uint32_t SZ, bool SIGN>
+  template <std::uint32_t SZ, bool SIGN, bool PLAIN = false>
   static void h_load(C& c, const Insn& d) {
     const std::uint32_t addr = c.rv(d.rs1) + static_cast<std::uint32_t>(d.imm);
-    if constexpr (kT) {
-      if (c.exec_.mem_addr)
-        dift::check_flow(c.rt(d.rs1), *c.exec_.mem_addr,
-                         ViolationKind::kMemAddrClearance, c.pc_, addr, "core.lsu");
+    if constexpr (kT && PLAIN) {
+      if (addr >= c.dmi_base_ &&
+          std::uint64_t(addr) - c.dmi_base_ + SZ <= c.dmi_size_) {
+        // DMI fast path: the plane is uniformly ⊥ (plain-state invariant),
+        // so the result tag is ⊥ and the summary hit is unconditional —
+        // the counter stays in lockstep with the tainted variant.
+        const std::uint64_t off = addr - c.dmi_base_;
+        std::uint32_t value = 0;
+        for (std::uint32_t i = 0; i < SZ; ++i)
+          value |= std::uint32_t(c.dmi_data_[off + i]) << (8 * i);
+        ++c.stats_.load_summary_hits;
+        if constexpr (SIGN) {
+          if constexpr (SZ == 1)
+            value = static_cast<std::uint32_t>(static_cast<std::int8_t>(value));
+          else if constexpr (SZ == 2)
+            value = static_cast<std::uint32_t>(static_cast<std::int16_t>(value));
+        }
+        c.wr(d.rd, value, dift::kBottomTag);
+        return;
+      }
+      // Bus/MMIO load: full tag semantics (the device may hand back tagged
+      // data, or DMA behind our back) and promotion before the next op.
+      const auto m = c.load(addr, SZ, SIGN);
+      if (m.fault) {
+        c.take_trap(kCauseLoadAccessFault, addr);
+        return;
+      }
+      c.wr(d.rd, m.value, m.tag);
+      if (m.tag != dift::kBottomTag || (c.shadow_ && !c.shadow_->all_bottom()))
+        c.taint_break_ = true;
+      return;
+    } else {
+      if constexpr (kT) {
+        if (c.exec_.mem_addr)
+          dift::check_flow(c.rt(d.rs1), *c.exec_.mem_addr,
+                           ViolationKind::kMemAddrClearance, c.pc_, addr,
+                           "core.lsu");
+      }
+      const auto m = c.load(addr, SZ, SIGN);
+      if (m.fault) c.take_trap(kCauseLoadAccessFault, addr);
+      else c.wr(d.rd, m.value, m.tag);
     }
-    const auto m = c.load(addr, SZ, SIGN);
-    if (m.fault) c.take_trap(kCauseLoadAccessFault, addr);
-    else c.wr(d.rd, m.value, m.tag);
   }
 
-  template <std::uint32_t SZ>
+  template <std::uint32_t SZ, bool PLAIN = false>
   static void h_store(C& c, const Insn& d) {
     const std::uint32_t addr = c.rv(d.rs1) + static_cast<std::uint32_t>(d.imm);
-    if constexpr (kT) {
-      if (c.exec_.mem_addr)
-        dift::check_flow(c.rt(d.rs1), *c.exec_.mem_addr,
-                         ViolationKind::kMemAddrClearance, c.pc_, addr, "core.lsu");
+    if constexpr (kT && PLAIN) {
+      if (addr >= c.dmi_base_ &&
+          std::uint64_t(addr) - c.dmi_base_ + SZ <= c.dmi_size_) {
+        // DMI fast path: storing ⊥-tagged data over a ⊥ plane leaves both
+        // the plane and the summary untouched, and plain_state() verified
+        // every store-protection clearance admits ⊥ — no checks needed.
+        const std::uint64_t off = addr - c.dmi_base_;
+        if (off < c.cur_block_hi_ && off + SZ > c.cur_block_lo_)
+          c.smc_break_ = true;
+        const std::uint32_t value = c.rv(d.rs2);
+        for (std::uint32_t i = 0; i < SZ; ++i)
+          c.dmi_data_[off + i] = static_cast<std::uint8_t>(value >> (8 * i));
+        return;
+      }
+      // MMIO store: full path (peripheral clearances, smc_break_).
+      if (c.store(addr, c.rv(d.rs2), dift::kBottomTag, SZ))
+        c.take_trap(kCauseStoreAccessFault, addr);
+      return;
+    } else {
+      if constexpr (kT) {
+        if (c.exec_.mem_addr)
+          dift::check_flow(c.rt(d.rs1), *c.exec_.mem_addr,
+                           ViolationKind::kMemAddrClearance, c.pc_, addr,
+                           "core.lsu");
+      }
+      if (c.store(addr, c.rv(d.rs2), c.rt(d.rs2), SZ))
+        c.take_trap(kCauseStoreAccessFault, addr);
     }
-    if (c.store(addr, c.rv(d.rs2), c.rt(d.rs2), SZ))
-      c.take_trap(kCauseStoreAccessFault, addr);
   }
 
   static void h_lui(C& c, const Insn& d) {
@@ -217,68 +289,77 @@ struct CoreOps {
   static void h_illegal(C& c, const Insn& d) { c.take_trap(kCauseIllegalInsn, d.raw); }
 
   // ---- dispatch table, indexed by Op ----
+  //
+  // Terminators (jal/jalr/mret/csr/fence/ecall/ebreak/wfi/illegal) keep the
+  // full handler in the fast slot: they run at most once per block, and
+  // their tag checks (mepc/mtvec tags, CSR tag propagation into rd) depend
+  // on CSR state the plain-state gate does not track.
   static constexpr std::array<OpInfo, kNumOps> make_table() {
     std::array<OpInfo, kNumOps> t{};
-    for (auto& e : t) e = {&h_illegal, false, false, true};
-    auto set = [&](Op op, Fn fn, bool mem, bool term, bool cf = false) {
-      t[static_cast<std::size_t>(op)] = {fn, mem, cf, term};
+    for (auto& e : t) e = {&h_illegal, &h_illegal, false, false, true};
+    auto set = [&](Op op, Fn fn, Fn fast, bool mem, bool term,
+                   bool cf = false) {
+      t[static_cast<std::size_t>(op)] = {fn, fast, mem, cf, term};
     };
-    set(Op::kLui, &h_lui, false, false);
-    set(Op::kAuipc, &h_auipc, false, false);
-    set(Op::kJal, &h_jal, false, true);
-    set(Op::kJalr, &h_jalr, false, true);
-    set(Op::kBeq, &h_br<&p_eq>, false, false, true);
-    set(Op::kBne, &h_br<&p_ne>, false, false, true);
-    set(Op::kBlt, &h_br<&p_lt>, false, false, true);
-    set(Op::kBge, &h_br<&p_ge>, false, false, true);
-    set(Op::kBltu, &h_br<&p_ltu>, false, false, true);
-    set(Op::kBgeu, &h_br<&p_geu>, false, false, true);
-    set(Op::kLb, &h_load<1, true>, true, false);
-    set(Op::kLh, &h_load<2, true>, true, false);
-    set(Op::kLw, &h_load<4, false>, true, false);
-    set(Op::kLbu, &h_load<1, false>, true, false);
-    set(Op::kLhu, &h_load<2, false>, true, false);
-    set(Op::kSb, &h_store<1>, true, false);
-    set(Op::kSh, &h_store<2>, true, false);
-    set(Op::kSw, &h_store<4>, true, false);
-    set(Op::kAddi, &h_ri<&f_add>, false, false);
-    set(Op::kSlti, &h_ri<&f_slt>, false, false);
-    set(Op::kSltiu, &h_ri<&f_sltu>, false, false);
-    set(Op::kXori, &h_ri<&f_xor>, false, false);
-    set(Op::kOri, &h_ri<&f_or>, false, false);
-    set(Op::kAndi, &h_ri<&f_and>, false, false);
-    set(Op::kSlli, &h_ri<&f_sll>, false, false);
-    set(Op::kSrli, &h_ri<&f_srl>, false, false);
-    set(Op::kSrai, &h_ri<&f_sra>, false, false);
-    set(Op::kAdd, &h_rr<&f_add>, false, false);
-    set(Op::kSub, &h_rr<&f_sub>, false, false);
-    set(Op::kSll, &h_rr<&f_sll>, false, false);
-    set(Op::kSlt, &h_rr<&f_slt>, false, false);
-    set(Op::kSltu, &h_rr<&f_sltu>, false, false);
-    set(Op::kXor, &h_rr<&f_xor>, false, false);
-    set(Op::kSrl, &h_rr<&f_srl>, false, false);
-    set(Op::kSra, &h_rr<&f_sra>, false, false);
-    set(Op::kOr, &h_rr<&f_or>, false, false);
-    set(Op::kAnd, &h_rr<&f_and>, false, false);
-    set(Op::kFence, &h_fence, false, true);
-    set(Op::kEcall, &h_ecall, false, true);
-    set(Op::kEbreak, &h_ebreak, false, true);
-    set(Op::kMul, &h_rr<&f_mul>, false, false);
-    set(Op::kMulh, &h_rr<&f_mulh>, false, false);
-    set(Op::kMulhsu, &h_rr<&f_mulhsu>, false, false);
-    set(Op::kMulhu, &h_rr<&f_mulhu>, false, false);
-    set(Op::kDiv, &h_rr<&f_div>, false, false);
-    set(Op::kDivu, &h_rr<&f_divu>, false, false);
-    set(Op::kRem, &h_rr<&f_rem>, false, false);
-    set(Op::kRemu, &h_rr<&f_remu>, false, false);
-    set(Op::kCsrrw, &h_csr, false, true);
-    set(Op::kCsrrs, &h_csr, false, true);
-    set(Op::kCsrrc, &h_csr, false, true);
-    set(Op::kCsrrwi, &h_csr, false, true);
-    set(Op::kCsrrsi, &h_csr, false, true);
-    set(Op::kCsrrci, &h_csr, false, true);
-    set(Op::kMret, &h_mret, false, true);
-    set(Op::kWfi, &h_wfi, false, true);
+    auto set1 = [&](Op op, Fn fn, bool mem, bool term, bool cf = false) {
+      set(op, fn, fn, mem, term, cf);
+    };
+    set1(Op::kLui, &h_lui, false, false);
+    set1(Op::kAuipc, &h_auipc, false, false);
+    set1(Op::kJal, &h_jal, false, true);
+    set1(Op::kJalr, &h_jalr, false, true);
+    set(Op::kBeq, &h_br<&p_eq>, &h_br<&p_eq, true>, false, false, true);
+    set(Op::kBne, &h_br<&p_ne>, &h_br<&p_ne, true>, false, false, true);
+    set(Op::kBlt, &h_br<&p_lt>, &h_br<&p_lt, true>, false, false, true);
+    set(Op::kBge, &h_br<&p_ge>, &h_br<&p_ge, true>, false, false, true);
+    set(Op::kBltu, &h_br<&p_ltu>, &h_br<&p_ltu, true>, false, false, true);
+    set(Op::kBgeu, &h_br<&p_geu>, &h_br<&p_geu, true>, false, false, true);
+    set(Op::kLb, &h_load<1, true>, &h_load<1, true, true>, true, false);
+    set(Op::kLh, &h_load<2, true>, &h_load<2, true, true>, true, false);
+    set(Op::kLw, &h_load<4, false>, &h_load<4, false, true>, true, false);
+    set(Op::kLbu, &h_load<1, false>, &h_load<1, false, true>, true, false);
+    set(Op::kLhu, &h_load<2, false>, &h_load<2, false, true>, true, false);
+    set(Op::kSb, &h_store<1>, &h_store<1, true>, true, false);
+    set(Op::kSh, &h_store<2>, &h_store<2, true>, true, false);
+    set(Op::kSw, &h_store<4>, &h_store<4, true>, true, false);
+    set(Op::kAddi, &h_ri<&f_add>, &h_ri<&f_add, true>, false, false);
+    set(Op::kSlti, &h_ri<&f_slt>, &h_ri<&f_slt, true>, false, false);
+    set(Op::kSltiu, &h_ri<&f_sltu>, &h_ri<&f_sltu, true>, false, false);
+    set(Op::kXori, &h_ri<&f_xor>, &h_ri<&f_xor, true>, false, false);
+    set(Op::kOri, &h_ri<&f_or>, &h_ri<&f_or, true>, false, false);
+    set(Op::kAndi, &h_ri<&f_and>, &h_ri<&f_and, true>, false, false);
+    set(Op::kSlli, &h_ri<&f_sll>, &h_ri<&f_sll, true>, false, false);
+    set(Op::kSrli, &h_ri<&f_srl>, &h_ri<&f_srl, true>, false, false);
+    set(Op::kSrai, &h_ri<&f_sra>, &h_ri<&f_sra, true>, false, false);
+    set(Op::kAdd, &h_rr<&f_add>, &h_rr<&f_add, true>, false, false);
+    set(Op::kSub, &h_rr<&f_sub>, &h_rr<&f_sub, true>, false, false);
+    set(Op::kSll, &h_rr<&f_sll>, &h_rr<&f_sll, true>, false, false);
+    set(Op::kSlt, &h_rr<&f_slt>, &h_rr<&f_slt, true>, false, false);
+    set(Op::kSltu, &h_rr<&f_sltu>, &h_rr<&f_sltu, true>, false, false);
+    set(Op::kXor, &h_rr<&f_xor>, &h_rr<&f_xor, true>, false, false);
+    set(Op::kSrl, &h_rr<&f_srl>, &h_rr<&f_srl, true>, false, false);
+    set(Op::kSra, &h_rr<&f_sra>, &h_rr<&f_sra, true>, false, false);
+    set(Op::kOr, &h_rr<&f_or>, &h_rr<&f_or, true>, false, false);
+    set(Op::kAnd, &h_rr<&f_and>, &h_rr<&f_and, true>, false, false);
+    set1(Op::kFence, &h_fence, false, true);
+    set1(Op::kEcall, &h_ecall, false, true);
+    set1(Op::kEbreak, &h_ebreak, false, true);
+    set(Op::kMul, &h_rr<&f_mul>, &h_rr<&f_mul, true>, false, false);
+    set(Op::kMulh, &h_rr<&f_mulh>, &h_rr<&f_mulh, true>, false, false);
+    set(Op::kMulhsu, &h_rr<&f_mulhsu>, &h_rr<&f_mulhsu, true>, false, false);
+    set(Op::kMulhu, &h_rr<&f_mulhu>, &h_rr<&f_mulhu, true>, false, false);
+    set(Op::kDiv, &h_rr<&f_div>, &h_rr<&f_div, true>, false, false);
+    set(Op::kDivu, &h_rr<&f_divu>, &h_rr<&f_divu, true>, false, false);
+    set(Op::kRem, &h_rr<&f_rem>, &h_rr<&f_rem, true>, false, false);
+    set(Op::kRemu, &h_rr<&f_remu>, &h_rr<&f_remu, true>, false, false);
+    set1(Op::kCsrrw, &h_csr, false, true);
+    set1(Op::kCsrrs, &h_csr, false, true);
+    set1(Op::kCsrrc, &h_csr, false, true);
+    set1(Op::kCsrrwi, &h_csr, false, true);
+    set1(Op::kCsrrsi, &h_csr, false, true);
+    set1(Op::kCsrrci, &h_csr, false, true);
+    set1(Op::kMret, &h_mret, false, true);
+    set1(Op::kWfi, &h_wfi, false, true);
     return t;
   }
   static constexpr std::array<OpInfo, kNumOps> kTable = make_table();
@@ -301,15 +382,33 @@ void Core<W>::set_dmi(std::uint8_t* data, Tag* tags, std::uint64_t base,
 }
 
 template <typename W>
+void Core<W>::wipe_fetch_memos() {
+  for (auto& up : blocks_) {
+    if (!up) continue;
+    up->fetch_memo = false;
+    up->fetch_gen = ~std::uint64_t{0};
+    up->fetch_flow = nullptr;
+  }
+}
+
+template <typename W>
 void Core<W>::set_policy(const dift::SecurityPolicy* policy) {
   policy_ = policy;
   exec_ = policy ? policy->execution_clearance() : dift::ExecutionClearance{};
   has_store_prot_ = policy && !policy->store_protection().empty();
-  invalidate_blocks();
+  // Translations themselves are policy-independent (handler pointers are
+  // fixed per instantiation); only the per-block fetch memos and the
+  // plain-state clearance memo bind to a policy's flow table. Wiping those
+  // instead of the whole cache keeps warm translations valid across a
+  // campaign re-arm (reset + load_firmware + apply_policy) and closes the
+  // pointer-reuse ABA a new lattice allocated at a freed table's address
+  // would otherwise open.
+  wipe_fetch_memos();
+  plain_ok_valid_ = false;
 }
 
 template <typename W>
-void Core<W>::reset(std::uint32_t reset_pc) {
+void Core<W>::reset(std::uint32_t reset_pc, bool keep_translations) {
   regs_.fill(W{});
   csrs_ = CsrFile{};
   pc_ = reset_pc;
@@ -317,7 +416,15 @@ void Core<W>::reset(std::uint32_t reset_pc) {
   instret_ = 0;
   wfi_ = false;
   fatal_trap_ = false;
-  invalidate_blocks();
+  reg_tag_or_ = dift::kBottomTag;
+  taint_break_ = false;
+  if (keep_translations) {
+    wipe_fetch_memos();
+    cur_block_lo_ = cur_block_hi_ = 0;
+    smc_break_ = false;
+  } else {
+    invalidate_blocks();
+  }
 }
 
 template <typename W>
@@ -579,6 +686,9 @@ void Core<W>::build_into(Block& b, std::uint64_t off) {
   b.chain_off = ~std::uint64_t{0};
   b.fetch_memo = false;
   b.ops.clear();
+  b.trace.reset();
+  b.heat = 0;
+  b.no_trace = false;
   std::uint64_t cur = off;
   // A full 32-bit parcel must be readable even for a 16-bit instruction
   // (mirroring the old fast-path condition); pcs in the last 2 bytes of the
@@ -588,7 +698,7 @@ void Core<W>::build_into(Block& b, std::uint64_t off) {
     std::memcpy(&raw, dmi_data_ + cur, 4);  // host is little-endian
     const Insn insn = decode_any(raw);
     const auto& e = CoreOps<W>::entry(insn.op);
-    b.ops.push_back(MicroOp{insn, e.fn, e.mem, e.cf});
+    b.ops.push_back(MicroOp{insn, e.fn, e.fast, e.mem, e.cf});
     cur += insn.len;
     ++stats_.decode_misses;
     if (e.terminator) break;
@@ -630,8 +740,106 @@ auto Core<W>::lookup_block(std::uint64_t off, bool& fresh) -> Block* {
   return b;
 }
 
+// ---------------------------------------------------------------------------
+// Taint-liveness gate.
+// ---------------------------------------------------------------------------
+
 template <typename W>
-std::uint64_t Core<W>::exec_block(Block& b, std::uint64_t budget, bool fresh) {
+bool Core<W>::plain_clearances_ok() {
+  // Memoised against the active flow table: does every execution clearance
+  // and store protection admit ⊥-tagged execution? Evaluated with the
+  // non-counting peek so gate queries never perturb the flow_checks ledger
+  // (elided checks are exactly the always-allowed ones, so enforcement and
+  // monitor records are unchanged). set_policy() invalidates the memo.
+  const std::uint8_t* flow = dift::detail::g_active.flow;
+  if (!plain_ok_valid_ || plain_ok_flow_ != flow) {
+    bool ok = true;
+    if (exec_.fetch) ok = ok && dift::allowed_flow_peek(dift::kBottomTag, *exec_.fetch);
+    if (exec_.branch) ok = ok && dift::allowed_flow_peek(dift::kBottomTag, *exec_.branch);
+    if (exec_.mem_addr)
+      ok = ok && dift::allowed_flow_peek(dift::kBottomTag, *exec_.mem_addr);
+    if (policy_) {
+      for (const auto& mc : policy_->store_protection())
+        ok = ok && dift::allowed_flow_peek(dift::kBottomTag, mc.tag);
+    }
+    plain_ok_ = ok;
+    plain_ok_flow_ = flow;
+    plain_ok_valid_ = true;
+  }
+  return plain_ok_;
+}
+
+template <typename W>
+bool Core<W>::plain_state() {
+  // Pure function of architectural state (the sticky reg_tag_or_ bit is
+  // re-verified by a full register rescan before it can disable the plain
+  // path), so warm/cold caches, snapshot forks and replays all make the
+  // same per-dispatch variant decision.
+  if constexpr (!kTainted) {
+    return trace_ == nullptr;  // plain core: everything but traced runs
+  } else {
+    if (trace_) return false;  // careful path owns trace-attached runs
+    if (!shadow_ || !shadow_->all_bottom()) return false;
+    if (reg_tag_or_ != dift::kBottomTag) {
+      Tag t = dift::kBottomTag;
+      for (const auto& r : regs_) t = static_cast<Tag>(t | Ops::tag(r));
+      if (t != dift::kBottomTag) return false;
+      reg_tag_or_ = dift::kBottomTag;
+    }
+    return plain_clearances_ok();
+  }
+}
+
+template <typename W>
+std::uint64_t Core<W>::exec_block(Block& b, std::uint64_t budget, bool fresh,
+                                  bool plain) {
+  if constexpr (kTainted) {
+    if (plain) {
+      // Plain variant: plain_state() proved the whole plane ⊥ and every
+      // clearance admits ⊥-tagged execution, so the block is cleared for
+      // fetch by construction (span uniformly ⊥) and the fetch memo is
+      // neither consulted nor established. Handlers run with zero tag
+      // work; a bus load that introduces taint raises taint_break_ so the
+      // next op re-dispatches on the tainted variant.
+      const auto np = static_cast<std::size_t>(
+          std::min<std::uint64_t>(b.ops.size(), budget));
+      cur_block_lo_ = b.start_off;
+      cur_block_hi_ = b.start_off + b.byte_len;
+      smc_break_ = false;
+      taint_break_ = false;
+      const MicroOp* pops = b.ops.data();
+      std::uint64_t pdone = 0;
+      try {
+        while (pdone < np) {
+          const MicroOp& op = pops[pdone];
+          const std::uint32_t seq = pc_ + op.insn.len;
+          next_pc_ = seq;
+          trapped_ = false;
+          op.fast(*this, op.insn);
+          pc_ = next_pc_;
+          ++instret_;
+          ++pdone;
+          if (trapped_) break;
+          if (op.cf && pc_ != seq) break;  // taken branch left the block
+          if (op.mem && ((csrs_.mip & csrs_.mie) != 0 || smc_break_ ||
+                         taint_break_))
+            break;
+        }
+        if (!fresh) stats_.decode_hits += pdone;
+        if (exec_.fetch) stats_.fetch_summary_hits += pdone;
+      } catch (...) {
+        if (!fresh) stats_.decode_hits += pdone + 1;
+        if (exec_.fetch) stats_.fetch_summary_hits += pdone + 1;
+        cur_block_lo_ = cur_block_hi_ = 0;
+        throw;
+      }
+      cur_block_lo_ = cur_block_hi_ = 0;
+      return pdone;
+    }
+  } else {
+    (void)plain;  // the plain instantiation has no variant split
+  }
+
   // One fetch-clearance check covering the whole block span (the old
   // per-instruction memo generalized): if the span is uniformly tagged and
   // the flow is allowed, memoise and skip per-instruction checks entirely.
@@ -758,6 +966,169 @@ std::uint64_t Core<W>::exec_block(Block& b, std::uint64_t budget, bool fresh) {
   return done;
 }
 
+// ---------------------------------------------------------------------------
+// Superblock (trace) formation.
+//
+// A hot block whose successors are predictable (static jal targets, chain
+// predictions for jalr/mret, straight fall-through) is fused with them into
+// one straight-line run of micro-ops, turning per-iteration chained_transfers
+// into in-trace fall-through. Traces execute only on the plain path, so no
+// fetch-memo or flow-check state needs trace-scope treatment; the block
+// rules from docs/perf.md extend naturally: every constituent's raw bytes
+// are revalidated on entry, boundary ops are marked `mem` so an interrupt
+// (or SMC/taint break) raised by a fused call is re-tested before the next
+// block's ops run (exact mepc), and `chk`/`expect` verify each predicted
+// successor before falling through into it.
+// ---------------------------------------------------------------------------
+
+template <typename W>
+void Core<W>::build_trace(Block& head) {
+  auto t = std::make_unique<Trace>();
+  bool fusable = true;   // head itself can start a trace
+  bool transient = false;  // stopped on a cold/stale successor: retry later
+  const Block* cur = &head;
+  while (true) {
+    if (t->parts.size() >= kMaxTraceParts ||
+        t->ops.size() + cur->ops.size() > kMaxTraceOps)
+      break;
+    // Fuse only translations that match memory right now; a stale
+    // constituent would fuse dead code.
+    if (!raw_match(dmi_data_ + cur->start_off, cur->raw.data(),
+                   cur->byte_len)) {
+      transient = true;
+      break;
+    }
+    typename Trace::Part part{cur->start_off, cur->byte_len,
+                     static_cast<std::uint32_t>(t->raw.size()),
+                     static_cast<std::uint32_t>(t->ops.size())};
+    t->ops.insert(t->ops.end(), cur->ops.begin(), cur->ops.end());
+    t->raw.insert(t->raw.end(), cur->raw.begin(), cur->raw.end());
+    t->parts.push_back(part);
+
+    // Predict the successor reached when the block runs to completion.
+    const MicroOp& last = cur->ops.back();
+    std::uint64_t next_off;
+    if (CoreOps<W>::entry(last.insn.op).terminator) {
+      if (last.insn.op == Op::kJal) {
+        const std::uint32_t jal_pc = static_cast<std::uint32_t>(
+            dmi_base_ + cur->start_off + cur->byte_len - last.insn.len);
+        const std::uint32_t target =
+            jal_pc + static_cast<std::uint32_t>(last.insn.imm);
+        if ((target & 1) || target < dmi_base_ ||
+            std::uint64_t(target) - dmi_base_ >= dmi_size_) {
+          if (t->parts.size() < 2) fusable = false;
+          break;
+        }
+        next_off = std::uint64_t(target) - dmi_base_;
+      } else if (last.insn.op == Op::kJalr || last.insn.op == Op::kMret) {
+        if (cur->chain_off == ~std::uint64_t{0}) {
+          transient = true;
+          break;
+        }
+        next_off = cur->chain_off;
+      } else {
+        // csr/fence/ecall/ebreak/wfi/illegal: never fuse past these.
+        if (t->parts.size() < 2) fusable = false;
+        break;
+      }
+    } else {
+      // Block ended by kMaxBlockOps or the window edge: fall through.
+      next_off = cur->start_off + cur->byte_len;
+    }
+    // Close at loop edges: re-entering the head (or any part) goes back
+    // through the dispatch loop, which revalidates and re-enters the trace.
+    bool closes = next_off == head.start_off;
+    for (const auto& p : t->parts) closes = closes || next_off == p.off;
+    if (closes) break;
+    const auto slot = static_cast<std::size_t>(next_off >> 1);
+    const Block* next = slot < blocks_.size() ? blocks_[slot].get() : nullptr;
+    if (!next || next->ops.empty()) {
+      transient = true;  // successor not translated yet
+      break;
+    }
+    // Mark the boundary: verify the predicted successor pc, and re-test the
+    // block-exit conditions (pending interrupt, smc/taint break) exactly as
+    // a dispatch-loop re-entry would before running the next block's ops.
+    MicroOp& bop = t->ops.back();
+    bop.chk = true;
+    bop.expect = static_cast<std::uint32_t>(dmi_base_ + next_off);
+    bop.mem = true;
+    cur = next;
+  }
+  if (t->parts.size() >= 2) {
+    std::uint64_t lo = ~std::uint64_t{0}, hi = 0;
+    for (const auto& p : t->parts) {
+      lo = std::min(lo, p.off);
+      hi = std::max(hi, p.off + p.len);
+    }
+    t->lo = lo;
+    t->hi = hi;
+    head.trace = std::move(t);
+  } else if (!transient && !fusable) {
+    head.no_trace = true;  // shape can never fuse until the block rebuilds
+  }
+}
+
+template <typename W>
+bool Core<W>::trace_valid(const Trace& t) const {
+  for (const auto& p : t.parts)
+    if (!raw_match(dmi_data_ + p.off, t.raw.data() + p.raw_off, p.len))
+      return false;
+  return true;
+}
+
+template <typename W>
+std::uint64_t Core<W>::exec_trace(Trace& t, std::uint64_t budget) {
+  const auto n =
+      static_cast<std::size_t>(std::min<std::uint64_t>(t.ops.size(), budget));
+  // The store-into-executing-code test covers the hull of all parts; a
+  // store into a gap between parts breaks out spuriously, which is safe
+  // (the dispatch loop revalidates and resumes).
+  cur_block_lo_ = t.lo;
+  cur_block_hi_ = t.hi;
+  smc_break_ = false;
+  taint_break_ = false;
+  const MicroOp* ops = t.ops.data();
+  std::uint64_t done = 0;
+  try {
+    while (done < n) {
+      const MicroOp& op = ops[done];
+      const std::uint32_t seq = pc_ + op.insn.len;
+      next_pc_ = seq;
+      trapped_ = false;
+      op.fast(*this, op.insn);
+      pc_ = next_pc_;
+      ++instret_;
+      ++done;
+      if (trapped_) break;
+      if (op.chk && pc_ != op.expect) break;  // prediction miss: leave trace
+      if (op.cf && pc_ != seq) break;         // taken branch left the trace
+      if (op.mem &&
+          ((csrs_.mip & csrs_.mie) != 0 || smc_break_ || taint_break_))
+        break;
+    }
+    stats_.decode_hits += done;  // trace ops always come from cached blocks
+    if constexpr (kTainted) {
+      if (exec_.fetch) stats_.fetch_summary_hits += done;
+    }
+  } catch (...) {
+    stats_.decode_hits += done + 1;
+    if constexpr (kTainted) {
+      if (exec_.fetch) stats_.fetch_summary_hits += done + 1;
+    }
+    cur_block_lo_ = cur_block_hi_ = 0;
+    throw;
+  }
+  cur_block_lo_ = cur_block_hi_ = 0;
+  // Count block transitions taken inside the trace (parts entered beyond
+  // the head) — these are the dispatch-loop transfers the fusion elided.
+  std::uint64_t transfers = 0;
+  for (std::size_t k = 1; k < t.parts.size() && t.parts[k].first_op < done; ++k)
+    ++transfers;
+  stats_.superblock_transfers += transfers;
+  return done;
+}
+
 template <typename W>
 void Core<W>::step_slow() {
   // Slow path (XIP flash etc.): read one parcel over the bus, extend to 32
@@ -858,8 +1229,55 @@ RunExit Core<W>::run(std::uint64_t max_instructions) {
         std::uint64_t budget = max_instructions - executed;
         if (fault_armed_ && fault_at_ - instret_ < budget)
           budget = fault_at_ - instret_;
-        const std::uint64_t done = exec_block(*b, budget, fresh);
+        // Taint-liveness gate: while no taint is live anywhere and every
+        // clearance admits ⊥, dispatch the zero-tag-work plain variant and
+        // form/execute superblocks. The plain core takes the trace path
+        // whenever no trace buffer is attached.
+        const bool plain = plain_state();
+        if (plain) {
+          Trace* t = b->trace.get();
+          if (t && !trace_valid(*t)) {
+            // SMC hit a constituent: drop the trace and re-heat. The
+            // constituent's own slot revalidates (and rebuilds) on its
+            // next direct dispatch as usual.
+            b->trace.reset();
+            b->heat = 0;
+            t = nullptr;
+          }
+          if (!t && !fresh && !b->no_trace && ++b->heat >= kTraceHeat) {
+            build_trace(*b);
+            b->heat = 0;
+            t = b->trace.get();
+          }
+          if (t) {
+            ++stats_.superblock_hits;
+            const std::uint64_t done = exec_trace(*t, budget);
+            executed += done;
+            if constexpr (kTainted) {
+              if (taint_break_) {
+                ++stats_.variant_promotions;
+                taint_break_ = false;
+              }
+            }
+            // A trace exit pc does not correspond to a completed head
+            // block, so no chain is installed from it.
+            prev = nullptr;
+            continue;
+          }
+        }
+        const std::uint64_t done = exec_block(*b, budget, fresh, plain);
         executed += done;
+        if constexpr (kTainted) {
+          if (plain) {
+            ++stats_.plain_variant_hits;
+            if (taint_break_) {
+              ++stats_.variant_promotions;
+              taint_break_ = false;
+            }
+          } else {
+            ++stats_.tainted_variant_hits;
+          }
+        }
         // The chain is a prediction, not a guarantee — the chain_off match
         // and the raw revalidation on the next entry keep it honest — so any
         // exit (terminator, taken branch, mem break) may install one.

@@ -17,6 +17,7 @@ CacheStats& CacheStats::operator+=(const CacheStats& o) {
   snapshot_misses += o.snapshot_misses;
   vp_builds += o.vp_builds;
   vp_reuses += o.vp_reuses;
+  translation_reuses += o.translation_reuses;
   executed_instret += o.executed_instret;
   return *this;
 }
@@ -33,6 +34,7 @@ CacheStats CacheStats::operator-(const CacheStats& o) const {
   d.snapshot_misses = snapshot_misses - o.snapshot_misses;
   d.vp_builds = vp_builds - o.vp_builds;
   d.vp_reuses = vp_reuses - o.vp_reuses;
+  d.translation_reuses = translation_reuses - o.translation_reuses;
   d.executed_instret = executed_instret - o.executed_instret;
   return d;
 }
@@ -49,6 +51,7 @@ std::string CacheStats::to_json() const {
          f("snapshot_hits", snapshot_hits) +
          f("snapshot_misses", snapshot_misses) + f("vp_builds", vp_builds) +
          f("vp_reuses", vp_reuses) +
+         f("translation_reuses", translation_reuses) +
          f("executed_instret", executed_instret, true) + "}";
 }
 
@@ -64,6 +67,7 @@ CacheStats cache_stats_from_json(const campaign::JsonValue& obj) {
   s.snapshot_misses = obj.u64_or("snapshot_misses", 0);
   s.vp_builds = obj.u64_or("vp_builds", 0);
   s.vp_reuses = obj.u64_or("vp_reuses", 0);
+  s.translation_reuses = obj.u64_or("translation_reuses", 0);
   s.executed_instret = obj.u64_or("executed_instret", 0);
   return s;
 }
@@ -95,16 +99,10 @@ std::uint64_t WarmCache::firmware_key(const std::string& name) {
 }
 
 std::uint64_t WarmCache::program_key(const rvasm::Program& program) {
-  std::uint64_t h = fnv1a64("program:");
-  h = fnv1a64_u64(program.entry, h);
-  for (const auto& seg : program.segments) {
-    h = fnv1a64_u64(seg.base, h);
-    h = fnv1a64(std::string_view(reinterpret_cast<const char*>(
-                                     seg.bytes.data()),
-                                 seg.bytes.size()),
-                h);
-  }
-  return h;
+  // Single source of truth: the pool's warm-translation gate hashes the
+  // resolved program the same way, so a policy-cache key and a translation
+  // reuse decision can never disagree about firmware identity.
+  return campaign::program_content_key(program);
 }
 
 std::uint64_t WarmCache::policy_content_key(const std::string& name) {
@@ -193,6 +191,7 @@ CacheStats WarmCache::stats() const {
   CacheStats s = counters_;
   s.vp_builds = pool_.builds();
   s.vp_reuses = pool_.reuses();
+  s.translation_reuses = pool_.translation_reuses();
   for (const auto& [key, c] : sites_) {
     s.snapshot_hits += c.hits;
     s.snapshot_misses += c.misses;

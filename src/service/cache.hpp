@@ -45,6 +45,9 @@ struct CacheStats {
   std::uint64_t golden_cache_hits = 0, golden_cache_misses = 0;
   std::uint64_t snapshot_hits = 0, snapshot_misses = 0;
   std::uint64_t vp_builds = 0, vp_reuses = 0;
+  /// VP re-arms that also kept the core's translated-block cache warm
+  /// (firmware content hash unchanged — see VpPool::acquire).
+  std::uint64_t translation_reuses = 0;
   /// Instructions actually retired (cache hits retire none) — the number
   /// the warm-vs-cold acceptance check compares.
   std::uint64_t executed_instret = 0;

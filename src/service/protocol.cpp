@@ -153,6 +153,11 @@ campaign::JobResult job_result_from_json(const campaign::JsonValue& obj) {
     s.mem_summary_hits = st->u64_or("mem_summary_hits", 0);
     s.dma_summary_hits = st->u64_or("dma_summary_hits", 0);
     s.bus_transactions = st->u64_or("bus_transactions", 0);
+    s.plain_variant_hits = st->u64_or("plain_variant_hits", 0);
+    s.tainted_variant_hits = st->u64_or("tainted_variant_hits", 0);
+    s.variant_promotions = st->u64_or("variant_promotions", 0);
+    s.superblock_hits = st->u64_or("superblock_hits", 0);
+    s.superblock_transfers = st->u64_or("superblock_transfers", 0);
   }
   return r;
 }

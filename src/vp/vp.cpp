@@ -120,7 +120,7 @@ bool config_equivalent(const VpConfig& a, const VpConfig& b) {
 }
 
 template <typename W>
-void VirtualPrototype<W>::reset() {
+void VirtualPrototype<W>::reset(bool keep_translations) {
   if (!owned_sim_)
     throw std::logic_error(
         "VirtualPrototype::reset() requires an owned simulation "
@@ -129,11 +129,13 @@ void VirtualPrototype<W>::reset() {
 
   // CPU: full architectural reset (registers, CSRs, counters, WFI, fatal
   // trap), pending fault trigger disarmed, policy detached, translation
-  // cache dropped (the next image has different bytes).
-  core_.reset(am::kRamBase);
+  // cache dropped (the next image has different bytes) — unless the caller
+  // promised byte-identical firmware, in which case the translations (and
+  // superblocks) stay warm and only the policy-bound fetch memos are wiped.
+  core_.reset(am::kRamBase, keep_translations);
   core_.disarm_fault();
   core_.set_policy(nullptr);
-  core_.invalidate_blocks();
+  if (!keep_translations) core_.invalidate_blocks();
   boot_pc_ = am::kRamBase;
 
   // Memory: zero data, bottom tags, fresh summaries.

@@ -211,7 +211,12 @@ class VirtualPrototype {
   /// VpConfig determines, so a pool may reuse a VP across jobs whose
   /// configs are config_equivalent(). Only valid on a VP that owns its
   /// simulation (throws std::logic_error for shared-kernel multi-ECU VPs).
-  void reset();
+  /// `keep_translations` keeps the core's translated-block cache (and its
+  /// superblocks) warm across the re-arm — sound only when the subsequently
+  /// loaded firmware is byte-identical (the pool gates this on the firmware
+  /// content hash); translations revalidate against the raw bytes on every
+  /// dispatch regardless.
+  void reset(bool keep_translations = false);
 
   /// Loads a program image into RAM and points the core at its entry.
   /// On a warm (reset) VP this is the re-arm step of the service's

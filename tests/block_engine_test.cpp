@@ -270,4 +270,281 @@ TEST(BlockEngine, Fetch32AttributesShadowHitToFetchCounter) {
   EXPECT_EQ(s.load_summary_hits, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Taint-liveness variant gate (dual block variants on the VP+ core).
+// ---------------------------------------------------------------------------
+
+using TaintVm = MicroVm<rv::TaintedWord>;
+
+// With a uniformly-bottom tag plane and clean registers, every dispatch must
+// take the plain-word variant: zero tag work, no promotions.
+TEST(BlockEngine, CleanPlaneRunsPlainVariant) {
+  TaintVm vm;
+  rvasm::Assembler a(TaintVm::kBase);
+  a.label("top");
+  a.addi(a0, a0, 1);
+  a.j("top");
+  vm.load(a.assemble());
+  vm.core.run(100);
+  EXPECT_EQ(vm.reg(a0), 50u);
+  const auto& s = vm.core.stats();
+  EXPECT_GT(s.plain_variant_hits, 0u);
+  EXPECT_EQ(s.tainted_variant_hits, 0u);
+  EXPECT_EQ(s.variant_promotions, 0u);
+}
+
+// A live tag — in the plane and then also in a register — must force the
+// tainted variant; after the classification is withdrawn and the register
+// overwritten, the sticky register-tag OR is re-verified by the rescan and
+// the plain variant re-engages. (A guest's partial ⊥ store over a mixed
+// summary block conservatively stays mixed, so the plane is cleaned the
+// way snapshot restore does it: reclassify + summary update.)
+TEST(BlockEngine, LiveTaintDisablesPlainVariantUntilCleared) {
+  TaintVm vm;
+  constexpr std::uint64_t kDataOff = 0x8000;
+  rvasm::Assembler a(TaintVm::kBase);
+  a.li(t0, static_cast<std::int64_t>(TaintVm::kBase + kDataOff));
+  a.li(t2, 20);
+  a.lw(s0, t0, 0);  // tagged load: plane live, then s0 carries the tag
+  a.label("loop1");
+  a.addi(a0, a0, 1);
+  a.bne(a0, t2, "loop1");
+  a.li(s0, 0);  // overwrite the tagged register (sticky OR stays set)
+  a.label("spin");
+  a.j("spin");
+  const auto p = a.assemble();
+  vm.ram.write_u32(kDataOff, 0x1234);
+  vm.ram.classify(kDataOff, 4, dift::Tag{1});
+  vm.load(p);
+  vm.core.run(60);
+
+  EXPECT_EQ(vm.reg(a0), 20u);
+  EXPECT_EQ(vm.tag(s0), dift::kBottomTag);
+  const auto& s = vm.core.stats();
+  EXPECT_GT(s.tainted_variant_hits, 0u);  // plane live the whole phase
+  EXPECT_EQ(s.plain_variant_hits, 0u);
+  EXPECT_EQ(s.variant_promotions, 0u);  // taint never appeared mid-plain
+
+  // Withdraw the classification. A partial ⊥ fill over a mixed summary
+  // block conservatively stays mixed, so re-uniform the whole block —
+  // kDataOff is block-aligned, and bytes past the word were ⊥ already.
+  vm.ram.classify(kDataOff, dift::ShadowSummary::kBlockBytes,
+                  dift::kBottomTag);
+  const auto tainted_before = s.tainted_variant_hits;
+  vm.core.run(60);
+  EXPECT_GT(s.plain_variant_hits, 0u);
+  EXPECT_EQ(s.tainted_variant_hits, tainted_before);
+}
+
+// CPU + two memories: the DMI-backed RAM (clean) plus a second tainted
+// memory reachable only over the bus — the source of mid-block taint.
+struct TaintIoVm {
+  static constexpr std::uint64_t kBase = 0x80000000ull;
+  static constexpr std::uint64_t kIoBase = 0x90000000ull;
+
+  sysc::Simulation sim;
+  tlmlite::Bus bus{sim, "bus"};
+  soc::Memory ram{sim, "ram", 64 * 1024, true};
+  soc::Memory io{sim, "io", 4 * 1024, true};
+  rv::Core<rv::TaintedWord> core;
+
+  TaintIoVm() {
+    bus.map(kBase, ram.size(), ram.socket(), "ram");
+    bus.map(kIoBase, io.size(), io.socket(), "io");
+    core.bus_socket().bind(bus.target_socket());
+    core.set_dmi(ram.data(), ram.tags(), kBase, ram.size(), &ram.shadow());
+    core.set_pc(kBase);
+  }
+};
+
+// The promotion edge: a block starts on the plain variant, then a bus load
+// pulls in a tagged word mid-block. The plain variant must fall back BEFORE
+// the next op runs plainly — the loaded tag is preserved and propagates
+// through the ops that follow.
+TEST(BlockEngine, MidBlockTaintedLoadPromotesBeforeNextOp) {
+  TaintIoVm vm;
+  vm.io.write_u32(0, 0x1234);
+  vm.io.classify(0, 4, dift::Tag{1});
+  rvasm::Assembler a(TaintIoVm::kBase);
+  a.li(t0, static_cast<std::int64_t>(TaintIoVm::kIoBase));
+  a.addi(a0, zero, 7);  // plain-variant op in the same block as the load
+  a.lw(s0, t0, 0);      // bus load of the tagged word -> promotion point
+  a.addi(s1, s0, 1);    // must run on the tainted variant: tag propagates
+  a.label("spin");
+  a.j("spin");
+  vm.ram.load_image(a.assemble(), TaintIoVm::kBase);
+  vm.core.run(20);
+
+  EXPECT_EQ(rv::WordOps<rv::TaintedWord>::value(vm.core.reg(8)), 0x1234u);
+  EXPECT_EQ(rv::WordOps<rv::TaintedWord>::tag(vm.core.reg(8)), dift::Tag{1});
+  EXPECT_EQ(rv::WordOps<rv::TaintedWord>::value(vm.core.reg(9)), 0x1235u);
+  // The load's tag reached s1: the op after the promotion point did NOT
+  // execute on the plain variant.
+  EXPECT_EQ(rv::WordOps<rv::TaintedWord>::tag(vm.core.reg(9)), dift::Tag{1});
+  const auto& s = vm.core.stats();
+  EXPECT_GE(s.variant_promotions, 1u);
+  EXPECT_GT(s.plain_variant_hits, 0u);
+  EXPECT_GT(s.tainted_variant_hits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Superblock (trace) formation across chained transfers.
+// ---------------------------------------------------------------------------
+
+// A hot call loop (head -> callee -> loop body -> back to head) must fuse
+// into a superblock whose execution is bit-identical to the careful
+// per-instruction path.
+TEST(BlockEngine, SuperblockFormsAcrossCallLoopAndMatchesCarefulPath) {
+  const auto emit = [](rvasm::Assembler& a) {
+    a.li(s0, 0);
+    a.li(t2, 60);
+    a.label("top");
+    a.call("fn");
+    a.addi(s0, s0, 1);
+    a.beq(s0, t2, "done");
+    a.j("top");
+    a.label("done");
+    a.label("spin");
+    a.j("spin");
+    a.label("fn");
+    a.addi(a0, a0, 3);
+    a.ret();
+  };
+  constexpr std::uint64_t kSteps = 400;
+
+  Vm fast_vm;           // no trace buffer: superblocks engage
+  Vm careful_vm;        // trace buffer attached: per-instruction path
+  rv::TraceBuffer careful_trace(16);
+  careful_vm.core.set_trace(&careful_trace);
+  rvasm::Assembler a(Vm::kBase);
+  emit(a);
+  const auto p = a.assemble();
+  fast_vm.load(p);
+  careful_vm.load(p);
+  fast_vm.core.run(kSteps);
+  careful_vm.core.run(kSteps);
+
+  for (int r = 0; r < 32; ++r)
+    EXPECT_EQ(fast_vm.reg(static_cast<std::uint8_t>(r)),
+              careful_vm.reg(static_cast<std::uint8_t>(r)))
+        << "x" << r;
+  EXPECT_EQ(fast_vm.reg(a0), 180u);
+  EXPECT_EQ(fast_vm.reg(s0), 60u);
+  const auto& s = fast_vm.core.stats();
+  EXPECT_GT(s.superblock_hits, 0u);
+  EXPECT_GT(s.superblock_transfers, 0u);
+  EXPECT_EQ(careful_vm.core.stats().superblock_hits, 0u);
+}
+
+// A guest store into a *constituent* of a formed superblock (not the head)
+// must drop the trace and re-decode: every later call runs the patched
+// bytes.
+TEST(BlockEngine, SmcStoreIntoSuperblockConstituentRevalidates) {
+  Vm vm;
+  run_asm(vm, [](auto& a) {
+    a.li(s0, 0);
+    a.li(t2, 80);
+    a.li(t3, 40);
+    a.la(t0, "fn");
+    a.li(t1, static_cast<std::int64_t>(kAddiA0Zero99));
+    a.label("top");
+    a.call("fn");
+    a.addi(s0, s0, 1);
+    a.beq(s0, t3, "dopatch");
+    a.label("cont");
+    a.beq(s0, t2, "done");
+    a.j("top");
+    a.label("dopatch");
+    a.sw(t1, t0, 0);  // patch the callee: addi a0, a0, 3 -> addi a0, zero, 99
+    a.j("cont");
+    a.label("done");
+    a.label("spin");
+    a.j("spin");
+    a.label("fn");
+    a.addi(a0, a0, 3);
+    a.ret();
+  }, 800);
+  EXPECT_EQ(vm.reg(s0), 80u);
+  // Calls 1..40 accumulate 3 each; calls 41..80 run the patched body.
+  EXPECT_EQ(vm.reg(a0), 99u);
+  const auto& s = vm.core.stats();
+  EXPECT_GT(s.superblock_hits, 0u);
+  EXPECT_GE(s.block_invalidations, 1u);
+}
+
+// An interrupt raised by a store inside a NON-head part of a running
+// superblock must be taken at the next instruction boundary with an exact
+// mepc, without retiring the rest of the trace.
+TEST(BlockEngine, MidSuperblockInterruptTakenWithExactMepc) {
+  IrqVm vm;
+  rvasm::Assembler a(IrqVm::kBase);
+  a.la(t0, "handler");
+  a.csrrw(zero, rv::csr::kMtvec, t0);
+  a.li(t1, rv::kIrqMsoft);
+  a.csrrs(zero, rv::csr::kMie, t1);
+  a.csrrsi(zero, rv::csr::kMstatus, 8);  // MIE on
+  a.li(s2, static_cast<std::int64_t>(soc::addrmap::kClintBase));  // msip
+  a.li(s3, static_cast<std::int64_t>(IrqVm::kBase + 0x8000));     // dummy
+  a.sub(s5, s2, s3);
+  a.li(s4, 30);  // fire on the 31st call — well after the trace forms
+  a.li(s0, 0);
+  a.li(t6, 1);
+  a.label("top");
+  a.call("fn");
+  a.addi(s0, s0, 1);
+  a.j("top");
+  a.label("fn");
+  // Branchless target select: iterations 0..29 store to the dummy word,
+  // iteration 30 stores to CLINT msip — raising the IRQ mid-part-2.
+  a.xor_(t4, s0, s4);
+  a.sltiu(t4, t4, 1);
+  a.sub(t5, zero, t4);
+  a.and_(t5, t5, s5);
+  a.add(t5, t5, s3);
+  a.sw(t6, t5, 0);
+  a.label("after_store");
+  a.addi(a3, a3, 1);  // must NOT retire on the IRQ iteration
+  a.ret();
+  a.label("handler");
+  a.csrrs(s6, rv::csr::kMepc, zero);
+  a.csrrs(s7, rv::csr::kMcause, zero);
+  a.label("hspin");
+  a.j("hspin");
+  const auto p = a.assemble();
+  vm.ram.load_image(p, IrqVm::kBase);
+  vm.core.set_pc(static_cast<std::uint32_t>(p.entry));
+  vm.core.run(600);
+
+  EXPECT_EQ(vm.core.reg(13), 30u);  // a3: one per completed call, none after
+  EXPECT_EQ(vm.core.reg(22), static_cast<std::uint32_t>(p.symbol("after_store")));
+  EXPECT_EQ(vm.core.reg(23), 0x80000003u);  // machine software interrupt
+  // The IRQ iteration ran inside a formed superblock, not a lone block.
+  EXPECT_GT(vm.core.stats().superblock_hits, 10u);
+  EXPECT_GT(vm.core.stats().superblock_transfers, 0u);
+}
+
+// reset(pc, keep_translations=true) must keep the translated blocks (the
+// warm re-arm path): a byte-identical second run re-decodes nothing.
+TEST(BlockEngine, WarmResetKeepsTranslations) {
+  Vm vm;
+  run_asm(vm, [](auto& a) {
+    a.label("top");
+    a.addi(a0, a0, 1);
+    a.j("top");
+  }, 100);
+  EXPECT_EQ(vm.reg(a0), 50u);
+  const auto misses_cold = vm.core.stats().decode_misses;
+  EXPECT_GT(misses_cold, 0u);
+
+  vm.core.reset(static_cast<std::uint32_t>(Vm::kBase), true);
+  vm.core.run(100);
+  EXPECT_EQ(vm.reg(a0), 50u);  // registers were reset; semantics identical
+  EXPECT_EQ(vm.core.stats().decode_misses, misses_cold);  // no re-decode
+
+  vm.core.reset(static_cast<std::uint32_t>(Vm::kBase), false);
+  vm.core.run(100);
+  EXPECT_EQ(vm.reg(a0), 50u);
+  EXPECT_GT(vm.core.stats().decode_misses, misses_cold);  // cold re-decodes
+}
+
 }  // namespace

@@ -319,6 +319,67 @@ TEST(Runner, ParallelVerdictsMatchSerial) {
   }
 }
 
+TEST(Runner, WarmPoolKeepsTranslationsAndStaysBitIdentical) {
+  // Same job three times: once cold, twice through a warm pool. The second
+  // pooled run re-arms a VP whose firmware content hash is unchanged, so the
+  // translated-block cache survives the reset — no re-decode, identical
+  // results.
+  campaign::JobSpec job;
+  job.name = "warm-translations";
+  job.firmware = "qsort";
+  job.policy = "permissive";
+  job.mode = campaign::VpMode::kDift;
+
+  const auto cold = campaign::Runner::run_job(job);
+  campaign::VpPool pool;
+  campaign::RunnerEnv env;
+  env.pool = &pool;
+  const auto warm1 = campaign::Runner::run_job(job, &env);
+  const auto warm2 = campaign::Runner::run_job(job, &env);
+
+  EXPECT_EQ(pool.builds(), 1u);
+  EXPECT_EQ(pool.reuses(), 1u);
+  EXPECT_EQ(pool.translation_reuses(), 1u);
+
+  for (const auto* w : {&warm1, &warm2}) {
+    EXPECT_EQ(cold.verdict, w->verdict);
+    EXPECT_EQ(cold.run.instret, w->run.instret);
+    EXPECT_EQ(cold.run.uart_output, w->run.uart_output);
+    EXPECT_EQ(cold.run.sim_time.picos(), w->run.sim_time.picos());
+    EXPECT_EQ(cold.run.stats.lub_calls, w->run.stats.lub_calls);
+    EXPECT_EQ(cold.run.stats.flow_checks, w->run.stats.flow_checks);
+    EXPECT_EQ(cold.run.stats.bus_transactions, w->run.stats.bus_transactions);
+  }
+  // The warm re-arm's whole point: the second run decodes nothing.
+  EXPECT_GT(warm1.run.stats.decode_misses, 0u);
+  EXPECT_EQ(warm2.run.stats.decode_misses, 0u);
+  EXPECT_GT(warm2.run.stats.decode_hits, 0u);
+}
+
+TEST(Runner, WarmPoolColdArmsOnDifferentFirmware) {
+  // Different firmware content between acquires: the pool reuses the VP
+  // object but must NOT keep the translations.
+  campaign::JobSpec a;
+  a.name = "fw-a";
+  a.firmware = "qsort";
+  a.mode = campaign::VpMode::kDift;
+  campaign::JobSpec b = a;
+  b.name = "fw-b";
+  b.firmware = "primes";
+
+  campaign::VpPool pool;
+  campaign::RunnerEnv env;
+  env.pool = &pool;
+  const auto ra = campaign::Runner::run_job(a, &env);
+  const auto rb = campaign::Runner::run_job(b, &env);
+  EXPECT_TRUE(ra.ok);
+  EXPECT_TRUE(rb.ok);
+  EXPECT_EQ(pool.reuses(), 1u);
+  EXPECT_EQ(pool.translation_reuses(), 0u);
+  // The primes run decoded its own image from scratch.
+  EXPECT_GT(rb.run.stats.decode_misses, 0u);
+}
+
 TEST(Runner, CrashVerdictConsumesRetries) {
   campaign::JobSpec job;
   job.name = "boom";

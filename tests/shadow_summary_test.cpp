@@ -198,6 +198,11 @@ TEST(DiftStats, QsortRunPopulatesCounters) {
   EXPECT_EQ(r.stats.summary_hits(),
             r.stats.fetch_summary_hits + r.stats.load_summary_hits +
                 r.stats.mem_summary_hits + r.stats.dma_summary_hits);
+  // Permissive policy, no classified data: the taint-liveness gate keeps
+  // the whole run on the plain-word variant and never needs to promote.
+  EXPECT_GT(r.stats.plain_variant_hits, 0u);
+  EXPECT_EQ(r.stats.tainted_variant_hits, 0u);
+  EXPECT_EQ(r.stats.variant_promotions, 0u);
   expect_coherent(v.ram());
 }
 
@@ -212,6 +217,13 @@ TEST(DiftStats, PlainVpKeepsTagCountersZero) {
   EXPECT_EQ(r.stats.flow_checks, 0u);
   EXPECT_EQ(r.stats.fetch_summary_hits, 0u);
   EXPECT_EQ(r.stats.load_summary_hits, 0u);
+  // The plain core has no variants to pick between — both variant counters
+  // (and the promotion counter) must read zero, not go stale.
+  EXPECT_EQ(r.stats.plain_variant_hits, 0u);
+  EXPECT_EQ(r.stats.tainted_variant_hits, 0u);
+  EXPECT_EQ(r.stats.variant_promotions, 0u);
+  // ... but it does form superblocks over its hot loops.
+  EXPECT_GT(r.stats.superblock_hits, 0u);
   EXPECT_GT(r.stats.bus_transactions, 0u);
   EXPECT_GT(r.stats.decode_hits, 0u);
 }

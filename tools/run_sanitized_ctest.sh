@@ -27,9 +27,10 @@ if [ "$mode" = tsan ]; then
   build=${1:-"$repo/build-tsan"}
   sanitize=thread
   # The threading tests: campaign subsystem + parallel fuzz + CLI tests that
-  # exercise --jobs. The serial remainder of the suite adds no thread pairs
-  # for TSan to analyse, so it is skipped here (the asan run covers it).
-  filter='campaign|Campaign|ParallelVp|ThreadPool|Runner\.|Aggregator|FuzzCampaign|cli\.|Fi[A-Z]'
+  # exercise --jobs, plus the fork-campaign and block-engine suites so the
+  # variant-dispatch/superblock paths run under TSan too (ForkCampaign and
+  # BlockEngine are NOT matched by Fi[A-Z] — spell them out).
+  filter='campaign|Campaign|ParallelVp|ThreadPool|Runner\.|Aggregator|FuzzCampaign|cli\.|Fi[A-Z]|ForkCampaign|BlockEngine'
 else
   build=${1:-"$repo/build-asan"}
   sanitize=ON
