@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "sa/analyze.hpp"
+
 namespace vpdift::campaign {
 
 std::string json_escape(const std::string& s) {
@@ -99,6 +101,7 @@ std::string Aggregator::to_json(const std::string& campaign_name,
       }
       out << "],";
     }
+    if (r.analysis) out << "\"analysis\":" << sa::to_json(*r.analysis) << ",";
     out << "\"dift_stats\":" << dift::to_json(r.run.stats) << "}"
         << (i + 1 < results_.size() ? ",\n" : "\n");
   }

@@ -149,6 +149,24 @@ JobResult execute_once(const JobSpec& job, const RunnerEnv* env) {
     owned_policy = resolve_policy(job.policy, program);
   }
   if (const auto* p = policy->policy()) v.apply_policy(*p);
+  if (job.analyze) {
+    // Static pre-pass: lint report rides on the result; the pin set (if the
+    // analyzer proved one) installs after the policy (apply_policy voids
+    // pins). The service env supplies a content-hash cache here.
+    std::shared_ptr<const sa::AnalysisResult> analysis;
+    if (env && env->resolve_analysis)
+      analysis = env->resolve_analysis(job.firmware, job.policy, program,
+                                       policy->policy(), cfg.ram_size);
+    if (!analysis) {
+      sa::AnalyzeOptions aopts;
+      aopts.ram_size = cfg.ram_size;
+      analysis = std::make_shared<sa::AnalysisResult>(
+          sa::analyze(program, policy->policy(), aopts));
+    }
+    if (!analysis->pinned_pcs.empty())
+      v.set_pinned_blocks(analysis->pinned_pcs);
+    res.analysis = std::move(analysis);
+  }
   if (job.mode == VpMode::kMonitor) v.set_monitor_mode(true);
   if (!uart_input.empty()) v.uart().feed_input(uart_input);
   // Fault-injection (or any other) setup runs after the image, policy and
@@ -251,6 +269,8 @@ rvasm::Program resolve_firmware(const std::string& name) {
   if (name == "rtos-tasks") return fw::make_rtos_tasks(100, 200);
   if (name == "immobilizer")
     return fw::make_immobilizer(fw::ImmoVariant::kFixedDump, kDemoPin, 5);
+  if (name == "immobilizer-vulnerable")
+    return fw::make_immobilizer(fw::ImmoVariant::kVulnerableDump, kDemoPin, 5);
   if (name == "code-reuse") return fw::make_code_reuse_attack().program;
   if (name.rfind("attack:", 0) == 0) {
     std::int32_t id = 0;

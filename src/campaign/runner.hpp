@@ -21,6 +21,7 @@
 
 #include "campaign/spec.hpp"
 #include "dift/policy_parser.hpp"
+#include "sa/analyze.hpp"
 #include "vp/scenarios.hpp"
 #include "vp/vp.hpp"
 
@@ -45,6 +46,9 @@ struct JobResult {
   std::vector<AttemptRecord> history;  ///< every attempt, in order
   vp::RunResult run;    ///< full VP run result (default-constructed on crash)
   double wall_seconds = 0.0;  ///< host time across all attempts
+  /// Static-analysis result for jobs with analyze = true (shared with the
+  /// service's analysis cache; null otherwise).
+  std::shared_ptr<const sa::AnalysisResult> analysis;
 };
 
 struct ResolvedPolicy;
@@ -97,6 +101,15 @@ struct RunnerEnv {
   std::function<std::shared_ptr<const ResolvedPolicy>(
       const std::string& name, const rvasm::Program& program)>
       resolve_policy;
+  /// Override of the static-analysis step for analyze = true jobs (the
+  /// service's content-hash analysis cache). Receives the already-resolved
+  /// program and policy plus the VP's RAM size; a null return falls back to
+  /// running sa::analyze locally.
+  std::function<std::shared_ptr<const sa::AnalysisResult>(
+      const std::string& firmware, const std::string& policy_name,
+      const rvasm::Program& program, const dift::SecurityPolicy* policy,
+      std::uint64_t ram_size)>
+      resolve_analysis;
   /// Warm-VP pool; nullptr = build a fresh VP per job (the cold path).
   VpPool* pool = nullptr;
 };
@@ -132,8 +145,9 @@ class Runner {
 };
 
 /// Resolves a firmware reference: a builtin name (primes, qsort, dhrystone,
-/// sha256, sha512, simple-sensor, rtos-tasks, immobilizer), "attack:N"
-/// (Table I row N), "code-reuse", or a path to an ELF32 file.
+/// sha256, sha512, simple-sensor, rtos-tasks, immobilizer,
+/// immobilizer-vulnerable), "attack:N" (Table I row N), "code-reuse", or a
+/// path to an ELF32 file.
 rvasm::Program resolve_firmware(const std::string& name);
 
 /// FNV-1a content hash of a resolved program (entry point + every segment's

@@ -150,6 +150,8 @@ bool apply_field(JobSpec& job, std::string_view key, std::string_view value,
                                      std::string(value) + "'");
   } else if (key == "engine-ecu" || key == "engine_ecu") {
     job.engine_ecu = parse_bool(value, line);
+  } else if (key == "analyze") {
+    job.analyze = parse_bool(value, line);
   } else if (key == "expect") {
     job.expect = std::string(value);
   } else {
@@ -258,6 +260,7 @@ std::string job_spec_to_json(const JobSpec& job) {
       << ",\"wall_budget_s\":" << job.wall_budget_s
       << ",\"retries\":" << job.retries
       << ",\"engine_ecu\":" << (job.engine_ecu ? "true" : "false")
+      << ",\"analyze\":" << (job.analyze ? "true" : "false")
       << ",\"expect\":" << json_quote(job.expect) << "}";
   return out.str();
 }

@@ -24,6 +24,7 @@
 //     wall-budget-s 5.0        # wall-clock budget (0 = none)
 //     retries 0                # re-run attempts after a crash
 //     engine-ecu on            # attach the engine ECU across the CAN link
+//     analyze on               # static pre-pass: lint report + AOT pin set
 //     expect violation:fetch-clearance   # exit[:N] | violation[:kind] |
 //                                        # timeout | wall-timeout
 //
@@ -63,6 +64,10 @@ struct JobSpec {
   double wall_budget_s = 0.0;     ///< wall-clock budget; 0 = unlimited
   int retries = 0;                ///< extra attempts after a crash
   bool engine_ecu = false;        ///< attach the engine ECU (immobilizer)
+  /// Run the static analyzer over firmware x policy before execution: the
+  /// job result carries the lint report, and (dift/monitor modes) the
+  /// analyzer's plain-block pin set is installed ahead of time.
+  bool analyze = false;
   std::string expect;             ///< verdict pattern; empty = "did not crash"
 
   /// Programmatic overrides (suite builders only; not settable from files).

@@ -126,6 +126,18 @@ class SecurityPolicy {
   /// Declassification target configured for `device`, if any.
   std::optional<Tag> declass_output(const std::string& device) const;
 
+  // ---- introspection (static analysis) ----
+  //
+  // Enumeration views over the configured maps, consumed by the src/sa
+  // analyzer to derive taint sources and sinks without round-tripping
+  // through per-device point queries.
+
+  const std::map<std::string, Tag>& input_classes() const { return input_class_; }
+  const std::map<std::string, Tag>& output_clearances() const { return output_clear_; }
+  const std::map<std::string, Tag>& unit_clearances() const { return unit_clear_; }
+  const std::map<std::string, Tag>& declass_outputs() const { return declass_output_; }
+  const std::set<std::string>& declass_holders() const { return declass_holders_; }
+
  private:
   const Lattice* lattice_;
   std::vector<MemoryClass> mem_class_;

@@ -34,6 +34,8 @@ struct DiftStats {
   std::uint64_t variant_promotions = 0;    ///< plain dispatches promoted pre-retire
   std::uint64_t superblock_hits = 0;       ///< dispatches executed a fused trace
   std::uint64_t superblock_transfers = 0;  ///< block transitions taken inside traces
+  std::uint64_t sa_pinned_blocks = 0;      ///< blocks pinned plain by static analysis
+  std::uint64_t sa_pinned_hits = 0;        ///< dispatches that used an ahead-of-time pin
 
   std::uint64_t summary_hits() const {
     return fetch_summary_hits + load_summary_hits + mem_summary_hits +
@@ -59,6 +61,8 @@ struct DiftStats {
     variant_promotions += o.variant_promotions;
     superblock_hits += o.superblock_hits;
     superblock_transfers += o.superblock_transfers;
+    sa_pinned_blocks += o.sa_pinned_blocks;
+    sa_pinned_hits += o.sa_pinned_hits;
     return *this;
   }
 
@@ -82,6 +86,8 @@ struct DiftStats {
     d.variant_promotions = variant_promotions - o.variant_promotions;
     d.superblock_hits = superblock_hits - o.superblock_hits;
     d.superblock_transfers = superblock_transfers - o.superblock_transfers;
+    d.sa_pinned_blocks = sa_pinned_blocks - o.sa_pinned_blocks;
+    d.sa_pinned_hits = sa_pinned_hits - o.sa_pinned_hits;
     return d;
   }
 };
@@ -105,7 +111,9 @@ inline std::string to_json(const DiftStats& s) {
          f("tainted_variant_hits", s.tainted_variant_hits) +
          f("variant_promotions", s.variant_promotions) +
          f("superblock_hits", s.superblock_hits) +
-         f("superblock_transfers", s.superblock_transfers, true) + "}";
+         f("superblock_transfers", s.superblock_transfers) +
+         f("sa_pinned_blocks", s.sa_pinned_blocks) +
+         f("sa_pinned_hits", s.sa_pinned_hits, true) + "}";
 }
 
 }  // namespace vpdift::dift

@@ -297,69 +297,70 @@ struct CoreOps {
   static constexpr std::array<OpInfo, kNumOps> make_table() {
     std::array<OpInfo, kNumOps> t{};
     for (auto& e : t) e = {&h_illegal, &h_illegal, false, false, true};
-    auto set = [&](Op op, Fn fn, Fn fast, bool mem, bool term,
-                   bool cf = false) {
-      t[static_cast<std::size_t>(op)] = {fn, fast, mem, cf, term};
+    // The terminator flag is derived from rv::is_block_terminator so the
+    // block builder and the static analyzer's window replication can never
+    // disagree about where a translated block ends.
+    auto set = [&](Op op, Fn fn, Fn fast, bool mem, bool cf = false) {
+      t[static_cast<std::size_t>(op)] = {fn, fast, mem, cf,
+                                         is_block_terminator(op)};
     };
-    auto set1 = [&](Op op, Fn fn, bool mem, bool term, bool cf = false) {
-      set(op, fn, fn, mem, term, cf);
-    };
-    set1(Op::kLui, &h_lui, false, false);
-    set1(Op::kAuipc, &h_auipc, false, false);
-    set1(Op::kJal, &h_jal, false, true);
-    set1(Op::kJalr, &h_jalr, false, true);
-    set(Op::kBeq, &h_br<&p_eq>, &h_br<&p_eq, true>, false, false, true);
-    set(Op::kBne, &h_br<&p_ne>, &h_br<&p_ne, true>, false, false, true);
-    set(Op::kBlt, &h_br<&p_lt>, &h_br<&p_lt, true>, false, false, true);
-    set(Op::kBge, &h_br<&p_ge>, &h_br<&p_ge, true>, false, false, true);
-    set(Op::kBltu, &h_br<&p_ltu>, &h_br<&p_ltu, true>, false, false, true);
-    set(Op::kBgeu, &h_br<&p_geu>, &h_br<&p_geu, true>, false, false, true);
-    set(Op::kLb, &h_load<1, true>, &h_load<1, true, true>, true, false);
-    set(Op::kLh, &h_load<2, true>, &h_load<2, true, true>, true, false);
-    set(Op::kLw, &h_load<4, false>, &h_load<4, false, true>, true, false);
-    set(Op::kLbu, &h_load<1, false>, &h_load<1, false, true>, true, false);
-    set(Op::kLhu, &h_load<2, false>, &h_load<2, false, true>, true, false);
-    set(Op::kSb, &h_store<1>, &h_store<1, true>, true, false);
-    set(Op::kSh, &h_store<2>, &h_store<2, true>, true, false);
-    set(Op::kSw, &h_store<4>, &h_store<4, true>, true, false);
-    set(Op::kAddi, &h_ri<&f_add>, &h_ri<&f_add, true>, false, false);
-    set(Op::kSlti, &h_ri<&f_slt>, &h_ri<&f_slt, true>, false, false);
-    set(Op::kSltiu, &h_ri<&f_sltu>, &h_ri<&f_sltu, true>, false, false);
-    set(Op::kXori, &h_ri<&f_xor>, &h_ri<&f_xor, true>, false, false);
-    set(Op::kOri, &h_ri<&f_or>, &h_ri<&f_or, true>, false, false);
-    set(Op::kAndi, &h_ri<&f_and>, &h_ri<&f_and, true>, false, false);
-    set(Op::kSlli, &h_ri<&f_sll>, &h_ri<&f_sll, true>, false, false);
-    set(Op::kSrli, &h_ri<&f_srl>, &h_ri<&f_srl, true>, false, false);
-    set(Op::kSrai, &h_ri<&f_sra>, &h_ri<&f_sra, true>, false, false);
-    set(Op::kAdd, &h_rr<&f_add>, &h_rr<&f_add, true>, false, false);
-    set(Op::kSub, &h_rr<&f_sub>, &h_rr<&f_sub, true>, false, false);
-    set(Op::kSll, &h_rr<&f_sll>, &h_rr<&f_sll, true>, false, false);
-    set(Op::kSlt, &h_rr<&f_slt>, &h_rr<&f_slt, true>, false, false);
-    set(Op::kSltu, &h_rr<&f_sltu>, &h_rr<&f_sltu, true>, false, false);
-    set(Op::kXor, &h_rr<&f_xor>, &h_rr<&f_xor, true>, false, false);
-    set(Op::kSrl, &h_rr<&f_srl>, &h_rr<&f_srl, true>, false, false);
-    set(Op::kSra, &h_rr<&f_sra>, &h_rr<&f_sra, true>, false, false);
-    set(Op::kOr, &h_rr<&f_or>, &h_rr<&f_or, true>, false, false);
-    set(Op::kAnd, &h_rr<&f_and>, &h_rr<&f_and, true>, false, false);
-    set1(Op::kFence, &h_fence, false, true);
-    set1(Op::kEcall, &h_ecall, false, true);
-    set1(Op::kEbreak, &h_ebreak, false, true);
-    set(Op::kMul, &h_rr<&f_mul>, &h_rr<&f_mul, true>, false, false);
-    set(Op::kMulh, &h_rr<&f_mulh>, &h_rr<&f_mulh, true>, false, false);
-    set(Op::kMulhsu, &h_rr<&f_mulhsu>, &h_rr<&f_mulhsu, true>, false, false);
-    set(Op::kMulhu, &h_rr<&f_mulhu>, &h_rr<&f_mulhu, true>, false, false);
-    set(Op::kDiv, &h_rr<&f_div>, &h_rr<&f_div, true>, false, false);
-    set(Op::kDivu, &h_rr<&f_divu>, &h_rr<&f_divu, true>, false, false);
-    set(Op::kRem, &h_rr<&f_rem>, &h_rr<&f_rem, true>, false, false);
-    set(Op::kRemu, &h_rr<&f_remu>, &h_rr<&f_remu, true>, false, false);
-    set1(Op::kCsrrw, &h_csr, false, true);
-    set1(Op::kCsrrs, &h_csr, false, true);
-    set1(Op::kCsrrc, &h_csr, false, true);
-    set1(Op::kCsrrwi, &h_csr, false, true);
-    set1(Op::kCsrrsi, &h_csr, false, true);
-    set1(Op::kCsrrci, &h_csr, false, true);
-    set1(Op::kMret, &h_mret, false, true);
-    set1(Op::kWfi, &h_wfi, false, true);
+    auto set1 = [&](Op op, Fn fn, bool mem) { set(op, fn, fn, mem); };
+    set1(Op::kLui, &h_lui, false);
+    set1(Op::kAuipc, &h_auipc, false);
+    set1(Op::kJal, &h_jal, false);
+    set1(Op::kJalr, &h_jalr, false);
+    set(Op::kBeq, &h_br<&p_eq>, &h_br<&p_eq, true>, false, true);
+    set(Op::kBne, &h_br<&p_ne>, &h_br<&p_ne, true>, false, true);
+    set(Op::kBlt, &h_br<&p_lt>, &h_br<&p_lt, true>, false, true);
+    set(Op::kBge, &h_br<&p_ge>, &h_br<&p_ge, true>, false, true);
+    set(Op::kBltu, &h_br<&p_ltu>, &h_br<&p_ltu, true>, false, true);
+    set(Op::kBgeu, &h_br<&p_geu>, &h_br<&p_geu, true>, false, true);
+    set(Op::kLb, &h_load<1, true>, &h_load<1, true, true>, true);
+    set(Op::kLh, &h_load<2, true>, &h_load<2, true, true>, true);
+    set(Op::kLw, &h_load<4, false>, &h_load<4, false, true>, true);
+    set(Op::kLbu, &h_load<1, false>, &h_load<1, false, true>, true);
+    set(Op::kLhu, &h_load<2, false>, &h_load<2, false, true>, true);
+    set(Op::kSb, &h_store<1>, &h_store<1, true>, true);
+    set(Op::kSh, &h_store<2>, &h_store<2, true>, true);
+    set(Op::kSw, &h_store<4>, &h_store<4, true>, true);
+    set(Op::kAddi, &h_ri<&f_add>, &h_ri<&f_add, true>, false);
+    set(Op::kSlti, &h_ri<&f_slt>, &h_ri<&f_slt, true>, false);
+    set(Op::kSltiu, &h_ri<&f_sltu>, &h_ri<&f_sltu, true>, false);
+    set(Op::kXori, &h_ri<&f_xor>, &h_ri<&f_xor, true>, false);
+    set(Op::kOri, &h_ri<&f_or>, &h_ri<&f_or, true>, false);
+    set(Op::kAndi, &h_ri<&f_and>, &h_ri<&f_and, true>, false);
+    set(Op::kSlli, &h_ri<&f_sll>, &h_ri<&f_sll, true>, false);
+    set(Op::kSrli, &h_ri<&f_srl>, &h_ri<&f_srl, true>, false);
+    set(Op::kSrai, &h_ri<&f_sra>, &h_ri<&f_sra, true>, false);
+    set(Op::kAdd, &h_rr<&f_add>, &h_rr<&f_add, true>, false);
+    set(Op::kSub, &h_rr<&f_sub>, &h_rr<&f_sub, true>, false);
+    set(Op::kSll, &h_rr<&f_sll>, &h_rr<&f_sll, true>, false);
+    set(Op::kSlt, &h_rr<&f_slt>, &h_rr<&f_slt, true>, false);
+    set(Op::kSltu, &h_rr<&f_sltu>, &h_rr<&f_sltu, true>, false);
+    set(Op::kXor, &h_rr<&f_xor>, &h_rr<&f_xor, true>, false);
+    set(Op::kSrl, &h_rr<&f_srl>, &h_rr<&f_srl, true>, false);
+    set(Op::kSra, &h_rr<&f_sra>, &h_rr<&f_sra, true>, false);
+    set(Op::kOr, &h_rr<&f_or>, &h_rr<&f_or, true>, false);
+    set(Op::kAnd, &h_rr<&f_and>, &h_rr<&f_and, true>, false);
+    set1(Op::kFence, &h_fence, false);
+    set1(Op::kEcall, &h_ecall, false);
+    set1(Op::kEbreak, &h_ebreak, false);
+    set(Op::kMul, &h_rr<&f_mul>, &h_rr<&f_mul, true>, false);
+    set(Op::kMulh, &h_rr<&f_mulh>, &h_rr<&f_mulh, true>, false);
+    set(Op::kMulhsu, &h_rr<&f_mulhsu>, &h_rr<&f_mulhsu, true>, false);
+    set(Op::kMulhu, &h_rr<&f_mulhu>, &h_rr<&f_mulhu, true>, false);
+    set(Op::kDiv, &h_rr<&f_div>, &h_rr<&f_div, true>, false);
+    set(Op::kDivu, &h_rr<&f_divu>, &h_rr<&f_divu, true>, false);
+    set(Op::kRem, &h_rr<&f_rem>, &h_rr<&f_rem, true>, false);
+    set(Op::kRemu, &h_rr<&f_remu>, &h_rr<&f_remu, true>, false);
+    set1(Op::kCsrrw, &h_csr, false);
+    set1(Op::kCsrrs, &h_csr, false);
+    set1(Op::kCsrrc, &h_csr, false);
+    set1(Op::kCsrrwi, &h_csr, false);
+    set1(Op::kCsrrsi, &h_csr, false);
+    set1(Op::kCsrrci, &h_csr, false);
+    set1(Op::kMret, &h_mret, false);
+    set1(Op::kWfi, &h_wfi, false);
     return t;
   }
   static constexpr std::array<OpInfo, kNumOps> kTable = make_table();
@@ -392,10 +393,40 @@ void Core<W>::wipe_fetch_memos() {
 }
 
 template <typename W>
+void Core<W>::set_pinned_blocks(std::vector<std::uint64_t> offs) {
+  std::sort(offs.begin(), offs.end());
+  pinned_offs_ = std::move(offs);
+  pins_suspended_ = false;
+  // Refresh existing translations and drop superblock state: a fused trace
+  // carries one all_pinned bit over its constituents, so traces built
+  // against a stale pin set must not survive the install.
+  for (auto& up : blocks_) {
+    if (!up) continue;
+    up->pinned = is_pinned_off(up->start_off);
+    up->trace.reset();
+    up->heat = 0;
+  }
+}
+
+template <typename W>
+void Core<W>::clear_pins() {
+  pinned_offs_.clear();
+  pins_suspended_ = false;
+  for (auto& up : blocks_) {
+    if (!up) continue;
+    up->pinned = false;
+  }
+}
+
+template <typename W>
 void Core<W>::set_policy(const dift::SecurityPolicy* policy) {
   policy_ = policy;
   exec_ = policy ? policy->execution_clearance() : dift::ExecutionClearance{};
   has_store_prot_ = policy && !policy->store_protection().empty();
+  // Pins are facts about (firmware, policy); any policy change voids them.
+  // The campaign runner re-installs the (cached) analysis result after
+  // apply_policy() when analysis is requested.
+  clear_pins();
   // Translations themselves are policy-independent (handler pointers are
   // fixed per instantiation); only the per-block fetch memos and the
   // plain-state clearance memo bind to a policy's flow table. Wiping those
@@ -705,6 +736,7 @@ void Core<W>::build_into(Block& b, std::uint64_t off) {
   }
   b.byte_len = static_cast<std::uint32_t>(cur - off);
   b.raw.assign(dmi_data_ + off, dmi_data_ + cur);
+  b.pinned = !pinned_offs_.empty() && is_pinned_off(off);
 }
 
 template <typename W>
@@ -1057,12 +1089,15 @@ void Core<W>::build_trace(Block& head) {
   }
   if (t->parts.size() >= 2) {
     std::uint64_t lo = ~std::uint64_t{0}, hi = 0;
+    bool all_pinned = true;
     for (const auto& p : t->parts) {
       lo = std::min(lo, p.off);
       hi = std::max(hi, p.off + p.len);
+      all_pinned = all_pinned && is_pinned_off(p.off);
     }
     t->lo = lo;
     t->hi = hi;
+    t->all_pinned = all_pinned && !pinned_offs_.empty();
     head.trace = std::move(t);
   } else if (!transient && !fusable) {
     head.no_trace = true;  // shape can never fuse until the block rebuilds
@@ -1180,6 +1215,10 @@ RunExit Core<W>::run(std::uint64_t max_instructions) {
       auto fn = std::move(fault_fn_);
       fault_fn_ = nullptr;
       prev = nullptr;  // the mutation may have redirected control flow
+      // The callback mutates architectural state (possibly the tag plane)
+      // outside the statically analyzed behaviour: ahead-of-time pins are
+      // void from here to the end of the run.
+      pins_suspended_ = true;
       if (fn) fn(*this);
     }
     // One interrupt-pending test per block entry. Mid-block, mip can only
@@ -1233,7 +1272,29 @@ RunExit Core<W>::run(std::uint64_t max_instructions) {
         // clearance admits ⊥, dispatch the zero-tag-work plain variant and
         // form/execute superblocks. The plain core takes the trace path
         // whenever no trace buffer is attached.
-        const bool plain = plain_state();
+        //
+        // Ahead-of-time pin fast path: a pinned block's window was proven
+        // (statically, against the installed policy) to only ever load from
+        // never-tainted memory, so the plain_state() re-proof — the shadow
+        // all-⊥ scan and the register rescan — is skipped. The residual
+        // runtime obligations are exactly the sticky reg-tag OR still
+        // reading ⊥ (covers every register-sourced tag the fast variants
+        // drop, including values an interrupt handler left behind) and the
+        // memoised every-clearance-admits-⊥ check.
+        bool via_pin = false;
+        bool plain;
+        if constexpr (kTainted) {
+          if (b->pinned && !pins_suspended_ && trace_ == nullptr &&
+              reg_tag_or_ == dift::kBottomTag && plain_clearances_ok()) {
+            plain = true;
+            via_pin = true;
+            ++stats_.sa_pinned_hits;
+          } else {
+            plain = plain_state();
+          }
+        } else {
+          plain = plain_state();
+        }
         if (plain) {
           Trace* t = b->trace.get();
           if (t && !trace_valid(*t)) {
@@ -1249,6 +1310,11 @@ RunExit Core<W>::run(std::uint64_t max_instructions) {
             b->heat = 0;
             t = b->trace.get();
           }
+          // A pin only covers the head block's window; unless every fused
+          // constituent is pinned too, a via-pin dispatch must not run the
+          // trace (its tail could load from memory the analysis did not
+          // clear for those windows).
+          if (t && via_pin && !t->all_pinned) t = nullptr;
           if (t) {
             ++stats_.superblock_hits;
             const std::uint64_t done = exec_trace(*t, budget);

@@ -53,6 +53,36 @@ inline Insn decode_any(std::uint32_t raw) {
   return (raw & 3) == 3 ? decode(raw) : decode16(static_cast<std::uint16_t>(raw));
 }
 
+/// True for ops that end a translated block: unconditional control transfers
+/// (jal/jalr/mret), traps (ecall/ebreak/illegal), CSR accesses, fence and
+/// wfi. Conditional branches are NOT terminators (a not-taken branch falls
+/// through inside the block). This is the single source of truth shared by
+/// the core's block builder and the static analyzer's window replication —
+/// if they disagreed, an ahead-of-time pin could cover a different window
+/// than the one the core actually executes. (constexpr so the core's
+/// handler table can bake it in at compile time.)
+constexpr bool is_block_terminator(Op op) {
+  switch (op) {
+    case Op::kJal:
+    case Op::kJalr:
+    case Op::kFence:
+    case Op::kEcall:
+    case Op::kEbreak:
+    case Op::kCsrrw:
+    case Op::kCsrrs:
+    case Op::kCsrrc:
+    case Op::kCsrrwi:
+    case Op::kCsrrsi:
+    case Op::kCsrrci:
+    case Op::kMret:
+    case Op::kWfi:
+    case Op::kIllegal:
+      return true;
+    default:
+      return false;
+  }
+}
+
 /// Mnemonic of `op` ("addi", "beq", ...).
 const char* mnemonic(Op op);
 

@@ -1,5 +1,6 @@
 #include "rvasm/elf.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <vector>
@@ -57,6 +58,14 @@ Program load_elf32(const std::uint8_t* data, std::size_t size) {
   const std::uint16_t phnum = r.u16(44, "e_phnum");
   if (phentsize < 32) throw ElfError("bad e_phentsize");
 
+  // A crafted header must not be able to allocate unbounded memory or
+  // produce an image the loader's flat-RAM model cannot represent: each
+  // segment's [vaddr, vaddr+memsz) must fit the 32-bit address space
+  // without wrapping, the total load size is capped, and PT_LOAD ranges
+  // must not overlap (two segments claiming the same address would load
+  // order-dependently — always a linker or header corruption).
+  constexpr std::uint64_t kMaxLoadBytes = 256u << 20;
+  std::uint64_t total = 0;
   for (std::uint16_t i = 0; i < phnum; ++i) {
     const std::size_t ph = phoff + std::size_t(i) * phentsize;
     r.require(ph, 32, "program header");
@@ -67,6 +76,17 @@ Program load_elf32(const std::uint8_t* data, std::size_t size) {
     const std::uint32_t memsz = r.u32(ph + 20, "p_memsz");
     if (memsz == 0) continue;
     if (filesz > memsz) throw ElfError("p_filesz exceeds p_memsz");
+    if (std::uint64_t(vaddr) + memsz > 0x100000000ull)
+      throw ElfError("PT_LOAD segment wraps the 32-bit address space");
+    total += memsz;
+    if (total > kMaxLoadBytes)
+      throw ElfError("PT_LOAD segments exceed the load-size cap");
+    for (const Segment& prev : p.segments) {
+      const std::uint64_t lo = std::max<std::uint64_t>(prev.base, vaddr);
+      const std::uint64_t hi = std::min<std::uint64_t>(
+          prev.base + prev.bytes.size(), std::uint64_t(vaddr) + memsz);
+      if (lo < hi) throw ElfError("overlapping PT_LOAD segments");
+    }
     r.require(offset, filesz, "segment bytes");
     Segment seg;
     seg.base = vaddr;

@@ -13,6 +13,8 @@ CacheStats& CacheStats::operator+=(const CacheStats& o) {
   policy_misses += o.policy_misses;
   golden_cache_hits += o.golden_cache_hits;
   golden_cache_misses += o.golden_cache_misses;
+  analysis_hits += o.analysis_hits;
+  analysis_misses += o.analysis_misses;
   snapshot_hits += o.snapshot_hits;
   snapshot_misses += o.snapshot_misses;
   vp_builds += o.vp_builds;
@@ -30,6 +32,8 @@ CacheStats CacheStats::operator-(const CacheStats& o) const {
   d.policy_misses = policy_misses - o.policy_misses;
   d.golden_cache_hits = golden_cache_hits - o.golden_cache_hits;
   d.golden_cache_misses = golden_cache_misses - o.golden_cache_misses;
+  d.analysis_hits = analysis_hits - o.analysis_hits;
+  d.analysis_misses = analysis_misses - o.analysis_misses;
   d.snapshot_hits = snapshot_hits - o.snapshot_hits;
   d.snapshot_misses = snapshot_misses - o.snapshot_misses;
   d.vp_builds = vp_builds - o.vp_builds;
@@ -48,6 +52,8 @@ std::string CacheStats::to_json() const {
          f("policy_hits", policy_hits) + f("policy_misses", policy_misses) +
          f("golden_cache_hits", golden_cache_hits) +
          f("golden_cache_misses", golden_cache_misses) +
+         f("analysis_hits", analysis_hits) +
+         f("analysis_misses", analysis_misses) +
          f("snapshot_hits", snapshot_hits) +
          f("snapshot_misses", snapshot_misses) + f("vp_builds", vp_builds) +
          f("vp_reuses", vp_reuses) +
@@ -63,6 +69,8 @@ CacheStats cache_stats_from_json(const campaign::JsonValue& obj) {
   s.policy_misses = obj.u64_or("policy_misses", 0);
   s.golden_cache_hits = obj.u64_or("golden_cache_hits", 0);
   s.golden_cache_misses = obj.u64_or("golden_cache_misses", 0);
+  s.analysis_hits = obj.u64_or("analysis_hits", 0);
+  s.analysis_misses = obj.u64_or("analysis_misses", 0);
   s.snapshot_hits = obj.u64_or("snapshot_hits", 0);
   s.snapshot_misses = obj.u64_or("snapshot_misses", 0);
   s.vp_builds = obj.u64_or("vp_builds", 0);
@@ -81,7 +89,8 @@ bool is_builtin_firmware(const std::string& name) {
   return name == "primes" || name == "qsort" || name == "dhrystone" ||
          name == "sha256" || name == "sha512" || name == "simple-sensor" ||
          name == "rtos-tasks" || name == "immobilizer" ||
-         name == "code-reuse" || name.rfind("attack:", 0) == 0;
+         name == "immobilizer-vulnerable" || name == "code-reuse" ||
+         name.rfind("attack:", 0) == 0;
 }
 
 /// Builtin policy scenarios, mirroring campaign::resolve_policy.
@@ -140,6 +149,27 @@ std::shared_ptr<const campaign::ResolvedPolicy> WarmCache::policy(
   return resolved;
 }
 
+std::shared_ptr<const sa::AnalysisResult> WarmCache::analysis(
+    const std::string& policy_name, const rvasm::Program& program,
+    const dift::SecurityPolicy* policy, std::uint64_t ram_size) {
+  const std::uint64_t key = fnv1a64_u64(
+      ram_size, fnv1a64_u64(program_key(program),
+                            fnv1a64_u64(policy_content_key(policy_name),
+                                        fnv1a64("analysis:"))));
+  auto it = analyses_.find(key);
+  if (it != analyses_.end()) {
+    ++counters_.analysis_hits;
+    return it->second;
+  }
+  ++counters_.analysis_misses;
+  sa::AnalyzeOptions opts;
+  opts.ram_size = ram_size;
+  auto result = std::make_shared<const sa::AnalysisResult>(
+      sa::analyze(program, policy, opts));
+  analyses_.emplace(key, result);
+  return result;
+}
+
 std::uint64_t WarmCache::job_key(const campaign::JobSpec& job) {
   std::uint64_t h = fnv1a64("job:");
   h = fnv1a64(job.name, h);
@@ -150,6 +180,7 @@ std::uint64_t WarmCache::job_key(const campaign::JobSpec& job) {
   h = fnv1a64_u64(job.max_ms, h);
   h = fnv1a64_u64(static_cast<std::uint64_t>(job.retries), h);
   h = fnv1a64_u64(job.engine_ecu ? 1 : 0, h);
+  h = fnv1a64_u64(job.analyze ? 1 : 0, h);
   h = fnv1a64(job.expect, h);
   return h;
 }
@@ -182,6 +213,13 @@ campaign::RunnerEnv WarmCache::env() {
   e.resolve_policy = [this](const std::string& name,
                             const rvasm::Program& program) {
     return policy(name, program);
+  };
+  e.resolve_analysis = [this](const std::string& /*firmware*/,
+                              const std::string& policy_name,
+                              const rvasm::Program& program,
+                              const dift::SecurityPolicy* policy,
+                              std::uint64_t ram_size) {
+    return analysis(policy_name, program, policy, ram_size);
   };
   e.pool = &pool_;
   return e;

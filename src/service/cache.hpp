@@ -14,6 +14,10 @@
 //   * result     — finished JobResults for deterministic jobs (no wall
 //                  budget, not a crash), keyed by the full job identity.
 //                  This is what makes a repeated fi golden run free.
+//   * analysis   — sa::AnalysisResult keyed by (program content, policy
+//                  content, RAM size): a warm resubmission of an analyze
+//                  job reuses the lint report and pin set without re-running
+//                  the abstract interpreter.
 //   * fault site — one fi::FiSiteCache per (firmware content, seed): the
 //                  snapshots taken along a suite's golden cursor plus the
 //                  cursor outcome. The fault schedule is a deterministic
@@ -43,6 +47,7 @@ struct CacheStats {
   std::uint64_t elf_hits = 0, elf_misses = 0;
   std::uint64_t policy_hits = 0, policy_misses = 0;
   std::uint64_t golden_cache_hits = 0, golden_cache_misses = 0;
+  std::uint64_t analysis_hits = 0, analysis_misses = 0;
   std::uint64_t snapshot_hits = 0, snapshot_misses = 0;
   std::uint64_t vp_builds = 0, vp_reuses = 0;
   /// VP re-arms that also kept the core's translated-block cache warm
@@ -82,6 +87,13 @@ class WarmCache {
   /// (policy content, program content).
   std::shared_ptr<const campaign::ResolvedPolicy> policy(
       const std::string& name, const rvasm::Program& program);
+
+  /// The static-analysis result for `program` under the policy named
+  /// `policy_name`, cached by (program content, policy content, RAM size).
+  /// `policy` is the already-resolved policy the analysis runs against.
+  std::shared_ptr<const sa::AnalysisResult> analysis(
+      const std::string& policy_name, const rvasm::Program& program,
+      const dift::SecurityPolicy* policy, std::uint64_t ram_size);
 
   /// Identity of a declarative job: name, firmware content, policy content,
   /// mode, uart input and budgets. Hook-carrying jobs have no stable
@@ -123,6 +135,7 @@ class WarmCache {
   std::map<std::uint64_t, std::shared_ptr<const campaign::ResolvedPolicy>>
       policies_;
   std::map<std::uint64_t, campaign::JobResult> results_;
+  std::map<std::uint64_t, std::shared_ptr<const sa::AnalysisResult>> analyses_;
   std::map<std::uint64_t, fi::FiSiteCache> sites_;
   campaign::VpPool pool_;
   CacheStats counters_;

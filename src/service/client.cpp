@@ -120,10 +120,11 @@ Outcome Client::submit_ref(
 
 Outcome Client::submit_spec(
     const std::string& spec_text,
-    const std::function<void(const JobEvent&)>& on_job) {
+    const std::function<void(const JobEvent&)>& on_job, bool analyze) {
   const std::uint64_t id = next_id_++;
   const std::string req = "{\"op\":\"submit\",\"id\":" + std::to_string(id) +
-                          ",\"spec\":" + campaign::json_quote(spec_text) + "}";
+                          ",\"spec\":" + campaign::json_quote(spec_text) +
+                          (analyze ? ",\"analyze\":true" : "") + "}";
   Outcome out;
   if (!write_line(fd_, req)) {
     out.error = "cannot write to server";

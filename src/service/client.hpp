@@ -49,8 +49,11 @@ class Client {
                      const std::function<void(const JobEvent&)>& on_job = {});
 
   /// Submits declarative campaign-spec text (CampaignSpec::parse format).
+  /// `analyze` forces the static pre-pass on every job in the spec, as if
+  /// each carried `analyze on` (vpdift-campaign --connect --analyze).
   Outcome submit_spec(const std::string& spec_text,
-                      const std::function<void(const JobEvent&)>& on_job = {});
+                      const std::function<void(const JobEvent&)>& on_job = {},
+                      bool analyze = false);
 
   /// Cumulative server-wide cache counters.
   CacheStats server_stats();

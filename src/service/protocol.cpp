@@ -43,7 +43,106 @@ std::string num(double v) {
 
 std::string num(std::uint64_t v) { return std::to_string(v); }
 
+std::string pc_list(const std::vector<std::uint64_t>& pcs) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < pcs.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(pcs[i]);
+  }
+  return out + "]";
+}
+
+std::vector<std::uint64_t> pc_list_from(const campaign::JsonValue* v) {
+  std::vector<std::uint64_t> out;
+  if (!v || v->kind != campaign::JsonValue::Kind::kArray) return out;
+  out.reserve(v->array.size());
+  for (const campaign::JsonValue& e : v->array)
+    if (e.kind == campaign::JsonValue::Kind::kNumber)
+      out.push_back(static_cast<std::uint64_t>(e.number));
+  return out;
+}
+
 }  // namespace
+
+std::string analysis_to_json(const sa::AnalysisResult& r) {
+  using campaign::json_quote;
+  std::ostringstream o;
+  o << "{\"entry\":" << num(r.entry)
+    << ",\"reachable_instructions\":" << r.reachable_instructions
+    << ",\"linear_sweep_instructions\":" << r.linear_sweep_instructions
+    << ",\"unreachable_bytes\":" << r.unreachable_bytes << ",\"blocks\":[";
+  for (std::size_t i = 0; i < r.blocks.size(); ++i) {
+    const sa::BlockSummary& b = r.blocks[i];
+    o << (i ? "," : "") << "{\"start\":" << num(b.start)
+      << ",\"end\":" << num(b.end)
+      << ",\"taint\":" << (b.touches_taint ? "true" : "false")
+      << ",\"pinned\":" << (b.pinned ? "true" : "false") << "}";
+  }
+  o << "],\"trap_entries\":" << pc_list(r.trap_entries)
+    << ",\"call_entries\":" << pc_list(r.call_entries)
+    << ",\"unresolved_indirects\":" << pc_list(r.unresolved_indirects)
+    << ",\"smc_stores\":" << pc_list(r.smc_stores)
+    << ",\"complete\":" << (r.complete ? "true" : "false")
+    << ",\"taint_free\":" << (r.taint_free ? "true" : "false")
+    << ",\"findings\":[";
+  for (std::size_t i = 0; i < r.findings.size(); ++i) {
+    const sa::Finding& f = r.findings[i];
+    o << (i ? "," : "") << "{\"kind\":" << json_quote(f.kind)
+      << ",\"where\":" << json_quote(f.where) << ",\"pc\":" << num(f.pc)
+      << ",\"reachable\":" << (f.reachable ? "true" : "false")
+      << ",\"detail\":" << json_quote(f.detail) << "}";
+  }
+  o << "],\"reachable_violations\":" << r.reachable_violations
+    << ",\"pin_mode\":" << json_quote(r.pin_mode)
+    << ",\"pinned_pcs\":" << pc_list(r.pinned_pcs) << "}";
+  return o.str();
+}
+
+sa::AnalysisResult analysis_from_json(const campaign::JsonValue& obj) {
+  using campaign::JsonValue;
+  sa::AnalysisResult r;
+  r.entry = obj.u64_or("entry", 0);
+  r.reachable_instructions =
+      static_cast<std::size_t>(obj.u64_or("reachable_instructions", 0));
+  r.linear_sweep_instructions =
+      static_cast<std::size_t>(obj.u64_or("linear_sweep_instructions", 0));
+  r.unreachable_bytes =
+      static_cast<std::size_t>(obj.u64_or("unreachable_bytes", 0));
+  if (const JsonValue* bs = obj.find("blocks");
+      bs && bs->kind == JsonValue::Kind::kArray) {
+    for (const JsonValue& e : bs->array) {
+      sa::BlockSummary b;
+      b.start = e.u64_or("start", 0);
+      b.end = e.u64_or("end", 0);
+      b.touches_taint = e.bool_or("taint", false);
+      b.pinned = e.bool_or("pinned", false);
+      r.blocks.push_back(b);
+    }
+  }
+  r.trap_entries = pc_list_from(obj.find("trap_entries"));
+  r.call_entries = pc_list_from(obj.find("call_entries"));
+  r.unresolved_indirects = pc_list_from(obj.find("unresolved_indirects"));
+  r.smc_stores = pc_list_from(obj.find("smc_stores"));
+  r.complete = obj.bool_or("complete", false);
+  r.taint_free = obj.bool_or("taint_free", false);
+  if (const JsonValue* fs = obj.find("findings");
+      fs && fs->kind == JsonValue::Kind::kArray) {
+    for (const JsonValue& e : fs->array) {
+      sa::Finding f;
+      f.kind = e.str_or("kind", "");
+      f.where = e.str_or("where", "");
+      f.pc = e.u64_or("pc", 0);
+      f.reachable = e.bool_or("reachable", false);
+      f.detail = e.str_or("detail", "");
+      r.findings.push_back(std::move(f));
+    }
+  }
+  r.reachable_violations =
+      static_cast<std::size_t>(obj.u64_or("reachable_violations", 0));
+  r.pin_mode = obj.str_or("pin_mode", "none");
+  r.pinned_pcs = pc_list_from(obj.find("pinned_pcs"));
+  return r;
+}
 
 std::string job_result_to_json(const campaign::JobResult& r) {
   using campaign::json_quote;
@@ -82,7 +181,9 @@ std::string job_result_to_json(const campaign::JobResult& r) {
     << ",\"sim_ps\":" << num(run.sim_time.picos())
     << ",\"uart_output\":" << json_quote(run.uart_output)
     << ",\"markers\":" << json_quote(run.markers)
-    << ",\"stats\":" << dift::to_json(run.stats) << "}}";
+    << ",\"stats\":" << dift::to_json(run.stats) << "}";
+  if (r.analysis) o << ",\"analysis\":" << analysis_to_json(*r.analysis);
+  o << "}";
   return o.str();
 }
 
@@ -95,6 +196,10 @@ campaign::JobResult job_result_from_json(const campaign::JsonValue& obj) {
   r.attempts = static_cast<int>(obj.u64_or("attempts", 0));
   r.error = obj.str_or("error", "");
   r.wall_seconds = obj.num_or("wall_seconds", 0.0);
+  if (const JsonValue* av = obj.find("analysis");
+      av && av->kind == JsonValue::Kind::kObject)
+    r.analysis =
+        std::make_shared<const sa::AnalysisResult>(analysis_from_json(*av));
   if (const JsonValue* h = obj.find("history");
       h && h->kind == JsonValue::Kind::kArray) {
     for (const JsonValue& e : h->array)
@@ -158,6 +263,8 @@ campaign::JobResult job_result_from_json(const campaign::JsonValue& obj) {
     s.variant_promotions = st->u64_or("variant_promotions", 0);
     s.superblock_hits = st->u64_or("superblock_hits", 0);
     s.superblock_transfers = st->u64_or("superblock_transfers", 0);
+    s.sa_pinned_blocks = st->u64_or("sa_pinned_blocks", 0);
+    s.sa_pinned_hits = st->u64_or("sa_pinned_hits", 0);
   }
   return r;
 }

@@ -152,7 +152,8 @@ class Server {
   // -- submissions --
   void submit_ref(int fd, std::uint64_t id, const std::string& ref,
                   std::uint64_t seed, std::size_t want_workers);
-  void submit_spec(int fd, std::uint64_t id, const std::string& text);
+  void submit_spec(int fd, std::uint64_t id, const std::string& text,
+                   bool analyze);
   void golden_arrived(Submission& sub, const campaign::JobResult& golden);
   void op_failed(std::uint64_t op_id, const std::string& error);
   void maybe_finish(Submission& sub);
@@ -510,7 +511,7 @@ void Server::handle_client_line(int fd, const std::string& line) {
   }
   if (const JsonValue* spec = msg.find("spec");
       spec && spec->kind == JsonValue::Kind::kString) {
-    submit_spec(fd, id, spec->string);
+    submit_spec(fd, id, spec->string, msg.bool_or("analyze", false));
     return;
   }
   send_client(fd, "{\"event\":\"error\",\"id\":" + std::to_string(id) +
@@ -606,7 +607,8 @@ void Server::submit_ref(int fd, std::uint64_t id, const std::string& ref,
        static_cast<unsigned long long>(seed), owner);
 }
 
-void Server::submit_spec(int fd, std::uint64_t id, const std::string& text) {
+void Server::submit_spec(int fd, std::uint64_t id, const std::string& text,
+                         bool analyze) {
   campaign::CampaignSpec cspec;
   try {
     cspec = campaign::CampaignSpec::parse(text);
@@ -615,6 +617,8 @@ void Server::submit_spec(int fd, std::uint64_t id, const std::string& text) {
                         ",\"error\":" + campaign::json_quote(e.what()) + "}");
     return;
   }
+  if (analyze)
+    for (campaign::JobSpec& j : cspec.jobs) j.analyze = true;
   const std::uint64_t key = next_sub_++;
   Submission& sub = subs_[key];
   sub.key = key;

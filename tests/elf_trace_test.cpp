@@ -136,6 +136,77 @@ TEST(ElfLoader, FileNotFound) {
   EXPECT_THROW(rvasm::load_elf32_file("/nonexistent/file.elf"), rvasm::ElfError);
 }
 
+// Corrupted-image hardening: headers that are individually well-formed but
+// describe an impossible or hostile load layout must be rejected rather
+// than silently producing a broken (or enormous) Program.
+TEST(ElfLoader, RejectsOverlappingSegments) {
+  ElfBuilder b;
+  b.set_entry(0x80000000);
+  b.add_load(0x80000000, {1, 2, 3, 4, 5, 6, 7, 8});
+  b.add_load(0x80000004, {9, 9});  // overlaps the tail of the first
+  EXPECT_THROW(rvasm::load_elf32(b.image().data(), b.image().size()),
+               rvasm::ElfError);
+
+  // Overlap via a .bss tail (memsz > filesz) is an overlap all the same.
+  ElfBuilder t;
+  t.add_load(0x80000000, {1}, /*memsz=*/0x100);
+  t.add_load(0x80000080, {2});
+  EXPECT_THROW(rvasm::load_elf32(t.image().data(), t.image().size()),
+               rvasm::ElfError);
+
+  // Adjacent segments are fine: [0x1000,0x1004) then [0x1004,...).
+  ElfBuilder ok;
+  ok.add_load(0x80001000, {1, 2, 3, 4});
+  ok.add_load(0x80001004, {5});
+  EXPECT_NO_THROW(rvasm::load_elf32(ok.image().data(), ok.image().size()));
+}
+
+TEST(ElfLoader, RejectsAddressSpaceWraparound) {
+  ElfBuilder b;
+  // vaddr + memsz overflows u32: [0xfffffffc, 0x10000000c).
+  b.add_load(0xfffffffc, {1, 2}, /*memsz=*/16);
+  EXPECT_THROW(rvasm::load_elf32(b.image().data(), b.image().size()),
+               rvasm::ElfError);
+}
+
+TEST(ElfLoader, RejectsOversizedLoad) {
+  ElfBuilder b;
+  // One byte of file content claiming a 512 MiB .bss: over the cap, and
+  // must be rejected *before* any allocation happens.
+  b.add_load(0x80000000, {1}, /*memsz=*/512u << 20);
+  EXPECT_THROW(rvasm::load_elf32(b.image().data(), b.image().size()),
+               rvasm::ElfError);
+}
+
+TEST(ElfLoader, RejectsTruncatedProgramHeaders) {
+  ElfBuilder b;
+  b.add_load(0x80000000, {1, 2, 3, 4});
+  auto img = b.image();
+  // e_phoff points past the end of the file.
+  ElfBuilder far;
+  far.add_load(0x80000000, {1});
+  far.put32(28, static_cast<std::uint32_t>(far.image().size()) + 1000);
+  EXPECT_THROW(rvasm::load_elf32(far.image().data(), far.image().size()),
+               rvasm::ElfError);
+  // Segment bytes run off the end of the file.
+  ElfBuilder off;
+  off.add_load(0x80000000, {1, 2, 3, 4});
+  off.put32(52 + 4, static_cast<std::uint32_t>(off.image().size()) - 2);
+  EXPECT_THROW(rvasm::load_elf32(off.image().data(), off.image().size()),
+               rvasm::ElfError);
+  // Truncation at every prefix length never crashes, only throws.
+  for (std::size_t n = 0; n < img.size(); ++n)
+    EXPECT_THROW(rvasm::load_elf32(img.data(), n), rvasm::ElfError) << n;
+}
+
+TEST(ElfLoader, RejectsFileszExceedingMemsz) {
+  ElfBuilder b;
+  b.add_load(0x80000000, {1, 2, 3, 4});
+  b.put32(52 + 20, 2);  // p_memsz < p_filesz
+  EXPECT_THROW(rvasm::load_elf32(b.image().data(), b.image().size()),
+               rvasm::ElfError);
+}
+
 // ---- tracer ----
 
 TEST(Tracer, RecordsInstructionsWithResultsAndTags) {

@@ -1,0 +1,420 @@
+// Tests for the static firmware analysis subsystem (src/sa): instruction
+// classification vs the decoder, CFG recovery edge cases, the immobilizer
+// lint acceptance pair, pin-vs-unpinned execution parity on the Table II
+// workloads, the report round trips and the service-side analysis cache.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+#include "fw/benchmarks.hpp"
+#include "fw/hal.hpp"
+#include "fw/immobilizer.hpp"
+#include "rv/decode.hpp"
+#include "rvasm/assembler.hpp"
+#include "sa/analyze.hpp"
+#include "service/cache.hpp"
+#include "service/protocol.hpp"
+#include "soc/addrmap.hpp"
+#include "vp/scenarios.hpp"
+#include "vp/vp.hpp"
+
+namespace {
+
+using namespace vpdift;
+using namespace vpdift::rvasm::reg;
+
+const soc::AesKey kPin = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                          0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+
+// ---- instruction classification ----
+
+// The one consistency contract classify() must honour instruction-for-
+// instruction: terminator status agrees with rv::is_block_terminator, and
+// the load/store/branch buckets agree with the opcode's semantics. A
+// disagreement would let the pin-safety window scan skip (or double-count)
+// an instruction the core actually executes.
+void check_classify(const rv::Insn& insn) {
+  const sa::InsnClass c = sa::classify(insn);
+  EXPECT_EQ(c == sa::InsnClass::kTerminator, rv::is_block_terminator(insn.op))
+      << "raw=" << std::hex << insn.raw;
+  const bool is_branch =
+      insn.op == rv::Op::kBeq || insn.op == rv::Op::kBne ||
+      insn.op == rv::Op::kBlt || insn.op == rv::Op::kBge ||
+      insn.op == rv::Op::kBltu || insn.op == rv::Op::kBgeu;
+  EXPECT_EQ(c == sa::InsnClass::kBranch, is_branch)
+      << "raw=" << std::hex << insn.raw;
+  const bool is_load = insn.op == rv::Op::kLb || insn.op == rv::Op::kLh ||
+                       insn.op == rv::Op::kLw || insn.op == rv::Op::kLbu ||
+                       insn.op == rv::Op::kLhu;
+  EXPECT_EQ(c == sa::InsnClass::kLoad, is_load)
+      << "raw=" << std::hex << insn.raw;
+  const bool is_store = insn.op == rv::Op::kSb || insn.op == rv::Op::kSh ||
+                        insn.op == rv::Op::kSw;
+  EXPECT_EQ(c == sa::InsnClass::kStore, is_store)
+      << "raw=" << std::hex << insn.raw;
+}
+
+TEST(SaClassify, ExhaustiveOver16BitSpace) {
+  for (std::uint32_t raw = 0; raw <= 0xffff; ++raw) {
+    if ((raw & 3) == 3) continue;  // 32-bit prefix, not a compressed parcel
+    check_classify(rv::decode16(static_cast<std::uint16_t>(raw)));
+  }
+}
+
+TEST(SaClassify, Structured32BitSweep) {
+  // Every major opcode x funct3 x interesting funct7, with fixed registers:
+  // covers each Op at least once without a 4-billion-word sweep.
+  for (std::uint32_t opc = 0; opc < 32; ++opc) {
+    for (std::uint32_t f3 = 0; f3 < 8; ++f3) {
+      for (std::uint32_t f7 : {0u, 0x01u, 0x20u, 0x7fu}) {
+        const std::uint32_t raw = (f7 << 25) | (7u << 20) | (6u << 15) |
+                                  (f3 << 12) | (5u << 7) | (opc << 2) | 3u;
+        check_classify(rv::decode(raw));
+      }
+    }
+  }
+  // And a deterministic pseudo-random sweep across the whole word space.
+  std::uint32_t x = 0x12345678;
+  for (int i = 0; i < 200000; ++i) {
+    x = x * 1664525u + 1013904223u;  // LCG
+    check_classify(rv::decode_any(x | 3u));
+  }
+}
+
+// ---- CFG recovery ----
+
+TEST(SaCfg, StraightLineCallGraphIsComplete) {
+  rvasm::Assembler a(soc::addrmap::kRamBase);
+  fw::emit_crt0(a);
+  a.label("main");
+  a.li(a0, 3);
+  a.jal(ra, "double_it");
+  a.ret();
+  a.label("double_it");
+  a.add(a0, a0, a0);
+  a.ret();
+  fw::emit_stdlib(a);
+  const auto prog = a.assemble();
+
+  const sa::AnalysisResult r = sa::analyze(prog, nullptr);
+  EXPECT_TRUE(r.complete);
+  EXPECT_TRUE(r.taint_free);  // no policy: nothing can carry taint
+  EXPECT_EQ(r.pin_mode, "taint-free");
+  EXPECT_TRUE(r.unresolved_indirects.empty());
+  EXPECT_GE(r.call_entries.size(), 2u);  // main + double_it at least
+  EXPECT_GT(r.reachable_instructions, 0u);
+  EXPECT_FALSE(r.pinned_pcs.empty());
+  // Every recovered block boundary is inside the image.
+  for (const sa::BlockSummary& b : r.blocks) {
+    EXPECT_GE(b.start, prog.segments.front().base);
+    EXPECT_GT(b.end, b.start);
+  }
+}
+
+TEST(SaCfg, UnresolvableIndirectMarksIncomplete) {
+  rvasm::Assembler a(soc::addrmap::kRamBase);
+  fw::emit_crt0(a);
+  a.label("main");
+  // A jalr through a value loaded from data: a singleton interval can't
+  // survive the load (the analyzer doesn't model exact RAM contents), so
+  // the target set is unresolvable.
+  a.la(t0, "table");
+  a.lw(t1, t0, 0);
+  a.jalr(x0, t1, 0);
+  a.label("stuck");
+  a.j("stuck");
+  fw::emit_stdlib(a);
+  a.label("table");
+  a.word(0);
+  const auto prog = a.assemble();
+
+  const sa::AnalysisResult r = sa::analyze(prog, nullptr);
+  EXPECT_FALSE(r.complete);
+  EXPECT_FALSE(r.unresolved_indirects.empty());
+  bool found = false;
+  for (const sa::Finding& f : r.findings)
+    found = found || f.kind == "unresolved-indirect";
+  EXPECT_TRUE(found);
+  // Taint-free pinning survives an incomplete CFG (no tag can ever exist,
+  // so an undiscovered block is still safe to pin).
+  EXPECT_EQ(r.pin_mode, "taint-free");
+}
+
+TEST(SaCfg, SelfModifyingStoreIsFlagged) {
+  rvasm::Assembler a(soc::addrmap::kRamBase);
+  fw::emit_crt0(a);
+  a.label("main");
+  a.la(t0, "patch_me");
+  a.sw(x0, t0, 0);  // overwrite a reachable instruction
+  a.label("patch_me");
+  a.li(a0, 1);
+  a.ret();
+  fw::emit_stdlib(a);
+  const auto prog = a.assemble();
+
+  const sa::AnalysisResult r = sa::analyze(prog, nullptr);
+  EXPECT_FALSE(r.smc_stores.empty());
+  bool found = false;
+  for (const sa::Finding& f : r.findings) found |= f.kind == "smc-store";
+  EXPECT_TRUE(found);
+}
+
+// ---- the immobilizer acceptance pair ----
+
+TEST(SaLint, VulnerableImmobilizerLeaksStatically) {
+  const auto prog =
+      fw::make_immobilizer(fw::ImmoVariant::kVulnerableDump, kPin, 3);
+  auto bundle = vp::scenarios::make_immobilizer_policy(prog, false);
+  const sa::AnalysisResult r = sa::analyze(prog, &bundle.policy);
+  EXPECT_TRUE(r.complete);
+  EXPECT_GE(r.reachable_violations, 1u);
+  bool uart_leak = false;
+  for (const sa::Finding& f : r.findings)
+    uart_leak |= f.kind == "reachable-violation" && f.where == "uart0.tx";
+  EXPECT_TRUE(uart_leak)
+      << "the debug-dump PIN leak must be visible without executing:\n"
+      << sa::to_text(r);
+}
+
+TEST(SaLint, FixedImmobilizerIsClean) {
+  const auto prog = fw::make_immobilizer(fw::ImmoVariant::kFixedDump, kPin, 3);
+  auto bundle = vp::scenarios::make_immobilizer_policy(prog, false);
+  const sa::AnalysisResult r = sa::analyze(prog, &bundle.policy);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.reachable_violations, 0u) << sa::to_text(r);
+  // The fixed firmware still pins: tier-B windowed mode.
+  EXPECT_EQ(r.pin_mode, "windowed");
+  EXPECT_FALSE(r.pinned_pcs.empty());
+}
+
+TEST(SaLint, CodeInjectionAttackPredictedStatically) {
+  // Attack 3's fetch of injected code is a fetch-clearance violation the
+  // analyzer reaches without any attacker input: the dynamic Table I
+  // verdict has a static shadow.
+  const auto prog = campaign::resolve_firmware("attack:3");
+  auto bundle = vp::scenarios::make_code_injection_policy(prog);
+  const sa::AnalysisResult r = sa::analyze(prog, &bundle.policy);
+  EXPECT_GE(r.reachable_violations + r.findings.size(), 1u);
+  bool fetch = false;
+  for (const sa::Finding& f : r.findings)
+    fetch |= f.where == "core.fetch";
+  EXPECT_TRUE(fetch) << sa::to_text(r);
+}
+
+// ---- pin-vs-unpinned execution parity ----
+
+struct ParityCase {
+  const char* name;
+  rvasm::Program (*make)();
+  bool engine_ecu;
+};
+
+rvasm::Program small_qsort() { return fw::make_qsort(400, 1234); }
+rvasm::Program small_dhrystone() { return fw::make_dhrystone(2000); }
+rvasm::Program small_primes() { return fw::make_primes(300); }
+rvasm::Program small_sha512() { return fw::make_sha512(256, 2); }
+rvasm::Program small_sha256() { return fw::make_sha256(256, 4); }
+rvasm::Program small_crc32() { return fw::make_crc32(256, 4); }
+rvasm::Program small_matmul() { return fw::make_matmul(12); }
+rvasm::Program small_sensor() { return fw::make_simple_sensor(5); }
+rvasm::Program small_rtos() { return fw::make_rtos_tasks(20, 200); }
+rvasm::Program small_immo() {
+  return fw::make_immobilizer(fw::ImmoVariant::kFixedDump, kPin, 3);
+}
+
+class SaPinParity : public ::testing::TestWithParam<ParityCase> {};
+
+// The ahead-of-time pin set must be execution-invisible: same instruction
+// count, same exit, same UART bytes — only the dispatch statistics may
+// differ. One run per workload without pins, one with.
+TEST_P(SaPinParity, InstretIsBitIdentical) {
+  const ParityCase& pc = GetParam();
+  const rvasm::Program prog = pc.make();
+
+  vp::VpConfig cfg;
+  if (std::string(pc.name) == "simple-sensor")
+    cfg.sensor_period = sysc::Time::us(200);
+  if (pc.engine_ecu) {
+    cfg.with_engine_ecu = true;
+    cfg.engine_pin = kPin;
+    cfg.engine_period = sysc::Time::ms(2);
+  }
+
+  auto run_one = [&](bool pinned) {
+    vp::VpDift v(cfg);
+    v.load(prog);
+    auto bundle = pc.engine_ecu
+                      ? vp::scenarios::make_immobilizer_policy(prog, false)
+                      : vp::scenarios::make_permissive_policy();
+    v.apply_policy(bundle.policy);
+    if (pinned) {
+      const sa::AnalysisResult r = sa::analyze(prog, &bundle.policy);
+      EXPECT_NE(r.pin_mode, "none") << pc.name;
+      v.set_pinned_blocks(r.pinned_pcs);
+    }
+    return v.run(sysc::Time::sec(60));
+  };
+
+  const vp::RunResult base = run_one(false);
+  const vp::RunResult pin = run_one(true);
+  ASSERT_TRUE(base.exited()) << pc.name;
+  EXPECT_EQ(base.instret, pin.instret) << pc.name;
+  EXPECT_EQ(base.exit_code, pin.exit_code) << pc.name;
+  EXPECT_EQ(base.uart_output, pin.uart_output) << pc.name;
+  EXPECT_EQ(base.stats.sa_pinned_blocks, 0u);
+  EXPECT_GT(pin.stats.sa_pinned_blocks, 0u) << pc.name;
+  EXPECT_GT(pin.stats.sa_pinned_hits, 0u) << pc.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table2Workloads, SaPinParity,
+    ::testing::Values(ParityCase{"qsort", small_qsort, false},
+                      ParityCase{"dhrystone", small_dhrystone, false},
+                      ParityCase{"primes", small_primes, false},
+                      ParityCase{"sha512", small_sha512, false},
+                      ParityCase{"sha256", small_sha256, false},
+                      ParityCase{"crc32", small_crc32, false},
+                      ParityCase{"matmul", small_matmul, false},
+                      ParityCase{"simple-sensor", small_sensor, false},
+                      ParityCase{"rtos-tasks", small_rtos, false},
+                      ParityCase{"immo-fixed", small_immo, true}),
+    [](const auto& info) {
+      std::string n = info.param.name;
+      for (auto& c : n)
+        if (c == '-') c = '_';
+      return n;
+    });
+
+// ---- campaign integration ----
+
+TEST(SaCampaign, AnalyzeJobCarriesReportAndPins) {
+  campaign::JobSpec job;
+  job.name = "immo";
+  job.firmware = "immobilizer";
+  job.policy = "immobilizer";
+  job.mode = campaign::VpMode::kDift;
+  job.engine_ecu = true;
+  job.analyze = true;
+  const campaign::JobResult r = campaign::Runner::run_job(job);
+  ASSERT_NE(r.verdict, "crash") << r.error;
+  ASSERT_TRUE(r.analysis);
+  EXPECT_EQ(r.analysis->reachable_violations, 0u);
+  EXPECT_EQ(r.analysis->pin_mode, "windowed");
+  EXPECT_GT(r.run.stats.sa_pinned_blocks, 0u);
+  EXPECT_GT(r.run.stats.sa_pinned_hits, 0u);
+}
+
+TEST(SaCampaign, AttackStillDetectedWithAnalyze) {
+  // The pin set must never mask a dynamic violation: attack 3 under the
+  // code-injection policy trips fetch-clearance with analysis enabled too.
+  campaign::JobSpec job;
+  job.name = "atk3";
+  job.firmware = "attack:3";
+  job.policy = "code-injection";
+  job.mode = campaign::VpMode::kDift;
+  job.analyze = true;
+  job.expect = "violation:fetch-clearance";
+  const campaign::JobResult r = campaign::Runner::run_job(job);
+  EXPECT_TRUE(r.ok) << r.verdict << " " << r.error;
+  ASSERT_TRUE(r.analysis);
+}
+
+TEST(SaCampaign, SpecRoundTripsAnalyzeField) {
+  campaign::CampaignSpec spec = campaign::CampaignSpec::parse(
+      "campaign t\njob a\nfirmware primes\nmode dift\nanalyze on\n"
+      "job b\nfirmware primes\nmode dift\n");
+  ASSERT_EQ(spec.jobs.size(), 2u);
+  EXPECT_TRUE(spec.jobs[0].analyze);
+  EXPECT_FALSE(spec.jobs[1].analyze);
+
+  // JSON round trip preserves the flag both ways.
+  for (const campaign::JobSpec& j : spec.jobs) {
+    const std::string json = campaign::job_spec_to_json(j);
+    campaign::JobSpec back;
+    campaign::job_spec_from_json(back, campaign::json_parse(json));
+    EXPECT_EQ(back.analyze, j.analyze) << json;
+  }
+}
+
+// ---- report round trips and the warm cache ----
+
+TEST(SaService, AnalysisJsonRoundTripIsLossless) {
+  const auto prog =
+      fw::make_immobilizer(fw::ImmoVariant::kVulnerableDump, kPin, 3);
+  auto bundle = vp::scenarios::make_immobilizer_policy(prog, false);
+  const sa::AnalysisResult r = sa::analyze(prog, &bundle.policy);
+
+  const std::string json = service::analysis_to_json(r);
+  const sa::AnalysisResult back =
+      service::analysis_from_json(campaign::json_parse(json));
+
+  EXPECT_EQ(back.entry, r.entry);
+  EXPECT_EQ(back.reachable_instructions, r.reachable_instructions);
+  EXPECT_EQ(back.linear_sweep_instructions, r.linear_sweep_instructions);
+  EXPECT_EQ(back.unreachable_bytes, r.unreachable_bytes);
+  EXPECT_EQ(back.blocks.size(), r.blocks.size());
+  EXPECT_EQ(back.trap_entries, r.trap_entries);
+  EXPECT_EQ(back.call_entries, r.call_entries);
+  EXPECT_EQ(back.unresolved_indirects, r.unresolved_indirects);
+  EXPECT_EQ(back.smc_stores, r.smc_stores);
+  EXPECT_EQ(back.complete, r.complete);
+  EXPECT_EQ(back.taint_free, r.taint_free);
+  EXPECT_EQ(back.findings.size(), r.findings.size());
+  for (std::size_t i = 0; i < r.findings.size(); ++i) {
+    EXPECT_EQ(back.findings[i].kind, r.findings[i].kind);
+    EXPECT_EQ(back.findings[i].where, r.findings[i].where);
+    EXPECT_EQ(back.findings[i].pc, r.findings[i].pc);
+    EXPECT_EQ(back.findings[i].reachable, r.findings[i].reachable);
+    EXPECT_EQ(back.findings[i].detail, r.findings[i].detail);
+  }
+  EXPECT_EQ(back.reachable_violations, r.reachable_violations);
+  EXPECT_EQ(back.pin_mode, r.pin_mode);
+  EXPECT_EQ(back.pinned_pcs, r.pinned_pcs);
+  EXPECT_EQ(back.pin_hash(), r.pin_hash());
+  // The summary report over the round-tripped result is bit-identical.
+  EXPECT_EQ(sa::to_json(back), sa::to_json(r));
+}
+
+TEST(SaService, WarmCacheHitsOnSecondAnalysis) {
+  service::WarmCache cache;
+  const rvasm::Program& prog = cache.firmware("immobilizer");
+  auto policy = cache.policy("immobilizer", prog);
+
+  auto a1 = cache.analysis("immobilizer", prog, policy->policy(),
+                           vp::VpConfig{}.ram_size);
+  auto a2 = cache.analysis("immobilizer", prog, policy->policy(),
+                           vp::VpConfig{}.ram_size);
+  ASSERT_TRUE(a1);
+  EXPECT_EQ(a1.get(), a2.get());  // the same shared object, not a re-run
+  const service::CacheStats s = cache.stats();
+  EXPECT_EQ(s.analysis_misses, 1u);
+  EXPECT_EQ(s.analysis_hits, 1u);
+  // A different RAM size is a different analysis identity.
+  auto a3 = cache.analysis("immobilizer", prog, policy->policy(),
+                           vp::VpConfig{}.ram_size * 2);
+  EXPECT_NE(a1.get(), a3.get());
+  EXPECT_EQ(cache.stats().analysis_misses, 2u);
+}
+
+TEST(SaService, CacheStatsCarryAnalysisCounters) {
+  service::CacheStats a;
+  a.analysis_hits = 3;
+  a.analysis_misses = 1;
+  service::CacheStats b;
+  b.analysis_hits = 2;
+  b += a;
+  EXPECT_EQ(b.analysis_hits, 5u);
+  const service::CacheStats d = b - a;
+  EXPECT_EQ(d.analysis_hits, 2u);
+  EXPECT_EQ(d.analysis_misses, 0u);
+  const service::CacheStats back =
+      service::cache_stats_from_json(campaign::json_parse(b.to_json()));
+  EXPECT_EQ(back.analysis_hits, 5u);
+  EXPECT_EQ(back.analysis_misses, 1u);
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+// vpdift-analyze — static firmware analysis and policy linter.
+//
+//   vpdift-analyze [options] <firmware>
+//
+//   <firmware>      a builtin name (primes, qsort, ..., immobilizer,
+//                   immobilizer-vulnerable, attack:N, code-reuse) or a path
+//                   to an ELF32 image — same resolution as vpdift-run
+//   --policy P      policy to lint against (permissive, code-injection,
+//                   immobilizer[-per-byte], or a policy file); empty = pure
+//                   CFG recovery, no taint
+//   --format F      json | text (default text)
+//   --out FILE      write the report there instead of stdout ("-" = stdout)
+//   --ram-size N    RAM size in bytes the image will run under (default 4 MiB)
+//   --fail-on-violation   exit 1 when any statically reachable violation is
+//                   reported (for CI gates); default exit 0 on a clean run
+//
+// Exit status: 0 on success (analysis ran; report written), 1 when
+// --fail-on-violation tripped, 2 on usage or resolution errors.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+#include "sa/analyze.hpp"
+
+using namespace vpdift;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: vpdift-analyze [--policy P] [--format json|text] "
+               "[--out FILE|-] [--ram-size N] [--fail-on-violation] "
+               "<firmware>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string firmware, policy, format = "text", out_path = "-";
+  std::uint64_t ram_size = 4u << 20;
+  bool fail_on_violation = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) { usage(); std::exit(2); }
+      return argv[++i];
+    };
+    if (arg == "--policy") policy = next();
+    else if (arg == "--format") {
+      format = next();
+      if (format != "json" && format != "text") {
+        std::fprintf(stderr, "invalid value for --format: '%s'\n",
+                     format.c_str());
+        return usage();
+      }
+    } else if (arg == "--out") out_path = next();
+    else if (arg == "--ram-size") {
+      const char* v = next();
+      if (!campaign::parse_u64(v, &ram_size) || ram_size == 0) {
+        std::fprintf(stderr, "invalid value for --ram-size: '%s'\n", v);
+        return usage();
+      }
+    } else if (arg == "--fail-on-violation") fail_on_violation = true;
+    else if (arg == "--help" || arg == "-h") return usage();
+    else if (!arg.empty() && arg[0] == '-') return usage();
+    else if (firmware.empty()) firmware = arg;
+    else return usage();
+  }
+  if (firmware.empty()) return usage();
+
+  try {
+    const rvasm::Program program = campaign::resolve_firmware(firmware);
+    const campaign::ResolvedPolicy resolved =
+        campaign::resolve_policy(policy, program);
+    sa::AnalyzeOptions opts;
+    opts.ram_size = ram_size;
+    const sa::AnalysisResult r = sa::analyze(program, resolved.policy(), opts);
+    const std::string report =
+        format == "json" ? sa::to_json(r) + "\n" : sa::to_text(r);
+    if (out_path == "-") {
+      std::fwrite(report.data(), 1, report.size(), stdout);
+    } else {
+      std::ofstream out(out_path);
+      if (!(out && (out << report))) {
+        std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+        return 2;
+      }
+    }
+    return fail_on_violation && r.reachable_violations > 0 ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

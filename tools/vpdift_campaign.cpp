@@ -23,6 +23,12 @@
 //                   and fi: refs; built-in suites stay local-only). The
 //                   report is the daemon's, bit-identical to a local run
 //                   plus a "service" cache-counter block (docs/service.md)
+//   --analyze       run the static analyzer (CFG + taint reachability,
+//                   docs/analysis.md) over every job's firmware x policy:
+//                   each job result carries the lint report and, in
+//                   dift/monitor modes, the plain-block pin set is
+//                   installed ahead of time. Same as `analyze on` on every
+//                   job. Spec files and suites only (not fi: campaigns)
 //   --out FILE      JSON campaign report (default: CAMPAIGN_<name>.json,
 //                   or FI_<benchmark>_<n>.json for fi: campaigns).
 //                   "-" streams the report to stdout (progress lines move
@@ -79,7 +85,8 @@ void install_cancel_handlers() {
 int usage() {
   std::fprintf(stderr,
                "usage: vpdift-campaign [--jobs N] [--seed N] [--fork] "
-               "[--connect SOCK] [--out FILE|-] [--force] [--quiet] [--list]\n"
+               "[--connect SOCK] [--analyze] [--out FILE|-] [--force] "
+               "[--quiet] [--list]\n"
                "                       <spec-file | fi:<benchmark>:<n-faults> "
                "| --suite table1 | --suite table2[:scale]>\n");
   return 2;
@@ -159,11 +166,15 @@ int print_table2(const std::vector<campaign::JobResult>& results,
 
 /// Client mode: submit to a vpdift-serve daemon and relay its report.
 int run_connected(const std::string& socket_path, const std::string& spec_path,
-                  std::uint64_t seed, std::size_t jobs,
+                  std::uint64_t seed, std::size_t jobs, bool analyze,
                   const std::string& out_path, bool force, bool quiet,
                   FILE* prog) {
   fi::FiSuiteSpec fi_spec;
   const bool is_fi = fi::parse_fi_ref(spec_path, &fi_spec);
+  if (is_fi && analyze) {
+    std::fprintf(stderr, "--analyze applies to spec campaigns, not fi:\n");
+    return 2;
+  }
 
   std::string report_path = out_path;
   if (report_path.empty()) {
@@ -202,7 +213,7 @@ int run_connected(const std::string& socket_path, const std::string& spec_path,
     }
     std::ostringstream text;
     text << in.rdbuf();
-    out = client.submit_spec(text.str(), on_job);
+    out = client.submit_spec(text.str(), on_job, analyze);
   }
   if (!out.error.empty()) {
     std::fprintf(stderr, "error: server: %s\n", out.error.c_str());
@@ -228,6 +239,7 @@ int main(int argc, char** argv) {
   std::size_t jobs = campaign::ThreadPool::jobs_from_env(1);
   std::uint64_t seed = 1;
   bool quiet = false, list = false, fork_mode = false, force = false;
+  bool analyze = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -253,6 +265,7 @@ int main(int argc, char** argv) {
     else if (arg == "--out") out_path = next();
     else if (arg == "--connect") connect_path = next();
     else if (arg == "--fork") fork_mode = true;
+    else if (arg == "--analyze") analyze = true;
     else if (arg == "--force") force = true;
     else if (arg == "--quiet") quiet = true;
     else if (arg == "--list") list = true;
@@ -277,8 +290,8 @@ int main(int argc, char** argv) {
       return 2;
     }
     try {
-      return run_connected(connect_path, spec_path, seed, jobs, out_path,
-                           force, quiet, prog);
+      return run_connected(connect_path, spec_path, seed, jobs, analyze,
+                           out_path, force, quiet, prog);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 2;
@@ -328,6 +341,13 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "--fork applies to fi:<benchmark>:<n> campaigns only\n");
       return 2;
+    }
+    if (analyze) {
+      if (fi_suite) {
+        std::fprintf(stderr, "--analyze applies to spec campaigns, not fi:\n");
+        return 2;
+      }
+      for (auto& j : spec.jobs) j.analyze = true;
     }
 
     // The report path is fixed before anything runs so a refused overwrite

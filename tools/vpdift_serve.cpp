@@ -154,6 +154,33 @@ int self_test() {
     }
     std::printf("self-test: concurrent submissions ok\n");
 
+    // Analysis cache: the same analyze submission twice. The wall budget
+    // keeps the job out of the result cache (a wall-clocked run has no
+    // stable identity) while the identical spec text keeps worker affinity,
+    // so the warm pass re-executes the job but must reuse the cached
+    // analysis instead of re-running the abstract interpreter.
+    std::printf("self-test: analyze submission (cold)...\n");
+    const char* aspec =
+        "campaign analyze-smoke\n"
+        "job immo\nfirmware immobilizer\npolicy immobilizer\n"
+        "mode dift\nengine-ecu on\nmax-ms 2000\nwall-budget-s 60\n"
+        "analyze on\n";
+    const service::Outcome acold = client.submit_spec(aspec);
+    if (!acold.error.empty())
+      throw std::runtime_error("analyze cold failed: " + acold.error);
+    if (acold.service.analysis_misses < 1)
+      throw std::runtime_error("cold analyze did not run the analyzer");
+    if (acold.report.find("\"analysis\":") == std::string::npos)
+      throw std::runtime_error("analyze report lacks an analysis block");
+    std::printf("self-test: analyze submission (warm)...\n");
+    const service::Outcome awarm = client.submit_spec(aspec);
+    if (!awarm.error.empty())
+      throw std::runtime_error("analyze warm failed: " + awarm.error);
+    if (awarm.service.analysis_hits < 1)
+      throw std::runtime_error("warm analyze missed the analysis cache");
+    std::printf("self-test: analysis cache ok (hits %llu)\n",
+                static_cast<unsigned long long>(awarm.service.analysis_hits));
+
     client.shutdown_server();
     std::printf("SELF-TEST OK\n");
     rc = 0;
