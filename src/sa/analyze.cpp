@@ -635,9 +635,8 @@ void Analyzer::process(std::uint32_t pc, const RegState& in) {
       };
       switch (insn.op) {
         case Op::kBeq:
+          // Can't refine inequality on intervals, so fall-through keeps `in`.
           taken_ok = refine(taken, insn.rs1, b.iv) && refine(taken, insn.rs2, a.iv);
-          if (a.iv.singleton() && b.iv.singleton() && a.iv.lo != b.iv.lo)
-            fall_ok = fall_ok;  // can't refine inequality on intervals
           break;
         case Op::kBne:
           fall_ok = refine(not_taken, insn.rs1, b.iv) &&
@@ -652,10 +651,10 @@ void Analyzer::process(std::uint32_t pc, const RegState& in) {
           break;
         case Op::kBgeu:
           taken_ok = refine(taken, insn.rs1, {b.iv.lo, kU32Max});
-          if (b.iv.lo > 0)
-            fall_ok = refine(not_taken, insn.rs1, {0, b.iv.lo - 1});
-          else if (b.iv.singleton())  // rs1 < 0 unsigned: infeasible
-            fall_ok = false;
+          if (b.iv.hi > 0)
+            fall_ok = refine(not_taken, insn.rs1, {0, b.iv.hi - 1});
+          else
+            fall_ok = false;  // rs1 < 0 unsigned: infeasible
           break;
         default:  // blt/bge: signed, no refinement
           break;

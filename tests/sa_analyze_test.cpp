@@ -19,6 +19,7 @@
 #include "service/cache.hpp"
 #include "service/protocol.hpp"
 #include "soc/addrmap.hpp"
+#include "soc/uart.hpp"
 #include "vp/scenarios.hpp"
 #include "vp/vp.hpp"
 
@@ -189,6 +190,60 @@ TEST(SaLint, FixedImmobilizerIsClean) {
   // The fixed firmware still pins: tier-B windowed mode.
   EXPECT_EQ(r.pin_mode, "windowed");
   EXPECT_FALSE(r.pinned_pcs.empty());
+}
+
+TEST(SaLint, BgeuFallThroughKeepsUpperBoundSound) {
+  // Regression: the bgeu not-taken edge means rs1 < rs2, so rs1 may be as
+  // large as hi(rs2) - 1. An earlier version refined rs1 against
+  // lo(rs2) - 1 instead; with the non-singleton bound below that hid the
+  // classified byte at buf[5] from the load span, the leak lint came back
+  // clean, and the leaking block was wrongly declared pin-safe.
+  rvasm::Assembler a(soc::addrmap::kRamBase);
+  fw::emit_crt0(a);
+  a.label("main");
+  a.la(t0, "buf");
+  a.la(t4, "idx");
+  a.lbu(t1, t4, 0);        // t1 in [0, 255], untainted
+  a.sltiu(t2, t1, 100);    // t2 in [0, 1]
+  a.addi(t2, t2, 5);       // t2 in [5, 6]: non-singleton bound with lo > 0
+  a.bgeu(t1, t2, "done");  // fall-through: t1 < t2, i.e. t1 in [0, 5]
+  a.label("leak");
+  a.add(t3, t0, t1);
+  a.lbu(a0, t3, 0);  // may read buf[5], the classified byte
+  a.li(t5, static_cast<std::int64_t>(soc::addrmap::kUartBase +
+                                     soc::Uart::kTxData));
+  a.sb(a0, t5, 0);  // ... and transmit it
+  a.label("done");
+  a.ret();
+  fw::emit_stdlib(a);
+  a.align(4);
+  a.label("buf");
+  for (int i = 0; i < 8; ++i) a.byte(0);
+  a.label("idx");
+  a.byte(3);
+  const auto prog = a.assemble();
+
+  const dift::Lattice lattice = dift::Lattice::ifp3();
+  dift::SecurityPolicy pol(lattice);
+  pol.classify_memory(prog.symbol("buf") + 5, 1, lattice.tag_of("(HC,HI)"));
+  pol.clear_output("uart0.tx", lattice.tag_of("(LC,HI)"));
+
+  const sa::AnalysisResult r = sa::analyze(prog, &pol);
+  bool leak = false;
+  for (const sa::Finding& f : r.findings)
+    leak |= f.kind == "reachable-violation" && f.where == "uart0.tx";
+  EXPECT_TRUE(leak) << sa::to_text(r);
+  EXPECT_GE(r.reachable_violations, 1u);
+  // The block holding the tainted load must be held out of the pin set.
+  const std::uint64_t pc = prog.symbol("leak");
+  bool found_block = false;
+  for (const sa::BlockSummary& b : r.blocks)
+    if (b.start <= pc && pc < b.end) {
+      found_block = true;
+      EXPECT_TRUE(b.touches_taint) << sa::to_text(r);
+      EXPECT_FALSE(b.pinned) << sa::to_text(r);
+    }
+  EXPECT_TRUE(found_block);
 }
 
 TEST(SaLint, CodeInjectionAttackPredictedStatically) {
