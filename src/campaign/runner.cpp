@@ -5,6 +5,7 @@
 #include <mutex>
 #include <optional>
 #include <sstream>
+#include <thread>
 #include <type_traits>
 
 #include "campaign/thread_pool.hpp"
@@ -80,6 +81,10 @@ std::string verdict_of(const vp::RunResult& run) {
       return "trap";
     case vp::ExitReason::kSimTimeout:
       return "timeout";
+    case vp::ExitReason::kUnknown:
+      // A decoded foreign reason (newer peer); surface the raw name instead
+      // of silently reclassifying it as one of ours.
+      return "unknown(" + run.reason_raw + ")";
   }
   return "?";
 }
@@ -101,6 +106,20 @@ sysc::Task wall_guard(sysc::Simulation& sim,
       sim.stop();
       co_return;
     }
+  }
+}
+
+/// Publishes the core's live retirement counter every simulated millisecond.
+/// A pure observer: it reads state and stores to an atomic, so the
+/// simulation's event order and the architectural execution are unchanged —
+/// results stay bit-identical with and without it.
+template <typename VpT>
+sysc::Task progress_guard(sysc::Simulation& sim, VpT& v,
+                          std::atomic<std::uint64_t>* out) {
+  for (;;) {
+    co_await sim.delay(sysc::Time::ms(1));
+    out->store(v.core().instret(), std::memory_order_relaxed);
+    if (sim.stop_requested()) co_return;
   }
 }
 
@@ -183,8 +202,14 @@ JobResult execute_once(const JobSpec& job, const RunnerEnv* env) {
             std::chrono::duration<double>(job.wall_budget_s));
     v.sim().spawn(wall_guard(v.sim(), deadline, &wall_fired));
   }
+  if (env && env->progress) {
+    env->progress->store(0, std::memory_order_relaxed);
+    v.sim().spawn(progress_guard(v.sim(), v, env->progress));
+  }
 
   res.run = v.run(sysc::Time::ms(job.max_ms));
+  if (env && env->progress)
+    env->progress->store(res.run.instret, std::memory_order_relaxed);
 
   // The VP cannot tell a wall-budget stop from a sim-budget one (both end the
   // simulation from outside the core); reclassify using the guard's flag.
@@ -252,7 +277,11 @@ template vp::VpDift& VpPool::acquire<vp::VpDift>(const vp::VpConfig&,
                                                  std::uint64_t);
 
 bool verdict_matches(const std::string& expect, const std::string& verdict) {
-  if (verdict == "crash") return false;
+  // Crashes never satisfy anything; neither do hangs — "hung" means a
+  // supervisor had to kill the run, which no expectation can legitimately
+  // ask for (a job that wants a stuck firmware bounded should expect
+  // "wall-timeout" under a wall budget instead).
+  if (verdict == "crash" || verdict == "hung") return false;
   if (expect.empty()) return true;
   if (expect == "exit") return verdict.rfind("exit:", 0) == 0;
   if (expect == "violation") return verdict.rfind("violation:", 0) == 0;
@@ -261,6 +290,7 @@ bool verdict_matches(const std::string& expect, const std::string& verdict) {
 
 rvasm::Program resolve_firmware(const std::string& name) {
   if (name == "primes") return fw::make_primes(10000);
+  if (name == "spin") return fw::make_spin();
   if (name == "qsort") return fw::make_qsort(5000, 1);
   if (name == "dhrystone") return fw::make_dhrystone(20000);
   if (name == "sha256") return fw::make_sha256(1024, 64);
@@ -279,6 +309,30 @@ rvasm::Program resolve_firmware(const std::string& name) {
     return fw::make_attack(id).program;
   }
   return rvasm::load_elf32_file(name);  // throws ElfError if not loadable
+}
+
+bool deterministic_hang(const std::vector<AttemptRecord>& history) {
+  if (history.size() < 2) return false;
+  const auto expired = [](const AttemptRecord& r) {
+    return r.verdict == "wall-timeout" || r.verdict == "hung";
+  };
+  const AttemptRecord& prev = history[history.size() - 2];
+  const AttemptRecord& last = history.back();
+  return expired(prev) && expired(last) && prev.instret == last.instret;
+}
+
+std::chrono::milliseconds retry_backoff(int attempt, std::uint64_t seed) {
+  if (attempt < 1) attempt = 1;
+  const std::uint64_t base = 25ull << std::min(attempt - 1, 4);  // cap 400 ms
+  // splitmix64 of (seed, attempt): deterministic jitter without touching any
+  // global RNG state (reproducible runs stay reproducible).
+  std::uint64_t z =
+      seed + 0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(attempt);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  // [0.75 * base, 1.25 * base]
+  return std::chrono::milliseconds(base * 3 / 4 + z % (base / 2 + 1));
 }
 
 JobResult Runner::run_job(const JobSpec& job, const RunnerEnv* env) {
@@ -303,9 +357,33 @@ JobResult Runner::run_job(const JobSpec& job, const RunnerEnv* env) {
       res.verdict = "crash";
       res.error = "non-std exception";
     }
-    history.push_back({res.verdict, res.error});
+    history.push_back({res.verdict, res.error, res.run.instret});
     res.attempts = attempt;
-    if (res.verdict != "crash") break;  // retries exist to absorb crashes
+    // Retries absorb crashes and UNexpected deadline expiries (a transiently
+    // overloaded host can wall-time-out a healthy job). An expected
+    // wall-timeout — or any other satisfied verdict — is final.
+    const bool deadline_expired =
+        !res.ok && (res.verdict == "wall-timeout" || res.verdict == "hung");
+    if (res.verdict != "crash" && !deadline_expired) break;
+    if (deadline_expired && deterministic_hang(history)) {
+      // Identical retirement count at the deadline twice in a row: the job
+      // is stuck at the same place every time. Stop burning budget on it and
+      // say so — "hung" is terminal (verdict_matches always fails it).
+      res.verdict = "hung";
+      res.ok = false;
+      if (res.error.empty())
+        res.error = "deterministic hang: " + std::to_string(res.run.instret) +
+                    " instructions at deadline on consecutive attempts";
+      break;
+    }
+    if (attempt < max_attempts) {
+      // FNV-1a of the job name seeds the jitter: two different jobs back
+      // off on different schedules, the same job backs off reproducibly.
+      std::uint64_t seed = 0xcbf29ce484222325ull;
+      for (const char c : job.name)
+        seed = (seed ^ static_cast<unsigned char>(c)) * 0x100000001b3ull;
+      std::this_thread::sleep_for(retry_backoff(attempt, seed));
+    }
   }
   res.history = std::move(history);
   res.wall_seconds =

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -33,13 +34,18 @@ namespace vpdift::campaign {
 struct AttemptRecord {
   std::string verdict;
   std::string error;  ///< empty unless the attempt crashed
+  /// Instructions retired when the attempt ended — for deadline-expired
+  /// attempts this is the retirement count at kill time, which is what
+  /// deterministic_hang() compares across attempts.
+  std::uint64_t instret = 0;
 };
 
 /// Outcome of one job (last attempt, if it was retried).
 struct JobResult {
   std::string name;
   std::string verdict;  ///< exit:N | violation:<kind> | timeout | wall-timeout
-                        ///< | watchdog-reset | trap | crash
+                        ///< | watchdog-reset | trap | crash | hung
+                        ///< | unknown(<raw>) for a foreign exit reason
   bool ok = false;      ///< verdict matches the job's `expect` (no crash, if empty)
   int attempts = 0;     ///< 1 + retries actually consumed
   std::string error;    ///< exception message when verdict == "crash"
@@ -112,6 +118,13 @@ struct RunnerEnv {
       resolve_analysis;
   /// Warm-VP pool; nullptr = build a fresh VP per job (the cold path).
   VpPool* pool = nullptr;
+  /// Live retirement counter, published every simulated millisecond while a
+  /// job runs (and once more with the final count). A service worker points
+  /// this at an atomic its heartbeat thread reads, so the supervising parent
+  /// can tell a slow job (instret advancing) from a wedged one (stuck).
+  /// Null = no progress reporting. The extra observer task never perturbs
+  /// the run: execution is a function of simulated time only.
+  std::atomic<std::uint64_t>* progress = nullptr;
 };
 
 struct RunnerOptions {
@@ -146,8 +159,8 @@ class Runner {
 
 /// Resolves a firmware reference: a builtin name (primes, qsort, dhrystone,
 /// sha256, sha512, simple-sensor, rtos-tasks, immobilizer,
-/// immobilizer-vulnerable), "attack:N" (Table I row N), "code-reuse", or a
-/// path to an ELF32 file.
+/// immobilizer-vulnerable, spin), "attack:N" (Table I row N), "code-reuse",
+/// or a path to an ELF32 file.
 rvasm::Program resolve_firmware(const std::string& name);
 
 /// FNV-1a content hash of a resolved program (entry point + every segment's
@@ -156,10 +169,23 @@ rvasm::Program resolve_firmware(const std::string& name);
 /// service's WarmCache::program_key delegates here so both layers agree.
 std::uint64_t program_content_key(const rvasm::Program& program);
 
-/// True iff `verdict` satisfies `expect` ("" matches anything but "crash";
-/// "exit" / "violation" match any exit code / violation kind; otherwise the
-/// comparison is exact).
+/// True iff `verdict` satisfies `expect` ("" matches anything but "crash"
+/// or "hung"; "exit" / "violation" match any exit code / violation kind;
+/// otherwise the comparison is exact).
 bool verdict_matches(const std::string& expect, const std::string& verdict);
+
+/// True when the last two attempts both expired their deadline
+/// ("wall-timeout" or "hung") with the same retirement count — the job is
+/// deterministically stuck, and further retries would burn the same budget
+/// to reach the same place. Runner::run_job stops retrying and relabels the
+/// result "hung" when this fires.
+bool deterministic_hang(const std::vector<AttemptRecord>& history);
+
+/// Sleep before retry number `attempt` (1 = the first retry): exponential
+/// base doubling from 25 ms, capped at 400 ms, with a deterministic +-25%
+/// jitter derived from `seed` so a fleet of retrying jobs doesn't
+/// resynchronize into thundering herds.
+std::chrono::milliseconds retry_backoff(int attempt, std::uint64_t seed);
 
 /// A resolved policy keeps whatever owns the lattice alive for the run
 /// (scenario bundles own their lattice; parsed files own theirs).

@@ -144,6 +144,10 @@ bool apply_field(JobSpec& job, std::string_view key, std::string_view value,
     if (!parse_f64(value, &job.wall_budget_s) || job.wall_budget_s < 0)
       throw SpecParseError(line, "wall-budget-s: not a non-negative number: '" +
                                      std::string(value) + "'");
+  } else if (key == "mem-budget-mb" || key == "mem_budget_mb") {
+    if (!parse_u64(value, &job.mem_budget_mb))
+      throw SpecParseError(line, "mem-budget-mb: not a number: '" +
+                                     std::string(value) + "'");
   } else if (key == "retries") {
     if (!parse_i32(value, &job.retries) || job.retries < 0)
       throw SpecParseError(line, "retries: not a non-negative integer: '" +
@@ -230,9 +234,20 @@ void job_spec_from_json(JobSpec& job, const JsonValue& obj) {
       case JsonValue::Kind::kString: text = v.string; break;
       case JsonValue::Kind::kBool: text = v.boolean ? "on" : "off"; break;
       case JsonValue::Kind::kNumber: {
-        std::ostringstream os;
-        os << v.number;
-        text = os.str();
+        // Integral values must re-render as integers at full precision:
+        // default ostream formatting turns 1e8 into "1e+08", which the
+        // u64 field parsers reject (a max-ms of 100000000 would fail to
+        // round-trip through the service wire).
+        const double d = v.number;
+        if (d >= 0 && d < 9007199254740992.0 &&  // exactly representable
+            d == static_cast<double>(static_cast<std::uint64_t>(d))) {
+          text = std::to_string(static_cast<std::uint64_t>(d));
+        } else {
+          std::ostringstream os;
+          os.precision(17);
+          os << d;
+          text = os.str();
+        }
         break;
       }
       default:
@@ -258,6 +273,7 @@ std::string job_spec_to_json(const JobSpec& job) {
       << ",\"uart_input\":" << json_quote(job.uart_input)
       << ",\"max_ms\":" << job.max_ms
       << ",\"wall_budget_s\":" << job.wall_budget_s
+      << ",\"mem_budget_mb\":" << job.mem_budget_mb
       << ",\"retries\":" << job.retries
       << ",\"engine_ecu\":" << (job.engine_ecu ? "true" : "false")
       << ",\"analyze\":" << (job.analyze ? "true" : "false")

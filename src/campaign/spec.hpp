@@ -22,6 +22,7 @@
 //     uart-input AAAA\x2a\n    # \xNN, \n, \r, \t, \0, \\ escapes
 //     max-ms 10000             # simulated-time budget
 //     wall-budget-s 5.0        # wall-clock budget (0 = none)
+//     mem-budget-mb 256        # RLIMIT_AS headroom in a service worker
 //     retries 0                # re-run attempts after a crash
 //     engine-ecu on            # attach the engine ECU across the CAN link
 //     analyze on               # static pre-pass: lint report + AOT pin set
@@ -62,6 +63,11 @@ struct JobSpec {
   std::string uart_input;
   std::uint64_t max_ms = 10000;   ///< simulated-time budget
   double wall_budget_s = 0.0;     ///< wall-clock budget; 0 = unlimited
+  /// Memory headroom the job may allocate on top of the process baseline
+  /// (MiB; 0 = unlimited). Enforced via RLIMIT_AS by the service worker for
+  /// the duration of the job — an oversized ELF fails as a contained crash
+  /// verdict instead of OOMing the host. The one-shot CLI ignores it.
+  std::uint64_t mem_budget_mb = 0;
   int retries = 0;                ///< extra attempts after a crash
   bool engine_ecu = false;        ///< attach the engine ECU (immobilizer)
   /// Run the static analyzer over firmware x policy before execution: the

@@ -162,4 +162,22 @@ rvasm::Program make_qsort(std::uint32_t n, std::uint32_t seed) {
   return a.assemble();
 }
 
+rvasm::Program make_spin() {
+  Assembler a(soc::addrmap::kRamBase);
+  emit_crt0(a);
+
+  a.label("main");
+  a.li(t0, 0);
+  a.label("loop");
+  a.addi(t0, t0, 1);
+  a.j("loop");
+  // main never returns; the ret below is unreachable but keeps the symbol
+  // shaped like every other benchmark for the static analyzer.
+  a.ret();
+
+  emit_stdlib(a);
+  a.entry("_start");
+  return a.assemble();
+}
+
 }  // namespace vpdift::fw

@@ -50,4 +50,10 @@ rvasm::Program make_crc32(std::uint32_t len, std::uint32_t iterations);
 /// Extra workload (beyond the paper's set): n x n integer matrix multiply.
 rvasm::Program make_matmul(std::uint32_t n);
 
+/// Adversarial workload: a tight counting loop that never exits and never
+/// touches a peripheral. It retires instructions forever, so only an
+/// external budget ends it — the service resilience layer's reference
+/// firmware for wall-budget clamping and hang escalation.
+rvasm::Program make_spin();
+
 }  // namespace vpdift::fw

@@ -21,6 +21,10 @@ CacheStats& CacheStats::operator+=(const CacheStats& o) {
   vp_reuses += o.vp_reuses;
   translation_reuses += o.translation_reuses;
   executed_instret += o.executed_instret;
+  hung_jobs += o.hung_jobs;
+  killed_workers += o.killed_workers;
+  shed_submissions += o.shed_submissions;
+  heartbeat_misses += o.heartbeat_misses;
   return *this;
 }
 
@@ -40,6 +44,10 @@ CacheStats CacheStats::operator-(const CacheStats& o) const {
   d.vp_reuses = vp_reuses - o.vp_reuses;
   d.translation_reuses = translation_reuses - o.translation_reuses;
   d.executed_instret = executed_instret - o.executed_instret;
+  d.hung_jobs = hung_jobs - o.hung_jobs;
+  d.killed_workers = killed_workers - o.killed_workers;
+  d.shed_submissions = shed_submissions - o.shed_submissions;
+  d.heartbeat_misses = heartbeat_misses - o.heartbeat_misses;
   return d;
 }
 
@@ -58,7 +66,10 @@ std::string CacheStats::to_json() const {
          f("snapshot_misses", snapshot_misses) + f("vp_builds", vp_builds) +
          f("vp_reuses", vp_reuses) +
          f("translation_reuses", translation_reuses) +
-         f("executed_instret", executed_instret, true) + "}";
+         f("executed_instret", executed_instret) + f("hung_jobs", hung_jobs) +
+         f("killed_workers", killed_workers) +
+         f("shed_submissions", shed_submissions) +
+         f("heartbeat_misses", heartbeat_misses, true) + "}";
 }
 
 CacheStats cache_stats_from_json(const campaign::JsonValue& obj) {
@@ -77,6 +88,10 @@ CacheStats cache_stats_from_json(const campaign::JsonValue& obj) {
   s.vp_reuses = obj.u64_or("vp_reuses", 0);
   s.translation_reuses = obj.u64_or("translation_reuses", 0);
   s.executed_instret = obj.u64_or("executed_instret", 0);
+  s.hung_jobs = obj.u64_or("hung_jobs", 0);
+  s.killed_workers = obj.u64_or("killed_workers", 0);
+  s.shed_submissions = obj.u64_or("shed_submissions", 0);
+  s.heartbeat_misses = obj.u64_or("heartbeat_misses", 0);
   return s;
 }
 
@@ -90,7 +105,7 @@ bool is_builtin_firmware(const std::string& name) {
          name == "sha256" || name == "sha512" || name == "simple-sensor" ||
          name == "rtos-tasks" || name == "immobilizer" ||
          name == "immobilizer-vulnerable" || name == "code-reuse" ||
-         name.rfind("attack:", 0) == 0;
+         name == "spin" || name.rfind("attack:", 0) == 0;
 }
 
 /// Builtin policy scenarios, mirroring campaign::resolve_policy.
@@ -178,6 +193,7 @@ std::uint64_t WarmCache::job_key(const campaign::JobSpec& job) {
   h = fnv1a64_u64(static_cast<std::uint64_t>(job.mode), h);
   h = fnv1a64(job.uart_input, h);
   h = fnv1a64_u64(job.max_ms, h);
+  h = fnv1a64_u64(job.mem_budget_mb, h);
   h = fnv1a64_u64(static_cast<std::uint64_t>(job.retries), h);
   h = fnv1a64_u64(job.engine_ecu ? 1 : 0, h);
   h = fnv1a64_u64(job.analyze ? 1 : 0, h);

@@ -57,6 +57,17 @@ struct CacheStats {
   /// the warm-vs-cold acceptance check compares.
   std::uint64_t executed_instret = 0;
 
+  // Resilience counters (incremented by the server's supervision loop, not
+  // by the caches; they ride in the same block so the report JSON and the
+  // CI smoke gates see one consistent counter schema).
+  std::uint64_t hung_jobs = 0;         ///< jobs killed by deadline/heartbeat
+                                       ///< escalation (verdict "hung")
+  std::uint64_t killed_workers = 0;    ///< involuntary worker deaths: crashed,
+                                       ///< killed externally, or escalated
+  std::uint64_t shed_submissions = 0;  ///< submissions rejected "overloaded"
+  std::uint64_t heartbeat_misses = 0;  ///< busy workers silent past the
+                                       ///< heartbeat timeout
+
   CacheStats& operator+=(const CacheStats& o);
   CacheStats operator-(const CacheStats& o) const;
 

@@ -1,11 +1,16 @@
 #include "service/client.hpp"
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
 #include "campaign/json.hpp"
 #include "service/protocol.hpp"
@@ -14,7 +19,8 @@ namespace vpdift::service {
 
 using campaign::JsonValue;
 
-Client::Client(const std::string& socket_path) {
+Client::Client(const std::string& socket_path, const ClientOptions& opts)
+    : opts_(opts) {
   fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd_ < 0) throw std::runtime_error("socket() failed");
   struct sockaddr_un addr {};
@@ -25,13 +31,41 @@ Client::Client(const std::string& socket_path) {
     throw std::runtime_error("socket path too long: " + socket_path);
   }
   std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  // Deadline-bounded connect: go nonblocking, poll for writability, read
+  // SO_ERROR. A dead-but-bound socket path fails here instead of hanging.
+  const int fl = ::fcntl(fd_, F_GETFL, 0);
+  if (opts_.timeout_ms > 0 && fl >= 0)
+    ::fcntl(fd_, F_SETFL, fl | O_NONBLOCK);
   if (::connect(fd_, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) !=
       0) {
-    ::close(fd_);
-    fd_ = -1;
-    throw std::runtime_error("cannot connect to " + socket_path + ": " +
-                             std::strerror(errno));
+    if (opts_.timeout_ms > 0 && (errno == EINPROGRESS || errno == EAGAIN)) {
+      struct pollfd pfd {fd_, POLLOUT, 0};
+      int pr;
+      do {
+        pr = ::poll(&pfd, 1, static_cast<int>(opts_.timeout_ms));
+      } while (pr < 0 && errno == EINTR);
+      int err = 0;
+      socklen_t len = sizeof err;
+      if (pr <= 0 ||
+          ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+          err != 0) {
+        ::close(fd_);
+        fd_ = -1;
+        throw std::runtime_error(
+            "cannot connect to " + socket_path + ": " +
+            (pr == 0 ? "connect timed out" : std::strerror(err ? err : errno)));
+      }
+    } else {
+      const int saved = errno;
+      ::close(fd_);
+      fd_ = -1;
+      throw std::runtime_error("cannot connect to " + socket_path + ": " +
+                               std::strerror(saved));
+    }
   }
+  // Reads go through DeadlineLineReader (poll-before-read), so the fd can
+  // stay blocking for the small request writes.
+  if (opts_.timeout_ms > 0 && fl >= 0) ::fcntl(fd_, F_SETFL, fl);
 }
 
 Client::~Client() {
@@ -40,7 +74,7 @@ Client::~Client() {
 
 bool Client::ping() {
   if (!write_line(fd_, "{\"op\":\"ping\"}")) return false;
-  LineReader in(fd_);
+  DeadlineLineReader in(fd_, opts_.timeout_ms);
   std::string line;
   if (!in.read_line(&line)) return false;
   try {
@@ -53,9 +87,22 @@ bool Client::ping() {
 Outcome Client::await_done(
     std::uint64_t id, const std::function<void(const JobEvent&)>& on_job) {
   Outcome out;
-  LineReader in(fd_);
+  // Until "accepted" this is a control-plane wait (short deadline); after
+  // it the submission may legitimately run for a long time, so the clock
+  // relaxes to the idle timeout — which any event resets, server
+  // heartbeats included.
+  DeadlineLineReader in(fd_, opts_.timeout_ms);
   std::string line;
-  while (in.read_line(&line)) {
+  bool accepted = false;
+  for (;;) {
+    if (!in.read_line(&line)) {
+      if (in.timed_out())
+        out.error = accepted ? "server went silent mid-submission"
+                             : "timed out waiting for the server";
+      else
+        out.error = "server closed the connection";
+      return out;
+    }
     JsonValue msg;
     try {
       msg = campaign::json_parse(line);
@@ -71,11 +118,15 @@ Outcome Client::await_done(
       // another submission's error on a shared connection is not ours.
       if (ev_id != id && ev_id != 0) continue;
       out.error = msg.str_or("error", "unknown server error");
+      out.retry_after_ms = msg.u64_or("retry_after_ms", 0);
       return out;
     }
     if (ev_id != id) continue;
+    if (ev == "hb") continue;  // liveness only; the read above reset the clock
     if (ev == "accepted") {
       out.jobs = static_cast<std::size_t>(msg.u64_or("jobs", 0));
+      accepted = true;
+      in.set_timeout(opts_.idle_timeout_ms);
       continue;
     }
     if (ev == "job") {
@@ -97,46 +148,51 @@ Outcome Client::await_done(
       return out;
     }
   }
-  out.error = "server closed the connection";
-  return out;
+}
+
+Outcome Client::submit(const std::string& body,
+                       const std::function<void(const JobEvent&)>& on_job) {
+  Outcome out;
+  for (int attempt = 0;; ++attempt) {
+    const std::uint64_t id = next_id_++;
+    const std::string req =
+        "{\"op\":\"submit\",\"id\":" + std::to_string(id) + "," + body + "}";
+    if (!write_line(fd_, req)) {
+      out.error = "cannot write to server";
+      return out;
+    }
+    out = await_done(id, on_job);
+    if (out.error != "overloaded" || attempt >= opts_.submit_retries)
+      return out;
+    // Shed: back off and retry. The server's hint seeds a capped
+    // exponential so a whole fleet of shed clients doesn't return in step.
+    std::uint64_t wait = out.retry_after_ms ? out.retry_after_ms : 100;
+    wait = std::min<std::uint64_t>(wait << std::min(attempt, 4), 5000);
+    std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+  }
 }
 
 Outcome Client::submit_ref(
     const std::string& ref, std::uint64_t seed, std::size_t workers,
     const std::function<void(const JobEvent&)>& on_job) {
-  const std::uint64_t id = next_id_++;
-  std::string req = "{\"op\":\"submit\",\"id\":" + std::to_string(id) +
-                    ",\"ref\":" + campaign::json_quote(ref) +
-                    ",\"seed\":" + std::to_string(seed);
-  if (workers) req += ",\"workers\":" + std::to_string(workers);
-  req += "}";
-  Outcome out;
-  if (!write_line(fd_, req)) {
-    out.error = "cannot write to server";
-    return out;
-  }
-  return await_done(id, on_job);
+  std::string body = "\"ref\":" + campaign::json_quote(ref) +
+                     ",\"seed\":" + std::to_string(seed);
+  if (workers) body += ",\"workers\":" + std::to_string(workers);
+  return submit(body, on_job);
 }
 
 Outcome Client::submit_spec(
     const std::string& spec_text,
     const std::function<void(const JobEvent&)>& on_job, bool analyze) {
-  const std::uint64_t id = next_id_++;
-  const std::string req = "{\"op\":\"submit\",\"id\":" + std::to_string(id) +
-                          ",\"spec\":" + campaign::json_quote(spec_text) +
-                          (analyze ? ",\"analyze\":true" : "") + "}";
-  Outcome out;
-  if (!write_line(fd_, req)) {
-    out.error = "cannot write to server";
-    return out;
-  }
-  return await_done(id, on_job);
+  const std::string body = "\"spec\":" + campaign::json_quote(spec_text) +
+                           (analyze ? ",\"analyze\":true" : "");
+  return submit(body, on_job);
 }
 
 CacheStats Client::server_stats() {
   CacheStats s;
   if (!write_line(fd_, "{\"op\":\"stats\"}")) return s;
-  LineReader in(fd_);
+  DeadlineLineReader in(fd_, opts_.timeout_ms);
   std::string line;
   while (in.read_line(&line)) {
     try {
@@ -155,9 +211,9 @@ CacheStats Client::server_stats() {
 
 void Client::shutdown_server() {
   write_line(fd_, "{\"op\":\"shutdown\"}");
-  LineReader in(fd_);
+  DeadlineLineReader in(fd_, opts_.timeout_ms);
   std::string line;
-  in.read_line(&line);  // "bye" (or EOF)
+  in.read_line(&line);  // "bye" (or EOF / timeout)
 }
 
 }  // namespace vpdift::service

@@ -21,6 +21,23 @@ struct Outcome {
   std::string error;        ///< non-empty when the submission failed
   CacheStats service;       ///< the submission's cache-counter delta
   std::size_t jobs = 0;     ///< job count the server accepted
+  /// Server backoff hint when error == "overloaded" (the submit retry loop
+  /// already honoured it submit_retries times before giving up).
+  std::uint64_t retry_after_ms = 0;
+};
+
+/// Client-side resilience knobs.
+struct ClientOptions {
+  /// Deadline for connect() and for every control-plane reply (ping, stats,
+  /// accepted, shutdown). 0 = block forever.
+  std::uint64_t timeout_ms = 30000;
+  /// Max gap between events while a submission runs. The server heartbeats
+  /// active submissions, so a healthy-but-slow campaign resets this on
+  /// every hb line; only a truly silent server trips it. 0 = forever.
+  std::uint64_t idle_timeout_ms = 120000;
+  /// Extra attempts when the server sheds a submission with "overloaded"
+  /// (capped exponential backoff, honouring the server's retry_after_ms).
+  int submit_retries = 4;
 };
 
 /// Per-job progress event streamed while a submission runs.
@@ -32,9 +49,13 @@ struct JobEvent {
 
 class Client {
  public:
-  /// Connects to the daemon's AF_UNIX socket.
-  /// Throws std::runtime_error when the connection fails.
-  explicit Client(const std::string& socket_path);
+  /// Connects to the daemon's AF_UNIX socket with the options' connect
+  /// deadline (a listener that accepts but never answers cannot hang the
+  /// client past timeout_ms). Throws std::runtime_error on failure.
+  Client(const std::string& socket_path, const ClientOptions& opts);
+  /// Default options.
+  explicit Client(const std::string& socket_path)
+      : Client(socket_path, ClientOptions{}) {}
   ~Client();
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
@@ -64,9 +85,12 @@ class Client {
  private:
   Outcome await_done(std::uint64_t id,
                      const std::function<void(const JobEvent&)>& on_job);
+  Outcome submit(const std::string& body,
+                 const std::function<void(const JobEvent&)>& on_job);
 
   int fd_ = -1;
   std::uint64_t next_id_ = 1;
+  ClientOptions opts_;
 };
 
 }  // namespace vpdift::service

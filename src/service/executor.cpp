@@ -1,6 +1,110 @@
 #include "service/executor.hpp"
 
+#include <sys/resource.h>
+#include <sys/time.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdint>
+#include <unistd.h>
+
 namespace vpdift::service {
+
+namespace {
+
+// Address-space limits and sanitizers do not mix: ASan/TSan reserve huge
+// shadow mappings up front, so any RLIMIT_AS small enough to be useful
+// kills the runtime itself. Sandbox enforcement is therefore compiled out
+// of sanitized builds (the chaos CI job gates the *counters*, which come
+// from the server's supervision loop, not from rlimits).
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define VPDIFT_SANITIZED_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define VPDIFT_SANITIZED_BUILD 1
+#endif
+#endif
+
+/// Current virtual-memory size of this process in bytes (0 if unreadable).
+std::uint64_t current_vm_bytes() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (!f) return 0;
+  unsigned long long pages = 0;
+  const int n = std::fscanf(f, "%llu", &pages);
+  std::fclose(f);
+  if (n != 1) return 0;
+  return pages * static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE));
+}
+
+/// CPU seconds this process has consumed so far (user + system).
+double cpu_seconds_used() {
+  rusage ru{};
+  if (::getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  const auto secs = [](const timeval& tv) {
+    return static_cast<double>(tv.tv_sec) +
+           static_cast<double>(tv.tv_usec) / 1e6;
+  };
+  return secs(ru.ru_utime) + secs(ru.ru_stime);
+}
+
+/// Scoped resource sandbox for one job. Soft limits are set relative to the
+/// process's CURRENT consumption — a worker that has grown a warm cache is
+/// not penalised for it, and the budget bounds only what the job itself may
+/// add. The soft limit is restored on destruction so a contained failure
+/// (sim allocation throwing bad_alloc) leaves the worker reusable.
+class ScopedJobLimits {
+ public:
+  ScopedJobLimits(std::uint64_t mem_budget_mb, double wall_budget_s) {
+#ifndef VPDIFT_SANITIZED_BUILD
+    if (mem_budget_mb > 0) {
+      const std::uint64_t base = current_vm_bytes();
+      if (base > 0 && ::getrlimit(RLIMIT_AS, &saved_as_) == 0) {
+        rlimit lim = saved_as_;
+        std::uint64_t cap = base + (mem_budget_mb << 20);
+        if (saved_as_.rlim_max != RLIM_INFINITY && cap > saved_as_.rlim_max)
+          cap = saved_as_.rlim_max;
+        lim.rlim_cur = cap;
+        as_set_ = ::setrlimit(RLIMIT_AS, &lim) == 0;
+      }
+    }
+    if (wall_budget_s > 0) {
+      // Backstop, not the primary deadline: the runner's wall guard and the
+      // server's kill escalation fire first. This catches only a worker so
+      // wedged it burns CPU without ever reaching either.
+      if (::getrlimit(RLIMIT_CPU, &saved_cpu_) == 0) {
+        rlimit lim = saved_cpu_;
+        const double cap = cpu_seconds_used() + 3 * std::ceil(wall_budget_s) + 5;
+        auto cur = static_cast<rlim_t>(cap);
+        if (saved_cpu_.rlim_max != RLIM_INFINITY && cur > saved_cpu_.rlim_max)
+          cur = saved_cpu_.rlim_max;
+        lim.rlim_cur = cur;
+        cpu_set_ = ::setrlimit(RLIMIT_CPU, &lim) == 0;
+      }
+    }
+#else
+    (void)mem_budget_mb;
+    (void)wall_budget_s;
+#endif
+  }
+
+  ~ScopedJobLimits() {
+#ifndef VPDIFT_SANITIZED_BUILD
+    if (as_set_) ::setrlimit(RLIMIT_AS, &saved_as_);
+    if (cpu_set_) ::setrlimit(RLIMIT_CPU, &saved_cpu_);
+#endif
+  }
+
+  ScopedJobLimits(const ScopedJobLimits&) = delete;
+  ScopedJobLimits& operator=(const ScopedJobLimits&) = delete;
+
+ private:
+  rlimit saved_as_{};
+  rlimit saved_cpu_{};
+  bool as_set_ = false;
+  bool cpu_set_ = false;
+};
+
+}  // namespace
 
 campaign::JobResult Executor::run_job(const campaign::JobSpec& job) {
   const bool cacheable = WarmCache::cacheable(job);
@@ -25,12 +129,19 @@ campaign::JobResult Executor::run_job(const campaign::JobSpec& job) {
     }
     cache_.note_golden(false);
   }
-  const campaign::RunnerEnv env = cache_.env();
-  campaign::JobResult res = campaign::Runner::run_job(job, &env);
+  campaign::RunnerEnv env = cache_.env();
+  env.progress = progress_;
+  campaign::JobResult res;
+  {
+    const ScopedJobLimits limits(job.mem_budget_mb, job.wall_budget_s);
+    res = campaign::Runner::run_job(job, &env);
+  }
   cache_.note_executed(res.run.instret);
   // Only deterministic outcomes are worth replaying: a crash might be
-  // transient (and is what retries exist for).
-  if (cacheable && res.verdict != "crash") cache_.store_result(key, res);
+  // transient (retries exist for it), and a hung verdict depends on the
+  // deadline that killed it, not on the job alone.
+  if (cacheable && res.verdict != "crash" && res.verdict != "hung")
+    cache_.store_result(key, res);
   return res;
 }
 

@@ -25,6 +25,15 @@ class Executor {
  public:
   explicit Executor(WarmCache& cache) : cache_(cache) {}
 
+  /// Installs a live-progress sink: while a job executes, the simulation's
+  /// retired-instruction count is published here roughly once per simulated
+  /// millisecond (plus once with the final count). The worker's heartbeat
+  /// thread reads it; pass nullptr to detach. Purely observational — it
+  /// never changes what a job computes.
+  void set_progress(std::atomic<std::uint64_t>* progress) {
+    progress_ = progress;
+  }
+
   /// Runs one declarative job through the warm cache: resolver overrides,
   /// VP pool, and — for cacheable jobs — the finished-result cache (a hit
   /// replays the stored result without executing anything). Never throws;
@@ -50,6 +59,7 @@ class Executor {
 
  private:
   WarmCache& cache_;
+  std::atomic<std::uint64_t>* progress_ = nullptr;
 };
 
 }  // namespace vpdift::service

@@ -1,5 +1,6 @@
 #include "service/protocol.hpp"
 
+#include <poll.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -14,17 +15,21 @@ namespace vpdift::service {
 
 namespace {
 
-constexpr std::size_t kExitReasonCount = 6;
+constexpr std::size_t kExitReasonCount = 7;
 constexpr std::size_t kViolationKindCount = 8;
 
 /// Enum round trips scan the existing to_string tables instead of keeping a
-/// parallel name list that could drift.
-vp::ExitReason exit_reason_from_string(const std::string& s) {
+/// parallel name list that could drift. A reason this build has no name for
+/// (a newer peer) decodes to kUnknown with the raw string preserved — NOT to
+/// some default, which would silently reclassify the run.
+vp::ExitReason exit_reason_from_string(const std::string& s,
+                                       std::string* raw_out) {
   for (std::size_t i = 0; i < kExitReasonCount; ++i) {
     const auto r = static_cast<vp::ExitReason>(i);
     if (s == vp::to_string(r)) return r;
   }
-  throw std::runtime_error("unknown exit reason: " + s);
+  if (raw_out) *raw_out = s;
+  return vp::ExitReason::kUnknown;
 }
 
 dift::ViolationKind violation_kind_from_string(const std::string& s) {
@@ -155,9 +160,16 @@ std::string job_result_to_json(const campaign::JobResult& r) {
     << ",\"wall_seconds\":" << num(r.wall_seconds) << ",\"history\":[";
   for (std::size_t i = 0; i < r.history.size(); ++i)
     o << (i ? "," : "") << "{\"verdict\":" << json_quote(r.history[i].verdict)
-      << ",\"error\":" << json_quote(r.history[i].error) << "}";
+      << ",\"error\":" << json_quote(r.history[i].error)
+      << ",\"instret\":" << num(r.history[i].instret) << "}";
   const vp::RunResult& run = r.run;
-  o << "],\"run\":{\"reason\":" << json_quote(vp::to_string(run.reason))
+  // A kUnknown result re-emits the verbatim foreign name so a relay through
+  // this build is lossless.
+  const std::string reason_name =
+      run.reason == vp::ExitReason::kUnknown && !run.reason_raw.empty()
+          ? run.reason_raw
+          : vp::to_string(run.reason);
+  o << "],\"run\":{\"reason\":" << json_quote(reason_name)
     << ",\"exit_code\":" << run.exit_code
     << ",\"watchdog_resets\":" << run.watchdog_resets
     << ",\"violation_kind\":" << json_quote(dift::to_string(run.violation_kind))
@@ -203,12 +215,14 @@ campaign::JobResult job_result_from_json(const campaign::JsonValue& obj) {
   if (const JsonValue* h = obj.find("history");
       h && h->kind == JsonValue::Kind::kArray) {
     for (const JsonValue& e : h->array)
-      r.history.push_back({e.str_or("verdict", ""), e.str_or("error", "")});
+      r.history.push_back({e.str_or("verdict", ""), e.str_or("error", ""),
+                           e.u64_or("instret", 0)});
   }
   const JsonValue* runv = obj.find("run");
   if (!runv || runv->kind != JsonValue::Kind::kObject) return r;
   vp::RunResult& run = r.run;
-  run.reason = exit_reason_from_string(runv->str_or("reason", "sim-timeout"));
+  run.reason = exit_reason_from_string(runv->str_or("reason", "sim-timeout"),
+                                       &run.reason_raw);
   run.exit_code = static_cast<std::uint32_t>(runv->u64_or("exit_code", 0));
   run.watchdog_resets =
       static_cast<std::uint32_t>(runv->u64_or("watchdog_resets", 0));
@@ -294,6 +308,37 @@ bool LineReader::read_line(std::string* out) {
       out->assign(buf_, 0, nl);
       buf_.erase(0, nl + 1);
       return true;
+    }
+    char chunk[4096];
+    ssize_t n;
+    do {
+      n = ::read(fd_, chunk, sizeof chunk);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return false;
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool DeadlineLineReader::read_line(std::string* out) {
+  timed_out_ = false;
+  for (;;) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      out->assign(buf_, 0, nl);
+      buf_.erase(0, nl + 1);
+      return true;
+    }
+    if (timeout_ms_ > 0) {
+      struct pollfd pfd {fd_, POLLIN, 0};
+      int rc;
+      do {
+        rc = ::poll(&pfd, 1, static_cast<int>(timeout_ms_));
+      } while (rc < 0 && errno == EINTR);
+      if (rc == 0) {
+        timed_out_ = true;
+        return false;
+      }
+      if (rc < 0) return false;
     }
     char chunk[4096];
     ssize_t n;

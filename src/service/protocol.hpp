@@ -31,8 +31,12 @@ namespace vpdift::service {
 /// One-line JSON object encoding of a JobResult, full fidelity.
 std::string job_result_to_json(const campaign::JobResult& r);
 
-/// Inverse of job_result_to_json. Unknown enum names throw
-/// std::runtime_error; absent fields decode to their defaults.
+/// Inverse of job_result_to_json. Absent fields decode to their defaults.
+/// An exit reason this build has no name for decodes to
+/// vp::ExitReason::kUnknown with the raw string preserved in
+/// RunResult::reason_raw (and re-emitted verbatim on the next encode — the
+/// round trip is lossless even through an older relay). Unknown violation
+/// kinds still throw std::runtime_error.
 campaign::JobResult job_result_from_json(const campaign::JsonValue& obj);
 
 std::string fork_stats_to_json(const fi::ForkStats& s);
@@ -55,6 +59,30 @@ class LineReader {
 
  private:
   int fd_;
+  std::string buf_;
+};
+
+/// LineReader variant with a poll()-based deadline, for clients that must
+/// not hang on a server that accepted the connection but never answers.
+/// The timeout bounds each wait for NEW bytes (not the whole line), so a
+/// slowly streaming peer that keeps making progress never trips it.
+class DeadlineLineReader {
+ public:
+  /// `timeout_ms` 0 = block forever (plain LineReader behaviour).
+  DeadlineLineReader(int fd, std::uint64_t timeout_ms)
+      : fd_(fd), timeout_ms_(timeout_ms) {}
+
+  /// Reads one line (without the trailing newline). False on EOF, error,
+  /// or deadline expiry — check timed_out() to tell the last apart.
+  bool read_line(std::string* out);
+
+  bool timed_out() const { return timed_out_; }
+  void set_timeout(std::uint64_t ms) { timeout_ms_ = ms; }
+
+ private:
+  int fd_;
+  std::uint64_t timeout_ms_;
+  bool timed_out_ = false;
   std::string buf_;
 };
 

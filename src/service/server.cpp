@@ -14,6 +14,8 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
+#include <deque>
 #include <map>
 #include <stdexcept>
 #include <optional>
@@ -85,7 +87,21 @@ struct WorkerProc {
   int fd = -1;  ///< parent end of the socketpair, O_NONBLOCK
   LineBuffer buf;
   std::string out;  ///< queued outbound bytes, drained on POLLOUT
-  std::vector<std::uint64_t> outstanding;  ///< op ids queued, FIFO
+  std::vector<std::uint64_t> outstanding;  ///< op ids sent, awaiting reply
+  /// Admission queue: op ids accepted but not yet sent. Ops move to
+  /// `outstanding` one at a time (pump_worker), so a job's deadline clock
+  /// starts when it actually reaches the worker, and a dying worker loses
+  /// only its in-flight op — the backlog requeues onto the respawn.
+  std::deque<std::uint64_t> queued;
+  /// Timestamp of the last parsed line from this worker (heartbeats count);
+  /// the liveness check compares it against the heartbeat timeout.
+  std::chrono::steady_clock::time_point last_line;
+  /// Kill escalation: 0 = healthy, 1 = SIGTERM sent, 2 = SIGKILL sent.
+  int escalation = 0;
+  std::chrono::steady_clock::time_point escalated_at;
+  /// True when the server itself killed this worker (hang escalation) —
+  /// its lost jobs report verdict "hung", not "crash".
+  bool killed_for_hang = false;
 };
 
 struct ClientConn {
@@ -95,7 +111,7 @@ struct ClientConn {
 
 struct Submission;
 
-/// One request in flight on some worker.
+/// One request queued on or in flight on some worker.
 struct PendingOp {
   std::uint64_t sub = 0;
   enum class Kind { kJob, kGolden, kFiChunk } kind = Kind::kJob;
@@ -103,6 +119,16 @@ struct PendingOp {
   std::size_t job_index = 0;             ///< kJob: results slot
   std::vector<std::size_t> indices;      ///< kFiChunk: fault indices
   std::set<std::size_t> received;        ///< kFiChunk: already streamed
+  std::string line;                      ///< wire message, id substituted
+  bool sent = false;
+  /// kJob with a wall budget: when the server stops waiting for the worker
+  /// to enforce the budget itself and escalates (send time + budget +
+  /// deadline grace).
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  double wall_budget_s = 0;
+  /// Last instret the worker heartbeated for this op — lets a hung job
+  /// report how far it got before the kill.
+  std::uint64_t progress_instret = 0;
 };
 
 struct Submission {
@@ -125,6 +151,9 @@ struct Submission {
   std::size_t outstanding_ops = 0;
   CacheStats service;  ///< summed worker deltas for this submission
   std::chrono::steady_clock::time_point t0;
+  /// A drain cut this submission short: queued-but-unsent jobs were skipped
+  /// and the report carries "interrupted": true.
+  bool interrupted = false;
 };
 
 class Server {
@@ -141,6 +170,7 @@ class Server {
 
   // -- event handling --
   void handle_signals();
+  void handle_timers();
   void accept_client();
   void read_client(int fd);
   void read_worker(std::size_t w);
@@ -148,6 +178,8 @@ class Server {
   void handle_worker_line(std::size_t w, const std::string& line);
   void worker_gone(std::size_t w);
   void drop_client(int fd);
+  void escalate_worker(std::size_t w, const char* reason);
+  std::optional<std::chrono::steady_clock::time_point> next_deadline() const;
 
   // -- submissions --
   void submit_ref(int fd, std::uint64_t id, const std::string& ref,
@@ -155,15 +187,21 @@ class Server {
   void submit_spec(int fd, std::uint64_t id, const std::string& text,
                    bool analyze);
   void golden_arrived(Submission& sub, const campaign::JobResult& golden);
-  void op_failed(std::uint64_t op_id, const std::string& error);
+  void op_failed(std::uint64_t op_id, const std::string& error,
+                 const char* verdict = "crash");
   void maybe_finish(Submission& sub);
   void finish_fi(Submission& sub);
   void finish_spec(Submission& sub);
   void fail_submission(Submission& sub, const std::string& error);
   void drop_submission(std::uint64_t key);
+  void begin_drain();
+  void shed_backlog();
+  std::size_t total_load() const;
+  bool shed_if_overloaded(int fd, std::uint64_t id, std::size_t new_ops);
 
   // -- plumbing --
   std::uint64_t send_op(std::size_t w, PendingOp op, const std::string& line);
+  void pump_worker(std::size_t w);
   bool send_worker(std::size_t w, const std::string& line);
   void send_client(int fd, const std::string& line);
   void to_client(const Submission& sub, const std::string& line);
@@ -182,10 +220,16 @@ class Server {
   std::uint64_t next_sub_ = 1;
   CacheStats totals_;
   bool draining_ = false;
+  std::chrono::steady_clock::time_point last_client_hb_;
 
   /// A client whose outbound queue exceeds this stopped reading long ago;
   /// it gets dropped rather than accumulating reports without bound.
   static constexpr std::size_t kMaxClientQueue = 64u << 20;
+  /// Ops in flight per worker. One: workers execute serially anyway, and a
+  /// single in-flight op keeps job-deadline clocks honest (a buffered
+  /// second job's budget must not tick while the first still runs) and
+  /// bounds what a worker death can lose.
+  static constexpr std::size_t kMaxInflight = 1;
 };
 
 void Server::note(const char* fmt, ...) {
@@ -226,7 +270,9 @@ void Server::spawn_worker(std::size_t slot) {
     ::signal(SIGINT, SIG_DFL);
     ::signal(SIGTERM, SIG_DFL);
     ::signal(SIGCHLD, SIG_DFL);
-    ::_exit(worker_main(sv[1]));
+    WorkerConfig wcfg;
+    wcfg.heartbeat_ms = opts_.heartbeat_ms;
+    ::_exit(worker_main(sv[1], wcfg));
   }
   ::close(sv[1]);
   set_nonblocking(sv[0]);
@@ -235,6 +281,10 @@ void Server::spawn_worker(std::size_t slot) {
   workers_[slot].buf = LineBuffer();
   workers_[slot].out.clear();  // queued lines belonged to the dead worker
   workers_[slot].outstanding.clear();
+  workers_[slot].queued.clear();
+  workers_[slot].last_line = std::chrono::steady_clock::now();
+  workers_[slot].escalation = 0;
+  workers_[slot].killed_for_hang = false;
 }
 
 bool Server::setup() {
@@ -301,11 +351,28 @@ void Server::teardown() {
       w.fd = -1;
     }
   }
+  // Bounded reap: workers normally exit on quit/EOF, but one that is
+  // stopped or wedged would block a plain waitpid forever — after the grace
+  // it is SIGKILLed, so shutdown always completes and leaves no zombies.
+  const auto reap_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(std::max<std::uint64_t>(opts_.kill_grace_ms, 100));
   for (WorkerProc& w : workers_) {
-    if (w.pid > 0) {
+    while (w.pid > 0) {
       int status = 0;
-      ::waitpid(w.pid, &status, 0);
-      w.pid = -1;
+      const pid_t got = ::waitpid(w.pid, &status, WNOHANG);
+      if (got == w.pid || (got < 0 && errno != EINTR)) {
+        w.pid = -1;
+        break;
+      }
+      if (std::chrono::steady_clock::now() >= reap_deadline) {
+        ::kill(w.pid, SIGKILL);
+        ::waitpid(w.pid, &status, 0);
+        w.pid = -1;
+        break;
+      }
+      struct timespec ts {0, 5 * 1000 * 1000};
+      ::nanosleep(&ts, nullptr);
     }
   }
   for (auto& [fd, c] : clients_) ::close(fd);
@@ -342,15 +409,27 @@ int Server::run() {
       what.push_back(-3 - fd);  // encode client fd
     }
 
-    const int rc = ::poll(pfds.data(), pfds.size(), -1);
+    // Timer wheel: sleep until the nearest liveness/deadline/heartbeat
+    // event instead of forever (-1 only when nothing is armed).
+    int timeout = -1;
+    if (const auto next = next_deadline()) {
+      const auto d = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         *next - std::chrono::steady_clock::now())
+                         .count();
+      timeout = static_cast<int>(
+          std::min<long long>(std::max<long long>(d, 0) + 1, 60000));
+    }
+    const int rc = ::poll(pfds.data(), pfds.size(), timeout);
     if (rc < 0) {
       if (errno == EINTR) {
         handle_signals();
+        handle_timers();
         continue;
       }
       break;
     }
     handle_signals();
+    handle_timers();
     for (std::size_t i = 0; i < pfds.size() && !draining_done(); ++i) {
       const short re = pfds[i].revents;
       if (!re) continue;
@@ -393,14 +472,65 @@ int Server::run() {
   return 0;
 }
 
+void Server::begin_drain() {
+  if (draining_) return;
+  draining_ = true;
+  note("drain requested: finishing %zu in-flight submission(s)",
+       subs_.size());
+  shed_backlog();
+}
+
+void Server::shed_backlog() {
+  // Resolve every accepted-but-unsent op without running it: spec jobs and
+  // fi faults become verdict "skipped" and their submissions finish as
+  // partial reports marked "interrupted". In-flight ops keep running.
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    std::deque<std::uint64_t> backlog;
+    backlog.swap(workers_[w].queued);
+    for (const std::uint64_t op_id : backlog) {
+      auto it = ops_.find(op_id);
+      if (it == ops_.end()) continue;  // submission already torn down
+      const PendingOp op = std::move(it->second);
+      ops_.erase(it);
+      auto sit = subs_.find(op.sub);
+      if (sit == subs_.end()) continue;
+      Submission& sub = sit->second;
+      sub.interrupted = true;
+      switch (op.kind) {
+        case PendingOp::Kind::kGolden:
+          fail_submission(sub, "server draining before the golden run started");
+          break;
+        case PendingOp::Kind::kJob: {
+          campaign::JobResult r;
+          r.name = sub.cspec.jobs[op.job_index].name;
+          r.verdict = "skipped";
+          r.error = "server draining";
+          // Deliberately not relayed: the job never ran, and the final
+          // report already says so via "interrupted".
+          sub.results[op.job_index] = std::move(r);
+          --sub.outstanding_ops;
+          maybe_finish(sub);
+          break;
+        }
+        case PendingOp::Kind::kFiChunk: {
+          for (const std::size_t i : op.indices) {
+            if (op.received.count(i)) continue;
+            sub.results[i].name = sub.suite->jobs.jobs[i].name;
+            sub.results[i].verdict = "skipped";
+          }
+          --sub.outstanding_ops;
+          maybe_finish(sub);
+          break;
+        }
+      }
+    }
+  }
+}
+
 void Server::handle_signals() {
   if (g_sigterm) {
     g_sigterm = 0;
-    if (!draining_) {
-      draining_ = true;
-      note("drain requested: finishing %zu in-flight submission(s)",
-           subs_.size());
-    }
+    begin_drain();
   }
   if (g_sigchld) {
     g_sigchld = 0;
@@ -417,6 +547,117 @@ void Server::handle_signals() {
       }
     }
   }
+}
+
+void Server::escalate_worker(std::size_t w, const char* reason) {
+  WorkerProc& wp = workers_[w];
+  if (wp.pid <= 0 || wp.escalation > 0) return;
+  note("worker %zu: %s; sending SIGTERM", w, reason);
+  wp.killed_for_hang = true;
+  wp.escalation = 1;
+  wp.escalated_at = std::chrono::steady_clock::now();
+  ::kill(wp.pid, SIGTERM);
+}
+
+std::optional<std::chrono::steady_clock::time_point> Server::next_deadline()
+    const {
+  std::optional<std::chrono::steady_clock::time_point> next;
+  const auto consider = [&](std::chrono::steady_clock::time_point t) {
+    if (!next || t < *next) next = t;
+  };
+  const bool hb_on = opts_.heartbeat_ms > 0 && opts_.heartbeat_timeout_ms > 0;
+  for (const WorkerProc& wp : workers_) {
+    if (wp.pid <= 0) continue;
+    if (wp.escalation == 1)
+      consider(wp.escalated_at +
+               std::chrono::milliseconds(opts_.kill_grace_ms));
+    else if (wp.escalation == 0 && hb_on && !wp.outstanding.empty())
+      consider(wp.last_line +
+               std::chrono::milliseconds(opts_.heartbeat_timeout_ms));
+  }
+  for (const auto& [id, op] : ops_)
+    if (op.sent && op.deadline) consider(*op.deadline);
+  if (opts_.heartbeat_ms > 0) {
+    for (const auto& [key, sub] : subs_) {
+      if (sub.client_fd < 0) continue;
+      consider(last_client_hb_ + std::chrono::milliseconds(opts_.heartbeat_ms));
+      break;
+    }
+  }
+  return next;
+}
+
+void Server::handle_timers() {
+  const auto now = std::chrono::steady_clock::now();
+  const bool hb_on = opts_.heartbeat_ms > 0 && opts_.heartbeat_timeout_ms > 0;
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    WorkerProc& wp = workers_[w];
+    if (wp.pid <= 0) continue;
+    if (wp.escalation == 1) {
+      if (now - wp.escalated_at >=
+          std::chrono::milliseconds(opts_.kill_grace_ms)) {
+        // SIGTERM pends forever on a stopped process; SIGKILL does not.
+        note("worker %zu ignored SIGTERM; sending SIGKILL", w);
+        ::kill(wp.pid, SIGKILL);
+        wp.escalation = 2;
+        wp.escalated_at = now;
+      }
+      continue;
+    }
+    if (wp.escalation >= 2) continue;  // death arrives via SIGCHLD
+    if (hb_on && !wp.outstanding.empty() &&
+        now - wp.last_line >=
+            std::chrono::milliseconds(opts_.heartbeat_timeout_ms)) {
+      ++totals_.heartbeat_misses;
+      escalate_worker(w, "busy but silent past the heartbeat timeout");
+      continue;
+    }
+    for (const std::uint64_t op_id : wp.outstanding) {
+      const auto it = ops_.find(op_id);
+      if (it == ops_.end()) continue;
+      if (it->second.deadline && now >= *it->second.deadline) {
+        escalate_worker(w, "job ran past its wall budget plus grace");
+        break;
+      }
+    }
+  }
+  // Keep clients with active submissions assured the server is alive even
+  // when no job has finished in a while (their idle timers reset on any
+  // line, heartbeats included).
+  if (opts_.heartbeat_ms > 0 &&
+      now - last_client_hb_ >= std::chrono::milliseconds(opts_.heartbeat_ms)) {
+    last_client_hb_ = now;
+    for (auto& [key, sub] : subs_) {
+      if (sub.client_fd < 0) continue;
+      send_client(sub.client_fd,
+                  "{\"event\":\"hb\",\"id\":" + std::to_string(sub.client_id) +
+                      "}");
+    }
+  }
+}
+
+std::size_t Server::total_load() const {
+  std::size_t n = 0;
+  for (const WorkerProc& wp : workers_)
+    n += wp.outstanding.size() + wp.queued.size();
+  return n;
+}
+
+bool Server::shed_if_overloaded(int fd, std::uint64_t id,
+                                std::size_t new_ops) {
+  if (opts_.max_queued == 0) return false;
+  const std::size_t cap = opts_.max_queued * workers_.size();
+  const std::size_t load = total_load();
+  if (load + new_ops <= cap) return false;
+  ++totals_.shed_submissions;
+  const std::uint64_t retry_ms =
+      200 + 150 * (load / std::max<std::size_t>(1, workers_.size()));
+  send_client(fd, "{\"event\":\"error\",\"id\":" + std::to_string(id) +
+                      ",\"error\":\"overloaded\",\"retry_after_ms\":" +
+                      std::to_string(retry_ms) + "}");
+  note("shed submission %llu: %zu queued + %zu new > cap %zu",
+       static_cast<unsigned long long>(id), load, new_ops, cap);
+  return true;
 }
 
 void Server::accept_client() {
@@ -464,6 +705,8 @@ void Server::read_worker(std::size_t w) {
   std::string line;
   while (workers_[w].fd >= 0 && workers_[w].buf.pop(&line))
     handle_worker_line(w, line);
+  // Retired ops opened send slots; move the backlog along.
+  if (workers_[w].fd >= 0) pump_worker(w);
 }
 
 void Server::handle_client_line(int fd, const std::string& line) {
@@ -489,7 +732,7 @@ void Server::handle_client_line(int fd, const std::string& line) {
   }
   if (op == "shutdown") {
     send_client(fd, "{\"event\":\"bye\"}");
-    draining_ = true;
+    begin_drain();
     return;
   }
   if (op != "submit") {
@@ -522,21 +765,54 @@ std::uint64_t Server::send_op(std::size_t w, PendingOp op,
                               const std::string& line) {
   const std::uint64_t op_id = next_op_++;
   op.worker = w;
-  ops_[op_id] = std::move(op);
-  workers_[w].outstanding.push_back(op_id);
   // The line carries a %ID% placeholder so callers can build the message
   // before the id exists.
   std::string out = line;
   const std::size_t at = out.find("%ID%");
   if (at != std::string::npos)
     out.replace(at, 4, std::to_string(op_id));
-  // On failure send_worker runs worker_gone, which already failed every
-  // outstanding op on that worker — including this one, so the op_failed
-  // here is a no-op in that case. NOTE: a failing send can therefore tear
-  // down the whole submission synchronously; callers must not touch a
+  op.line = std::move(out);
+  ops_[op_id] = std::move(op);
+  workers_[w].queued.push_back(op_id);
+  // NOTE: pumping can fail the op synchronously (dead worker, fatal send),
+  // which can tear down the whole submission; callers must not touch a
   // Submission& across a send_op without re-checking subs_.
-  if (!send_worker(w, out)) op_failed(op_id, "worker unavailable");
+  pump_worker(w);
   return op_id;
+}
+
+void Server::pump_worker(std::size_t w) {
+  WorkerProc& wp = workers_[w];
+  if (wp.fd < 0) {
+    // Dead and not respawned (drain, or a failed respawn): nothing will
+    // ever drain this queue, so fail it now.
+    std::deque<std::uint64_t> dead;
+    dead.swap(wp.queued);
+    for (const std::uint64_t op_id : dead)
+      op_failed(op_id, "worker unavailable");
+    return;
+  }
+  while (wp.fd >= 0 && !wp.queued.empty() &&
+         wp.outstanding.size() < kMaxInflight) {
+    const std::uint64_t op_id = wp.queued.front();
+    wp.queued.pop_front();
+    const auto it = ops_.find(op_id);
+    if (it == ops_.end()) continue;  // dropped while queued
+    PendingOp& op = it->second;
+    op.sent = true;
+    if (op.kind == PendingOp::Kind::kJob && op.wall_budget_s > 0) {
+      op.deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(op.wall_budget_s)) +
+          std::chrono::milliseconds(opts_.deadline_grace_ms);
+    }
+    wp.outstanding.push_back(op_id);
+    // On failure send_worker runs worker_gone, which fails every op on
+    // this worker (including this one) and requeues nothing sendable — so
+    // just stop pumping.
+    if (!send_worker(w, op.line)) return;
+  }
 }
 
 bool Server::send_worker(std::size_t w, const std::string& line) {
@@ -572,6 +848,11 @@ void Server::submit_ref(int fd, std::uint64_t id, const std::string& ref,
     return;
   }
   fspec.seed = seed;
+  // Admission estimate: the golden op now plus one chunk per shard later.
+  if (shed_if_overloaded(
+          fd, id,
+          1 + std::min({want_workers, workers_.size(), fspec.n_faults})))
+    return;
   const std::uint64_t key = next_sub_++;
   Submission& sub = subs_[key];
   sub.key = key;
@@ -619,6 +900,19 @@ void Server::submit_spec(int fd, std::uint64_t id, const std::string& text,
   }
   if (analyze)
     for (campaign::JobSpec& j : cspec.jobs) j.analyze = true;
+  // Server-side resource caps clamp every client budget BEFORE the spec is
+  // serialized for the workers, so the wire jobs, the affinity hashes and
+  // the enforced limits all agree. A job with no budget of its own gets the
+  // cap outright — no submission may hold a worker forever.
+  for (campaign::JobSpec& j : cspec.jobs) {
+    if (opts_.max_job_wall_s > 0 &&
+        (j.wall_budget_s == 0 || j.wall_budget_s > opts_.max_job_wall_s))
+      j.wall_budget_s = opts_.max_job_wall_s;
+    if (opts_.max_job_mem_mb > 0 &&
+        (j.mem_budget_mb == 0 || j.mem_budget_mb > opts_.max_job_mem_mb))
+      j.mem_budget_mb = opts_.max_job_mem_mb;
+  }
+  if (shed_if_overloaded(fd, id, cspec.jobs.size())) return;
   const std::uint64_t key = next_sub_++;
   Submission& sub = subs_[key];
   sub.key = key;
@@ -657,6 +951,7 @@ void Server::submit_spec(int fd, std::uint64_t id, const std::string& text,
     op.sub = key;
     op.kind = PendingOp::Kind::kJob;
     op.job_index = i;
+    op.wall_budget_s = sub.cspec.jobs[i].wall_budget_s;
     send_op(fan[i].first, std::move(op), fan[i].second);
     if (!subs_.count(key)) return;  // every op failed; already reported
   }
@@ -714,7 +1009,10 @@ void Server::golden_arrived(Submission& sub,
        static_cast<unsigned long long>(key), n, shards);
 }
 
-void Server::handle_worker_line(std::size_t /*w*/, const std::string& line) {
+void Server::handle_worker_line(std::size_t w, const std::string& line) {
+  // Any parsed line proves the worker alive — results and heartbeats alike
+  // reset its liveness clock.
+  workers_[w].last_line = std::chrono::steady_clock::now();
   JsonValue msg;
   try {
     msg = campaign::json_parse(line);
@@ -724,6 +1022,14 @@ void Server::handle_worker_line(std::size_t /*w*/, const std::string& line) {
   const std::string ev = msg.str_or("ev");
   const std::uint64_t op_id = msg.u64_or("id", 0);
   auto oit = ops_.find(op_id);
+  if (ev == "hb") {
+    // Heartbeat: id 0 = idle (clock reset above is all it carries); a
+    // nonzero id names the executing op, whose live progress feeds the
+    // "hung at N instructions" diagnostics.
+    if (oit != ops_.end())
+      oit->second.progress_instret = msg.u64_or("instret", 0);
+    return;
+  }
   if (oit == ops_.end()) return;  // late event for a dropped submission
   PendingOp& op = oit->second;
   auto sit = subs_.find(op.sub);
@@ -755,6 +1061,8 @@ void Server::handle_worker_line(std::size_t /*w*/, const std::string& line) {
   if (ev != "result") return;
 
   // Final event: the op is complete — retire it from the worker's FIFO.
+  // (The next queued op is pumped by read_worker once this batch of lines
+  // is drained; pumping here would invalidate the references below.)
   auto& fifo = workers_[op.worker].outstanding;
   for (std::size_t i = 0; i < fifo.size(); ++i) {
     if (fifo[i] == op_id) {
@@ -843,7 +1151,8 @@ void Server::handle_worker_line(std::size_t /*w*/, const std::string& line) {
   }
 }
 
-void Server::op_failed(std::uint64_t op_id, const std::string& error) {
+void Server::op_failed(std::uint64_t op_id, const std::string& error,
+                       const char* verdict) {
   auto oit = ops_.find(op_id);
   if (oit == ops_.end()) return;
   const PendingOp op = std::move(oit->second);
@@ -855,20 +1164,38 @@ void Server::op_failed(std::uint64_t op_id, const std::string& error) {
       break;
     }
   }
+  auto& q = workers_[op.worker].queued;
+  for (auto it = q.begin(); it != q.end(); ++it) {
+    if (*it == op_id) {
+      q.erase(it);
+      break;
+    }
+  }
+  pump_worker(op.worker);  // a slot may have opened; `op` is a copy, safe
+  const bool hung = std::strcmp(verdict, "hung") == 0;
   auto sit = subs_.find(op.sub);
   if (sit == subs_.end()) return;
   Submission& sub = sit->second;
   switch (op.kind) {
     case PendingOp::Kind::kGolden:
+      if (hung) ++totals_.hung_jobs;
       fail_submission(sub, error);
       return;
     case PendingOp::Kind::kJob: {
       campaign::JobResult r;
       r.name = sub.cspec.jobs[op.job_index].name;
-      r.verdict = "crash";
+      r.verdict = verdict;
       r.error = error;
       r.attempts = 1;
-      r.history = {{r.verdict, r.error}};
+      if (hung) {
+        // How far the job got before the kill, from the worker's last
+        // heartbeat — the "same instret twice = deterministic hang" signal
+        // the retry policy keys on.
+        r.run.instret = op.progress_instret;
+        ++totals_.hung_jobs;
+        ++sub.service.hung_jobs;
+      }
+      r.history = {{r.verdict, r.error, r.run.instret}};
       relay_job(sub, r);
       sub.results[op.job_index] = std::move(r);
       --sub.outstanding_ops;
@@ -876,16 +1203,20 @@ void Server::op_failed(std::uint64_t op_id, const std::string& error) {
       return;
     }
     case PendingOp::Kind::kFiChunk: {
-      // Faults the chunk had not streamed yet become crash verdicts — the
-      // submission still completes with a full matrix.
+      // Faults the chunk had not streamed yet inherit the failure verdict —
+      // the submission still completes with a full matrix.
       for (std::size_t i : op.indices) {
         if (op.received.count(i)) continue;
         campaign::JobResult r;
         r.name = sub.suite->jobs.jobs[i].name;
-        r.verdict = "crash";
+        r.verdict = verdict;
         r.error = error;
         r.attempts = 1;
         r.history = {{r.verdict, r.error}};
+        if (hung) {
+          ++totals_.hung_jobs;
+          ++sub.service.hung_jobs;
+        }
         relay_job(sub, r);
         sub.results[i] = std::move(r);
       }
@@ -897,19 +1228,36 @@ void Server::op_failed(std::uint64_t op_id, const std::string& error) {
 }
 
 void Server::worker_gone(std::size_t w) {
-  if (workers_[w].fd >= 0) {
-    ::close(workers_[w].fd);
-    workers_[w].fd = -1;
+  WorkerProc& wp = workers_[w];
+  const bool hang = wp.killed_for_hang;
+  if (wp.fd >= 0) {
+    ::close(wp.fd);
+    wp.fd = -1;
   }
-  const std::vector<std::uint64_t> lost = workers_[w].outstanding;
-  workers_[w].outstanding.clear();
+  // Every path here is an involuntary death (clean quits only happen in
+  // teardown, which never comes through worker_gone).
+  ++totals_.killed_workers;
+  const std::vector<std::uint64_t> lost = wp.outstanding;
+  wp.outstanding.clear();
+  // Unsent backlog survives the death: it requeues onto the respawn. Swap
+  // it out first so the op_failed cascade below can't touch it.
+  std::deque<std::uint64_t> backlog;
+  backlog.swap(wp.queued);
+  wp.escalation = 0;
+  wp.killed_for_hang = false;
   if (!lost.empty())
-    note("worker %zu died with %zu op(s) in flight", w, lost.size());
-  for (std::uint64_t op_id : lost) op_failed(op_id, "worker crashed");
-  if (workers_[w].pid > 0) {
+    note("worker %zu died with %zu op(s) in flight%s", w, lost.size(),
+         hang ? " (killed by escalation)" : "");
+  for (std::uint64_t op_id : lost)
+    op_failed(op_id,
+              hang ? "killed: job exceeded its deadline or the worker went "
+                     "silent"
+                   : "worker crashed",
+              hang ? "hung" : "crash");
+  if (wp.pid > 0) {
     int status = 0;
-    ::waitpid(workers_[w].pid, &status, WNOHANG);
-    workers_[w].pid = -1;
+    ::waitpid(wp.pid, &status, WNOHANG);
+    wp.pid = -1;
   }
   if (!draining_) {
     try {
@@ -918,6 +1266,14 @@ void Server::worker_gone(std::size_t w) {
     } catch (const std::exception& e) {
       note("worker %zu respawn failed: %s", w, e.what());
     }
+  }
+  if (wp.fd >= 0) {
+    wp.queued = std::move(backlog);
+    pump_worker(w);
+  } else {
+    // No respawn (draining, or the fork failed): the backlog has no home.
+    for (std::uint64_t op_id : backlog)
+      op_failed(op_id, "worker unavailable");
   }
 }
 
@@ -952,8 +1308,9 @@ void Server::finish_fi(Submission& sub) {
     std::vector<fi::Verdict> verdicts;
     const fi::CoverageMatrix m =
         fi::build_matrix(*sub.suite, sub.results, &verdicts);
-    ok = m.verdict_total(fi::Verdict::kCrash) == 0;
+    ok = m.verdict_total(fi::Verdict::kCrash) == 0 && !sub.interrupted;
     const std::string extra =
+        std::string(sub.interrupted ? "\"interrupted\": true,\n  " : "") +
         "\"service\": " + sub.service.to_json() +
         ",\n  \"fork\": " + fork_stats_to_json(sub.fork);
     report = fi::matrix_json(*sub.suite, sub.results, verdicts,
@@ -977,7 +1334,13 @@ void Server::finish_spec(Submission& sub) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - sub.t0)
           .count();
   campaign::Aggregator agg;
-  for (const campaign::JobResult& r : sub.results) agg.add(r);
+  agg.set_interrupted(sub.interrupted);
+  for (const campaign::JobResult& r : sub.results) {
+    // Drain-skipped jobs never ran; the partial report counts only what did
+    // (the "interrupted" flag says the list is incomplete).
+    if (sub.interrupted && r.verdict == "skipped") continue;
+    agg.add(r);
+  }
   const std::string extra = "\"service\": " + sub.service.to_json();
   const std::string report =
       agg.to_json(sub.cspec.name, sub.shard_workers, wall, extra);
@@ -1016,6 +1379,13 @@ void Server::drop_submission(std::uint64_t key) {
         fifo.erase(fifo.begin() + i);
       else
         ++i;
+    }
+    auto& q = w.queued;
+    for (auto it = q.begin(); it != q.end();) {
+      if (!ops_.count(*it))
+        it = q.erase(it);
+      else
+        ++it;
     }
   }
   subs_.erase(key);

@@ -18,10 +18,20 @@
 // A crashed worker is reaped via SIGCHLD: its in-flight jobs resolve to
 // verdict "crash" (the submission still completes) and a fresh worker is
 // forked in its slot. SIGINT/SIGTERM drain gracefully: no new submissions,
-// in-flight ones finish, then the workers are told to quit.
+// in-flight ops finish (queued-but-unsent jobs are skipped and the partial
+// report is marked "interrupted"), then the workers are told to quit.
+//
+// Liveness supervision rides the same loop: workers heartbeat over their
+// socketpair, and a busy worker that goes silent past the heartbeat timeout
+// — or a job that overruns its wall budget past a grace period — is
+// escalated SIGTERM -> SIGKILL -> respawn, its job resolving to verdict
+// "hung" instead of "crash". Per-worker admission queues bound memory; with
+// --max-queued set, excess submissions are shed with a structured
+// "overloaded" error carrying a retry_after_ms hint.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 namespace vpdift::service {
@@ -30,6 +40,30 @@ struct ServerOptions {
   std::string socket_path;   ///< AF_UNIX path to listen on
   std::size_t workers = 2;   ///< pre-forked worker processes
   bool quiet = false;        ///< suppress stderr progress lines
+
+  /// Server-side cap on a job's wall-clock budget (seconds; 0 = none).
+  /// Client budgets above the cap — or absent entirely — are clamped down
+  /// to it, so no submission can hold a worker forever.
+  double max_job_wall_s = 0;
+  /// Server-side cap on a job's memory headroom (MiB; 0 = none), clamped
+  /// onto client budgets the same way and enforced via RLIMIT_AS in the
+  /// worker.
+  std::uint64_t max_job_mem_mb = 0;
+  /// Admission bound: at most this many ops queued-or-running per worker on
+  /// average (0 = unbounded). A submission that would exceed the bound is
+  /// rejected with error "overloaded" + retry_after_ms.
+  std::size_t max_queued = 0;
+
+  /// Worker heartbeat period (ms; 0 disables liveness supervision).
+  std::uint64_t heartbeat_ms = 500;
+  /// A busy worker silent for this long is presumed wedged and escalated.
+  std::uint64_t heartbeat_timeout_ms = 10000;
+  /// SIGTERM -> SIGKILL grace during escalation.
+  std::uint64_t kill_grace_ms = 2000;
+  /// Slack added to a job's wall budget before the server gives up on the
+  /// worker delivering the result itself (the in-worker wall guard should
+  /// fire well within this).
+  std::uint64_t deadline_grace_ms = 3000;
 };
 
 /// Runs the daemon until a shutdown request or SIGINT/SIGTERM; returns the

@@ -1,6 +1,10 @@
 #include "service/worker.hpp"
 
+#include <atomic>
+#include <chrono>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "campaign/json.hpp"
@@ -21,9 +25,52 @@ std::string ev_head(const char* ev, std::uint64_t id) {
 
 }  // namespace
 
-int worker_main(int fd) {
+int worker_main(int fd, const WorkerConfig& cfg) {
   WarmCache cache;
   Executor exec(cache);
+
+  // The heartbeat thread shares the reply socket with the op loop; frames
+  // are whole lines, so one mutex around every write keeps them intact.
+  std::mutex write_mu;
+  const auto send = [&](const std::string& line) {
+    const std::lock_guard<std::mutex> lock(write_mu);
+    write_line(fd, line);
+  };
+
+  // `current_op` is the id of the op executing right now (0 when idle);
+  // `progress` is the live instret of its simulation, published by the
+  // runner's progress guard. Together they let the parent tell a slow but
+  // advancing job from a wedged one.
+  std::atomic<std::uint64_t> current_op{0};
+  std::atomic<std::uint64_t> progress{0};
+  exec.set_progress(&progress);
+
+  std::atomic<bool> stop{false};
+  std::thread hb;
+  if (cfg.heartbeat_ms > 0) {
+    hb = std::thread([&] {
+      // Sleep in short slices so quit/EOF joins promptly even with a long
+      // heartbeat period.
+      const auto slice = std::chrono::milliseconds(20);
+      auto next = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(cfg.heartbeat_ms);
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(slice);
+        const auto now = std::chrono::steady_clock::now();
+        if (now < next) continue;
+        next = now + std::chrono::milliseconds(cfg.heartbeat_ms);
+        send(ev_head("hb", current_op.load(std::memory_order_relaxed)) +
+             ",\"instret\":" +
+             std::to_string(progress.load(std::memory_order_relaxed)) + "}");
+      }
+    });
+  }
+  const auto shut_down = [&](int rc) {
+    stop.store(true, std::memory_order_relaxed);
+    if (hb.joinable()) hb.join();
+    return rc;
+  };
+
   LineReader in(fd);
   std::string line;
   while (in.read_line(&line)) {
@@ -33,7 +80,10 @@ int worker_main(int fd) {
       const JsonValue msg = campaign::json_parse(line);
       const std::string op = msg.str_or("op");
       id = msg.u64_or("id", 0);
-      if (op == "quit") return 0;
+      if (op == "quit") return shut_down(0);
+
+      current_op.store(id, std::memory_order_relaxed);
+      progress.store(0, std::memory_order_relaxed);
 
       const CacheStats before = cache.stats();
       auto delta = [&] { return (cache.stats() - before).to_json(); };
@@ -45,18 +95,18 @@ int worker_main(int fd) {
         campaign::JobSpec job;
         campaign::job_spec_from_json(job, *spec);
         const campaign::JobResult res = exec.run_job(job);
-        write_line(fd, ev_head("result", id) +
-                           ",\"result\":" + job_result_to_json(res) +
-                           ",\"stats\":" + delta() + "}");
+        send(ev_head("result", id) +
+             ",\"result\":" + job_result_to_json(res) +
+             ",\"stats\":" + delta() + "}");
       } else if (op == "fi-golden") {
         fi::FiSuiteSpec spec;
         spec.benchmark = msg.str_or("benchmark");
         spec.seed = msg.u64_or("seed", 1);
         spec.n_faults = static_cast<std::size_t>(msg.u64_or("n", 0));
         const campaign::JobResult res = exec.fi_golden(spec);
-        write_line(fd, ev_head("result", id) +
-                           ",\"result\":" + job_result_to_json(res) +
-                           ",\"stats\":" + delta() + "}");
+        send(ev_head("result", id) +
+             ",\"result\":" + job_result_to_json(res) +
+             ",\"stats\":" + delta() + "}");
       } else if (op == "fi") {
         fi::FiSuiteSpec spec;
         spec.benchmark = msg.str_or("benchmark");
@@ -76,8 +126,8 @@ int worker_main(int fd) {
         // to the client, which is where "incremental per-job results" on a
         // long fi submission come from.
         const auto on_done = [&](const campaign::JobResult& r) {
-          write_line(fd, ev_head("job", id) +
-                             ",\"result\":" + job_result_to_json(r) + "}");
+          send(ev_head("job", id) +
+               ",\"result\":" + job_result_to_json(r) + "}");
         };
         fi::ForkStats fork;
         const std::vector<campaign::JobResult> results =
@@ -86,25 +136,26 @@ int worker_main(int fd) {
         for (std::size_t i : indices)
           if (i < results.size() && results[i].verdict == "skipped")
             skipped += (skipped.empty() ? "" : ",") + std::to_string(i);
-        write_line(fd, ev_head("result", id) +
-                           ",\"fork\":" + fork_stats_to_json(fork) +
-                           ",\"skipped\":[" + skipped +
-                           "],\"stats\":" + delta() + "}");
+        send(ev_head("result", id) +
+             ",\"fork\":" + fork_stats_to_json(fork) +
+             ",\"skipped\":[" + skipped +
+             "],\"stats\":" + delta() + "}");
       } else if (op == "stats") {
-        write_line(fd, ev_head("result", id) +
-                           ",\"stats\":" + cache.stats().to_json() + "}");
+        send(ev_head("result", id) +
+             ",\"stats\":" + cache.stats().to_json() + "}");
       } else {
         throw std::runtime_error("unknown op: " + op);
       }
     } catch (const std::exception& e) {
-      write_line(fd, ev_head("error", id) +
-                         ",\"error\":" + campaign::json_quote(e.what()) + "}");
+      send(ev_head("error", id) +
+           ",\"error\":" + campaign::json_quote(e.what()) + "}");
     } catch (...) {
-      write_line(fd, ev_head("error", id) +
-                         ",\"error\":\"non-std exception\"}");
+      send(ev_head("error", id) + ",\"error\":\"non-std exception\"}");
     }
+    current_op.store(0, std::memory_order_relaxed);
+    progress.store(0, std::memory_order_relaxed);
   }
-  return 0;
+  return shut_down(0);
 }
 
 }  // namespace vpdift::service

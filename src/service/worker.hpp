@@ -21,12 +21,29 @@
 //       "result" (job/fi-golden), or "fork" + "skipped" (fi), and always
 //       "stats" (the op's CacheStats delta; cumulative for op "stats")
 //   {"ev":"error","id":N,"error":"..."}         op failed
+//   {"ev":"hb","id":N,"instret":I}              liveness heartbeat, every
+//       WorkerConfig::heartbeat_ms from a dedicated thread. N is the op
+//       currently executing (0 when idle) and I the live retirement count
+//       of that op's simulation — a silent-but-busy worker is distinguish-
+//       able from a wedged one by whether I still advances.
+//
+// The heartbeat thread and the op loop share the socket; every write goes
+// through one mutex so frames never interleave mid-line. Everything else in
+// the worker stays single-threaded (simulations are thread-confined).
 #pragma once
+
+#include <cstdint>
 
 namespace vpdift::service {
 
+struct WorkerConfig {
+  /// Heartbeat period; 0 disables the heartbeat thread entirely (the
+  /// pre-resilience wire behaviour, used by tests that count exact frames).
+  std::uint64_t heartbeat_ms = 500;
+};
+
 /// Runs the worker loop on `fd` until EOF or a quit op; returns the process
 /// exit code. Never throws.
-int worker_main(int fd);
+int worker_main(int fd, const WorkerConfig& cfg = {});
 
 }  // namespace vpdift::service

@@ -14,6 +14,7 @@ const char* to_string(ExitReason reason) {
     case ExitReason::kWallTimeout: return "wall-timeout";
     case ExitReason::kWatchdogReset: return "watchdog-reset";
     case ExitReason::kTrap: return "trap";
+    case ExitReason::kUnknown: return "unknown";
   }
   return "?";
 }

@@ -57,12 +57,19 @@ enum class ExitReason : std::uint8_t {
   kWallTimeout,    ///< a wall-clock guard stopped the simulation
   kWatchdogReset,  ///< budget ran out while the watchdog was reset-cycling
   kTrap,           ///< fatal trap: the core trapped with a null trap vector
+  /// A decoded result carried a reason this build does not know (a newer
+  /// peer on the wire). Never produced by a local run; the raw name
+  /// survives in RunResult::reason_raw so the round trip is lossless.
+  kUnknown,
 };
 const char* to_string(ExitReason reason);
 
 /// Outcome of one VP run.
 struct RunResult {
   ExitReason reason = ExitReason::kSimTimeout;
+  /// The verbatim reason string a decode could not map (reason == kUnknown
+  /// only); empty for every locally produced result.
+  std::string reason_raw;
   std::uint32_t exit_code = 0;
   /// Watchdog resets fired during this run (RAM survives each one).
   std::uint32_t watchdog_resets = 0;

@@ -18,7 +18,19 @@ The check:
 Wall-clock fields (wall_s, mips) are host-dependent and excluded; the
 "service"/"fork" counter blocks are compared only as described in (b).
 
+Chaos mode (--chaos) gates the resilience layer instead: it runs
+`vpdift-serve --self-test chaos` — which SIGKILLs a worker mid-campaign,
+SIGSTOPs the pool to force the kill-escalation ladder, floods the
+admission queue, submits an oversized ELF, and replays the baseline
+campaign for bit-identity — and then asserts the resilience counters the
+harness printed crossed their floors: hung_jobs >= 1, killed_workers >= 2,
+shed_submissions >= 1, heartbeat_misses >= 1. The self-test already exits
+non-zero on a behavioural failure; the counter gate here additionally
+pins that every fault path was genuinely exercised (a timing change that
+quietly stopped tripping the heartbeat detector would otherwise pass).
+
 Usage: check_service_smoke.py <vpdift-serve> <vpdift-campaign>
+       check_service_smoke.py --chaos <vpdift-serve>
 """
 import json
 import os
@@ -58,7 +70,64 @@ def deterministic_fields(report):
     }
 
 
+CHAOS_FLOORS = {
+    "hung_jobs": 1,
+    "killed_workers": 2,
+    "shed_submissions": 1,
+    "heartbeat_misses": 1,
+}
+
+
+def chaos_gate(serve_bin) -> int:
+    env = dict(os.environ)
+    # The resource sandbox is compiled out under sanitizers, but the chaos
+    # run still allocates aggressively while workers are being killed;
+    # under ASan a failed allocation must return NULL (and surface as a
+    # job-level crash) rather than abort the whole daemon.
+    asan = env.get("ASAN_OPTIONS", "")
+    env["ASAN_OPTIONS"] = (asan + ":" if asan else "") + \
+        "allocator_may_return_null=1"
+    proc = subprocess.run([serve_bin, "--self-test", "chaos"],
+                          capture_output=True, text=True, env=env,
+                          timeout=600)
+    sys.stdout.write(proc.stdout)
+    sys.stderr.write(proc.stderr)
+    if proc.returncode != 0:
+        print(f"chaos self-test exited {proc.returncode}")
+        return 1
+
+    counters = None
+    for line in proc.stdout.splitlines():
+        if line.startswith("chaos-counters: "):
+            counters = json.loads(line[len("chaos-counters: "):])
+    if counters is None:
+        print("chaos self-test printed no 'chaos-counters:' line")
+        return 1
+
+    bad = False
+    for key, floor in CHAOS_FLOORS.items():
+        got = counters.get(key)
+        if not isinstance(got, (int, float)) or got < floor:
+            print(f"chaos counter {key}={got}, need >= {floor}")
+            bad = True
+        else:
+            print(f"chaos counter {key}={int(got)} OK (floor {floor})")
+    if bad:
+        return 1
+
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        with open(summary, "a") as f:
+            f.write("### Chaos self-test counters\n")
+            for key, floor in CHAOS_FLOORS.items():
+                f.write(f"- `{key}` = {int(counters[key])} "
+                        f"(floor {floor})\n")
+    return 0
+
+
 def main() -> int:
+    if len(sys.argv) == 3 and sys.argv[1] == "--chaos":
+        return chaos_gate(sys.argv[2])
     if len(sys.argv) != 3:
         print(__doc__.strip(), file=sys.stderr)
         return 2

@@ -29,8 +29,10 @@ if [ "$mode" = tsan ]; then
   # The threading tests: campaign subsystem + parallel fuzz + CLI tests that
   # exercise --jobs, plus the fork-campaign and block-engine suites so the
   # variant-dispatch/superblock paths run under TSan too (ForkCampaign and
-  # BlockEngine are NOT matched by Fi[A-Z] — spell them out).
-  filter='campaign|Campaign|ParallelVp|ThreadPool|Runner\.|Aggregator|FuzzCampaign|cli\.|Fi[A-Z]|ForkCampaign|BlockEngine'
+  # BlockEngine are NOT matched by Fi[A-Z] — spell them out). The service
+  # resilience suite joins the list because the worker heartbeat thread
+  # shares the socketpair (and a progress counter) with the op loop.
+  filter='campaign|Campaign|ParallelVp|ThreadPool|Runner\.|Aggregator|FuzzCampaign|cli\.|Fi[A-Z]|ForkCampaign|BlockEngine|ServiceResilience|WorkerHeartbeat|ClientDeadline'
 else
   build=${1:-"$repo/build-asan"}
   sanitize=ON

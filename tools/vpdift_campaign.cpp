@@ -23,6 +23,10 @@
 //                   and fi: refs; built-in suites stay local-only). The
 //                   report is the daemon's, bit-identical to a local run
 //                   plus a "service" cache-counter block (docs/service.md)
+//   --connect-timeout S   with --connect: give up after S seconds waiting
+//                   for the connection or a control-plane reply (default
+//                   30; 0 = wait forever). A daemon that accepted the
+//                   socket but never answers fails instead of hanging
 //   --analyze       run the static analyzer (CFG + taint reachability,
 //                   docs/analysis.md) over every job's firmware x policy:
 //                   each job result carries the lint report and, in
@@ -85,7 +89,8 @@ void install_cancel_handlers() {
 int usage() {
   std::fprintf(stderr,
                "usage: vpdift-campaign [--jobs N] [--seed N] [--fork] "
-               "[--connect SOCK] [--analyze] [--out FILE|-] [--force] "
+               "[--connect SOCK] [--connect-timeout S] [--analyze] "
+               "[--out FILE|-] [--force] "
                "[--quiet] [--list]\n"
                "                       <spec-file | fi:<benchmark>:<n-faults> "
                "| --suite table1 | --suite table2[:scale]>\n");
@@ -167,8 +172,8 @@ int print_table2(const std::vector<campaign::JobResult>& results,
 /// Client mode: submit to a vpdift-serve daemon and relay its report.
 int run_connected(const std::string& socket_path, const std::string& spec_path,
                   std::uint64_t seed, std::size_t jobs, bool analyze,
-                  const std::string& out_path, bool force, bool quiet,
-                  FILE* prog) {
+                  std::uint64_t connect_timeout_s, const std::string& out_path,
+                  bool force, bool quiet, FILE* prog) {
   fi::FiSuiteSpec fi_spec;
   const bool is_fi = fi::parse_fi_ref(spec_path, &fi_spec);
   if (is_fi && analyze) {
@@ -193,7 +198,9 @@ int run_connected(const std::string& socket_path, const std::string& spec_path,
     return 2;
   }
 
-  service::Client client(socket_path);
+  service::ClientOptions copts;
+  copts.timeout_ms = connect_timeout_s * 1000;
+  service::Client client(socket_path, copts);
   std::size_t done = 0;
   const auto on_job = [&](const service::JobEvent& je) {
     ++done;
@@ -238,6 +245,7 @@ int main(int argc, char** argv) {
   std::string spec_path, suite, out_path, connect_path;
   std::size_t jobs = campaign::ThreadPool::jobs_from_env(1);
   std::uint64_t seed = 1;
+  std::uint64_t connect_timeout_s = 30;
   bool quiet = false, list = false, fork_mode = false, force = false;
   bool analyze = false;
 
@@ -259,6 +267,13 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!campaign::parse_u64(v, &seed)) {
         std::fprintf(stderr, "invalid value for --seed: '%s'\n", v);
+        return usage();
+      }
+    } else if (arg == "--connect-timeout") {
+      const char* v = next();
+      if (!campaign::parse_u64(v, &connect_timeout_s) ||
+          connect_timeout_s > 86400) {
+        std::fprintf(stderr, "invalid value for --connect-timeout: '%s'\n", v);
         return usage();
       }
     } else if (arg == "--suite") suite = next();
@@ -291,7 +306,7 @@ int main(int argc, char** argv) {
     }
     try {
       return run_connected(connect_path, spec_path, seed, jobs, analyze,
-                           out_path, force, quiet, prog);
+                           connect_timeout_s, out_path, force, quiet, prog);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 2;

@@ -1,7 +1,7 @@
 // vpdift-serve — the campaign service daemon.
 //
-//   vpdift-serve --socket PATH [--workers N] [--quiet]
-//   vpdift-serve --self-test
+//   vpdift-serve --socket PATH [--workers N] [--quiet] [resilience knobs]
+//   vpdift-serve --self-test [chaos]
 //
 //   --socket PATH   AF_UNIX socket to listen on (NDJSON protocol, see
 //                   docs/service.md). Clients: vpdift-campaign --connect
@@ -10,27 +10,58 @@
 //                   golden runs, fault-site snapshots), so repeat
 //                   submissions skip straight to the post-fault tails
 //   --quiet         suppress stderr progress lines
-//   --self-test     end-to-end smoke: fork a daemon on a temporary socket,
-//                   submit the same fi campaign twice, assert the two
-//                   reports agree on every deterministic field and the
-//                   second submission hit the golden cache and retired
-//                   fewer instructions, print SELF-TEST OK
 //
-// SIGINT/SIGTERM drain gracefully: in-flight submissions finish, then the
-// workers are told to quit and the socket is unlinked. Exit status 0 on
-// clean shutdown, 1 on a failed self-test, 2 on usage errors.
+// Resilience knobs (docs/service.md, "Failure modes & resilience"):
+//
+//   --max-job-wall S          server-side cap on per-job wall budgets;
+//                             clamps client budgets, including "unlimited"
+//   --max-job-mem MB          server-side cap on per-job RLIMIT_AS budgets
+//   --max-queued N            admission-queue depth per worker; submissions
+//                             beyond it are shed with "overloaded"
+//   --heartbeat-ms MS         worker/client heartbeat period (0 disables)
+//   --heartbeat-timeout-ms MS busy worker silent this long -> escalation
+//   --kill-grace-ms MS        SIGTERM -> SIGKILL escalation grace
+//
+//   --self-test        end-to-end smoke: fork a daemon on a temporary
+//                      socket, submit the same fi campaign twice, assert
+//                      the two reports agree on every deterministic field
+//                      and the second submission hit the golden cache and
+//                      retired fewer instructions, print SELF-TEST OK
+//   --self-test chaos  resilience smoke: fork a daemon with tight liveness
+//                      budgets, then SIGKILL a worker, SIGSTOP the rest
+//                      under an infinite-loop firmware, burst past the
+//                      admission queue, feed it an oversized ELF and a
+//                      client that never reads — asserting the daemon
+//                      recovers every time, the surviving reports stay
+//                      bit-identical to the pre-chaos baseline, and the
+//                      resilience counters (hung_jobs, killed_workers,
+//                      shed_submissions, heartbeat_misses) all moved.
+//                      Prints "chaos-counters: {...}" then CHAOS SELF-TEST
+//                      OK
+//
+// SIGINT/SIGTERM drain gracefully: in-flight submissions finish, queued
+// ones are resolved as skipped with the report marked "interrupted", then
+// the workers are told to quit and the socket is unlinked. Exit status 0
+// on clean shutdown, 1 on a failed self-test, 2 on usage errors.
+#include <dirent.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "campaign/spec.hpp"
 #include "service/client.hpp"
+#include "service/protocol.hpp"
 #include "service/server.hpp"
 
 using namespace vpdift;
@@ -38,9 +69,13 @@ using namespace vpdift;
 namespace {
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: vpdift-serve --socket PATH [--workers N] [--quiet]\n"
-               "       vpdift-serve --self-test\n");
+  std::fprintf(
+      stderr,
+      "usage: vpdift-serve --socket PATH [--workers N] [--quiet]\n"
+      "                    [--max-job-wall S] [--max-job-mem MB]\n"
+      "                    [--max-queued N] [--heartbeat-ms MS]\n"
+      "                    [--heartbeat-timeout-ms MS] [--kill-grace-ms MS]\n"
+      "       vpdift-serve --self-test [chaos]\n");
   return 2;
 }
 
@@ -194,17 +229,339 @@ int self_test() {
   return rc;
 }
 
+/// Live child pids of `parent`, via the /proc ppid field (field 4 of
+/// /proc/<pid>/stat, after the parenthesised comm).
+std::vector<pid_t> children_of(pid_t parent) {
+  std::vector<pid_t> kids;
+  DIR* d = ::opendir("/proc");
+  if (!d) return kids;
+  while (struct dirent* e = ::readdir(d)) {
+    char* end = nullptr;
+    const long p = std::strtol(e->d_name, &end, 10);
+    if (end == e->d_name || *end != '\0' || p <= 0) continue;
+    const std::string path = std::string("/proc/") + e->d_name + "/stat";
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (!f) continue;
+    char buf[512];
+    const std::size_t n = std::fread(buf, 1, sizeof buf - 1, f);
+    std::fclose(f);
+    buf[n] = '\0';
+    const char* rp = std::strrchr(buf, ')');
+    if (!rp) continue;
+    char state = 0;
+    int ppid = 0;
+    if (std::sscanf(rp + 1, " %c %d", &state, &ppid) == 2 && ppid == parent)
+      kids.push_back(static_cast<pid_t>(p));
+  }
+  ::closedir(d);
+  return kids;
+}
+
+/// Waits until `parent` has at least `n` live children none of which is
+/// `exclude` (a pid known to be dying). False on timeout.
+bool wait_for_children(pid_t parent, std::size_t n, pid_t exclude = -1) {
+  for (int i = 0; i < 200; ++i) {
+    std::vector<pid_t> kids = children_of(parent);
+    if (exclude > 0)
+      kids.erase(std::remove(kids.begin(), kids.end(), exclude), kids.end());
+    if (kids.size() >= n) return true;
+    ::usleep(50 * 1000);
+  }
+  return false;
+}
+
+void put_u16(std::string* s, std::uint16_t v) {
+  s->push_back(static_cast<char>(v & 0xff));
+  s->push_back(static_cast<char>(v >> 8));
+}
+void put_u32(std::string* s, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    s->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+/// A structurally valid ELF32 whose single PT_LOAD claims ~4 GiB of
+/// memory backed by zero file bytes — the loader must reject it (load-size
+/// cap) instead of allocating, and the daemon must survive the job.
+bool write_oversized_elf(const std::string& path) {
+  std::string img(16, '\0');
+  img[0] = '\x7f'; img[1] = 'E'; img[2] = 'L'; img[3] = 'F';
+  img[4] = 1;  // ELFCLASS32
+  img[5] = 1;  // little-endian
+  img[6] = 1;  // EV_CURRENT
+  put_u16(&img, 2);            // e_type: ET_EXEC
+  put_u16(&img, 0xF3);         // e_machine: RISC-V
+  put_u32(&img, 1);            // e_version
+  put_u32(&img, 0x80000000u);  // e_entry
+  put_u32(&img, 52);           // e_phoff
+  put_u32(&img, 0);            // e_shoff
+  put_u32(&img, 0);            // e_flags
+  put_u16(&img, 52);           // e_ehsize
+  put_u16(&img, 32);           // e_phentsize
+  put_u16(&img, 1);            // e_phnum
+  put_u16(&img, 0);            // e_shentsize
+  put_u16(&img, 0);            // e_shnum
+  put_u16(&img, 0);            // e_shstrndx
+  put_u32(&img, 1);            // p_type: PT_LOAD
+  put_u32(&img, 84);           // p_offset
+  put_u32(&img, 0x80000000u);  // p_vaddr
+  put_u32(&img, 0x80000000u);  // p_paddr
+  put_u32(&img, 0);            // p_filesz
+  put_u32(&img, 0xFFFFF000u);  // p_memsz: ~4 GiB
+  put_u32(&img, 7);            // p_flags: RWX
+  put_u32(&img, 4);            // p_align
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  const bool ok = std::fwrite(img.data(), 1, img.size(), f) == img.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+int chaos_test() {
+  char sock_template[] = "/tmp/vpdift-chaos-XXXXXX";
+  const int tmp_fd = ::mkstemp(sock_template);
+  if (tmp_fd < 0) {
+    std::fprintf(stderr, "chaos: mkstemp failed\n");
+    return 1;
+  }
+  ::close(tmp_fd);
+  const std::string sock = sock_template;
+  ::unlink(sock.c_str());
+
+  char elf_template[] = "/tmp/vpdift-chaos-elf-XXXXXX";
+  const int elf_fd = ::mkstemp(elf_template);
+  if (elf_fd < 0) {
+    std::fprintf(stderr, "chaos: mkstemp failed\n");
+    return 1;
+  }
+  ::close(elf_fd);
+  const std::string elf_path = elf_template;
+  if (!write_oversized_elf(elf_path)) {
+    std::fprintf(stderr, "chaos: cannot write the oversized ELF\n");
+    ::unlink(elf_path.c_str());
+    return 1;
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::fprintf(stderr, "chaos: fork failed\n");
+    ::unlink(elf_path.c_str());
+    return 1;
+  }
+  if (pid == 0) {
+    // Tight liveness budgets so every escalation fires in test time rather
+    // than operator time; the caps are what the chaos phases push against.
+    service::ServerOptions sopts;
+    sopts.socket_path = sock;
+    sopts.workers = 2;
+    sopts.quiet = true;
+    sopts.heartbeat_ms = 100;
+    sopts.heartbeat_timeout_ms = 1200;
+    sopts.kill_grace_ms = 400;
+    sopts.deadline_grace_ms = 1000;
+    sopts.max_job_wall_s = 2.0;
+    sopts.max_job_mem_mb = 512;
+    sopts.max_queued = 4;
+    ::_exit(service::run_server(sopts));
+  }
+
+  // An unbounded spin job: only the server's --max-job-wall clamp (healthy
+  // worker) or heartbeat escalation (stopped worker) can end it.
+  const char* spin_spec =
+      "campaign chaos-spin\n"
+      "job spin\n"
+      "firmware spin\n"
+      "mode dift\n"
+      "max-ms 100000000\n";
+
+  int rc = 1;
+  try {
+    bool up = false;
+    for (int i = 0; i < 200 && !up; ++i) {
+      ::usleep(50 * 1000);
+      try {
+        service::Client probe(sock);
+        up = probe.ping();
+      } catch (const std::exception&) {
+      }
+    }
+    if (!up) throw std::runtime_error("daemon did not come up");
+    if (!wait_for_children(pid, 2))
+      throw std::runtime_error("workers did not come up");
+
+    service::Client client(sock);
+    const std::string ref = "fi:attack:3:4";
+
+    std::printf("chaos: baseline %s...\n", ref.c_str());
+    const service::Outcome base = client.submit_ref(ref, 7, 2);
+    if (!base.error.empty())
+      throw std::runtime_error("baseline submission failed: " + base.error);
+
+    // Phase 1: SIGKILL one worker outright; the daemon must notice, count
+    // it, respawn, and serve the next submission as if nothing happened.
+    std::vector<pid_t> kids = children_of(pid);
+    if (kids.size() < 2) throw std::runtime_error("expected 2 workers");
+    std::printf("chaos: SIGKILL worker %d...\n", static_cast<int>(kids[0]));
+    ::kill(kids[0], SIGKILL);
+    if (!wait_for_children(pid, 2, kids[0]))
+      throw std::runtime_error("daemon did not respawn the killed worker");
+    const service::Outcome after = client.submit_ref(ref, 11, 2);
+    if (!after.error.empty())
+      throw std::runtime_error("submission after worker kill failed: " +
+                               after.error);
+    std::printf("chaos: recovered from worker kill\n");
+
+    // Phase 2: an unbounded job against --max-job-wall. The healthy worker
+    // keeps heartbeating, so no escalation — the clamped wall budget ends
+    // the job gracefully as wall-timeout.
+    std::printf("chaos: unbounded spin job vs --max-job-wall...\n");
+    std::string verdict;
+    const service::Outcome wall = client.submit_spec(
+        spin_spec,
+        [&](const service::JobEvent& je) { verdict = je.verdict; });
+    if (!wall.error.empty())
+      throw std::runtime_error("spin submission failed: " + wall.error);
+    if (verdict != "wall-timeout")
+      throw std::runtime_error("expected wall-timeout under the server cap, "
+                               "got '" + verdict + "'");
+
+    // Phase 3: SIGSTOP every worker and submit the spin job again. A
+    // stopped worker cannot heartbeat, so the dispatching side must
+    // escalate SIGTERM -> SIGKILL, report the job "hung" and respawn.
+    kids = children_of(pid);
+    std::printf("chaos: SIGSTOP all %zu workers, submitting spin...\n",
+                kids.size());
+    for (const pid_t k : kids) ::kill(k, SIGSTOP);
+    verdict.clear();
+    const service::Outcome hang = client.submit_spec(
+        spin_spec,
+        [&](const service::JobEvent& je) { verdict = je.verdict; });
+    for (const pid_t k : kids) ::kill(k, SIGCONT);  // survivor resumes;
+                                                    // ESRCH for the reaped
+    if (!hang.error.empty())
+      throw std::runtime_error("hang submission failed: " + hang.error);
+    if (verdict != "hung")
+      throw std::runtime_error("expected a hung verdict, got '" + verdict +
+                               "'");
+    if (hang.ok)
+      throw std::runtime_error("a hung campaign must not report ok");
+    std::printf("chaos: hung job escalated and reported\n");
+
+    // Phase 4: burst past the admission queue (9 jobs > 4 queued x 2
+    // workers). A client with retries disabled must see the structured
+    // shed reply instead of hanging in the backlog.
+    if (!wait_for_children(pid, 2))
+      throw std::runtime_error("daemon did not respawn after the hang");
+    std::string burst = "campaign chaos-burst\n";
+    for (int i = 0; i < 9; ++i)
+      burst += "job burst" + std::to_string(i) +
+               "\nfirmware qsort\nmode plain\nmax-ms 5\n";
+    service::ClientOptions no_retry;
+    no_retry.submit_retries = 0;
+    service::Client impatient(sock, no_retry);
+    const service::Outcome shed = impatient.submit_spec(burst);
+    if (shed.error != "overloaded")
+      throw std::runtime_error("expected the burst to be shed, got '" +
+                               (shed.error.empty() ? std::string("ok")
+                                                   : shed.error) + "'");
+    if (shed.retry_after_ms == 0)
+      throw std::runtime_error("overloaded reply lacks retry_after_ms");
+    std::printf("chaos: burst shed with retry_after_ms=%llu\n",
+                static_cast<unsigned long long>(shed.retry_after_ms));
+
+    // Phase 5: an ELF whose PT_LOAD claims ~4 GiB. The loader must reject
+    // it inside the worker and the daemon must stay up.
+    std::printf("chaos: oversized ELF...\n");
+    const service::Outcome evil = client.submit_spec(
+        "campaign chaos-evil\njob evil\nfirmware " + elf_path +
+        "\nmode plain\nmax-ms 100\n");
+    if (evil.ok)
+      throw std::runtime_error("oversized ELF reported ok");
+    if (!client.ping())
+      throw std::runtime_error("daemon died on the oversized ELF");
+    std::printf("chaos: oversized ELF contained\n");
+
+    // Phase 6: a client that submits and then never reads. The daemon's
+    // write queue must absorb it without blocking other connections, and
+    // the eventual hangup must drop the submission cleanly.
+    std::printf("chaos: slow-reader client...\n");
+    const int sfd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (sfd < 0) throw std::runtime_error("socket() failed");
+    struct sockaddr_un addr {};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, sock.c_str(), sock.size() + 1);
+    if (::connect(sfd, reinterpret_cast<struct sockaddr*>(&addr),
+                  sizeof addr) != 0) {
+      ::close(sfd);
+      throw std::runtime_error("slow reader cannot connect");
+    }
+    service::write_line(
+        sfd, "{\"op\":\"submit\",\"id\":1,\"ref\":\"" + ref +
+                 "\",\"seed\":99,\"workers\":2}");
+    ::usleep(500 * 1000);  // let the daemon stream into the unread socket
+    if (!client.ping())
+      throw std::runtime_error("daemon blocked by a slow reader");
+    ::close(sfd);  // hang up mid-submission
+    if (!client.ping())
+      throw std::runtime_error("daemon died dropping the slow reader");
+    std::printf("chaos: slow reader absorbed and dropped\n");
+
+    // Phase 7: after all of the above, the same campaign must still
+    // produce a bit-identical deterministic report.
+    const service::Outcome fin = client.submit_ref(ref, 7, 2);
+    if (!fin.error.empty())
+      throw std::runtime_error("final submission failed: " + fin.error);
+    if (deterministic_lines(base.report) != deterministic_lines(fin.report))
+      throw std::runtime_error("reports diverged after chaos");
+
+    const service::CacheStats s = client.server_stats();
+    std::printf("chaos-counters: %s\n", s.to_json().c_str());
+    if (s.hung_jobs < 1)
+      throw std::runtime_error("expected hung_jobs >= 1");
+    if (s.killed_workers < 2)
+      throw std::runtime_error("expected killed_workers >= 2");
+    if (s.shed_submissions < 1)
+      throw std::runtime_error("expected shed_submissions >= 1");
+    if (s.heartbeat_misses < 1)
+      throw std::runtime_error("expected heartbeat_misses >= 1");
+
+    client.shutdown_server();
+    std::printf("CHAOS SELF-TEST OK\n");
+    rc = 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "chaos self-test FAILED: %s\n", e.what());
+    ::kill(pid, SIGKILL);
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  if (rc == 0 && (!WIFEXITED(status) || WEXITSTATUS(status) != 0)) {
+    std::fprintf(stderr, "chaos self-test FAILED: daemon exit status %d\n",
+                 status);
+    rc = 1;
+  }
+  ::unlink(sock.c_str());
+  ::unlink(elf_path.c_str());
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   service::ServerOptions opts;
   bool run_self_test = false;
+  bool chaos = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) { usage(); std::exit(2); }
       return argv[++i];
+    };
+    auto next_u64 = [&](std::uint64_t* out) {
+      const char* v = next();
+      if (!campaign::parse_u64(v, out)) {
+        std::fprintf(stderr, "invalid value for %s: '%s'\n", arg.c_str(), v);
+        usage();
+        std::exit(2);
+      }
     };
     if (arg == "--socket") {
       opts.socket_path = next();
@@ -218,14 +575,38 @@ int main(int argc, char** argv) {
       opts.workers = static_cast<std::size_t>(n);
     } else if (arg == "--quiet") {
       opts.quiet = true;
+    } else if (arg == "--max-job-wall") {
+      double v = 0;
+      const char* s = next();
+      if (!campaign::parse_f64(s, &v) || v < 0) {
+        std::fprintf(stderr, "invalid value for --max-job-wall: '%s'\n", s);
+        return usage();
+      }
+      opts.max_job_wall_s = v;
+    } else if (arg == "--max-job-mem") {
+      next_u64(&opts.max_job_mem_mb);
+    } else if (arg == "--max-queued") {
+      std::uint64_t n = 0;
+      next_u64(&n);
+      opts.max_queued = static_cast<std::size_t>(n);
+    } else if (arg == "--heartbeat-ms") {
+      next_u64(&opts.heartbeat_ms);
+    } else if (arg == "--heartbeat-timeout-ms") {
+      next_u64(&opts.heartbeat_timeout_ms);
+    } else if (arg == "--kill-grace-ms") {
+      next_u64(&opts.kill_grace_ms);
     } else if (arg == "--self-test") {
       run_self_test = true;
+      if (i + 1 < argc && std::strcmp(argv[i + 1], "chaos") == 0) {
+        chaos = true;
+        ++i;
+      }
     } else {
       return usage();
     }
   }
 
-  if (run_self_test) return self_test();
+  if (run_self_test) return chaos ? chaos_test() : self_test();
   if (opts.socket_path.empty()) return usage();
   try {
     return service::run_server(opts);
